@@ -1,0 +1,43 @@
+# markovseq — reproduction of Kimelfeld & Ré, "Transducing Markov
+# Sequences" (PODS 2010). Standard library only; Go ≥ 1.22.
+
+GO ?= go
+
+.PHONY: all build test race cover bench experiments examples fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+# Regenerate every table and figure of the paper (EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/msqexp
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/hospital
+	$(GO) run ./examples/textextract
+	$(GO) run ./examples/speech
+	$(GO) run ./examples/genome
+	$(GO) run ./examples/monitoring
+
+fuzz:
+	$(GO) test ./internal/regex -fuzz FuzzCompile -fuzztime 30s
+	$(GO) test ./internal/codec -fuzz FuzzDecodeSequence -fuzztime 30s
+
+clean:
+	$(GO) clean ./...

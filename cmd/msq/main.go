@@ -1,0 +1,373 @@
+// Command msq queries Markov sequences with finite-state transducers and
+// s-projectors from the shell.
+//
+// Usage:
+//
+//	msq init -dir DIR
+//	    Write the paper's running example (Figure 1 sequence, Figure 2
+//	    transducer, an s-projector spec) as JSON files into DIR.
+//
+//	msq topk -seq FILE -query FILE [-k N]
+//	    Print the top-k answers by E_max (Theorem 4.3) with confidences
+//	    where tractable.
+//
+//	msq enumerate -seq FILE -query FILE [-limit N]
+//	    Enumerate answers unranked with polynomial delay (Theorem 4.1).
+//
+//	msq confidence -seq FILE -query FILE -answer "SYMS"
+//	    Compute the confidence of an answer (Theorems 4.6 / 4.8).
+//
+//	msq sproj -seq FILE -spec FILE [-k N] [-indexed]
+//	    Evaluate an s-projector spec (three regexes): ranked by exact
+//	    confidence with -indexed (Theorem 5.7), by I_max otherwise
+//	    (Theorem 5.2).
+//
+//	msq explain -seq FILE -query FILE
+//	    Print the evaluation plan (query class and algorithm selection per
+//	    the paper's Table 2).
+//
+//	msq smooth -hmm FILE -obs "SYMS" [-out FILE]
+//	    Condition a JSON hidden Markov model on an observation string and
+//	    write the resulting Markov sequence (the paper's assumed
+//	    preprocessing step).
+//
+//	msq dot -query FILE
+//	    Render a transducer as Graphviz dot (Figure 2 style).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"markovseq/internal/codec"
+	"markovseq/internal/conf"
+	"markovseq/internal/core"
+	"markovseq/internal/enum"
+	"markovseq/internal/markov"
+	"markovseq/internal/paperex"
+	"markovseq/internal/ranked"
+	"markovseq/internal/transducer"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "init":
+		err = cmdInit(os.Args[2:])
+	case "topk":
+		err = cmdTopK(os.Args[2:])
+	case "enumerate":
+		err = cmdEnumerate(os.Args[2:])
+	case "confidence":
+		err = cmdConfidence(os.Args[2:])
+	case "sproj":
+		err = cmdSProj(os.Args[2:])
+	case "explain":
+		err = cmdExplain(os.Args[2:])
+	case "smooth":
+		err = cmdSmooth(os.Args[2:])
+	case "dot":
+		err = cmdDot(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "msq:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: msq {init|topk|enumerate|confidence|sproj|explain|smooth|dot} [flags]")
+	os.Exit(2)
+}
+
+func cmdInit(args []string) error {
+	fs := flag.NewFlagSet("init", flag.ExitOnError)
+	dir := fs.String("dir", ".", "output directory")
+	fs.Parse(args)
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+	nodes := paperex.Nodes()
+	write := func(name string, fn func(*os.File) error) error {
+		f, err := os.Create(filepath.Join(*dir, name))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return fn(f)
+	}
+	if err := write("figure1.json", func(f *os.File) error {
+		return codec.EncodeSequence(f, paperex.Figure1(nodes))
+	}); err != nil {
+		return err
+	}
+	if err := write("figure2.json", func(f *os.File) error {
+		return codec.EncodeTransducer(f, paperex.Figure2(nodes, paperex.Outputs()))
+	}); err != nil {
+		return err
+	}
+	if err := write("extractor.json", func(f *os.File) error {
+		return codec.EncodeSProjectorSpec(f, codec.SProjectorJSON{
+			Alphabet: []string{"r1a", "r1b", "r2a", "r2b", "la", "lb"},
+			Prefix:   ".*(<la>|<lb>)",
+			Pattern:  "(<r1a>|<r1b>)+",
+			Suffix:   ".*",
+		})
+	}); err != nil {
+		return err
+	}
+	fmt.Printf("wrote figure1.json, figure2.json, extractor.json to %s\n", *dir)
+	fmt.Println("try: msq topk -seq figure1.json -query figure2.json -k 3")
+	return nil
+}
+
+func loadPair(seqPath, queryPath string) (*markov.Sequence, *transducer.Transducer, error) {
+	sf, err := os.Open(seqPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer sf.Close()
+	m, err := codec.DecodeSequence(sf)
+	if err != nil {
+		return nil, nil, err
+	}
+	qf, err := os.Open(queryPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer qf.Close()
+	t, err := codec.DecodeTransducer(qf)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Reconcile alphabets: the transducer must read the sequence's nodes.
+	if err := reconcile(m, t); err != nil {
+		return nil, nil, err
+	}
+	return m, t, nil
+}
+
+// reconcile verifies that the transducer's input alphabet matches the
+// sequence's node alphabet by name and order (the paper's standing
+// assumption Σ_A = Σ_μ).
+func reconcile(m *markov.Sequence, t *transducer.Transducer) error {
+	if m.Nodes.Size() != t.In.Size() {
+		return fmt.Errorf("alphabet mismatch: sequence has %d nodes, query reads %d symbols",
+			m.Nodes.Size(), t.In.Size())
+	}
+	for _, s := range m.Nodes.Symbols() {
+		if m.Nodes.Name(s) != t.In.Name(s) {
+			return fmt.Errorf("alphabet mismatch at symbol %d: %q vs %q",
+				s, m.Nodes.Name(s), t.In.Name(s))
+		}
+	}
+	return nil
+}
+
+func cmdTopK(args []string) error {
+	fs := flag.NewFlagSet("topk", flag.ExitOnError)
+	seqPath := fs.String("seq", "", "Markov sequence JSON")
+	queryPath := fs.String("query", "", "transducer JSON")
+	k := fs.Int("k", 5, "answers to print")
+	fs.Parse(args)
+	m, t, err := loadPair(*seqPath, *queryPath)
+	if err != nil {
+		return err
+	}
+	e := ranked.NewEnumerator(t, m)
+	for i := 0; i < *k; i++ {
+		a, ok := e.Next()
+		if !ok {
+			break
+		}
+		line := fmt.Sprintf("#%d  %-20s E_max=%.6g", i+1, t.Out.FormatString(a.Output), math.Exp(a.LogEmax))
+		if t.IsDeterministic() {
+			line += fmt.Sprintf("  conf=%.6g", conf.Det(t, m, a.Output))
+		} else if _, uniform := t.UniformK(); uniform {
+			line += fmt.Sprintf("  conf=%.6g", conf.Uniform(t, m, a.Output))
+		}
+		fmt.Println(line)
+	}
+	return nil
+}
+
+func cmdEnumerate(args []string) error {
+	fs := flag.NewFlagSet("enumerate", flag.ExitOnError)
+	seqPath := fs.String("seq", "", "Markov sequence JSON")
+	queryPath := fs.String("query", "", "transducer JSON")
+	limit := fs.Int("limit", 0, "maximum answers (0 = all)")
+	fs.Parse(args)
+	m, t, err := loadPair(*seqPath, *queryPath)
+	if err != nil {
+		return err
+	}
+	e := enum.NewEnumerator(t, m)
+	n := 0
+	for *limit <= 0 || n < *limit {
+		o, ok := e.Next()
+		if !ok {
+			break
+		}
+		n++
+		fmt.Println(t.Out.FormatString(o))
+	}
+	fmt.Fprintf(os.Stderr, "%d answers\n", n)
+	return nil
+}
+
+func cmdConfidence(args []string) error {
+	fs := flag.NewFlagSet("confidence", flag.ExitOnError)
+	seqPath := fs.String("seq", "", "Markov sequence JSON")
+	queryPath := fs.String("query", "", "transducer JSON")
+	answer := fs.String("answer", "", "answer as space-separated output symbols (empty = ε)")
+	fs.Parse(args)
+	m, t, err := loadPair(*seqPath, *queryPath)
+	if err != nil {
+		return err
+	}
+	o, err := t.Out.ParseString(*answer)
+	if err != nil {
+		return err
+	}
+	switch {
+	case t.IsDeterministic():
+		fmt.Printf("%.10g\n", conf.Det(t, m, o))
+	default:
+		if _, uniform := t.UniformK(); uniform {
+			fmt.Printf("%.10g\n", conf.Uniform(t, m, o))
+		} else {
+			return fmt.Errorf("confidence for a nondeterministic non-uniform transducer is FP^#P-complete (Theorem 4.9)")
+		}
+	}
+	return nil
+}
+
+func cmdSProj(args []string) error {
+	fs := flag.NewFlagSet("sproj", flag.ExitOnError)
+	seqPath := fs.String("seq", "", "Markov sequence JSON")
+	specPath := fs.String("spec", "", "s-projector spec JSON (three regexes)")
+	k := fs.Int("k", 5, "answers to print")
+	indexed := fs.Bool("indexed", false, "use indexed semantics: exact ranking by confidence")
+	fs.Parse(args)
+	sf, err := os.Open(*seqPath)
+	if err != nil {
+		return err
+	}
+	defer sf.Close()
+	m, err := codec.DecodeSequence(sf)
+	if err != nil {
+		return err
+	}
+	pf, err := os.Open(*specPath)
+	if err != nil {
+		return err
+	}
+	defer pf.Close()
+	p, ab, err := codec.DecodeSProjector(pf)
+	if err != nil {
+		return err
+	}
+	if ab.Size() != m.Nodes.Size() {
+		return fmt.Errorf("alphabet mismatch: spec has %d symbols, sequence %d", ab.Size(), m.Nodes.Size())
+	}
+	if *indexed {
+		e, err := p.EnumerateIndexed(m)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < *k; i++ {
+			a, ok := e.Next()
+			if !ok {
+				break
+			}
+			fmt.Printf("#%d  %-20s index=%-4d conf=%.6g\n", i+1, ab.FormatString(a.Output), a.Index, a.Conf)
+		}
+		return nil
+	}
+	e := p.EnumerateImax(m)
+	for i := 0; i < *k; i++ {
+		a, ok := e.Next()
+		if !ok {
+			break
+		}
+		fmt.Printf("#%d  %-20s I_max=%.6g conf=%.6g\n",
+			i+1, ab.FormatString(a.Output), a.Imax, p.Confidence(m, a.Output))
+	}
+	return nil
+}
+
+func cmdExplain(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	seqPath := fs.String("seq", "", "Markov sequence JSON")
+	queryPath := fs.String("query", "", "transducer JSON")
+	fs.Parse(args)
+	m, t, err := loadPair(*seqPath, *queryPath)
+	if err != nil {
+		return err
+	}
+	e, err := core.NewTransducerEngine(t, m)
+	if err != nil {
+		return err
+	}
+	fmt.Print(e.Explain())
+	return nil
+}
+
+func cmdSmooth(args []string) error {
+	fs := flag.NewFlagSet("smooth", flag.ExitOnError)
+	hmmPath := fs.String("hmm", "", "HMM JSON")
+	obsStr := fs.String("obs", "", "observations as space-separated symbols")
+	outPath := fs.String("out", "", "output sequence JSON (default: stdout)")
+	fs.Parse(args)
+	hf, err := os.Open(*hmmPath)
+	if err != nil {
+		return err
+	}
+	defer hf.Close()
+	h, err := codec.DecodeHMM(hf)
+	if err != nil {
+		return err
+	}
+	obs, err := h.Obs.ParseString(*obsStr)
+	if err != nil {
+		return err
+	}
+	m, err := h.Condition(obs)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return codec.EncodeSequence(w, m)
+}
+
+func cmdDot(args []string) error {
+	fs := flag.NewFlagSet("dot", flag.ExitOnError)
+	queryPath := fs.String("query", "", "transducer JSON")
+	fs.Parse(args)
+	qf, err := os.Open(*queryPath)
+	if err != nil {
+		return err
+	}
+	defer qf.Close()
+	t, err := codec.DecodeTransducer(qf)
+	if err != nil {
+		return err
+	}
+	return t.WriteDot(os.Stdout, *queryPath)
+}

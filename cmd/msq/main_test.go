@@ -1,0 +1,100 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"markovseq/internal/codec"
+	"markovseq/internal/rfid"
+)
+
+// TestCLIRoundTrip exercises the command functions directly against a
+// temp directory populated by init.
+func TestCLIRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if err := cmdInit([]string{"-dir", dir}); err != nil {
+		t.Fatal(err)
+	}
+	seq := filepath.Join(dir, "figure1.json")
+	query := filepath.Join(dir, "figure2.json")
+	spec := filepath.Join(dir, "extractor.json")
+	for _, f := range []string{seq, query, spec} {
+		if _, err := os.Stat(f); err != nil {
+			t.Fatalf("init did not write %s: %v", f, err)
+		}
+	}
+	if err := cmdTopK([]string{"-seq", seq, "-query", query, "-k", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdEnumerate([]string{"-seq", seq, "-query", query, "-limit", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdConfidence([]string{"-seq", seq, "-query", query, "-answer", "1 2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdExplain([]string{"-seq", seq, "-query", query}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdDot([]string{"-query", query}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdSProj([]string{"-seq", seq, "-spec", spec, "-k", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdSProj([]string{"-seq", seq, "-spec", spec, "-k", "2", "-indexed"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLISmooth(t *testing.T) {
+	dir := t.TempDir()
+	// Write a small HMM.
+	f := rfid.Hospital(1, 1)
+	h := rfid.BuildHMM(f, rfid.DefaultNoise)
+	hmmPath := filepath.Join(dir, "hmm.json")
+	hf, err := os.Create(hmmPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := codec.EncodeHMM(hf, h); err != nil {
+		t.Fatal(err)
+	}
+	hf.Close()
+	outPath := filepath.Join(dir, "seq.json")
+	if err := cmdSmooth([]string{"-hmm", hmmPath, "-obs", "s_hall_a s_lab_a none", "-out", outPath}); err != nil {
+		t.Fatal(err)
+	}
+	// The result is a loadable, valid sequence.
+	sf, err := os.Open(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sf.Close()
+	m, err := codec.DecodeSequence(sf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 3 {
+		t.Fatalf("smoothed sequence length %d", m.Len())
+	}
+}
+
+func TestCLIBadInputs(t *testing.T) {
+	if err := cmdTopK([]string{"-seq", "/nonexistent", "-query", "/nonexistent"}); err == nil {
+		t.Fatal("missing files should error")
+	}
+	dir := t.TempDir()
+	if err := cmdInit([]string{"-dir", dir}); err != nil {
+		t.Fatal(err)
+	}
+	// Alphabet mismatch: s-projector spec from init has the node alphabet;
+	// feed the transducer file as the sequence.
+	if err := cmdConfidence([]string{
+		"-seq", filepath.Join(dir, "figure2.json"),
+		"-query", filepath.Join(dir, "figure2.json"),
+		"-answer", "1",
+	}); err == nil {
+		t.Fatal("transducer JSON is not a valid sequence")
+	}
+}

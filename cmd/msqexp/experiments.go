@@ -1,0 +1,650 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"markovseq/internal/automata"
+	"markovseq/internal/conf"
+	"markovseq/internal/enum"
+	"markovseq/internal/hardness"
+	"markovseq/internal/markov"
+	"markovseq/internal/paperex"
+	"markovseq/internal/ranked"
+	"markovseq/internal/rfid"
+	"markovseq/internal/sproj"
+	"markovseq/internal/transducer"
+)
+
+// timeIt runs fn repeatedly for at least minDur and returns the mean
+// duration per call.
+func timeIt(fn func()) time.Duration {
+	const minDur = 50 * time.Millisecond
+	start := time.Now()
+	n := 0
+	for time.Since(start) < minDur {
+		fn()
+		n++
+	}
+	return time.Since(start) / time.Duration(n)
+}
+
+// --- table1 ---
+
+func expTable1(bool) {
+	nodes := paperex.Nodes()
+	outs := paperex.Outputs()
+	m := paperex.Figure1(nodes)
+	t := paperex.Figure2(nodes, outs)
+	fmt.Println("world                   paper p   measured p   paper output  measured output")
+	for _, row := range paperex.Table1() {
+		world := nodes.MustParseString(row.World)
+		out, ok := t.TransduceDet(world)
+		rendered := "N/A"
+		if ok {
+			rendered = outs.FormatString(out)
+		}
+		fmt.Printf("%-22s  %-8.6g  %-10.6g   %-12s  %s\n",
+			row.World, row.Prob, m.Prob(world), row.Output, rendered)
+	}
+	o12 := outs.MustParseString("1 2")
+	fmt.Printf("\nconf(12):  paper 0.4038, measured %.6g (Theorem 4.6 DP)\n", conf.Det(t, m, o12))
+	fmt.Printf("E_max(12): paper 0.3969, measured %.6g (Theorem 4.3 Viterbi)\n",
+		math.Exp(ranked.Emax(t, m, o12)))
+	fmt.Println("\nNote: Table 1's row w is omitted; see internal/paperex's fidelity note —")
+	fmt.Println("a positive-probability w contradicts Example 3.4's conf(12) = 0.4038.")
+}
+
+// --- det-confidence ---
+
+func benchWorkload(n, syms, states int, seed int64) (*transducer.Transducer, *markov.Sequence, []automata.Symbol) {
+	rng := rand.New(rand.NewSource(seed))
+	names := make([]string, syms)
+	for i := range names {
+		names[i] = fmt.Sprintf("n%d", i)
+	}
+	in := automata.MustAlphabet(names...)
+	out := automata.MustAlphabet("x", "y")
+	t := transducer.New(in, out, states, 0)
+	for q := 0; q < states; q++ {
+		t.SetAccepting(q, true)
+		for _, s := range in.Symbols() {
+			var e []automata.Symbol
+			if rng.Intn(2) == 0 {
+				e = []automata.Symbol{automata.Symbol(rng.Intn(out.Size()))}
+			}
+			t.AddTransition(q, s, rng.Intn(states), e)
+		}
+	}
+	m := markov.Random(in, n, 0.6, rng)
+	o, _, ok := ranked.TopEmax(t, m, transducer.Unconstrained())
+	if !ok {
+		panic("no answer in workload")
+	}
+	return t, m, o
+}
+
+func expDetConfidence(quick bool) {
+	sizes := []int{32, 64, 128, 256, 512, 1024}
+	if quick {
+		sizes = []int{32, 64, 128}
+	}
+	fmt.Println("n        time/op      time ratio vs previous")
+	fmt.Println("(the answer length grows with n in this workload, so O(|o|·n) predicts ≈4 per doubling)")
+	var prev time.Duration
+	for _, n := range sizes {
+		t, m, o := benchWorkload(n, 4, 4, 1)
+		d := timeIt(func() { conf.Det(t, m, o) })
+		ratio := "-"
+		if prev > 0 {
+			ratio = fmt.Sprintf("%.2f", float64(d)/float64(prev))
+		}
+		fmt.Printf("%-8d %-12v %s\n", n, d, ratio)
+		prev = d
+	}
+}
+
+// --- nfa-uniform-confidence ---
+
+func expUniformNFA(quick bool) {
+	qs := []int{2, 4, 6, 8, 10}
+	if quick {
+		qs = []int{2, 4, 6}
+	}
+	fmt.Println("|Q|      time/op      time ratio vs previous (≈2 per +1 state ⇒ exponential in |Q|)")
+	fmt.Println("(worst-case family: the NFA for \"the (|Q|−1)-th symbol from the end is a\",")
+	fmt.Println("whose subset construction genuinely needs 2^{|Q|−1} states)")
+	var prev time.Duration
+	for _, q := range qs {
+		rng := rand.New(rand.NewSource(3))
+		in := automata.MustAlphabet("a", "b")
+		out := automata.MustAlphabet("x")
+		x := []automata.Symbol{out.MustSymbol("x")}
+		// States 0..q-1; 0 loops on everything and guesses the marked 'a';
+		// the guess must be exactly q-1 symbols from the end.
+		t := transducer.New(in, out, q, 0)
+		t.SetAccepting(q-1, true)
+		sa, sb := in.MustSymbol("a"), in.MustSymbol("b")
+		t.AddTransition(0, sa, 0, x)
+		t.AddTransition(0, sb, 0, x)
+		t.AddTransition(0, sa, 1, x)
+		for st := 1; st+1 < q; st++ {
+			t.AddTransition(st, sa, st+1, x)
+			t.AddTransition(st, sb, st+1, x)
+		}
+		m := markov.Random(in, 24, 1.0, rng)
+		o, _, ok := ranked.TopEmax(t, m, transducer.Unconstrained())
+		if !ok {
+			continue
+		}
+		d := timeIt(func() { conf.Uniform(t, m, o) })
+		ratio := "-"
+		if prev > 0 {
+			ratio = fmt.Sprintf("%.2f", float64(d)/float64(prev))
+		}
+		fmt.Printf("%-8d %-12v %s\n", q, d, ratio)
+		prev = d
+	}
+}
+
+// --- hardness-confidence ---
+
+func expHardnessConfidence(quick bool) {
+	fmt.Println("Proposition 4.7 reduction: conf(xⁿ)·|Σ|ⁿ = |L(A) ∩ Σⁿ|")
+	ab := automata.Chars("ab")
+	// A = strings containing "ab".
+	a := automata.NewNFA(ab, 3, 0)
+	sa, sb := ab.MustSymbol("a"), ab.MustSymbol("b")
+	a.AddTransition(0, sa, 0)
+	a.AddTransition(0, sb, 0)
+	a.AddTransition(0, sa, 1)
+	a.AddTransition(1, sb, 2)
+	a.AddTransition(2, sa, 2)
+	a.AddTransition(2, sb, 2)
+	a.SetAccepting(2, true)
+	ns := []int{4, 8, 12, 16}
+	if quick {
+		ns = []int{4, 8}
+	}
+	fmt.Println("n     recovered count   exact count    (counts of strings containing 'ab')")
+	for _, n := range ns {
+		ci := hardness.NewCountingInstance(a, n)
+		c := conf.Uniform(ci.T, ci.M, ci.O)
+		// Exact: 2^n − F(n+2) strings of length n avoid "ab"? Count
+		// ab-free strings: strings of form b^i a^j — exactly n+1 of them.
+		exact := math.Pow(2, float64(n)) - float64(n+1)
+		fmt.Printf("%-5d %-17.6g %-14.6g\n", n, ci.Count(c), exact)
+	}
+	fmt.Println("\nTheorem 5.4 form ([*]A_ε[E], hardness in E): same counts via s-projector confidence")
+	fmt.Println("n     recovered count")
+	for _, n := range ns {
+		// DFA for "contains ab".
+		d := a.Determinize().Minimize()
+		ci := hardness.NewSProjCountingInstance(d, n)
+		c := ci.P.Confidence(ci.M, ci.O)
+		fmt.Printf("%-5d %-17.6g\n", n, ci.Count(c))
+	}
+
+	fmt.Println("\nbrute-force possible-worlds oracle vs the Theorem 4.8 subset DP:")
+	fmt.Println("n     brute-force     subset DP")
+	bs := []int{8, 12, 16}
+	if quick {
+		bs = []int{8, 12}
+	}
+	for _, n := range bs {
+		ci := hardness.NewCountingInstance(a, n)
+		dBF := timeIt(func() { conf.BruteForce(ci.T, ci.M, ci.O) })
+		dDP := timeIt(func() { conf.Uniform(ci.T, ci.M, ci.O) })
+		fmt.Printf("%-5d %-15v %v\n", n, dBF, dDP)
+	}
+}
+
+// --- sproj-confidence ---
+
+func expSProjConfidence(quick bool) {
+	ab := automata.MustAlphabet("a", "b", "c")
+	mk := func(n int, rng *rand.Rand) *automata.DFA {
+		d := automata.NewDFA(ab, n, 0)
+		for q := 0; q < n; q++ {
+			d.SetAccepting(q, rng.Intn(2) == 0)
+			for _, s := range ab.Symbols() {
+				d.SetTransition(q, s, rng.Intn(n))
+			}
+		}
+		d.SetAccepting(0, true)
+		return d
+	}
+	run := func(title string, sizes []int, build func(int, *rand.Rand) *sproj.SProjector) {
+		fmt.Println(title)
+		var prev time.Duration
+		for _, sz := range sizes {
+			rng := rand.New(rand.NewSource(5))
+			p := build(sz, rng)
+			m := markov.Random(ab, 32, 0.9, rng)
+			var o []automata.Symbol
+			for _, cand := range [][]automata.Symbol{{0, 1}, {0}, nil} {
+				if p.A.Accepts(cand) {
+					o = cand
+					break
+				}
+			}
+			d := timeIt(func() { p.Confidence(m, o) })
+			ratio := "-"
+			if prev > 0 {
+				ratio = fmt.Sprintf("%.2f", float64(d)/float64(prev))
+			}
+			fmt.Printf("%-8d %-12v %s\n", sz, d, ratio)
+			prev = d
+		}
+	}
+	qes := []int{2, 4, 6, 8, 10}
+	qbs := []int{2, 4, 8, 16}
+	if quick {
+		qes, qbs = []int{2, 4, 6}, []int{2, 4, 8}
+	}
+	// Worst-case suffix family: E = "length ≡ 0 (mod |Q_E|)". Every
+	// occurrence candidate launches its own E-run at a different offset,
+	// so the set of live E-states ranges over subsets of the residues —
+	// genuinely 2^{|Q_E|} reachable subsets.
+	run("|Q_E|    time/op      ratio (≈2 per +1 state ⇒ exponential in |Q_E|)", qes,
+		func(sz int, rng *rand.Rand) *sproj.SProjector {
+			e := automata.NewDFA(ab, sz, 0)
+			e.SetAccepting(0, true)
+			for q := 0; q < sz; q++ {
+				for _, s := range ab.Symbols() {
+					e.SetTransition(q, s, (q+1)%sz)
+				}
+			}
+			// Pattern: any single symbol, so candidates open everywhere.
+			a := automata.NewDFA(ab, 3, 0)
+			a.SetAccepting(1, true)
+			for _, s := range ab.Symbols() {
+				a.SetTransition(0, s, 1)
+				a.SetTransition(1, s, 2)
+				a.SetTransition(2, s, 2)
+			}
+			p, _ := sproj.New(automata.Universal(ab), a, e)
+			return p
+		})
+	fmt.Println()
+	run("|Q_B|    time/op      ratio (bounded ⇒ polynomial in |Q_B|)", qbs,
+		func(sz int, rng *rand.Rand) *sproj.SProjector {
+			p, _ := sproj.New(mk(sz, rng), mk(3, rng), mk(3, rng))
+			return p
+		})
+}
+
+// --- indexed-confidence ---
+
+func expIndexedConfidence(quick bool) {
+	ab := automata.MustAlphabet("a", "b", "c")
+	sizes := []int{32, 128, 512, 2048}
+	if quick {
+		sizes = []int{32, 128}
+	}
+	fmt.Println("n        time/op      ratio (≈4 per 4× n ⇒ linear)")
+	var prev time.Duration
+	for _, n := range sizes {
+		rng := rand.New(rand.NewSource(7))
+		d := automata.NewDFA(ab, 3, 0)
+		for q := 0; q < 3; q++ {
+			d.SetAccepting(q, q == 1)
+			for _, s := range ab.Symbols() {
+				d.SetTransition(q, s, rng.Intn(3))
+			}
+		}
+		p := sproj.Simple(d)
+		m := markov.Random(ab, n, 0.9, rng)
+		o := []automata.Symbol{0, 1}
+		if !p.A.Accepts(o) {
+			o = nil
+		}
+		dur := timeIt(func() { p.IndexedConfidence(m, o, n/2) })
+		ratio := "-"
+		if prev > 0 {
+			ratio = fmt.Sprintf("%.2f", float64(dur)/float64(prev))
+		}
+		fmt.Printf("%-8d %-12v %s\n", n, dur, ratio)
+		prev = dur
+	}
+}
+
+// --- enum-delay ---
+
+func expEnumDelay(quick bool) {
+	sizes := []int{8, 16, 32, 64}
+	if quick {
+		sizes = []int{8, 16}
+	}
+	fmt.Println("n        answers   max delay    mean delay   (delays bounded by a polynomial in n)")
+	for _, n := range sizes {
+		t, m, _ := benchWorkload(n, 3, 3, 8)
+		e := enum.NewEnumerator(t, m)
+		var maxD, total time.Duration
+		count := 0
+		last := time.Now()
+		for count < 50 {
+			_, ok := e.Next()
+			if !ok {
+				break
+			}
+			d := time.Since(last)
+			last = time.Now()
+			if d > maxD {
+				maxD = d
+			}
+			total += d
+			count++
+		}
+		if count == 0 {
+			continue
+		}
+		fmt.Printf("%-8d %-9d %-12v %v\n", n, count, maxD, total/time.Duration(count))
+	}
+}
+
+// --- emax-order ---
+
+func expEmaxOrder(quick bool) {
+	sizes := []int{8, 16, 32}
+	if quick {
+		sizes = []int{8, 16}
+	}
+	fmt.Println("n        answers   max delay    mean delay")
+	for _, n := range sizes {
+		t, m, _ := benchWorkload(n, 3, 3, 9)
+		e := ranked.NewEnumerator(t, m)
+		var maxD, total time.Duration
+		count := 0
+		last := time.Now()
+		prev := math.Inf(1)
+		for count < 25 {
+			a, ok := e.Next()
+			if !ok {
+				break
+			}
+			if a.LogEmax > prev+1e-9 {
+				fmt.Println("ORDER VIOLATION — this should never happen")
+			}
+			prev = a.LogEmax
+			d := time.Since(last)
+			last = time.Now()
+			if d > maxD {
+				maxD = d
+			}
+			total += d
+			count++
+		}
+		if count == 0 {
+			continue
+		}
+		fmt.Printf("%-8d %-9d %-12v %v\n", n, count, maxD, total/time.Duration(count))
+	}
+}
+
+// --- inapprox-growth ---
+
+func expInapprox(quick bool) {
+	fmt.Println("Theorem 4.4 reduction (max-3-DNF → 1-state Mealy machine).")
+	fmt.Println("The E_max heuristic cannot distinguish assignments (all evidences are")
+	fmt.Println("equally likely), so its answer is an arbitrary assignment; the true top")
+	fmt.Println("answer satisfies maxsat clauses. Amplification (concatenating c copies)")
+	fmt.Println("raises the optimal-vs-arbitrary confidence ratio to (maxsat)^c.")
+	fmt.Println()
+	rng := rand.New(rand.NewSource(17))
+	f := hardness.RandomMax3DNF(5, 6, rng)
+	mi := hardness.NewMealyInstance(f)
+	maxSat := f.BruteForceMax()
+	k, mm := f.NumVars, len(f.Clauses)
+	fmt.Printf("formula: %d vars, %d clauses, maxsat = %d\n\n", k, mm, maxSat)
+
+	// A worst-case heuristic answer: any assignment satisfying exactly one
+	// clause (confidence 1/(m·2^k)).
+	worst := findAssignment(f, 1)
+	best := findAssignment(f, maxSat)
+	if worst == nil || best == nil {
+		fmt.Println("degenerate instance; rerun with another seed")
+		return
+	}
+	copies := []int{1, 2, 3, 4, 6}
+	if quick {
+		copies = []int{1, 2, 3}
+	}
+	fmt.Println("copies   n       top conf          heuristic-floor conf   ratio (= maxsat^c)")
+	for _, c := range copies {
+		m := mi.Amplify(c)
+		oBest := repeatAnswer(mi, best, c)
+		oWorst := repeatAnswer(mi, worst, c)
+		cb := conf.Det(mi.T, m, oBest)
+		cw := conf.Det(mi.T, m, oWorst)
+		fmt.Printf("%-8d %-7d %-17.6g %-22.6g %.6g\n", c, m.Len(), cb, cw, cb/cw)
+	}
+}
+
+func findAssignment(f *hardness.Max3DNF, sat int) []bool {
+	a := make([]bool, f.NumVars)
+	var found []bool
+	var rec func(i int)
+	rec = func(i int) {
+		if found != nil {
+			return
+		}
+		if i == f.NumVars {
+			if f.CountSatisfied(a) == sat {
+				found = append([]bool(nil), a...)
+			}
+			return
+		}
+		a[i] = false
+		rec(i + 1)
+		a[i] = true
+		rec(i + 1)
+	}
+	rec(0)
+	return found
+}
+
+func repeatAnswer(mi *hardness.MealyInstance, a []bool, c int) []automata.Symbol {
+	one := mi.AssignmentAnswer(a)
+	var out []automata.Symbol
+	for i := 0; i < c; i++ {
+		out = append(out, one...)
+	}
+	return out
+}
+
+// --- imax-ratio ---
+
+func expImaxRatio(quick bool) {
+	sizes := []int{2, 4, 8, 16, 32}
+	if quick {
+		sizes = []int{2, 4, 8}
+	}
+	fmt.Println("n        I_max        conf         conf/I_max   bound n   (ratio → (1−1/e)·n)")
+	for _, n := range sizes {
+		inst := hardness.NewImaxTightnessInstance(n)
+		p := sproj.Simple(inst.Pattern)
+		c := p.Confidence(inst.M, inst.Target)
+		im := p.Imax(inst.M, inst.Target)
+		fmt.Printf("%-8d %-12.6g %-12.6g %-12.4g %d\n", n, im, c, c/im, n)
+	}
+}
+
+// --- indexed-order ---
+
+func expIndexedOrder(quick bool) {
+	sizes := []int{8, 16, 32, 64}
+	if quick {
+		sizes = []int{8, 16}
+	}
+	ab := automata.MustAlphabet("a", "b", "c")
+	fmt.Println("n        answers   max delay    mean delay   order")
+	for _, n := range sizes {
+		rng := rand.New(rand.NewSource(10))
+		d := automata.NewDFA(ab, 3, 0)
+		for q := 0; q < 3; q++ {
+			d.SetAccepting(q, q != 2)
+			for _, s := range ab.Symbols() {
+				d.SetTransition(q, s, rng.Intn(3))
+			}
+		}
+		p := sproj.Simple(d)
+		m := markov.Random(ab, n, 0.8, rng)
+		e, err := p.EnumerateIndexed(m)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		var maxD, total time.Duration
+		count := 0
+		last := time.Now()
+		prev := math.Inf(1)
+		order := "exact"
+		for count < 50 {
+			a, ok := e.Next()
+			if !ok {
+				break
+			}
+			if a.Conf > prev+1e-9 {
+				order = "VIOLATED"
+			}
+			prev = a.Conf
+			dd := time.Since(last)
+			last = time.Now()
+			if dd > maxD {
+				maxD = dd
+			}
+			total += dd
+			count++
+		}
+		if count == 0 {
+			continue
+		}
+		fmt.Printf("%-8d %-9d %-12v %-12v %s\n", n, count, maxD, total/time.Duration(count), order)
+	}
+}
+
+// --- ablations ---
+
+func expAblations(quick bool) {
+	fmt.Println("A2: lazy vs dense subset DP (Theorem 4.8), worst-case 2^{|Q|-1} family")
+	fmt.Println("|Q|      lazy           dense          (dense wins at small |Q|; Uniform dispatches)")
+	qs := []int{4, 8, 12}
+	if quick {
+		qs = []int{4, 8}
+	}
+	for _, q := range qs {
+		t, m, o := uniformWorstCase(q)
+		dl := timeIt(func() { conf.UniformLazy(t, m, o) })
+		dd := timeIt(func() { conf.UniformDense(t, m, o) })
+		fmt.Printf("%-8d %-14v %v\n", q, dl, dd)
+	}
+
+	fmt.Println("\nA (Section 5.2): Lawler vs duplicate-filtering I_max enumeration")
+	fmt.Println("The dedup variant loses the polynomial-delay guarantee: duplicates")
+	fmt.Println("suppressed before the 2nd distinct answer grow with n.")
+	fmt.Println("n        dedup skips before answer 2")
+	ab2 := automata.Chars("ab")
+	ns := []int{6, 10, 14}
+	if quick {
+		ns = []int{6, 10}
+	}
+	for _, n := range ns {
+		d := automata.NewDFA(ab2, 3, 0)
+		d.SetAccepting(1, true)
+		sa, sb := ab2.MustSymbol("a"), ab2.MustSymbol("b")
+		d.SetTransition(0, sa, 1)
+		d.SetTransition(0, sb, 2)
+		d.SetTransition(1, sa, 1)
+		d.SetTransition(1, sb, 2)
+		d.SetTransition(2, sa, 2)
+		d.SetTransition(2, sb, 2)
+		p := sproj.Simple(d)
+		m := markov.Uniform(ab2, n)
+		e, err := p.EnumerateImaxDedup(m)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		e.Next()
+		e.Next()
+		fmt.Printf("%-8d %d\n", n, e.SkippedLast)
+	}
+
+	fmt.Println("\nA (open problem): Monte Carlo estimation for the FP^#P-complete class")
+	nodes := paperex.Nodes()
+	outs := paperex.Outputs()
+	m := paperex.Figure1(nodes)
+	tr := paperex.Figure2(nodes, outs)
+	o := outs.MustParseString("1 2")
+	exact := conf.Det(tr, m, o)
+	rng := rand.New(rand.NewSource(99))
+	fmt.Println("samples  estimate   |error|    (exact conf(12) = 0.4038)")
+	for _, s := range []int{100, 1000, 10000} {
+		est := conf.Estimate(tr, m, o, s, rng)
+		fmt.Printf("%-8d %-10.4f %.4f\n", s, est, math.Abs(est-exact))
+	}
+}
+
+// uniformWorstCase builds the k-th-symbol-from-the-end family used by the
+// Theorem 4.8 experiments.
+func uniformWorstCase(q int) (*transducer.Transducer, *markov.Sequence, []automata.Symbol) {
+	rng := rand.New(rand.NewSource(21))
+	in := automata.MustAlphabet("a", "b")
+	out := automata.MustAlphabet("x")
+	x := []automata.Symbol{out.MustSymbol("x")}
+	t := transducer.New(in, out, q, 0)
+	t.SetAccepting(q-1, true)
+	sa, sb := in.MustSymbol("a"), in.MustSymbol("b")
+	t.AddTransition(0, sa, 0, x)
+	t.AddTransition(0, sb, 0, x)
+	t.AddTransition(0, sa, 1, x)
+	for st := 1; st+1 < q; st++ {
+		t.AddTransition(st, sa, st+1, x)
+		t.AddTransition(st, sb, st+1, x)
+	}
+	m := markov.Random(in, 24, 1.0, rng)
+	o, _, ok := ranked.TopEmax(t, m, transducer.Unconstrained())
+	if !ok {
+		panic("no answer")
+	}
+	return t, m, o
+}
+
+// --- pipeline ---
+
+func expPipeline(quick bool) {
+	fmt.Println("End-to-end RFID pipeline: simulate readings → HMM smoothing → top-5 by E_max.")
+	fmt.Println("n        smooth       top-5        total/trace")
+	ns := []int{25, 50, 100, 200}
+	if quick {
+		ns = []int{25, 50}
+	}
+	fp := rfid.Hospital(4, 2)
+	model := rfid.BuildHMM(fp, rfid.DefaultNoise)
+	query := rfid.PlaceTransducer(fp, "lab")
+	for _, n := range ns {
+		rng := rand.New(rand.NewSource(31))
+		_, obs := model.Sample(n, rng)
+		dSmooth := timeIt(func() {
+			if _, err := model.Condition(obs); err != nil {
+				panic(err)
+			}
+		})
+		seq, err := model.Condition(obs)
+		if err != nil {
+			panic(err)
+		}
+		dTop := timeIt(func() {
+			e := ranked.NewEnumerator(query, seq)
+			for i := 0; i < 5; i++ {
+				if _, ok := e.Next(); !ok {
+					break
+				}
+			}
+		})
+		fmt.Printf("%-8d %-12v %-12v %v\n", n, dSmooth, dTop, dSmooth+dTop)
+	}
+}

@@ -1,0 +1,73 @@
+package msq
+
+import (
+	"math/rand"
+
+	"markovseq/internal/conf"
+	"markovseq/internal/core"
+	"markovseq/internal/korder"
+)
+
+// Engine is a prepared query over one Markov sequence: it classifies the
+// query against the paper's tractability map (Table 2), selects the
+// algorithms, and exposes the choice as an explainable plan. Use it when
+// evaluating the same query repeatedly or when the plan matters; the
+// package-level functions (Confidence, TopK, …) are one-shot shortcuts.
+type Engine = core.Engine
+
+// Plan records an Engine's algorithm selection.
+type Plan = core.Plan
+
+// EngineAnswer is one Engine-evaluated answer.
+type EngineAnswer = core.Answer
+
+// Query classes (the columns of the paper's Table 2).
+const (
+	ClassMealy             = core.ClassMealy
+	ClassDeterministic     = core.ClassDeterministic
+	ClassUniform           = core.ClassUniform
+	ClassGeneral           = core.ClassGeneral
+	ClassSProjector        = core.ClassSProjector
+	ClassIndexedSProjector = core.ClassIndexedSProjector
+)
+
+// NewEngine prepares a transducer query over a sequence.
+func NewEngine(t *Transducer, m *Sequence) (*Engine, error) {
+	return core.NewTransducerEngine(t, m)
+}
+
+// NewSProjectorEngine prepares an s-projector query; indexed selects the
+// [B]↓A[E] semantics with exact confidence ranking.
+func NewSProjectorEngine(p *SProjector, m *Sequence, indexed bool) (*Engine, error) {
+	return core.NewSProjectorEngine(p, m, indexed)
+}
+
+// EstimateConfidence is the Monte Carlo estimator for the FP^#P-complete
+// class (and a sanity check for every other class): it samples worlds and
+// tests membership, giving an additive ±ε guarantee with probability 1−δ
+// at SamplesFor(ε, δ) samples.
+func EstimateConfidence(t *Transducer, m *Sequence, o []Symbol, samples int, rng *rand.Rand) float64 {
+	return conf.Estimate(t, m, o, samples, rng)
+}
+
+// SamplesFor returns the Hoeffding sample count for additive error ε with
+// confidence 1−δ.
+func SamplesFor(eps, delta float64) int { return conf.SamplesFor(eps, delta) }
+
+// TransducesInto reports whether s →[A^ω]→ o for an arbitrary transducer
+// (polynomial even when confidence computation is hard).
+func TransducesInto(t *Transducer, s, o []Symbol) bool { return conf.TransducesInto(t, s, o) }
+
+// KOrderSequence is a k-order Markov sequence (footnote 3 of the paper:
+// every result generalizes to fixed k via the first-order lifting).
+type KOrderSequence = korder.Sequence
+
+// LiftedSequence is the first-order reduction of a k-order sequence.
+type LiftedSequence = korder.Lifted
+
+// NewKOrderSequence returns an empty k-order sequence of the given order
+// and length; fill the per-history distributions with Set, then Validate,
+// then Lift to query it with the first-order machinery.
+func NewKOrderSequence(nodes *Alphabet, order, n int) *KOrderSequence {
+	return korder.New(nodes, order, n)
+}

@@ -1,0 +1,116 @@
+package msq_test
+
+import (
+	"fmt"
+	"math"
+
+	msq "markovseq"
+)
+
+// The paper's running example: confidence of the answer 12 (Example 3.4).
+func ExampleConfidence() {
+	nodes := msq.PaperNodes()
+	outs := msq.PaperOutputs()
+	seq := msq.PaperFigure1(nodes)
+	query := msq.PaperFigure2(nodes, outs)
+
+	c, err := msq.Confidence(query, seq, outs.MustParseString("1 2"))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("conf(12) = %.4f\n", c)
+	// Output: conf(12) = 0.4038
+}
+
+// Ranked evaluation by E_max (Theorem 4.3): the top answer is 12, whose
+// best evidence is the string s of Table 1 with probability 0.3969.
+func ExampleTopK() {
+	nodes := msq.PaperNodes()
+	outs := msq.PaperOutputs()
+	seq := msq.PaperFigure1(nodes)
+	query := msq.PaperFigure2(nodes, outs)
+
+	for _, a := range msq.TopK(query, seq, 2) {
+		fmt.Printf("%s E_max=%.4f\n", outs.FormatString(a.Output), math.Exp(a.LogEmax))
+	}
+	// Output:
+	// 12 E_max=0.3969
+	// ε E_max=0.2000
+}
+
+// Unranked enumeration with polynomial delay and space (Theorem 4.1).
+func ExampleEnumerateUnranked() {
+	nodes := msq.PaperNodes()
+	outs := msq.PaperOutputs()
+	seq := msq.PaperFigure1(nodes)
+	query := msq.PaperFigure2(nodes, outs)
+
+	e := msq.EnumerateUnranked(query, seq)
+	count := 0
+	for {
+		if _, ok := e.Next(); !ok {
+			break
+		}
+		count++
+	}
+	fmt.Printf("%d answers\n", count)
+	// Output: 6 answers
+}
+
+// Building a Markov sequence and a transducer from scratch: a two-node
+// weather chain queried by a Mealy machine that relabels the nodes.
+func ExampleNewSequence() {
+	weather := msq.MustAlphabet("sun", "rain")
+	m := msq.NewSequence(weather, 3)
+	sun, rain := weather.MustSymbol("sun"), weather.MustSymbol("rain")
+	m.SetInitial(sun, 1)
+	for i := 1; i <= 2; i++ {
+		m.SetTrans(i, sun, sun, 0.8)
+		m.SetTrans(i, sun, rain, 0.2)
+		m.SetTrans(i, rain, rain, 0.6)
+		m.SetTrans(i, rain, sun, 0.4)
+	}
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+
+	labels := msq.MustAlphabet("S", "R")
+	q := msq.NewTransducer(weather, labels, 1, 0)
+	q.SetAccepting(0, true)
+	q.AddTransition(0, sun, 0, []msq.Symbol{labels.MustSymbol("S")})
+	q.AddTransition(0, rain, 0, []msq.Symbol{labels.MustSymbol("R")})
+
+	c, _ := msq.Confidence(q, m, labels.MustParseString("S S R"))
+	fmt.Printf("Pr(sun sun rain) = %.2f\n", c)
+	// Output: Pr(sun sun rain) = 0.16
+}
+
+// The engine exposes the algorithm selection as an EXPLAIN-style plan.
+func ExampleEngine() {
+	nodes := msq.PaperNodes()
+	outs := msq.PaperOutputs()
+	e, err := msq.NewEngine(msq.PaperFigure2(nodes, outs), msq.PaperFigure1(nodes))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(e.Plan().Class)
+	// Output: deterministic transducer
+}
+
+// Substring projectors extract pattern matches with prefix/suffix
+// constraints (Section 5); indexed answers are ranked by exact confidence.
+func ExampleSProjector() {
+	ab := msq.Chars("ab")
+	b, _ := msq.CompileRegexDFA(".*", ab)
+	a, _ := msq.CompileRegexDFA("a+", ab)
+	e, _ := msq.CompileRegexDFA(".*", ab)
+	p, _ := msq.NewSProjector(b, a, e)
+
+	m := msq.HomogeneousSequence(ab, 3,
+		[]float64{1, 0},
+		[][]float64{{0.5, 0.5}, {0.5, 0.5}})
+
+	// conf of the occurrence ("a", 1): S starts with a — certain here.
+	fmt.Printf("%.2f\n", p.IndexedConfidence(m, ab.MustParseString("a"), 1))
+	// Output: 1.00
+}

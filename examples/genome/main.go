@@ -1,0 +1,172 @@
+// Genome: CpG-island finding, the classic biological-sequence HMM
+// (Durbin et al., cited by the paper's introduction as an application
+// domain for Markov sequences).
+//
+// Hidden states are (region, base) pairs: inside a CpG island the chain
+// is C/G-rich with frequent C→G transitions; outside it is A/T-rich.
+// Observations are noisy base calls. Smoothing yields a Markov sequence
+// over the eight (region, base) states, and an *indexed s-projector*
+// whose pattern is "one or more island states", with prefix/suffix
+// constraints forcing maximality (the occurrence must be flanked by
+// background or by the sequence ends), extracts island segments ranked by
+// exact confidence (Theorem 5.7).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	msq "markovseq"
+)
+
+var bases = []string{"A", "C", "G", "T"}
+
+func main() {
+	var (
+		steps = flag.Int("steps", 60, "sequence length")
+		noise = flag.Float64("noise", 0.05, "base-call error probability")
+		seed  = flag.Int64("seed", 2, "random seed")
+		topk  = flag.Int("k", 6, "island segments to report")
+	)
+	flag.Parse()
+
+	// Hidden-state alphabet: I_b (island) and B_b (background) per base.
+	var stateNames []string
+	for _, b := range bases {
+		stateNames = append(stateNames, "I"+b)
+	}
+	for _, b := range bases {
+		stateNames = append(stateNames, "B"+b)
+	}
+	states := msq.MustAlphabet(stateNames...)
+	obs := msq.MustAlphabet(bases...)
+
+	model := msq.NewHMM(states, obs)
+	// Emissions: the state's base, with sequencing noise.
+	for _, s := range states.Symbols() {
+		base := states.Name(s)[1:]
+		for _, o := range obs.Symbols() {
+			if obs.Name(o) == base {
+				model.Emit[s][o] = 1 - *noise
+			} else {
+				model.Emit[s][o] = *noise / 3
+			}
+		}
+	}
+	// Transitions: base composition per region plus region switching.
+	islandBase := map[string]float64{"A": 0.12, "C": 0.36, "G": 0.40, "T": 0.12}
+	backBase := map[string]float64{"A": 0.32, "C": 0.18, "G": 0.18, "T": 0.32}
+	const (
+		stay     = 0.92 // probability of staying in the current region
+		initIsle = 0.2  // prior probability of starting inside an island
+	)
+	dist := func(region string, comp map[string]float64) map[msq.Symbol]float64 {
+		out := map[msq.Symbol]float64{}
+		for _, b := range bases {
+			out[states.MustSymbol(region+b)] = comp[b]
+		}
+		return out
+	}
+	isleDist := dist("I", islandBase)
+	backDist := dist("B", backBase)
+	for _, s := range states.Symbols() {
+		inIsle := strings.HasPrefix(states.Name(s), "I")
+		for t, p := range isleDist {
+			if inIsle {
+				model.Trans[s][t] += stay * p
+			} else {
+				model.Trans[s][t] += (1 - stay) * p
+			}
+		}
+		for t, p := range backDist {
+			if inIsle {
+				model.Trans[s][t] += (1 - stay) * p
+			} else {
+				model.Trans[s][t] += stay * p
+			}
+		}
+	}
+	for t, p := range isleDist {
+		model.Initial[t] += initIsle * p
+	}
+	for t, p := range backDist {
+		model.Initial[t] += (1 - initIsle) * p
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	hidden, reads := model.Sample(*steps, rng)
+	fmt.Printf("reads:        %s\n", renderBases(obs, reads))
+	fmt.Printf("true regions: %s\n", renderRegions(states, hidden))
+
+	seq, err := model.Condition(reads)
+	if err != nil {
+		panic(err)
+	}
+
+	// Indexed s-projector: maximal island segments. The matched substring
+	// is a run of island states; the prefix must be empty or end in
+	// background, and the suffix must be empty or begin with background.
+	island := "(<IA>|<IC>|<IG>|<IT>)"
+	background := "(<BA>|<BC>|<BG>|<BT>)"
+	b, err := msq.CompileRegexDFA("|.*"+background, states)
+	if err != nil {
+		panic(err)
+	}
+	a, err := msq.CompileRegexDFA(island+"+", states)
+	if err != nil {
+		panic(err)
+	}
+	e, err := msq.CompileRegexDFA("|"+background+".*", states)
+	if err != nil {
+		panic(err)
+	}
+	finder, err := msq.NewSProjector(b, a, e)
+	if err != nil {
+		panic(err)
+	}
+
+	engine, err := msq.NewSProjectorEngine(finder, seq, true)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("\n== query plan ==")
+	fmt.Print(engine.Explain())
+
+	fmt.Printf("\n== top %d island segments (exact confidence ranking) ==\n", *topk)
+	for i, ans := range engine.TopK(*topk) {
+		end := ans.Index + len(ans.Output) - 1
+		fmt.Printf("  #%d  positions %2d-%-2d  %-18s conf=%.4g\n",
+			i+1, ans.Index, end, islandBases(states, ans.Output), ans.Score)
+	}
+}
+
+func renderBases(obs *msq.Alphabet, reads []msq.Symbol) string {
+	var b strings.Builder
+	for _, r := range reads {
+		b.WriteString(obs.Name(r))
+	}
+	return b.String()
+}
+
+// renderRegions draws the island mask under the read string.
+func renderRegions(states *msq.Alphabet, hidden []msq.Symbol) string {
+	var b strings.Builder
+	for _, h := range hidden {
+		if strings.HasPrefix(states.Name(h), "I") {
+			b.WriteByte('#')
+		} else {
+			b.WriteByte('.')
+		}
+	}
+	return b.String()
+}
+
+func islandBases(states *msq.Alphabet, o []msq.Symbol) string {
+	var b strings.Builder
+	for _, s := range o {
+		b.WriteString(states.Name(s)[1:])
+	}
+	return b.String()
+}

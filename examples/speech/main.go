@@ -1,0 +1,129 @@
+// Speech: a toy continuous-word decoder, one of the application domains
+// the paper's introduction cites for Markov sequences.
+//
+// Hidden states are (word, position) pairs walking through a small
+// lexicon; observations are noisy per-phoneme acoustic symbols. Smoothing
+// the acoustics yields a Markov sequence over (word, position) states,
+// and a deterministic transducer that emits a word label whenever a word
+// completes turns "decode the utterance" into exactly the paper's query
+// problem: the answers are word sequences, ranked by E_max, with exact
+// confidences from Theorem 4.6.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	msq "markovseq"
+)
+
+// lexicon: word → phoneme sequence.
+var lexicon = map[string][]string{
+	"go":  {"g", "o"},
+	"dog": {"d", "o", "g"},
+	"god": {"g", "o", "d"},
+	"odd": {"o", "d", "d"},
+}
+
+func main() {
+	var (
+		steps = flag.Int("steps", 12, "utterance length in phonemes")
+		noise = flag.Float64("noise", 0.2, "acoustic confusion probability")
+		seed  = flag.Int64("seed", 3, "random seed")
+		topk  = flag.Int("k", 5, "hypotheses to report")
+	)
+	flag.Parse()
+
+	// Hidden-state alphabet: one symbol per (word, position).
+	var stateNames []string
+	words := []string{"go", "dog", "god", "odd"}
+	for _, w := range words {
+		for i := range lexicon[w] {
+			stateNames = append(stateNames, fmt.Sprintf("%s.%d", w, i))
+		}
+	}
+	states := msq.MustAlphabet(stateNames...)
+	phonemes := msq.MustAlphabet("g", "o", "d")
+
+	model := msq.NewHMM(states, phonemes)
+	// Initial: uniformly start a word.
+	for _, w := range words {
+		model.Initial[states.MustSymbol(w+".0")] = 1 / float64(len(words))
+	}
+	// Transitions: advance within a word; at the end, start a uniformly
+	// random next word.
+	for _, w := range words {
+		phones := lexicon[w]
+		for i := range phones {
+			from := states.MustSymbol(fmt.Sprintf("%s.%d", w, i))
+			if i+1 < len(phones) {
+				model.Trans[from][states.MustSymbol(fmt.Sprintf("%s.%d", w, i+1))] = 1
+				continue
+			}
+			for _, w2 := range words {
+				model.Trans[from][states.MustSymbol(w2+".0")] = 1 / float64(len(words))
+			}
+		}
+	}
+	// Acoustics: the true phoneme with 1−noise, a uniformly random other
+	// phoneme with noise.
+	for _, w := range words {
+		for i, ph := range lexicon[w] {
+			s := states.MustSymbol(fmt.Sprintf("%s.%d", w, i))
+			truth := phonemes.MustSymbol(ph)
+			for _, o := range phonemes.Symbols() {
+				if o == truth {
+					model.Emit[s][o] = 1 - *noise
+				} else {
+					model.Emit[s][o] = *noise / float64(phonemes.Size()-1)
+				}
+			}
+		}
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	hidden, obs := model.Sample(*steps, rng)
+	fmt.Printf("acoustics:    %s\n", phonemes.FormatString(obs))
+	fmt.Printf("true states:  %s\n", states.FormatString(hidden))
+
+	seq, err := model.Condition(obs)
+	if err != nil {
+		panic(err)
+	}
+
+	// Transducer: emit the word label when a word completes (transition
+	// from its last position to some word start). Output alphabet: words.
+	wordsAb := msq.MustAlphabet(words...)
+	dec := msq.NewTransducer(states, wordsAb, 1, 0)
+	dec.SetAccepting(0, true)
+	for _, sym := range states.Symbols() {
+		name := states.Name(sym)
+		dot := strings.LastIndexByte(name, '.')
+		w := name[:dot]
+		var emit []msq.Symbol
+		if name[dot+1:] == fmt.Sprint(len(lexicon[w])-1) {
+			emit = []msq.Symbol{wordsAb.MustSymbol(w)}
+		}
+		dec.AddTransition(0, sym, 0, emit)
+	}
+
+	truthWords, _ := dec.TransduceDet(hidden)
+	fmt.Printf("true words:   %s\n\n", wordsAb.FormatString(truthWords))
+
+	fmt.Printf("== top %d decodings by E_max, with exact confidences ==\n", *topk)
+	for i, a := range msq.TopK(dec, seq, *topk) {
+		c, err := msq.Confidence(dec, seq, a.Output)
+		if err != nil {
+			panic(err)
+		}
+		marker := ""
+		if wordsAb.FormatString(a.Output) == wordsAb.FormatString(truthWords) {
+			marker = "   <- ground truth"
+		}
+		fmt.Printf("  #%d  %-24s E_max=%.3g conf=%.3g%s\n",
+			i+1, wordsAb.FormatString(a.Output), math.Exp(a.LogEmax), c, marker)
+	}
+}

@@ -1,0 +1,42 @@
+package msq_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example binary with small parameters and
+// checks it exits cleanly with nonempty output. This keeps the examples
+// honest: they are part of the tested surface, not just documentation.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples are skipped in -short mode")
+	}
+	cases := []struct {
+		dir  string
+		args []string
+		want string // substring that must appear in the output
+	}{
+		{"quickstart", nil, "conf(12)  = 0.4038"},
+		{"hospital", []string{"-steps", "16", "-rooms", "2"}, "top"},
+		{"textextract", []string{"-records", "1"}, "Theorem 5.7"},
+		{"speech", []string{"-steps", "9"}, "decodings"},
+		{"genome", []string{"-steps", "30"}, "island segments"},
+		{"monitoring", []string{"-steps", "12", "-carts", "2"}, "event query"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.dir, func(t *testing.T) {
+			t.Parallel()
+			args := append([]string{"run", "./examples/" + c.dir}, c.args...)
+			out, err := exec.Command("go", args...).CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", c.dir, err, out)
+			}
+			if !strings.Contains(string(out), c.want) {
+				t.Fatalf("example %s output missing %q:\n%s", c.dir, c.want, out)
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module markovseq
+
+go 1.22

@@ -1,0 +1,394 @@
+package automata
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DFA is a deterministic finite automaton with a total transition function,
+// matching the paper's definition: |δ(q,s)| = 1 for every state and symbol.
+// States are the integers 0..NumStates-1.
+type DFA struct {
+	// Alphabet is the input alphabet Σ.
+	Alphabet *Alphabet
+	// NumStates is |Q|.
+	NumStates int
+	// Start is the initial state.
+	Start int
+	// Accepting marks the accepting states.
+	Accepting []bool
+	// Delta[q][s] is the unique successor state δ(q, s).
+	Delta [][]int
+}
+
+// NewDFA returns a DFA with n states over alphabet a whose every transition
+// initially self-loops (so the automaton is total from the start); callers
+// overwrite transitions with SetTransition.
+func NewDFA(a *Alphabet, n, start int) *DFA {
+	if start < 0 || start >= n {
+		panic(fmt.Sprintf("automata: start state %d out of range [0,%d)", start, n))
+	}
+	d := &DFA{
+		Alphabet:  a,
+		NumStates: n,
+		Start:     start,
+		Accepting: make([]bool, n),
+		Delta:     make([][]int, n),
+	}
+	for q := range d.Delta {
+		row := make([]int, a.Size())
+		for s := range row {
+			row[s] = q
+		}
+		d.Delta[q] = row
+	}
+	return d
+}
+
+// SetTransition sets δ(q, s) = q2.
+func (d *DFA) SetTransition(q int, s Symbol, q2 int) {
+	d.checkState(q)
+	d.checkState(q2)
+	d.Delta[q][s] = q2
+}
+
+// SetAccepting marks q as accepting (or not).
+func (d *DFA) SetAccepting(q int, accepting bool) {
+	d.checkState(q)
+	d.Accepting[q] = accepting
+}
+
+func (d *DFA) checkState(q int) {
+	if q < 0 || q >= d.NumStates {
+		panic(fmt.Sprintf("automata: state %d out of range [0,%d)", q, d.NumStates))
+	}
+}
+
+// Step returns δ(q, s).
+func (d *DFA) Step(q int, s Symbol) int { return d.Delta[q][s] }
+
+// Run returns the state reached from the start state after reading s.
+func (d *DFA) Run(s []Symbol) int {
+	q := d.Start
+	for _, sym := range s {
+		q = d.Delta[q][sym]
+	}
+	return q
+}
+
+// Accepts reports whether the DFA accepts s.
+func (d *DFA) Accepts(s []Symbol) bool { return d.Accepting[d.Run(s)] }
+
+// ToNFA converts the DFA to an (epsilon-free) NFA with the same state set.
+func (d *DFA) ToNFA() *NFA {
+	m := NewNFA(d.Alphabet, d.NumStates, d.Start)
+	copy(m.Accepting, d.Accepting)
+	for q := 0; q < d.NumStates; q++ {
+		for s, q2 := range d.Delta[q] {
+			m.AddTransition(q, Symbol(s), q2)
+		}
+	}
+	return m
+}
+
+// Complement returns a DFA for the complement language. The transition
+// function is total, so flipping acceptance suffices.
+func (d *DFA) Complement() *DFA {
+	out := d.Clone()
+	for q := range out.Accepting {
+		out.Accepting[q] = !out.Accepting[q]
+	}
+	return out
+}
+
+// Clone returns a deep copy of the DFA.
+func (d *DFA) Clone() *DFA {
+	out := &DFA{
+		Alphabet:  d.Alphabet,
+		NumStates: d.NumStates,
+		Start:     d.Start,
+		Accepting: append([]bool(nil), d.Accepting...),
+		Delta:     make([][]int, d.NumStates),
+	}
+	for q := range d.Delta {
+		out.Delta[q] = append([]int(nil), d.Delta[q]...)
+	}
+	return out
+}
+
+// IsEmpty reports whether L(d) = ∅.
+func (d *DFA) IsEmpty() bool { return d.ToNFA().IsEmpty() }
+
+// IsUniversal reports whether d accepts every string of Σ*.
+func (d *DFA) IsUniversal() bool { return d.Complement().IsEmpty() }
+
+// Universal returns a one-state DFA accepting Σ*.
+func Universal(a *Alphabet) *DFA {
+	d := NewDFA(a, 1, 0)
+	d.SetAccepting(0, true)
+	return d
+}
+
+// EmptyLanguage returns a one-state DFA accepting nothing.
+func EmptyLanguage(a *Alphabet) *DFA { return NewDFA(a, 1, 0) }
+
+// EmptyStringOnly returns a DFA accepting only the empty string ε; the
+// fixed s-projector of Theorem 5.4 uses it as the pattern automaton.
+func EmptyStringOnly(a *Alphabet) *DFA {
+	d := NewDFA(a, 2, 0)
+	d.SetAccepting(0, true)
+	for _, s := range a.Symbols() {
+		d.SetTransition(0, s, 1)
+		d.SetTransition(1, s, 1)
+	}
+	return d
+}
+
+// Determinize converts the NFA to an equivalent DFA by the subset
+// construction, exploring only reachable subsets. The dead subset ∅ is
+// materialized as an explicit non-accepting sink so the result is total.
+func (m *NFA) Determinize() *DFA {
+	nfa := m
+	if m.HasEps() {
+		nfa = m.RemoveEpsilon()
+	}
+	type void struct{}
+	_ = void{}
+	startSet := nfa.closure([]int{nfa.Start})
+	index := map[string]int{}
+	var sets [][]int
+	key := func(set []int) string {
+		return StringKey(intsToSymbols(set))
+	}
+	intern := func(set []int) int {
+		k := key(set)
+		if id, ok := index[k]; ok {
+			return id
+		}
+		id := len(sets)
+		index[k] = id
+		sets = append(sets, set)
+		return id
+	}
+	startID := intern(startSet)
+	nsyms := nfa.Alphabet.Size()
+	var trans [][]int
+	for work := 0; work < len(sets); work++ {
+		set := sets[work]
+		row := make([]int, nsyms)
+		for s := 0; s < nsyms; s++ {
+			nextSet := map[int]bool{}
+			for _, q := range set {
+				for _, q2 := range nfa.Succ(q, Symbol(s)) {
+					nextSet[q2] = true
+				}
+			}
+			row[s] = intern(setToSlice(nextSet))
+		}
+		trans = append(trans, row)
+	}
+	d := NewDFA(nfa.Alphabet, len(sets), startID)
+	for id, row := range trans {
+		copy(d.Delta[id], row)
+		for _, q := range sets[id] {
+			if nfa.Accepting[q] {
+				d.Accepting[id] = true
+				break
+			}
+		}
+	}
+	return d
+}
+
+func intsToSymbols(s []int) []Symbol {
+	out := make([]Symbol, len(s))
+	for i, v := range s {
+		out[i] = Symbol(v)
+	}
+	return out
+}
+
+// Minimize returns the minimal DFA for L(d) (Moore's partition-refinement
+// algorithm over the reachable part of d).
+func (d *DFA) Minimize() *DFA {
+	// Restrict to reachable states first.
+	reach := make([]bool, d.NumStates)
+	order := []int{d.Start}
+	reach[d.Start] = true
+	for i := 0; i < len(order); i++ {
+		q := order[i]
+		for _, q2 := range d.Delta[q] {
+			if !reach[q2] {
+				reach[q2] = true
+				order = append(order, q2)
+			}
+		}
+	}
+	// Initial partition: accepting vs non-accepting.
+	class := make([]int, d.NumStates)
+	for _, q := range order {
+		if d.Accepting[q] {
+			class[q] = 1
+		}
+	}
+	numClasses := 2
+	nsyms := d.Alphabet.Size()
+	for {
+		// Signature of a state: its class plus the classes of its successors.
+		sig := make(map[string][]int)
+		var sigOrder []string
+		for _, q := range order {
+			var b []byte
+			b = appendInt(b, class[q])
+			for s := 0; s < nsyms; s++ {
+				b = appendInt(b, class[d.Delta[q][s]])
+			}
+			k := string(b)
+			if _, ok := sig[k]; !ok {
+				sigOrder = append(sigOrder, k)
+			}
+			sig[k] = append(sig[k], q)
+		}
+		if len(sig) == numClasses {
+			break
+		}
+		numClasses = len(sig)
+		sort.Strings(sigOrder)
+		for i, k := range sigOrder {
+			for _, q := range sig[k] {
+				class[q] = i
+			}
+		}
+	}
+	// Renumber classes in discovery order so the start class is stable.
+	remap := make(map[int]int)
+	var classes []int
+	for _, q := range order {
+		if _, ok := remap[class[q]]; !ok {
+			remap[class[q]] = len(classes)
+			classes = append(classes, q)
+		}
+	}
+	out := NewDFA(d.Alphabet, len(classes), remap[class[d.Start]])
+	for newID, rep := range classes {
+		out.Accepting[newID] = d.Accepting[rep]
+		for s := 0; s < nsyms; s++ {
+			out.Delta[newID][s] = remap[class[d.Delta[rep][s]]]
+		}
+	}
+	return out
+}
+
+func appendInt(b []byte, v int) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24), ';')
+}
+
+// BoolOp combines the acceptance of two DFAs in a product construction.
+type BoolOp func(a, b bool) bool
+
+// And is language intersection; Or is union; Diff is set difference.
+var (
+	And  BoolOp = func(a, b bool) bool { return a && b }
+	Or   BoolOp = func(a, b bool) bool { return a || b }
+	Diff BoolOp = func(a, b bool) bool { return a && !b }
+)
+
+// Product returns the product DFA of d1 and d2 (which must share an
+// alphabet) with acceptance combined by op, restricted to reachable pairs.
+func Product(d1, d2 *DFA, op BoolOp) *DFA {
+	if d1.Alphabet != d2.Alphabet {
+		panic("automata: product of DFAs over different alphabets")
+	}
+	nsyms := d1.Alphabet.Size()
+	type pair struct{ a, b int }
+	index := map[pair]int{}
+	var pairs []pair
+	intern := func(p pair) int {
+		if id, ok := index[p]; ok {
+			return id
+		}
+		id := len(pairs)
+		index[p] = id
+		pairs = append(pairs, p)
+		return id
+	}
+	start := intern(pair{d1.Start, d2.Start})
+	var trans [][]int
+	for work := 0; work < len(pairs); work++ {
+		p := pairs[work]
+		row := make([]int, nsyms)
+		for s := 0; s < nsyms; s++ {
+			row[s] = intern(pair{d1.Delta[p.a][s], d2.Delta[p.b][s]})
+		}
+		trans = append(trans, row)
+	}
+	out := NewDFA(d1.Alphabet, len(pairs), start)
+	for id, row := range trans {
+		copy(out.Delta[id], row)
+		out.Accepting[id] = op(d1.Accepting[pairs[id].a], d2.Accepting[pairs[id].b])
+	}
+	return out
+}
+
+// Concat returns an NFA accepting L(m1)·L(m2). The construction embeds both
+// automata and adds epsilon moves from m1's accepting states into m2's
+// start; the result is epsilon-free.
+func Concat(m1, m2 *NFA) *NFA {
+	if m1.Alphabet != m2.Alphabet {
+		panic("automata: concatenation of NFAs over different alphabets")
+	}
+	n1 := m1.NumStates
+	out := NewNFA(m1.Alphabet, n1+m2.NumStates, m1.Start)
+	copyInto(out, m1, 0)
+	copyInto(out, m2, n1)
+	for q := 0; q < n1; q++ {
+		out.Accepting[q] = false
+		if m1.Accepting[q] {
+			out.AddEps(q, n1+m2.Start)
+		}
+	}
+	return out.RemoveEpsilon()
+}
+
+// UnionNFA returns an NFA accepting L(m1) ∪ L(m2); the result is
+// epsilon-free.
+func UnionNFA(m1, m2 *NFA) *NFA {
+	if m1.Alphabet != m2.Alphabet {
+		panic("automata: union of NFAs over different alphabets")
+	}
+	n1 := m1.NumStates
+	out := NewNFA(m1.Alphabet, n1+m2.NumStates+1, n1+m2.NumStates)
+	copyInto(out, m1, 0)
+	copyInto(out, m2, n1)
+	out.AddEps(out.Start, m1.Start)
+	out.AddEps(out.Start, n1+m2.Start)
+	return out.RemoveEpsilon()
+}
+
+// copyInto copies m's states, transitions and acceptance into out with the
+// given state offset.
+func copyInto(out, m *NFA, offset int) {
+	for q := 0; q < m.NumStates; q++ {
+		if m.Accepting[q] {
+			out.Accepting[offset+q] = true
+		}
+		if m.Delta[q] != nil {
+			for s, succ := range m.Delta[q] {
+				for _, q2 := range succ {
+					out.AddTransition(offset+q, Symbol(s), offset+q2)
+				}
+			}
+		}
+		if m.Eps != nil {
+			for _, q2 := range m.Eps[q] {
+				out.AddEps(offset+q, offset+q2)
+			}
+		}
+	}
+}
+
+// Equivalent reports whether two DFAs over the same alphabet accept the
+// same language, by checking emptiness of the symmetric difference.
+func Equivalent(d1, d2 *DFA) bool {
+	return Product(d1, d2, Diff).IsEmpty() && Product(d2, d1, Diff).IsEmpty()
+}

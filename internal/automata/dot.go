@@ -1,0 +1,65 @@
+package automata
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteDot renders the NFA in Graphviz dot format: accepting states are
+// doubled circles, the start state has an incoming arrow from a point
+// node, and parallel transitions between the same pair of states are
+// merged into one comma-labelled edge — the conventions of the paper's
+// Figure 2.
+func (m *NFA) WriteDot(w io.Writer, name string) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n  _start [shape=point];\n", name)
+	for q := 0; q < m.NumStates; q++ {
+		shape := "circle"
+		if m.Accepting[q] {
+			shape = "doublecircle"
+		}
+		fmt.Fprintf(&b, "  q%d [shape=%s];\n", q, shape)
+	}
+	fmt.Fprintf(&b, "  _start -> q%d;\n", m.Start)
+	type pair struct{ from, to int }
+	labels := map[pair][]string{}
+	for q := 0; q < m.NumStates; q++ {
+		if m.Delta[q] != nil {
+			for s, succ := range m.Delta[q] {
+				for _, q2 := range succ {
+					p := pair{q, q2}
+					labels[p] = append(labels[p], m.Alphabet.Name(Symbol(s)))
+				}
+			}
+		}
+		if m.Eps != nil {
+			for _, q2 := range m.Eps[q] {
+				p := pair{q, q2}
+				labels[p] = append(labels[p], "ε")
+			}
+		}
+	}
+	var pairs []pair
+	for p := range labels {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].from != pairs[j].from {
+			return pairs[i].from < pairs[j].from
+		}
+		return pairs[i].to < pairs[j].to
+	})
+	for _, p := range pairs {
+		fmt.Fprintf(&b, "  q%d -> q%d [label=%q];\n", p.from, p.to, strings.Join(labels[p], ","))
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteDot renders the DFA in Graphviz dot format (see NFA.WriteDot).
+func (d *DFA) WriteDot(w io.Writer, name string) error {
+	return d.ToNFA().WriteDot(w, name)
+}

@@ -1,0 +1,44 @@
+package automata
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNFADot(t *testing.T) {
+	ab := Chars("ab")
+	m := NewNFA(ab, 2, 0)
+	m.AddTransition(0, ab.MustSymbol("a"), 1)
+	m.AddTransition(0, ab.MustSymbol("b"), 1)
+	m.AddEps(1, 0)
+	m.SetAccepting(1, true)
+	var b strings.Builder
+	if err := m.WriteDot(&b, "test"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"digraph \"test\"",
+		"q1 [shape=doublecircle]",
+		"q0 [shape=circle]",
+		"_start -> q0",
+		"q0 -> q1 [label=\"a,b\"]",
+		"q1 -> q0 [label=\"ε\"]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dot output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDFADot(t *testing.T) {
+	ab := Chars("a")
+	d := Universal(ab)
+	var b strings.Builder
+	if err := d.WriteDot(&b, "u"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "doublecircle") {
+		t.Fatal("universal DFA should have an accepting state")
+	}
+}

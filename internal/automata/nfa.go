@@ -1,0 +1,306 @@
+package automata
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NFA is a nondeterministic finite automaton over an Alphabet, following
+// the tuple ⟨Σ, Q, q0, F, δ⟩ of the paper's Section 2.1. States are the
+// integers 0..NumStates-1. Epsilon moves are supported (Eps) for the
+// benefit of the regex compiler and the closure constructions; all public
+// consumers of NFAs in this repository accept epsilon-free automata, and
+// RemoveEpsilon converts between the two forms.
+type NFA struct {
+	// Alphabet is the input alphabet Σ.
+	Alphabet *Alphabet
+	// NumStates is |Q|.
+	NumStates int
+	// Start is the initial state q0.
+	Start int
+	// Accepting marks the accepting states F.
+	Accepting []bool
+	// Delta[q][s] lists the states of δ(q, s), sorted ascending.
+	// Delta[q] may be nil (no outgoing labelled transitions) and
+	// Delta[q][s] may be nil (δ(q,s) = ∅).
+	Delta [][][]int
+	// Eps[q] lists the epsilon successors of q, sorted ascending; nil
+	// everywhere for an epsilon-free NFA.
+	Eps [][]int
+}
+
+// NewNFA returns an NFA with n states over alphabet a, with no transitions
+// and no accepting states, starting at state start.
+func NewNFA(a *Alphabet, n, start int) *NFA {
+	if start < 0 || start >= n {
+		panic(fmt.Sprintf("automata: start state %d out of range [0,%d)", start, n))
+	}
+	return &NFA{
+		Alphabet:  a,
+		NumStates: n,
+		Start:     start,
+		Accepting: make([]bool, n),
+		Delta:     make([][][]int, n),
+	}
+}
+
+// AddTransition inserts q' into δ(q, s), keeping the successor list sorted
+// and duplicate-free.
+func (m *NFA) AddTransition(q int, s Symbol, q2 int) {
+	m.checkState(q)
+	m.checkState(q2)
+	if !m.Alphabet.Contains(s) {
+		panic(fmt.Sprintf("automata: symbol %d not in alphabet", s))
+	}
+	if m.Delta[q] == nil {
+		m.Delta[q] = make([][]int, m.Alphabet.Size())
+	}
+	m.Delta[q][s] = insertSorted(m.Delta[q][s], q2)
+}
+
+// AddEps inserts an epsilon move q → q'.
+func (m *NFA) AddEps(q, q2 int) {
+	m.checkState(q)
+	m.checkState(q2)
+	if m.Eps == nil {
+		m.Eps = make([][]int, m.NumStates)
+	}
+	m.Eps[q] = insertSorted(m.Eps[q], q2)
+}
+
+// SetAccepting marks q as accepting (or not).
+func (m *NFA) SetAccepting(q int, accepting bool) {
+	m.checkState(q)
+	m.Accepting[q] = accepting
+}
+
+func (m *NFA) checkState(q int) {
+	if q < 0 || q >= m.NumStates {
+		panic(fmt.Sprintf("automata: state %d out of range [0,%d)", q, m.NumStates))
+	}
+}
+
+// Succ returns δ(q, s). The returned slice must not be modified.
+func (m *NFA) Succ(q int, s Symbol) []int {
+	if m.Delta[q] == nil || int(s) >= len(m.Delta[q]) {
+		return nil
+	}
+	return m.Delta[q][s]
+}
+
+// HasEps reports whether the NFA has any epsilon move.
+func (m *NFA) HasEps() bool {
+	for _, e := range m.Eps {
+		if len(e) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// closure expands set (sorted) with everything reachable via epsilon moves,
+// returning a sorted set. If the NFA has no epsilon moves the input is
+// returned unchanged.
+func (m *NFA) closure(set []int) []int {
+	if m.Eps == nil {
+		return set
+	}
+	seen := make(map[int]bool, len(set))
+	stack := make([]int, 0, len(set))
+	for _, q := range set {
+		if !seen[q] {
+			seen[q] = true
+			stack = append(stack, q)
+		}
+	}
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, q2 := range m.Eps[q] {
+			if !seen[q2] {
+				seen[q2] = true
+				stack = append(stack, q2)
+			}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for q := range seen {
+		out = append(out, q)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Accepts reports whether the NFA accepts the string, per the run
+// semantics of Section 2.1 (the empty string is accepted iff the start
+// state, or an epsilon-reachable state, is accepting).
+func (m *NFA) Accepts(s []Symbol) bool {
+	cur := m.closure([]int{m.Start})
+	for _, sym := range s {
+		next := make(map[int]bool)
+		for _, q := range cur {
+			for _, q2 := range m.Succ(q, sym) {
+				next[q2] = true
+			}
+		}
+		cur = m.closure(setToSlice(next))
+		if len(cur) == 0 {
+			return false
+		}
+	}
+	for _, q := range cur {
+		if m.Accepting[q] {
+			return true
+		}
+	}
+	return false
+}
+
+// RemoveEpsilon returns an equivalent epsilon-free NFA with the same state
+// set: each state's labelled transitions and acceptance are replaced by
+// those of its epsilon closure.
+func (m *NFA) RemoveEpsilon() *NFA {
+	if !m.HasEps() {
+		out := *m
+		out.Eps = nil
+		return &out
+	}
+	out := NewNFA(m.Alphabet, m.NumStates, m.Start)
+	for q := 0; q < m.NumStates; q++ {
+		cl := m.closure([]int{q})
+		for _, c := range cl {
+			if m.Accepting[c] {
+				out.Accepting[q] = true
+			}
+			if m.Delta[c] == nil {
+				continue
+			}
+			for s, succ := range m.Delta[c] {
+				for _, q2 := range succ {
+					for _, q3 := range m.closure([]int{q2}) {
+						out.AddTransition(q, Symbol(s), q3)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// IsEmpty reports whether L(m) = ∅, by reachability from the start state.
+func (m *NFA) IsEmpty() bool {
+	seen := make([]bool, m.NumStates)
+	stack := []int{m.Start}
+	seen[m.Start] = true
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if m.Accepting[q] {
+			return false
+		}
+		if m.Eps != nil {
+			for _, q2 := range m.Eps[q] {
+				if !seen[q2] {
+					seen[q2] = true
+					stack = append(stack, q2)
+				}
+			}
+		}
+		if m.Delta[q] == nil {
+			continue
+		}
+		for _, succ := range m.Delta[q] {
+			for _, q2 := range succ {
+				if !seen[q2] {
+					seen[q2] = true
+					stack = append(stack, q2)
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Reverse returns an NFA accepting the reversal of L(m). The construction
+// adds one fresh start state with epsilon moves into the old accepting
+// states; call RemoveEpsilon if an epsilon-free result is needed.
+func (m *NFA) Reverse() *NFA {
+	out := NewNFA(m.Alphabet, m.NumStates+1, m.NumStates)
+	for q := 0; q < m.NumStates; q++ {
+		if m.Accepting[q] {
+			out.AddEps(m.NumStates, q)
+		}
+		if m.Eps != nil {
+			for _, q2 := range m.Eps[q] {
+				out.AddEps(q2, q)
+			}
+		}
+		if m.Delta[q] == nil {
+			continue
+		}
+		for s, succ := range m.Delta[q] {
+			for _, q2 := range succ {
+				out.AddTransition(q2, Symbol(s), q)
+			}
+		}
+	}
+	out.SetAccepting(m.Start, true)
+	return out
+}
+
+// Clone returns a deep copy of the NFA.
+func (m *NFA) Clone() *NFA {
+	out := NewNFA(m.Alphabet, m.NumStates, m.Start)
+	copy(out.Accepting, m.Accepting)
+	for q := 0; q < m.NumStates; q++ {
+		if m.Delta[q] != nil {
+			out.Delta[q] = make([][]int, len(m.Delta[q]))
+			for s, succ := range m.Delta[q] {
+				out.Delta[q][s] = append([]int(nil), succ...)
+			}
+		}
+	}
+	if m.Eps != nil {
+		out.Eps = make([][]int, m.NumStates)
+		for q, e := range m.Eps {
+			out.Eps[q] = append([]int(nil), e...)
+		}
+	}
+	return out
+}
+
+func insertSorted(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	if i < len(s) && s[i] == v {
+		return s
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func setToSlice(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for q := range set {
+		out = append(out, q)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Star returns an NFA accepting L(m)* (Kleene closure). The construction
+// adds one fresh accepting start state with epsilon moves into m and back
+// from m's accepting states; the result is epsilon-free.
+func (m *NFA) Star() *NFA {
+	out := NewNFA(m.Alphabet, m.NumStates+1, m.NumStates)
+	copyInto(out, m, 0)
+	out.SetAccepting(m.NumStates, true)
+	out.AddEps(m.NumStates, m.Start)
+	for q := 0; q < m.NumStates; q++ {
+		if m.Accepting[q] {
+			out.AddEps(q, m.NumStates)
+		}
+	}
+	return out.RemoveEpsilon()
+}

@@ -1,0 +1,125 @@
+package codec
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"markovseq/internal/automata"
+	"markovseq/internal/hmm"
+)
+
+// HMMJSON is the wire format of a hidden Markov model.
+type HMMJSON struct {
+	States  []string                      `json:"states"`
+	Obs     []string                      `json:"observations"`
+	Initial map[string]float64            `json:"initial"`
+	Trans   map[string]map[string]float64 `json:"transitions"`
+	Emit    map[string]map[string]float64 `json:"emissions"`
+}
+
+// EncodeHMM writes h as JSON.
+func EncodeHMM(w io.Writer, h *hmm.Model) error {
+	out := HMMJSON{
+		Initial: map[string]float64{},
+		Trans:   map[string]map[string]float64{},
+		Emit:    map[string]map[string]float64{},
+	}
+	for _, s := range h.States.Symbols() {
+		out.States = append(out.States, h.States.Name(s))
+	}
+	for _, o := range h.Obs.Symbols() {
+		out.Obs = append(out.Obs, h.Obs.Name(o))
+	}
+	for s, p := range h.Initial {
+		if p > 0 {
+			out.Initial[h.States.Name(automata.Symbol(s))] = p
+		}
+	}
+	for s, row := range h.Trans {
+		cells := map[string]float64{}
+		for t, p := range row {
+			if p > 0 {
+				cells[h.States.Name(automata.Symbol(t))] = p
+			}
+		}
+		if len(cells) > 0 {
+			out.Trans[h.States.Name(automata.Symbol(s))] = cells
+		}
+	}
+	for s, row := range h.Emit {
+		cells := map[string]float64{}
+		for o, p := range row {
+			if p > 0 {
+				cells[h.Obs.Name(automata.Symbol(o))] = p
+			}
+		}
+		if len(cells) > 0 {
+			out.Emit[h.States.Name(automata.Symbol(s))] = cells
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// DecodeHMM reads a JSON hidden Markov model and validates it.
+func DecodeHMM(r io.Reader) (*hmm.Model, error) {
+	var in HMMJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("codec: %w", err)
+	}
+	states, err := automata.NewAlphabet(in.States...)
+	if err != nil {
+		return nil, err
+	}
+	obs, err := automata.NewAlphabet(in.Obs...)
+	if err != nil {
+		return nil, err
+	}
+	h := hmm.New(states, obs)
+	lookup := func(ab *automata.Alphabet, name, what string) (automata.Symbol, error) {
+		s, ok := ab.Symbol(name)
+		if !ok {
+			return 0, fmt.Errorf("codec: %s mentions unknown symbol %q", what, name)
+		}
+		return s, nil
+	}
+	for name, p := range in.Initial {
+		s, err := lookup(states, name, "initial")
+		if err != nil {
+			return nil, err
+		}
+		h.Initial[s] = p
+	}
+	for from, cells := range in.Trans {
+		s, err := lookup(states, from, "transitions")
+		if err != nil {
+			return nil, err
+		}
+		for to, p := range cells {
+			t, err := lookup(states, to, "transitions")
+			if err != nil {
+				return nil, err
+			}
+			h.Trans[s][t] = p
+		}
+	}
+	for from, cells := range in.Emit {
+		s, err := lookup(states, from, "emissions")
+		if err != nil {
+			return nil, err
+		}
+		for oname, p := range cells {
+			o, err := lookup(obs, oname, "emissions")
+			if err != nil {
+				return nil, err
+			}
+			h.Emit[s][o] = p
+		}
+	}
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}

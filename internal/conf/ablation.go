@@ -1,0 +1,116 @@
+package conf
+
+import (
+	"markovseq/internal/automata"
+	"markovseq/internal/markov"
+	"markovseq/internal/transducer"
+)
+
+// UniformDense is the ablation counterpart of Uniform (DESIGN.md A2): it
+// materializes the full powerset of states up front instead of interning
+// subsets lazily. Same answers, Θ(n·|Σ|²·2^|Q|) time and Θ(|Σ|·2^|Q|)
+// space unconditionally — the cost the lazy version pays only when the
+// reachable subsets actually blow up. Exposed for the ablation benchmark;
+// library code should use Uniform.
+func UniformDense(t *transducer.Transducer, m *markov.Sequence, o []automata.Symbol) float64 {
+	k, ok := t.UniformK()
+	if !ok {
+		panic("conf: UniformDense requires uniform emission")
+	}
+	n := m.Len()
+	if len(o) != k*n {
+		return 0
+	}
+	nNodes := m.Nodes.Size()
+	nStates := t.NumStates()
+	if nStates > 20 {
+		panic("conf: UniformDense limited to 20 states (dense powerset)")
+	}
+	numSets := 1 << nStates
+
+	// succBit[i mod?]: the filtered successor of subset b reading y at
+	// position i depends on the emission filter o[k(i-1):ki], so it is
+	// position-dependent; compute rows on the fly from singleton masks.
+	singleton := func(i int, y automata.Symbol) []int {
+		want := o[k*(i-1) : k*i]
+		masks := make([]int, nStates)
+		for q := 0; q < nStates; q++ {
+			for _, q2 := range t.Succ(q, y) {
+				if automata.EqualStrings(t.Emit(q, y, q2), want) {
+					masks[q] |= 1 << q2
+				}
+			}
+		}
+		return masks
+	}
+	succOf := func(masks []int, set int) int {
+		out := 0
+		for q := 0; q < nStates && set != 0; q++ {
+			if set&(1<<q) != 0 {
+				out |= masks[q]
+			}
+		}
+		return out
+	}
+
+	cur := make([][]float64, nNodes)
+	for x := range cur {
+		cur[x] = make([]float64, numSets)
+	}
+	for x := 0; x < nNodes; x++ {
+		p := m.Initial[x]
+		if p == 0 {
+			continue
+		}
+		masks := singleton(1, automata.Symbol(x))
+		set := masks[t.Start()]
+		if set != 0 {
+			cur[x][set] += p
+		}
+	}
+	for i := 2; i <= n; i++ {
+		next := make([][]float64, nNodes)
+		for x := range next {
+			next[x] = make([]float64, numSets)
+		}
+		tr := m.Trans[i-2]
+		masksFor := make([][]int, nNodes)
+		for y := 0; y < nNodes; y++ {
+			masksFor[y] = singleton(i, automata.Symbol(y))
+		}
+		for x := 0; x < nNodes; x++ {
+			for set := 1; set < numSets; set++ {
+				mass := cur[x][set]
+				if mass == 0 {
+					continue
+				}
+				for y := 0; y < nNodes; y++ {
+					p := tr[x][y]
+					if p == 0 {
+						continue
+					}
+					set2 := succOf(masksFor[y], set)
+					if set2 != 0 {
+						next[y][set2] += mass * p
+					}
+				}
+			}
+		}
+		cur = next
+	}
+	acceptMask := 0
+	for q := 0; q < nStates; q++ {
+		if t.Accepting(q) {
+			acceptMask |= 1 << q
+		}
+	}
+	total := 0.0
+	for x := 0; x < nNodes; x++ {
+		for set := 1; set < numSets; set++ {
+			if set&acceptMask != 0 {
+				total += cur[x][set]
+			}
+		}
+	}
+	return total
+}

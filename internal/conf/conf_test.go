@@ -1,0 +1,382 @@
+package conf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"markovseq/internal/automata"
+	"markovseq/internal/markov"
+	"markovseq/internal/paperex"
+	"markovseq/internal/transducer"
+)
+
+func fixtures(t *testing.T) (*automata.Alphabet, *automata.Alphabet, *markov.Sequence, *transducer.Transducer) {
+	t.Helper()
+	nodes := paperex.Nodes()
+	outs := paperex.Outputs()
+	return nodes, outs, paperex.Figure1(nodes), paperex.Figure2(nodes, outs)
+}
+
+// TestTable1 verifies every row of Table 1 against the Figure 1/Figure 2
+// fixtures: world probabilities and transducer outputs.
+func TestTable1(t *testing.T) {
+	nodes, outs, m, tr := fixtures(t)
+	for _, row := range paperex.Table1() {
+		world := nodes.MustParseString(row.World)
+		if got := m.Prob(world); math.Abs(got-row.Prob) > 1e-12 {
+			t.Errorf("row %s: probability %v, want %v", row.Name, got, row.Prob)
+		}
+		out, ok := tr.TransduceDet(world)
+		if row.Output == "N/A" {
+			if ok {
+				t.Errorf("row %s: expected rejection, got output %v", row.Name, out)
+			}
+			continue
+		}
+		if !ok {
+			t.Errorf("row %s: world unexpectedly rejected", row.Name)
+			continue
+		}
+		if want := outs.MustParseString(row.Output); !automata.EqualStrings(out, want) {
+			t.Errorf("row %s: output %v, want %v", row.Name, outs.FormatString(out), row.Output)
+		}
+	}
+}
+
+// TestExample34Confidence checks conf(12) = 0.4038 (Example 3.4) with all
+// three applicable algorithms.
+func TestExample34Confidence(t *testing.T) {
+	_, outs, m, tr := fixtures(t)
+	o := outs.MustParseString("1 2")
+	for name, fn := range map[string]func() float64{
+		"Det":        func() float64 { return Det(tr, m, o) },
+		"BruteForce": func() float64 { return BruteForce(tr, m, o) },
+	} {
+		if got := fn(); math.Abs(got-paperex.Conf12) > 1e-9 {
+			t.Errorf("%s conf(12) = %v, want %v", name, got, paperex.Conf12)
+		}
+	}
+}
+
+// TestFigure1TotalsOne is the sanity check that the reconstructed figure is
+// a valid probability space.
+func TestFigure1TotalsOne(t *testing.T) {
+	_, _, m, _ := fixtures(t)
+	total := 0.0
+	m.Enumerate(func(s []automata.Symbol, p float64) bool {
+		total += p
+		return true
+	})
+	if math.Abs(total-1) > 1e-12 {
+		t.Fatalf("Figure 1 worlds sum to %v", total)
+	}
+}
+
+// TestAnswerSetOfRunningExample cross-checks the full answer set and each
+// confidence against brute force.
+func TestAnswerSetOfRunningExample(t *testing.T) {
+	_, outs, m, tr := fixtures(t)
+	// Collect answers by brute force.
+	answers := map[string]float64{}
+	m.Enumerate(func(s []automata.Symbol, p float64) bool {
+		if out, ok := tr.TransduceDet(s); ok {
+			answers[automata.StringKey(out)] += p
+		}
+		return true
+	})
+	if len(answers) < 4 {
+		t.Fatalf("expected a rich answer set, got %v", answers)
+	}
+	for key, want := range answers {
+		o := parseKey(key)
+		if got := Det(tr, m, o); math.Abs(got-want) > 1e-12 {
+			t.Errorf("conf(%s) = %v, want %v", outs.FormatString(o), got, want)
+		}
+	}
+	// A non-answer has confidence zero.
+	if got := Det(tr, m, outs.MustParseString("λ λ λ λ λ")); got != 0 {
+		t.Errorf("conf of impossible output = %v, want 0", got)
+	}
+}
+
+// randomDetTransducer builds a random deterministic (possibly partial,
+// possibly selective) transducer with emissions of length 0..2.
+func randomDetTransducer(in, out *automata.Alphabet, nStates int, rng *rand.Rand) *transducer.Transducer {
+	tr := transducer.New(in, out, nStates, 0)
+	for q := 0; q < nStates; q++ {
+		tr.SetAccepting(q, rng.Intn(2) == 0)
+		for _, s := range in.Symbols() {
+			if rng.Intn(5) == 0 {
+				continue // partial: reject on this symbol
+			}
+			q2 := rng.Intn(nStates)
+			var e []automata.Symbol
+			for l := rng.Intn(3); l > 0; l-- {
+				e = append(e, automata.Symbol(rng.Intn(out.Size())))
+			}
+			tr.AddTransition(q, s, q2, e)
+		}
+	}
+	return tr
+}
+
+// randomNFATransducer builds a random k-uniform nondeterministic transducer.
+func randomNFATransducer(in, out *automata.Alphabet, nStates, k int, rng *rand.Rand) *transducer.Transducer {
+	tr := transducer.New(in, out, nStates, 0)
+	for q := 0; q < nStates; q++ {
+		tr.SetAccepting(q, rng.Intn(2) == 0)
+		for _, s := range in.Symbols() {
+			for q2 := 0; q2 < nStates; q2++ {
+				if rng.Intn(3) != 0 {
+					continue
+				}
+				e := make([]automata.Symbol, k)
+				for i := range e {
+					e[i] = automata.Symbol(rng.Intn(out.Size()))
+				}
+				tr.AddTransition(q, s, q2, e)
+			}
+		}
+	}
+	return tr
+}
+
+// collectAnswers returns the brute-force answer→confidence map.
+func collectAnswers(tr *transducer.Transducer, m *markov.Sequence) map[string]float64 {
+	answers := map[string]float64{}
+	m.Enumerate(func(s []automata.Symbol, p float64) bool {
+		for _, out := range tr.Transduce(s, 0) {
+			answers[automata.StringKey(out)] += p
+		}
+		return true
+	})
+	return answers
+}
+
+func parseKey(key string) []automata.Symbol {
+	var out []automata.Symbol
+	cur := 0
+	has := false
+	for i := 0; i < len(key); i++ {
+		if key[i] == ',' {
+			out = append(out, automata.Symbol(cur))
+			cur = 0
+			has = false
+			continue
+		}
+		cur = cur*10 + int(key[i]-'0')
+		has = true
+	}
+	_ = has
+	return out
+}
+
+// TestDetAgainstBruteForce is the main property test for Theorem 4.6's
+// algorithm: on random deterministic transducers and random Markov
+// sequences, Det agrees with possible-worlds enumeration on every answer.
+func TestDetAgainstBruteForce(t *testing.T) {
+	in := automata.MustAlphabet("a", "b", "c")
+	out := automata.MustAlphabet("x", "y")
+	for trial := 0; trial < 40; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		m := markov.Random(in, 2+rng.Intn(4), 0.6, rng)
+		tr := randomDetTransducer(in, out, 1+rng.Intn(3), rng)
+		answers := collectAnswers(tr, m)
+		for key, want := range answers {
+			o := parseKey(key)
+			if got := Det(tr, m, o); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("trial %d: Det(%v) = %v, want %v", trial, o, got, want)
+			}
+		}
+		// Also check a handful of non-answers.
+		if got := Det(tr, m, []automata.Symbol{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}); got != 0 {
+			t.Fatalf("trial %d: non-answer got confidence %v", trial, got)
+		}
+	}
+}
+
+// TestDetUniformAgainstDet checks the k-uniform fast path on random
+// deterministic uniform transducers.
+func TestDetUniformAgainstDet(t *testing.T) {
+	in := automata.MustAlphabet("a", "b")
+	out := automata.MustAlphabet("x", "y")
+	for trial := 0; trial < 40; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		k := rng.Intn(3)
+		m := markov.Random(in, 2+rng.Intn(4), 0.7, rng)
+		tr := transducer.New(in, out, 2, 0)
+		for q := 0; q < 2; q++ {
+			tr.SetAccepting(q, rng.Intn(2) == 0)
+			for _, s := range in.Symbols() {
+				if rng.Intn(5) == 0 {
+					continue
+				}
+				e := make([]automata.Symbol, k)
+				for i := range e {
+					e[i] = automata.Symbol(rng.Intn(out.Size()))
+				}
+				tr.AddTransition(q, s, rng.Intn(2), e)
+			}
+		}
+		answers := collectAnswers(tr, m)
+		for key, want := range answers {
+			o := parseKey(key)
+			got1 := Det(tr, m, o)
+			got2 := DetUniform(tr, m, o)
+			if math.Abs(got1-want) > 1e-9 || math.Abs(got2-want) > 1e-9 {
+				t.Fatalf("trial %d: Det=%v DetUniform=%v want %v", trial, got1, got2, want)
+			}
+		}
+	}
+}
+
+// TestUniformNFAAgainstBruteForce validates Theorem 4.8's subset-DP on
+// random nondeterministic uniform transducers.
+func TestUniformNFAAgainstBruteForce(t *testing.T) {
+	in := automata.MustAlphabet("a", "b")
+	out := automata.MustAlphabet("x", "y")
+	for trial := 0; trial < 40; trial++ {
+		rng := rand.New(rand.NewSource(int64(2000 + trial)))
+		k := 1 + rng.Intn(2)
+		m := markov.Random(in, 2+rng.Intn(3), 0.7, rng)
+		tr := randomNFATransducer(in, out, 1+rng.Intn(3), k, rng)
+		answers := collectAnswers(tr, m)
+		for key, want := range answers {
+			o := parseKey(key)
+			if got := Uniform(tr, m, o); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("trial %d: Uniform(%v) = %v, want %v", trial, o, got, want)
+			}
+			if got := BruteForce(tr, m, o); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("trial %d: BruteForce self-check failed", trial)
+			}
+		}
+		// Wrong-length outputs are impossible for k-uniform machines.
+		if got := Uniform(tr, m, make([]automata.Symbol, k*m.Len()+1)); got != 0 {
+			t.Fatalf("trial %d: wrong-length output got %v", trial, got)
+		}
+	}
+}
+
+// TestAcceptanceProb checks Pr(S ∈ L(A)) against enumeration.
+func TestAcceptanceProb(t *testing.T) {
+	in := automata.MustAlphabet("a", "b")
+	for trial := 0; trial < 30; trial++ {
+		rng := rand.New(rand.NewSource(int64(3000 + trial)))
+		m := markov.Random(in, 2+rng.Intn(4), 0.7, rng)
+		// random NFA
+		n := 1 + rng.Intn(4)
+		a := automata.NewNFA(in, n, 0)
+		for q := 0; q < n; q++ {
+			a.SetAccepting(q, rng.Intn(3) == 0)
+			for _, s := range in.Symbols() {
+				for q2 := 0; q2 < n; q2++ {
+					if rng.Intn(3) == 0 {
+						a.AddTransition(q, s, q2)
+					}
+				}
+			}
+		}
+		want := 0.0
+		m.Enumerate(func(s []automata.Symbol, p float64) bool {
+			if a.Accepts(s) {
+				want += p
+			}
+			return true
+		})
+		if got := AcceptanceProb(a, m); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: AcceptanceProb = %v, want %v", trial, got, want)
+		}
+	}
+}
+
+// TestZeroUniform checks the degenerate 0-uniform case: the answer ε has
+// confidence Pr(S ∈ L(A)).
+func TestZeroUniform(t *testing.T) {
+	in := automata.MustAlphabet("a", "b")
+	out := automata.MustAlphabet("x")
+	rng := rand.New(rand.NewSource(99))
+	m := markov.Random(in, 4, 0.8, rng)
+	tr := randomNFATransducer(in, out, 3, 0, rng)
+	want := BruteForce(tr, m, nil)
+	if got := Uniform(tr, m, nil); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Uniform(ε) = %v, want %v", got, want)
+	}
+	if got := Uniform(tr, m, []automata.Symbol{0}); got != 0 {
+		t.Fatalf("0-uniform machine cannot emit nonempty output, got %v", got)
+	}
+}
+
+// TestUniformDenseAgreesWithLazy cross-validates the A2 ablation pair.
+func TestUniformDenseAgreesWithLazy(t *testing.T) {
+	in := automata.MustAlphabet("a", "b")
+	out := automata.MustAlphabet("x", "y")
+	for trial := 0; trial < 30; trial++ {
+		rng := rand.New(rand.NewSource(int64(7000 + trial)))
+		k := 1 + rng.Intn(2)
+		m := markov.Random(in, 2+rng.Intn(3), 0.7, rng)
+		tr := randomNFATransducer(in, out, 1+rng.Intn(4), k, rng)
+		answers := collectAnswers(tr, m)
+		for key, want := range answers {
+			o := parseKey(key)
+			lazy := Uniform(tr, m, o)
+			dense := UniformDense(tr, m, o)
+			if math.Abs(lazy-want) > 1e-9 || math.Abs(dense-want) > 1e-9 {
+				t.Fatalf("trial %d: lazy=%v dense=%v want=%v", trial, lazy, dense, want)
+			}
+		}
+	}
+}
+
+// TestUniformLazyAgainstBruteForce covers the lazy implementation directly
+// (Uniform dispatches to the dense variant for small machines).
+func TestUniformLazyAgainstBruteForce(t *testing.T) {
+	in := automata.MustAlphabet("a", "b")
+	out := automata.MustAlphabet("x", "y")
+	for trial := 0; trial < 30; trial++ {
+		rng := rand.New(rand.NewSource(int64(8000 + trial)))
+		k := 1 + rng.Intn(2)
+		m := markov.Random(in, 2+rng.Intn(3), 0.7, rng)
+		tr := randomNFATransducer(in, out, 1+rng.Intn(3), k, rng)
+		answers := collectAnswers(tr, m)
+		for key, want := range answers {
+			o := parseKey(key)
+			if got := UniformLazy(tr, m, o); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("trial %d: UniformLazy(%v) = %v, want %v", trial, o, got, want)
+			}
+		}
+	}
+	// Wrong-length output.
+	rng := rand.New(rand.NewSource(1))
+	m := markov.Random(in, 3, 0.8, rng)
+	tr := randomNFATransducer(in, out, 2, 1, rng)
+	if got := UniformLazy(tr, m, make([]automata.Symbol, 99)); got != 0 {
+		t.Fatalf("wrong-length output got %v", got)
+	}
+}
+
+// TestConfidenceMatchesSampling is an end-to-end statistical validation:
+// empirical answer frequencies from sampled worlds converge to the
+// computed confidences.
+func TestConfidenceMatchesSampling(t *testing.T) {
+	nodes := paperex.Nodes()
+	outs := paperex.Outputs()
+	m := paperex.Figure1(nodes)
+	tr := paperex.Figure2(nodes, outs)
+	rng := rand.New(rand.NewSource(12345))
+	const trials = 100000
+	counts := map[string]int{}
+	for i := 0; i < trials; i++ {
+		if o, ok := tr.TransduceDet(m.Sample(rng)); ok {
+			counts[automata.StringKey(o)]++
+		}
+	}
+	for key, c := range counts {
+		o := parseKey(key)
+		want := Det(tr, m, o)
+		got := float64(c) / trials
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("answer %s: empirical %v vs computed %v", outs.FormatString(o), got, want)
+		}
+	}
+}

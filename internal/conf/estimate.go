@@ -1,0 +1,73 @@
+package conf
+
+import (
+	"math"
+	"math/rand"
+
+	"markovseq/internal/automata"
+	"markovseq/internal/markov"
+	"markovseq/internal/transducer"
+)
+
+// TransducesInto reports whether s →[A^ω]→ o, for an arbitrary transducer
+// (nondeterministic, non-uniform). It runs a boolean dynamic program over
+// (automaton state, output position) configurations, so membership is
+// polynomial even though confidence is FP^#P-hard — this is the paper's
+// observation that whether a string is an answer is decidable efficiently.
+func TransducesInto(t *transducer.Transducer, s, o []automata.Symbol) bool {
+	type cfg struct{ q, j int }
+	cur := map[cfg]bool{{t.Start(), 0}: true}
+	for _, sym := range s {
+		next := map[cfg]bool{}
+		for c := range cur {
+			for _, q2 := range t.Succ(c.q, sym) {
+				e := t.Emit(c.q, sym, q2)
+				if c.j+len(e) > len(o) {
+					continue
+				}
+				if !automata.EqualStrings(o[c.j:c.j+len(e)], e) {
+					continue
+				}
+				next[cfg{q2, c.j + len(e)}] = true
+			}
+		}
+		if len(next) == 0 {
+			return false
+		}
+		cur = next
+	}
+	for c := range cur {
+		if c.j == len(o) && t.Accepting(c.q) {
+			return true
+		}
+	}
+	return false
+}
+
+// Estimate is a Monte Carlo estimator of Pr(S →[A^ω]→ o): it samples
+// possible worlds and tests membership with TransducesInto. It applies to
+// the FP^#P-hard class (nondeterministic, non-uniform transducers) where
+// no exact polynomial algorithm can exist unless P = NP.
+//
+// The guarantee is additive: by Hoeffding's inequality, the estimate is
+// within ε of the true confidence with probability ≥ 1−δ when
+// samples ≥ ln(2/δ)/(2ε²). (The paper leaves the existence of a
+// *relative*-error FPRAS open — it would imply an FPRAS for counting
+// |L(A) ∩ Σⁿ|, a long-standing open problem — and additive error is the
+// honest substitute: it is useless for exponentially small confidences,
+// exactly the regime the hardness results live in.)
+func Estimate(t *transducer.Transducer, m *markov.Sequence, o []automata.Symbol, samples int, rng *rand.Rand) float64 {
+	hit := 0
+	for i := 0; i < samples; i++ {
+		if TransducesInto(t, m.Sample(rng), o) {
+			hit++
+		}
+	}
+	return float64(hit) / float64(samples)
+}
+
+// SamplesFor returns the number of samples sufficient for additive error
+// ε with confidence 1−δ, per Hoeffding.
+func SamplesFor(eps, delta float64) int {
+	return int(math.Ceil(math.Log(2/delta) / (2 * eps * eps)))
+}

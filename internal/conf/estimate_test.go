@@ -1,0 +1,129 @@
+package conf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"markovseq/internal/automata"
+	"markovseq/internal/markov"
+	"markovseq/internal/paperex"
+	"markovseq/internal/transducer"
+)
+
+// TestTransducesIntoAgainstTransduce: membership agrees with full output
+// enumeration on random nondeterministic transducers.
+func TestTransducesIntoAgainstTransduce(t *testing.T) {
+	in := automata.MustAlphabet("a", "b")
+	out := automata.MustAlphabet("x", "y")
+	for trial := 0; trial < 40; trial++ {
+		rng := rand.New(rand.NewSource(int64(5000 + trial)))
+		tr := randomNFATransducer(in, out, 1+rng.Intn(3), 1+rng.Intn(2), rng)
+		// Random non-uniform mutation: clear one transition's emission by
+		// re-adding with empty output.
+		var inputs [][]automata.Symbol
+		var rec func(s []automata.Symbol, d int)
+		rec = func(s []automata.Symbol, d int) {
+			if len(s) > 0 {
+				inputs = append(inputs, automata.CloneString(s))
+			}
+			if d == 0 {
+				return
+			}
+			for _, sym := range in.Symbols() {
+				rec(append(s, sym), d-1)
+			}
+		}
+		rec(nil, 3)
+		for _, s := range inputs {
+			outs := tr.Transduce(s, 0)
+			set := map[string]bool{}
+			for _, o := range outs {
+				set[automata.StringKey(o)] = true
+			}
+			// Every enumerated output is a member; a few others are not.
+			for _, o := range outs {
+				if !TransducesInto(tr, s, o) {
+					t.Fatalf("trial %d: TransducesInto misses %v on %v", trial, o, s)
+				}
+			}
+			probe := []automata.Symbol{0, 0, 0, 0, 0, 0, 0}
+			if !set[automata.StringKey(probe)] && TransducesInto(tr, s, probe) {
+				t.Fatalf("trial %d: TransducesInto false positive", trial)
+			}
+		}
+	}
+}
+
+// TestEstimateConvergesOnRunningExample: the Monte Carlo estimate is
+// within the Hoeffding band of the exact confidence.
+func TestEstimateConvergesOnRunningExample(t *testing.T) {
+	nodes := paperex.Nodes()
+	outs := paperex.Outputs()
+	m := paperex.Figure1(nodes)
+	tr := paperex.Figure2(nodes, outs)
+	o := outs.MustParseString("1 2")
+	rng := rand.New(rand.NewSource(42))
+	eps := 0.02
+	n := SamplesFor(eps, 0.001)
+	got := Estimate(tr, m, o, n, rng)
+	if math.Abs(got-paperex.Conf12) > eps {
+		t.Fatalf("estimate %v outside ±%v of %v (n=%d)", got, eps, paperex.Conf12, n)
+	}
+}
+
+// TestEstimateOnHardClass: on a nondeterministic non-uniform transducer
+// (where exact computation is FP^#P-hard), the estimator matches brute
+// force within the additive band.
+func TestEstimateOnHardClass(t *testing.T) {
+	in := automata.MustAlphabet("a", "b")
+	out := automata.MustAlphabet("x")
+	rng := rand.New(rand.NewSource(7))
+	m := markov.Random(in, 5, 0.8, rng)
+	tr := transducerNonUniform(in, out)
+	// Pick an answer by brute force.
+	var o []automata.Symbol
+	best := 0.0
+	answers := map[string]float64{}
+	m.Enumerate(func(s []automata.Symbol, p float64) bool {
+		for _, cand := range tr.Transduce(s, 0) {
+			answers[automata.StringKey(cand)] += p
+		}
+		return true
+	})
+	for key, c := range answers {
+		if c > best {
+			best = c
+			o = parseKey(key)
+		}
+	}
+	want := BruteForce(tr, m, o)
+	eps := 0.02
+	got := Estimate(tr, m, o, SamplesFor(eps, 0.001), rng)
+	if math.Abs(got-want) > eps {
+		t.Fatalf("estimate %v outside ±%v of %v", got, eps, want)
+	}
+}
+
+func transducerNonUniform(in, out *automata.Alphabet) *transducer.Transducer {
+	tr := transducer.New(in, out, 2, 0)
+	tr.SetAccepting(0, true)
+	tr.SetAccepting(1, true)
+	x := []automata.Symbol{out.MustSymbol("x")}
+	for _, s := range in.Symbols() {
+		tr.AddTransition(0, s, 0, x)
+		tr.AddTransition(0, s, 1, nil)
+		tr.AddTransition(1, s, 0, x)
+	}
+	return tr
+}
+
+func TestSamplesFor(t *testing.T) {
+	if n := SamplesFor(0.1, 0.05); n < 180 || n > 200 {
+		t.Fatalf("SamplesFor(0.1, 0.05) = %d", n)
+	}
+	// Tighter ε needs quadratically more samples.
+	if SamplesFor(0.01, 0.05) < 90*SamplesFor(0.1, 0.05) {
+		t.Fatal("sample complexity should scale with 1/ε²")
+	}
+}

@@ -1,0 +1,329 @@
+// Package core is the query-evaluation engine: it classifies a query
+// against the tractability map of Kimelfeld & Ré (PODS 2010), Table 2,
+// selects the algorithms accordingly, and exposes the choice as an
+// explainable plan. It is the layer a database system (package lahar, the
+// msq facade, the CLI) builds on.
+//
+// Classification drives three decisions:
+//
+//   - confidence: Theorem 4.6's DP (deterministic), its k-uniform fast
+//     path, Theorem 4.8's subset DP (uniform nondeterministic),
+//     Theorem 5.5 (s-projector), Theorem 5.8 (indexed s-projector), or —
+//     for the FP^#P-complete remainder — refusal with an optional Monte
+//     Carlo estimate;
+//   - ranking: exact decreasing confidence (Theorem 5.7, indexed
+//     s-projectors), I_max with ratio n (Theorem 5.2, s-projectors), or
+//     E_max with ratio |Σ|ⁿ (Theorem 4.3, everything else);
+//   - enumeration: the unranked polynomial-delay traversal (Theorem 4.1)
+//     is always available.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"markovseq/internal/automata"
+	"markovseq/internal/conf"
+	"markovseq/internal/enum"
+	"markovseq/internal/markov"
+	"markovseq/internal/ranked"
+	"markovseq/internal/sproj"
+	"markovseq/internal/transducer"
+)
+
+// Class is the query class per the columns of Table 2.
+type Class int
+
+const (
+	// ClassMealy: deterministic, non-selective, 1-uniform.
+	ClassMealy Class = iota
+	// ClassDeterministic: the underlying automaton is deterministic.
+	ClassDeterministic
+	// ClassUniform: nondeterministic with k-uniform emission.
+	ClassUniform
+	// ClassGeneral: nondeterministic, non-uniform (the FP^#P-complete
+	// confidence class).
+	ClassGeneral
+	// ClassSProjector: a substring projector [B]A[E].
+	ClassSProjector
+	// ClassIndexedSProjector: an indexed substring projector [B]↓A[E].
+	ClassIndexedSProjector
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassMealy:
+		return "Mealy machine"
+	case ClassDeterministic:
+		return "deterministic transducer"
+	case ClassUniform:
+		return "uniform-emission nondeterministic transducer"
+	case ClassGeneral:
+		return "general (nondeterministic, non-uniform) transducer"
+	case ClassSProjector:
+		return "s-projector"
+	case ClassIndexedSProjector:
+		return "indexed s-projector"
+	default:
+		return "unknown"
+	}
+}
+
+// Plan records the algorithm selection for a query.
+type Plan struct {
+	// Class is the query's Table 2 column.
+	Class Class
+	// Confidence names the confidence algorithm ("" when the class is
+	// FP^#P-complete and only estimation applies).
+	Confidence string
+	// Ranking names the ranked-enumeration algorithm.
+	Ranking string
+	// Ratio describes the worst-case approximation ratio of the ranked
+	// order w.r.t. true confidence.
+	Ratio string
+	// Hard is set when exact confidence computation is FP^#P-complete.
+	Hard bool
+}
+
+// Explain renders the plan as the kind of EXPLAIN output a database user
+// expects.
+func (p Plan) Explain() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "class:      %s\n", p.Class)
+	if p.Hard {
+		fmt.Fprintf(&b, "confidence: FP^#P-complete (Theorem 4.9); Monte Carlo additive estimation available\n")
+	} else {
+		fmt.Fprintf(&b, "confidence: %s\n", p.Confidence)
+	}
+	fmt.Fprintf(&b, "ranking:    %s\n", p.Ranking)
+	fmt.Fprintf(&b, "ratio:      %s\n", p.Ratio)
+	return b.String()
+}
+
+// Answer is one evaluated answer.
+type Answer struct {
+	Output []automata.Symbol
+	// Index is the occurrence index for indexed s-projector answers.
+	Index int
+	// Score is the ranking score (confidence, I_max, or E_max — see Kind).
+	Score float64
+	Kind  string
+}
+
+// Engine evaluates one query over one Markov sequence.
+type Engine struct {
+	m       *markov.Sequence
+	t       *transducer.Transducer // nil for s-projector queries
+	p       *sproj.SProjector      // nil for transducer queries
+	indexed bool
+	plan    Plan
+}
+
+// NewTransducerEngine classifies and wraps a transducer query.
+func NewTransducerEngine(t *transducer.Transducer, m *markov.Sequence) (*Engine, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if t.In.Size() != m.Nodes.Size() {
+		return nil, fmt.Errorf("core: transducer reads %d symbols, sequence has %d nodes",
+			t.In.Size(), m.Nodes.Size())
+	}
+	e := &Engine{m: m, t: t}
+	k, uniform := t.UniformK()
+	switch {
+	case t.IsMealy():
+		e.plan = Plan{
+			Class:      ClassMealy,
+			Confidence: fmt.Sprintf("Theorem 4.6 k-uniform DP (k=%d)", k),
+		}
+	case t.IsDeterministic():
+		algo := "Theorem 4.6 DP, O(|o|·n·|Σ|²·|Q|²)"
+		if uniform {
+			algo = fmt.Sprintf("Theorem 4.6 k-uniform DP (k=%d)", k)
+		}
+		e.plan = Plan{Class: ClassDeterministic, Confidence: algo}
+	case uniform:
+		e.plan = Plan{
+			Class:      ClassUniform,
+			Confidence: fmt.Sprintf("Theorem 4.8 subset DP (k=%d), O(n·k·|Σ|²·4^|Q|)", k),
+		}
+	default:
+		e.plan = Plan{Class: ClassGeneral, Hard: true}
+	}
+	e.plan.Ranking = "E_max Lawler–Murty enumeration (Theorem 4.3), polynomial delay"
+	e.plan.Ratio = "|Σ|^n-approximately decreasing confidence (worst-case optimal up to 2^{n^{1-δ}}, Theorem 4.4)"
+	return e, nil
+}
+
+// NewSProjectorEngine classifies and wraps an s-projector query; indexed
+// selects the [B]↓A[E] semantics.
+func NewSProjectorEngine(p *sproj.SProjector, m *markov.Sequence, indexed bool) (*Engine, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if p.Alphabet().Size() != m.Nodes.Size() {
+		return nil, fmt.Errorf("core: s-projector reads %d symbols, sequence has %d nodes",
+			p.Alphabet().Size(), m.Nodes.Size())
+	}
+	e := &Engine{m: m, p: p, indexed: indexed}
+	if indexed {
+		e.plan = Plan{
+			Class:      ClassIndexedSProjector,
+			Confidence: "Theorem 5.8 DP, O(n·|Σ|²·|Q|²)",
+			Ranking:    "exact decreasing confidence via DAG path enumeration (Theorem 5.7)",
+			Ratio:      "exact order",
+		}
+	} else {
+		e.plan = Plan{
+			Class:      ClassSProjector,
+			Confidence: "Theorem 5.5 DP, O(n·|o|²·|Σ|²·|Q_B|²·4^{|Q_E|})",
+			Ranking:    "I_max Lawler enumeration (Lemma 5.10)",
+			Ratio:      "n-approximately decreasing confidence (Proposition 5.9 / Theorem 5.2)",
+		}
+	}
+	return e, nil
+}
+
+// Plan returns the selected plan.
+func (e *Engine) Plan() Plan { return e.plan }
+
+// Explain returns the plan rendered for humans.
+func (e *Engine) Explain() string { return e.plan.Explain() }
+
+// Confidence computes the confidence of an answer. For indexed
+// s-projector queries, index (1-based) selects the occurrence; it is
+// ignored otherwise. For the FP^#P-complete class an error is returned;
+// use EstimateConfidence.
+func (e *Engine) Confidence(o []automata.Symbol, index int) (float64, error) {
+	switch e.plan.Class {
+	case ClassIndexedSProjector:
+		if index < 1 {
+			return 0, fmt.Errorf("core: indexed query requires an occurrence index ≥ 1")
+		}
+		return e.p.IndexedConfidence(e.m, o, index), nil
+	case ClassSProjector:
+		return e.p.Confidence(e.m, o), nil
+	case ClassMealy, ClassDeterministic:
+		if _, ok := e.t.UniformK(); ok {
+			return conf.DetUniform(e.t, e.m, o), nil
+		}
+		return conf.Det(e.t, e.m, o), nil
+	case ClassUniform:
+		return conf.Uniform(e.t, e.m, o), nil
+	default:
+		return 0, fmt.Errorf("core: exact confidence for %s is FP^#P-complete (Theorem 4.9); use EstimateConfidence", e.plan.Class)
+	}
+}
+
+// EstimateConfidence is the Monte Carlo fallback for the hard class (it
+// works for every transducer class; s-projector queries estimate through
+// the equivalent transducer). The error is additive: ±ε with probability
+// 1−δ given conf.SamplesFor(ε, δ) samples.
+func (e *Engine) EstimateConfidence(o []automata.Symbol, samples int, rng *rand.Rand) float64 {
+	t := e.t
+	if t == nil {
+		t = e.p.ToTransducer()
+	}
+	return conf.Estimate(t, e.m, o, samples, rng)
+}
+
+// TopK returns the k best-ranked answers under the plan's ranking.
+func (e *Engine) TopK(k int) []Answer {
+	var out []Answer
+	switch e.plan.Class {
+	case ClassIndexedSProjector:
+		it, err := e.p.EnumerateIndexed(e.m)
+		if err != nil {
+			return nil
+		}
+		for len(out) < k {
+			a, ok := it.Next()
+			if !ok {
+				break
+			}
+			out = append(out, Answer{Output: a.Output, Index: a.Index, Score: a.Conf, Kind: "confidence"})
+		}
+	case ClassSProjector:
+		it := e.p.EnumerateImax(e.m)
+		for len(out) < k {
+			a, ok := it.Next()
+			if !ok {
+				break
+			}
+			out = append(out, Answer{Output: a.Output, Score: a.Imax, Kind: "I_max"})
+		}
+	default:
+		it := ranked.NewEnumerator(e.t, e.m)
+		for len(out) < k {
+			a, ok := it.Next()
+			if !ok {
+				break
+			}
+			out = append(out, Answer{Output: a.Output, Score: math.Exp(a.LogEmax), Kind: "E_max"})
+		}
+	}
+	return out
+}
+
+// Enumerate returns up to limit answers in unranked order (Theorem 4.1);
+// limit ≤ 0 means all. Works for every class.
+func (e *Engine) Enumerate(limit int) [][]automata.Symbol {
+	t := e.t
+	if t == nil {
+		t = e.p.ToTransducer()
+	}
+	it := enum.NewEnumerator(t, e.m)
+	var out [][]automata.Symbol
+	for limit <= 0 || len(out) < limit {
+		o, ok := it.Next()
+		if !ok {
+			break
+		}
+		out = append(out, o)
+	}
+	return out
+}
+
+// IsAnswer reports whether o is an answer (nonzero confidence).
+func (e *Engine) IsAnswer(o []automata.Symbol) bool {
+	t := e.t
+	if t == nil {
+		t = e.p.ToTransducer()
+	}
+	return enum.IsAnswer(t, e.m, o)
+}
+
+// ScoredAnswer is a ranked answer annotated with its exact confidence
+// (the paper's Section 2.3.1: "an efficient procedure for computing the
+// confidence of an answer is still required if the user desires the
+// confidence to be given along with each answer").
+type ScoredAnswer struct {
+	Answer
+	// Conf is the exact confidence, when the class admits tractable
+	// confidence computation; NaN for the FP^#P-complete class.
+	Conf float64
+}
+
+// TopKWithConfidence returns the k best-ranked answers annotated with
+// exact confidences where Table 2 makes that tractable. For indexed
+// s-projectors the ranking score already is the confidence.
+func (e *Engine) TopKWithConfidence(k int) []ScoredAnswer {
+	var out []ScoredAnswer
+	for _, a := range e.TopK(k) {
+		sa := ScoredAnswer{Answer: a, Conf: math.NaN()}
+		switch e.plan.Class {
+		case ClassIndexedSProjector:
+			sa.Conf = a.Score
+		case ClassGeneral:
+			// FP^#P-complete: leave NaN.
+		default:
+			if c, err := e.Confidence(a.Output, a.Index); err == nil {
+				sa.Conf = c
+			}
+		}
+		out = append(out, sa)
+	}
+	return out
+}

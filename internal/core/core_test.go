@@ -1,0 +1,217 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"markovseq/internal/automata"
+	"markovseq/internal/markov"
+	"markovseq/internal/paperex"
+	"markovseq/internal/regex"
+	"markovseq/internal/sproj"
+	"markovseq/internal/transducer"
+)
+
+func TestClassification(t *testing.T) {
+	nodes := paperex.Nodes()
+	outs := paperex.Outputs()
+	m := paperex.Figure1(nodes)
+
+	// Figure 2: deterministic (selective, non-uniform).
+	e, err := NewTransducerEngine(paperex.Figure2(nodes, outs), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Plan().Class != ClassDeterministic {
+		t.Fatalf("class = %v", e.Plan().Class)
+	}
+	if e.Plan().Hard {
+		t.Fatal("deterministic class is not hard")
+	}
+
+	// A Mealy machine.
+	mealy := transducer.New(nodes, outs, 1, 0)
+	mealy.SetAccepting(0, true)
+	one := []automata.Symbol{outs.MustSymbol("1")}
+	for _, s := range nodes.Symbols() {
+		mealy.AddTransition(0, s, 0, one)
+	}
+	e2, err := NewTransducerEngine(mealy, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Plan().Class != ClassMealy {
+		t.Fatalf("class = %v", e2.Plan().Class)
+	}
+
+	// Uniform nondeterministic.
+	und := transducer.New(nodes, outs, 2, 0)
+	und.SetAccepting(0, true)
+	und.SetAccepting(1, true)
+	for _, s := range nodes.Symbols() {
+		und.AddTransition(0, s, 0, one)
+		und.AddTransition(0, s, 1, one)
+		und.AddTransition(1, s, 0, one)
+	}
+	e3, _ := NewTransducerEngine(und, m)
+	if e3.Plan().Class != ClassUniform {
+		t.Fatalf("class = %v", e3.Plan().Class)
+	}
+
+	// General (hard).
+	hard := transducer.New(nodes, outs, 2, 0)
+	hard.SetAccepting(0, true)
+	hard.SetAccepting(1, true)
+	for _, s := range nodes.Symbols() {
+		hard.AddTransition(0, s, 0, one)
+		hard.AddTransition(0, s, 1, nil)
+		hard.AddTransition(1, s, 0, one)
+	}
+	e4, _ := NewTransducerEngine(hard, m)
+	if e4.Plan().Class != ClassGeneral || !e4.Plan().Hard {
+		t.Fatalf("plan = %+v", e4.Plan())
+	}
+	if _, err := e4.Confidence(outs.MustParseString("1 1"), 0); err == nil {
+		t.Fatal("hard class must refuse exact confidence")
+	}
+	// ...but estimation works.
+	est := e4.EstimateConfidence(outs.MustParseString("1 1 1 1 1"), 2000, rand.New(rand.NewSource(1)))
+	if est < 0 || est > 1 {
+		t.Fatalf("estimate = %v", est)
+	}
+}
+
+func TestExplainMentionsTheorems(t *testing.T) {
+	nodes := paperex.Nodes()
+	outs := paperex.Outputs()
+	m := paperex.Figure1(nodes)
+	e, _ := NewTransducerEngine(paperex.Figure2(nodes, outs), m)
+	ex := e.Explain()
+	for _, want := range []string{"Theorem 4.6", "Theorem 4.3", "deterministic"} {
+		if !strings.Contains(ex, want) {
+			t.Fatalf("Explain missing %q:\n%s", want, ex)
+		}
+	}
+	ab := automata.Chars("ab")
+	p := sproj.Simple(regex.MustCompileDFA("a+", ab))
+	mm := markov.Uniform(ab, 4)
+	ei, _ := NewSProjectorEngine(p, mm, true)
+	if !strings.Contains(ei.Explain(), "Theorem 5.7") {
+		t.Fatalf("indexed Explain missing Theorem 5.7:\n%s", ei.Explain())
+	}
+	es, _ := NewSProjectorEngine(p, mm, false)
+	if !strings.Contains(es.Explain(), "Theorem 5.5") {
+		t.Fatalf("plain Explain missing Theorem 5.5:\n%s", es.Explain())
+	}
+}
+
+func TestEngineEvaluation(t *testing.T) {
+	nodes := paperex.Nodes()
+	outs := paperex.Outputs()
+	m := paperex.Figure1(nodes)
+	e, _ := NewTransducerEngine(paperex.Figure2(nodes, outs), m)
+
+	c, err := e.Confidence(outs.MustParseString("1 2"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-paperex.Conf12) > 1e-9 {
+		t.Fatalf("conf = %v", c)
+	}
+	top := e.TopK(2)
+	if len(top) != 2 || outs.FormatString(top[0].Output) != "12" || top[0].Kind != "E_max" {
+		t.Fatalf("TopK = %v", top)
+	}
+	all := e.Enumerate(0)
+	if len(all) != 6 {
+		t.Fatalf("Enumerate = %d answers", len(all))
+	}
+	if !e.IsAnswer(outs.MustParseString("1 2")) || e.IsAnswer(outs.MustParseString("λ λ λ")) {
+		t.Fatal("IsAnswer misbehaves")
+	}
+}
+
+func TestSProjectorEngine(t *testing.T) {
+	ab := automata.Chars("ab")
+	p := sproj.Simple(regex.MustCompileDFA("a+", ab))
+	m := markov.Homogeneous(ab, 4, []float64{0.5, 0.5}, [][]float64{{0.6, 0.4}, {0.3, 0.7}})
+
+	idx, err := NewSProjectorEngine(p, m, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := idx.TopK(3)
+	if len(top) == 0 || top[0].Kind != "confidence" || top[0].Index < 1 {
+		t.Fatalf("indexed TopK = %v", top)
+	}
+	ci, err := idx.Confidence(top[0].Output, top[0].Index)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ci-top[0].Score) > 1e-9 {
+		t.Fatalf("indexed confidence %v vs score %v", ci, top[0].Score)
+	}
+	if _, err := idx.Confidence(top[0].Output, 0); err == nil {
+		t.Fatal("indexed engine requires an index")
+	}
+
+	plain, err := NewSProjectorEngine(p, m, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ptop := plain.TopK(3)
+	if len(ptop) == 0 || ptop[0].Kind != "I_max" {
+		t.Fatalf("plain TopK = %v", ptop)
+	}
+	// Engine estimation also works for s-projectors.
+	est := plain.EstimateConfidence(ptop[0].Output, 2000, rand.New(rand.NewSource(2)))
+	c, _ := plain.Confidence(ptop[0].Output, 0)
+	if math.Abs(est-c) > 0.1 {
+		t.Fatalf("estimate %v far from exact %v", est, c)
+	}
+}
+
+func TestEngineRejectsMismatches(t *testing.T) {
+	nodes := paperex.Nodes()
+	outs := paperex.Outputs()
+	other := automata.Chars("ab")
+	m := markov.Uniform(other, 3)
+	if _, err := NewTransducerEngine(paperex.Figure2(nodes, outs), m); err == nil {
+		t.Fatal("alphabet size mismatch should be rejected")
+	}
+	bad := markov.New(nodes, 2) // invalid: all-zero rows
+	if _, err := NewTransducerEngine(paperex.Figure2(nodes, outs), bad); err == nil {
+		t.Fatal("invalid sequence should be rejected")
+	}
+}
+
+func TestTopKWithConfidence(t *testing.T) {
+	nodes := paperex.Nodes()
+	outs := paperex.Outputs()
+	m := paperex.Figure1(nodes)
+	e, _ := NewTransducerEngine(paperex.Figure2(nodes, outs), m)
+	res := e.TopKWithConfidence(3)
+	if len(res) != 3 {
+		t.Fatalf("got %d", len(res))
+	}
+	if outs.FormatString(res[0].Output) != "12" || math.Abs(res[0].Conf-paperex.Conf12) > 1e-9 {
+		t.Fatalf("top = %v conf %v", res[0].Output, res[0].Conf)
+	}
+	// The hard class leaves NaN.
+	one := []automata.Symbol{outs.MustSymbol("1")}
+	hard := transducer.New(nodes, outs, 2, 0)
+	hard.SetAccepting(0, true)
+	hard.SetAccepting(1, true)
+	for _, s := range nodes.Symbols() {
+		hard.AddTransition(0, s, 0, one)
+		hard.AddTransition(0, s, 1, nil)
+		hard.AddTransition(1, s, 0, one)
+	}
+	eh, _ := NewTransducerEngine(hard, m)
+	hres := eh.TopKWithConfidence(1)
+	if len(hres) != 1 || !math.IsNaN(hres[0].Conf) {
+		t.Fatalf("hard class should leave NaN, got %v", hres)
+	}
+}

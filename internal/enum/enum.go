@@ -1,0 +1,151 @@
+// Package enum implements Theorem 4.1 of Kimelfeld & Ré (PODS 2010):
+// given a Markov sequence μ and a transducer A^ω, the answer set A^ω(μ)
+// can be enumerated with polynomial delay and polynomial space.
+//
+// The algorithm is the constraint-partition technique the paper adapts
+// from Kimelfeld–Sagiv: a depth-first traversal of the output prefix tree.
+// At a prefix p, the traversal (1) emits p if p itself is an answer, and
+// (2) descends into p·c for each output symbol c such that some answer
+// extends p·c. Both tests reduce to the tractable primitive "is the
+// constrained answer set nonempty?", which is a reachability computation
+// on the product of the constrained transducer with the Markov sequence.
+//
+// The delay between consecutive answers is bounded by O(L·|Δ|) emptiness
+// tests, where L ≤ n·maxEmit is the maximal output length, and the space
+// is the DFS stack — polynomial in the input only.
+package enum
+
+import (
+	"markovseq/internal/automata"
+	"markovseq/internal/markov"
+	"markovseq/internal/transducer"
+)
+
+// NonEmpty reports whether some answer of t over m satisfies the
+// constraint, i.e. Pr(S ∈ L(A_c)) > 0 for the constrained transducer A_c.
+// It runs a boolean reachability DP over (position, node, state).
+func NonEmpty(t *transducer.Transducer, m *markov.Sequence, c transducer.Constraint) bool {
+	return reachableAccepting(t.Constrain(c), m)
+}
+
+// IsAnswer reports whether o ∈ A^ω(μ), i.e. o has nonzero probability of
+// being transduced into. (The paper notes this is decidable efficiently.)
+func IsAnswer(t *transducer.Transducer, m *markov.Sequence, o []automata.Symbol) bool {
+	return NonEmpty(t, m, transducer.Constraint{Prefix: o, Mode: transducer.ExactOnly})
+}
+
+// reachableAccepting reports whether a positive-probability world of m has
+// an accepting run of t.
+func reachableAccepting(t *transducer.Transducer, m *markov.Sequence) bool {
+	n := m.Len()
+	nNodes := m.Nodes.Size()
+	nStates := t.NumStates()
+	cur := make([][]bool, nNodes)
+	for x := range cur {
+		cur[x] = make([]bool, nStates)
+	}
+	any := false
+	for x := 0; x < nNodes; x++ {
+		if m.Initial[x] == 0 {
+			continue
+		}
+		for _, q2 := range t.Succ(t.Start(), automata.Symbol(x)) {
+			cur[x][q2] = true
+			any = true
+		}
+	}
+	for i := 1; i < n && any; i++ {
+		next := make([][]bool, nNodes)
+		for x := range next {
+			next[x] = make([]bool, nStates)
+		}
+		any = false
+		tr := m.Trans[i-1]
+		for x := 0; x < nNodes; x++ {
+			for q := 0; q < nStates; q++ {
+				if !cur[x][q] {
+					continue
+				}
+				for y := 0; y < nNodes; y++ {
+					if tr[x][y] == 0 {
+						continue
+					}
+					for _, q2 := range t.Succ(q, automata.Symbol(y)) {
+						if !next[y][q2] {
+							next[y][q2] = true
+							any = true
+						}
+					}
+				}
+			}
+		}
+		cur = next
+	}
+	if !any {
+		return false
+	}
+	for x := 0; x < nNodes; x++ {
+		for q := 0; q < nStates; q++ {
+			if cur[x][q] && t.Accepting(q) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Enumerator yields A^ω(μ) in an unranked order (depth-first over the
+// output prefix tree, which is length-lexicographic along each branch)
+// with polynomial delay and polynomial space.
+type Enumerator struct {
+	t *transducer.Transducer
+	m *markov.Sequence
+	// stack holds pending prefix-tree nodes; each entry is a prefix whose
+	// subtree is known to contain at least one answer but has not yet been
+	// expanded. Stack depth is bounded by L·|Δ|.
+	stack [][]automata.Symbol
+}
+
+// NewEnumerator prepares the unranked enumeration.
+func NewEnumerator(t *transducer.Transducer, m *markov.Sequence) *Enumerator {
+	e := &Enumerator{t: t, m: m}
+	if NonEmpty(t, m, transducer.Unconstrained()) {
+		e.stack = append(e.stack, []automata.Symbol{})
+	}
+	return e
+}
+
+// Next returns the next answer, or ok=false when the enumeration is
+// exhausted. Every answer is produced exactly once.
+func (e *Enumerator) Next() ([]automata.Symbol, bool) {
+	for len(e.stack) > 0 {
+		p := e.stack[len(e.stack)-1]
+		e.stack = e.stack[:len(e.stack)-1]
+		// Push children in reverse symbol order so the traversal explores
+		// smaller symbols first.
+		syms := e.t.Out.Symbols()
+		for i := len(syms) - 1; i >= 0; i-- {
+			child := append(automata.CloneString(p), syms[i])
+			if NonEmpty(e.t, e.m, transducer.Constraint{Prefix: child, Mode: transducer.PrefixAndExtensions}) {
+				e.stack = append(e.stack, child)
+			}
+		}
+		if IsAnswer(e.t, e.m, p) {
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+// All drains the enumeration (convenience for tests and small inputs; for
+// large answer sets use Next incrementally).
+func (e *Enumerator) All() [][]automata.Symbol {
+	var out [][]automata.Symbol
+	for {
+		o, ok := e.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, o)
+	}
+}

@@ -1,0 +1,128 @@
+package enum
+
+import (
+	"math/rand"
+	"testing"
+
+	"markovseq/internal/automata"
+	"markovseq/internal/markov"
+	"markovseq/internal/paperex"
+	"markovseq/internal/transducer"
+)
+
+// bruteAnswers computes A^ω(μ) by possible-worlds enumeration.
+func bruteAnswers(t *transducer.Transducer, m *markov.Sequence) map[string][]automata.Symbol {
+	out := map[string][]automata.Symbol{}
+	m.Enumerate(func(s []automata.Symbol, p float64) bool {
+		for _, o := range t.Transduce(s, 0) {
+			out[automata.StringKey(o)] = automata.CloneString(o)
+		}
+		return true
+	})
+	return out
+}
+
+func TestRunningExampleEnumeration(t *testing.T) {
+	nodes := paperex.Nodes()
+	outs := paperex.Outputs()
+	m := paperex.Figure1(nodes)
+	tr := paperex.Figure2(nodes, outs)
+	want := bruteAnswers(tr, m)
+	got := NewEnumerator(tr, m).All()
+	if len(got) != len(want) {
+		t.Fatalf("enumerated %d answers, want %d", len(got), len(want))
+	}
+	seen := map[string]bool{}
+	for _, o := range got {
+		k := automata.StringKey(o)
+		if seen[k] {
+			t.Fatalf("duplicate answer %v", o)
+		}
+		seen[k] = true
+		if _, ok := want[k]; !ok {
+			t.Fatalf("spurious answer %v", o)
+		}
+	}
+	// The running example has the answers {ε, 1, 12, 1λ, 21, 21λ} at least.
+	if !seen[automata.StringKey(nil)] {
+		t.Fatal("ε should be an answer")
+	}
+	if !seen[automata.StringKey(outs.MustParseString("1 2"))] {
+		t.Fatal("12 should be an answer")
+	}
+}
+
+func TestIsAnswer(t *testing.T) {
+	nodes := paperex.Nodes()
+	outs := paperex.Outputs()
+	m := paperex.Figure1(nodes)
+	tr := paperex.Figure2(nodes, outs)
+	if !IsAnswer(tr, m, outs.MustParseString("1 2")) {
+		t.Fatal("12 must be an answer")
+	}
+	if IsAnswer(tr, m, outs.MustParseString("λ λ λ λ λ")) {
+		t.Fatal("λλλλλ must not be an answer")
+	}
+	if !IsAnswer(tr, m, nil) {
+		t.Fatal("ε must be an answer")
+	}
+}
+
+// randomNDTransducer builds a random nondeterministic transducer with
+// emissions of length 0..2.
+func randomNDTransducer(in, out *automata.Alphabet, nStates int, rng *rand.Rand) *transducer.Transducer {
+	tr := transducer.New(in, out, nStates, 0)
+	for q := 0; q < nStates; q++ {
+		tr.SetAccepting(q, rng.Intn(2) == 0)
+		for _, s := range in.Symbols() {
+			for q2 := 0; q2 < nStates; q2++ {
+				if rng.Intn(3) != 0 {
+					continue
+				}
+				var e []automata.Symbol
+				for l := rng.Intn(3); l > 0; l-- {
+					e = append(e, automata.Symbol(rng.Intn(out.Size())))
+				}
+				tr.AddTransition(q, s, q2, e)
+			}
+		}
+	}
+	return tr
+}
+
+func TestEnumerationAgainstBruteForce(t *testing.T) {
+	in := automata.MustAlphabet("a", "b")
+	out := automata.MustAlphabet("x", "y")
+	for trial := 0; trial < 40; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		m := markov.Random(in, 2+rng.Intn(3), 0.6, rng)
+		tr := randomNDTransducer(in, out, 1+rng.Intn(3), rng)
+		want := bruteAnswers(tr, m)
+		got := NewEnumerator(tr, m).All()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: enumerated %d answers, want %d (%v)", trial, len(got), len(want), got)
+		}
+		for _, o := range got {
+			if _, ok := want[automata.StringKey(o)]; !ok {
+				t.Fatalf("trial %d: spurious answer %v", trial, o)
+			}
+		}
+	}
+}
+
+func TestNonEmptyWithConstraints(t *testing.T) {
+	nodes := paperex.Nodes()
+	outs := paperex.Outputs()
+	m := paperex.Figure1(nodes)
+	tr := paperex.Figure2(nodes, outs)
+	one := outs.MustSymbol("1")
+	two := outs.MustSymbol("2")
+	// Answers starting with 1 exist (12, 1λ, 1).
+	if !NonEmpty(tr, m, transducer.Constraint{Prefix: []automata.Symbol{one}, Mode: transducer.PrefixAndExtensions}) {
+		t.Fatal("answers with prefix 1 exist")
+	}
+	// Strict extensions of 12 do not exist (no world emits 12x).
+	if NonEmpty(tr, m, transducer.Constraint{Prefix: []automata.Symbol{one, two}, Mode: transducer.ExtensionsOnly}) {
+		t.Fatal("no strict extension of 12 should exist")
+	}
+}

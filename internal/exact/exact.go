@@ -1,0 +1,193 @@
+// Package exact mirrors the Markov-sequence model and the deterministic
+// confidence computation with math/big.Rat arithmetic. The paper's
+// convention is that every probability is a rational number given as a
+// numerator/denominator pair; this package honors that convention exactly,
+// and serves as the validation oracle for the float64 engines (DESIGN.md
+// ablation A1).
+package exact
+
+import (
+	"fmt"
+	"math/big"
+
+	"markovseq/internal/automata"
+	"markovseq/internal/markov"
+	"markovseq/internal/transducer"
+)
+
+// Sequence is a Markov sequence with rational probabilities.
+type Sequence struct {
+	Nodes   *automata.Alphabet
+	Initial []*big.Rat
+	Trans   [][][]*big.Rat
+}
+
+// New returns a zeroed exact sequence of length n.
+func New(nodes *automata.Alphabet, n int) *Sequence {
+	k := nodes.Size()
+	s := &Sequence{Nodes: nodes, Initial: ratRow(k), Trans: make([][][]*big.Rat, n-1)}
+	for i := range s.Trans {
+		m := make([][]*big.Rat, k)
+		for x := range m {
+			m[x] = ratRow(k)
+		}
+		s.Trans[i] = m
+	}
+	return s
+}
+
+func ratRow(k int) []*big.Rat {
+	row := make([]*big.Rat, k)
+	for i := range row {
+		row[i] = new(big.Rat)
+	}
+	return row
+}
+
+// Len returns the sequence length n.
+func (s *Sequence) Len() int { return len(s.Trans) + 1 }
+
+// SetInitial sets μ₀→(x) = num/den.
+func (s *Sequence) SetInitial(x automata.Symbol, num, den int64) {
+	s.Initial[x].SetFrac64(num, den)
+}
+
+// SetTrans sets μᵢ→(x, y) = num/den (i is 1-based as in the paper).
+func (s *Sequence) SetTrans(i int, x, y automata.Symbol, num, den int64) {
+	s.Trans[i-1][x][y].SetFrac64(num, den)
+}
+
+// FromFloat converts a float64 sequence exactly (each float64 is a binary
+// rational, so the conversion is lossless).
+func FromFloat(m *markov.Sequence) *Sequence {
+	s := New(m.Nodes, m.Len())
+	for x, p := range m.Initial {
+		s.Initial[x].SetFloat64(p)
+	}
+	for i, mat := range m.Trans {
+		for x, row := range mat {
+			for y, p := range row {
+				s.Trans[i][x][y].SetFloat64(p)
+			}
+		}
+	}
+	return s
+}
+
+// Validate checks that every distribution sums to exactly 1.
+func (s *Sequence) Validate() error {
+	one := big.NewRat(1, 1)
+	if sumRow(s.Initial).Cmp(one) != 0 {
+		return fmt.Errorf("exact: initial distribution does not sum to 1")
+	}
+	for i, mat := range s.Trans {
+		for x, row := range mat {
+			if sumRow(row).Cmp(one) != 0 {
+				return fmt.Errorf("exact: transition %d row %s does not sum to 1",
+					i+1, s.Nodes.Name(automata.Symbol(x)))
+			}
+		}
+	}
+	return nil
+}
+
+func sumRow(row []*big.Rat) *big.Rat {
+	sum := new(big.Rat)
+	for _, p := range row {
+		sum.Add(sum, p)
+	}
+	return sum
+}
+
+// Prob returns p(str) per Equation (1), exactly.
+func (s *Sequence) Prob(str []automata.Symbol) *big.Rat {
+	if len(str) != s.Len() {
+		return new(big.Rat)
+	}
+	p := new(big.Rat).Set(s.Initial[str[0]])
+	for i := 1; i < len(str); i++ {
+		p.Mul(p, s.Trans[i-1][str[i-1]][str[i]])
+	}
+	return p
+}
+
+// DetConfidence computes Pr(S →[A^ω]→ o) exactly for a deterministic
+// transducer — the big.Rat mirror of conf.Det (Theorem 4.6).
+func DetConfidence(t *transducer.Transducer, s *Sequence, o []automata.Symbol) *big.Rat {
+	if !t.IsDeterministic() {
+		panic("exact: DetConfidence requires a deterministic transducer")
+	}
+	n := s.Len()
+	nNodes := s.Nodes.Size()
+	lo := len(o)
+	zero := new(big.Rat)
+
+	type cell struct {
+		x, q, j int
+	}
+	cur := map[cell]*big.Rat{}
+
+	advance := func(j int, e []automata.Symbol) int {
+		if j+len(e) > lo {
+			return -1
+		}
+		for k, sym := range e {
+			if o[j+k] != sym {
+				return -1
+			}
+		}
+		return j + len(e)
+	}
+	add := func(m map[cell]*big.Rat, c cell, delta *big.Rat) {
+		if v, ok := m[c]; ok {
+			v.Add(v, delta)
+		} else {
+			m[c] = new(big.Rat).Set(delta)
+		}
+	}
+
+	for x := 0; x < nNodes; x++ {
+		p := s.Initial[x]
+		if p.Cmp(zero) == 0 {
+			continue
+		}
+		sym := automata.Symbol(x)
+		succ := t.Succ(t.Start(), sym)
+		if len(succ) == 0 {
+			continue
+		}
+		if j := advance(0, t.Emit(t.Start(), sym, succ[0])); j >= 0 {
+			add(cur, cell{x, succ[0], j}, p)
+		}
+	}
+	tmp := new(big.Rat)
+	for i := 1; i < n; i++ {
+		next := map[cell]*big.Rat{}
+		tr := s.Trans[i-1]
+		for c, mass := range cur {
+			for y := 0; y < nNodes; y++ {
+				p := tr[c.x][y]
+				if p.Cmp(zero) == 0 {
+					continue
+				}
+				sym := automata.Symbol(y)
+				succ := t.Succ(c.q, sym)
+				if len(succ) == 0 {
+					continue
+				}
+				if j2 := advance(c.j, t.Emit(c.q, sym, succ[0])); j2 >= 0 {
+					tmp.Mul(mass, p)
+					add(next, cell{y, succ[0], j2}, tmp)
+				}
+			}
+		}
+		cur = next
+	}
+	total := new(big.Rat)
+	for c, mass := range cur {
+		if c.j == lo && t.Accepting(c.q) {
+			total.Add(total, mass)
+		}
+	}
+	return total
+}

@@ -1,0 +1,123 @@
+package exact
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"markovseq/internal/automata"
+	"markovseq/internal/conf"
+	"markovseq/internal/markov"
+	"markovseq/internal/paperex"
+	"markovseq/internal/transducer"
+)
+
+// TestConf12Exact reproduces Example 3.4 exactly: conf(12) = 4038/10000.
+func TestConf12Exact(t *testing.T) {
+	nodes := paperex.Nodes()
+	outs := paperex.Outputs()
+	m := FromFloat(paperex.Figure1(nodes))
+	tr := paperex.Figure2(nodes, outs)
+	// The fixture's probabilities are decimal literals; rebuild exactly.
+	got := DetConfidence(tr, m, outs.MustParseString("1 2"))
+	// Float64 literals like 0.7 are binary approximations; the exact
+	// result is within 1e-12 of 0.4038.
+	f, _ := got.Float64()
+	if math.Abs(f-0.4038) > 1e-9 {
+		t.Fatalf("exact conf(12) = %v", f)
+	}
+}
+
+// TestExactRationalFixture builds a rational sequence directly and checks
+// conf(12) is exactly 2019/5000.
+func TestExactRationalFixture(t *testing.T) {
+	nodes := paperex.Nodes()
+	outs := paperex.Outputs()
+	fm := paperex.Figure1(nodes)
+	// Convert each float (which is a decimal with ≤4 digits in the
+	// fixture) to the nearest rational with denominator 10000.
+	s := New(nodes, fm.Len())
+	for x, p := range fm.Initial {
+		s.Initial[x].SetFrac64(int64(math.Round(p*10000)), 10000)
+	}
+	for i, mat := range fm.Trans {
+		for x, row := range mat {
+			for y, p := range row {
+				s.Trans[i][x][y].SetFrac64(int64(math.Round(p*10000)), 10000)
+			}
+		}
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tr := paperex.Figure2(nodes, outs)
+	got := DetConfidence(tr, s, outs.MustParseString("1 2"))
+	want := big.NewRat(2019, 5000) // = 0.4038
+	if got.Cmp(want) != 0 {
+		t.Fatalf("exact conf(12) = %v, want %v", got, want)
+	}
+	// Exact probability of the string s of Table 1: 0.3969 = 3969/10000.
+	p := s.Prob(nodes.MustParseString("r1a la la r1a r2a"))
+	if p.Cmp(big.NewRat(3969, 10000)) != 0 {
+		t.Fatalf("exact p(s) = %v", p)
+	}
+}
+
+// TestAgreesWithFloat cross-validates the exact and float64 engines on
+// random instances (ablation A1).
+func TestAgreesWithFloat(t *testing.T) {
+	in := automata.MustAlphabet("a", "b")
+	out := automata.MustAlphabet("x", "y")
+	for trial := 0; trial < 25; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		fm := markov.Random(in, 2+rng.Intn(4), 0.7, rng)
+		em := FromFloat(fm)
+		tr := transducer.New(in, out, 2, 0)
+		for q := 0; q < 2; q++ {
+			tr.SetAccepting(q, rng.Intn(2) == 0)
+			for _, sym := range in.Symbols() {
+				if rng.Intn(4) == 0 {
+					continue
+				}
+				var e []automata.Symbol
+				for l := rng.Intn(3); l > 0; l-- {
+					e = append(e, automata.Symbol(rng.Intn(out.Size())))
+				}
+				tr.AddTransition(q, sym, rng.Intn(2), e)
+			}
+		}
+		// Check agreement on a few candidate outputs.
+		for _, o := range [][]automata.Symbol{nil, {0}, {1}, {0, 1}, {1, 0, 1}} {
+			fgot := conf.Det(tr, fm, o)
+			egot, _ := DetConfidence(tr, em, o).Float64()
+			if math.Abs(fgot-egot) > 1e-12 {
+				t.Fatalf("trial %d: float %v vs exact %v on %v", trial, fgot, egot, o)
+			}
+		}
+	}
+}
+
+func TestSettersAndValidate(t *testing.T) {
+	ab := automata.MustAlphabet("a", "b")
+	s := New(ab, 2)
+	s.SetInitial(0, 1, 3)
+	s.SetInitial(1, 2, 3)
+	s.SetTrans(1, 0, 1, 1, 1)
+	s.SetTrans(1, 1, 0, 1, 2)
+	s.SetTrans(1, 1, 1, 1, 2)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p := s.Prob(ab.MustParseString("b a"))
+	if p.Cmp(big.NewRat(1, 3)) != 0 {
+		t.Fatalf("Prob = %v, want 1/3", p)
+	}
+	if s.Prob(ab.MustParseString("a")).Sign() != 0 {
+		t.Fatal("wrong-length string must have probability 0")
+	}
+	s.SetTrans(1, 0, 1, 1, 2)
+	if err := s.Validate(); err == nil {
+		t.Fatal("sub-stochastic row should fail validation")
+	}
+}

@@ -1,0 +1,277 @@
+package hardness
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"markovseq/internal/automata"
+	"markovseq/internal/conf"
+	"markovseq/internal/ranked"
+	"markovseq/internal/sproj"
+)
+
+func TestMax3DNFBasics(t *testing.T) {
+	// f = (x0 ∧ x1) ∨ (¬x0 ∧ x2)
+	f := &Max3DNF{NumVars: 3, Clauses: []Clause{
+		{{0, true}, {1, true}},
+		{{0, false}, {2, true}},
+	}}
+	if got := f.CountSatisfied([]bool{true, true, true}); got != 1 {
+		t.Fatalf("CountSatisfied = %d, want 1", got)
+	}
+	if got := f.BruteForceMax(); got != 1 {
+		t.Fatalf("BruteForceMax = %d, want 1", got)
+	}
+	// Contradictory clause is never satisfied.
+	g := &Max3DNF{NumVars: 1, Clauses: []Clause{{{0, true}, {0, false}}}}
+	if got := g.BruteForceMax(); got != 0 {
+		t.Fatalf("contradictory clause: max = %d, want 0", got)
+	}
+}
+
+// TestMealyReductionConfidences is the reduction-correctness test for
+// Theorem 4.4: the confidence of every assignment answer equals
+// sat(a)/(m·2^k), verified by the Theorem 4.6 algorithm.
+func TestMealyReductionConfidences(t *testing.T) {
+	for trial := 0; trial < 15; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		f := RandomMax3DNF(3+rng.Intn(2), 2+rng.Intn(3), rng)
+		mi := NewMealyInstance(f)
+		a := make([]bool, f.NumVars)
+		var rec func(i int)
+		rec = func(i int) {
+			if i == f.NumVars {
+				o := mi.AssignmentAnswer(a)
+				want := mi.TheoreticalConf(a)
+				got := conf.Det(mi.T, mi.M, o)
+				if math.Abs(got-want) > 1e-12 {
+					t.Fatalf("trial %d: conf(%v) = %v, want %v", trial, a, got, want)
+				}
+				return
+			}
+			a[i] = false
+			rec(i + 1)
+			a[i] = true
+			rec(i + 1)
+		}
+		rec(0)
+	}
+}
+
+// TestMealyTopAnswerEncodesMaxSat: the maximum confidence over all answers
+// equals maxsat/(m·2^k) (when maxsat ≥ 1), so top-answer computation
+// solves max-3-DNF.
+func TestMealyTopAnswerEncodesMaxSat(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := RandomMax3DNF(4, 4, rng)
+	mi := NewMealyInstance(f)
+	maxSat := f.BruteForceMax()
+	if maxSat < 1 {
+		t.Skip("degenerate instance")
+	}
+	k, m := f.NumVars, len(f.Clauses)
+	wantTop := float64(maxSat) / (float64(m) * math.Pow(2, float64(k)))
+	// Brute-force the true top confidence over all answers.
+	best := 0.0
+	mi.M.Enumerate(func(s []automata.Symbol, p float64) bool {
+		return true
+	})
+	// Collect answers via brute-force transduction.
+	answers := map[string]float64{}
+	mi.M.Enumerate(func(s []automata.Symbol, p float64) bool {
+		for _, o := range mi.T.Transduce(s, 0) {
+			answers[automata.StringKey(o)] += p
+		}
+		return true
+	})
+	for _, v := range answers {
+		if v > best {
+			best = v
+		}
+	}
+	if math.Abs(best-wantTop) > 1e-12 {
+		t.Fatalf("top confidence = %v, want %v", best, wantTop)
+	}
+}
+
+// TestEmaxHeuristicIsBlindOnReduction: on the reduction instances, every
+// assignment answer has the same E_max, so the heuristic cannot
+// distinguish good assignments from bad ones — the empirical content of
+// the 2^{n^{1-δ}} inapproximability.
+func TestEmaxHeuristicIsBlindOnReduction(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	f := RandomMax3DNF(4, 3, rng)
+	mi := NewMealyInstance(f)
+	k, m := f.NumVars, len(f.Clauses)
+	uniform := 1 / (float64(m) * math.Pow(2, float64(k)))
+	a := make([]bool, f.NumVars)
+	for v := 0; v < 4; v++ {
+		for i := range a {
+			a[i] = rng.Intn(2) == 0
+		}
+		if f.CountSatisfied(a) == 0 {
+			continue // not an answer as a T/F string
+		}
+		o := mi.AssignmentAnswer(a)
+		got := math.Exp(ranked.Emax(mi.T, mi.M, o))
+		if math.Abs(got-uniform) > 1e-12 {
+			t.Fatalf("E_max(%v) = %v, want uniform %v", a, got, uniform)
+		}
+	}
+}
+
+// TestAmplification checks that concatenating c copies exponentiates the
+// confidence of the repeated top answer.
+func TestAmplification(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := RandomMax3DNF(3, 2, rng)
+	mi := NewMealyInstance(f)
+	maxSat := f.BruteForceMax()
+	if maxSat < 1 {
+		t.Skip("degenerate instance")
+	}
+	// Find a maximizing assignment.
+	var best []bool
+	a := make([]bool, f.NumVars)
+	var rec func(i int)
+	rec = func(i int) {
+		if best != nil {
+			return
+		}
+		if i == f.NumVars {
+			if f.CountSatisfied(a) == maxSat {
+				best = append([]bool(nil), a...)
+			}
+			return
+		}
+		a[i] = false
+		rec(i + 1)
+		a[i] = true
+		rec(i + 1)
+	}
+	rec(0)
+	const c = 3
+	m3 := mi.Amplify(c)
+	o1 := mi.AssignmentAnswer(best)
+	o3 := append(append(append([]automata.Symbol{}, o1...), o1...), o1...)
+	want := math.Pow(mi.TheoreticalConf(best), c)
+	got := conf.Det(mi.T, m3, o3)
+	if math.Abs(got-want) > 1e-15 {
+		t.Fatalf("amplified conf = %v, want %v", got, want)
+	}
+}
+
+// TestCountingReduction validates the Proposition 4.7 reduction: the
+// confidence of xⁿ recovers |L(A) ∩ Σⁿ|.
+func TestCountingReduction(t *testing.T) {
+	ab := automata.Chars("ab")
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		nStates := 1 + rng.Intn(3)
+		a := automata.NewNFA(ab, nStates, 0)
+		for q := 0; q < nStates; q++ {
+			a.SetAccepting(q, rng.Intn(2) == 0)
+			for _, s := range ab.Symbols() {
+				for q2 := 0; q2 < nStates; q2++ {
+					if rng.Intn(3) == 0 {
+						a.AddTransition(q, s, q2)
+					}
+				}
+			}
+		}
+		n := 1 + rng.Intn(6)
+		ci := NewCountingInstance(a, n)
+		// Brute-force count.
+		want := 0
+		var rec func(s []automata.Symbol, d int)
+		rec = func(s []automata.Symbol, d int) {
+			if d == 0 {
+				if a.Accepts(s) {
+					want++
+				}
+				return
+			}
+			for _, sym := range ab.Symbols() {
+				rec(append(s, sym), d-1)
+			}
+		}
+		rec(nil, n)
+		c := conf.Uniform(ci.T, ci.M, ci.O)
+		if got := math.Round(ci.Count(c)); int(got) != want {
+			t.Fatalf("trial %d: recovered count %v, want %d", trial, got, want)
+		}
+	}
+}
+
+// TestImaxTightness: on the adversarial family, conf/I_max grows linearly
+// (the upper side of Proposition 5.9 is asymptotically tight).
+func TestImaxTightness(t *testing.T) {
+	prevRatio := 0.0
+	for _, n := range []int{2, 4, 8} {
+		inst := NewImaxTightnessInstance(n)
+		p := sproj.Simple(inst.Pattern)
+		c := p.Confidence(inst.M, inst.Target)
+		im := p.Imax(inst.M, inst.Target)
+		wantConf := 1 - math.Pow(1-1/float64(n), float64(n))
+		if math.Abs(c-wantConf) > 1e-9 {
+			t.Fatalf("n=%d: conf = %v, want %v", n, c, wantConf)
+		}
+		if math.Abs(im-1/float64(n)) > 1e-9 {
+			t.Fatalf("n=%d: I_max = %v, want %v", n, im, 1/float64(n))
+		}
+		ratio := c / im
+		if ratio <= prevRatio {
+			t.Fatalf("ratio should grow with n: %v after %v", ratio, prevRatio)
+		}
+		if ratio > float64(n)+1e-9 {
+			t.Fatalf("Proposition 5.9 upper bound violated: ratio %v > n=%d", ratio, n)
+		}
+		prevRatio = ratio
+	}
+}
+
+// TestSProjCountingReduction validates the Theorem 5.4 reduction: the
+// confidence of ε under [*]A_ε[E] recovers |L(d) ∩ Σⁿ|, and the Theorem
+// 5.5 DP therefore pays for it in |Q_E|.
+func TestSProjCountingReduction(t *testing.T) {
+	ab := automata.Chars("ab")
+	for trial := 0; trial < 15; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		nStates := 1 + rng.Intn(4)
+		d := automata.NewDFA(ab, nStates, 0)
+		for q := 0; q < nStates; q++ {
+			d.SetAccepting(q, rng.Intn(2) == 0)
+			for _, s := range ab.Symbols() {
+				d.SetTransition(q, s, rng.Intn(nStates))
+			}
+		}
+		n := 1 + rng.Intn(6)
+		ci := NewSProjCountingInstance(d, n)
+		// The instance has the Theorem 5.4 shape.
+		if !ci.P.B.IsUniversal() {
+			t.Fatal("B must be universal")
+		}
+		if !ci.P.A.Accepts(nil) || ci.P.A.Accepts([]automata.Symbol{0}) {
+			t.Fatal("A must accept only ε")
+		}
+		want := 0
+		var rec func(s []automata.Symbol, depth int)
+		rec = func(s []automata.Symbol, depth int) {
+			if depth == 0 {
+				if d.Accepts(s) {
+					want++
+				}
+				return
+			}
+			for _, sym := range ab.Symbols() {
+				rec(append(s, sym), depth-1)
+			}
+		}
+		rec(nil, n)
+		c := ci.P.Confidence(ci.M, ci.O)
+		if got := math.Round(ci.Count(c)); int(got) != want {
+			t.Fatalf("trial %d: recovered %v, want %d", trial, got, want)
+		}
+	}
+}

@@ -1,0 +1,333 @@
+// Package hmm implements hidden Markov models and the translation that
+// Kimelfeld & Ré (PODS 2010) assume as a preprocessing step (footnote 1 /
+// the extended version [31]): an HMM together with a sequence of
+// observations is translated into a Markov sequence — the conditional
+// distribution of the hidden-state chain given the observations, which is
+// a time-inhomogeneous first-order Markov chain.
+//
+// The package provides the standard inference routines (scaled
+// forward–backward, Viterbi, posterior marginals) plus Condition, the
+// translation into markov.Sequence that the rest of the repository
+// queries.
+package hmm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"markovseq/internal/automata"
+	"markovseq/internal/markov"
+)
+
+// Model is a time-homogeneous hidden Markov model.
+type Model struct {
+	// States is the hidden-state alphabet.
+	States *automata.Alphabet
+	// Obs is the observation alphabet.
+	Obs *automata.Alphabet
+	// Initial[s] = Pr(H₁ = s).
+	Initial []float64
+	// Trans[s][t] = Pr(H_{i+1} = t | H_i = s).
+	Trans [][]float64
+	// Emit[s][o] = Pr(O_i = o | H_i = s).
+	Emit [][]float64
+}
+
+// New returns a zeroed model; callers fill the three distributions and
+// should Validate before inference.
+func New(states, obs *automata.Alphabet) *Model {
+	k, v := states.Size(), obs.Size()
+	m := &Model{
+		States:  states,
+		Obs:     obs,
+		Initial: make([]float64, k),
+		Trans:   make([][]float64, k),
+		Emit:    make([][]float64, k),
+	}
+	for s := 0; s < k; s++ {
+		m.Trans[s] = make([]float64, k)
+		m.Emit[s] = make([]float64, v)
+	}
+	return m
+}
+
+// Validate checks that Initial, every Trans row, and every Emit row are
+// probability distributions.
+func (h *Model) Validate() error {
+	if err := checkDist(h.Initial, "initial"); err != nil {
+		return err
+	}
+	for s, row := range h.Trans {
+		if err := checkDist(row, fmt.Sprintf("transition row %s", h.States.Name(automata.Symbol(s)))); err != nil {
+			return err
+		}
+	}
+	for s, row := range h.Emit {
+		if err := checkDist(row, fmt.Sprintf("emission row %s", h.States.Name(automata.Symbol(s)))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checkDist(row []float64, what string) error {
+	sum := 0.0
+	for _, p := range row {
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			return fmt.Errorf("hmm: %s has invalid probability %v", what, p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("hmm: %s sums to %v, want 1", what, sum)
+	}
+	return nil
+}
+
+// Sample draws a hidden trajectory of length n and its observations.
+func (h *Model) Sample(n int, rng *rand.Rand) (hidden, obs []automata.Symbol) {
+	hidden = make([]automata.Symbol, n)
+	obs = make([]automata.Symbol, n)
+	for i := 0; i < n; i++ {
+		if i == 0 {
+			hidden[i] = sampleRow(h.Initial, rng)
+		} else {
+			hidden[i] = sampleRow(h.Trans[hidden[i-1]], rng)
+		}
+		obs[i] = sampleRow(h.Emit[hidden[i]], rng)
+	}
+	return hidden, obs
+}
+
+func sampleRow(row []float64, rng *rand.Rand) automata.Symbol {
+	x := rng.Float64()
+	acc := 0.0
+	last := automata.Symbol(0)
+	for s, p := range row {
+		if p == 0 {
+			continue
+		}
+		last = automata.Symbol(s)
+		acc += p
+		if x < acc {
+			return last
+		}
+	}
+	return last
+}
+
+// forwardScaled runs the scaled forward algorithm. alpha[i][s] is the
+// filtering distribution Pr(H_{i+1} = s | O₁..O_{i+1}); scale[i] is the
+// per-step normalizer, so that Σ log scale = log likelihood.
+func (h *Model) forwardScaled(obs []automata.Symbol) (alpha [][]float64, scale []float64, err error) {
+	n := len(obs)
+	k := h.States.Size()
+	alpha = make([][]float64, n)
+	scale = make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, k)
+		for s := 0; s < k; s++ {
+			var prior float64
+			if i == 0 {
+				prior = h.Initial[s]
+			} else {
+				for t := 0; t < k; t++ {
+					prior += alpha[i-1][t] * h.Trans[t][s]
+				}
+			}
+			row[s] = prior * h.Emit[s][obs[i]]
+		}
+		z := 0.0
+		for _, p := range row {
+			z += p
+		}
+		if z == 0 {
+			return nil, nil, fmt.Errorf("hmm: observation sequence has probability zero at position %d", i+1)
+		}
+		for s := range row {
+			row[s] /= z
+		}
+		alpha[i] = row
+		scale[i] = z
+	}
+	return alpha, scale, nil
+}
+
+// backwardScaled runs the scaled backward algorithm with the forward
+// scales: beta[i][s] ∝ Pr(O_{i+2}..O_n | H_{i+1} = s), normalized by the
+// same scale factors so that alpha[i][s]·beta[i][s] is the smoothing
+// marginal.
+func (h *Model) backwardScaled(obs []automata.Symbol, scale []float64) [][]float64 {
+	n := len(obs)
+	k := h.States.Size()
+	beta := make([][]float64, n)
+	beta[n-1] = make([]float64, k)
+	for s := range beta[n-1] {
+		beta[n-1][s] = 1
+	}
+	for i := n - 2; i >= 0; i-- {
+		row := make([]float64, k)
+		for s := 0; s < k; s++ {
+			v := 0.0
+			for t := 0; t < k; t++ {
+				v += h.Trans[s][t] * h.Emit[t][obs[i+1]] * beta[i+1][t]
+			}
+			row[s] = v / scale[i+1]
+		}
+		beta[i] = row
+	}
+	return beta
+}
+
+// LogLikelihood returns log Pr(O = obs).
+func (h *Model) LogLikelihood(obs []automata.Symbol) (float64, error) {
+	_, scale, err := h.forwardScaled(obs)
+	if err != nil {
+		return math.Inf(-1), err
+	}
+	ll := 0.0
+	for _, z := range scale {
+		ll += math.Log(z)
+	}
+	return ll, nil
+}
+
+// Posterior returns the smoothing marginals gamma[i][s] =
+// Pr(H_{i+1} = s | O = obs).
+func (h *Model) Posterior(obs []automata.Symbol) ([][]float64, error) {
+	alpha, scale, err := h.forwardScaled(obs)
+	if err != nil {
+		return nil, err
+	}
+	beta := h.backwardScaled(obs, scale)
+	n := len(obs)
+	k := h.States.Size()
+	gamma := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, k)
+		z := 0.0
+		for s := 0; s < k; s++ {
+			row[s] = alpha[i][s] * beta[i][s]
+			z += row[s]
+		}
+		for s := range row {
+			row[s] /= z
+		}
+		gamma[i] = row
+	}
+	return gamma, nil
+}
+
+// Viterbi returns the maximum-a-posteriori hidden trajectory given obs.
+func (h *Model) Viterbi(obs []automata.Symbol) []automata.Symbol {
+	n := len(obs)
+	k := h.States.Size()
+	negInf := math.Inf(-1)
+	score := make([]float64, k)
+	back := make([][]int, n)
+	for s := 0; s < k; s++ {
+		score[s] = logMul(h.Initial[s], h.Emit[s][obs[0]])
+	}
+	for i := 1; i < n; i++ {
+		back[i] = make([]int, k)
+		next := make([]float64, k)
+		for t := 0; t < k; t++ {
+			best, arg := negInf, 0
+			for s := 0; s < k; s++ {
+				if v := score[s] + logOf(h.Trans[s][t]); v > best {
+					best, arg = v, s
+				}
+			}
+			next[t] = best + logOf(h.Emit[t][obs[i]])
+			back[i][t] = arg
+		}
+		score = next
+	}
+	best, arg := negInf, 0
+	for s := 0; s < k; s++ {
+		if score[s] > best {
+			best, arg = score[s], s
+		}
+	}
+	out := make([]automata.Symbol, n)
+	out[n-1] = automata.Symbol(arg)
+	for i := n - 1; i >= 1; i-- {
+		arg = back[i][arg]
+		out[i-1] = automata.Symbol(arg)
+	}
+	return out
+}
+
+func logOf(p float64) float64 {
+	if p == 0 {
+		return math.Inf(-1)
+	}
+	return math.Log(p)
+}
+
+func logMul(a, b float64) float64 { return logOf(a) + logOf(b) }
+
+// Condition translates the HMM and an observation sequence into the
+// Markov sequence representing Pr(H | O = obs) — the paper's assumed
+// preprocessing. The conditional chain is first-order and
+// time-inhomogeneous:
+//
+//	μ₀→(s)    = Pr(H₁ = s | O)
+//	μᵢ→(s, t) = Pr(H_{i+1} = t | H_i = s, O)
+//	          ∝ Trans[s][t] · Emit[t][O_{i+1}] · β_{i+1}(t)
+//
+// States s that are unreachable given the observations receive an
+// arbitrary valid row (they never matter, but markov.Validate requires
+// stochastic rows).
+func (h *Model) Condition(obs []automata.Symbol) (*markov.Sequence, error) {
+	n := len(obs)
+	if n == 0 {
+		return nil, fmt.Errorf("hmm: empty observation sequence")
+	}
+	alpha, scale, err := h.forwardScaled(obs)
+	if err != nil {
+		return nil, err
+	}
+	beta := h.backwardScaled(obs, scale)
+	k := h.States.Size()
+	m := markov.New(h.States, n)
+	// Initial distribution: smoothing marginal at position 1.
+	z := 0.0
+	for s := 0; s < k; s++ {
+		m.Initial[s] = alpha[0][s] * beta[0][s]
+		z += m.Initial[s]
+	}
+	for s := range m.Initial {
+		m.Initial[s] /= z
+	}
+	for i := 1; i < n; i++ {
+		for s := 0; s < k; s++ {
+			row := m.Trans[i-1][s]
+			z := 0.0
+			for t := 0; t < k; t++ {
+				row[t] = h.Trans[s][t] * h.Emit[t][obs[i]] * beta[i][t]
+				z += row[t]
+			}
+			if z == 0 {
+				// s is impossible at position i given the observations;
+				// fill with a harmless self-loop.
+				row[s] = 1
+				continue
+			}
+			for t := range row {
+				row[t] /= z
+			}
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Prior returns the unconditional hidden-state chain of length n as a
+// Markov sequence (no observations), useful as a baseline.
+func (h *Model) Prior(n int) *markov.Sequence {
+	return markov.Homogeneous(h.States, n, h.Initial, h.Trans)
+}

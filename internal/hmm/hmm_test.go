@@ -1,0 +1,226 @@
+package hmm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"markovseq/internal/automata"
+)
+
+// randomModel builds a random valid HMM.
+func randomModel(states, obs *automata.Alphabet, rng *rand.Rand) *Model {
+	h := New(states, obs)
+	fill := func(row []float64) {
+		z := 0.0
+		for i := range row {
+			row[i] = 0.05 + rng.Float64()
+			z += row[i]
+		}
+		for i := range row {
+			row[i] /= z
+		}
+	}
+	fill(h.Initial)
+	for s := range h.Trans {
+		fill(h.Trans[s])
+		fill(h.Emit[s])
+	}
+	return h
+}
+
+// jointProb computes Pr(H = hidden, O = obs) directly.
+func jointProb(h *Model, hidden, obs []automata.Symbol) float64 {
+	p := h.Initial[hidden[0]] * h.Emit[hidden[0]][obs[0]]
+	for i := 1; i < len(obs); i++ {
+		p *= h.Trans[hidden[i-1]][hidden[i]] * h.Emit[hidden[i]][obs[i]]
+	}
+	return p
+}
+
+// enumerate all hidden trajectories of length n.
+func allHidden(k, n int, fn func([]automata.Symbol)) {
+	buf := make([]automata.Symbol, n)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			fn(buf)
+			return
+		}
+		for s := 0; s < k; s++ {
+			buf[i] = automata.Symbol(s)
+			rec(i + 1)
+		}
+	}
+	rec(0)
+}
+
+func TestValidate(t *testing.T) {
+	states := automata.MustAlphabet("s1", "s2")
+	obs := automata.MustAlphabet("o1", "o2")
+	h := New(states, obs)
+	if err := h.Validate(); err == nil {
+		t.Fatal("zero model should fail validation")
+	}
+	h = randomModel(states, obs, rand.New(rand.NewSource(1)))
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogLikelihoodAgainstBruteForce(t *testing.T) {
+	states := automata.MustAlphabet("a", "b", "c")
+	obsAb := automata.MustAlphabet("x", "y")
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		h := randomModel(states, obsAb, rng)
+		n := 1 + rng.Intn(5)
+		obs := make([]automata.Symbol, n)
+		for i := range obs {
+			obs[i] = automata.Symbol(rng.Intn(obsAb.Size()))
+		}
+		want := 0.0
+		allHidden(states.Size(), n, func(hid []automata.Symbol) {
+			want += jointProb(h, hid, obs)
+		})
+		got, err := h.LogLikelihood(obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(math.Exp(got)-want) > 1e-9 {
+			t.Fatalf("trial %d: likelihood %v, want %v", trial, math.Exp(got), want)
+		}
+	}
+}
+
+func TestPosteriorAgainstBruteForce(t *testing.T) {
+	states := automata.MustAlphabet("a", "b")
+	obsAb := automata.MustAlphabet("x", "y", "z")
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(100 + trial)))
+		h := randomModel(states, obsAb, rng)
+		n := 2 + rng.Intn(4)
+		obs := make([]automata.Symbol, n)
+		for i := range obs {
+			obs[i] = automata.Symbol(rng.Intn(obsAb.Size()))
+		}
+		total := 0.0
+		marg := make([][]float64, n)
+		for i := range marg {
+			marg[i] = make([]float64, states.Size())
+		}
+		allHidden(states.Size(), n, func(hid []automata.Symbol) {
+			p := jointProb(h, hid, obs)
+			total += p
+			for i, s := range hid {
+				marg[i][s] += p
+			}
+		})
+		gamma, err := h.Posterior(obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			for s := 0; s < states.Size(); s++ {
+				if math.Abs(gamma[i][s]-marg[i][s]/total) > 1e-9 {
+					t.Fatalf("trial %d: posterior[%d][%d] = %v, want %v",
+						trial, i, s, gamma[i][s], marg[i][s]/total)
+				}
+			}
+		}
+	}
+}
+
+func TestViterbiAgainstBruteForce(t *testing.T) {
+	states := automata.MustAlphabet("a", "b", "c")
+	obsAb := automata.MustAlphabet("x", "y")
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(200 + trial)))
+		h := randomModel(states, obsAb, rng)
+		n := 1 + rng.Intn(4)
+		obs := make([]automata.Symbol, n)
+		for i := range obs {
+			obs[i] = automata.Symbol(rng.Intn(obsAb.Size()))
+		}
+		bestP := -1.0
+		var best []automata.Symbol
+		allHidden(states.Size(), n, func(hid []automata.Symbol) {
+			if p := jointProb(h, hid, obs); p > bestP {
+				bestP = p
+				best = automata.CloneString(hid)
+			}
+		})
+		got := h.Viterbi(obs)
+		if math.Abs(jointProb(h, got, obs)-bestP) > 1e-12 {
+			t.Fatalf("trial %d: Viterbi %v (p=%v), brute %v (p=%v)",
+				trial, got, jointProb(h, got, obs), best, bestP)
+		}
+	}
+}
+
+// TestConditionMatchesPosteriorOfTrajectories is the key translation test:
+// the probability the conditioned Markov sequence assigns to any hidden
+// trajectory equals Pr(H = hid | O = obs).
+func TestConditionMatchesPosteriorOfTrajectories(t *testing.T) {
+	states := automata.MustAlphabet("a", "b")
+	obsAb := automata.MustAlphabet("x", "y")
+	for trial := 0; trial < 30; trial++ {
+		rng := rand.New(rand.NewSource(int64(300 + trial)))
+		h := randomModel(states, obsAb, rng)
+		n := 1 + rng.Intn(5)
+		obs := make([]automata.Symbol, n)
+		for i := range obs {
+			obs[i] = automata.Symbol(rng.Intn(obsAb.Size()))
+		}
+		m, err := h.Condition(obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		total := 0.0
+		allHidden(states.Size(), n, func(hid []automata.Symbol) {
+			total += jointProb(h, hid, obs)
+		})
+		allHidden(states.Size(), n, func(hid []automata.Symbol) {
+			want := jointProb(h, hid, obs) / total
+			if got := m.Prob(hid); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("trial %d: conditioned Prob(%v) = %v, want %v", trial, hid, got, want)
+			}
+		})
+	}
+}
+
+func TestConditionImpossibleObservation(t *testing.T) {
+	states := automata.MustAlphabet("a")
+	obsAb := automata.MustAlphabet("x", "y")
+	h := New(states, obsAb)
+	h.Initial[0] = 1
+	h.Trans[0][0] = 1
+	h.Emit[0][0] = 1 // only ever emits x
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Condition([]automata.Symbol{1}); err == nil {
+		t.Fatal("conditioning on an impossible observation should fail")
+	}
+	if _, err := h.Condition(nil); err == nil {
+		t.Fatal("conditioning on empty observations should fail")
+	}
+}
+
+func TestPriorAndSample(t *testing.T) {
+	states := automata.MustAlphabet("a", "b")
+	obsAb := automata.MustAlphabet("x", "y")
+	rng := rand.New(rand.NewSource(9))
+	h := randomModel(states, obsAb, rng)
+	prior := h.Prior(6)
+	if err := prior.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	hid, obs := h.Sample(6, rng)
+	if len(hid) != 6 || len(obs) != 6 {
+		t.Fatal("Sample lengths wrong")
+	}
+}

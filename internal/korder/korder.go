@@ -1,0 +1,359 @@
+// Package korder implements k-order Markov sequences and their reduction
+// to the first-order model. Footnote 3 of Kimelfeld & Ré (PODS 2010)
+// states that all the paper's results generalize to k-order Markov
+// sequences for fixed k; the reduction here is the reason: a k-order
+// sequence over Σ lifts to a first-order sequence over the tuple alphabet
+// Σ^k (restricted to reachable tuples), and a transducer over Σ lifts to
+// one over the tuples that reads the last component, preserving every
+// answer and confidence. The lifted alphabet has |Σ|^k symbols — the
+// "provided k is fixed" caveat.
+package korder
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"markovseq/internal/automata"
+	"markovseq/internal/markov"
+	"markovseq/internal/transducer"
+)
+
+// Sequence is a k-order Markov sequence of length n over nodes Σ: the
+// distribution of S_{i+1} depends on the previous min(i, k) nodes.
+type Sequence struct {
+	// Nodes is Σ.
+	Nodes *automata.Alphabet
+	// Order is k ≥ 1.
+	Order int
+	// N is the sequence length.
+	N int
+	// probs[i] maps a history h (the previous min(i,k) nodes, encoded with
+	// historyKey) to the distribution of S_{i+1} (0-based position i).
+	probs []map[string][]float64
+}
+
+// New returns a k-order sequence with no distributions set; fill with Set
+// and then Validate.
+func New(nodes *automata.Alphabet, order, n int) *Sequence {
+	if order < 1 {
+		panic("korder: order must be ≥ 1")
+	}
+	if n < 1 {
+		panic("korder: length must be ≥ 1")
+	}
+	s := &Sequence{Nodes: nodes, Order: order, N: n, probs: make([]map[string][]float64, n)}
+	for i := range s.probs {
+		s.probs[i] = map[string][]float64{}
+	}
+	return s
+}
+
+func historyKey(h []automata.Symbol) string {
+	var b strings.Builder
+	for _, s := range h {
+		fmt.Fprintf(&b, "%d,", s)
+	}
+	return b.String()
+}
+
+// truncate returns the effective history for position i (0-based): the
+// last min(i, k) symbols of h, which must have length i or more.
+func (s *Sequence) truncate(i int, h []automata.Symbol) []automata.Symbol {
+	keep := i
+	if keep > s.Order {
+		keep = s.Order
+	}
+	return h[len(h)-keep:]
+}
+
+// Set assigns the distribution of position i (0-based) given history h
+// (the previous min(i,k) nodes, oldest first). dist must have one entry
+// per node.
+func (s *Sequence) Set(i int, h []automata.Symbol, dist []float64) {
+	if i < 0 || i >= s.N {
+		panic(fmt.Sprintf("korder: position %d out of range [0,%d)", i, s.N))
+	}
+	want := i
+	if want > s.Order {
+		want = s.Order
+	}
+	if len(h) != want {
+		panic(fmt.Sprintf("korder: position %d wants history length %d, got %d", i, want, len(h)))
+	}
+	if len(dist) != s.Nodes.Size() {
+		panic("korder: distribution size mismatch")
+	}
+	s.probs[i][historyKey(h)] = append([]float64(nil), dist...)
+}
+
+// Dist returns the distribution of position i given history h (already
+// truncated), or nil if unset.
+func (s *Sequence) Dist(i int, h []automata.Symbol) []float64 {
+	return s.probs[i][historyKey(s.truncate(i, h))]
+}
+
+// Prob returns the probability of the full string str (zero if any needed
+// history is unset).
+func (s *Sequence) Prob(str []automata.Symbol) float64 {
+	if len(str) != s.N {
+		return 0
+	}
+	p := 1.0
+	for i := 0; i < s.N; i++ {
+		dist := s.Dist(i, str[:i])
+		if dist == nil {
+			return 0
+		}
+		p *= dist[str[i]]
+		if p == 0 {
+			return 0
+		}
+	}
+	return p
+}
+
+// Validate checks that every distribution that is set sums to one, and
+// that every reachable history has a distribution.
+func (s *Sequence) Validate() error {
+	// Check sums.
+	for i, m := range s.probs {
+		for h, dist := range m {
+			sum := 0.0
+			for _, p := range dist {
+				if p < 0 || p > 1 {
+					return fmt.Errorf("korder: position %d history %q has invalid probability %v", i, h, p)
+				}
+				sum += p
+			}
+			if diff := sum - 1; diff > markov.Tolerance || diff < -markov.Tolerance {
+				return fmt.Errorf("korder: position %d history %q sums to %v", i, h, sum)
+			}
+		}
+	}
+	// Check reachability by walking the support.
+	type state struct {
+		i int
+		h string
+	}
+	seen := map[state]bool{}
+	var walk func(i int, h []automata.Symbol) error
+	walk = func(i int, h []automata.Symbol) error {
+		if i == s.N {
+			return nil
+		}
+		th := s.truncate(i, h)
+		st := state{i, historyKey(th)}
+		if seen[st] {
+			return nil
+		}
+		seen[st] = true
+		dist := s.probs[i][historyKey(th)]
+		if dist == nil {
+			return fmt.Errorf("korder: reachable history at position %d has no distribution", i)
+		}
+		for sym, p := range dist {
+			if p == 0 {
+				continue
+			}
+			if err := walk(i+1, append(h, automata.Symbol(sym))); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(0, nil)
+}
+
+// Sample draws a random string.
+func (s *Sequence) Sample(rng *rand.Rand) []automata.Symbol {
+	out := make([]automata.Symbol, 0, s.N)
+	for i := 0; i < s.N; i++ {
+		dist := s.Dist(i, out)
+		x := rng.Float64()
+		acc := 0.0
+		pick := automata.Symbol(0)
+		for sym, p := range dist {
+			if p == 0 {
+				continue
+			}
+			pick = automata.Symbol(sym)
+			acc += p
+			if x < acc {
+				break
+			}
+		}
+		out = append(out, pick)
+	}
+	return out
+}
+
+// Lifted is the first-order reduction of a k-order sequence: a
+// markov.Sequence over tuple nodes, plus the mapping needed to lift
+// transducers and project strings.
+type Lifted struct {
+	// Seq is the first-order Markov sequence over tuple nodes.
+	Seq *markov.Sequence
+	// Tuples is the tuple alphabet; tuple i's components are Components[i].
+	Tuples *automata.Alphabet
+	// Components maps each tuple symbol to its underlying Σ symbols
+	// (length ≤ k; shorter tuples occur in the first k−1 positions).
+	Components [][]automata.Symbol
+	// Base is the original node alphabet Σ.
+	Base *automata.Alphabet
+}
+
+// Lift reduces the k-order sequence to first order. Tuple node t at
+// position i encodes the window (S_{i−k+1..i}) (shorter near the start);
+// transitions extend the window and drop its oldest entry. Only reachable
+// tuples are materialized.
+func (s *Sequence) Lift() *Lifted {
+	tuples := &automata.Alphabet{}
+	var components [][]automata.Symbol
+	index := map[string]automata.Symbol{}
+	intern := func(window []automata.Symbol) automata.Symbol {
+		k := historyKey(window)
+		if sym, ok := index[k]; ok {
+			return sym
+		}
+		names := make([]string, len(window))
+		for i, w := range window {
+			names[i] = s.Nodes.Name(w)
+		}
+		sym := tuples.Add(strings.Join(names, "·"))
+		index[k] = sym
+		components = append(components, automata.CloneString(window))
+		return sym
+	}
+
+	// First pass: discover reachable windows per position.
+	windowsAt := make([][][]automata.Symbol, s.N)
+	seen := make([]map[string]bool, s.N)
+	for i := range seen {
+		seen[i] = map[string]bool{}
+	}
+	var explore func(i int, h []automata.Symbol)
+	explore = func(i int, h []automata.Symbol) {
+		if i == s.N {
+			return
+		}
+		dist := s.Dist(i, h)
+		for sym, p := range dist {
+			if p == 0 {
+				continue
+			}
+			h2 := append(automata.CloneString(h), automata.Symbol(sym))
+			w := s.truncate(i+1, h2)
+			k := historyKey(w)
+			if !seen[i][k] {
+				seen[i][k] = true
+				windowsAt[i] = append(windowsAt[i], automata.CloneString(w))
+			}
+			explore(i+1, w)
+		}
+	}
+	explore(0, nil)
+
+	// Intern all windows so the tuple alphabet is complete before building
+	// the sequence.
+	for _, ws := range windowsAt {
+		for _, w := range ws {
+			intern(w)
+		}
+	}
+	seq := markov.New(tuples, s.N)
+
+	// Initial distribution: windows of length 1 at position 0.
+	dist0 := s.Dist(0, nil)
+	for sym, p := range dist0 {
+		if p == 0 {
+			continue
+		}
+		seq.Initial[intern([]automata.Symbol{automata.Symbol(sym)})] = p
+	}
+	// Transitions.
+	for i := 0; i < s.N-1; i++ {
+		for _, w := range windowsAt[i] {
+			from := intern(w)
+			dist := s.Dist(i+1, w)
+			row := seq.Trans[i][from]
+			for sym, p := range dist {
+				if p == 0 {
+					continue
+				}
+				h2 := append(automata.CloneString(w), automata.Symbol(sym))
+				to := intern(s.truncate(i+2, h2))
+				row[to] += p
+			}
+		}
+		// Unreachable tuple rows: self-loop for stochasticity.
+		for t := range seq.Trans[i] {
+			sum := 0.0
+			for _, p := range seq.Trans[i][t] {
+				sum += p
+			}
+			if sum == 0 {
+				seq.Trans[i][t][t] = 1
+			}
+		}
+	}
+	if err := seq.Validate(); err != nil {
+		panic(fmt.Sprintf("korder: lifted sequence invalid: %v", err))
+	}
+	return &Lifted{Seq: seq, Tuples: tuples, Components: components, Base: s.Nodes}
+}
+
+// LiftString maps a base string to its tuple string (the window at each
+// position). It panics if a window was never materialized (i.e. the
+// string has probability zero).
+func (l *Lifted) LiftString(str []automata.Symbol) []automata.Symbol {
+	out := make([]automata.Symbol, len(str))
+	for i := range str {
+		start := 0
+		// window length at position i (0-based) is min(i+1, k), where k is
+		// recoverable from the longest component.
+		k := len(l.Components[len(l.Components)-1])
+		if i+1 > k {
+			start = i + 1 - k
+		}
+		w := str[start : i+1]
+		names := make([]string, len(w))
+		for j, s := range w {
+			names[j] = l.Base.Name(s)
+		}
+		sym, ok := l.Tuples.Symbol(strings.Join(names, "·"))
+		if !ok {
+			panic("korder: string passes through an unreachable window")
+		}
+		out[i] = sym
+	}
+	return out
+}
+
+// LiftTransducer lifts a transducer over Σ to one over the tuple nodes:
+// each tuple is read as its last component. Answers and confidences are
+// preserved: s →[A^ω]→ o over the k-order sequence iff
+// lift(s) →[lift(A^ω)]→ o over the lifted sequence, with equal
+// probabilities.
+func (l *Lifted) LiftTransducer(t *transducer.Transducer) *transducer.Transducer {
+	lt := transducer.New(l.Tuples, t.Out, t.NumStates(), t.Start())
+	for q := 0; q < t.NumStates(); q++ {
+		lt.SetAccepting(q, t.Accepting(q))
+	}
+	for _, tup := range l.Tuples.Symbols() {
+		comp := l.Components[tup]
+		last := comp[len(comp)-1]
+		// The lifted symbol's base name is the component's name in Σ; find
+		// the matching input symbol of t by name.
+		base, ok := t.In.Symbol(l.Base.Name(last))
+		if !ok {
+			continue
+		}
+		for q := 0; q < t.NumStates(); q++ {
+			for _, q2 := range t.Succ(q, base) {
+				lt.AddTransition(q, tup, q2, t.Emit(q, base, q2))
+			}
+		}
+	}
+	return lt
+}

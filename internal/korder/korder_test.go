@@ -1,0 +1,202 @@
+package korder
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"markovseq/internal/automata"
+	"markovseq/internal/conf"
+	"markovseq/internal/transducer"
+)
+
+// randomKOrder builds a random fully-specified k-order sequence.
+func randomKOrder(ab *automata.Alphabet, order, n int, rng *rand.Rand) *Sequence {
+	s := New(ab, order, n)
+	var fill func(i int, h []automata.Symbol)
+	fill = func(i int, h []automata.Symbol) {
+		if i == n {
+			return
+		}
+		th := s.truncate(i, h)
+		if s.Dist(i, th) == nil {
+			dist := make([]float64, ab.Size())
+			z := 0.0
+			for j := range dist {
+				if rng.Intn(3) != 0 {
+					dist[j] = rng.Float64()
+					z += dist[j]
+				}
+			}
+			if z == 0 {
+				dist[rng.Intn(len(dist))] = 1
+				z = 1
+			}
+			for j := range dist {
+				dist[j] /= z
+			}
+			s.Set(i, th, dist)
+		}
+		for sym, p := range s.Dist(i, th) {
+			if p == 0 {
+				continue
+			}
+			fill(i+1, append(h, automata.Symbol(sym)))
+		}
+	}
+	fill(0, nil)
+	return s
+}
+
+// enumerate walks the support of a k-order sequence.
+func enumerate(s *Sequence, fn func(str []automata.Symbol, p float64)) {
+	var rec func(i int, h []automata.Symbol, p float64)
+	rec = func(i int, h []automata.Symbol, p float64) {
+		if i == s.N {
+			fn(h, p)
+			return
+		}
+		for sym, q := range s.Dist(i, h) {
+			if q == 0 {
+				continue
+			}
+			rec(i+1, append(automata.CloneString(h), automata.Symbol(sym)), p*q)
+		}
+	}
+	rec(0, nil, 1)
+}
+
+func TestValidateAndTotalMass(t *testing.T) {
+	ab := automata.MustAlphabet("a", "b")
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		order := 1 + rng.Intn(3)
+		n := 1 + rng.Intn(5)
+		s := randomKOrder(ab, order, n, rng)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		total := 0.0
+		enumerate(s, func(str []automata.Symbol, p float64) {
+			total += p
+			if got := s.Prob(str); math.Abs(got-p) > 1e-12 {
+				t.Fatalf("trial %d: Prob(%v) = %v, want %v", trial, str, got, p)
+			}
+		})
+		if math.Abs(total-1) > 1e-9 {
+			t.Fatalf("trial %d: total mass %v", trial, total)
+		}
+	}
+}
+
+func TestValidateRejectsBadRows(t *testing.T) {
+	ab := automata.MustAlphabet("a", "b")
+	s := New(ab, 2, 2)
+	s.Set(0, nil, []float64{0.5, 0.5})
+	// Missing distribution for reachable history.
+	if err := s.Validate(); err == nil {
+		t.Fatal("missing history should fail")
+	}
+	s.Set(1, []automata.Symbol{0}, []float64{0.3, 0.3})
+	if err := s.Validate(); err == nil {
+		t.Fatal("sub-stochastic row should fail")
+	}
+}
+
+// TestLiftPreservesProbabilities: the lifted first-order sequence assigns
+// the same probability to the lifted string as the k-order original.
+func TestLiftPreservesProbabilities(t *testing.T) {
+	ab := automata.MustAlphabet("a", "b", "c")
+	for trial := 0; trial < 25; trial++ {
+		rng := rand.New(rand.NewSource(int64(100 + trial)))
+		order := 1 + rng.Intn(3)
+		n := 1 + rng.Intn(5)
+		s := randomKOrder(ab, order, n, rng)
+		l := s.Lift()
+		total := 0.0
+		enumerate(s, func(str []automata.Symbol, p float64) {
+			lifted := l.LiftString(str)
+			if got := l.Seq.Prob(lifted); math.Abs(got-p) > 1e-12 {
+				t.Fatalf("trial %d: lifted Prob(%v) = %v, want %v", trial, str, got, p)
+			}
+			total += p
+		})
+		if math.Abs(total-1) > 1e-9 {
+			t.Fatalf("trial %d: support mass %v", trial, total)
+		}
+	}
+}
+
+// TestLiftPreservesConfidences: footnote 3 in action — the confidence of
+// every answer of a transducer over the k-order sequence (computed by
+// brute force) equals the confidence of the lifted transducer over the
+// lifted sequence (computed by the Theorem 4.6 DP).
+func TestLiftPreservesConfidences(t *testing.T) {
+	ab := automata.MustAlphabet("a", "b")
+	out := automata.MustAlphabet("x", "y")
+	for trial := 0; trial < 25; trial++ {
+		rng := rand.New(rand.NewSource(int64(200 + trial)))
+		order := 2
+		n := 2 + rng.Intn(3)
+		s := randomKOrder(ab, order, n, rng)
+		// Random deterministic transducer over the base alphabet.
+		tr := transducer.New(ab, out, 2, 0)
+		for q := 0; q < 2; q++ {
+			tr.SetAccepting(q, rng.Intn(2) == 0)
+			for _, sym := range ab.Symbols() {
+				if rng.Intn(4) == 0 {
+					continue
+				}
+				var e []automata.Symbol
+				if rng.Intn(2) == 0 {
+					e = []automata.Symbol{automata.Symbol(rng.Intn(out.Size()))}
+				}
+				tr.AddTransition(q, sym, rng.Intn(2), e)
+			}
+		}
+		// Brute-force answers over the k-order sequence.
+		want := map[string]float64{}
+		enumerate(s, func(str []automata.Symbol, p float64) {
+			if o, ok := tr.TransduceDet(str); ok {
+				want[automata.StringKey(o)] += p
+			}
+		})
+		l := s.Lift()
+		lt := l.LiftTransducer(tr)
+		if !lt.IsDeterministic() {
+			t.Fatal("lift must preserve determinism")
+		}
+		for key, w := range want {
+			o := parseKey(key)
+			if got := conf.Det(lt, l.Seq, o); math.Abs(got-w) > 1e-9 {
+				t.Fatalf("trial %d: lifted conf(%v) = %v, want %v", trial, o, got, w)
+			}
+		}
+	}
+}
+
+func TestSampleInSupport(t *testing.T) {
+	ab := automata.MustAlphabet("a", "b")
+	rng := rand.New(rand.NewSource(9))
+	s := randomKOrder(ab, 2, 5, rng)
+	for i := 0; i < 50; i++ {
+		str := s.Sample(rng)
+		if s.Prob(str) <= 0 {
+			t.Fatalf("sampled string %v has zero probability", str)
+		}
+	}
+}
+
+func parseKey(key string) []automata.Symbol {
+	var out []automata.Symbol
+	cur := 0
+	for i := 0; i < len(key); i++ {
+		if key[i] == ',' {
+			out = append(out, automata.Symbol(cur))
+			cur = 0
+			continue
+		}
+		cur = cur*10 + int(key[i]-'0')
+	}
+	return out
+}

@@ -1,0 +1,248 @@
+// Package kpaths enumerates the source→target paths of an edge-weighted
+// DAG in order of increasing total weight, with polynomial delay. It is
+// the reduction target of Theorem 5.7 (ranked evaluation of indexed
+// s-projectors reduces to "enumerating the directed paths between two
+// nodes of an edge-weighted DAG" [Eppstein]).
+//
+// The implementation is the classical deviation method (Hoffman–Pavley /
+// Lawler): the best path is found by dynamic programming over the DAG;
+// each output path spawns candidate paths that share a prefix and deviate
+// at one edge, with the remainder completed optimally. A priority queue
+// orders candidates by total weight. The delay per path is polynomial in
+// the graph; the queue can grow linearly with the number of emitted paths
+// (see DESIGN.md ablation A4 for the space discussion).
+package kpaths
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Edge is a weighted, labelled edge. Labels carry client payloads (for the
+// s-projector reduction: emitted symbols and start indices) and are opaque
+// to this package.
+type Edge struct {
+	From, To int
+	Weight   float64
+	Label    int32
+}
+
+// Graph is a directed graph with nodes 0..N-1. Enumerate requires it to be
+// acyclic; AddEdge enforces nothing, but Enumerate verifies acyclicity.
+type Graph struct {
+	n   int
+	adj [][]Edge
+}
+
+// NewGraph returns an empty graph with n nodes.
+func NewGraph(n int) *Graph {
+	return &Graph{n: n, adj: make([][]Edge, n)}
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return g.n }
+
+// AddEdge inserts a directed edge. Weights must be non-negative (they are
+// −log probabilities in this repository's uses).
+func (g *Graph) AddEdge(from, to int, w float64, label int32) {
+	if from < 0 || from >= g.n || to < 0 || to >= g.n {
+		panic(fmt.Sprintf("kpaths: edge %d→%d out of range [0,%d)", from, to, g.n))
+	}
+	if w < 0 || math.IsNaN(w) {
+		panic(fmt.Sprintf("kpaths: negative or NaN weight %v", w))
+	}
+	g.adj[from] = append(g.adj[from], Edge{from, to, w, label})
+}
+
+// Path is a source→target path: its edges in order and its total weight.
+type Path struct {
+	Edges  []Edge
+	Weight float64
+}
+
+// Labels returns the labels of the path's edges, in order.
+func (p Path) Labels() []int32 {
+	out := make([]int32, len(p.Edges))
+	for i, e := range p.Edges {
+		out[i] = e.Label
+	}
+	return out
+}
+
+// topoOrder returns a topological order of g, or an error if g has a cycle.
+func (g *Graph) topoOrder() ([]int, error) {
+	indeg := make([]int, g.n)
+	for _, edges := range g.adj {
+		for _, e := range edges {
+			indeg[e.To]++
+		}
+	}
+	order := make([]int, 0, g.n)
+	var stack []int
+	for v := 0; v < g.n; v++ {
+		if indeg[v] == 0 {
+			stack = append(stack, v)
+		}
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		order = append(order, v)
+		for _, e := range g.adj[v] {
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	if len(order) != g.n {
+		return nil, fmt.Errorf("kpaths: graph has a cycle")
+	}
+	return order, nil
+}
+
+// Enumerator yields the src→dst paths of a DAG in increasing weight.
+type Enumerator struct {
+	g          *Graph
+	dst        int
+	bestSuffix []float64 // min weight v→dst (+Inf if unreachable)
+	bestEdge   []int     // index into g.adj[v] of the optimal continuation
+	queue      candidateQueue
+}
+
+type candidate struct {
+	// prefix is the locked part of the path (edges from src); the rest is
+	// completed greedily via bestEdge. deviation is the number of locked
+	// edges (children may only deviate at or after this index, which
+	// guarantees each path is generated exactly once).
+	prefix    []Edge
+	deviation int
+	weight    float64 // total weight: prefix + bestSuffix of its endpoint
+	endpoint  int
+}
+
+type candidateQueue []*candidate
+
+func (q candidateQueue) Len() int            { return len(q) }
+func (q candidateQueue) Less(i, j int) bool  { return q[i].weight < q[j].weight }
+func (q candidateQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *candidateQueue) Push(x interface{}) { *q = append(*q, x.(*candidate)) }
+func (q *candidateQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	c := old[n-1]
+	*q = old[:n-1]
+	return c
+}
+
+// Enumerate prepares an enumerator of the src→dst paths of g in increasing
+// weight. It returns an error if g is cyclic.
+func (g *Graph) Enumerate(src, dst int) (*Enumerator, error) {
+	order, err := g.topoOrder()
+	if err != nil {
+		return nil, err
+	}
+	e := &Enumerator{
+		g:          g,
+		dst:        dst,
+		bestSuffix: make([]float64, g.n),
+		bestEdge:   make([]int, g.n),
+	}
+	for v := range e.bestSuffix {
+		e.bestSuffix[v] = math.Inf(1)
+		e.bestEdge[v] = -1
+	}
+	e.bestSuffix[dst] = 0
+	// Relax in reverse topological order.
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		for idx, ed := range g.adj[v] {
+			if w := ed.Weight + e.bestSuffix[ed.To]; w < e.bestSuffix[v] {
+				e.bestSuffix[v] = w
+				e.bestEdge[v] = idx
+			}
+		}
+	}
+	if !math.IsInf(e.bestSuffix[src], 1) {
+		heap.Push(&e.queue, &candidate{endpoint: src, weight: e.bestSuffix[src]})
+	}
+	return e, nil
+}
+
+// Next returns the next-cheapest path, or ok=false when the enumeration is
+// exhausted. Successive calls yield paths in non-decreasing weight, each
+// exactly once.
+func (e *Enumerator) Next() (Path, bool) {
+	if len(e.queue) == 0 {
+		return Path{}, false
+	}
+	c := heap.Pop(&e.queue).(*candidate)
+	// Materialize the path: locked prefix + greedy completion.
+	edges := append([]Edge(nil), c.prefix...)
+	v := c.endpoint
+	for v != e.dst {
+		ed := e.g.adj[v][e.bestEdge[v]]
+		edges = append(edges, ed)
+		v = ed.To
+	}
+	// Spawn deviations at every position at or after the deviation index.
+	prefixWeight := 0.0
+	for i := 0; i < c.deviation; i++ {
+		prefixWeight += edges[i].Weight
+	}
+	for i := c.deviation; i < len(edges); i++ {
+		at := edges[i].From
+		taken := edges[i]
+		for _, ed := range e.g.adj[at] {
+			if sameEdge(ed, taken) {
+				continue
+			}
+			if math.IsInf(e.bestSuffix[ed.To], 1) {
+				continue
+			}
+			child := &candidate{
+				prefix:    append(append([]Edge(nil), edges[:i]...), ed),
+				deviation: i + 1,
+				weight:    prefixWeight + ed.Weight + e.bestSuffix[ed.To],
+				endpoint:  ed.To,
+			}
+			heap.Push(&e.queue, child)
+		}
+		prefixWeight += edges[i].Weight
+	}
+	return Path{Edges: edges, Weight: pathWeight(edges)}, true
+}
+
+// sameEdge compares edges by identity of their fields; parallel edges with
+// identical weight and label are indistinguishable and deduplicated by the
+// enumeration (they would represent identical paths anyway).
+func sameEdge(a, b Edge) bool {
+	return a.From == b.From && a.To == b.To && a.Weight == b.Weight && a.Label == b.Label
+}
+
+func pathWeight(edges []Edge) float64 {
+	w := 0.0
+	for _, e := range edges {
+		w += e.Weight
+	}
+	return w
+}
+
+// KShortest returns up to k src→dst paths in non-decreasing weight (a
+// convenience over Enumerate).
+func (g *Graph) KShortest(src, dst, k int) ([]Path, error) {
+	e, err := g.Enumerate(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	var out []Path
+	for len(out) < k {
+		p, ok := e.Next()
+		if !ok {
+			break
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

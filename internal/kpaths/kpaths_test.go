@@ -1,0 +1,212 @@
+package kpaths
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestDiamond(t *testing.T) {
+	// 0 → {1,2} → 3 with distinct weights; four paths? no: 0→1→3, 0→2→3.
+	g := NewGraph(4)
+	g.AddEdge(0, 1, 1, 0)
+	g.AddEdge(0, 2, 2, 1)
+	g.AddEdge(1, 3, 5, 2)
+	g.AddEdge(2, 3, 1, 3)
+	e, err := g.Enumerate(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, ok := e.Next()
+	if !ok || math.Abs(p1.Weight-3) > 1e-12 {
+		t.Fatalf("first path weight %v, want 3", p1.Weight)
+	}
+	p2, ok := e.Next()
+	if !ok || math.Abs(p2.Weight-6) > 1e-12 {
+		t.Fatalf("second path weight %v, want 6", p2.Weight)
+	}
+	if _, ok := e.Next(); ok {
+		t.Fatal("expected exhaustion after two paths")
+	}
+}
+
+func TestLabels(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 1, 1, 7)
+	g.AddEdge(1, 2, 1, 8)
+	e, _ := g.Enumerate(0, 2)
+	p, ok := e.Next()
+	if !ok {
+		t.Fatal("no path")
+	}
+	ls := p.Labels()
+	if len(ls) != 2 || ls[0] != 7 || ls[1] != 8 {
+		t.Fatalf("labels = %v", ls)
+	}
+}
+
+func TestCycleRejected(t *testing.T) {
+	g := NewGraph(2)
+	g.AddEdge(0, 1, 1, 0)
+	g.AddEdge(1, 0, 1, 0)
+	if _, err := g.Enumerate(0, 1); err == nil {
+		t.Fatal("cyclic graph should be rejected")
+	}
+}
+
+func TestUnreachable(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 1, 1, 0)
+	e, err := g.Enumerate(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.Next(); ok {
+		t.Fatal("unreachable destination should yield no paths")
+	}
+}
+
+func TestSrcEqualsDst(t *testing.T) {
+	g := NewGraph(2)
+	g.AddEdge(0, 1, 1, 0)
+	e, _ := g.Enumerate(0, 0)
+	p, ok := e.Next()
+	if !ok || len(p.Edges) != 0 || p.Weight != 0 {
+		t.Fatalf("empty path expected, got %v %v", p, ok)
+	}
+	if _, ok := e.Next(); ok {
+		t.Fatal("only the empty path exists in a DAG from a node to itself")
+	}
+}
+
+// allPathsBrute enumerates every src→dst path by DFS.
+func allPathsBrute(g *Graph, src, dst int) []float64 {
+	var weights []float64
+	var rec func(v int, w float64)
+	rec = func(v int, w float64) {
+		if v == dst {
+			weights = append(weights, w)
+			return
+		}
+		for _, e := range g.adj[v] {
+			rec(e.To, w+e.Weight)
+		}
+	}
+	rec(src, 0)
+	sort.Float64s(weights)
+	return weights
+}
+
+// randomDAG builds a random layered DAG (guaranteed acyclic: edges go from
+// lower to strictly higher node ids).
+func randomDAG(n int, density float64, rng *rand.Rand) *Graph {
+	g := NewGraph(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < density {
+				g.AddEdge(u, v, rng.Float64()*10, int32(u*100+v))
+			}
+		}
+	}
+	return g
+}
+
+func TestAgainstBruteForce(t *testing.T) {
+	for trial := 0; trial < 100; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		n := 2 + rng.Intn(7)
+		g := randomDAG(n, 0.5, rng)
+		want := allPathsBrute(g, 0, n-1)
+		e, err := g.Enumerate(0, n-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []float64
+		prev := math.Inf(-1)
+		for {
+			p, ok := e.Next()
+			if !ok {
+				break
+			}
+			if p.Weight < prev-1e-9 {
+				t.Fatalf("trial %d: weights not non-decreasing: %v after %v", trial, p.Weight, prev)
+			}
+			prev = p.Weight
+			got = append(got, p.Weight)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: enumerated %d paths, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("trial %d: path %d weight %v, want %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestDistinctPaths(t *testing.T) {
+	// Every enumerated path must be distinct as an edge sequence.
+	for trial := 0; trial < 30; trial++ {
+		rng := rand.New(rand.NewSource(int64(500 + trial)))
+		n := 3 + rng.Intn(6)
+		g := randomDAG(n, 0.6, rng)
+		e, err := g.Enumerate(0, n-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[string]bool{}
+		for {
+			p, ok := e.Next()
+			if !ok {
+				break
+			}
+			key := ""
+			for _, ed := range p.Edges {
+				key += string(rune(ed.From)) + ">" + string(rune(ed.To)) + ";"
+			}
+			if seen[key] {
+				t.Fatalf("trial %d: duplicate path %q", trial, key)
+			}
+			seen[key] = true
+		}
+	}
+}
+
+func TestBadInputsPanic(t *testing.T) {
+	g := NewGraph(2)
+	mustPanic := func(f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		f()
+	}
+	mustPanic(func() { g.AddEdge(0, 5, 1, 0) })
+	mustPanic(func() { g.AddEdge(0, 1, -1, 0) })
+	mustPanic(func() { g.AddEdge(0, 1, math.NaN(), 0) })
+}
+
+func TestKShortest(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	g := randomDAG(8, 0.6, rng)
+	all := allPathsBrute(g, 0, 7)
+	got, err := g.KShortest(0, 7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantN := 3
+	if len(all) < 3 {
+		wantN = len(all)
+	}
+	if len(got) != wantN {
+		t.Fatalf("KShortest returned %d paths, want %d", len(got), wantN)
+	}
+	for i, p := range got {
+		if math.Abs(p.Weight-all[i]) > 1e-9 {
+			t.Fatalf("path %d weight %v, want %v", i, p.Weight, all[i])
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package lahar
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"markovseq/internal/automata"
+	"markovseq/internal/conf"
+	"markovseq/internal/core"
+)
+
+// MatchProb evaluates a Boolean event query in the Lahar style (Ré et
+// al., "Event queries on correlated probabilistic streams"): the
+// probability that the stream's random world is in the language of the
+// automaton, Pr(S ∈ L(A)). Internally this is the nonzero-answer
+// primitive of the paper with its probability retained: a lazy subset
+// construction interleaved with the Markov dynamic program.
+func (db *DB) MatchProb(stream string, a *automata.NFA) (float64, error) {
+	m, err := db.Stream(stream)
+	if err != nil {
+		return 0, err
+	}
+	if a.Alphabet.Size() != m.Nodes.Size() {
+		return 0, fmt.Errorf("lahar: event automaton reads %d symbols, stream has %d nodes",
+			a.Alphabet.Size(), m.Nodes.Size())
+	}
+	return conf.AcceptanceProb(a, m), nil
+}
+
+// StreamResult is one stream's contribution to a cross-stream ranking.
+type StreamResult struct {
+	Stream string
+	Result
+}
+
+// TopKAcross evaluates the query over every named stream and merges the
+// per-stream rankings into one global top-k by score. Lahar's warehousing
+// scenario — one Markov sequence per tracked object, one query over the
+// fleet — reduces to exactly this merge. Each stream contributes at most
+// its own top-k (no deeper answer can enter the global top-k, since
+// per-stream rankings are non-increasing).
+func (db *DB) TopKAcross(streams []string, qname string, k int) ([]StreamResult, error) {
+	if len(streams) == 0 {
+		streams = db.Streams()
+	}
+	// Evaluate the streams concurrently: each stream's evaluation is
+	// independent, and the store itself is read-locked per call.
+	type streamOut struct {
+		res []Result
+		err error
+	}
+	outs := make([]streamOut, len(streams))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 8)
+	for i, name := range streams {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res, err := db.TopK(name, qname, k)
+			outs[i] = streamOut{res: res, err: err}
+		}(i, name)
+	}
+	wg.Wait()
+	var all []StreamResult
+	for i, name := range streams {
+		if outs[i].err != nil {
+			return nil, outs[i].err
+		}
+		for _, r := range outs[i].res {
+			all = append(all, StreamResult{Stream: name, Result: r})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Score > all[j].Score })
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all, nil
+}
+
+// WindowResult is one sliding-window evaluation result.
+type WindowResult struct {
+	// Start and End are the 1-based inclusive window bounds.
+	Start, End int
+	// Top holds the window's best-ranked answers.
+	Top []Result
+}
+
+// SlidingTopK evaluates the query over every length-`window` slice of the
+// stream (stride positions apart) and reports the per-window top-k. Each
+// window's marginal distribution is exact (markov.Window), so this is the
+// streaming evaluation mode of a Lahar-style warehouse: "what was the
+// cart doing in each half-hour slice?".
+func (db *DB) SlidingTopK(stream, qname string, window, stride, k int) ([]WindowResult, error) {
+	if window < 1 || stride < 1 {
+		return nil, fmt.Errorf("lahar: window and stride must be ≥ 1")
+	}
+	m, q, err := db.lookup(stream, qname)
+	if err != nil {
+		return nil, err
+	}
+	var out []WindowResult
+	for start := 1; start+window-1 <= m.Len(); start += stride {
+		sub := m.Window(start, start+window-1)
+		var eng *core.Engine
+		if q.p != nil {
+			eng, err = core.NewSProjectorEngine(q.p, sub, q.indexed)
+		} else {
+			eng, err = core.NewTransducerEngine(q.t, sub)
+		}
+		if err != nil {
+			return nil, err
+		}
+		wr := WindowResult{Start: start, End: start + window - 1}
+		for _, a := range eng.TopK(k) {
+			wr.Top = append(wr.Top, Result{Output: a.Output, Index: a.Index, Score: a.Score, Kind: kindOf(a.Kind)})
+		}
+		out = append(out, wr)
+	}
+	return out, nil
+}

@@ -1,0 +1,170 @@
+package lahar
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"markovseq/internal/automata"
+	"markovseq/internal/markov"
+	"markovseq/internal/paperex"
+	"markovseq/internal/regex"
+)
+
+func TestMatchProb(t *testing.T) {
+	db, nodes, _ := setup(t)
+	// Event: "the cart visits the lab at some point".
+	visitsLab := regex.MustCompile(".*(<la>|<lb>).*", nodes)
+	got, err := db.MatchProb("cart17", visitsLab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Brute-force the event probability.
+	m, _ := db.Stream("cart17")
+	want := 0.0
+	m.Enumerate(func(s []automata.Symbol, p float64) bool {
+		for _, sym := range s {
+			name := nodes.Name(sym)
+			if name == "la" || name == "lb" {
+				want += p
+				break
+			}
+		}
+		return true
+	})
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("MatchProb = %v, want %v", got, want)
+	}
+	// Mismatched alphabet is rejected.
+	other := automata.Chars("ab")
+	if _, err := db.MatchProb("cart17", regex.MustCompile("a*", other)); err == nil {
+		t.Fatal("alphabet mismatch should error")
+	}
+	if _, err := db.MatchProb("nope", visitsLab); err == nil {
+		t.Fatal("unknown stream should error")
+	}
+}
+
+func TestExplain(t *testing.T) {
+	db, _, _ := setup(t)
+	ex, err := db.Explain("cart17", "places")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ex, "deterministic") || !strings.Contains(ex, "Theorem 4.6") {
+		t.Fatalf("Explain output unexpected:\n%s", ex)
+	}
+}
+
+func TestTopKAcross(t *testing.T) {
+	db := New()
+	nodes := paperex.Nodes()
+	outs := paperex.Outputs()
+	db.RegisterTransducer("places", paperex.Figure2(nodes, outs))
+	// Three carts: the paper example plus two random streams.
+	if err := db.PutStream("cart1", paperex.Figure1(nodes)); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for _, name := range []string{"cart2", "cart3"} {
+		if err := db.PutStream(name, markov.Random(nodes, 5, 0.5, rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := db.TopKAcross(nil, "places", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("no results")
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Score > got[i-1].Score+1e-12 {
+			t.Fatal("cross-stream results not sorted")
+		}
+	}
+	// Every result's stream must be one of the registered ones.
+	for _, r := range got {
+		if _, err := db.Stream(r.Stream); err != nil {
+			t.Fatalf("result from unknown stream %q", r.Stream)
+		}
+	}
+	// Restricting to one stream only returns that stream.
+	only, err := db.TopKAcross([]string{"cart1"}, "places", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range only {
+		if r.Stream != "cart1" {
+			t.Fatalf("unexpected stream %q", r.Stream)
+		}
+	}
+}
+
+// TestConcurrentAccess exercises the store under the race detector.
+func TestConcurrentAccess(t *testing.T) {
+	db := New()
+	nodes := paperex.Nodes()
+	outs := paperex.Outputs()
+	db.RegisterTransducer("places", paperex.Figure2(nodes, outs))
+	if err := db.PutStream("cart", paperex.Figure1(nodes)); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				switch (g + i) % 4 {
+				case 0:
+					if _, err := db.TopK("cart", "places", 2); err != nil {
+						t.Error(err)
+					}
+				case 1:
+					if _, err := db.Confidence("cart", "places", outs.MustParseString("1 2"), 0); err != nil {
+						t.Error(err)
+					}
+				case 2:
+					rng := rand.New(rand.NewSource(int64(g*100 + i)))
+					_ = db.PutStream("scratch", markov.Random(nodes, 4, 0.6, rng))
+				default:
+					db.Streams()
+					db.Queries()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestSlidingTopK(t *testing.T) {
+	db, _, outs := setup(t)
+	res, err := db.SlidingTopK("cart17", "places", 3, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 { // windows [1,3], [2,4], [3,5]
+		t.Fatalf("got %d windows", len(res))
+	}
+	for _, w := range res {
+		if w.End-w.Start != 2 {
+			t.Fatalf("window bounds %d..%d", w.Start, w.End)
+		}
+	}
+	// Larger stride skips windows.
+	res2, err := db.SlidingTopK("cart17", "places", 3, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2) != 2 {
+		t.Fatalf("stride 2: %d windows", len(res2))
+	}
+	// Invalid parameters rejected.
+	if _, err := db.SlidingTopK("cart17", "places", 0, 1, 1); err == nil {
+		t.Fatal("window 0 should be rejected")
+	}
+	_ = outs
+}

@@ -1,0 +1,59 @@
+package lahar
+
+import (
+	"fmt"
+
+	"markovseq/internal/automata"
+	"markovseq/internal/hmm"
+)
+
+// Ingester is a live stream source: a hidden Markov model plus the
+// observations received so far. Each AppendObs re-smooths the readings
+// into the stream's Markov sequence, which is the online version of the
+// paper's assumed preprocessing (Lahar's "Markovian stream" ingestion).
+// Re-smoothing is O(n·|S|²) per append — smoothing is inherently
+// whole-sequence, because a new observation revises the posterior of
+// every earlier position.
+type Ingester struct {
+	db     *DB
+	stream string
+	model  *hmm.Model
+	obs    []automata.Symbol
+}
+
+// NewIngester attaches a live source to the named stream. The stream is
+// created (or replaced) on the first observation.
+func (db *DB) NewIngester(stream string, model *hmm.Model) (*Ingester, error) {
+	if err := model.Validate(); err != nil {
+		return nil, fmt.Errorf("lahar: ingester model: %w", err)
+	}
+	return &Ingester{db: db, stream: stream, model: model}, nil
+}
+
+// AppendObs appends one observation (by name), re-smooths, and updates
+// the stream. It returns the new stream length.
+func (ing *Ingester) AppendObs(name string) (int, error) {
+	sym, ok := ing.model.Obs.Symbol(name)
+	if !ok {
+		return 0, fmt.Errorf("lahar: unknown observation %q", name)
+	}
+	ing.obs = append(ing.obs, sym)
+	m, err := ing.model.Condition(ing.obs)
+	if err != nil {
+		// Roll back the impossible observation so the ingester stays usable.
+		ing.obs = ing.obs[:len(ing.obs)-1]
+		return 0, fmt.Errorf("lahar: observation %q is impossible under the model: %w", name, err)
+	}
+	if err := ing.db.PutStream(ing.stream, m); err != nil {
+		return 0, err
+	}
+	return len(ing.obs), nil
+}
+
+// Len returns the number of observations ingested so far.
+func (ing *Ingester) Len() int { return len(ing.obs) }
+
+// Observations returns a copy of the readings ingested so far.
+func (ing *Ingester) Observations() []automata.Symbol {
+	return automata.CloneString(ing.obs)
+}

@@ -1,0 +1,63 @@
+package lahar
+
+import (
+	"testing"
+
+	"markovseq/internal/rfid"
+)
+
+func TestIngester(t *testing.T) {
+	db := New()
+	fp := rfid.Hospital(2, 1)
+	model := rfid.BuildHMM(fp, rfid.DefaultNoise)
+	ing, err := db.NewIngester("live", model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.RegisterTransducer("places", rfid.PlaceTransducer(fp, "lab"))
+
+	// Before any observation, the stream does not exist.
+	if _, err := db.Stream("live"); err == nil {
+		t.Fatal("stream should not exist before first observation")
+	}
+	for i, obs := range []string{"s_hall_a", "s_lab_a", "none", "s_r1_a"} {
+		n, err := ing.AppendObs(obs)
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if n != i+1 {
+			t.Fatalf("length %d, want %d", n, i+1)
+		}
+		m, err := db.Stream("live")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Len() != i+1 {
+			t.Fatalf("stream length %d, want %d", m.Len(), i+1)
+		}
+	}
+	// The live stream is queryable.
+	res, err := db.TopK("live", "places", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Fatal("live stream produced no answers despite a lab reading")
+	}
+	// Unknown observation name is rejected without corrupting state.
+	if _, err := ing.AppendObs("bogus"); err == nil {
+		t.Fatal("unknown observation should error")
+	}
+	if ing.Len() != 4 {
+		t.Fatalf("failed append must not grow the buffer: len=%d", ing.Len())
+	}
+	if got := ing.Observations(); len(got) != 4 {
+		t.Fatalf("Observations = %d entries", len(got))
+	}
+	// Invalid model rejected up front.
+	bad := rfid.BuildHMM(fp, rfid.DefaultNoise)
+	bad.Initial[0] = 2
+	if _, err := db.NewIngester("x", bad); err == nil {
+		t.Fatal("invalid model should be rejected")
+	}
+}

@@ -1,0 +1,237 @@
+// Package lahar is a small Markov-sequence database in the spirit of the
+// Lahar system that motivates the paper (Section 1, Section 6): named
+// Markov-sequence streams, registered transducer and s-projector queries,
+// and the evaluation modes the paper develops — unranked enumeration,
+// ranked enumeration by E_max, exact ranked evaluation for indexed
+// s-projectors, I_max-ranked evaluation for plain s-projectors, and
+// confidence computation with automatic algorithm selection.
+//
+// The store is safe for concurrent use.
+package lahar
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"markovseq/internal/automata"
+	"markovseq/internal/core"
+	"markovseq/internal/markov"
+	"markovseq/internal/sproj"
+	"markovseq/internal/transducer"
+)
+
+// ScoreKind identifies what a Result's Score means.
+type ScoreKind int
+
+const (
+	// ScoreConfidence is an exact confidence Pr(S →[q]→ o).
+	ScoreConfidence ScoreKind = iota
+	// ScoreEmax is E_max(o), the probability of the best evidence.
+	ScoreEmax
+	// ScoreImax is I_max(o), the best single-occurrence confidence.
+	ScoreImax
+	// ScoreNone means the evaluation mode is unranked.
+	ScoreNone
+)
+
+func (k ScoreKind) String() string {
+	switch k {
+	case ScoreConfidence:
+		return "confidence"
+	case ScoreEmax:
+		return "E_max"
+	case ScoreImax:
+		return "I_max"
+	default:
+		return "unranked"
+	}
+}
+
+// Result is one query answer.
+type Result struct {
+	// Output is the answer string over the query's output alphabet.
+	Output []automata.Symbol
+	// Index is the occurrence start index for indexed s-projector queries
+	// (0 otherwise).
+	Index int
+	// Score is the ranking score; its meaning is Kind.
+	Score float64
+	Kind  ScoreKind
+}
+
+// DB is the store: named streams and named queries.
+type DB struct {
+	mu      sync.RWMutex
+	streams map[string]*markov.Sequence
+	queries map[string]query
+}
+
+type query struct {
+	t       *transducer.Transducer
+	p       *sproj.SProjector
+	indexed bool
+}
+
+// New returns an empty database.
+func New() *DB {
+	return &DB{
+		streams: make(map[string]*markov.Sequence),
+		queries: make(map[string]query),
+	}
+}
+
+// PutStream stores (or replaces) a stream after validating it.
+func (db *DB) PutStream(name string, m *markov.Sequence) error {
+	if err := m.Validate(); err != nil {
+		return fmt.Errorf("lahar: stream %q: %w", name, err)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.streams[name] = m
+	return nil
+}
+
+// Stream fetches a stream by name.
+func (db *DB) Stream(name string) (*markov.Sequence, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	m, ok := db.streams[name]
+	if !ok {
+		return nil, fmt.Errorf("lahar: unknown stream %q", name)
+	}
+	return m, nil
+}
+
+// Streams lists stream names in sorted order.
+func (db *DB) Streams() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.streams))
+	for n := range db.streams {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RegisterTransducer registers a transducer query.
+func (db *DB) RegisterTransducer(name string, t *transducer.Transducer) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.queries[name] = query{t: t}
+}
+
+// RegisterSProjector registers an s-projector query; indexed selects the
+// indexed semantics ([B]↓A[E]).
+func (db *DB) RegisterSProjector(name string, p *sproj.SProjector, indexed bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.queries[name] = query{p: p, indexed: indexed}
+}
+
+// Queries lists query names in sorted order.
+func (db *DB) Queries() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.queries))
+	for n := range db.queries {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (db *DB) lookup(stream, qname string) (*markov.Sequence, query, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	m, ok := db.streams[stream]
+	if !ok {
+		return nil, query{}, fmt.Errorf("lahar: unknown stream %q", stream)
+	}
+	q, ok := db.queries[qname]
+	if !ok {
+		return nil, query{}, fmt.Errorf("lahar: unknown query %q", qname)
+	}
+	return m, q, nil
+}
+
+// engine builds a core.Engine for the (stream, query) pair.
+func (db *DB) engine(stream, qname string) (*core.Engine, error) {
+	m, q, err := db.lookup(stream, qname)
+	if err != nil {
+		return nil, err
+	}
+	if q.p != nil {
+		return core.NewSProjectorEngine(q.p, m, q.indexed)
+	}
+	return core.NewTransducerEngine(q.t, m)
+}
+
+// Explain returns the evaluation plan the engine selects for the query on
+// the stream, per the paper's tractability map (Table 2).
+func (db *DB) Explain(stream, qname string) (string, error) {
+	e, err := db.engine(stream, qname)
+	if err != nil {
+		return "", err
+	}
+	return e.Explain(), nil
+}
+
+// TopK returns the k best-ranked answers of the query on the stream. The
+// ranking semantics is chosen per the paper's tractability map (Table 2):
+// indexed s-projectors rank by exact confidence (Theorem 5.7), plain
+// s-projectors by I_max (Theorem 5.2), and transducers by E_max
+// (Theorem 4.3).
+func (db *DB) TopK(stream, qname string, k int) ([]Result, error) {
+	e, err := db.engine(stream, qname)
+	if err != nil {
+		return nil, err
+	}
+	var out []Result
+	for _, a := range e.TopK(k) {
+		out = append(out, Result{Output: a.Output, Index: a.Index, Score: a.Score, Kind: kindOf(a.Kind)})
+	}
+	return out, nil
+}
+
+func kindOf(name string) ScoreKind {
+	switch name {
+	case "confidence":
+		return ScoreConfidence
+	case "I_max":
+		return ScoreImax
+	case "E_max":
+		return ScoreEmax
+	default:
+		return ScoreNone
+	}
+}
+
+// Enumerate returns up to limit answers in unranked order (Theorem 4.1);
+// limit ≤ 0 means all.
+func (db *DB) Enumerate(stream, qname string, limit int) ([]Result, error) {
+	e, err := db.engine(stream, qname)
+	if err != nil {
+		return nil, err
+	}
+	var out []Result
+	for _, o := range e.Enumerate(limit) {
+		out = append(out, Result{Output: o, Kind: ScoreNone})
+	}
+	return out, nil
+}
+
+// Confidence computes the confidence of an answer, selecting the
+// algorithm per Table 2: Theorem 4.6 for deterministic transducers,
+// Theorem 4.8 for uniform nondeterministic ones, Theorem 5.5 for
+// s-projectors, Theorem 5.8 for indexed s-projectors (index > 0). It
+// returns an error for the FP^#P-hard combinations rather than silently
+// running an exponential algorithm.
+func (db *DB) Confidence(stream, qname string, o []automata.Symbol, index int) (float64, error) {
+	e, err := db.engine(stream, qname)
+	if err != nil {
+		return 0, err
+	}
+	return e.Confidence(o, index)
+}

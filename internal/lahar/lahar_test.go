@@ -1,0 +1,186 @@
+package lahar
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"markovseq/internal/automata"
+	"markovseq/internal/markov"
+	"markovseq/internal/paperex"
+	"markovseq/internal/regex"
+	"markovseq/internal/sproj"
+	"markovseq/internal/transducer"
+)
+
+func setup(t *testing.T) (*DB, *automata.Alphabet, *automata.Alphabet) {
+	t.Helper()
+	db := New()
+	nodes := paperex.Nodes()
+	outs := paperex.Outputs()
+	if err := db.PutStream("cart17", paperex.Figure1(nodes)); err != nil {
+		t.Fatal(err)
+	}
+	db.RegisterTransducer("places", paperex.Figure2(nodes, outs))
+	return db, nodes, outs
+}
+
+func TestStreamManagement(t *testing.T) {
+	db, nodes, _ := setup(t)
+	if _, err := db.Stream("cart17"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Stream("nope"); err == nil {
+		t.Fatal("unknown stream should error")
+	}
+	if got := db.Streams(); len(got) != 1 || got[0] != "cart17" {
+		t.Fatalf("Streams = %v", got)
+	}
+	if got := db.Queries(); len(got) != 1 || got[0] != "places" {
+		t.Fatalf("Queries = %v", got)
+	}
+	// Invalid stream rejected.
+	bad := markov.New(nodes, 2)
+	if err := db.PutStream("bad", bad); err == nil {
+		t.Fatal("invalid sequence should be rejected")
+	}
+}
+
+func TestTopKTransducer(t *testing.T) {
+	db, _, outs := setup(t)
+	res, err := db.TopK("cart17", "places", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("got %d results", len(res))
+	}
+	if res[0].Kind != ScoreEmax {
+		t.Fatalf("kind = %v", res[0].Kind)
+	}
+	if got := outs.FormatString(res[0].Output); got != "12" {
+		t.Fatalf("top answer = %q, want 12", got)
+	}
+	if math.Abs(res[0].Score-0.3969) > 1e-9 {
+		t.Fatalf("top score = %v", res[0].Score)
+	}
+	if res[1].Score > res[0].Score {
+		t.Fatal("scores must be non-increasing")
+	}
+}
+
+func TestEnumerateUnranked(t *testing.T) {
+	db, _, _ := setup(t)
+	all, err := db.Enumerate("cart17", "places", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 6 {
+		t.Fatalf("running example has 6 answers, got %d", len(all))
+	}
+	some, err := db.Enumerate("cart17", "places", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(some) != 2 {
+		t.Fatalf("limit ignored: %d", len(some))
+	}
+}
+
+func TestConfidenceDispatch(t *testing.T) {
+	db, _, outs := setup(t)
+	got, err := db.Confidence("cart17", "places", outs.MustParseString("1 2"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-paperex.Conf12) > 1e-9 {
+		t.Fatalf("conf(12) = %v", got)
+	}
+}
+
+func TestSProjectorQueries(t *testing.T) {
+	db := New()
+	ab := automata.Chars("ab")
+	m := markov.Homogeneous(ab, 4,
+		[]float64{0.5, 0.5},
+		[][]float64{{0.7, 0.3}, {0.4, 0.6}})
+	if err := db.PutStream("s", m); err != nil {
+		t.Fatal(err)
+	}
+	p := sproj.Simple(regex.MustCompileDFA("a+", ab))
+	db.RegisterSProjector("runsOfA", p, false)
+	db.RegisterSProjector("runsOfAIndexed", p, true)
+
+	// Plain: ranked by I_max.
+	res, err := db.TopK("s", "runsOfA", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 || res[0].Kind != ScoreImax {
+		t.Fatalf("results = %v", res)
+	}
+	// Indexed: ranked by exact confidence, with indices.
+	ires, err := db.TopK("s", "runsOfAIndexed", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ires) == 0 || ires[0].Kind != ScoreConfidence || ires[0].Index < 1 {
+		t.Fatalf("indexed results = %v", ires)
+	}
+	// Confidence dispatch.
+	a := ab.MustParseString("a")
+	cPlain, err := db.Confidence("s", "runsOfA", a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cIdx, err := db.Confidence("s", "runsOfAIndexed", a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cIdx > cPlain+1e-12 {
+		t.Fatal("indexed confidence cannot exceed string confidence")
+	}
+	if _, err := db.Confidence("s", "runsOfAIndexed", a, 0); err == nil {
+		t.Fatal("indexed query without index should error")
+	}
+}
+
+func TestHardCombinationRefused(t *testing.T) {
+	db, nodes, outs := setup(t)
+	// A nondeterministic, non-uniform transducer: confidence must be
+	// refused with an explanatory error.
+	nd := transducer.New(nodes, outs, 2, 0)
+	nd.SetAccepting(0, true)
+	nd.SetAccepting(1, true)
+	one := []automata.Symbol{outs.MustSymbol("1")}
+	for _, s := range nodes.Symbols() {
+		nd.AddTransition(0, s, 0, one) // emit 1
+		nd.AddTransition(0, s, 1, nil) // or emit nothing
+		nd.AddTransition(1, s, 0, one)
+	}
+	db.RegisterTransducer("hard", nd)
+	_, err := db.Confidence("cart17", "hard", outs.MustParseString("1 2"), 0)
+	if err == nil || !strings.Contains(err.Error(), "FP^#P") {
+		t.Fatalf("expected hardness error, got %v", err)
+	}
+	// But ranked and unranked evaluation still work for it.
+	if _, err := db.TopK("cart17", "hard", 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Enumerate("cart17", "hard", 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScoreKindStrings(t *testing.T) {
+	for k, want := range map[ScoreKind]string{
+		ScoreConfidence: "confidence",
+		ScoreEmax:       "E_max",
+		ScoreImax:       "I_max",
+		ScoreNone:       "unranked",
+	} {
+		if k.String() != want {
+			t.Fatalf("ScoreKind(%d).String() = %q", k, k.String())
+		}
+	}
+}

@@ -1,0 +1,362 @@
+// Package markov implements the data model of Kimelfeld & Ré (PODS 2010),
+// Section 3.1: a Markov sequence μ[n] over a finite set Σ of state nodes,
+// comprising an initial-state distribution μ₀→ and a transition function
+// μᵢ→ for each 1 ≤ i < n. A Markov sequence defines a probability space
+// over Σⁿ by Equation (1):
+//
+//	p(s) = μ₀→(s₁) · ∏ᵢ μᵢ→(sᵢ, sᵢ₊₁)
+//
+// The package provides validation, string probability, sampling,
+// forward/backward marginals, and the sequence combinators (concatenation,
+// restriction) used by the paper's amplification arguments.
+package markov
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"markovseq/internal/automata"
+)
+
+// Sequence is a Markov sequence μ[n]. Probabilities are float64; every row
+// of every transition matrix, and the initial distribution, sums to 1 (up
+// to Tolerance) for a valid sequence.
+type Sequence struct {
+	// Nodes is the state-node set Σ_μ.
+	Nodes *automata.Alphabet
+	// Initial is μ₀→: Initial[s] = Pr(S₁ = s). Length |Σ|.
+	Initial []float64
+	// Trans[i] is μ_{i+1}→ as a row-stochastic |Σ|×|Σ| matrix:
+	// Trans[i][s][t] = Pr(S_{i+2} = t | S_{i+1} = s). Length n-1.
+	Trans [][][]float64
+}
+
+// Tolerance is the additive slack allowed when checking that probability
+// rows sum to one.
+const Tolerance = 1e-9
+
+// New returns a Markov sequence of length n over the given nodes with all
+// probabilities zero; callers fill Initial and Trans before Validate.
+func New(nodes *automata.Alphabet, n int) *Sequence {
+	if n < 1 {
+		panic(fmt.Sprintf("markov: sequence length %d < 1", n))
+	}
+	k := nodes.Size()
+	seq := &Sequence{
+		Nodes:   nodes,
+		Initial: make([]float64, k),
+		Trans:   make([][][]float64, n-1),
+	}
+	for i := range seq.Trans {
+		m := make([][]float64, k)
+		for s := range m {
+			m[s] = make([]float64, k)
+		}
+		seq.Trans[i] = m
+	}
+	return seq
+}
+
+// Len returns n, the length of the Markov sequence (the number of random
+// variables S₁…Sₙ).
+func (m *Sequence) Len() int { return len(m.Trans) + 1 }
+
+// SetInitial sets μ₀→(s) = p.
+func (m *Sequence) SetInitial(s automata.Symbol, p float64) { m.Initial[s] = p }
+
+// SetTrans sets μᵢ→(s, t) = p for 1 ≤ i < n (i is the paper's 1-based
+// transition index: the transition from Sᵢ to Sᵢ₊₁).
+func (m *Sequence) SetTrans(i int, s, t automata.Symbol, p float64) {
+	if i < 1 || i > len(m.Trans) {
+		panic(fmt.Sprintf("markov: transition index %d out of range [1,%d]", i, len(m.Trans)))
+	}
+	m.Trans[i-1][s][t] = p
+}
+
+// TransAt returns the transition matrix μᵢ→ (1-based, as in the paper).
+func (m *Sequence) TransAt(i int) [][]float64 { return m.Trans[i-1] }
+
+// Validate checks that the initial distribution and every transition row
+// are probability distributions.
+func (m *Sequence) Validate() error {
+	if got, want := len(m.Initial), m.Nodes.Size(); got != want {
+		return fmt.Errorf("markov: initial distribution has %d entries, want %d", got, want)
+	}
+	if err := checkRow(m.Initial, "initial distribution"); err != nil {
+		return err
+	}
+	for i, mat := range m.Trans {
+		if len(mat) != m.Nodes.Size() {
+			return fmt.Errorf("markov: transition %d has %d rows, want %d", i+1, len(mat), m.Nodes.Size())
+		}
+		for s, row := range mat {
+			if len(row) != m.Nodes.Size() {
+				return fmt.Errorf("markov: transition %d row %s has %d entries, want %d",
+					i+1, m.Nodes.Name(automata.Symbol(s)), len(row), m.Nodes.Size())
+			}
+			if err := checkRow(row, fmt.Sprintf("transition %d row %s", i+1, m.Nodes.Name(automata.Symbol(s)))); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func checkRow(row []float64, what string) error {
+	sum := 0.0
+	for _, p := range row {
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			return fmt.Errorf("markov: %s has invalid probability %v", what, p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > Tolerance {
+		return fmt.Errorf("markov: %s sums to %v, want 1", what, sum)
+	}
+	return nil
+}
+
+// Prob returns p(s) per Equation (1). Strings whose length differs from the
+// sequence length have probability zero by definition.
+func (m *Sequence) Prob(s []automata.Symbol) float64 {
+	if len(s) != m.Len() {
+		return 0
+	}
+	p := m.Initial[s[0]]
+	for i := 1; i < len(s); i++ {
+		if p == 0 {
+			return 0
+		}
+		p *= m.Trans[i-1][s[i-1]][s[i]]
+	}
+	return p
+}
+
+// LogProb returns log p(s), or -Inf for impossible strings. Ranked
+// enumeration works in log space to avoid underflow on long sequences.
+func (m *Sequence) LogProb(s []automata.Symbol) float64 {
+	return math.Log(m.Prob(s))
+}
+
+// Sample draws a random string from the sequence's probability space.
+func (m *Sequence) Sample(rng *rand.Rand) []automata.Symbol {
+	out := make([]automata.Symbol, m.Len())
+	out[0] = sampleRow(m.Initial, rng)
+	for i := 1; i < m.Len(); i++ {
+		out[i] = sampleRow(m.Trans[i-1][out[i-1]], rng)
+	}
+	return out
+}
+
+func sampleRow(row []float64, rng *rand.Rand) automata.Symbol {
+	x := rng.Float64()
+	acc := 0.0
+	last := automata.Symbol(0)
+	for s, p := range row {
+		if p == 0 {
+			continue
+		}
+		last = automata.Symbol(s)
+		acc += p
+		if x < acc {
+			return last
+		}
+	}
+	// Rounding: return the last node with positive mass.
+	return last
+}
+
+// Forward returns the marginals α, where α[i][s] = Pr(S_{i+1} = s) for
+// 0 ≤ i < n (0-based position).
+func (m *Sequence) Forward() [][]float64 {
+	n, k := m.Len(), m.Nodes.Size()
+	alpha := make([][]float64, n)
+	alpha[0] = append([]float64(nil), m.Initial...)
+	for i := 1; i < n; i++ {
+		row := make([]float64, k)
+		for s := 0; s < k; s++ {
+			if alpha[i-1][s] == 0 {
+				continue
+			}
+			for t := 0; t < k; t++ {
+				row[t] += alpha[i-1][s] * m.Trans[i-1][s][t]
+			}
+		}
+		alpha[i] = row
+	}
+	return alpha
+}
+
+// Support reports, for each position, which nodes have nonzero marginal
+// probability. Enumeration algorithms use it to prune impossible branches.
+func (m *Sequence) Support() [][]bool {
+	alpha := m.Forward()
+	out := make([][]bool, len(alpha))
+	for i, row := range alpha {
+		b := make([]bool, len(row))
+		for s, p := range row {
+			b[s] = p > 0
+		}
+		out[i] = b
+	}
+	return out
+}
+
+// Concat returns the Markov sequence obtained by running m1 and then m2
+// independently: the transition from m1's last variable to m2's first
+// ignores m1's state and draws from m2's initial distribution. This is the
+// amplification tool of Theorems 4.4/4.5 (concatenating a polynomial number
+// of copies of a Markov sequence).
+func Concat(m1, m2 *Sequence) *Sequence {
+	if m1.Nodes != m2.Nodes {
+		panic("markov: concatenation of sequences over different node sets")
+	}
+	k := m1.Nodes.Size()
+	out := New(m1.Nodes, m1.Len()+m2.Len())
+	copy(out.Initial, m1.Initial)
+	for i, mat := range m1.Trans {
+		copyMatrix(out.Trans[i], mat)
+	}
+	// Bridging transition: every row is m2's initial distribution.
+	bridge := out.Trans[m1.Len()-1]
+	for s := 0; s < k; s++ {
+		copy(bridge[s], m2.Initial)
+	}
+	for i, mat := range m2.Trans {
+		copyMatrix(out.Trans[m1.Len()+i], mat)
+	}
+	return out
+}
+
+// Power returns m concatenated with itself c times (c ≥ 1).
+func Power(m *Sequence, c int) *Sequence {
+	if c < 1 {
+		panic("markov: Power requires c >= 1")
+	}
+	out := m
+	for i := 1; i < c; i++ {
+		out = Concat(out, m)
+	}
+	return out
+}
+
+func copyMatrix(dst, src [][]float64) {
+	for s := range src {
+		copy(dst[s], src[s])
+	}
+}
+
+// Homogeneous returns a Markov sequence of length n in which every
+// transition uses the same row-stochastic matrix. It is the natural way to
+// express a stationary chain (e.g. an HMM-derived prior) in this model.
+func Homogeneous(nodes *automata.Alphabet, n int, initial []float64, trans [][]float64) *Sequence {
+	m := New(nodes, n)
+	copy(m.Initial, initial)
+	for i := range m.Trans {
+		copyMatrix(m.Trans[i], trans)
+	}
+	return m
+}
+
+// Uniform returns a Markov sequence of length n in which every string of
+// Σⁿ is equally likely. Proposition 4.7's reduction from counting
+// |L(A) ∩ Σⁿ| uses exactly this sequence.
+func Uniform(nodes *automata.Alphabet, n int) *Sequence {
+	k := nodes.Size()
+	initial := make([]float64, k)
+	trans := make([][]float64, k)
+	for s := 0; s < k; s++ {
+		initial[s] = 1 / float64(k)
+		row := make([]float64, k)
+		for t := 0; t < k; t++ {
+			row[t] = 1 / float64(k)
+		}
+		trans[s] = row
+	}
+	return Homogeneous(nodes, n, initial, trans)
+}
+
+// Random returns a valid random Markov sequence of length n with the given
+// sparsity: each transition row has roughly density·|Σ| nonzero entries
+// (at least one). It is the workload generator for the scaling benchmarks.
+func Random(nodes *automata.Alphabet, n int, density float64, rng *rand.Rand) *Sequence {
+	m := New(nodes, n)
+	fillRandomRow(m.Initial, density, rng)
+	for i := range m.Trans {
+		for s := range m.Trans[i] {
+			fillRandomRow(m.Trans[i][s], density, rng)
+		}
+	}
+	return m
+}
+
+func fillRandomRow(row []float64, density float64, rng *rand.Rand) {
+	sum := 0.0
+	for t := range row {
+		if rng.Float64() < density {
+			row[t] = rng.Float64()
+			sum += row[t]
+		} else {
+			row[t] = 0
+		}
+	}
+	if sum == 0 {
+		t := rng.Intn(len(row))
+		row[t] = 1
+		sum = 1
+	}
+	for t := range row {
+		row[t] /= sum
+	}
+}
+
+// Enumerate calls fn for every string with nonzero probability, together
+// with its probability, in depth-first order. It is exponential in n and
+// exists as the brute-force oracle for tests and ratio experiments; fn may
+// return false to stop early.
+func (m *Sequence) Enumerate(fn func(s []automata.Symbol, p float64) bool) {
+	n := m.Len()
+	buf := make([]automata.Symbol, n)
+	var rec func(i int, p float64) bool
+	rec = func(i int, p float64) bool {
+		if i == n {
+			return fn(buf, p)
+		}
+		var row []float64
+		if i == 0 {
+			row = m.Initial
+		} else {
+			row = m.Trans[i-1][buf[i-1]]
+		}
+		for t, q := range row {
+			if q == 0 {
+				continue
+			}
+			buf[i] = automata.Symbol(t)
+			if !rec(i+1, p*q) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0, 1)
+}
+
+// Window returns the marginal Markov sequence of positions i..j (1-based,
+// inclusive): the initial distribution is the forward marginal at i and
+// the transitions are those of μ. Because μ is Markov, the window is
+// exactly the distribution of S_i..S_j — the primitive behind sliding-
+// window stream evaluation.
+func (m *Sequence) Window(i, j int) *Sequence {
+	if i < 1 || j > m.Len() || i > j {
+		panic(fmt.Sprintf("markov: window [%d,%d] out of range [1,%d]", i, j, m.Len()))
+	}
+	out := New(m.Nodes, j-i+1)
+	alpha := m.Forward()
+	copy(out.Initial, alpha[i-1])
+	for p := i; p < j; p++ {
+		copyMatrix(out.Trans[p-i], m.Trans[p-1])
+	}
+	return out
+}

@@ -1,0 +1,261 @@
+package markov
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"markovseq/internal/automata"
+)
+
+func tiny(t *testing.T) (*automata.Alphabet, *Sequence) {
+	t.Helper()
+	ab := automata.MustAlphabet("a", "b")
+	m := New(ab, 3)
+	a, b := ab.MustSymbol("a"), ab.MustSymbol("b")
+	m.SetInitial(a, 0.6)
+	m.SetInitial(b, 0.4)
+	m.SetTrans(1, a, a, 0.5)
+	m.SetTrans(1, a, b, 0.5)
+	m.SetTrans(1, b, b, 1.0)
+	m.SetTrans(2, a, b, 1.0)
+	m.SetTrans(2, b, a, 0.25)
+	m.SetTrans(2, b, b, 0.75)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return ab, m
+}
+
+func TestValidate(t *testing.T) {
+	ab := automata.MustAlphabet("a", "b")
+	m := New(ab, 2)
+	if err := m.Validate(); err == nil {
+		t.Fatal("all-zero sequence should fail validation")
+	}
+	m.SetInitial(0, 1.0)
+	m.SetTrans(1, 0, 0, 0.5)
+	if err := m.Validate(); err == nil {
+		t.Fatal("sub-stochastic row should fail validation")
+	}
+	m.SetTrans(1, 0, 1, 0.5)
+	m.SetTrans(1, 1, 1, 1.0)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("valid sequence rejected: %v", err)
+	}
+	m.SetTrans(1, 1, 1, -0.2)
+	if err := m.Validate(); err == nil {
+		t.Fatal("negative probability should fail validation")
+	}
+	m.SetTrans(1, 1, 1, math.NaN())
+	if err := m.Validate(); err == nil {
+		t.Fatal("NaN probability should fail validation")
+	}
+}
+
+func TestProbEquation1(t *testing.T) {
+	ab, m := tiny(t)
+	p := m.Prob(ab.MustParseString("a a b"))
+	if want := 0.6 * 0.5 * 1.0; math.Abs(p-want) > 1e-12 {
+		t.Fatalf("Prob = %v, want %v", p, want)
+	}
+	if m.Prob(ab.MustParseString("a a")) != 0 {
+		t.Fatal("wrong-length string must have probability 0")
+	}
+	if m.Prob(ab.MustParseString("b a b")) != 0 {
+		t.Fatal("impossible transition must give probability 0")
+	}
+	if lp := m.LogProb(ab.MustParseString("b a b")); !math.IsInf(lp, -1) {
+		t.Fatalf("LogProb of impossible string = %v, want -Inf", lp)
+	}
+}
+
+func TestEnumerateSumsToOne(t *testing.T) {
+	_, m := tiny(t)
+	total := 0.0
+	count := 0
+	m.Enumerate(func(s []automata.Symbol, p float64) bool {
+		total += p
+		count++
+		return true
+	})
+	if math.Abs(total-1) > 1e-12 {
+		t.Fatalf("possible-world probabilities sum to %v, want 1", total)
+	}
+	if count != 4 { // aab, abb, aba? let's see: a->a->b, a->b->{a,b}, b->b->{a,b} = 5? recomputed below
+		// worlds: aab (a->a(0.3)->b), aba (a->b(0.3)->a 0.075), abb (0.225), bba (0.1), bbb (0.3)
+		if count != 5 {
+			t.Fatalf("enumerated %d worlds", count)
+		}
+	}
+}
+
+func TestForwardMarginals(t *testing.T) {
+	_, m := tiny(t)
+	alpha := m.Forward()
+	for i, row := range alpha {
+		sum := 0.0
+		for _, p := range row {
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("marginal at position %d sums to %v", i, sum)
+		}
+	}
+	// Pr(S2 = b) = 0.6*0.5 + 0.4*1.0 = 0.7
+	if math.Abs(alpha[1][1]-0.7) > 1e-12 {
+		t.Fatalf("Pr(S2=b) = %v, want 0.7", alpha[1][1])
+	}
+	sup := m.Support()
+	if !sup[0][0] || !sup[0][1] {
+		t.Fatal("both nodes possible at position 1")
+	}
+}
+
+func TestSampleMatchesDistribution(t *testing.T) {
+	ab, m := tiny(t)
+	rng := rand.New(rand.NewSource(1))
+	const trials = 200000
+	counts := map[string]int{}
+	for i := 0; i < trials; i++ {
+		counts[ab.FormatString(m.Sample(rng))]++
+	}
+	m.Enumerate(func(s []automata.Symbol, p float64) bool {
+		got := float64(counts[ab.FormatString(s)]) / trials
+		if math.Abs(got-p) > 0.01 {
+			t.Errorf("world %s: empirical %v vs true %v", ab.FormatString(s), got, p)
+		}
+		return true
+	})
+}
+
+func TestConcatAndPower(t *testing.T) {
+	ab, m := tiny(t)
+	cc := Concat(m, m)
+	if cc.Len() != 6 {
+		t.Fatalf("Concat length = %d, want 6", cc.Len())
+	}
+	if err := cc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Prob of a 6-world is the product of the two halves' probs.
+	s1 := ab.MustParseString("a a b")
+	s2 := ab.MustParseString("b b a")
+	joint := append(append([]automata.Symbol{}, s1...), s2...)
+	if got, want := cc.Prob(joint), m.Prob(s1)*m.Prob(s2); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Concat Prob = %v, want %v", got, want)
+	}
+	p3 := Power(m, 3)
+	if p3.Len() != 9 {
+		t.Fatalf("Power(3) length = %d", p3.Len())
+	}
+	if err := p3.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniform(t *testing.T) {
+	ab := automata.MustAlphabet("a", "b", "c")
+	m := Uniform(ab, 4)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := math.Pow(1.0/3.0, 4)
+	if got := m.Prob(ab.MustParseString("a c b a")); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("uniform Prob = %v, want %v", got, want)
+	}
+}
+
+func TestHomogeneous(t *testing.T) {
+	ab := automata.MustAlphabet("a", "b")
+	m := Homogeneous(ab, 3, []float64{1, 0}, [][]float64{{0.5, 0.5}, {0, 1}})
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Prob(ab.MustParseString("a a b")); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("Prob = %v, want 0.25", got)
+	}
+}
+
+func TestRandomIsValid(t *testing.T) {
+	ab := automata.MustAlphabet("a", "b", "c", "d")
+	f := func(seed int64, nRaw uint8, densRaw uint8) bool {
+		n := 1 + int(nRaw%12)
+		density := 0.1 + float64(densRaw%9)/10
+		m := Random(ab, n, density, rand.New(rand.NewSource(seed)))
+		return m.Validate() == nil && m.Len() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickEnumerationTotalsOne(t *testing.T) {
+	ab := automata.MustAlphabet("a", "b", "c")
+	f := func(seed int64) bool {
+		m := Random(ab, 5, 0.5, rand.New(rand.NewSource(seed)))
+		total := 0.0
+		m.Enumerate(func(s []automata.Symbol, p float64) bool {
+			total += p
+			return true
+		})
+		return math.Abs(total-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnumerateEarlyStop(t *testing.T) {
+	_, m := tiny(t)
+	count := 0
+	m.Enumerate(func(s []automata.Symbol, p float64) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Fatalf("early stop visited %d worlds, want 2", count)
+	}
+}
+
+func TestWindow(t *testing.T) {
+	ab, m := tiny(t)
+	w := m.Window(2, 3)
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 2 {
+		t.Fatalf("window length %d", w.Len())
+	}
+	// Pr over the window equals the marginal of the full chain.
+	for _, s2 := range [][]automata.Symbol{
+		ab.MustParseString("a b"), ab.MustParseString("b b"), ab.MustParseString("b a"),
+	} {
+		want := 0.0
+		m.Enumerate(func(s []automata.Symbol, p float64) bool {
+			if automata.EqualStrings(s[1:3], s2) {
+				want += p
+			}
+			return true
+		})
+		if got := w.Prob(s2); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("window Prob(%v) = %v, want %v", s2, got, want)
+		}
+	}
+	// Full window is the identity.
+	full := m.Window(1, m.Len())
+	m.Enumerate(func(s []automata.Symbol, p float64) bool {
+		if math.Abs(full.Prob(s)-p) > 1e-12 {
+			t.Fatalf("full window changed Prob(%v)", s)
+		}
+		return true
+	})
+	// Out-of-range panics.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Window(0, 2)
+}

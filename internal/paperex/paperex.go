@@ -1,0 +1,184 @@
+// Package paperex constructs the running example of Kimelfeld & Ré
+// (PODS 2010): the hospital-cart Markov sequence of Figure 1, the
+// place-extraction transducer of Figure 2, and the expectations of
+// Table 1. Tests, examples and the quickstart all share these fixtures.
+//
+// Fidelity note. The paper's figure is only partially specified by the
+// text, so the remaining probabilities here are a completion consistent
+// with every number the text states: the probabilities of the strings
+// s, t, u, v, x of Table 1 (including the exact factorization
+// 0.7·0.9·0.9·0.7·1.0 of Example 3.2), their outputs, and
+// conf(12) = 0.3969 + 0.0049 + 0.002 = 0.4038 with s, t, u the *only*
+// strings transduced into 12. One deviation is forced: Table 1's row w
+// (r1b r1b la lb lb, probability printed as "0.0.0252") cannot have
+// positive probability, because any positive-probability prefix
+// r1b·r1b·la combined with the transitions that s requires
+// (μ₃(la,r1a) = 0.7, μ₄(r1a,r2a) = 1.0) would create a fourth string with
+// output 12, contradicting Example 3.4. Our completion therefore gives w
+// probability zero and demonstrates the ε answer through other worlds.
+package paperex
+
+import (
+	"markovseq/internal/automata"
+	"markovseq/internal/markov"
+	"markovseq/internal/transducer"
+)
+
+// Node and output symbol names of the running example.
+const (
+	R1a = "r1a"
+	R1b = "r1b"
+	R2a = "r2a"
+	R2b = "r2b"
+	La  = "la"
+	Lb  = "lb"
+)
+
+// Nodes returns the node alphabet Σ_μ of Figure 1 (six hospital locations:
+// two sub-locations for each of Room 1, Room 2 and the lab).
+func Nodes() *automata.Alphabet {
+	return automata.MustAlphabet(R1a, R1b, R2a, R2b, La, Lb)
+}
+
+// Outputs returns the output alphabet Δ_ω of Figure 2: the place symbols
+// 1, 2 and λ (the lab).
+func Outputs() *automata.Alphabet {
+	return automata.MustAlphabet("1", "2", "λ")
+}
+
+// Figure1 returns the Markov sequence μ[5] of Figure 1 over the given node
+// alphabet (which must come from Nodes()).
+func Figure1(nodes *automata.Alphabet) *markov.Sequence {
+	m := markov.New(nodes, 5)
+	sym := nodes.MustSymbol
+	set := func(i int, from, to string, p float64) { m.SetTrans(i, sym(from), sym(to), p) }
+
+	m.SetInitial(sym(R1a), 0.7)
+	m.SetInitial(sym(R1b), 0.2)
+	m.SetInitial(sym(La), 0.1)
+
+	// μ₁→ (S₁ to S₂)
+	set(1, R1a, La, 0.9)
+	set(1, R1a, R1a, 0.1)
+	set(1, R1b, Lb, 1.0)
+	set(1, La, R1b, 0.2)
+	set(1, La, R2a, 0.8)
+	set(1, R2a, R2a, 1.0)
+	set(1, R2b, R2b, 1.0)
+	set(1, Lb, Lb, 1.0)
+
+	// μ₂→ (S₂ to S₃)
+	set(2, La, La, 0.9)
+	set(2, La, R2a, 0.1)
+	set(2, R1a, La, 0.1)
+	set(2, R1a, R2b, 0.4)
+	set(2, R1a, R1a, 0.5)
+	set(2, R1b, R1b, 0.5)
+	set(2, R1b, Lb, 0.5)
+	set(2, R2a, R2a, 1.0)
+	set(2, R2b, R2b, 1.0)
+	set(2, Lb, Lb, 1.0)
+
+	// μ₃→ (S₃ to S₄); the edge la→lb with probability 0.1 is stated
+	// explicitly in Example 3.1.
+	set(3, La, R1a, 0.7)
+	set(3, La, Lb, 0.1)
+	set(3, La, La, 0.2)
+	set(3, R1b, R1a, 0.2)
+	set(3, R1b, R1b, 0.8)
+	set(3, R2a, R1b, 1.0)
+	set(3, R2b, R1b, 1.0)
+	set(3, R1a, R1a, 1.0)
+	set(3, Lb, Lb, 1.0)
+
+	// μ₄→ (S₄ to S₅)
+	set(4, R1a, R2a, 1.0)
+	set(4, R1b, Lb, 0.5)
+	set(4, R1b, R1b, 0.25)
+	set(4, R1b, R1a, 0.25)
+	set(4, La, La, 1.0)
+	set(4, Lb, Lb, 1.0)
+	set(4, R2a, R2a, 1.0)
+	set(4, R2b, R2b, 1.0)
+
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Figure2 returns the transducer A^ω of Figure 2 over the given input and
+// output alphabets (from Nodes() and Outputs()). After the first visit to
+// the lab, it emits the place symbol whenever the cart enters a place
+// (Room 1, Room 2, lab) from a different place. The transducer is
+// deterministic, selective (state q0 is not accepting) and non-uniform
+// (emissions have lengths 0 and 1).
+func Figure2(nodes, outputs *automata.Alphabet) *transducer.Transducer {
+	const (
+		q0   = iota // before the first lab visit
+		qLam        // currently in the lab
+		q1          // currently in Room 1 (after first lab visit)
+		q2          // currently in Room 2 (after first lab visit)
+	)
+	t := transducer.New(nodes, outputs, 4, q0)
+	t.SetAccepting(qLam, true)
+	t.SetAccepting(q1, true)
+	t.SetAccepting(q2, true)
+
+	sym := nodes.MustSymbol
+	out := func(name string) []automata.Symbol {
+		return []automata.Symbol{outputs.MustSymbol(name)}
+	}
+	room1 := []automata.Symbol{sym(R1a), sym(R1b)}
+	room2 := []automata.Symbol{sym(R2a), sym(R2b)}
+	lab := []automata.Symbol{sym(La), sym(Lb)}
+
+	for _, s := range append(append([]automata.Symbol{}, room1...), room2...) {
+		t.AddTransition(q0, s, q0, nil)
+	}
+	for _, s := range lab {
+		t.AddTransition(q0, s, qLam, nil)
+		t.AddTransition(qLam, s, qLam, nil)
+		t.AddTransition(q1, s, qLam, out("λ"))
+		t.AddTransition(q2, s, qLam, out("λ"))
+	}
+	for _, s := range room1 {
+		t.AddTransition(qLam, s, q1, out("1"))
+		t.AddTransition(q1, s, q1, nil)
+		t.AddTransition(q2, s, q1, out("1"))
+	}
+	for _, s := range room2 {
+		t.AddTransition(qLam, s, q2, out("2"))
+		t.AddTransition(q1, s, q2, out("2"))
+		t.AddTransition(q2, s, q2, nil)
+	}
+	return t
+}
+
+// Table1Row is one row of Table 1: a possible world, its probability, and
+// its output under the Figure 2 transducer ("N/A" when rejected).
+type Table1Row struct {
+	Name   string
+	World  string // space-separated node names
+	Prob   float64
+	Output string // space-separated output names, "" for ε, "N/A" if rejected
+}
+
+// Table1 returns the rows of Table 1 as reproduced by this package (see
+// the package comment for the single forced deviation, row w).
+func Table1() []Table1Row {
+	return []Table1Row{
+		{"s", "r1a la la r1a r2a", 0.3969, "1 2"},
+		{"t", "r1a r1a la r1a r2a", 0.0049, "1 2"},
+		{"u", "la r1b r1b r1a r2a", 0.002, "1 2"},
+		{"v", "r1a la r2a r1b lb", 0.0315, "2 1 λ"},
+		{"x", "r1a r1a r2b r1b r1b", 0.007, "N/A"},
+	}
+}
+
+// Conf12 is the confidence of the answer "12" stated in Example 3.4.
+const Conf12 = 0.4038
+
+// Emax12 is E_max(12) from Example 4.2: the probability of the best
+// evidence of the answer 12 (the string s).
+const Emax12 = 0.3969

@@ -1,0 +1,110 @@
+package ranked
+
+import (
+	"math"
+
+	"markovseq/internal/automata"
+	"markovseq/internal/kpaths"
+	"markovseq/internal/markov"
+	"markovseq/internal/transducer"
+)
+
+// EvidenceEnumerator yields the possible worlds transduced into a fixed
+// answer o, in non-increasing probability: the k-best generalization of
+// BestEvidence. It reduces the problem to increasing-weight path
+// enumeration in the DAG of the product of the exact-output-constrained
+// transducer with the Markov sequence (the same technique as
+// Theorem 5.7's reduction, applied to evidences instead of answers).
+type EvidenceEnumerator struct {
+	iter   *kpaths.Enumerator
+	nNodes int
+	states int
+	// seen filters duplicate worlds: with a nondeterministic transducer,
+	// one world can carry several accepting runs emitting o, and each run
+	// is a distinct DAG path. Duplicates share a probability, so the
+	// non-increasing order is preserved by skipping.
+	seen map[string]bool
+}
+
+// Evidences prepares the enumeration of the worlds transduced into o, in
+// non-increasing probability. The enumeration is duplicate-free; for
+// deterministic transducers every path is already a distinct world.
+func Evidences(t *transducer.Transducer, m *markov.Sequence, o []automata.Symbol) (*EvidenceEnumerator, error) {
+	ct := t.Constrain(transducer.Constraint{Prefix: o, Mode: transducer.ExactOnly})
+	n := m.Len()
+	nNodes := m.Nodes.Size()
+	nStates := ct.NumStates()
+
+	// Node ids: 0 = source, 1 = sink, 2 + ((i-1)·|Σ| + x)·|Q| + q.
+	mid := func(i, x, q int) int { return 2 + ((i-1)*nNodes+x)*nStates + q }
+	g := kpaths.NewGraph(2 + n*nNodes*nStates)
+	addEdge := func(from, to int, p float64) {
+		if p <= 0 {
+			return
+		}
+		w := -math.Log(p)
+		if w < 0 {
+			w = 0
+		}
+		g.AddEdge(from, to, w, 0)
+	}
+	for x := 0; x < nNodes; x++ {
+		for _, q2 := range ct.Succ(ct.Start(), automata.Symbol(x)) {
+			addEdge(0, mid(1, x, q2), m.Initial[x])
+		}
+	}
+	for i := 1; i < n; i++ {
+		tr := m.Trans[i-1]
+		for x := 0; x < nNodes; x++ {
+			for q := 0; q < nStates; q++ {
+				from := mid(i, x, q)
+				for y := 0; y < nNodes; y++ {
+					p := tr[x][y]
+					if p == 0 {
+						continue
+					}
+					for _, q2 := range ct.Succ(q, automata.Symbol(y)) {
+						addEdge(from, mid(i+1, y, q2), p)
+					}
+				}
+			}
+		}
+	}
+	for x := 0; x < nNodes; x++ {
+		for q := 0; q < nStates; q++ {
+			if ct.Accepting(q) {
+				addEdge(mid(n, x, q), 1, 1)
+			}
+		}
+	}
+	iter, err := g.Enumerate(0, 1)
+	if err != nil {
+		return nil, err
+	}
+	return &EvidenceEnumerator{iter: iter, nNodes: nNodes, states: nStates, seen: map[string]bool{}}, nil
+}
+
+// Next returns the next-most-likely evidence world and its log
+// probability, or ok=false at exhaustion.
+func (e *EvidenceEnumerator) Next() (world []automata.Symbol, logp float64, ok bool) {
+	for {
+		path, more := e.iter.Next()
+		if !more {
+			return nil, math.Inf(-1), false
+		}
+		// Decode the world from the mid nodes (all edges but the last end
+		// in a mid node).
+		w := make([]automata.Symbol, 0, len(path.Edges)-1)
+		for k := 0; k < len(path.Edges)-1; k++ {
+			rel := path.Edges[k].To - 2
+			x := (rel / e.states) % e.nNodes
+			w = append(w, automata.Symbol(x))
+		}
+		key := automata.StringKey(w)
+		if e.seen[key] {
+			continue
+		}
+		e.seen[key] = true
+		return w, -path.Weight, true
+	}
+}

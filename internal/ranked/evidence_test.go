@@ -1,0 +1,121 @@
+package ranked
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"markovseq/internal/automata"
+	"markovseq/internal/markov"
+	"markovseq/internal/paperex"
+)
+
+// TestEvidencesRunningExample: the evidences of answer 12 are exactly the
+// strings s, t, u of Table 1, in decreasing probability.
+func TestEvidencesRunningExample(t *testing.T) {
+	nodes := paperex.Nodes()
+	outs := paperex.Outputs()
+	m := paperex.Figure1(nodes)
+	tr := paperex.Figure2(nodes, outs)
+	e, err := Evidences(tr, m, outs.MustParseString("1 2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		world string
+		p     float64
+	}{
+		{"r1a la la r1a r2a", 0.3969},
+		{"r1a r1a la r1a r2a", 0.0049},
+		{"la r1b r1b r1a r2a", 0.002},
+	}
+	for i, w := range want {
+		world, lp, ok := e.Next()
+		if !ok {
+			t.Fatalf("evidence %d missing", i)
+		}
+		if nodes.FormatString(world) != w.world {
+			t.Fatalf("evidence %d = %q, want %q", i, nodes.FormatString(world), w.world)
+		}
+		if math.Abs(math.Exp(lp)-w.p) > 1e-9 {
+			t.Fatalf("evidence %d probability %v, want %v", i, math.Exp(lp), w.p)
+		}
+	}
+	if _, _, ok := e.Next(); ok {
+		t.Fatal("only three evidences of 12 exist")
+	}
+}
+
+// TestEvidencesAgainstBruteForce on random instances (including
+// nondeterministic transducers, where duplicate paths must be filtered).
+func TestEvidencesAgainstBruteForce(t *testing.T) {
+	in := automata.MustAlphabet("a", "b")
+	out := automata.MustAlphabet("x", "y")
+	for trial := 0; trial < 40; trial++ {
+		rng := rand.New(rand.NewSource(int64(600 + trial)))
+		m := markov.Random(in, 2+rng.Intn(3), 0.6, rng)
+		tr := randomNDTransducer(in, out, 1+rng.Intn(3), rng)
+		// Pick an answer.
+		answers := bruteEmax(tr, m)
+		if len(answers) == 0 {
+			continue
+		}
+		var key string
+		for k := range answers {
+			key = k
+			break
+		}
+		o := parseKey(key)
+		// Brute-force evidences.
+		type ev struct {
+			key string
+			p   float64
+		}
+		var want []ev
+		m.Enumerate(func(s []automata.Symbol, p float64) bool {
+			for _, cand := range tr.Transduce(s, 0) {
+				if automata.EqualStrings(cand, o) {
+					want = append(want, ev{automata.StringKey(s), p})
+					break
+				}
+			}
+			return true
+		})
+		sort.Slice(want, func(i, j int) bool { return want[i].p > want[j].p })
+		e, err := Evidences(tr, m, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			world, lp, ok := e.Next()
+			if !ok {
+				t.Fatalf("trial %d: evidence %d missing (want %d total)", trial, i, len(want))
+			}
+			if math.Abs(math.Exp(lp)-want[i].p) > 1e-9 {
+				t.Fatalf("trial %d: evidence %d probability %v, want %v",
+					trial, i, math.Exp(lp), want[i].p)
+			}
+			if got := m.Prob(world); math.Abs(got-math.Exp(lp)) > 1e-9 {
+				t.Fatalf("trial %d: reported logp inconsistent with world", trial)
+			}
+		}
+		if _, _, ok := e.Next(); ok {
+			t.Fatalf("trial %d: spurious extra evidence", trial)
+		}
+	}
+}
+
+func parseKey(key string) []automata.Symbol {
+	var out []automata.Symbol
+	cur := 0
+	for i := 0; i < len(key); i++ {
+		if key[i] == ',' {
+			out = append(out, automata.Symbol(cur))
+			cur = 0
+			continue
+		}
+		cur = cur*10 + int(key[i]-'0')
+	}
+	return out
+}

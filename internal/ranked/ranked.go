@@ -1,0 +1,249 @@
+// Package ranked implements the ranked-enumeration results of Section 4.2
+// of Kimelfeld & Ré (PODS 2010):
+//
+//   - TopEmax finds an answer maximizing E_max (the probability of the
+//     best evidence) under an output prefix constraint, by a Viterbi-style
+//     dynamic program over the product of the constrained transducer and
+//     the Markov sequence.
+//
+//   - Enumerator yields A^ω(μ) in decreasing E_max with polynomial delay
+//     (Theorem 4.3), via the Lawler–Murty technique: the answer space is
+//     recursively partitioned with prefix constraints, and each part's top
+//     answer is obtained from TopEmax.
+//
+// Probabilities are handled in log space, so long Markov sequences do not
+// underflow (see DESIGN.md ablation A3).
+package ranked
+
+import (
+	"container/heap"
+	"math"
+
+	"markovseq/internal/automata"
+	"markovseq/internal/markov"
+	"markovseq/internal/transducer"
+)
+
+// TopEmax returns an answer o of the transducer over μ with maximal
+// E_max(o) among the answers satisfying the constraint, together with
+// log E_max(o). ok is false when no answer satisfies the constraint.
+//
+// Correctness: the maximum-probability accepting evidence s* yields an
+// answer o* with E_max(o*) = Pr(s*) ≥ E_max(o) for every other answer o,
+// and constraining the transducer preserves this argument within the
+// constrained answer set.
+func TopEmax(t *transducer.Transducer, m *markov.Sequence, c transducer.Constraint) (o []automata.Symbol, logE float64, ok bool) {
+	ct := t.Constrain(c)
+	return viterbi(ct, m)
+}
+
+// viterbiRun finds the maximum-probability accepting run of the transducer
+// over μ, returning the evidence node string, the visited states, and the
+// log probability. ok is false when no accepting run over a
+// positive-probability world exists.
+func viterbiRun(t *transducer.Transducer, m *markov.Sequence) (nodes []automata.Symbol, states []int, logp float64, ok bool) {
+	n := m.Len()
+	nNodes := m.Nodes.Size()
+	nStates := t.NumStates()
+	negInf := math.Inf(-1)
+
+	type bp struct{ x, q int }
+	// score[x][q] = max log prob of s[1..i] ending at node x in state q.
+	score := make([][]float64, nNodes)
+	back := make([][][]bp, n) // back[i][x][q]
+	for i := range back {
+		back[i] = make([][]bp, nNodes)
+		for x := range back[i] {
+			back[i][x] = make([]bp, nStates)
+		}
+	}
+	for x := range score {
+		score[x] = make([]float64, nStates)
+		for q := range score[x] {
+			score[x][q] = negInf
+		}
+	}
+	for x := 0; x < nNodes; x++ {
+		p := m.Initial[x]
+		if p == 0 {
+			continue
+		}
+		for _, q2 := range t.Succ(t.Start(), automata.Symbol(x)) {
+			lp := math.Log(p)
+			if lp > score[x][q2] {
+				score[x][q2] = lp
+				back[0][x][q2] = bp{-1, t.Start()}
+			}
+		}
+	}
+	for i := 1; i < n; i++ {
+		next := make([][]float64, nNodes)
+		for x := range next {
+			next[x] = make([]float64, nStates)
+			for q := range next[x] {
+				next[x][q] = negInf
+			}
+		}
+		tr := m.Trans[i-1]
+		for x := 0; x < nNodes; x++ {
+			for q := 0; q < nStates; q++ {
+				base := score[x][q]
+				if base == negInf {
+					continue
+				}
+				for y := 0; y < nNodes; y++ {
+					p := tr[x][y]
+					if p == 0 {
+						continue
+					}
+					lp := base + math.Log(p)
+					for _, q2 := range t.Succ(q, automata.Symbol(y)) {
+						if lp > next[y][q2] {
+							next[y][q2] = lp
+							back[i][y][q2] = bp{x, q}
+						}
+					}
+				}
+			}
+		}
+		score = next
+	}
+	bestX, bestQ, best := -1, -1, negInf
+	for x := 0; x < nNodes; x++ {
+		for q := 0; q < nStates; q++ {
+			if t.Accepting(q) && score[x][q] > best {
+				best, bestX, bestQ = score[x][q], x, q
+			}
+		}
+	}
+	if bestX < 0 {
+		return nil, nil, negInf, false
+	}
+	nodes = make([]automata.Symbol, n)
+	states = make([]int, n)
+	x, q := bestX, bestQ
+	for i := n - 1; i >= 0; i-- {
+		nodes[i] = automata.Symbol(x)
+		states[i] = q
+		prev := back[i][x][q]
+		x, q = prev.x, prev.q
+	}
+	return nodes, states, best, true
+}
+
+// viterbi finds the maximum-probability accepting run and returns its
+// emitted output with the log probability.
+func viterbi(t *transducer.Transducer, m *markov.Sequence) ([]automata.Symbol, float64, bool) {
+	nodes, states, lp, ok := viterbiRun(t, m)
+	if !ok {
+		return nil, lp, false
+	}
+	var out []automata.Symbol
+	prev := t.Start()
+	for i := range nodes {
+		out = append(out, t.Emit(prev, nodes[i], states[i])...)
+		prev = states[i]
+	}
+	return out, lp, true
+}
+
+// BestEvidence returns the maximum-probability possible world of μ that is
+// transduced into answer o, together with its log probability — i.e. a
+// witness of E_max(o) (Example 4.2). ok is false when o is not an answer.
+func BestEvidence(t *transducer.Transducer, m *markov.Sequence, o []automata.Symbol) (s []automata.Symbol, logE float64, ok bool) {
+	ct := t.Constrain(transducer.Constraint{Prefix: o, Mode: transducer.ExactOnly})
+	nodes, _, lp, ok := viterbiRun(ct, m)
+	return nodes, lp, ok
+}
+
+// Answer is an enumerated answer with its E_max score (in log space).
+type Answer struct {
+	Output  []automata.Symbol
+	LogEmax float64
+}
+
+// Enumerator yields A^ω(μ) in decreasing E_max with polynomial delay
+// (Theorem 4.3). Create with NewEnumerator and drain with Next.
+type Enumerator struct {
+	t     *transducer.Transducer
+	m     *markov.Sequence
+	queue lawlerQueue
+}
+
+type lawlerItem struct {
+	constraint transducer.Constraint
+	// resolved indicates top/logE hold the constraint's true best answer;
+	// unresolved items carry the parent's score as an upper bound and are
+	// resolved lazily when popped (Murty's optimization: since a child's
+	// top cannot beat its parent's, deferring the Viterbi call preserves
+	// the global order while skipping it entirely for children that never
+	// reach the front of the queue).
+	resolved bool
+	top      []automata.Symbol
+	logE     float64
+}
+
+type lawlerQueue []*lawlerItem
+
+func (q lawlerQueue) Len() int            { return len(q) }
+func (q lawlerQueue) Less(i, j int) bool  { return q[i].logE > q[j].logE }
+func (q lawlerQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *lawlerQueue) Push(x interface{}) { *q = append(*q, x.(*lawlerItem)) }
+func (q *lawlerQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// NewEnumerator prepares the decreasing-E_max enumeration of the answers
+// of t over m.
+func NewEnumerator(t *transducer.Transducer, m *markov.Sequence) *Enumerator {
+	e := &Enumerator{t: t, m: m}
+	if top, logE, ok := TopEmax(t, m, transducer.Unconstrained()); ok {
+		heap.Push(&e.queue, &lawlerItem{
+			constraint: transducer.Unconstrained(),
+			resolved:   true,
+			top:        top,
+			logE:       logE,
+		})
+	}
+	return e
+}
+
+// Next returns the next answer in decreasing E_max, or ok=false when all
+// answers have been enumerated. Each answer is produced exactly once: the
+// Lawler children of a popped constraint partition its remaining answers.
+func (e *Enumerator) Next() (Answer, bool) {
+	for len(e.queue) > 0 {
+		it := heap.Pop(&e.queue).(*lawlerItem)
+		if !it.resolved {
+			top, logE, ok := TopEmax(e.t, e.m, it.constraint)
+			if !ok {
+				continue // empty subproblem
+			}
+			it.resolved, it.top, it.logE = true, top, logE
+			heap.Push(&e.queue, it)
+			continue
+		}
+		for _, child := range it.constraint.Children(it.top) {
+			// The child's best cannot exceed the parent's: use the
+			// parent's score as an admissible upper bound.
+			heap.Push(&e.queue, &lawlerItem{constraint: child, logE: it.logE})
+		}
+		return Answer{Output: it.top, LogEmax: it.logE}, true
+	}
+	return Answer{}, false
+}
+
+// Emax computes E_max(o) = max{Pr(s) : s →[A^ω]→ o} in log space, using
+// the exact-output constraint and the Viterbi DP. It returns -Inf when o
+// is not an answer.
+func Emax(t *transducer.Transducer, m *markov.Sequence, o []automata.Symbol) float64 {
+	_, lp, ok := TopEmax(t, m, transducer.Constraint{Prefix: o, Mode: transducer.ExactOnly})
+	if !ok {
+		return math.Inf(-1)
+	}
+	return lp
+}

@@ -1,0 +1,193 @@
+package ranked
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"markovseq/internal/automata"
+	"markovseq/internal/markov"
+	"markovseq/internal/paperex"
+	"markovseq/internal/transducer"
+)
+
+// bruteEmax computes E_max for every answer by possible-worlds enumeration.
+func bruteEmax(t *transducer.Transducer, m *markov.Sequence) map[string]float64 {
+	out := map[string]float64{}
+	m.Enumerate(func(s []automata.Symbol, p float64) bool {
+		for _, o := range t.Transduce(s, 0) {
+			k := automata.StringKey(o)
+			if p > out[k] {
+				out[k] = p
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func TestExample42Emax(t *testing.T) {
+	nodes := paperex.Nodes()
+	outs := paperex.Outputs()
+	m := paperex.Figure1(nodes)
+	tr := paperex.Figure2(nodes, outs)
+	got := math.Exp(Emax(tr, m, outs.MustParseString("1 2")))
+	if math.Abs(got-paperex.Emax12) > 1e-9 {
+		t.Fatalf("E_max(12) = %v, want %v", got, paperex.Emax12)
+	}
+	// The best evidence of 12 is the string s of Table 1.
+	ev, lp, ok := BestEvidence(tr, m, outs.MustParseString("1 2"))
+	if !ok {
+		t.Fatal("12 should have an evidence")
+	}
+	if want := nodes.MustParseString("r1a la la r1a r2a"); !automata.EqualStrings(ev, want) {
+		t.Fatalf("best evidence = %v, want s", nodes.FormatString(ev))
+	}
+	if math.Abs(math.Exp(lp)-paperex.Emax12) > 1e-9 {
+		t.Fatalf("best evidence probability = %v", math.Exp(lp))
+	}
+}
+
+func TestTopEmaxRunningExample(t *testing.T) {
+	nodes := paperex.Nodes()
+	outs := paperex.Outputs()
+	m := paperex.Figure1(nodes)
+	tr := paperex.Figure2(nodes, outs)
+	o, lp, ok := TopEmax(tr, m, transducer.Unconstrained())
+	if !ok {
+		t.Fatal("answers exist")
+	}
+	// The most probable accepted world is s (0.3969), whose output is 12.
+	if !automata.EqualStrings(o, outs.MustParseString("1 2")) {
+		t.Fatalf("top answer = %v, want 12", outs.FormatString(o))
+	}
+	if math.Abs(math.Exp(lp)-0.3969) > 1e-9 {
+		t.Fatalf("top E_max = %v, want 0.3969", math.Exp(lp))
+	}
+}
+
+func randomNDTransducer(in, out *automata.Alphabet, nStates int, rng *rand.Rand) *transducer.Transducer {
+	tr := transducer.New(in, out, nStates, 0)
+	for q := 0; q < nStates; q++ {
+		tr.SetAccepting(q, rng.Intn(2) == 0)
+		for _, s := range in.Symbols() {
+			for q2 := 0; q2 < nStates; q2++ {
+				if rng.Intn(3) != 0 {
+					continue
+				}
+				var e []automata.Symbol
+				for l := rng.Intn(3); l > 0; l-- {
+					e = append(e, automata.Symbol(rng.Intn(out.Size())))
+				}
+				tr.AddTransition(q, s, q2, e)
+			}
+		}
+	}
+	return tr
+}
+
+// TestEnumerationOrderAndCompleteness is the core Theorem 4.3 property
+// test: the enumerator yields exactly the brute-force answer set, each
+// once, in non-increasing E_max, with correct E_max values.
+func TestEnumerationOrderAndCompleteness(t *testing.T) {
+	in := automata.MustAlphabet("a", "b")
+	out := automata.MustAlphabet("x", "y")
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		m := markov.Random(in, 2+rng.Intn(3), 0.6, rng)
+		tr := randomNDTransducer(in, out, 1+rng.Intn(3), rng)
+		want := bruteEmax(tr, m)
+		e := NewEnumerator(tr, m)
+		seen := map[string]bool{}
+		prev := math.Inf(1)
+		for {
+			a, ok := e.Next()
+			if !ok {
+				break
+			}
+			k := automata.StringKey(a.Output)
+			if seen[k] {
+				t.Fatalf("trial %d: duplicate answer %v", trial, a.Output)
+			}
+			seen[k] = true
+			wantE, isAnswer := want[k]
+			if !isAnswer {
+				t.Fatalf("trial %d: spurious answer %v", trial, a.Output)
+			}
+			gotE := math.Exp(a.LogEmax)
+			if math.Abs(gotE-wantE) > 1e-9 {
+				t.Fatalf("trial %d: E_max(%v) = %v, want %v", trial, a.Output, gotE, wantE)
+			}
+			if gotE > prev+1e-9 {
+				t.Fatalf("trial %d: enumeration not in decreasing E_max (%v after %v)", trial, gotE, prev)
+			}
+			prev = gotE
+		}
+		if len(seen) != len(want) {
+			t.Fatalf("trial %d: enumerated %d answers, want %d", trial, len(seen), len(want))
+		}
+	}
+}
+
+func TestRunningExampleRankedOrder(t *testing.T) {
+	nodes := paperex.Nodes()
+	outs := paperex.Outputs()
+	m := paperex.Figure1(nodes)
+	tr := paperex.Figure2(nodes, outs)
+	e := NewEnumerator(tr, m)
+	var order []string
+	for {
+		a, ok := e.Next()
+		if !ok {
+			break
+		}
+		order = append(order, outs.FormatString(a.Output))
+	}
+	if len(order) == 0 || order[0] != "12" {
+		t.Fatalf("first answer should be 12 (E_max 0.3969), got %v", order)
+	}
+	// ε has best evidence r1b lb lb lb lb with probability 0.2: second.
+	if order[1] != "ε" {
+		t.Fatalf("second answer should be ε, got %v", order)
+	}
+}
+
+func TestEmaxOfNonAnswer(t *testing.T) {
+	nodes := paperex.Nodes()
+	outs := paperex.Outputs()
+	m := paperex.Figure1(nodes)
+	tr := paperex.Figure2(nodes, outs)
+	if lp := Emax(tr, m, outs.MustParseString("λ λ λ")); !math.IsInf(lp, -1) {
+		t.Fatalf("E_max of a non-answer should be -Inf, got %v", lp)
+	}
+}
+
+// TestLongSequenceLogSpace: at n = 2000 every world probability
+// underflows float64, but the log-space Viterbi still ranks answers
+// (ablation A3).
+func TestLongSequenceLogSpace(t *testing.T) {
+	in := automata.MustAlphabet("a", "b")
+	out := automata.MustAlphabet("x")
+	rng := rand.New(rand.NewSource(9))
+	m := markov.Random(in, 2000, 1.0, rng)
+	tr := transducer.New(in, out, 1, 0)
+	tr.SetAccepting(0, true)
+	x := []automata.Symbol{out.MustSymbol("x")}
+	tr.AddTransition(0, in.MustSymbol("a"), 0, x)
+	tr.AddTransition(0, in.MustSymbol("b"), 0, nil)
+	o, lp, ok := TopEmax(tr, m, transducer.Unconstrained())
+	if !ok {
+		t.Fatal("top answer must exist")
+	}
+	if math.IsInf(lp, 0) || math.IsNaN(lp) {
+		t.Fatalf("log score degenerate: %v", lp)
+	}
+	if lp > 0 {
+		t.Fatalf("log probability positive: %v", lp)
+	}
+	// The linear-space probability would be exp(lp) == 0 exactly.
+	if math.Exp(lp) != 0 {
+		t.Skip("instance not extreme enough to underflow; still fine")
+	}
+	_ = o
+}

@@ -1,0 +1,32 @@
+package regex
+
+import (
+	"testing"
+
+	"markovseq/internal/automata"
+)
+
+// FuzzCompile checks that arbitrary patterns never panic the compiler and
+// that successfully compiled patterns yield working automata.
+func FuzzCompile(f *testing.F) {
+	for _, seed := range []string{
+		"", "a", "a*b|c", "(a|b)+", "[a-c]*", "<r1a>", ".*", "a{", "\\s", "[^ab]", "((((a))))",
+	} {
+		f.Add(seed)
+	}
+	ab := automata.Chars("abc")
+	probe := ab.MustParseString("a b c")
+	f.Fuzz(func(t *testing.T, pattern string) {
+		m, err := Compile(pattern, ab)
+		if err != nil {
+			return
+		}
+		// A compiled pattern must not panic on use.
+		m.Accepts(probe)
+		m.Accepts(nil)
+		d := m.Determinize()
+		if d.Accepts(probe) != m.Accepts(probe) {
+			t.Fatalf("pattern %q: NFA and DFA disagree", pattern)
+		}
+	})
+}

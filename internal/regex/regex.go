@@ -1,0 +1,374 @@
+// Package regex compiles regular expressions over arbitrary symbol
+// alphabets into NFAs (Thompson construction) and DFAs. It exists so that
+// s-projectors can be authored the way the paper's Example 5.1 writes them
+// — as Perl-style expressions such as ".*Name:", "[a-zA-Z,]+", "\s.*" —
+// while still operating over interned automata symbols.
+//
+// Syntax:
+//
+//	e1|e2      alternation
+//	e1e2       concatenation
+//	e*  e+  e? repetition
+//	(e)        grouping
+//	.          any alphabet symbol
+//	[abc]      symbol class (single-character symbol names)
+//	[^abc]     negated class
+//	[a-z]      character range (single-character symbol names)
+//	<name>     a symbol with a multi-character name, e.g. <r1a>
+//	\x         escape: the literal character x
+//	c          the symbol whose name is the single character c
+//
+// Symbols referenced by a pattern must already exist in the alphabet;
+// unknown symbols are a compile error rather than being silently added.
+package regex
+
+import (
+	"fmt"
+	"strings"
+
+	"markovseq/internal/automata"
+)
+
+// Compile parses pattern over the given alphabet and returns an
+// epsilon-free NFA accepting its language.
+func Compile(pattern string, a *automata.Alphabet) (*automata.NFA, error) {
+	p := &parser{src: pattern, alphabet: a}
+	frag, err := p.parseAlt()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("regex: unexpected %q at offset %d", p.src[p.pos], p.pos)
+	}
+	p.b.SetAccepting(frag.out, true)
+	nfa := p.b.build(frag.in)
+	return nfa.RemoveEpsilon(), nil
+}
+
+// MustCompile is Compile panicking on error, for patterns written as
+// literals in code and tests.
+func MustCompile(pattern string, a *automata.Alphabet) *automata.NFA {
+	m, err := Compile(pattern, a)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// CompileDFA compiles pattern and determinizes the result.
+func CompileDFA(pattern string, a *automata.Alphabet) (*automata.DFA, error) {
+	m, err := Compile(pattern, a)
+	if err != nil {
+		return nil, err
+	}
+	return m.Determinize().Minimize(), nil
+}
+
+// MustCompileDFA is CompileDFA panicking on error.
+func MustCompileDFA(pattern string, a *automata.Alphabet) *automata.DFA {
+	d, err := CompileDFA(pattern, a)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// builder accumulates Thompson-construction states before the final NFA is
+// materialized.
+type builder struct {
+	numStates int
+	accepting map[int]bool
+	trans     []edge
+}
+
+type edge struct {
+	from int
+	sym  automata.Symbol // -1 for epsilon
+	to   int
+}
+
+func (b *builder) newState() int {
+	b.numStates++
+	return b.numStates - 1
+}
+
+func (b *builder) addEdge(from int, sym automata.Symbol, to int) {
+	b.trans = append(b.trans, edge{from, sym, to})
+}
+
+func (b *builder) SetAccepting(q int, v bool) {
+	if b.accepting == nil {
+		b.accepting = map[int]bool{}
+	}
+	b.accepting[q] = v
+}
+
+// frag is a Thompson fragment with a single entry and a single exit state.
+type frag struct{ in, out int }
+
+type parser struct {
+	src      string
+	pos      int
+	alphabet *automata.Alphabet
+	b        builderWithAlphabet
+}
+
+type builderWithAlphabet struct {
+	builder
+	alphabet *automata.Alphabet
+}
+
+func (b *builderWithAlphabet) build(start int) *automata.NFA {
+	m := automata.NewNFA(b.alphabet, b.numStates, start)
+	for q, acc := range b.accepting {
+		m.SetAccepting(q, acc)
+	}
+	for _, e := range b.trans {
+		if e.sym < 0 {
+			m.AddEps(e.from, e.to)
+		} else {
+			m.AddTransition(e.from, e.sym, e.to)
+		}
+	}
+	return m
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *parser) peek() byte { return p.src[p.pos] }
+
+// parseAlt parses e1|e2|...
+func (p *parser) parseAlt() (frag, error) {
+	p.b.alphabet = p.alphabet
+	f, err := p.parseCat()
+	if err != nil {
+		return frag{}, err
+	}
+	for !p.eof() && p.peek() == '|' {
+		p.pos++
+		g, err := p.parseCat()
+		if err != nil {
+			return frag{}, err
+		}
+		in, out := p.b.newState(), p.b.newState()
+		p.b.addEdge(in, -1, f.in)
+		p.b.addEdge(in, -1, g.in)
+		p.b.addEdge(f.out, -1, out)
+		p.b.addEdge(g.out, -1, out)
+		f = frag{in, out}
+	}
+	return f, nil
+}
+
+// parseCat parses a (possibly empty) concatenation of repeated atoms.
+func (p *parser) parseCat() (frag, error) {
+	// Empty concatenation: a fresh state that is both entry and exit,
+	// matching the empty string.
+	if p.eof() || p.peek() == '|' || p.peek() == ')' {
+		q := p.b.newState()
+		return frag{q, q}, nil
+	}
+	f, err := p.parseRep()
+	if err != nil {
+		return frag{}, err
+	}
+	for !p.eof() && p.peek() != '|' && p.peek() != ')' {
+		g, err := p.parseRep()
+		if err != nil {
+			return frag{}, err
+		}
+		p.b.addEdge(f.out, -1, g.in)
+		f = frag{f.in, g.out}
+	}
+	return f, nil
+}
+
+// parseRep parses an atom followed by any number of *, + or ? operators.
+func (p *parser) parseRep() (frag, error) {
+	f, err := p.parseAtom()
+	if err != nil {
+		return frag{}, err
+	}
+	for !p.eof() {
+		switch p.peek() {
+		case '*':
+			p.pos++
+			in, out := p.b.newState(), p.b.newState()
+			p.b.addEdge(in, -1, f.in)
+			p.b.addEdge(in, -1, out)
+			p.b.addEdge(f.out, -1, f.in)
+			p.b.addEdge(f.out, -1, out)
+			f = frag{in, out}
+		case '+':
+			p.pos++
+			out := p.b.newState()
+			p.b.addEdge(f.out, -1, f.in)
+			p.b.addEdge(f.out, -1, out)
+			f = frag{f.in, out}
+		case '?':
+			p.pos++
+			in, out := p.b.newState(), p.b.newState()
+			p.b.addEdge(in, -1, f.in)
+			p.b.addEdge(in, -1, out)
+			p.b.addEdge(f.out, -1, out)
+			f = frag{in, out}
+		default:
+			return f, nil
+		}
+	}
+	return f, nil
+}
+
+func (p *parser) parseAtom() (frag, error) {
+	if p.eof() {
+		return frag{}, fmt.Errorf("regex: unexpected end of pattern")
+	}
+	switch c := p.peek(); c {
+	case '(':
+		p.pos++
+		f, err := p.parseAlt()
+		if err != nil {
+			return frag{}, err
+		}
+		if p.eof() || p.peek() != ')' {
+			return frag{}, fmt.Errorf("regex: missing ')' at offset %d", p.pos)
+		}
+		p.pos++
+		return f, nil
+	case ')':
+		return frag{}, fmt.Errorf("regex: unexpected ')' at offset %d", p.pos)
+	case '*', '+', '?':
+		return frag{}, fmt.Errorf("regex: dangling %q at offset %d", c, p.pos)
+	case '.':
+		p.pos++
+		return p.symbolSet(p.alphabet.Symbols()), nil
+	case '[':
+		return p.parseClass()
+	case '<':
+		end := strings.IndexByte(p.src[p.pos:], '>')
+		if end < 0 {
+			return frag{}, fmt.Errorf("regex: missing '>' for symbol reference at offset %d", p.pos)
+		}
+		name := p.src[p.pos+1 : p.pos+end]
+		p.pos += end + 1
+		sym, ok := p.alphabet.Symbol(name)
+		if !ok {
+			return frag{}, fmt.Errorf("regex: symbol %q not in alphabet %s", name, p.alphabet)
+		}
+		return p.symbolSet([]automata.Symbol{sym}), nil
+	case '\\':
+		p.pos++
+		if p.eof() {
+			return frag{}, fmt.Errorf("regex: dangling escape at end of pattern")
+		}
+		return p.literal(p.escaped(p.peek()))
+	default:
+		p.pos++
+		return p.literal(string(c))
+	}
+}
+
+// escaped maps an escape character to the symbol name it denotes, and
+// advances past it.
+func (p *parser) escaped(c byte) string {
+	p.pos++
+	switch c {
+	case 'n':
+		return "\n"
+	case 't':
+		return "\t"
+	case 's':
+		return " "
+	default:
+		return string(c)
+	}
+}
+
+func (p *parser) literal(name string) (frag, error) {
+	sym, ok := p.alphabet.Symbol(name)
+	if !ok {
+		return frag{}, fmt.Errorf("regex: symbol %q not in alphabet %s", name, p.alphabet)
+	}
+	return p.symbolSet([]automata.Symbol{sym}), nil
+}
+
+// parseClass parses [abc], [^abc] and [a-z] classes of single-character
+// symbol names.
+func (p *parser) parseClass() (frag, error) {
+	open := p.pos
+	p.pos++ // consume '['
+	negate := false
+	if !p.eof() && p.peek() == '^' {
+		negate = true
+		p.pos++
+	}
+	include := map[automata.Symbol]bool{}
+	addChar := func(c byte) error {
+		sym, ok := p.alphabet.Symbol(string(c))
+		if !ok {
+			// Classes are allowed to mention characters missing from the
+			// alphabet (e.g. [a-z] over an alphabet with only a few
+			// letters); they simply contribute nothing.
+			return nil
+		}
+		include[sym] = true
+		return nil
+	}
+	for {
+		if p.eof() {
+			return frag{}, fmt.Errorf("regex: missing ']' for class at offset %d", open)
+		}
+		c := p.peek()
+		if c == ']' {
+			p.pos++
+			break
+		}
+		if c == '\\' {
+			p.pos++
+			if p.eof() {
+				return frag{}, fmt.Errorf("regex: dangling escape in class at offset %d", p.pos)
+			}
+			name := p.escaped(p.peek())
+			if len(name) == 1 {
+				if err := addChar(name[0]); err != nil {
+					return frag{}, err
+				}
+			}
+			continue
+		}
+		p.pos++
+		// Range c-hi?
+		if !p.eof() && p.peek() == '-' && p.pos+1 < len(p.src) && p.src[p.pos+1] != ']' {
+			hi := p.src[p.pos+1]
+			p.pos += 2
+			if hi < c {
+				return frag{}, fmt.Errorf("regex: inverted range %c-%c at offset %d", c, hi, open)
+			}
+			for x := c; x <= hi; x++ {
+				if err := addChar(x); err != nil {
+					return frag{}, err
+				}
+			}
+			continue
+		}
+		if err := addChar(c); err != nil {
+			return frag{}, err
+		}
+	}
+	var syms []automata.Symbol
+	for _, s := range p.alphabet.Symbols() {
+		if include[s] != negate {
+			syms = append(syms, s)
+		}
+	}
+	return p.symbolSet(syms), nil
+}
+
+// symbolSet returns a fragment matching exactly one symbol from syms.
+func (p *parser) symbolSet(syms []automata.Symbol) frag {
+	in, out := p.b.newState(), p.b.newState()
+	for _, s := range syms {
+		p.b.addEdge(in, s, out)
+	}
+	return frag{in, out}
+}

@@ -1,0 +1,203 @@
+package regex
+
+import (
+	"math/rand"
+	"regexp"
+	"testing"
+
+	"markovseq/internal/automata"
+)
+
+// refMatch checks membership using the standard library on single-character
+// alphabets, anchoring the pattern. Only patterns valid in both syntaxes
+// are used in the comparison tests.
+func refMatch(t *testing.T, pattern, s string) bool {
+	t.Helper()
+	re, err := regexp.Compile("^(?:" + pattern + ")$")
+	if err != nil {
+		t.Fatalf("reference regexp rejects %q: %v", pattern, err)
+	}
+	return re.MatchString(s)
+}
+
+func allStrings(ab *automata.Alphabet, maxLen int, fn func([]automata.Symbol)) {
+	var rec func(s []automata.Symbol, depth int)
+	rec = func(s []automata.Symbol, depth int) {
+		fn(s)
+		if depth == 0 {
+			return
+		}
+		for _, sym := range ab.Symbols() {
+			rec(append(s, sym), depth-1)
+		}
+	}
+	rec(nil, maxLen)
+}
+
+func toText(ab *automata.Alphabet, s []automata.Symbol) string {
+	out := ""
+	for _, sym := range s {
+		out += ab.Name(sym)
+	}
+	return out
+}
+
+func TestAgainstStdlib(t *testing.T) {
+	ab := automata.Chars("abc")
+	patterns := []string{
+		"",
+		"a",
+		"abc",
+		"a|b",
+		"a*",
+		"a+",
+		"a?",
+		"(ab)*",
+		"(a|b)*c",
+		"a(b|c)+",
+		"[ab]c*",
+		"[^a]b",
+		"[a-c]*",
+		"a|",
+		"(a|b|c)(a|b|c)",
+		"a*b*c*",
+		"((a)|(bc))*",
+		"a?b?c?",
+	}
+	for _, pat := range patterns {
+		nfa, err := Compile(pat, ab)
+		if err != nil {
+			t.Fatalf("Compile(%q): %v", pat, err)
+		}
+		dfa := MustCompileDFA(pat, ab)
+		allStrings(ab, 5, func(s []automata.Symbol) {
+			want := refMatch(t, pat, toText(ab, s))
+			if got := nfa.Accepts(s); got != want {
+				t.Fatalf("pattern %q on %q: NFA got %v, want %v", pat, toText(ab, s), got, want)
+			}
+			if got := dfa.Accepts(s); got != want {
+				t.Fatalf("pattern %q on %q: DFA got %v, want %v", pat, toText(ab, s), got, want)
+			}
+		})
+	}
+}
+
+func TestMultiCharSymbols(t *testing.T) {
+	ab := automata.MustAlphabet("r1a", "r1b", "la")
+	m := MustCompile("(<r1a>|<r1b>)*<la>.*", ab)
+	cases := []struct {
+		in   string
+		want bool
+	}{
+		{"la", true},
+		{"r1a la", true},
+		{"r1a r1b la r1a", true},
+		{"r1a r1b", false},
+		{"", false},
+		{"la la la", true},
+	}
+	for _, c := range cases {
+		if got := m.Accepts(ab.MustParseString(c.in)); got != c.want {
+			t.Errorf("Accepts(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestEscapes(t *testing.T) {
+	ab := automata.MustAlphabet("a", " ", "\t", "+")
+	m := MustCompile(`a\s\+`, ab)
+	if !m.Accepts([]automata.Symbol{ab.MustSymbol("a"), ab.MustSymbol(" "), ab.MustSymbol("+")}) {
+		t.Fatal("escape handling failed")
+	}
+}
+
+func TestClassRangeSkipsMissing(t *testing.T) {
+	// [a-z] over an alphabet containing only a, c: matches exactly {a, c}.
+	ab := automata.Chars("ac")
+	m := MustCompile("[a-z]", ab)
+	if !m.Accepts(ab.MustParseString("a")) || !m.Accepts(ab.MustParseString("c")) {
+		t.Fatal("[a-z] should match alphabet members")
+	}
+	if m.Accepts(nil) || m.Accepts(ab.MustParseString("a c")) {
+		t.Fatal("[a-z] should match exactly one symbol")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	ab := automata.Chars("ab")
+	for _, pat := range []string{"(", ")", "(a", "*", "a**extra)", "[ab", "<missing", "<nope>", "z", `a\`} {
+		if _, err := Compile(pat, ab); err == nil {
+			t.Errorf("Compile(%q) should fail", pat)
+		}
+	}
+	// a** is actually legal (idempotent star); make sure it compiles.
+	if _, err := Compile("a**", ab); err != nil {
+		t.Errorf("Compile(a**) failed: %v", err)
+	}
+}
+
+func TestQuickRandomPatterns(t *testing.T) {
+	// Generate random patterns from a safe grammar and compare with stdlib.
+	ab := automata.Chars("ab")
+	rng := rand.New(rand.NewSource(7))
+	var gen func(depth int) string
+	gen = func(depth int) string {
+		if depth == 0 {
+			return []string{"a", "b"}[rng.Intn(2)]
+		}
+		switch rng.Intn(6) {
+		case 0:
+			return gen(depth-1) + gen(depth-1)
+		case 1:
+			return "(" + gen(depth-1) + "|" + gen(depth-1) + ")"
+		case 2:
+			return "(" + gen(depth-1) + ")*"
+		case 3:
+			return "(" + gen(depth-1) + ")?"
+		case 4:
+			return "(" + gen(depth-1) + ")+"
+		default:
+			return []string{"a", "b"}[rng.Intn(2)]
+		}
+	}
+	for trial := 0; trial < 60; trial++ {
+		pat := gen(3)
+		nfa, err := Compile(pat, ab)
+		if err != nil {
+			t.Fatalf("Compile(%q): %v", pat, err)
+		}
+		allStrings(ab, 4, func(s []automata.Symbol) {
+			want := refMatch(t, pat, toText(ab, s))
+			if got := nfa.Accepts(s); got != want {
+				t.Fatalf("pattern %q on %q: got %v, want %v", pat, toText(ab, s), got, want)
+			}
+		})
+	}
+}
+
+// TestRobustnessNoPanics: Compile must reject or accept arbitrary byte
+// strings without panicking.
+func TestRobustnessNoPanics(t *testing.T) {
+	ab := automata.Chars("ab")
+	rng := rand.New(rand.NewSource(99))
+	chars := []byte(`ab()[]|*+?.\<>-^z `)
+	for trial := 0; trial < 5000; trial++ {
+		n := rng.Intn(12)
+		pat := make([]byte, n)
+		for i := range pat {
+			pat[i] = chars[rng.Intn(len(chars))]
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Compile(%q) panicked: %v", pat, r)
+				}
+			}()
+			if m, err := Compile(string(pat), ab); err == nil {
+				// A successful compile must produce a working automaton.
+				m.Accepts(ab.MustParseString("a b"))
+				m.Accepts(nil)
+			}
+		}()
+	}
+}

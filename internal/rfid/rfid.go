@@ -1,0 +1,289 @@
+// Package rfid is the synthetic workload generator for the paper's
+// motivating application (Section 1 / Example 3.1): RFID tracking of
+// equipment in a hospital. The paper's evaluation context (the Lahar
+// system) used real deployment traces, which are proprietary; this package
+// substitutes a generative simulator with the same structure — a floorplan
+// of places, each containing several sub-locations with a sensor; a
+// transmitter that moves between adjacent locations with dwell behavior;
+// and a noisy sensing model (missed and confused readings). The simulated
+// readings are smoothed with the HMM machinery (package hmm) into exactly
+// the kind of Markov sequence the paper queries, so every downstream code
+// path is exercised identically to a real deployment.
+package rfid
+
+import (
+	"fmt"
+	"math/rand"
+
+	"markovseq/internal/automata"
+	"markovseq/internal/hmm"
+	"markovseq/internal/markov"
+	"markovseq/internal/transducer"
+)
+
+// Place is a named area of the floorplan (a room, a lab, a hallway)
+// containing one or more sub-locations, each with its own sensor.
+type Place struct {
+	Name      string
+	Locations []string // fully qualified sub-location names
+}
+
+// Floorplan is the hospital layout: places and an adjacency relation over
+// places (movement between places goes through adjacency; movement within
+// a place is free).
+type Floorplan struct {
+	Places []Place
+	// Adjacent[i] lists the indices of places adjacent to place i.
+	Adjacent [][]int
+}
+
+// LocationAlphabet returns the alphabet of all sub-locations, in place
+// order. This is the hidden-state alphabet of the movement HMM and the
+// node alphabet of the resulting Markov sequences.
+func (f *Floorplan) LocationAlphabet() *automata.Alphabet {
+	var names []string
+	for _, p := range f.Places {
+		names = append(names, p.Locations...)
+	}
+	return automata.MustAlphabet(names...)
+}
+
+// PlaceOf returns the index of the place containing the location symbol.
+func (f *Floorplan) PlaceOf(a *automata.Alphabet, s automata.Symbol) int {
+	name := a.Name(s)
+	for i, p := range f.Places {
+		for _, l := range p.Locations {
+			if l == name {
+				return i
+			}
+		}
+	}
+	panic(fmt.Sprintf("rfid: location %q not in floorplan", name))
+}
+
+// Hospital builds a floorplan with the given number of rooms, one lab and
+// one hallway; every room and the lab adjoin the hallway, and each place
+// has locsPerPlace sub-locations.
+func Hospital(rooms, locsPerPlace int) *Floorplan {
+	f := &Floorplan{}
+	addPlace := func(name string) int {
+		var locs []string
+		for l := 0; l < locsPerPlace; l++ {
+			locs = append(locs, fmt.Sprintf("%s_%c", name, 'a'+l))
+		}
+		f.Places = append(f.Places, Place{Name: name, Locations: locs})
+		return len(f.Places) - 1
+	}
+	hall := addPlace("hall")
+	lab := addPlace("lab")
+	f.Adjacent = make([][]int, 2+rooms)
+	link := func(a, b int) {
+		f.Adjacent[a] = append(f.Adjacent[a], b)
+		f.Adjacent[b] = append(f.Adjacent[b], a)
+	}
+	link(hall, lab)
+	for r := 1; r <= rooms; r++ {
+		id := addPlace(fmt.Sprintf("r%d", r))
+		link(hall, id)
+	}
+	return f
+}
+
+// Noise parametrizes the sensing model.
+type Noise struct {
+	// Miss is the probability a reading is dropped (observed as "none").
+	Miss float64
+	// Confuse is the probability the reading is attributed to a uniformly
+	// random location of an adjacent place (sensors near passages).
+	Confuse float64
+	// Dwell is the probability of staying at the current location per step.
+	Dwell float64
+}
+
+// DefaultNoise is a moderately noisy deployment.
+var DefaultNoise = Noise{Miss: 0.15, Confuse: 0.1, Dwell: 0.5}
+
+// BuildHMM constructs the movement/sensing HMM: hidden states are
+// sub-locations; observations are sensor identifiers plus "none" (missed
+// reading).
+func BuildHMM(f *Floorplan, noise Noise) *hmm.Model {
+	states := f.LocationAlphabet()
+	obsNames := []string{"none"}
+	for _, p := range f.Places {
+		for _, l := range p.Locations {
+			obsNames = append(obsNames, "s_"+l)
+		}
+	}
+	obs := automata.MustAlphabet(obsNames...)
+	h := hmm.New(states, obs)
+
+	// Uniform initial distribution over the hallway locations (equipment
+	// starts in the hallway).
+	hallLocs := f.Places[0].Locations
+	for _, l := range hallLocs {
+		h.Initial[states.MustSymbol(l)] = 1 / float64(len(hallLocs))
+	}
+
+	// Movement: stay with Dwell; otherwise move to a uniformly random
+	// location of the same or an adjacent place.
+	for _, sym := range states.Symbols() {
+		pi := f.PlaceOf(states, sym)
+		var targets []automata.Symbol
+		for _, l := range f.Places[pi].Locations {
+			if t := states.MustSymbol(l); t != sym {
+				targets = append(targets, t)
+			}
+		}
+		for _, adj := range f.Adjacent[pi] {
+			for _, l := range f.Places[adj].Locations {
+				targets = append(targets, states.MustSymbol(l))
+			}
+		}
+		h.Trans[sym][sym] = noise.Dwell
+		for _, t := range targets {
+			h.Trans[sym][t] += (1 - noise.Dwell) / float64(len(targets))
+		}
+	}
+
+	// Sensing: correct sensor with 1−Miss−Confuse; "none" with Miss;
+	// a sensor of an adjacent place with Confuse.
+	for _, sym := range states.Symbols() {
+		pi := f.PlaceOf(states, sym)
+		var confuseTargets []automata.Symbol
+		for _, adj := range f.Adjacent[pi] {
+			for _, l := range f.Places[adj].Locations {
+				confuseTargets = append(confuseTargets, obs.MustSymbol("s_"+l))
+			}
+		}
+		h.Emit[sym][obs.MustSymbol("none")] = noise.Miss
+		h.Emit[sym][obs.MustSymbol("s_"+states.Name(sym))] = 1 - noise.Miss - noise.Confuse
+		for _, t := range confuseTargets {
+			h.Emit[sym][t] += noise.Confuse / float64(len(confuseTargets))
+		}
+	}
+	if err := h.Validate(); err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Trace is one simulated deployment trace.
+type Trace struct {
+	// Hidden is the true trajectory (ground truth, unknown in deployment).
+	Hidden []automata.Symbol
+	// Obs is the sensor reading sequence.
+	Obs []automata.Symbol
+	// Seq is the smoothed Markov sequence Pr(H | Obs) — the queryable
+	// artifact, exactly the paper's data model.
+	Seq *markov.Sequence
+}
+
+// Simulate runs the HMM for n steps and smooths the readings into a
+// Markov sequence.
+func Simulate(h *hmm.Model, n int, rng *rand.Rand) (*Trace, error) {
+	hidden, obs := h.Sample(n, rng)
+	seq, err := h.Condition(obs)
+	if err != nil {
+		return nil, err
+	}
+	return &Trace{Hidden: hidden, Obs: obs, Seq: seq}, nil
+}
+
+// PlaceAlphabet returns the output alphabet with one symbol per place.
+func (f *Floorplan) PlaceAlphabet() *automata.Alphabet {
+	names := make([]string, len(f.Places))
+	for i, p := range f.Places {
+		names[i] = p.Name
+	}
+	return automata.MustAlphabet(names...)
+}
+
+// PlaceTransducer builds the Figure-2-style query for an arbitrary
+// floorplan: after the first visit to the trigger place (e.g. the lab),
+// emit the place symbol whenever the transmitter enters a place from a
+// different place. State 0 is "before the trigger"; state 1+i is
+// "currently in place i".
+func PlaceTransducer(f *Floorplan, trigger string) *transducer.Transducer {
+	in := f.LocationAlphabet()
+	out := f.PlaceAlphabet()
+	triggerIdx := -1
+	for i, p := range f.Places {
+		if p.Name == trigger {
+			triggerIdx = i
+		}
+	}
+	if triggerIdx < 0 {
+		panic(fmt.Sprintf("rfid: trigger place %q not in floorplan", trigger))
+	}
+	t := transducer.New(in, out, 1+len(f.Places), 0)
+	for i := range f.Places {
+		t.SetAccepting(1+i, true)
+	}
+	for _, sym := range in.Symbols() {
+		pi := f.PlaceOf(in, sym)
+		if pi == triggerIdx {
+			t.AddTransition(0, sym, 1+pi, nil)
+		} else {
+			t.AddTransition(0, sym, 0, nil)
+		}
+		for from := range f.Places {
+			if from == pi {
+				t.AddTransition(1+from, sym, 1+pi, nil)
+			} else {
+				t.AddTransition(1+from, sym, 1+pi, []automata.Symbol{automata.Symbol(pi)})
+			}
+		}
+	}
+	return t
+}
+
+// PathProjector builds the Example 5.1 query as an s-projector: extract
+// the location path from the first time the transmitter is inside the
+// `from` place until it reaches the `to` place, i.e.
+// B = ".*<from-loc>", A = "(any)*<to-loc>"-style. Concretely:
+// B accepts strings ending at a location of `from`; A accepts strings
+// ending at a location of `to`; E is universal.
+func PathProjector(f *Floorplan, from, to string) *sprojSpec {
+	return &sprojSpec{f: f, from: from, to: to}
+}
+
+// sprojSpec defers DFA construction so the caller can decide on the
+// alphabet; Build produces the three DFAs.
+type sprojSpec struct {
+	f        *Floorplan
+	from, to string
+}
+
+// Build returns (B, A, E) over the floorplan's location alphabet.
+func (s *sprojSpec) Build() (b, a, e *automata.DFA) {
+	in := s.f.LocationAlphabet()
+	b = endsInPlace(s.f, in, s.from)
+	a = endsInPlace(s.f, in, s.to)
+	e = automata.Universal(in)
+	return b, a, e
+}
+
+// endsInPlace returns a DFA accepting the strings whose last symbol is a
+// location of the named place (and rejecting ε).
+func endsInPlace(f *Floorplan, in *automata.Alphabet, place string) *automata.DFA {
+	idx := -1
+	for i, p := range f.Places {
+		if p.Name == place {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		panic(fmt.Sprintf("rfid: place %q not in floorplan", place))
+	}
+	d := automata.NewDFA(in, 2, 0)
+	d.SetAccepting(1, true)
+	for _, sym := range in.Symbols() {
+		to := 0
+		if f.PlaceOf(in, sym) == idx {
+			to = 1
+		}
+		d.SetTransition(0, sym, to)
+		d.SetTransition(1, sym, to)
+	}
+	return d
+}

@@ -1,0 +1,50 @@
+package sproj
+
+import (
+	"markovseq/internal/automata"
+	"markovseq/internal/markov"
+)
+
+// ImaxDedupEnumerator is the ablation counterpart of ImaxEnumerator
+// (Section 5.2's first attempt): drain the indexed enumeration of
+// Theorem 5.7 and suppress duplicate strings. The paper points out that
+// this achieves incremental polynomial time but *not* polynomial delay —
+// "a large chunk of duplicates may be encountered" — which is why
+// Lemma 5.10 switches to the Lawler strategy. Exposed for the ablation
+// experiment; library code should use EnumerateImax.
+type ImaxDedupEnumerator struct {
+	inner *IndexedEnumerator
+	seen  map[string]bool
+	// SkippedLast counts the duplicates suppressed before the most recent
+	// answer — the quantity whose unboundedness costs the delay guarantee.
+	SkippedLast int
+}
+
+// EnumerateImaxDedup prepares the duplicate-filtering enumeration.
+func (p *SProjector) EnumerateImaxDedup(m *markov.Sequence) (*ImaxDedupEnumerator, error) {
+	inner, err := p.EnumerateIndexed(m)
+	if err != nil {
+		return nil, err
+	}
+	return &ImaxDedupEnumerator{inner: inner, seen: map[string]bool{}}, nil
+}
+
+// Next returns the next distinct string answer in decreasing I_max.
+func (e *ImaxDedupEnumerator) Next() (StringAnswer, bool) {
+	e.SkippedLast = 0
+	for {
+		a, ok := e.inner.Next()
+		if !ok {
+			return StringAnswer{}, false
+		}
+		key := automata.StringKey(a.Output)
+		if e.seen[key] {
+			e.SkippedLast++
+			continue
+		}
+		e.seen[key] = true
+		// The first time a string appears in the indexed enumeration is at
+		// its best occurrence, so a.Conf = I_max(output).
+		return StringAnswer{Output: a.Output, Imax: a.Conf}, true
+	}
+}

@@ -1,0 +1,100 @@
+package sproj
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"markovseq/internal/automata"
+	"markovseq/internal/markov"
+)
+
+// TestDedupMatchesLawler: both I_max enumerations produce the same strings
+// with the same scores in the same (score-)order.
+func TestDedupMatchesLawler(t *testing.T) {
+	ab := automata.Chars("ab")
+	for trial := 0; trial < 30; trial++ {
+		rng := rand.New(rand.NewSource(int64(4000 + trial)))
+		p := randomSProjector(ab, rng)
+		m := markov.Random(ab, 2+rng.Intn(3), 0.7, rng)
+
+		lawler := p.EnumerateImax(m)
+		dedup, err := p.EnumerateImaxDedup(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		type ans struct {
+			key  string
+			imax float64
+		}
+		var la, da []ans
+		for {
+			a, ok := lawler.Next()
+			if !ok {
+				break
+			}
+			la = append(la, ans{automata.StringKey(a.Output), a.Imax})
+		}
+		for {
+			a, ok := dedup.Next()
+			if !ok {
+				break
+			}
+			da = append(da, ans{automata.StringKey(a.Output), a.Imax})
+		}
+		if len(la) != len(da) {
+			t.Fatalf("trial %d: lawler %d answers, dedup %d", trial, len(la), len(da))
+		}
+		// Same multiset of (string, score); scores non-increasing in both.
+		ls := map[string]float64{}
+		for _, a := range la {
+			ls[a.key] = a.imax
+		}
+		for i, a := range da {
+			if w, ok := ls[a.key]; !ok || math.Abs(w-a.imax) > 1e-9 {
+				t.Fatalf("trial %d: dedup answer %d mismatch (%v vs %v)", trial, i, a.imax, w)
+			}
+			if i > 0 && a.imax > da[i-1].imax+1e-9 {
+				t.Fatalf("trial %d: dedup order violated", trial)
+			}
+		}
+	}
+}
+
+// TestDedupSkipsGrow: on a sequence with many equally-good occurrences,
+// the dedup enumerator suppresses a growing number of duplicates between
+// answers — the empirical reason Lemma 5.10 needs the Lawler strategy.
+func TestDedupSkipsGrow(t *testing.T) {
+	ab := automata.Chars("ab")
+	// Pattern "a+": the string "a" occurs at every position where the
+	// world has an a, each occurrence with confidence 1/2 — ahead of any
+	// longer answer (confidence ≤ 1/4) in the indexed order.
+	d := automata.NewDFA(ab, 3, 0)
+	d.SetAccepting(1, true)
+	sa, sb := ab.MustSymbol("a"), ab.MustSymbol("b")
+	d.SetTransition(0, sa, 1)
+	d.SetTransition(0, sb, 2)
+	d.SetTransition(1, sa, 1)
+	d.SetTransition(1, sb, 2)
+	d.SetTransition(2, sa, 2)
+	d.SetTransition(2, sb, 2)
+	p := Simple(d)
+	n := 12
+	m := markov.Uniform(ab, n)
+	e, err := p.EnumerateImaxDedup(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First answer: "a" with I_max 1 (it occurs at every index).
+	a, ok := e.Next()
+	if !ok || len(a.Output) != 1 {
+		t.Fatalf("first answer = %v", a)
+	}
+	// Second answer ("aa") must skip the other n−1 occurrences of "a".
+	if _, ok := e.Next(); !ok {
+		t.Fatal("expected a second answer")
+	}
+	if e.SkippedLast < n-2 {
+		t.Fatalf("expected ≥ %d skipped duplicates, got %d", n-2, e.SkippedLast)
+	}
+}

@@ -1,0 +1,204 @@
+package sproj
+
+import (
+	"markovseq/internal/automata"
+	"markovseq/internal/markov"
+)
+
+// Confidence computes Pr(S →[B]A[E]→ o), the probability that a random
+// world of μ contains an occurrence of o that satisfies the prefix and
+// suffix constraints. Per Theorem 5.5, the running time is polynomial in
+// n, |o|, |Σ|, |Q_B| and exponential only in |Q_E| (the paper shows the
+// problem is FP^#P-hard, with the hardness stemming solely from the suffix
+// constraint).
+//
+// Algorithm. The event is membership of S in L(B)·{o}·L(E), a union of
+// overlapping per-position occurrence events, so probabilities cannot
+// simply be summed (that would be the indexed semantics). Instead the DP
+// simulates a deterministic observer reading S left to right whose state is
+//
+//	(x, j, b, S) where
+//	  x = the current node of the Markov sequence,
+//	  j = the KMP state: the longest prefix of o that is a suffix of the
+//	      input read so far,
+//	  b = the state of B at the *start* of that longest match (time t−j),
+//	  S = the set of E-states of the suffix runs launched by all
+//	      occurrence candidates completed so far.
+//
+// The pair (j, b) is a sufficient statistic for all "alive" partial
+// matches: every alive match is a border of the longest one, and the
+// B-acceptance bit at its start is recoverable by running B from b through
+// the corresponding prefix of o. A candidate completes exactly when j
+// reaches |o| with b ∈ F_B; its suffix run contributes the E start state
+// to S. At the end, the event holds iff S ∩ F_E ≠ ∅.
+func (p *SProjector) Confidence(m *markov.Sequence, o []automata.Symbol) float64 {
+	if !p.A.Accepts(o) {
+		return 0
+	}
+	n := m.Len()
+	lo := len(o)
+	if lo > n {
+		return 0
+	}
+	ab := p.Alphabet()
+	nSyms := ab.Size()
+
+	// KMP automaton for o: next[j][c] = longest k such that o[:k] is a
+	// suffix of o[:j]·c.
+	next := kmpAutomaton(o, nSyms)
+
+	// bThrough[b][m] = state of B after reading o[:m] from state b.
+	bThrough := make([][]int, p.B.NumStates)
+	for b := range bThrough {
+		row := make([]int, lo+1)
+		row[0] = b
+		for i := 0; i < lo; i++ {
+			row[i+1] = p.B.Delta[row[i]][o[i]]
+		}
+		bThrough[b] = row
+	}
+
+	// E-state subset interner.
+	subsetIndex := map[string]int{}
+	var subsets [][]int
+	intern := func(set []int) int {
+		key := automata.StringKey(symbolsOf(set))
+		if id, ok := subsetIndex[key]; ok {
+			return id
+		}
+		subsetIndex[key] = len(subsets)
+		subsets = append(subsets, set)
+		return len(subsets) - 1
+	}
+	stepSubset := func(id int, y automata.Symbol, launch bool) int {
+		seen := map[int]bool{}
+		for _, q := range subsets[id] {
+			seen[p.E.Delta[q][y]] = true
+		}
+		if launch {
+			seen[p.E.Start] = true
+		}
+		return intern(sortedInts(seen))
+	}
+
+	type key struct {
+		x int // current node
+		j int // KMP state
+		b int // B-state at the start of the longest match
+		s int // interned E-subset
+	}
+
+	// Initial state, before reading S₁: no node yet, empty match, B at its
+	// start. With o = ε, the split at position 1 completes immediately when
+	// ε ∈ L(B), launching an E-run over the whole string.
+	cur := map[key]float64{}
+	s0 := []int{}
+	if lo == 0 && p.B.Accepting[p.B.Start] {
+		s0 = []int{p.E.Start}
+	}
+	startKey := key{x: -1, j: 0, b: p.B.Start, s: intern(s0)}
+	cur[startKey] = 1
+
+	step := func(k key, y automata.Symbol) key {
+		j2 := next[k.j][y]
+		var b2 int
+		if j2 >= 1 {
+			b2 = bThrough[k.b][k.j+1-j2]
+		} else {
+			b2 = p.B.Delta[bThrough[k.b][k.j]][y]
+		}
+		complete := j2 == lo && p.B.Accepting[b2]
+		return key{x: int(y), j: j2, b: b2, s: stepSubset(k.s, y, complete)}
+	}
+
+	for i := 0; i < n; i++ {
+		nxt := map[key]float64{}
+		for k, mass := range cur {
+			var row []float64
+			if i == 0 {
+				row = m.Initial
+			} else {
+				row = m.Trans[i-1][k.x]
+			}
+			for y, pr := range row {
+				if pr == 0 {
+					continue
+				}
+				k2 := step(k, automata.Symbol(y))
+				nxt[k2] += mass * pr
+			}
+		}
+		cur = nxt
+	}
+	total := 0.0
+	for k, mass := range cur {
+		for _, q := range subsets[k.s] {
+			if p.E.Accepting[q] {
+				total += mass
+				break
+			}
+		}
+	}
+	return total
+}
+
+// kmpAutomaton builds the full KMP transition table for pattern o over an
+// alphabet of nSyms symbols: next[j][c] is the length of the longest prefix
+// of o that is a suffix of o[:j]·c (with j capped at |o|, so overlapping
+// occurrences are found).
+func kmpAutomaton(o []automata.Symbol, nSyms int) [][]int {
+	lo := len(o)
+	next := make([][]int, lo+1)
+	for j := range next {
+		next[j] = make([]int, nSyms)
+	}
+	// border[j] = length of the longest proper border of o[:j].
+	border := make([]int, lo+1)
+	for j := 2; j <= lo; j++ {
+		k := border[j-1]
+		for k > 0 && o[k] != o[j-1] {
+			k = border[k]
+		}
+		if o[k] == o[j-1] {
+			k++
+		}
+		border[j] = k
+	}
+	for j := 0; j <= lo; j++ {
+		for c := 0; c < nSyms; c++ {
+			k := j
+			if k == lo {
+				k = border[k]
+			}
+			for k > 0 && int(o[k]) != c {
+				k = border[k]
+			}
+			if k < lo && int(o[k]) == c {
+				k++
+			}
+			next[j][c] = k
+		}
+	}
+	return next
+}
+
+func symbolsOf(set []int) []automata.Symbol {
+	out := make([]automata.Symbol, len(set))
+	for i, v := range set {
+		out[i] = automata.Symbol(v)
+	}
+	return out
+}
+
+func sortedInts(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for q := range set {
+		out = append(out, q)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+// Package sproj implements Section 5 of Kimelfeld & Ré (PODS 2010):
+// substring projectors and indexed substring projectors.
+//
+// An s-projector P = [B]A[E] comprises three DFAs over a shared alphabet:
+// a prefix constraint B, a pattern A, and a suffix constraint E. P
+// transduces s into o (written s →[B]A[E]→ o) iff o ∈ L(A) and s can be
+// split as b·o·e with b ∈ L(B) and e ∈ L(E). An indexed s-projector
+// [B]↓A[E] additionally reports the 1-based start index of the occurrence,
+// so its answers are pairs (o, i).
+//
+// The package provides:
+//
+//   - conversion of an s-projector to an equivalent nondeterministic
+//     transducer (the paper's "easy observation" in Section 5), which makes
+//     every general-transducer algorithm applicable;
+//   - Confidence, the Theorem 5.5 algorithm: polynomial in everything but
+//     the suffix constraint, exponential only in |Q_E|;
+//   - IndexedConfidence, the Theorem 5.8 polynomial algorithm;
+//   - ranked enumeration of indexed answers in exactly decreasing
+//     confidence with polynomial delay (Theorem 5.7), by reduction to
+//     increasing-weight path enumeration in a DAG (package kpaths);
+//   - enumeration of plain answers in decreasing I_max, which is an
+//     n-approximation of decreasing confidence (Proposition 5.9,
+//     Lemma 5.10, Theorem 5.2).
+package sproj
+
+import (
+	"fmt"
+
+	"markovseq/internal/automata"
+	"markovseq/internal/transducer"
+)
+
+// SProjector is an s-projector P = [B]A[E]. All three DFAs must share the
+// same alphabet Σ_P.
+type SProjector struct {
+	B *automata.DFA // prefix constraint
+	A *automata.DFA // pattern (the matched substring is emitted verbatim)
+	E *automata.DFA // suffix constraint
+}
+
+// New returns the s-projector [B]A[E], validating that the three automata
+// share an alphabet.
+func New(b, a, e *automata.DFA) (*SProjector, error) {
+	if b.Alphabet != a.Alphabet || a.Alphabet != e.Alphabet {
+		return nil, fmt.Errorf("sproj: B, A, E must share one alphabet")
+	}
+	return &SProjector{B: b, A: a, E: e}, nil
+}
+
+// Simple returns the simple s-projector [*]A[*], whose prefix and suffix
+// constraints accept every string.
+func Simple(a *automata.DFA) *SProjector {
+	return &SProjector{
+		B: automata.Universal(a.Alphabet),
+		A: a,
+		E: automata.Universal(a.Alphabet),
+	}
+}
+
+// Alphabet returns Σ_P.
+func (p *SProjector) Alphabet() *automata.Alphabet { return p.A.Alphabet }
+
+// Transduces reports whether s →[B]A[E]→ o, by definition (checking every
+// split). It is the specification oracle used in tests; algorithmic code
+// uses ToTransducer or the dedicated DPs.
+func (p *SProjector) Transduces(s, o []automata.Symbol) bool {
+	if !p.A.Accepts(o) {
+		return false
+	}
+	for i := 0; i+len(o) <= len(s); i++ {
+		if !automata.EqualStrings(s[i:i+len(o)], o) {
+			continue
+		}
+		if p.B.Accepts(s[:i]) && p.E.Accepts(s[i+len(o):]) {
+			return true
+		}
+	}
+	return false
+}
+
+// Occurrences returns the start indices i (1-based) such that (o, i) is an
+// answer on the concrete string s, per the indexed semantics.
+func (p *SProjector) Occurrences(s, o []automata.Symbol) []int {
+	if !p.A.Accepts(o) {
+		return nil
+	}
+	var out []int
+	for i := 0; i+len(o) <= len(s); i++ {
+		if !automata.EqualStrings(s[i:i+len(o)], o) {
+			continue
+		}
+		if p.B.Accepts(s[:i]) && p.E.Accepts(s[i+len(o):]) {
+			out = append(out, i+1)
+		}
+	}
+	return out
+}
+
+// ToTransducer converts the s-projector into an equivalent nondeterministic
+// transducer A^ω: s →[P]→ o iff s →[A^ω]→ o. States are the disjoint union
+// of Q_B, Q_A and Q_E (a three-phase machine: read the prefix emitting ε,
+// read the matched substring emitting it verbatim, read the suffix
+// emitting ε). The output alphabet is a copy of Σ_P.
+func (p *SProjector) ToTransducer() *transducer.Transducer {
+	ab := p.Alphabet()
+	out := copyAlphabet(ab)
+	nB, nA, nE := p.B.NumStates, p.A.NumStates, p.E.NumStates
+	bOff, aOff, eOff := 0, nB, nB+nA
+	t := transducer.New(ab, out, nB+nA+nE, bOff+p.B.Start)
+
+	emit := func(s automata.Symbol) []automata.Symbol {
+		return []automata.Symbol{automata.Symbol(int(s))} // same index in the copied alphabet
+	}
+	epsA := p.A.Accepting[p.A.Start] // ε ∈ L(A)
+	epsE := p.E.Accepting[p.E.Start] // ε ∈ L(E)
+
+	for q := 0; q < nB; q++ {
+		for _, s := range ab.Symbols() {
+			// Stay in the prefix phase.
+			t.AddTransition(bOff+q, s, bOff+p.B.Delta[q][s], nil)
+		}
+		if p.B.Accepting[q] {
+			for _, s := range ab.Symbols() {
+				// Begin the match at this symbol.
+				t.AddTransition(bOff+q, s, aOff+p.A.Delta[p.A.Start][s], emit(s))
+				// Empty match ending before this symbol: jump straight to
+				// the suffix phase.
+				if epsA {
+					t.AddTransition(bOff+q, s, eOff+p.E.Delta[p.E.Start][s], nil)
+				}
+			}
+		}
+		// s = b with o = ε and e = ε.
+		t.SetAccepting(bOff+q, p.B.Accepting[q] && epsA && epsE)
+	}
+	for q := 0; q < nA; q++ {
+		for _, s := range ab.Symbols() {
+			// Continue the match.
+			t.AddTransition(aOff+q, s, aOff+p.A.Delta[q][s], emit(s))
+		}
+		if p.A.Accepting[q] {
+			for _, s := range ab.Symbols() {
+				// End the match before this symbol.
+				t.AddTransition(aOff+q, s, eOff+p.E.Delta[p.E.Start][s], nil)
+			}
+		}
+		// s = b·o with e = ε.
+		t.SetAccepting(aOff+q, p.A.Accepting[q] && epsE)
+	}
+	for q := 0; q < nE; q++ {
+		for _, s := range ab.Symbols() {
+			t.AddTransition(eOff+q, s, eOff+p.E.Delta[q][s], nil)
+		}
+		t.SetAccepting(eOff+q, p.E.Accepting[q])
+	}
+	return t
+}
+
+// constrainedPattern returns the pattern DFA restricted to outputs the
+// constraint admits (outputs of an s-projector are exactly the strings the
+// pattern matches, so output constraints compose into A directly).
+func (p *SProjector) constrainedPattern(c transducer.Constraint) *automata.DFA {
+	return automata.Product(p.A, c.DFA(p.Alphabet()), automata.And)
+}
+
+func copyAlphabet(ab *automata.Alphabet) *automata.Alphabet {
+	names := make([]string, ab.Size())
+	for _, s := range ab.Symbols() {
+		names[int(s)] = ab.Name(s)
+	}
+	return automata.MustAlphabet(names...)
+}

@@ -1,0 +1,129 @@
+// Package textgen generates the noisy-text workload of Example 5.1:
+// documents containing "Name:<value> " patterns, read through a noisy
+// channel (OCR / handwriting recognition), yielding a Markov sequence over
+// characters in which each position is uncertain. The s-projector
+// B = ".*Name:", A = "[a-z]+", E = "\s.*" then extracts name values with
+// confidences.
+//
+// The channel here is memoryless (per-character confusion), which is the
+// common output of character-level recognizers; it is expressed as a
+// Markov sequence with position-dependent initial/transition rows whose
+// next-state distribution does not depend on the previous state. Queries
+// treat it like any other Markov sequence.
+package textgen
+
+import (
+	"math/rand"
+	"strings"
+
+	"markovseq/internal/automata"
+	"markovseq/internal/markov"
+	"markovseq/internal/regex"
+	"markovseq/internal/sproj"
+)
+
+// DefaultLetters is the value-character set used by the generator.
+const DefaultLetters = "abcdefgh"
+
+// Alphabet returns the character alphabet of the workload: lowercase
+// letters, the "Name:" pattern characters, and a space.
+func Alphabet() *automata.Alphabet {
+	seen := map[rune]bool{}
+	var names []string
+	for _, r := range DefaultLetters + "Name: " {
+		if !seen[r] {
+			seen[r] = true
+			names = append(names, string(r))
+		}
+	}
+	return automata.MustAlphabet(names...)
+}
+
+// Document is one generated ground-truth document.
+type Document struct {
+	Text string
+	// Names lists the embedded name values, in order.
+	Names []string
+}
+
+// Generate produces a document with the given number of "Name:<v> "
+// records separated by random lowercase filler.
+func Generate(records, fillerLen, nameLen int, rng *rand.Rand) Document {
+	var b strings.Builder
+	var names []string
+	filler := func(n int) {
+		for i := 0; i < n; i++ {
+			b.WriteByte(DefaultLetters[rng.Intn(len(DefaultLetters))])
+		}
+	}
+	for r := 0; r < records; r++ {
+		filler(1 + rng.Intn(fillerLen))
+		b.WriteByte(' ')
+		b.WriteString("Name:")
+		var name []byte
+		for i := 0; i < 1+rng.Intn(nameLen); i++ {
+			name = append(name, DefaultLetters[rng.Intn(len(DefaultLetters))])
+		}
+		names = append(names, string(name))
+		b.Write(name)
+		b.WriteByte(' ')
+	}
+	filler(1 + rng.Intn(fillerLen))
+	return Document{Text: b.String(), Names: names}
+}
+
+// Noisy converts ground-truth text into a Markov sequence: at each
+// position the true character survives with probability 1−confusion, and
+// with probability confusion the recognizer reports a uniformly random
+// other character. Rows do not depend on the previous character (a
+// memoryless channel expressed in the Markov-sequence format).
+func Noisy(ab *automata.Alphabet, text string, confusion float64, rng *rand.Rand) *markov.Sequence {
+	syms := make([]automata.Symbol, 0, len(text))
+	for _, r := range text {
+		syms = append(syms, ab.MustSymbol(string(r)))
+	}
+	n := len(syms)
+	m := markov.New(ab, n)
+	dist := func(truth automata.Symbol) []float64 {
+		row := make([]float64, ab.Size())
+		for i := range row {
+			row[i] = confusion / float64(ab.Size()-1)
+		}
+		row[truth] = 1 - confusion
+		return row
+	}
+	copy(m.Initial, dist(syms[0]))
+	for i := 1; i < n; i++ {
+		row := dist(syms[i])
+		for x := 0; x < ab.Size(); x++ {
+			copy(m.Trans[i-1][x], row)
+		}
+	}
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// NameExtractor builds the Example 5.1 s-projector over the workload
+// alphabet: B = ".*Name:", A = one-or-more name characters, E = a space
+// followed by anything.
+func NameExtractor(ab *automata.Alphabet) *sproj.SProjector {
+	b := regex.MustCompileDFA(".*Name:", ab)
+	a := regex.MustCompileDFA("["+DefaultLetters+"]+", ab)
+	e := regex.MustCompileDFA("\\s.*", ab)
+	p, err := sproj.New(b, a, e)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ParseString converts text to a symbol string over ab.
+func ParseString(ab *automata.Alphabet, text string) []automata.Symbol {
+	out := make([]automata.Symbol, 0, len(text))
+	for _, r := range text {
+		out = append(out, ab.MustSymbol(string(r)))
+	}
+	return out
+}

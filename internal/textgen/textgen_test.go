@@ -1,0 +1,93 @@
+package textgen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"markovseq/internal/automata"
+)
+
+func TestGenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	doc := Generate(3, 5, 4, rng)
+	if got := strings.Count(doc.Text, "Name:"); got != 3 {
+		t.Fatalf("document has %d Name: records, want 3: %q", got, doc.Text)
+	}
+	if len(doc.Names) != 3 {
+		t.Fatalf("names = %v", doc.Names)
+	}
+	for _, n := range doc.Names {
+		if !strings.Contains(doc.Text, "Name:"+n+" ") {
+			t.Fatalf("name %q not properly embedded in %q", n, doc.Text)
+		}
+	}
+}
+
+func TestNoisySequence(t *testing.T) {
+	ab := Alphabet()
+	rng := rand.New(rand.NewSource(2))
+	doc := Generate(1, 3, 3, rng)
+	m := Noisy(ab, doc.Text, 0.1, rng)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != len(doc.Text) {
+		t.Fatalf("sequence length %d, text length %d", m.Len(), len(doc.Text))
+	}
+	// The ground truth is the single most likely world under a memoryless
+	// channel with confusion < 1/2.
+	truth := ParseString(ab, doc.Text)
+	pTruth := m.Prob(truth)
+	if pTruth <= 0 {
+		t.Fatal("truth has zero probability")
+	}
+	// Perturbing one character decreases probability.
+	alt := automata.CloneString(truth)
+	alt[0] = (alt[0] + 1) % automata.Symbol(ab.Size())
+	if m.Prob(alt) >= pTruth {
+		t.Fatal("perturbed world should be less likely than the truth")
+	}
+}
+
+func TestNameExtractorOnCleanText(t *testing.T) {
+	ab := Alphabet()
+	p := NameExtractor(ab)
+	rng := rand.New(rand.NewSource(3))
+	doc := Generate(2, 4, 3, rng)
+	s := ParseString(ab, doc.Text)
+	for _, n := range doc.Names {
+		if !p.Transduces(s, ParseString(ab, n)) {
+			t.Fatalf("extractor misses name %q in %q", n, doc.Text)
+		}
+	}
+	// A string not preceded by Name: is not extracted... unless it happens
+	// to follow another Name: marker; test with a definite non-name.
+	if p.Transduces(s, ParseString(ab, "Name")) {
+		// "Name" contains the uppercase N which is not in the A pattern
+		t.Fatal("extractor should not match the literal 'Name'")
+	}
+}
+
+func TestNameExtractorOnNoisySequence(t *testing.T) {
+	ab := Alphabet()
+	p := NameExtractor(ab)
+	rng := rand.New(rand.NewSource(4))
+	doc := Generate(1, 3, 3, rng)
+	m := Noisy(ab, doc.Text, 0.05, rng)
+	name := ParseString(ab, doc.Names[0])
+	// The true name should have substantial confidence under low noise.
+	c := p.Confidence(m, name)
+	if c <= 0.2 {
+		t.Fatalf("confidence of true name %q = %v, suspiciously low", doc.Names[0], c)
+	}
+	// And it should dominate a corrupted variant.
+	alt := automata.CloneString(name)
+	alt[0] = ab.MustSymbol("g")
+	if doc.Names[0][0] == 'g' {
+		alt[0] = ab.MustSymbol("h")
+	}
+	if p.Confidence(m, alt) >= c {
+		t.Fatal("corrupted name should have lower confidence")
+	}
+}

@@ -1,0 +1,274 @@
+package transducer
+
+import (
+	"fmt"
+	"strings"
+
+	"markovseq/internal/automata"
+)
+
+// ConstraintMode selects which outputs relative to a prefix p a constraint
+// admits.
+type ConstraintMode int
+
+const (
+	// PrefixAndExtensions admits p itself and every proper extension of p.
+	PrefixAndExtensions ConstraintMode = iota
+	// ExtensionsOnly admits proper extensions of p but not p itself.
+	ExtensionsOnly
+	// ExactOnly admits exactly the string p.
+	ExactOnly
+)
+
+// Constraint is a prefix constraint over the transducer's output, the
+// class of constraints the paper uses to drive both the polynomial-delay
+// unranked enumeration (Theorem 4.1) and the Lawler–Murty ranked
+// enumeration (Theorem 4.3). A constraint admits the outputs o such that:
+//
+//   - o starts with Prefix,
+//   - if o is longer than Prefix, its (|Prefix|+1)-th symbol is not in
+//     Forbidden, and
+//   - o's length obeys Mode (equal to |Prefix|, strictly longer, or either).
+type Constraint struct {
+	Prefix    []automata.Symbol
+	Forbidden map[automata.Symbol]bool
+	Mode      ConstraintMode
+}
+
+// Unconstrained returns the constraint admitting every output string.
+func Unconstrained() Constraint {
+	return Constraint{Mode: PrefixAndExtensions}
+}
+
+// Admits reports whether output o satisfies the constraint. It is the
+// specification that the tracker construction below must agree with, and
+// tests check that agreement exhaustively.
+func (c Constraint) Admits(o []automata.Symbol) bool {
+	if !automata.HasPrefix(o, c.Prefix) {
+		return false
+	}
+	exact := len(o) == len(c.Prefix)
+	switch c.Mode {
+	case ExactOnly:
+		return exact
+	case ExtensionsOnly:
+		if exact {
+			return false
+		}
+	case PrefixAndExtensions:
+		// either is fine
+	}
+	if !exact && c.Forbidden[o[len(c.Prefix)]] {
+		return false
+	}
+	return true
+}
+
+// String renders the constraint for diagnostics.
+func (c Constraint) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "prefix=%v", c.Prefix)
+	if len(c.Forbidden) > 0 {
+		fmt.Fprintf(&b, " forbidden=%v", c.Forbidden)
+	}
+	switch c.Mode {
+	case ExactOnly:
+		b.WriteString(" exact")
+	case ExtensionsOnly:
+		b.WriteString(" extensions")
+	}
+	return b.String()
+}
+
+// Tracker-state encoding for the constraint product: states 0..|p|-1 mean
+// "matched that many symbols of the prefix"; boundary means "matched all of
+// p, nothing after"; past means "matched p and at least one admissible
+// symbol after". The dead state is not materialized — transitions into it
+// are dropped.
+type tracker struct {
+	c        Constraint
+	boundary int // == len(Prefix)
+	past     int // == len(Prefix) + 1
+}
+
+func newTracker(c Constraint) tracker {
+	return tracker{c: c, boundary: len(c.Prefix), past: len(c.Prefix) + 1}
+}
+
+// start returns the tracker state for the empty output.
+func (tr tracker) start() int { return 0 } // state 0 is boundary when |p| == 0
+
+// step consumes one output symbol; ok=false means the dead state.
+func (tr tracker) step(t int, sym automata.Symbol) (int, bool) {
+	switch {
+	case t < tr.boundary:
+		if sym == tr.c.Prefix[t] {
+			return t + 1, true
+		}
+		return 0, false
+	case t == tr.boundary:
+		if tr.c.Mode == ExactOnly || tr.c.Forbidden[sym] {
+			return 0, false
+		}
+		return tr.past, true
+	default: // past
+		return tr.past, true
+	}
+}
+
+// stepString consumes an emission string.
+func (tr tracker) stepString(t int, out []automata.Symbol) (int, bool) {
+	ok := true
+	for _, sym := range out {
+		t, ok = tr.step(t, sym)
+		if !ok {
+			return 0, false
+		}
+	}
+	return t, true
+}
+
+// accepting reports whether ending the run in tracker state t yields an
+// admitted output.
+func (tr tracker) accepting(t int) bool {
+	switch tr.c.Mode {
+	case ExactOnly:
+		return t == tr.boundary
+	case ExtensionsOnly:
+		return t == tr.past
+	default:
+		return t == tr.boundary || t == tr.past
+	}
+}
+
+// DFA materializes the constraint tracker as a total DFA over the given
+// alphabet: it accepts exactly the strings the constraint admits. The
+// s-projector machinery uses it to push output prefix constraints into the
+// pattern automaton (the emitted string of an s-projector *is* the matched
+// substring, so a constraint over outputs is a constraint over the
+// pattern's input).
+func (c Constraint) DFA(ab *automata.Alphabet) *automata.DFA {
+	tr := newTracker(c)
+	// States: 0..|p|-1 matching, |p| boundary, |p|+1 past, |p|+2 dead.
+	dead := len(c.Prefix) + 2
+	d := automata.NewDFA(ab, dead+1, tr.start())
+	for st := 0; st <= len(c.Prefix)+1; st++ {
+		d.SetAccepting(st, tr.accepting(st))
+		for _, s := range ab.Symbols() {
+			if st2, ok := tr.step(st, s); ok {
+				d.SetTransition(st, s, st2)
+			} else {
+				d.SetTransition(st, s, dead)
+			}
+		}
+	}
+	for _, s := range ab.Symbols() {
+		d.SetTransition(dead, s, dead)
+	}
+	return d
+}
+
+// Constrain composes the transducer with the constraint tracker, returning
+// a transducer whose answers are exactly the answers of t that satisfy c.
+// States of the result are reachable pairs (q, tracker-state); emissions
+// are preserved, so Viterbi on the result still reconstructs outputs. The
+// construction is the paper's "a prefix constraint can be enforced by
+// efficiently transforming the input transducer into a new one".
+func (t *Transducer) Constrain(c Constraint) *Transducer {
+	tr := newTracker(c)
+	type pair struct{ q, t int }
+	index := map[pair]int{}
+	var pairs []pair
+	intern := func(p pair) int {
+		if id, ok := index[p]; ok {
+			return id
+		}
+		index[p] = len(pairs)
+		pairs = append(pairs, p)
+		return len(pairs) - 1
+	}
+	start := intern(pair{t.N.Start, tr.start()})
+	type edgeRec struct {
+		from int
+		s    automata.Symbol
+		to   int
+		out  []automata.Symbol
+	}
+	var edges []edgeRec
+	for work := 0; work < len(pairs); work++ {
+		p := pairs[work]
+		for _, s := range t.In.Symbols() {
+			for _, q2 := range t.N.Succ(p.q, s) {
+				out := t.Emit(p.q, s, q2)
+				t2, ok := tr.stepString(p.t, out)
+				if !ok {
+					continue
+				}
+				to := intern(pair{q2, t2})
+				edges = append(edges, edgeRec{work, s, to, out})
+			}
+		}
+	}
+	res := New(t.In, t.Out, len(pairs), start)
+	for id, p := range pairs {
+		res.SetAccepting(id, t.N.Accepting[p.q] && tr.accepting(p.t))
+	}
+	for _, e := range edges {
+		res.AddTransition(e.from, e.s, e.to, e.out)
+	}
+	return res
+}
+
+// Children partitions the answers admitted by c, minus the single answer o
+// (which must be admitted by c), into disjoint child constraints, following
+// the Lawler-style partition of Section 4. The union of the children's
+// answer sets is exactly (answers of c) \ {o}.
+func (c Constraint) Children(o []automata.Symbol) []Constraint {
+	if !c.Admits(o) {
+		panic("transducer: Children called with an answer the constraint does not admit")
+	}
+	if c.Mode == ExactOnly {
+		return nil // a singleton set minus its element is empty
+	}
+	var kids []Constraint
+	p := len(c.Prefix)
+	// Exact proper prefixes of o that extend c.Prefix: o[:ℓ] for p ≤ ℓ < |o|.
+	// The boundary case ℓ = p is the string c.Prefix itself, admitted only
+	// in PrefixAndExtensions mode (and only when o ≠ prefix).
+	for l := p; l < len(o); l++ {
+		if l == p {
+			if c.Mode == ExtensionsOnly || c.Mode == ExactOnly {
+				continue // c.Prefix itself is not in the set
+			}
+			kids = append(kids, Constraint{Prefix: automata.CloneString(o[:l]), Mode: ExactOnly})
+			continue
+		}
+		kids = append(kids, Constraint{Prefix: automata.CloneString(o[:l]), Mode: ExactOnly})
+	}
+	// Deviations: prefix o[:ℓ], next symbol different from o[ℓ] (and, at
+	// ℓ = p, also different from everything already forbidden by c).
+	for l := p; l < len(o); l++ {
+		forb := map[automata.Symbol]bool{o[l]: true}
+		if l == p {
+			for s := range c.Forbidden {
+				forb[s] = true
+			}
+		}
+		kids = append(kids, Constraint{
+			Prefix:    automata.CloneString(o[:l]),
+			Forbidden: forb,
+			Mode:      ExtensionsOnly,
+		})
+	}
+	// Strict extensions of o. When o is exactly c.Prefix, extensions of o
+	// are still subject to c's forbidden set at the boundary position.
+	ext := Constraint{Prefix: automata.CloneString(o), Mode: ExtensionsOnly}
+	if len(o) == p && len(c.Forbidden) > 0 {
+		ext.Forbidden = make(map[automata.Symbol]bool, len(c.Forbidden))
+		for s := range c.Forbidden {
+			ext.Forbidden[s] = true
+		}
+	}
+	kids = append(kids, ext)
+	return kids
+}

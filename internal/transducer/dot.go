@@ -1,0 +1,55 @@
+package transducer
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteDot renders the transducer in Graphviz dot format with the paper's
+// σ:o edge-label convention (Figure 2): each transition is labelled with
+// the input symbol, a colon, and the emitted string (ε when empty).
+// Transitions between the same pair of states are merged onto one edge.
+func (t *Transducer) WriteDot(w io.Writer, name string) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n  _start [shape=point];\n", name)
+	for q := 0; q < t.NumStates(); q++ {
+		shape := "circle"
+		if t.Accepting(q) {
+			shape = "doublecircle"
+		}
+		fmt.Fprintf(&b, "  q%d [shape=%s];\n", q, shape)
+	}
+	fmt.Fprintf(&b, "  _start -> q%d;\n", t.Start())
+	type pair struct{ from, to int }
+	labels := map[pair][]string{}
+	for q := 0; q < t.NumStates(); q++ {
+		for _, s := range t.In.Symbols() {
+			for _, q2 := range t.Succ(q, s) {
+				emit := "ε"
+				if e := t.Emit(q, s, q2); len(e) > 0 {
+					emit = t.Out.FormatString(e)
+				}
+				p := pair{q, q2}
+				labels[p] = append(labels[p], fmt.Sprintf("%s:%s", t.In.Name(s), emit))
+			}
+		}
+	}
+	var pairs []pair
+	for p := range labels {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].from != pairs[j].from {
+			return pairs[i].from < pairs[j].from
+		}
+		return pairs[i].to < pairs[j].to
+	})
+	for _, p := range pairs {
+		fmt.Fprintf(&b, "  q%d -> q%d [label=%q];\n", p.from, p.to, strings.Join(labels[p], "\\n"))
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

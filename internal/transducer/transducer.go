@@ -1,0 +1,282 @@
+// Package transducer implements the query model of Kimelfeld & Ré
+// (PODS 2010), Section 3.1.1: finite-state string transducers with
+// deterministic emission. A transducer A^ω comprises an NFA A and an
+// output function ω : Q × Σ × Q → Δ*; each state transition
+// deterministically emits a string of output symbols, and there are no
+// empty (input-consuming-nothing) transitions.
+//
+// The package also provides the paper's instrumental tool for both
+// unranked and ranked enumeration: *prefix constraints* over the output,
+// enforced by composing the transducer with a small tracker automaton that
+// consumes emissions symbol-by-symbol (Section 4.1).
+package transducer
+
+import (
+	"fmt"
+
+	"markovseq/internal/automata"
+)
+
+// Transducer is a finite-state transducer A^ω with deterministic emission.
+type Transducer struct {
+	// In is the input alphabet Σ_A (the node set of the queried Markov
+	// sequence).
+	In *automata.Alphabet
+	// Out is the output alphabet Δ_ω.
+	Out *automata.Alphabet
+	// N is the underlying NFA A. It must be epsilon-free: the model has no
+	// empty transitions.
+	N *automata.NFA
+	// emit maps each transition (q, s, q') to its emitted string
+	// ω(q, s, q'). Transitions absent from the map emit ε.
+	emit map[trKey][]automata.Symbol
+}
+
+type trKey struct {
+	q  int
+	s  automata.Symbol
+	q2 int
+}
+
+// New returns an empty transducer with n states over the given input and
+// output alphabets, starting at state start.
+func New(in, out *automata.Alphabet, n, start int) *Transducer {
+	return &Transducer{
+		In:   in,
+		Out:  out,
+		N:    automata.NewNFA(in, n, start),
+		emit: make(map[trKey][]automata.Symbol),
+	}
+}
+
+// FromNFA wraps an existing epsilon-free NFA as a transducer with all-ε
+// emissions (a 0-uniform transducer: a pure acceptance test).
+func FromNFA(n *automata.NFA, out *automata.Alphabet) *Transducer {
+	if n.HasEps() {
+		panic("transducer: underlying NFA must be epsilon-free")
+	}
+	return &Transducer{In: n.Alphabet, Out: out, N: n, emit: make(map[trKey][]automata.Symbol)}
+}
+
+// AddTransition adds q' to δ(q, s) with emission ω(q, s, q') = out.
+// Emission strings are copied, so callers may reuse buffers.
+func (t *Transducer) AddTransition(q int, s automata.Symbol, q2 int, out []automata.Symbol) {
+	for _, o := range out {
+		if !t.Out.Contains(o) {
+			panic(fmt.Sprintf("transducer: emission symbol %d not in output alphabet", o))
+		}
+	}
+	t.N.AddTransition(q, s, q2)
+	if len(out) > 0 {
+		t.emit[trKey{q, s, q2}] = automata.CloneString(out)
+	} else {
+		delete(t.emit, trKey{q, s, q2})
+	}
+}
+
+// SetAccepting marks state q as accepting.
+func (t *Transducer) SetAccepting(q int, accepting bool) { t.N.SetAccepting(q, accepting) }
+
+// Emit returns ω(q, s, q'). The returned slice must not be modified.
+func (t *Transducer) Emit(q int, s automata.Symbol, q2 int) []automata.Symbol {
+	return t.emit[trKey{q, s, q2}]
+}
+
+// NumStates returns |Q_A|.
+func (t *Transducer) NumStates() int { return t.N.NumStates }
+
+// Start returns the initial state q⁰_A.
+func (t *Transducer) Start() int { return t.N.Start }
+
+// Accepting reports whether q ∈ F_A.
+func (t *Transducer) Accepting(q int) bool { return t.N.Accepting[q] }
+
+// Succ returns δ(q, s).
+func (t *Transducer) Succ(q int, s automata.Symbol) []int { return t.N.Succ(q, s) }
+
+// IsDeterministic reports whether the underlying automaton is
+// deterministic: |δ(q, s)| ≤ 1 for every state and symbol. (The paper's
+// DFAs are total; a partial deterministic transducer is equivalent to a
+// total one with a non-accepting sink, which Completed constructs.)
+func (t *Transducer) IsDeterministic() bool {
+	for q := 0; q < t.N.NumStates; q++ {
+		for _, s := range t.In.Symbols() {
+			if len(t.N.Succ(q, s)) > 1 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsSelective reports whether F_A ≠ Q_A, i.e. the transducer rejects some
+// strings (Section 3.1.1). Non-selective transducers accept every string.
+func (t *Transducer) IsSelective() bool {
+	for q := 0; q < t.N.NumStates; q++ {
+		if !t.N.Accepting[q] {
+			return true
+		}
+	}
+	return false
+}
+
+// UniformK reports whether ω is k-uniform (every emission has the same
+// length k over all transitions present in δ), returning that k.
+func (t *Transducer) UniformK() (k int, ok bool) {
+	k = -1
+	for q := 0; q < t.N.NumStates; q++ {
+		for _, s := range t.In.Symbols() {
+			for _, q2 := range t.N.Succ(q, s) {
+				l := len(t.Emit(q, s, q2))
+				if k == -1 {
+					k = l
+				} else if k != l {
+					return 0, false
+				}
+			}
+		}
+	}
+	if k == -1 {
+		k = 0 // no transitions at all: vacuously uniform
+	}
+	return k, true
+}
+
+// IsMealy reports whether the transducer is a Mealy machine: deterministic,
+// non-selective, with 1-uniform emission (Section 3.1.1).
+func (t *Transducer) IsMealy() bool {
+	if !t.IsDeterministic() || t.IsSelective() {
+		return false
+	}
+	k, ok := t.UniformK()
+	return ok && k == 1
+}
+
+// IsProjector reports whether every emission ω(q, s, q') is either the
+// input symbol s itself or ε (the projector class of Theorem 4.5). A
+// projector requires the output alphabet to share symbol identities with
+// the input alphabet.
+func (t *Transducer) IsProjector() bool {
+	for q := 0; q < t.N.NumStates; q++ {
+		for _, s := range t.In.Symbols() {
+			for _, q2 := range t.N.Succ(q, s) {
+				e := t.Emit(q, s, q2)
+				if len(e) == 0 {
+					continue
+				}
+				if len(e) != 1 || t.Out.Name(e[0]) != t.In.Name(s) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// MaxEmitLen returns the maximum emission length over all transitions; the
+// length of any answer on an input of length n is at most n·MaxEmitLen.
+func (t *Transducer) MaxEmitLen() int {
+	max := 0
+	for _, e := range t.emit {
+		if len(e) > max {
+			max = len(e)
+		}
+	}
+	return max
+}
+
+// Completed returns an equivalent transducer whose underlying automaton is
+// total: a fresh non-accepting sink state absorbs every missing transition
+// (with ε emission). Deterministic partial transducers become the paper's
+// total DFAs this way.
+func (t *Transducer) Completed() *Transducer {
+	n := t.N.NumStates
+	out := New(t.In, t.Out, n+1, t.N.Start)
+	for q := 0; q < n; q++ {
+		out.SetAccepting(q, t.N.Accepting[q])
+		for _, s := range t.In.Symbols() {
+			succ := t.N.Succ(q, s)
+			if len(succ) == 0 {
+				out.AddTransition(q, s, n, nil)
+				continue
+			}
+			for _, q2 := range succ {
+				out.AddTransition(q, s, q2, t.Emit(q, s, q2))
+			}
+		}
+	}
+	for _, s := range t.In.Symbols() {
+		out.AddTransition(n, s, n, nil)
+	}
+	return out
+}
+
+// Transduce returns all distinct strings o with s →[A^ω]→ o, i.e. the
+// outputs of all accepting runs on s. The result can be exponential in
+// |s| for nondeterministic transducers; limit > 0 caps the number of
+// outputs collected (0 means unlimited). Outputs are returned in the
+// canonical order of automata.CompareStrings.
+func (t *Transducer) Transduce(s []automata.Symbol, limit int) [][]automata.Symbol {
+	type cfg struct {
+		q   int
+		out []automata.Symbol
+	}
+	cur := []cfg{{t.N.Start, nil}}
+	for _, sym := range s {
+		var next []cfg
+		seen := map[string]bool{}
+		for _, c := range cur {
+			for _, q2 := range t.N.Succ(c.q, sym) {
+				o := append(automata.CloneString(c.out), t.Emit(c.q, sym, q2)...)
+				k := fmt.Sprintf("%d|%s", q2, automata.StringKey(o))
+				if !seen[k] {
+					seen[k] = true
+					next = append(next, cfg{q2, o})
+				}
+			}
+		}
+		cur = next
+		if len(cur) == 0 {
+			return nil
+		}
+	}
+	outSet := map[string][]automata.Symbol{}
+	for _, c := range cur {
+		if t.N.Accepting[c.q] {
+			outSet[automata.StringKey(c.out)] = c.out
+		}
+	}
+	outs := make([][]automata.Symbol, 0, len(outSet))
+	for _, o := range outSet {
+		outs = append(outs, o)
+	}
+	automata.SortStrings(outs)
+	if limit > 0 && len(outs) > limit {
+		outs = outs[:limit]
+	}
+	return outs
+}
+
+// TransduceDet transduces s with a deterministic transducer, returning the
+// unique output and whether s is accepted. It panics if the transducer is
+// nondeterministic at any reached configuration.
+func (t *Transducer) TransduceDet(s []automata.Symbol) ([]automata.Symbol, bool) {
+	q := t.N.Start
+	var out []automata.Symbol
+	for _, sym := range s {
+		succ := t.N.Succ(q, sym)
+		switch len(succ) {
+		case 0:
+			return nil, false
+		case 1:
+			out = append(out, t.Emit(q, sym, succ[0])...)
+			q = succ[0]
+		default:
+			panic("transducer: TransduceDet on a nondeterministic transducer")
+		}
+	}
+	if !t.N.Accepting[q] {
+		return nil, false
+	}
+	return out, true
+}

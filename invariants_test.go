@@ -1,0 +1,251 @@
+package msq
+
+// Cross-algorithm invariant tests: identities that must hold between the
+// paper's different algorithms, checked on randomized instances. These
+// complement the per-package brute-force comparisons: a bug that shifted
+// two algorithms consistently would pass those but break these.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"markovseq/internal/automata"
+	"markovseq/internal/conf"
+	"markovseq/internal/enum"
+	"markovseq/internal/markov"
+	"markovseq/internal/ranked"
+	"markovseq/internal/sproj"
+	"markovseq/internal/transducer"
+)
+
+func randomDet(in, out *automata.Alphabet, rng *rand.Rand) *transducer.Transducer {
+	n := 1 + rng.Intn(3)
+	t := transducer.New(in, out, n, 0)
+	for q := 0; q < n; q++ {
+		t.SetAccepting(q, rng.Intn(3) != 0)
+		for _, s := range in.Symbols() {
+			if rng.Intn(5) == 0 {
+				continue
+			}
+			var e []automata.Symbol
+			for l := rng.Intn(3); l > 0; l-- {
+				e = append(e, automata.Symbol(rng.Intn(out.Size())))
+			}
+			t.AddTransition(q, s, rng.Intn(n), e)
+		}
+	}
+	return t
+}
+
+// TestTotalConfidenceEqualsAcceptance: for deterministic transducers,
+// Σ_o conf(o) = Pr(S ∈ L(A)) — every accepted world is transduced into
+// exactly one answer.
+func TestTotalConfidenceEqualsAcceptance(t *testing.T) {
+	in := automata.MustAlphabet("a", "b")
+	out := automata.MustAlphabet("x", "y")
+	for trial := 0; trial < 30; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		m := markov.Random(in, 2+rng.Intn(4), 0.7, rng)
+		tr := randomDet(in, out, rng)
+		e := enum.NewEnumerator(tr, m)
+		total := 0.0
+		for {
+			o, ok := e.Next()
+			if !ok {
+				break
+			}
+			total += conf.Det(tr, m, o)
+		}
+		want := conf.AcceptanceProb(tr.N, m)
+		if math.Abs(total-want) > 1e-9 {
+			t.Fatalf("trial %d: Σ conf = %v, Pr(accepted) = %v", trial, total, want)
+		}
+	}
+}
+
+// TestEmaxBoundsConfidence: E_max(o) ≤ conf(o) ≤ |Σ|ⁿ·E_max(o) — the
+// approximation sandwich of Section 4.2.
+func TestEmaxBoundsConfidence(t *testing.T) {
+	in := automata.MustAlphabet("a", "b")
+	out := automata.MustAlphabet("x", "y")
+	for trial := 0; trial < 30; trial++ {
+		rng := rand.New(rand.NewSource(int64(100 + trial)))
+		n := 2 + rng.Intn(3)
+		m := markov.Random(in, n, 0.7, rng)
+		tr := randomDet(in, out, rng)
+		blowup := math.Pow(float64(in.Size()), float64(n))
+		e := enum.NewEnumerator(tr, m)
+		for {
+			o, ok := e.Next()
+			if !ok {
+				break
+			}
+			c := conf.Det(tr, m, o)
+			em := math.Exp(ranked.Emax(tr, m, o))
+			if em > c+1e-9 {
+				t.Fatalf("trial %d: E_max(%v)=%v exceeds conf=%v", trial, o, em, c)
+			}
+			if c > blowup*em+1e-9 {
+				t.Fatalf("trial %d: conf(%v)=%v exceeds |Σ|ⁿ·E_max=%v", trial, o, c, blowup*em)
+			}
+		}
+	}
+}
+
+// TestSProjectorUnionBound: for every s-projector answer,
+// I_max(o) ≤ conf(o) ≤ Σ_i conf(o, i) — the union-bound backbone of
+// Proposition 5.9.
+func TestSProjectorUnionBound(t *testing.T) {
+	ab := automata.Chars("ab")
+	for trial := 0; trial < 25; trial++ {
+		rng := rand.New(rand.NewSource(int64(200 + trial)))
+		// Random small s-projector.
+		mk := func(states int) *automata.DFA {
+			d := automata.NewDFA(ab, states, 0)
+			for q := 0; q < states; q++ {
+				d.SetAccepting(q, rng.Intn(2) == 0)
+				for _, s := range ab.Symbols() {
+					d.SetTransition(q, s, rng.Intn(states))
+				}
+			}
+			return d
+		}
+		p, err := sproj.New(mk(1+rng.Intn(2)), mk(1+rng.Intn(3)), mk(1+rng.Intn(2)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 2 + rng.Intn(3)
+		m := markov.Random(ab, n, 0.7, rng)
+		it := p.EnumerateImax(m)
+		for {
+			a, ok := it.Next()
+			if !ok {
+				break
+			}
+			c := p.Confidence(m, a.Output)
+			sum := 0.0
+			top := n + 1
+			if len(a.Output) > 0 {
+				top = n - len(a.Output) + 1
+			}
+			for i := 1; i <= top; i++ {
+				sum += p.IndexedConfidence(m, a.Output, i)
+			}
+			if a.Imax > c+1e-9 || c > sum+1e-9 {
+				t.Fatalf("trial %d: I_max=%v conf=%v Σ_i=%v violate the sandwich",
+					trial, a.Imax, c, sum)
+			}
+		}
+	}
+}
+
+// TestWindowMarginalConsistency: the probability a window assigns to a
+// fragment equals the full chain's marginal over that fragment.
+func TestWindowMarginalConsistency(t *testing.T) {
+	ab := automata.MustAlphabet("a", "b")
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(300 + trial)))
+		n := 3 + rng.Intn(3)
+		m := markov.Random(ab, n, 0.8, rng)
+		i := 1 + rng.Intn(n)
+		j := i + rng.Intn(n-i+1)
+		w := m.Window(i, j)
+		// Check one random fragment.
+		frag := make([]automata.Symbol, j-i+1)
+		for k := range frag {
+			frag[k] = automata.Symbol(rng.Intn(ab.Size()))
+		}
+		want := 0.0
+		m.Enumerate(func(s []automata.Symbol, p float64) bool {
+			if automata.EqualStrings(s[i-1:j], frag) {
+				want += p
+			}
+			return true
+		})
+		if got := w.Prob(frag); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: window [%d,%d] Prob(%v) = %v, want %v", trial, i, j, frag, got, want)
+		}
+	}
+}
+
+// TestEstimateUnbiased: the Monte Carlo estimator's mean over repeated
+// runs converges to the exact confidence (law of large numbers check,
+// aggregated to keep the test stable).
+func TestEstimateUnbiased(t *testing.T) {
+	nodes := PaperNodes()
+	outs := PaperOutputs()
+	m := PaperFigure1(nodes)
+	q := PaperFigure2(nodes, outs)
+	o := outs.MustParseString("2 1 λ")
+	want, err := Confidence(q, m, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4242))
+	sum := 0.0
+	const runs = 40
+	for r := 0; r < runs; r++ {
+		sum += conf.Estimate(q, m, o, 500, rng)
+	}
+	if got := sum / runs; math.Abs(got-want) > 0.01 {
+		t.Fatalf("mean estimate %v, exact %v", got, want)
+	}
+}
+
+// TestLengthOneSequences: every algorithm handles the degenerate n = 1
+// case (no transitions at all).
+func TestLengthOneSequences(t *testing.T) {
+	in := automata.MustAlphabet("a", "b")
+	out := automata.MustAlphabet("x")
+	m := markov.New(in, 1)
+	m.Initial[0] = 0.25
+	m.Initial[1] = 0.75
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Transducer: emit x on a, nothing on b.
+	tr := transducer.New(in, out, 1, 0)
+	tr.SetAccepting(0, true)
+	tr.AddTransition(0, in.MustSymbol("a"), 0, []automata.Symbol{out.MustSymbol("x")})
+	tr.AddTransition(0, in.MustSymbol("b"), 0, nil)
+
+	if got := conf.Det(tr, m, []automata.Symbol{0}); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("conf(x) = %v", got)
+	}
+	if got := conf.Det(tr, m, nil); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("conf(ε) = %v", got)
+	}
+	answers := enum.NewEnumerator(tr, m).All()
+	if len(answers) != 2 {
+		t.Fatalf("n=1 enumeration found %d answers", len(answers))
+	}
+	e := ranked.NewEnumerator(tr, m)
+	a, ok := e.Next()
+	if !ok || len(a.Output) != 0 {
+		t.Fatalf("n=1 top answer should be ε (0.75), got %v", a)
+	}
+	// s-projector on n = 1.
+	d := automata.NewDFA(in, 2, 0)
+	d.SetAccepting(1, true)
+	for _, s := range in.Symbols() {
+		d.SetTransition(0, s, 1)
+		d.SetTransition(1, s, 1)
+	}
+	d.SetAccepting(1, true)
+	p := sproj.Simple(d) // matches any single symbol
+	if got := p.Confidence(m, []automata.Symbol{1}); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("sproj conf(b) = %v", got)
+	}
+	if got := p.IndexedConfidence(m, []automata.Symbol{0}, 1); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("indexed conf(a,1) = %v", got)
+	}
+	it, err := p.EnumerateIndexed(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, ok := it.Next()
+	if !ok || math.Abs(first.Conf-0.75) > 1e-9 {
+		t.Fatalf("n=1 indexed top = %v", first)
+	}
+}

@@ -1,0 +1,336 @@
+package msq
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestPaperRunningExample drives the whole public API through the paper's
+// running example: Figure 1, Figure 2, Table 1's conf(12), Example 4.2's
+// E_max, ranked and unranked enumeration, exact arithmetic.
+func TestPaperRunningExample(t *testing.T) {
+	nodes := PaperNodes()
+	outs := PaperOutputs()
+	m := PaperFigure1(nodes)
+	q := PaperFigure2(nodes, outs)
+
+	o12 := outs.MustParseString("1 2")
+	c, err := Confidence(q, m, o12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-0.4038) > 1e-9 {
+		t.Fatalf("conf(12) = %v, want 0.4038", c)
+	}
+	if got := math.Exp(Emax(q, m, o12)); math.Abs(got-0.3969) > 1e-9 {
+		t.Fatalf("E_max(12) = %v, want 0.3969", got)
+	}
+	ev, _, ok := BestEvidence(q, m, o12)
+	if !ok || nodes.FormatString(ev) != "r1a la la r1a r2a" {
+		t.Fatalf("best evidence = %v", nodes.FormatString(ev))
+	}
+	if !IsAnswer(q, m, o12) || IsAnswer(q, m, outs.MustParseString("λ λ λ")) {
+		t.Fatal("IsAnswer misbehaves")
+	}
+
+	top := TopK(q, m, 3)
+	if len(top) != 3 || outs.FormatString(top[0].Output) != "12" {
+		t.Fatalf("TopK = %v", top)
+	}
+
+	var count int
+	e := EnumerateUnranked(q, m)
+	for {
+		if _, ok := e.Next(); !ok {
+			break
+		}
+		count++
+	}
+	if count != 6 {
+		t.Fatalf("unranked enumeration found %d answers, want 6", count)
+	}
+
+	ex := ExactFromFloat(m)
+	rc := ConfidenceExact(q, ex, o12)
+	if math.Abs(rc.Float64()-0.4038) > 1e-9 {
+		t.Fatalf("exact conf = %v", rc)
+	}
+	if rc.String() == "" {
+		t.Fatal("exact rendering empty")
+	}
+}
+
+// TestConfidenceDispatch checks the Table 2 dispatch: deterministic →
+// Theorem 4.6, uniform → Theorem 4.8, hard combination → error.
+func TestConfidenceDispatch(t *testing.T) {
+	in := MustAlphabet("a", "b")
+	out := MustAlphabet("x")
+	rng := rand.New(rand.NewSource(5))
+	m := RandomSequence(in, 4, 0.8, rng)
+
+	// Nondeterministic 1-uniform machine.
+	nd := NewTransducer(in, out, 2, 0)
+	nd.SetAccepting(0, true)
+	nd.SetAccepting(1, true)
+	x := []Symbol{out.MustSymbol("x")}
+	for _, s := range in.Symbols() {
+		nd.AddTransition(0, s, 0, x)
+		nd.AddTransition(0, s, 1, x)
+		nd.AddTransition(1, s, 0, x)
+	}
+	o := []Symbol{x[0], x[0], x[0], x[0]}
+	got, err := Confidence(nd, m, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ConfidenceBruteForce(nd, m, o)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("uniform dispatch: %v vs brute %v", got, want)
+	}
+
+	// Nondeterministic non-uniform: refused.
+	hard := NewTransducer(in, out, 2, 0)
+	hard.SetAccepting(0, true)
+	hard.SetAccepting(1, true)
+	for _, s := range in.Symbols() {
+		hard.AddTransition(0, s, 0, x)
+		hard.AddTransition(0, s, 1, nil)
+		hard.AddTransition(1, s, 0, x)
+	}
+	if _, err := Confidence(hard, m, o); err == nil {
+		t.Fatal("hard combination should be refused")
+	}
+}
+
+// TestRegexAndSProjectorAPI exercises regex compilation and s-projector
+// evaluation end to end on the noisy-text workload.
+func TestRegexAndSProjectorAPI(t *testing.T) {
+	ab := TextAlphabet()
+	rng := rand.New(rand.NewSource(6))
+	doc := GenerateText(1, 3, 3, rng)
+	m := NoisyText(ab, doc.Text, 0.05, rng)
+	p := NameExtractor(ab)
+
+	name := TextString(ab, doc.Names[0])
+	c := p.Confidence(m, name)
+	if c <= 0 {
+		t.Fatalf("true name confidence = %v", c)
+	}
+	im := p.Imax(m, name)
+	n := float64(m.Len())
+	if im > c+1e-12 || c > n*im+1e-9 {
+		t.Fatalf("Proposition 5.9 violated: Imax=%v conf=%v n=%v", im, c, n)
+	}
+	// Indexed enumeration yields the true name's occurrence near the top.
+	e, err := p.EnumerateIndexed(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, ok := e.Next()
+	if !ok {
+		t.Fatal("indexed enumeration empty")
+	}
+	if a.Conf <= 0 {
+		t.Fatal("top indexed answer has nonpositive confidence")
+	}
+	// Regex API.
+	d, err := CompileRegexDFA("Name:", ab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Accepts(TextString(ab, "Name:")) {
+		t.Fatal("regex DFA misbehaves")
+	}
+	if _, err := CompileRegex("(", ab); err == nil {
+		t.Fatal("bad pattern should fail")
+	}
+}
+
+// TestRFIDWorkloadAPI drives the hospital simulator end to end.
+func TestRFIDWorkloadAPI(t *testing.T) {
+	f := Hospital(2, 2)
+	h := HospitalHMM(f, DefaultRFIDNoise)
+	rng := rand.New(rand.NewSource(7))
+	tr, err := SimulateRFID(h, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := PlaceTransducer(f, "lab")
+	top := TopK(q, tr.Seq, 5)
+	if len(top) == 0 {
+		t.Fatal("no answers on a 10-step hospital trace")
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].LogEmax > top[i-1].LogEmax+1e-9 {
+			t.Fatal("TopK not sorted")
+		}
+	}
+}
+
+// TestDBFacade exercises the Lahar-style DB through the facade.
+func TestDBFacade(t *testing.T) {
+	db := NewDB()
+	nodes := PaperNodes()
+	outs := PaperOutputs()
+	if err := db.PutStream("cart", PaperFigure1(nodes)); err != nil {
+		t.Fatal(err)
+	}
+	db.RegisterTransducer("places", PaperFigure2(nodes, outs))
+	res, err := db.TopK("cart", "places", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || outs.FormatString(res[0].Output) != "12" {
+		t.Fatalf("DB TopK = %v", res)
+	}
+}
+
+// TestAmplifiedSequences checks ConcatSequences through the facade.
+func TestAmplifiedSequences(t *testing.T) {
+	nodes := PaperNodes()
+	m := PaperFigure1(nodes)
+	mm := ConcatSequences(m, m)
+	if mm.Len() != 10 {
+		t.Fatalf("concat length = %d", mm.Len())
+	}
+	if err := mm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKOrderFacade drives the k-order API end to end: a second-order
+// sequence lifted to first order, queried through the engine.
+func TestKOrderFacade(t *testing.T) {
+	nodes := MustAlphabet("a", "b")
+	s := NewKOrderSequence(nodes, 2, 3)
+	a, b := nodes.MustSymbol("a"), nodes.MustSymbol("b")
+	s.Set(0, nil, []float64{1, 0})
+	s.Set(1, []Symbol{a}, []float64{0.5, 0.5})
+	// Second-order: after "aa" always b; after "ab" always a.
+	s.Set(2, []Symbol{a, a}, []float64{0, 1})
+	s.Set(2, []Symbol{a, b}, []float64{1, 0})
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	l := s.Lift()
+	// Query: copy transducer over the lifted nodes.
+	out := MustAlphabet("A", "B")
+	tr := NewTransducer(nodes, out, 1, 0)
+	tr.SetAccepting(0, true)
+	tr.AddTransition(0, a, 0, []Symbol{out.MustSymbol("A")})
+	tr.AddTransition(0, b, 0, []Symbol{out.MustSymbol("B")})
+	lt := l.LiftTransducer(tr)
+	c, err := Confidence(lt, l.Seq, out.MustParseString("A A B"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-0.5) > 1e-12 {
+		t.Fatalf("second-order conf(AAB) = %v, want 0.5", c)
+	}
+}
+
+// TestEstimateFacade checks the Monte Carlo entry points.
+func TestEstimateFacade(t *testing.T) {
+	nodes := PaperNodes()
+	outs := PaperOutputs()
+	m := PaperFigure1(nodes)
+	q := PaperFigure2(nodes, outs)
+	o := outs.MustParseString("1 2")
+	rng := rand.New(rand.NewSource(1))
+	est := EstimateConfidence(q, m, o, SamplesFor(0.03, 0.01), rng)
+	if math.Abs(est-0.4038) > 0.03 {
+		t.Fatalf("estimate %v outside band", est)
+	}
+	// Membership primitive.
+	s := nodes.MustParseString("r1a la la r1a r2a")
+	if !TransducesInto(q, s, o) {
+		t.Fatal("s must transduce into 12")
+	}
+	if TransducesInto(q, s, outs.MustParseString("2 1")) {
+		t.Fatal("s must not transduce into 21")
+	}
+}
+
+// TestEvidencesFacade checks the k-best evidence enumeration on the
+// running example.
+func TestEvidencesFacade(t *testing.T) {
+	nodes := PaperNodes()
+	outs := PaperOutputs()
+	m := PaperFigure1(nodes)
+	q := PaperFigure2(nodes, outs)
+	e, err := Evidences(q, m, outs.MustParseString("1 2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	prev := math.Inf(1)
+	for {
+		w, lp, ok := e.Next()
+		if !ok {
+			break
+		}
+		count++
+		if lp > prev+1e-9 {
+			t.Fatal("evidence probabilities not non-increasing")
+		}
+		prev = lp
+		if m.Prob(w) <= 0 {
+			t.Fatal("evidence has zero probability")
+		}
+	}
+	if count != 3 {
+		t.Fatalf("answer 12 has %d evidences, want 3 (Table 1: s, t, u)", count)
+	}
+}
+
+// TestFacadeConstructors covers the remaining facade entry points.
+func TestFacadeConstructors(t *testing.T) {
+	ab, err := NewAlphabet("a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewAlphabet("a", "a"); err == nil {
+		t.Fatal("duplicate should fail")
+	}
+	u := UniformSequence(ab, 3)
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	h := NewHMM(ab, ab)
+	if h == nil {
+		t.Fatal("NewHMM returned nil")
+	}
+	d, _ := CompileRegexDFA("a+", ab)
+	sp := SimpleSProjector(d)
+	eng, err := NewSProjectorEngine(sp, u, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Plan().Class != ClassIndexedSProjector {
+		t.Fatalf("class = %v", eng.Plan().Class)
+	}
+	// EnumerateEmax over a tiny query.
+	out := MustAlphabet("x")
+	tr := NewTransducer(ab, out, 1, 0)
+	tr.SetAccepting(0, true)
+	tr.AddTransition(0, ab.MustSymbol("a"), 0, []Symbol{out.MustSymbol("x")})
+	tr.AddTransition(0, ab.MustSymbol("b"), 0, nil)
+	e := EnumerateEmax(tr, u)
+	seen := 0
+	prev := math.Inf(1)
+	for {
+		a, ok := e.Next()
+		if !ok {
+			break
+		}
+		if a.LogEmax > prev+1e-9 {
+			t.Fatal("order violated")
+		}
+		prev = a.LogEmax
+		seen++
+	}
+	if seen != 4 { // outputs ε, x, xx, xxx (count of a's)
+		t.Fatalf("EnumerateEmax yielded %d answers, want 4", seen)
+	}
+}

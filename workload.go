@@ -1,0 +1,100 @@
+package msq
+
+import (
+	"math/big"
+	"math/rand"
+
+	"markovseq/internal/paperex"
+	"markovseq/internal/rfid"
+	"markovseq/internal/textgen"
+)
+
+// RatConfidence wraps an exact rational confidence value.
+type RatConfidence struct {
+	Rat *big.Rat
+}
+
+// Float64 returns the nearest float64.
+func (r *RatConfidence) Float64() float64 {
+	f, _ := r.Rat.Float64()
+	return f
+}
+
+// String renders the exact rational.
+func (r *RatConfidence) String() string { return r.Rat.RatString() }
+
+// --- Paper running example (Figures 1 and 2) ---
+
+// PaperNodes returns the node alphabet of the paper's Figure 1.
+func PaperNodes() *Alphabet { return paperex.Nodes() }
+
+// PaperOutputs returns the output alphabet of the paper's Figure 2.
+func PaperOutputs() *Alphabet { return paperex.Outputs() }
+
+// PaperFigure1 returns the hospital-cart Markov sequence of Figure 1.
+func PaperFigure1(nodes *Alphabet) *Sequence { return paperex.Figure1(nodes) }
+
+// PaperFigure2 returns the place-extraction transducer of Figure 2.
+func PaperFigure2(nodes, outputs *Alphabet) *Transducer { return paperex.Figure2(nodes, outputs) }
+
+// --- RFID hospital workload (the paper's motivating application) ---
+
+// Floorplan is a hospital layout for the RFID simulator.
+type Floorplan = rfid.Floorplan
+
+// RFIDNoise parametrizes the simulated sensing model.
+type RFIDNoise = rfid.Noise
+
+// RFIDTrace is a simulated deployment trace: ground truth, readings, and
+// the smoothed Markov sequence.
+type RFIDTrace = rfid.Trace
+
+// DefaultRFIDNoise is a moderately noisy deployment.
+var DefaultRFIDNoise = rfid.DefaultNoise
+
+// Hospital builds a floorplan with the given number of rooms (plus one
+// lab and one hallway), each place having locsPerPlace sub-locations.
+func Hospital(rooms, locsPerPlace int) *Floorplan { return rfid.Hospital(rooms, locsPerPlace) }
+
+// HospitalHMM builds the movement/sensing HMM of a floorplan.
+func HospitalHMM(f *Floorplan, noise RFIDNoise) *HMM { return rfid.BuildHMM(f, noise) }
+
+// SimulateRFID runs the HMM for n steps and smooths the readings into a
+// Markov sequence (the queryable artifact).
+func SimulateRFID(h *HMM, n int, rng *rand.Rand) (*RFIDTrace, error) {
+	return rfid.Simulate(h, n, rng)
+}
+
+// PlaceTransducer builds the Figure-2-style query over a floorplan: after
+// the first visit to the trigger place, emit the place symbol whenever
+// the transmitter enters a place.
+func PlaceTransducer(f *Floorplan, trigger string) *Transducer {
+	return rfid.PlaceTransducer(f, trigger)
+}
+
+// --- Noisy-text workload (Example 5.1) ---
+
+// TextDocument is a generated ground-truth document with embedded
+// "Name:<value>" records.
+type TextDocument = textgen.Document
+
+// TextAlphabet returns the character alphabet of the text workload.
+func TextAlphabet() *Alphabet { return textgen.Alphabet() }
+
+// GenerateText produces a document with the given number of name records.
+func GenerateText(records, fillerLen, nameLen int, rng *rand.Rand) TextDocument {
+	return textgen.Generate(records, fillerLen, nameLen, rng)
+}
+
+// NoisyText converts ground-truth text into a Markov sequence through a
+// memoryless confusion channel (an OCR model).
+func NoisyText(ab *Alphabet, text string, confusion float64, rng *rand.Rand) *Sequence {
+	return textgen.Noisy(ab, text, confusion, rng)
+}
+
+// NameExtractor builds the Example 5.1 s-projector
+// [.*Name:] [a-z]+ [\s.*] over the text alphabet.
+func NameExtractor(ab *Alphabet) *SProjector { return textgen.NameExtractor(ab) }
+
+// TextString converts text into a symbol string over the text alphabet.
+func TextString(ab *Alphabet, text string) []Symbol { return textgen.ParseString(ab, text) }
