@@ -14,7 +14,11 @@ build:
 test:
 	$(GO) test ./...
 
+# The race target is the serving-layer gate: vet plus the full suite
+# under the race detector (the lahar cache tests exercise concurrent
+# TopK/TopKAcross/PutStream).
 race:
+	$(GO) vet ./...
 	$(GO) test -race ./...
 
 cover:

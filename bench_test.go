@@ -13,6 +13,7 @@ import (
 
 	"markovseq/internal/automata"
 	"markovseq/internal/conf"
+	"markovseq/internal/core"
 	"markovseq/internal/enum"
 	"markovseq/internal/markov"
 	"markovseq/internal/ranked"
@@ -477,5 +478,134 @@ func BenchmarkEstimateConfidence(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		conf.Estimate(t, m, o, 1000, rng)
+	}
+}
+
+// --- Serving layer: the Lahar store's prepared-engine cache ---
+
+// laharBenchWorkload builds the RFID hospital workload the serving-layer
+// benchmarks share: a 50-step cart stream and the "visits the lab" place
+// query.
+func laharBenchWorkload(b *testing.B, seed int64) (*markov.Sequence, *transducer.Transducer) {
+	b.Helper()
+	f := Hospital(4, 2)
+	h := HospitalHMM(f, DefaultRFIDNoise)
+	tr, err := SimulateRFID(h, 50, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr.Seq, PlaceTransducer(f, "lab")
+}
+
+// BenchmarkLaharTopKCold measures the pre-cache per-request cost: every
+// query classifies the transducer, builds a fresh engine, and re-runs
+// the ranked enumeration from scratch.
+func BenchmarkLaharTopKCold(b *testing.B) {
+	m, q := laharBenchWorkload(b, 31)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng, err := core.NewTransducerEngine(q, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(eng.TopK(5)) == 0 {
+			b.Fatal("no answers")
+		}
+	}
+}
+
+// BenchmarkLaharTopKCached measures the served path: the DB's
+// prepared-engine cache plus the engine's memoized answer prefix turn a
+// repeated top-k into a map lookup and an O(k) copy.
+func BenchmarkLaharTopKCached(b *testing.B) {
+	m, q := laharBenchWorkload(b, 31)
+	db := NewDB()
+	if err := db.PutStream("cart", m); err != nil {
+		b.Fatal(err)
+	}
+	db.RegisterTransducer("lab", q)
+	if _, err := db.TopK("cart", "lab", 5); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := db.TopK("cart", "lab", 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) == 0 {
+			b.Fatal("no answers")
+		}
+	}
+}
+
+// BenchmarkSlidingTopK compares serial and parallel window evaluation.
+// Query compilation and the stream's forward pass are hoisted in both
+// modes; the parallel mode additionally fans windows over the pool.
+func BenchmarkSlidingTopK(b *testing.B) {
+	m, q := laharBenchWorkload(b, 32)
+	for _, mode := range []struct {
+		name string
+		opts []DBOption
+	}{
+		{"serial", nil},
+		{"parallel", []DBOption{WithParallelWindows(true)}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			db := NewDB(mode.opts...)
+			if err := db.PutStream("cart", m); err != nil {
+				b.Fatal(err)
+			}
+			db.RegisterTransducer("lab", q)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.SlidingTopK("cart", "lab", 10, 5, 3); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTopKAcrossParallel evaluates one query over a fleet of
+// streams, varying the worker-pool size. PutStream before each
+// iteration keeps the engines cold so the benchmark measures evaluation
+// fan-out, not the cache.
+func BenchmarkTopKAcrossParallel(b *testing.B) {
+	const fleet = 16
+	streams := make([]string, fleet)
+	seqs := make([]*markov.Sequence, fleet)
+	var q *transducer.Transducer
+	for i := range streams {
+		streams[i] = fmt.Sprintf("cart%d", i)
+		seqs[i], q = laharBenchWorkload(b, int64(40+i))
+	}
+	for _, workers := range []int{1, 4, 0} { // 0 = GOMAXPROCS default
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 0 {
+			name = "workers=max"
+		}
+		b.Run(name, func(b *testing.B) {
+			db := NewDB(WithDBWorkers(workers))
+			db.RegisterTransducer("lab", q)
+			for i, s := range streams {
+				if err := db.PutStream(s, seqs[i]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				for j, s := range streams { // drop cached engines
+					if err := db.PutStream(s, seqs[j]); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StartTimer()
+				if _, err := db.TopKAcross(streams, "lab", 5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

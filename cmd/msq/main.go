@@ -48,7 +48,6 @@ import (
 	"markovseq/internal/enum"
 	"markovseq/internal/markov"
 	"markovseq/internal/paperex"
-	"markovseq/internal/ranked"
 	"markovseq/internal/transducer"
 )
 
@@ -182,17 +181,17 @@ func cmdTopK(args []string) error {
 	if err != nil {
 		return err
 	}
-	e := ranked.NewEnumerator(t, m)
-	for i := 0; i < *k; i++ {
-		a, ok := e.Next()
-		if !ok {
-			break
-		}
-		line := fmt.Sprintf("#%d  %-20s E_max=%.6g", i+1, t.Out.FormatString(a.Output), math.Exp(a.LogEmax))
-		if t.IsDeterministic() {
-			line += fmt.Sprintf("  conf=%.6g", conf.Det(t, m, a.Output))
-		} else if _, uniform := t.UniformK(); uniform {
-			line += fmt.Sprintf("  conf=%.6g", conf.Uniform(t, m, a.Output))
+	e, err := core.NewTransducerEngine(t, m)
+	if err != nil {
+		return err
+	}
+	// The engine picks the ranking and the confidence algorithm from the
+	// paper's Table 2 (same dispatch the Lahar store uses); confidences
+	// are NaN exactly for the FP^#P-complete class.
+	for i, a := range e.TopKWithConfidence(*k) {
+		line := fmt.Sprintf("#%d  %-20s %s=%.6g", i+1, t.Out.FormatString(a.Output), a.Kind, a.Score)
+		if !math.IsNaN(a.Conf) {
+			line += fmt.Sprintf("  conf=%.6g", a.Conf)
 		}
 		fmt.Println(line)
 	}

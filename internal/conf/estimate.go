@@ -56,7 +56,13 @@ func TransducesInto(t *transducer.Transducer, s, o []automata.Symbol) bool {
 // |L(A) ∩ Σⁿ|, a long-standing open problem — and additive error is the
 // honest substitute: it is useless for exponentially small confidences,
 // exactly the regime the hardness results live in.)
+// Estimate returns 0 when samples ≤ 0: with no samples there is no
+// estimate (the old behavior was 0/0 = NaN, which silently poisoned any
+// downstream arithmetic).
 func Estimate(t *transducer.Transducer, m *markov.Sequence, o []automata.Symbol, samples int, rng *rand.Rand) float64 {
+	if samples <= 0 {
+		return 0
+	}
 	hit := 0
 	for i := 0; i < samples; i++ {
 		if TransducesInto(t, m.Sample(rng), o) {
@@ -67,7 +73,22 @@ func Estimate(t *transducer.Transducer, m *markov.Sequence, o []automata.Symbol,
 }
 
 // SamplesFor returns the number of samples sufficient for additive error
-// ε with confidence 1−δ, per Hoeffding.
+// ε with confidence 1−δ, per Hoeffding. It is defensive about degenerate
+// parameters: ε ≤ 0 or δ ≤ 0 admit no finite sample count, so it returns
+// math.MaxInt (previously the float→int conversion overflowed to an
+// implementation-defined value); a count whose float value exceeds
+// MaxInt is clamped for the same reason; and δ ≥ 2 (where the bound is
+// vacuous or negative) clamps to 1 sample.
 func SamplesFor(eps, delta float64) int {
-	return int(math.Ceil(math.Log(2/delta) / (2 * eps * eps)))
+	if eps <= 0 || delta <= 0 {
+		return math.MaxInt
+	}
+	n := math.Ceil(math.Log(2/delta) / (2 * eps * eps))
+	if n >= float64(math.MaxInt) {
+		return math.MaxInt
+	}
+	if n < 1 {
+		return 1
+	}
+	return int(n)
 }

@@ -127,3 +127,44 @@ func TestSamplesFor(t *testing.T) {
 		t.Fatal("sample complexity should scale with 1/ε²")
 	}
 }
+
+// TestEstimateNoSamples: samples ≤ 0 must return 0, not NaN (regression:
+// hit/samples was 0/0).
+func TestEstimateNoSamples(t *testing.T) {
+	nodes := paperex.Nodes()
+	outs := paperex.Outputs()
+	m := paperex.Figure1(nodes)
+	tr := paperex.Figure2(nodes, outs)
+	o := outs.MustParseString("1 2")
+	rng := rand.New(rand.NewSource(1))
+	for _, samples := range []int{0, -1, -100} {
+		got := Estimate(tr, m, o, samples, rng)
+		if math.IsNaN(got) || got != 0 {
+			t.Fatalf("Estimate with samples=%d = %v, want 0", samples, got)
+		}
+	}
+}
+
+// TestSamplesForDefensive: degenerate ε/δ must not overflow int or
+// return nonsense (regression: the float→int conversion was
+// implementation-defined for huge values and negative for δ ≥ 2).
+func TestSamplesForDefensive(t *testing.T) {
+	for _, c := range []struct{ eps, delta float64 }{
+		{0, 0.05}, {-0.1, 0.05}, {0.1, 0}, {0.1, -1},
+	} {
+		if n := SamplesFor(c.eps, c.delta); n != math.MaxInt {
+			t.Fatalf("SamplesFor(%v, %v) = %d, want MaxInt", c.eps, c.delta, n)
+		}
+	}
+	// A vanishing ε that still overflows the int range clamps.
+	if n := SamplesFor(1e-200, 0.05); n != math.MaxInt {
+		t.Fatalf("SamplesFor(1e-200, 0.05) = %d, want MaxInt", n)
+	}
+	// δ ≥ 2 makes the Hoeffding bound vacuous; at least one sample is
+	// still a sane answer, never a negative count.
+	for _, delta := range []float64{2, 10} {
+		if n := SamplesFor(0.1, delta); n < 1 {
+			t.Fatalf("SamplesFor(0.1, %v) = %d, want ≥ 1", delta, n)
+		}
+	}
+}

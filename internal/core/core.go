@@ -23,6 +23,7 @@ import (
 	"math"
 	"math/rand"
 	"strings"
+	"sync"
 
 	"markovseq/internal/automata"
 	"markovseq/internal/conf"
@@ -112,29 +113,28 @@ type Answer struct {
 	Kind  string
 }
 
-// Engine evaluates one query over one Markov sequence.
-type Engine struct {
-	m       *markov.Sequence
+// Prepared is a query compiled ahead of binding to a sequence: the
+// Table-2 classification, the plan, and (for s-projectors) the
+// equivalent transducer are computed exactly once, so serving layers
+// that evaluate the same query over many sequences — or many windows of
+// one sequence — pay the compilation cost once. A Prepared is immutable
+// and safe for concurrent use by any number of Bind calls.
+type Prepared struct {
 	t       *transducer.Transducer // nil for s-projector queries
 	p       *sproj.SProjector      // nil for transducer queries
+	et      *transducer.Transducer // equivalent transducer for s-projector queries
 	indexed bool
 	plan    Plan
 }
 
-// NewTransducerEngine classifies and wraps a transducer query.
-func NewTransducerEngine(t *transducer.Transducer, m *markov.Sequence) (*Engine, error) {
-	if err := m.Validate(); err != nil {
-		return nil, err
-	}
-	if t.In.Size() != m.Nodes.Size() {
-		return nil, fmt.Errorf("core: transducer reads %d symbols, sequence has %d nodes",
-			t.In.Size(), m.Nodes.Size())
-	}
-	e := &Engine{m: m, t: t}
+// PrepareTransducer classifies a transducer query (the columns of
+// Table 2) without binding it to a sequence.
+func PrepareTransducer(t *transducer.Transducer) *Prepared {
+	pr := &Prepared{t: t}
 	k, uniform := t.UniformK()
 	switch {
 	case t.IsMealy():
-		e.plan = Plan{
+		pr.plan = Plan{
 			Class:      ClassMealy,
 			Confidence: fmt.Sprintf("Theorem 4.6 k-uniform DP (k=%d)", k),
 		}
@@ -143,47 +143,128 @@ func NewTransducerEngine(t *transducer.Transducer, m *markov.Sequence) (*Engine,
 		if uniform {
 			algo = fmt.Sprintf("Theorem 4.6 k-uniform DP (k=%d)", k)
 		}
-		e.plan = Plan{Class: ClassDeterministic, Confidence: algo}
+		pr.plan = Plan{Class: ClassDeterministic, Confidence: algo}
 	case uniform:
-		e.plan = Plan{
+		pr.plan = Plan{
 			Class:      ClassUniform,
 			Confidence: fmt.Sprintf("Theorem 4.8 subset DP (k=%d), O(n·k·|Σ|²·4^|Q|)", k),
 		}
 	default:
-		e.plan = Plan{Class: ClassGeneral, Hard: true}
+		pr.plan = Plan{Class: ClassGeneral, Hard: true}
 	}
-	e.plan.Ranking = "E_max Lawler–Murty enumeration (Theorem 4.3), polynomial delay"
-	e.plan.Ratio = "|Σ|^n-approximately decreasing confidence (worst-case optimal up to 2^{n^{1-δ}}, Theorem 4.4)"
-	return e, nil
+	pr.plan.Ranking = "E_max Lawler–Murty enumeration (Theorem 4.3), polynomial delay"
+	pr.plan.Ratio = "|Σ|^n-approximately decreasing confidence (worst-case optimal up to 2^{n^{1-δ}}, Theorem 4.4)"
+	return pr
 }
 
-// NewSProjectorEngine classifies and wraps an s-projector query; indexed
-// selects the [B]↓A[E] semantics.
-func NewSProjectorEngine(p *sproj.SProjector, m *markov.Sequence, indexed bool) (*Engine, error) {
-	if err := m.Validate(); err != nil {
-		return nil, err
-	}
-	if p.Alphabet().Size() != m.Nodes.Size() {
-		return nil, fmt.Errorf("core: s-projector reads %d symbols, sequence has %d nodes",
-			p.Alphabet().Size(), m.Nodes.Size())
-	}
-	e := &Engine{m: m, p: p, indexed: indexed}
+// PrepareSProjector classifies an s-projector query; indexed selects the
+// [B]↓A[E] semantics. The equivalent transducer (used by unranked
+// enumeration, membership, and Monte Carlo estimation) is built eagerly
+// so Bind and the per-call paths never rebuild it.
+func PrepareSProjector(p *sproj.SProjector, indexed bool) *Prepared {
+	pr := &Prepared{p: p, et: p.ToTransducer(), indexed: indexed}
 	if indexed {
-		e.plan = Plan{
+		pr.plan = Plan{
 			Class:      ClassIndexedSProjector,
 			Confidence: "Theorem 5.8 DP, O(n·|Σ|²·|Q|²)",
 			Ranking:    "exact decreasing confidence via DAG path enumeration (Theorem 5.7)",
 			Ratio:      "exact order",
 		}
 	} else {
-		e.plan = Plan{
+		pr.plan = Plan{
 			Class:      ClassSProjector,
 			Confidence: "Theorem 5.5 DP, O(n·|o|²·|Σ|²·|Q_B|²·4^{|Q_E|})",
 			Ranking:    "I_max Lawler enumeration (Lemma 5.10)",
 			Ratio:      "n-approximately decreasing confidence (Proposition 5.9 / Theorem 5.2)",
 		}
 	}
-	return e, nil
+	return pr
+}
+
+// Plan returns the compiled plan.
+func (pr *Prepared) Plan() Plan { return pr.plan }
+
+// Bind attaches the prepared query to a sequence, validating the
+// sequence and the alphabet agreement. The classification is reused, not
+// recomputed.
+func (pr *Prepared) Bind(m *markov.Sequence) (*Engine, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return pr.BindValidated(m)
+}
+
+// BindValidated is Bind without re-validating the sequence. Use it for
+// sequences already known valid — e.g. the window marginals of a
+// validated stream — where the O(n·|Σ|²) validation pass would dominate
+// the per-window work.
+func (pr *Prepared) BindValidated(m *markov.Sequence) (*Engine, error) {
+	if pr.t != nil {
+		if pr.t.In.Size() != m.Nodes.Size() {
+			return nil, fmt.Errorf("core: transducer reads %d symbols, sequence has %d nodes",
+				pr.t.In.Size(), m.Nodes.Size())
+		}
+	} else if pr.p.Alphabet().Size() != m.Nodes.Size() {
+		return nil, fmt.Errorf("core: s-projector reads %d symbols, sequence has %d nodes",
+			pr.p.Alphabet().Size(), m.Nodes.Size())
+	}
+	return &Engine{m: m, t: pr.t, p: pr.p, et: pr.et, indexed: pr.indexed, plan: pr.plan}, nil
+}
+
+// Engine evaluates one query over one Markov sequence.
+//
+// Concurrency: an Engine is safe for concurrent use. The query, the
+// sequence, and the plan are immutable after construction. Confidence,
+// EstimateConfidence, IsAnswer, Plan and Explain are stateless — every
+// call allocates its own DP tables — so any number of goroutines may
+// call them at once. TopK, TopKWithConfidence and Enumerate memoize
+// their enumeration state (the ranked/unranked answer prefixes built so
+// far) under an internal mutex: concurrent calls serialize on that
+// mutex, and repeated calls extend the memo instead of re-enumerating
+// from scratch — this is what makes a cached engine cheap to serve.
+// Callers must treat returned Answer.Output slices as read-only (they
+// are shared with the memo), and must not share a *rand.Rand across
+// concurrent EstimateConfidence calls.
+type Engine struct {
+	m       *markov.Sequence
+	t       *transducer.Transducer // nil for s-projector queries
+	p       *sproj.SProjector      // nil for transducer queries
+	et      *transducer.Transducer // cached equivalent transducer for s-projector queries
+	indexed bool
+	plan    Plan
+
+	// mu guards the lazily-built enumeration memos below; everything
+	// above is read-only after construction.
+	mu sync.Mutex
+	// topNext is the live ranked iterator (nil until first TopK);
+	// topCache is the non-increasing answer prefix drawn from it so far.
+	topNext  func() (Answer, bool)
+	topCache []Answer
+	topDone  bool
+	// enumIter / enumCache memoize the unranked enumeration likewise.
+	enumIter  *enum.Enumerator
+	enumCache [][]automata.Symbol
+	enumDone  bool
+}
+
+// NewTransducerEngine classifies and wraps a transducer query.
+func NewTransducerEngine(t *transducer.Transducer, m *markov.Sequence) (*Engine, error) {
+	return PrepareTransducer(t).Bind(m)
+}
+
+// NewSProjectorEngine classifies and wraps an s-projector query; indexed
+// selects the [B]↓A[E] semantics.
+func NewSProjectorEngine(p *sproj.SProjector, m *markov.Sequence, indexed bool) (*Engine, error) {
+	return PrepareSProjector(p, indexed).Bind(m)
+}
+
+// equivalent returns the transducer form of the query (the query itself,
+// or the cached s-projector conversion).
+func (e *Engine) equivalent() *transducer.Transducer {
+	if e.t != nil {
+		return e.t
+	}
+	return e.et
 }
 
 // Plan returns the selected plan.
@@ -222,77 +303,111 @@ func (e *Engine) Confidence(o []automata.Symbol, index int) (float64, error) {
 // the equivalent transducer). The error is additive: ±ε with probability
 // 1−δ given conf.SamplesFor(ε, δ) samples.
 func (e *Engine) EstimateConfidence(o []automata.Symbol, samples int, rng *rand.Rand) float64 {
-	t := e.t
-	if t == nil {
-		t = e.p.ToTransducer()
-	}
-	return conf.Estimate(t, e.m, o, samples, rng)
+	return conf.Estimate(e.equivalent(), e.m, o, samples, rng)
 }
 
-// TopK returns the k best-ranked answers under the plan's ranking.
-func (e *Engine) TopK(k int) []Answer {
-	var out []Answer
+// initTop prepares the ranked iterator for the plan's ranking. Called
+// with e.mu held.
+func (e *Engine) initTop() {
 	switch e.plan.Class {
 	case ClassIndexedSProjector:
 		it, err := e.p.EnumerateIndexed(e.m)
 		if err != nil {
-			return nil
+			e.topDone = true
+			e.topNext = func() (Answer, bool) { return Answer{}, false }
+			return
 		}
-		for len(out) < k {
+		e.topNext = func() (Answer, bool) {
 			a, ok := it.Next()
 			if !ok {
-				break
+				return Answer{}, false
 			}
-			out = append(out, Answer{Output: a.Output, Index: a.Index, Score: a.Conf, Kind: "confidence"})
+			return Answer{Output: a.Output, Index: a.Index, Score: a.Conf, Kind: "confidence"}, true
 		}
 	case ClassSProjector:
 		it := e.p.EnumerateImax(e.m)
-		for len(out) < k {
+		e.topNext = func() (Answer, bool) {
 			a, ok := it.Next()
 			if !ok {
-				break
+				return Answer{}, false
 			}
-			out = append(out, Answer{Output: a.Output, Score: a.Imax, Kind: "I_max"})
+			return Answer{Output: a.Output, Score: a.Imax, Kind: "I_max"}, true
 		}
 	default:
 		it := ranked.NewEnumerator(e.t, e.m)
-		for len(out) < k {
+		e.topNext = func() (Answer, bool) {
 			a, ok := it.Next()
 			if !ok {
-				break
+				return Answer{}, false
 			}
-			out = append(out, Answer{Output: a.Output, Score: math.Exp(a.LogEmax), Kind: "E_max"})
+			return Answer{Output: a.Output, Score: math.Exp(a.LogEmax), Kind: "E_max"}, true
 		}
 	}
+}
+
+// TopK returns the k best-ranked answers under the plan's ranking.
+// Answers already enumerated by earlier calls are served from the memo;
+// only the tail beyond the longest previous prefix costs enumeration
+// work. Safe for concurrent use.
+func (e *Engine) TopK(k int) []Answer {
+	if k <= 0 {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.topNext == nil {
+		e.initTop()
+	}
+	for len(e.topCache) < k && !e.topDone {
+		a, ok := e.topNext()
+		if !ok {
+			e.topDone = true
+			break
+		}
+		e.topCache = append(e.topCache, a)
+	}
+	n := min(k, len(e.topCache))
+	if n == 0 {
+		return nil
+	}
+	out := make([]Answer, n)
+	copy(out, e.topCache[:n])
 	return out
 }
 
 // Enumerate returns up to limit answers in unranked order (Theorem 4.1);
-// limit ≤ 0 means all. Works for every class.
+// limit ≤ 0 means all. Works for every class. Like TopK, the enumerated
+// prefix is memoized across calls, and the method is safe for concurrent
+// use.
 func (e *Engine) Enumerate(limit int) [][]automata.Symbol {
-	t := e.t
-	if t == nil {
-		t = e.p.ToTransducer()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.enumIter == nil && !e.enumDone {
+		e.enumIter = enum.NewEnumerator(e.equivalent(), e.m)
 	}
-	it := enum.NewEnumerator(t, e.m)
-	var out [][]automata.Symbol
-	for limit <= 0 || len(out) < limit {
-		o, ok := it.Next()
+	for (limit <= 0 || len(e.enumCache) < limit) && !e.enumDone {
+		o, ok := e.enumIter.Next()
 		if !ok {
+			e.enumDone = true
 			break
 		}
-		out = append(out, o)
+		e.enumCache = append(e.enumCache, o)
 	}
+	n := len(e.enumCache)
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([][]automata.Symbol, n)
+	copy(out, e.enumCache[:n])
 	return out
 }
 
 // IsAnswer reports whether o is an answer (nonzero confidence).
 func (e *Engine) IsAnswer(o []automata.Symbol) bool {
-	t := e.t
-	if t == nil {
-		t = e.p.ToTransducer()
-	}
-	return enum.IsAnswer(t, e.m, o)
+	return enum.IsAnswer(e.equivalent(), e.m, o)
 }
 
 // ScoredAnswer is a ranked answer annotated with its exact confidence

@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"strings"
+	"sync"
 	"testing"
 
 	"markovseq/internal/automata"
@@ -214,4 +215,138 @@ func TestTopKWithConfidence(t *testing.T) {
 	if len(hres) != 1 || !math.IsNaN(hres[0].Conf) {
 		t.Fatalf("hard class should leave NaN, got %v", hres)
 	}
+}
+
+// TestPreparedBindMatchesNew: binding a prepared query gives the same
+// plan and answers as direct construction, and a Prepared serves many
+// sequences.
+func TestPreparedBindMatchesNew(t *testing.T) {
+	nodes := paperex.Nodes()
+	outs := paperex.Outputs()
+	m := paperex.Figure1(nodes)
+	q := paperex.Figure2(nodes, outs)
+
+	pr := PrepareTransducer(q)
+	if pr.Plan().Class != ClassDeterministic {
+		t.Fatalf("prepared class = %v", pr.Plan().Class)
+	}
+	direct, err := NewTransducerEngine(q, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := pr.Bind(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound.Plan() != direct.Plan() {
+		t.Fatalf("plans differ: %+v vs %+v", bound.Plan(), direct.Plan())
+	}
+	dt, bt := direct.TopK(3), bound.TopK(3)
+	if len(dt) != len(bt) {
+		t.Fatalf("answer counts differ: %d vs %d", len(dt), len(bt))
+	}
+	for i := range dt {
+		if outs.FormatString(dt[i].Output) != outs.FormatString(bt[i].Output) ||
+			math.Abs(dt[i].Score-bt[i].Score) > 1e-12 {
+			t.Fatalf("answer %d differs: %v vs %v", i, dt[i], bt[i])
+		}
+	}
+	// One Prepared binds windows of the sequence too.
+	w, err := pr.BindValidated(m.Window(1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.TopK(1)) == 0 {
+		t.Fatal("window engine returned no answers")
+	}
+	// Alphabet mismatch is still caught at bind time.
+	if _, err := pr.Bind(markov.Uniform(automata.Chars("ab"), 3)); err == nil {
+		t.Fatal("bind should reject mismatched alphabets")
+	}
+}
+
+// TestEngineTopKMemoized: growing k extends the memo consistently, and a
+// repeated call returns the identical prefix.
+func TestEngineTopKMemoized(t *testing.T) {
+	nodes := paperex.Nodes()
+	outs := paperex.Outputs()
+	m := paperex.Figure1(nodes)
+	e, _ := NewTransducerEngine(paperex.Figure2(nodes, outs), m)
+	fresh, _ := NewTransducerEngine(paperex.Figure2(nodes, outs), m)
+
+	small := e.TopK(2)
+	big := e.TopK(5)
+	if len(small) != 2 || len(big) < len(small) {
+		t.Fatalf("lens: %d then %d", len(small), len(big))
+	}
+	for i := range small {
+		if outs.FormatString(small[i].Output) != outs.FormatString(big[i].Output) {
+			t.Fatalf("memoized prefix changed at %d", i)
+		}
+	}
+	want := fresh.TopK(5)
+	if len(want) != len(big) {
+		t.Fatalf("memoized enumeration diverged from fresh: %d vs %d", len(big), len(want))
+	}
+	for i := range want {
+		if outs.FormatString(want[i].Output) != outs.FormatString(big[i].Output) ||
+			math.Abs(want[i].Score-big[i].Score) > 1e-12 {
+			t.Fatalf("answer %d differs from fresh engine", i)
+		}
+	}
+	// Enumerate memoizes likewise: limit extension agrees with one-shot.
+	e2, _ := NewTransducerEngine(paperex.Figure2(nodes, outs), m)
+	part := e2.Enumerate(2)
+	all := e2.Enumerate(0)
+	oneShot, _ := NewTransducerEngine(paperex.Figure2(nodes, outs), m)
+	wantAll := oneShot.Enumerate(0)
+	if len(part) != 2 || len(all) != len(wantAll) {
+		t.Fatalf("enumerate memo sizes: part=%d all=%d want=%d", len(part), len(all), len(wantAll))
+	}
+	for i := range wantAll {
+		if outs.FormatString(all[i]) != outs.FormatString(wantAll[i]) {
+			t.Fatalf("enumerate order changed at %d", i)
+		}
+	}
+}
+
+// TestEngineConcurrentReaders: one engine, many goroutines, all read
+// modes at once (checked under -race).
+func TestEngineConcurrentReaders(t *testing.T) {
+	nodes := paperex.Nodes()
+	outs := paperex.Outputs()
+	m := paperex.Figure1(nodes)
+	e, _ := NewTransducerEngine(paperex.Figure2(nodes, outs), m)
+	o := outs.MustParseString("1 2")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 20; i++ {
+				switch (g + i) % 5 {
+				case 0:
+					if top := e.TopK(1 + i%4); len(top) == 0 {
+						t.Error("TopK empty")
+					}
+				case 1:
+					if len(e.Enumerate(3)) == 0 {
+						t.Error("Enumerate empty")
+					}
+				case 2:
+					if c, err := e.Confidence(o, 0); err != nil || c <= 0 {
+						t.Errorf("Confidence = %v, %v", c, err)
+					}
+				case 3:
+					if !e.IsAnswer(o) {
+						t.Error("IsAnswer false")
+					}
+				default:
+					e.EstimateConfidence(o, 10, rng)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
 }

@@ -1,0 +1,141 @@
+package lahar
+
+// Prepared-engine cache: the serving layer of the store.
+//
+// Building a core.Engine for a (stream, query) pair runs the Table-2
+// classification, validates the sequence, and (for s-projectors) builds
+// the equivalent transducer; the engine in turn memoizes its ranked and
+// unranked answer prefixes. All of that is pure compilation — it depends
+// only on the stream contents and the query definition — so the store
+// caches the bound engine per (stream, query) and serves it to every
+// later call.
+//
+// Invalidation is by version stamp, not by eviction scans: every
+// PutStream / Register* bumps a store-wide clock and stamps the new
+// entry with it, and an engine is served only when the stream and query
+// versions recorded at build time both equal the current entries'
+// versions. A replaced stream or query therefore can never satisfy the
+// version check for an engine built against its predecessor — stale
+// engines are unservable by construction. Replacement also proactively
+// deletes the dead cache entries so the map does not grow with churn.
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"markovseq/internal/core"
+)
+
+// engineKey identifies a cached engine by stream and query name.
+type engineKey struct {
+	stream, query string
+}
+
+// engineEntry is a cached engine together with the stream and query
+// versions it was built against.
+type engineEntry struct {
+	sv, qv uint64
+	eng    *core.Engine
+}
+
+// eventCacheEntry caches MatchProb results for one stream generation.
+// probs is keyed by automaton identity: callers must treat an automaton
+// passed to MatchProb as immutable afterwards.
+type eventCacheEntry struct {
+	sv    uint64
+	probs map[any]float64
+}
+
+// cacheCounters tracks cache effectiveness; read via Stats.
+type cacheCounters struct {
+	hits, misses, invalidations atomic.Uint64
+}
+
+// CacheStats is a snapshot of the prepared-engine cache counters.
+type CacheStats struct {
+	// Hits counts engine requests served from the cache; Misses counts
+	// requests that (re)built an engine.
+	Hits, Misses uint64
+	// Invalidations counts cache entries dropped because their stream or
+	// query was replaced.
+	Invalidations uint64
+}
+
+// Stats returns a snapshot of the engine-cache counters.
+func (db *DB) Stats() CacheStats {
+	return CacheStats{
+		Hits:          db.stats.hits.Load(),
+		Misses:        db.stats.misses.Load(),
+		Invalidations: db.stats.invalidations.Load(),
+	}
+}
+
+// engine returns the cached evaluation engine for (stream, qname),
+// building and installing it on miss. The returned engine is safe for
+// concurrent use (see core.Engine); it reflects the stream and query
+// entries current at the time of the call.
+func (db *DB) engine(stream, qname string) (*core.Engine, error) {
+	db.mu.RLock()
+	se, sok := db.streams[stream]
+	qe, qok := db.queries[qname]
+	var ent *engineEntry
+	if sok && qok {
+		ent = db.engines[engineKey{stream, qname}]
+	}
+	db.mu.RUnlock()
+	if !sok {
+		return nil, fmt.Errorf("lahar: unknown stream %q", stream)
+	}
+	if !qok {
+		return nil, fmt.Errorf("lahar: unknown query %q", qname)
+	}
+	if ent != nil && ent.sv == se.version && ent.qv == qe.version {
+		db.stats.hits.Add(1)
+		return ent.eng, nil
+	}
+	db.stats.misses.Add(1)
+	// Build outside the lock: compilation can be slow and must not block
+	// readers. The sequence was validated by PutStream.
+	eng, err := qe.prepared.BindValidated(se.m)
+	if err != nil {
+		return nil, fmt.Errorf("lahar: stream %q, query %q: %w", stream, qname, err)
+	}
+	db.mu.Lock()
+	// Install only if the entries we built against are still current;
+	// a concurrent PutStream/Register* means our engine is already stale
+	// and must not be cached (the caller may still use it — it answers
+	// for the snapshot it observed).
+	cse, sok := db.streams[stream]
+	cqe, qok := db.queries[qname]
+	if sok && qok && cse.version == se.version && cqe.version == qe.version {
+		db.engines[engineKey{stream, qname}] = &engineEntry{sv: se.version, qv: qe.version, eng: eng}
+	}
+	db.mu.Unlock()
+	return eng, nil
+}
+
+// invalidateStreamLocked drops every cache entry bound to the named
+// stream. Callers hold db.mu.
+func (db *DB) invalidateStreamLocked(name string) {
+	for k := range db.engines {
+		if k.stream == name {
+			delete(db.engines, k)
+			db.stats.invalidations.Add(1)
+		}
+	}
+	if _, ok := db.events[name]; ok {
+		delete(db.events, name)
+		db.stats.invalidations.Add(1)
+	}
+}
+
+// invalidateQueryLocked drops every cache entry bound to the named
+// query. Callers hold db.mu.
+func (db *DB) invalidateQueryLocked(name string) {
+	for k := range db.engines {
+		if k.query == name {
+			delete(db.engines, k)
+			db.stats.invalidations.Add(1)
+		}
+	}
+}

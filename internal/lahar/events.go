@@ -1,13 +1,13 @@
 package lahar
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 
 	"markovseq/internal/automata"
 	"markovseq/internal/conf"
-	"markovseq/internal/core"
 )
 
 // MatchProb evaluates a Boolean event query in the Lahar style (Ré et
@@ -16,16 +16,45 @@ import (
 // automaton, Pr(S ∈ L(A)). Internally this is the nonzero-answer
 // primitive of the paper with its probability retained: a lazy subset
 // construction interleaved with the Markov dynamic program.
+//
+// Results are cached per (stream version, automaton), so repeating an
+// event query on an unchanged stream is a map lookup; the automaton must
+// not be mutated after the call. Replacing the stream invalidates the
+// cache.
 func (db *DB) MatchProb(stream string, a *automata.NFA) (float64, error) {
-	m, err := db.Stream(stream)
-	if err != nil {
-		return 0, err
+	db.mu.RLock()
+	se, ok := db.streams[stream]
+	var cached, found = 0.0, false
+	if ok {
+		if ce, ok2 := db.events[stream]; ok2 && ce.sv == se.version {
+			cached, found = ce.probs[a]
+		}
 	}
-	if a.Alphabet.Size() != m.Nodes.Size() {
+	db.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("lahar: unknown stream %q", stream)
+	}
+	if a.Alphabet.Size() != se.m.Nodes.Size() {
 		return 0, fmt.Errorf("lahar: event automaton reads %d symbols, stream has %d nodes",
-			a.Alphabet.Size(), m.Nodes.Size())
+			a.Alphabet.Size(), se.m.Nodes.Size())
 	}
-	return conf.AcceptanceProb(a, m), nil
+	if found {
+		db.stats.hits.Add(1)
+		return cached, nil
+	}
+	db.stats.misses.Add(1)
+	p := conf.AcceptanceProb(a, se.m)
+	db.mu.Lock()
+	if cse, ok := db.streams[stream]; ok && cse.version == se.version {
+		ce := db.events[stream]
+		if ce == nil || ce.sv != se.version {
+			ce = &eventCacheEntry{sv: se.version, probs: make(map[any]float64)}
+			db.events[stream] = ce
+		}
+		ce.probs[a] = p
+	}
+	db.mu.Unlock()
+	return p, nil
 }
 
 // StreamResult is one stream's contribution to a cross-stream ranking.
@@ -40,35 +69,50 @@ type StreamResult struct {
 // fleet — reduces to exactly this merge. Each stream contributes at most
 // its own top-k (no deeper answer can enter the global top-k, since
 // per-stream rankings are non-increasing).
+//
+// Streams are evaluated concurrently over the store's worker pool (see
+// WithWorkers; the default size is runtime.GOMAXPROCS(0)): at most that
+// many evaluation goroutines exist at any moment. Every failing stream
+// contributes its error to the joined error; partial results are not
+// returned.
 func (db *DB) TopKAcross(streams []string, qname string, k int) ([]StreamResult, error) {
 	if len(streams) == 0 {
 		streams = db.Streams()
 	}
-	// Evaluate the streams concurrently: each stream's evaluation is
-	// independent, and the store itself is read-locked per call.
 	type streamOut struct {
 		res []Result
 		err error
 	}
 	outs := make([]streamOut, len(streams))
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, 8)
+	sem := make(chan struct{}, db.workers)
 	for i, name := range streams {
+		// Acquire before spawning so goroutine creation itself is bounded
+		// by the pool size, not just execution.
+		sem <- struct{}{}
 		wg.Add(1)
 		go func(i int, name string) {
 			defer wg.Done()
-			sem <- struct{}{}
 			defer func() { <-sem }()
 			res, err := db.TopK(name, qname, k)
+			if err != nil {
+				err = fmt.Errorf("stream %q: %w", name, err)
+			}
 			outs[i] = streamOut{res: res, err: err}
 		}(i, name)
 	}
 	wg.Wait()
+	var errs []error
+	for i := range outs {
+		if outs[i].err != nil {
+			errs = append(errs, outs[i].err)
+		}
+	}
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("lahar: TopKAcross: %w", errors.Join(errs...))
+	}
 	var all []StreamResult
 	for i, name := range streams {
-		if outs[i].err != nil {
-			return nil, outs[i].err
-		}
 		for _, r := range outs[i].res {
 			all = append(all, StreamResult{Stream: name, Result: r})
 		}
@@ -93,31 +137,61 @@ type WindowResult struct {
 // window's marginal distribution is exact (markov.Window), so this is the
 // streaming evaluation mode of a Lahar-style warehouse: "what was the
 // cart doing in each half-hour slice?".
+//
+// The query compilation is hoisted out of the loop: the registered
+// query's prepared form and the stream's forward marginals are computed
+// once, so each window pays only for the marginal copy and its own
+// evaluation. With the ParallelWindows option the windows fan out over
+// the store's worker pool.
 func (db *DB) SlidingTopK(stream, qname string, window, stride, k int) ([]WindowResult, error) {
 	if window < 1 || stride < 1 {
 		return nil, fmt.Errorf("lahar: window and stride must be ≥ 1")
 	}
-	m, q, err := db.lookup(stream, qname)
+	se, qe, err := db.lookup(stream, qname)
 	if err != nil {
 		return nil, err
 	}
-	var out []WindowResult
+	m, prepared := se.m, qe.prepared
+	if window > m.Len() {
+		return nil, fmt.Errorf("lahar: window %d exceeds stream %q length %d", window, stream, m.Len())
+	}
+	var starts []int
 	for start := 1; start+window-1 <= m.Len(); start += stride {
-		sub := m.Window(start, start+window-1)
-		var eng *core.Engine
-		if q.p != nil {
-			eng, err = core.NewSProjectorEngine(q.p, sub, q.indexed)
-		} else {
-			eng, err = core.NewTransducerEngine(q.t, sub)
-		}
+		starts = append(starts, start)
+	}
+	wr := m.Windower() // one forward pass for all windows
+	out := make([]WindowResult, len(starts))
+	eval := func(i, start int) error {
+		eng, err := prepared.BindValidated(wr.Window(start, start+window-1))
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("lahar: window [%d,%d]: %w", start, start+window-1, err)
 		}
-		wr := WindowResult{Start: start, End: start + window - 1}
-		for _, a := range eng.TopK(k) {
-			wr.Top = append(wr.Top, Result{Output: a.Output, Index: a.Index, Score: a.Score, Kind: kindOf(a.Kind)})
+		out[i] = WindowResult{Start: start, End: start + window - 1, Top: resultsOf(eng.TopK(k))}
+		return nil
+	}
+	if !db.parallelWindows || len(starts) < 2 {
+		for i, start := range starts {
+			if err := eval(i, start); err != nil {
+				return nil, err
+			}
 		}
-		out = append(out, wr)
+		return out, nil
+	}
+	errs := make([]error, len(starts))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, db.workers)
+	for i, start := range starts {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i, start int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = eval(i, start)
+		}(i, start)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -6,11 +6,31 @@
 // s-projectors, I_max-ranked evaluation for plain s-projectors, and
 // confidence computation with automatic algorithm selection.
 //
-// The store is safe for concurrent use.
+// # Serving layer
+//
+// The store is safe for concurrent use and serves queries through a
+// prepared-engine cache. Queries are compiled once at registration
+// (Table-2 classification, plan selection, s-projector→transducer
+// conversion), and the bound evaluation engine for each (stream, query)
+// pair is built on first use and reused by every later call — including
+// each engine's memoized ranked/unranked answer prefixes, so repeated
+// TopK and Enumerate calls cost a prefix copy, not a re-enumeration.
+// Streams and queries carry version stamps: PutStream,
+// RegisterTransducer and RegisterSProjector bump the version of the
+// entry they replace, and a cached engine is served only when its
+// recorded stream and query versions both match the current entries —
+// a stale engine is therefore never served. Registered sequences,
+// transducers and s-projectors must not be mutated after hand-off.
+//
+// Cross-stream (TopKAcross) and windowed (SlidingTopK with the
+// ParallelWindows option) evaluation fan out over a worker pool whose
+// size defaults to runtime.GOMAXPROCS(0) and is configurable with
+// WithWorkers.
 package lahar
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -60,35 +80,89 @@ type Result struct {
 	Kind  ScoreKind
 }
 
-// DB is the store: named streams and named queries.
+// streamEntry is a stored stream with its version stamp. Replacing a
+// stream bumps the version, which invalidates every cached engine bound
+// to the old sequence.
+type streamEntry struct {
+	m       *markov.Sequence
+	version uint64
+}
+
+// queryEntry is a registered query: the compiled (prepared) form and a
+// version stamp bumped on re-registration.
+type queryEntry struct {
+	prepared *core.Prepared
+	version  uint64
+}
+
+// DB is the store: named streams and named queries, served through a
+// version-checked prepared-engine cache (see the package comment).
 type DB struct {
 	mu      sync.RWMutex
-	streams map[string]*markov.Sequence
-	queries map[string]query
+	streams map[string]*streamEntry
+	queries map[string]*queryEntry
+	// clock stamps stream/query entries; monotonically increasing under
+	// mu so no two generations of an entry share a version.
+	clock uint64
+	// engines caches the bound evaluation engine per (stream, query);
+	// events caches Boolean event-query probabilities per stream. Both
+	// record the versions they were built against.
+	engines map[engineKey]*engineEntry
+	events  map[string]*eventCacheEntry
+	stats   cacheCounters
+
+	workers         int
+	parallelWindows bool
 }
 
-type query struct {
-	t       *transducer.Transducer
-	p       *sproj.SProjector
-	indexed bool
-}
+// Option configures a DB.
+type Option func(*DB)
 
-// New returns an empty database.
-func New() *DB {
-	return &DB{
-		streams: make(map[string]*markov.Sequence),
-		queries: make(map[string]query),
+// WithWorkers sets the worker-pool size used by TopKAcross and parallel
+// SlidingTopK. The default is runtime.GOMAXPROCS(0); n < 1 resets to the
+// default.
+func WithWorkers(n int) Option {
+	return func(db *DB) {
+		if n < 1 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		db.workers = n
 	}
 }
 
-// PutStream stores (or replaces) a stream after validating it.
+// WithParallelWindows makes SlidingTopK fan its windows out over the
+// worker pool instead of evaluating them sequentially.
+func WithParallelWindows(on bool) Option {
+	return func(db *DB) { db.parallelWindows = on }
+}
+
+// New returns an empty database.
+func New(opts ...Option) *DB {
+	db := &DB{
+		streams: make(map[string]*streamEntry),
+		queries: make(map[string]*queryEntry),
+		engines: make(map[engineKey]*engineEntry),
+		events:  make(map[string]*eventCacheEntry),
+		workers: runtime.GOMAXPROCS(0),
+	}
+	for _, o := range opts {
+		o(db)
+	}
+	return db
+}
+
+// PutStream stores (or replaces) a stream after validating it. Replacing
+// a stream invalidates every cached engine and event probability bound
+// to the previous sequence.
 func (db *DB) PutStream(name string, m *markov.Sequence) error {
 	if err := m.Validate(); err != nil {
 		return fmt.Errorf("lahar: stream %q: %w", name, err)
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	db.streams[name] = m
+	db.clock++
+	db.streams[name] = &streamEntry{m: m, version: db.clock}
+	db.invalidateStreamLocked(name)
 	return nil
 }
 
@@ -96,11 +170,11 @@ func (db *DB) PutStream(name string, m *markov.Sequence) error {
 func (db *DB) Stream(name string) (*markov.Sequence, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	m, ok := db.streams[name]
+	se, ok := db.streams[name]
 	if !ok {
 		return nil, fmt.Errorf("lahar: unknown stream %q", name)
 	}
-	return m, nil
+	return se.m, nil
 }
 
 // Streams lists stream names in sorted order.
@@ -115,19 +189,26 @@ func (db *DB) Streams() []string {
 	return out
 }
 
-// RegisterTransducer registers a transducer query.
+// RegisterTransducer registers a transducer query, compiling it once
+// (Table-2 classification and plan selection). Re-registering a name
+// invalidates the cached engines of the previous query.
 func (db *DB) RegisterTransducer(name string, t *transducer.Transducer) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.queries[name] = query{t: t}
+	db.registerQuery(name, core.PrepareTransducer(t))
 }
 
 // RegisterSProjector registers an s-projector query; indexed selects the
-// indexed semantics ([B]↓A[E]).
+// indexed semantics ([B]↓A[E]). The query is compiled once, including
+// the equivalent-transducer conversion.
 func (db *DB) RegisterSProjector(name string, p *sproj.SProjector, indexed bool) {
+	db.registerQuery(name, core.PrepareSProjector(p, indexed))
+}
+
+func (db *DB) registerQuery(name string, pr *core.Prepared) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	db.queries[name] = query{p: p, indexed: indexed}
+	db.clock++
+	db.queries[name] = &queryEntry{prepared: pr, version: db.clock}
+	db.invalidateQueryLocked(name)
 }
 
 // Queries lists query names in sorted order.
@@ -142,30 +223,20 @@ func (db *DB) Queries() []string {
 	return out
 }
 
-func (db *DB) lookup(stream, qname string) (*markov.Sequence, query, error) {
+// lookup snapshots the current stream and query entries under the read
+// lock.
+func (db *DB) lookup(stream, qname string) (*streamEntry, *queryEntry, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	m, ok := db.streams[stream]
+	se, ok := db.streams[stream]
 	if !ok {
-		return nil, query{}, fmt.Errorf("lahar: unknown stream %q", stream)
+		return nil, nil, fmt.Errorf("lahar: unknown stream %q", stream)
 	}
-	q, ok := db.queries[qname]
+	qe, ok := db.queries[qname]
 	if !ok {
-		return nil, query{}, fmt.Errorf("lahar: unknown query %q", qname)
+		return nil, nil, fmt.Errorf("lahar: unknown query %q", qname)
 	}
-	return m, q, nil
-}
-
-// engine builds a core.Engine for the (stream, query) pair.
-func (db *DB) engine(stream, qname string) (*core.Engine, error) {
-	m, q, err := db.lookup(stream, qname)
-	if err != nil {
-		return nil, err
-	}
-	if q.p != nil {
-		return core.NewSProjectorEngine(q.p, m, q.indexed)
-	}
-	return core.NewTransducerEngine(q.t, m)
+	return se, qe, nil
 }
 
 // Explain returns the evaluation plan the engine selects for the query on
@@ -188,11 +259,15 @@ func (db *DB) TopK(stream, qname string, k int) ([]Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return resultsOf(e.TopK(k)), nil
+}
+
+func resultsOf(answers []core.Answer) []Result {
 	var out []Result
-	for _, a := range e.TopK(k) {
+	for _, a := range answers {
 		out = append(out, Result{Output: a.Output, Index: a.Index, Score: a.Score, Kind: kindOf(a.Kind)})
 	}
-	return out, nil
+	return out
 }
 
 func kindOf(name string) ScoreKind {

@@ -347,13 +347,38 @@ func (m *Sequence) Enumerate(fn func(s []automata.Symbol, p float64) bool) {
 // inclusive): the initial distribution is the forward marginal at i and
 // the transitions are those of μ. Because μ is Markov, the window is
 // exactly the distribution of S_i..S_j — the primitive behind sliding-
-// window stream evaluation.
+// window stream evaluation. For many windows of one sequence, use
+// Windower, which computes the forward marginals once.
 func (m *Sequence) Window(i, j int) *Sequence {
+	return windowWith(m, m.Forward(), i, j)
+}
+
+// Windower extracts window marginals of one sequence with the forward
+// marginals precomputed once: each Window call costs only the per-window
+// copy, not the O(n·|Σ|²) forward pass. A Windower is immutable and safe
+// for concurrent use.
+type Windower struct {
+	m     *Sequence
+	alpha [][]float64
+}
+
+// Windower returns a window extractor with the forward marginals of m
+// precomputed.
+func (m *Sequence) Windower() *Windower {
+	return &Windower{m: m, alpha: m.Forward()}
+}
+
+// Window returns the marginal sequence of positions i..j (1-based,
+// inclusive), exactly as Sequence.Window.
+func (w *Windower) Window(i, j int) *Sequence {
+	return windowWith(w.m, w.alpha, i, j)
+}
+
+func windowWith(m *Sequence, alpha [][]float64, i, j int) *Sequence {
 	if i < 1 || j > m.Len() || i > j {
 		panic(fmt.Sprintf("markov: window [%d,%d] out of range [1,%d]", i, j, m.Len()))
 	}
 	out := New(m.Nodes, j-i+1)
-	alpha := m.Forward()
 	copy(out.Initial, alpha[i-1])
 	for p := i; p < j; p++ {
 		copyMatrix(out.Trans[p-i], m.Trans[p-1])

@@ -259,3 +259,36 @@ func TestWindow(t *testing.T) {
 	}()
 	m.Window(0, 2)
 }
+
+// TestWindowerMatchesWindow: the precomputed-forward window extractor is
+// equivalent to Sequence.Window.
+func TestWindowerMatchesWindow(t *testing.T) {
+	ab := automata.Chars("abc")
+	rng := rand.New(rand.NewSource(77))
+	m := Random(ab, 12, 0.7, rng)
+	w := m.Windower()
+	for _, bounds := range [][2]int{{1, 12}, {1, 1}, {3, 7}, {12, 12}, {5, 6}} {
+		want := m.Window(bounds[0], bounds[1])
+		got := w.Window(bounds[0], bounds[1])
+		if got.Len() != want.Len() {
+			t.Fatalf("window %v lengths differ", bounds)
+		}
+		for s := range want.Initial {
+			if math.Abs(got.Initial[s]-want.Initial[s]) > 1e-15 {
+				t.Fatalf("window %v initial differs at %d", bounds, s)
+			}
+		}
+		for i := range want.Trans {
+			for s := range want.Trans[i] {
+				for x := range want.Trans[i][s] {
+					if got.Trans[i][s][x] != want.Trans[i][s][x] {
+						t.Fatalf("window %v transition %d differs", bounds, i)
+					}
+				}
+			}
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("window %v invalid: %v", bounds, err)
+		}
+	}
+}

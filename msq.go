@@ -80,8 +80,16 @@ type (
 	HMM = hmm.Model
 	// DB is a Lahar-style store of named streams and queries.
 	DB = lahar.DB
+	// DBOption configures a DB (worker-pool size, window parallelism).
+	DBOption = lahar.Option
 	// Result is a DB query result.
 	Result = lahar.Result
+	// StreamResult is one stream's contribution to TopKAcross.
+	StreamResult = lahar.StreamResult
+	// WindowResult is one SlidingTopK window's result.
+	WindowResult = lahar.WindowResult
+	// DBCacheStats reports the DB's prepared-engine cache counters.
+	DBCacheStats = lahar.CacheStats
 	// UnrankedEnumerator enumerates answers with polynomial delay and
 	// space in no particular order (Theorem 4.1).
 	UnrankedEnumerator = enum.Enumerator
@@ -153,8 +161,17 @@ func NewTransducer(in, out *Alphabet, n, start int) *Transducer {
 // NewHMM returns a zeroed hidden Markov model.
 func NewHMM(states, obs *Alphabet) *HMM { return hmm.New(states, obs) }
 
-// NewDB returns an empty Lahar-style database.
-func NewDB() *DB { return lahar.New() }
+// NewDB returns an empty Lahar-style database. Options tune the serving
+// layer; the zero-argument call keeps its historical behavior.
+func NewDB(opts ...DBOption) *DB { return lahar.New(opts...) }
+
+// WithDBWorkers bounds the DB's evaluation worker pool (TopKAcross and
+// parallel SlidingTopK). The default is runtime.GOMAXPROCS(0).
+func WithDBWorkers(n int) DBOption { return lahar.WithWorkers(n) }
+
+// WithParallelWindows makes SlidingTopK fan windows out over the DB's
+// worker pool. Results are identical to the serial evaluation.
+func WithParallelWindows(on bool) DBOption { return lahar.WithParallelWindows(on) }
 
 // CompileRegex compiles a regular expression over the alphabet into an
 // NFA (see package regex for the syntax).
