@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench experiments examples fuzz clean
+.PHONY: all build test race cover bench bench-all experiments examples fuzz clean
 
 all: build test
 
@@ -24,7 +24,14 @@ race:
 cover:
 	$(GO) test -cover ./...
 
+# Sparse-vs-dense kernel benchmarks plus the serving-layer suite, with
+# allocation counts, summarized into BENCH_conf.json (raw benchstat-
+# compatible lines are preserved inside the JSON).
 bench:
+	$(GO) test -run '^$$' -bench 'Kernel|Lahar|Sliding|TopKAcross' -benchmem ./... | $(GO) run ./cmd/benchjson -o BENCH_conf.json
+
+# The historical run-everything benchmark sweep (DESIGN.md §3 series).
+bench-all:
 	$(GO) test -bench . -benchmem ./...
 
 # Regenerate every table and figure of the paper (EXPERIMENTS.md).

@@ -1,0 +1,121 @@
+// Command benchjson converts `go test -bench` output into a JSON
+// summary while echoing the input through unchanged, so it can sit at
+// the end of a benchmark pipeline:
+//
+//	go test -run '^$' -bench Kernel -benchmem ./... | benchjson -o BENCH_conf.json
+//
+// The JSON keeps the raw benchmark lines alongside the parsed fields,
+// so the original benchstat-compatible text can always be recovered
+// from the file (benchstat consumes the "raw" strings directly).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string   `json:"name"`
+	Iterations  int64    `json:"iterations"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	Raw         string   `json:"raw"`
+}
+
+// File is the schema of the output document.
+type File struct {
+	// Config holds the `key: value` context lines go test prints before
+	// the results (goos, goarch, pkg, cpu).
+	Config  map[string]string `json:"config"`
+	Results []Result          `json:"results"`
+}
+
+func main() {
+	out := flag.String("o", "", "write the JSON summary to this file (required)")
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -o FILE is required")
+		os.Exit(2)
+	}
+
+	doc := File{Config: map[string]string{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass-through: the pipeline stays observable
+		if r, ok := parseBench(line); ok {
+			doc.Results = append(doc.Results, r)
+			continue
+		}
+		if k, v, ok := parseConfig(line); ok {
+			doc.Config[k] = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(doc.Results), *out)
+}
+
+// parseBench parses a benchmark result line:
+//
+//	BenchmarkFoo/bar-8   1234   5678 ns/op   90 B/op   2 allocs/op
+func parseBench(line string) (Result, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Result{}, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 || fields[3] != "ns/op" {
+		return Result{}, false
+	}
+	iters, err1 := strconv.ParseInt(fields[1], 10, 64)
+	ns, err2 := strconv.ParseFloat(fields[2], 64)
+	if err1 != nil || err2 != nil {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Iterations: iters, NsPerOp: ns, Raw: line}
+	for i := 4; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "B/op":
+			r.BytesPerOp = &v
+		case "allocs/op":
+			r.AllocsPerOp = &v
+		}
+	}
+	return r, true
+}
+
+// parseConfig parses the `key: value` context lines (goos, goarch, pkg,
+// cpu). Result-status lines (PASS, ok ...) are not key:value shaped and
+// fall through.
+func parseConfig(line string) (key, val string, ok bool) {
+	i := strings.Index(line, ": ")
+	if i <= 0 || strings.ContainsAny(line[:i], " \t") {
+		return "", "", false
+	}
+	return line[:i], strings.TrimSpace(line[i+2:]), true
+}

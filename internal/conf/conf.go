@@ -15,6 +15,7 @@ package conf
 
 import (
 	"markovseq/internal/automata"
+	"markovseq/internal/kernel"
 	"markovseq/internal/markov"
 	"markovseq/internal/transducer"
 )
@@ -23,10 +24,25 @@ import (
 // Theorem 4.6. The transducer may be partial (missing transitions reject).
 // It panics if the transducer is nondeterministic.
 //
+// Det runs the sparse frontier kernel (internal/kernel): the transducer
+// is flattened into lookup tables, the sequence is viewed in CSR form,
+// and only DP cells carrying nonzero mass are expanded. DetDense is the
+// dense reference implementation it is validated against. Callers that
+// evaluate many answers against one transducer should prepare the tables
+// once (core.Prepared does).
+func Det(t *transducer.Transducer, m *markov.Sequence, o []automata.Symbol) float64 {
+	return kernel.DetConfidence(kernel.NewDetTables(t), m.View(), o, nil)
+}
+
+// DetDense is the dense reference implementation of Det: a triple-nested
+// DP over every (node, state, output-position) cell, allocating a fresh
+// table per input position. It remains as the differential-testing and
+// benchmarking baseline (selectable in package core via WithDenseKernels).
+//
 // The DP runs forward over input positions; a DP state (x, q, j) carries
 // the probability mass of input prefixes that end at node x, drive A to
 // state q, and have emitted exactly o[0:j].
-func Det(t *transducer.Transducer, m *markov.Sequence, o []automata.Symbol) float64 {
+func DetDense(t *transducer.Transducer, m *markov.Sequence, o []automata.Symbol) float64 {
 	if !t.IsDeterministic() {
 		panic("conf: Det requires a deterministic transducer")
 	}
@@ -126,8 +142,22 @@ func Det(t *transducer.Transducer, m *markov.Sequence, o []automata.Symbol) floa
 // k-uniform emission, per the second bound of Theorem 4.6: after i input
 // symbols exactly k·i output symbols have been emitted, so the output
 // position need not be part of the DP state. It panics if the transducer
-// is nondeterministic or not uniform.
+// is nondeterministic or not uniform. Like Det, it runs the sparse
+// frontier kernel; DetUniformDense is the dense reference.
 func DetUniform(t *transducer.Transducer, m *markov.Sequence, o []automata.Symbol) float64 {
+	if !t.IsDeterministic() {
+		panic("conf: DetUniform requires a deterministic transducer")
+	}
+	k, ok := t.UniformK()
+	if !ok {
+		panic("conf: DetUniform requires uniform emission")
+	}
+	return kernel.DetUniformConfidence(kernel.NewDetTables(t), m.View(), k, o, nil)
+}
+
+// DetUniformDense is the dense reference implementation of DetUniform,
+// kept as the differential-testing and benchmarking baseline.
+func DetUniformDense(t *transducer.Transducer, m *markov.Sequence, o []automata.Symbol) float64 {
 	if !t.IsDeterministic() {
 		panic("conf: DetUniform requires a deterministic transducer")
 	}
@@ -209,14 +239,19 @@ func DetUniform(t *transducer.Transducer, m *markov.Sequence, o []automata.Symbo
 // Pr(S ∈ L(A_o)) is computed by a subset construction interleaved with
 // the Markov dynamic program, in O(n·k·|Σ|²·4^|Q|) worst-case time.
 //
-// Two implementations back this entry point (ablation A2): a dense
-// bitmask powerset sweep, which is the fastest up to 16 states, and a
-// lazy map-based interner (UniformLazy) that materializes only reachable
-// subsets and therefore scales to larger automata whose reachable subset
-// count stays small.
+// Three implementations back this entry point (ablation A2): the sparse
+// bitmask frontier kernel (internal/kernel), which is the fastest up to
+// 16 states; a dense bitmask powerset sweep (UniformDense, the reference
+// implementation); and a lazy map-based interner (UniformLazy) that
+// materializes only reachable subsets and therefore scales to larger
+// automata whose reachable subset count stays small.
 func Uniform(t *transducer.Transducer, m *markov.Sequence, o []automata.Symbol) float64 {
-	if t.NumStates() <= 16 {
-		return UniformDense(t, m, o)
+	if t.NumStates() <= kernel.MaxUniformStates {
+		k, ok := t.UniformK()
+		if !ok {
+			panic("conf: Uniform requires uniform emission")
+		}
+		return kernel.UniformConfidence(kernel.NewNFATables(t), m.View(), k, o, nil)
 	}
 	return UniformLazy(t, m, o)
 }

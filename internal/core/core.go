@@ -28,6 +28,7 @@ import (
 	"markovseq/internal/automata"
 	"markovseq/internal/conf"
 	"markovseq/internal/enum"
+	"markovseq/internal/kernel"
 	"markovseq/internal/markov"
 	"markovseq/internal/ranked"
 	"markovseq/internal/sproj"
@@ -113,25 +114,57 @@ type Answer struct {
 	Kind  string
 }
 
+// PrepareOption configures query preparation.
+type PrepareOption func(*prepConfig)
+
+type prepConfig struct {
+	dense bool
+}
+
+// WithDenseKernels selects the dense reference DP implementations
+// (conf.DetDense, conf.DetUniformDense, conf.UniformLazy) instead of the
+// sparse frontier kernels of internal/kernel. The dense paths scan every
+// (node, state, output-position) cell and allocate fresh tables per
+// position; they exist for differential testing and benchmarking, and
+// this option is how a caller pins them.
+func WithDenseKernels() PrepareOption {
+	return func(c *prepConfig) { c.dense = true }
+}
+
 // Prepared is a query compiled ahead of binding to a sequence: the
-// Table-2 classification, the plan, and (for s-projectors) the
-// equivalent transducer are computed exactly once, so serving layers
-// that evaluate the same query over many sequences — or many windows of
-// one sequence — pay the compilation cost once. A Prepared is immutable
-// and safe for concurrent use by any number of Bind calls.
+// Table-2 classification, the plan, (for s-projectors) the equivalent
+// transducer, and the flat sparse-kernel tables of the confidence DPs
+// are computed exactly once, so serving layers that evaluate the same
+// query over many sequences — or many windows of one sequence — pay the
+// compilation cost once. A Prepared is immutable and safe for concurrent
+// use by any number of Bind calls.
 type Prepared struct {
 	t       *transducer.Transducer // nil for s-projector queries
 	p       *sproj.SProjector      // nil for transducer queries
 	et      *transducer.Transducer // equivalent transducer for s-projector queries
 	indexed bool
 	plan    Plan
+
+	// Flat kernel tables, built at preparation time (nil when the class
+	// does not use them or WithDenseKernels was given).
+	dt         *kernel.DetTables // deterministic classes
+	nt         *kernel.NFATables // uniform nondeterministic class
+	uniformK   int
+	hasUniform bool
+	dense      bool
 }
 
 // PrepareTransducer classifies a transducer query (the columns of
-// Table 2) without binding it to a sequence.
-func PrepareTransducer(t *transducer.Transducer) *Prepared {
-	pr := &Prepared{t: t}
+// Table 2) without binding it to a sequence, and compiles the flat
+// sparse-kernel tables the confidence DPs run on.
+func PrepareTransducer(t *transducer.Transducer, opts ...PrepareOption) *Prepared {
+	var cfg prepConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	pr := &Prepared{t: t, dense: cfg.dense}
 	k, uniform := t.UniformK()
+	pr.uniformK, pr.hasUniform = k, uniform
 	switch {
 	case t.IsMealy():
 		pr.plan = Plan{
@@ -151,6 +184,16 @@ func PrepareTransducer(t *transducer.Transducer) *Prepared {
 		}
 	default:
 		pr.plan = Plan{Class: ClassGeneral, Hard: true}
+	}
+	if !cfg.dense {
+		switch pr.plan.Class {
+		case ClassMealy, ClassDeterministic:
+			pr.dt = kernel.NewDetTables(t)
+		case ClassUniform:
+			if t.NumStates() <= kernel.MaxUniformStates {
+				pr.nt = kernel.NewNFATables(t)
+			}
+		}
 	}
 	pr.plan.Ranking = "E_max Lawler–Murty enumeration (Theorem 4.3), polynomial delay"
 	pr.plan.Ratio = "|Σ|^n-approximately decreasing confidence (worst-case optimal up to 2^{n^{1-δ}}, Theorem 4.4)"
@@ -208,7 +251,10 @@ func (pr *Prepared) BindValidated(m *markov.Sequence) (*Engine, error) {
 		return nil, fmt.Errorf("core: s-projector reads %d symbols, sequence has %d nodes",
 			pr.p.Alphabet().Size(), m.Nodes.Size())
 	}
-	return &Engine{m: m, t: pr.t, p: pr.p, et: pr.et, indexed: pr.indexed, plan: pr.plan}, nil
+	return &Engine{
+		m: m, t: pr.t, p: pr.p, et: pr.et, indexed: pr.indexed, plan: pr.plan,
+		dt: pr.dt, nt: pr.nt, uniformK: pr.uniformK, hasUniform: pr.hasUniform, dense: pr.dense,
+	}, nil
 }
 
 // Engine evaluates one query over one Markov sequence.
@@ -232,6 +278,14 @@ type Engine struct {
 	et      *transducer.Transducer // cached equivalent transducer for s-projector queries
 	indexed bool
 	plan    Plan
+
+	// Kernel tables inherited from the Prepared (nil under
+	// WithDenseKernels or when the class does not use them).
+	dt         *kernel.DetTables
+	nt         *kernel.NFATables
+	uniformK   int
+	hasUniform bool
+	dense      bool
 
 	// mu guards the lazily-built enumeration memos below; everything
 	// above is read-only after construction.
@@ -287,11 +341,26 @@ func (e *Engine) Confidence(o []automata.Symbol, index int) (float64, error) {
 	case ClassSProjector:
 		return e.p.Confidence(e.m, o), nil
 	case ClassMealy, ClassDeterministic:
-		if _, ok := e.t.UniformK(); ok {
-			return conf.DetUniform(e.t, e.m, o), nil
+		if e.dt != nil {
+			// Sparse frontier kernel over the tables built at prepare time.
+			if e.hasUniform {
+				return kernel.DetUniformConfidence(e.dt, e.m.View(), e.uniformK, o, nil), nil
+			}
+			return kernel.DetConfidence(e.dt, e.m.View(), o, nil), nil
 		}
-		return conf.Det(e.t, e.m, o), nil
+		if e.hasUniform {
+			return conf.DetUniformDense(e.t, e.m, o), nil
+		}
+		return conf.DetDense(e.t, e.m, o), nil
 	case ClassUniform:
+		if e.nt != nil {
+			return kernel.UniformConfidence(e.nt, e.m.View(), e.uniformK, o, nil), nil
+		}
+		if e.dense {
+			return conf.UniformLazy(e.t, e.m, o), nil
+		}
+		// >MaxUniformStates: no subset-kernel tables; fall back to the
+		// on-demand lazy DP, which does not materialize the powerset.
 		return conf.Uniform(e.t, e.m, o), nil
 	default:
 		return 0, fmt.Errorf("core: exact confidence for %s is FP^#P-complete (Theorem 4.9); use EstimateConfidence", e.plan.Class)

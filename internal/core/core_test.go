@@ -350,3 +350,57 @@ func TestEngineConcurrentReaders(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestDenseKernelsOptionAgrees pins the WithDenseKernels escape hatch:
+// the dense reference DPs and the sparse kernels must produce the same
+// confidences, and the option must actually suppress table compilation.
+func TestDenseKernelsOptionAgrees(t *testing.T) {
+	nodes := paperex.Nodes()
+	outs := paperex.Outputs()
+	m := paperex.Figure1(nodes)
+	one := []automata.Symbol{outs.MustSymbol("1")}
+
+	und := transducer.New(nodes, outs, 2, 0)
+	und.SetAccepting(0, true)
+	und.SetAccepting(1, true)
+	for _, s := range nodes.Symbols() {
+		und.AddTransition(0, s, 0, one)
+		und.AddTransition(0, s, 1, one)
+		und.AddTransition(1, s, 0, one)
+	}
+
+	for name, tr := range map[string]*transducer.Transducer{
+		"deterministic": paperex.Figure2(nodes, outs),
+		"uniform":       und,
+	} {
+		sparseP := PrepareTransducer(tr)
+		denseP := PrepareTransducer(tr, WithDenseKernels())
+		if denseP.dt != nil || denseP.nt != nil {
+			t.Fatalf("%s: WithDenseKernels still compiled kernel tables", name)
+		}
+		if sparseP.dt == nil && sparseP.nt == nil {
+			t.Fatalf("%s: default preparation compiled no kernel tables", name)
+		}
+		sparse, err := sparseP.Bind(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dense, err := denseP.Bind(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range sparse.TopK(4) {
+			cs, err := sparse.Confidence(a.Output, a.Index)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cd, err := dense.Confidence(a.Output, a.Index)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(cs-cd) > 1e-12 {
+				t.Fatalf("%s: sparse %v vs dense %v on %v", name, cs, cd, a.Output)
+			}
+		}
+	}
+}

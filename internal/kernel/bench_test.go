@@ -1,0 +1,183 @@
+// Sparse-vs-dense benchmark pairs on the two application workloads
+// (RFID hospital tracking and noisy-text extraction), feeding `make
+// bench` / BENCH_conf.json. Each pair runs the same confidence query
+// through the frontier kernel and through the dense reference DP; the
+// smoke test below runs every workload once under plain `go test` so
+// the benchmark paths cannot rot.
+package kernel_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"markovseq/internal/automata"
+	"markovseq/internal/conf"
+	"markovseq/internal/kernel"
+	"markovseq/internal/markov"
+	"markovseq/internal/ranked"
+	"markovseq/internal/rfid"
+	"markovseq/internal/textgen"
+	"markovseq/internal/transducer"
+)
+
+// rfidWorkload is the serving-layer workload of the lahar benchmarks: a
+// 4-room hospital HMM, a 50-reading simulated trace, and the "entered
+// the lab" place transducer (deterministic, selective).
+func rfidWorkload(tb testing.TB) (*markov.Sequence, *transducer.Transducer, []automata.Symbol) {
+	tb.Helper()
+	f := rfid.Hospital(4, 2)
+	h := rfid.BuildHMM(f, rfid.DefaultNoise)
+	trc, err := rfid.Simulate(h, 50, rand.New(rand.NewSource(31)))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	q := rfid.PlaceTransducer(f, "lab")
+	o, _, ok := ranked.TopEmax(q, trc.Seq, transducer.Unconstrained())
+	if !ok {
+		tb.Fatal("rfid workload has no answer")
+	}
+	return trc.Seq, q, o
+}
+
+// textgenWorkload is the extraction workload: a noisy-channel Markov
+// sequence over the text alphabet and a random deterministic transducer
+// with 0/1-symbol emissions.
+func textgenWorkload(tb testing.TB) (*markov.Sequence, *transducer.Transducer, []automata.Symbol) {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(7))
+	ab := textgen.Alphabet()
+	doc := textgen.Generate(4, 10, 3, rng)
+	m := textgen.Noisy(ab, doc.Text, 0.1, rng)
+	out := automata.MustAlphabet("x", "y")
+	tr := transducer.New(ab, out, 4, 0)
+	for q := 0; q < 4; q++ {
+		tr.SetAccepting(q, true)
+		for _, s := range ab.Symbols() {
+			var e []automata.Symbol
+			if rng.Intn(2) == 0 {
+				e = []automata.Symbol{automata.Symbol(rng.Intn(out.Size()))}
+			}
+			tr.AddTransition(q, s, rng.Intn(4), e)
+		}
+	}
+	o, _, ok := ranked.TopEmax(tr, m, transducer.Unconstrained())
+	if !ok {
+		tb.Fatal("textgen workload has no answer")
+	}
+	return m, tr, o
+}
+
+// uniformWorkload is a k-uniform nondeterministic workload for the
+// subset-DP kernel: 3 states, 1-uniform emissions, a 50-position
+// random sequence.
+func uniformWorkload(tb testing.TB) (*markov.Sequence, *transducer.Transducer, []automata.Symbol, int) {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(9))
+	in := automata.MustAlphabet("a", "b", "c")
+	out := automata.MustAlphabet("x", "y")
+	tr := transducer.New(in, out, 3, 0)
+	for q := 0; q < 3; q++ {
+		tr.SetAccepting(q, true)
+		for _, s := range in.Symbols() {
+			n := 0
+			for q2 := 0; q2 < 3; q2++ {
+				if rng.Intn(2) == 0 {
+					continue
+				}
+				tr.AddTransition(q, s, q2, []automata.Symbol{automata.Symbol(rng.Intn(2))})
+				n++
+			}
+			if n == 0 { // keep the machine total so every trace has a run
+				tr.AddTransition(q, s, rng.Intn(3), []automata.Symbol{automata.Symbol(rng.Intn(2))})
+			}
+		}
+	}
+	m := markov.Random(in, 50, 0.6, rng)
+	o, _, ok := ranked.TopEmax(tr, m, transducer.Unconstrained())
+	if !ok {
+		tb.Fatal("uniform workload has no answer")
+	}
+	return m, tr, o, 1
+}
+
+func benchDetPair(b *testing.B, m *markov.Sequence, tr *transducer.Transducer, o []automata.Symbol) {
+	b.Run("sparse", func(b *testing.B) {
+		dt := kernel.NewDetTables(tr)
+		v := m.View()
+		sc := new(kernel.DetScratch)
+		kernel.DetConfidence(dt, v, o, sc)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			kernel.DetConfidence(dt, v, o, sc)
+		}
+	})
+	b.Run("dense", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			conf.DetDense(tr, m, o)
+		}
+	})
+}
+
+func BenchmarkKernelConfRFID(b *testing.B) {
+	m, tr, o := rfidWorkload(b)
+	benchDetPair(b, m, tr, o)
+}
+
+func BenchmarkKernelConfTextgen(b *testing.B) {
+	m, tr, o := textgenWorkload(b)
+	benchDetPair(b, m, tr, o)
+}
+
+func BenchmarkKernelConfUniformNFA(b *testing.B) {
+	m, tr, o, k := uniformWorkload(b)
+	b.Run("sparse", func(b *testing.B) {
+		nt := kernel.NewNFATables(tr)
+		v := m.View()
+		sc := new(kernel.UniformScratch)
+		kernel.UniformConfidence(nt, v, k, o, sc)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			kernel.UniformConfidence(nt, v, k, o, sc)
+		}
+	})
+	b.Run("dense", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			conf.UniformDense(tr, m, o)
+		}
+	})
+}
+
+// TestKernelBenchWorkloadsSmoke runs every benchmark workload once under
+// plain `go test`, cross-checking the sparse and dense results, so the
+// benchmark-only paths are exercised by the tier-1 suite.
+func TestKernelBenchWorkloadsSmoke(t *testing.T) {
+	{
+		m, tr, o := rfidWorkload(t)
+		sparse := kernel.DetConfidence(kernel.NewDetTables(tr), m.View(), o, nil)
+		if dense := conf.DetDense(tr, m, o); relErr(sparse, dense) > tol {
+			t.Fatalf("rfid: sparse %v vs dense %v", sparse, dense)
+		}
+		if sparse <= 0 || sparse > 1 || math.IsNaN(sparse) {
+			t.Fatalf("rfid: confidence %v out of range", sparse)
+		}
+	}
+	{
+		m, tr, o := textgenWorkload(t)
+		sparse := kernel.DetConfidence(kernel.NewDetTables(tr), m.View(), o, nil)
+		if dense := conf.DetDense(tr, m, o); relErr(sparse, dense) > tol {
+			t.Fatalf("textgen: sparse %v vs dense %v", sparse, dense)
+		}
+	}
+	{
+		m, tr, o, k := uniformWorkload(t)
+		sparse := kernel.UniformConfidence(kernel.NewNFATables(tr), m.View(), k, o, nil)
+		if dense := conf.UniformDense(tr, m, o); relErr(sparse, dense) > tol {
+			t.Fatalf("uniform: sparse %v vs dense %v", sparse, dense)
+		}
+	}
+}

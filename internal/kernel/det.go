@@ -1,0 +1,173 @@
+package kernel
+
+import (
+	"sync"
+
+	"markovseq/internal/automata"
+)
+
+// DetScratch holds the reusable DP buffers of the deterministic
+// confidence kernels. A scratch may be reused across calls of any sizes
+// (buffers grow monotonically) but not concurrently; pass nil to draw
+// one from an internal pool.
+type DetScratch struct {
+	cur, next frontier
+}
+
+var detScratchPool = sync.Pool{New: func() any { return new(DetScratch) }}
+
+// DetConfidence computes Pr(S →[A^ω]→ o) for a deterministic transducer
+// (Theorem 4.6) by the sparse frontier DP: cells are (node x, state q,
+// output position j) flattened to x·|Q|·(|o|+1) + q·(|o|+1) + j, only
+// cells with nonzero mass are visited, and each step walks only the CSR
+// nonzeros of the transition matrix. With a warm scratch the steady-state
+// inner loop allocates nothing.
+func DetConfidence(dt *DetTables, v *SeqView, o []automata.Symbol, sc *DetScratch) float64 {
+	if sc == nil {
+		sc = detScratchPool.Get().(*DetScratch)
+		defer detScratchPool.Put(sc)
+	}
+	lo := len(o)
+	w := dt.States * (lo + 1) // cells per node
+	sc.cur.ensure(v.K * w)
+	sc.next.ensure(v.K * w)
+	sc.cur.reset()
+	sc.next.reset()
+
+	// Position 1: read node x from the initial distribution.
+	for ii, x := range v.InitIdx {
+		ti := int(dt.Start)*dt.Syms + int(x)
+		q2 := dt.Next[ti]
+		if q2 < 0 {
+			continue
+		}
+		j := advance(o, 0, dt.Emit[dt.EmitPtr[ti]:dt.EmitPtr[ti+1]])
+		if j < 0 {
+			continue
+		}
+		sc.cur.add(int32(int(x)*w+int(q2)*(lo+1)+j), v.InitVal[ii])
+	}
+
+	for i := 1; i < v.N; i++ {
+		st := &v.Steps[i-1]
+		for _, idx := range sc.cur.list {
+			mass := sc.cur.val[idx]
+			x := int(idx) / w
+			rem := int(idx) % w
+			q, j := rem/(lo+1), rem%(lo+1)
+			qRow := q * dt.Syms
+			for e := st.RowPtr[x]; e < st.RowPtr[x+1]; e++ {
+				y := st.Col[e]
+				ti := qRow + int(y)
+				q2 := dt.Next[ti]
+				if q2 < 0 {
+					continue
+				}
+				j2 := advance(o, j, dt.Emit[dt.EmitPtr[ti]:dt.EmitPtr[ti+1]])
+				if j2 < 0 {
+					continue
+				}
+				sc.next.add(int32(int(y)*w+int(q2)*(lo+1)+j2), mass*st.Val[e])
+			}
+		}
+		sc.cur, sc.next = sc.next, sc.cur
+		sc.next.reset()
+	}
+
+	total := 0.0
+	for _, idx := range sc.cur.list {
+		rem := int(idx) % w
+		if rem%(lo+1) == lo && dt.Accept[rem/(lo+1)] {
+			total += sc.cur.val[idx]
+		}
+	}
+	sc.cur.reset()
+	return total
+}
+
+// DetUniformConfidence is the k-uniform fast path of Theorem 4.6: after
+// i input symbols exactly k·i output symbols have been emitted, so the
+// DP cells are just (node, state). k must be the transducer's uniform
+// emission length; answers of the wrong length have confidence 0.
+func DetUniformConfidence(dt *DetTables, v *SeqView, k int, o []automata.Symbol, sc *DetScratch) float64 {
+	if len(o) != k*v.N {
+		return 0
+	}
+	if sc == nil {
+		sc = detScratchPool.Get().(*DetScratch)
+		defer detScratchPool.Put(sc)
+	}
+	sc.cur.ensure(v.K * dt.States)
+	sc.next.ensure(v.K * dt.States)
+	sc.cur.reset()
+	sc.next.reset()
+
+	for ii, x := range v.InitIdx {
+		ti := int(dt.Start)*dt.Syms + int(x)
+		q2 := dt.Next[ti]
+		if q2 < 0 {
+			continue
+		}
+		if !emitEqual(dt.Emit[dt.EmitPtr[ti]:dt.EmitPtr[ti+1]], o[:k]) {
+			continue
+		}
+		sc.cur.add(int32(int(x)*dt.States+int(q2)), v.InitVal[ii])
+	}
+	for i := 2; i <= v.N; i++ {
+		st := &v.Steps[i-2]
+		want := o[k*(i-1) : k*i]
+		for _, idx := range sc.cur.list {
+			mass := sc.cur.val[idx]
+			x := int(idx) / dt.States
+			qRow := (int(idx) % dt.States) * dt.Syms
+			for e := st.RowPtr[x]; e < st.RowPtr[x+1]; e++ {
+				y := st.Col[e]
+				ti := qRow + int(y)
+				q2 := dt.Next[ti]
+				if q2 < 0 {
+					continue
+				}
+				if !emitEqual(dt.Emit[dt.EmitPtr[ti]:dt.EmitPtr[ti+1]], want) {
+					continue
+				}
+				sc.next.add(int32(int(y)*dt.States+int(q2)), mass*st.Val[e])
+			}
+		}
+		sc.cur, sc.next = sc.next, sc.cur
+		sc.next.reset()
+	}
+	total := 0.0
+	for _, idx := range sc.cur.list {
+		if dt.Accept[int(idx)%dt.States] {
+			total += sc.cur.val[idx]
+		}
+	}
+	sc.cur.reset()
+	return total
+}
+
+// advance returns the output position after emitting e at position j, or
+// -1 if e does not match o there.
+func advance(o []automata.Symbol, j int, e []automata.Symbol) int {
+	if j+len(e) > len(o) {
+		return -1
+	}
+	for k, sym := range e {
+		if o[j+k] != sym {
+			return -1
+		}
+	}
+	return j + len(e)
+}
+
+func emitEqual(e, want []automata.Symbol) bool {
+	if len(e) != len(want) {
+		return false
+	}
+	for i, sym := range e {
+		if want[i] != sym {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,61 @@
+package kernel
+
+// frontier is one layer of a double-buffered sparse DP: a flat value
+// buffer over the full cell space plus an explicit list of the active
+// (nonzero-mass) cells. Invariant: every slot of val outside list is
+// zero and its on flag is false, so reuse across positions and across
+// calls needs no re-zeroing sweep — reset clears exactly the touched
+// cells.
+type frontier struct {
+	val  []float64
+	on   []bool
+	list []int32
+}
+
+// ensure sizes the buffers for a cell space of n cells, preserving the
+// all-zero invariant. It allocates only when capacity grows.
+func (f *frontier) ensure(n int) {
+	if cap(f.val) < n {
+		f.val = make([]float64, n)
+		f.on = make([]bool, n)
+		f.list = f.list[:0]
+		return
+	}
+	f.val = f.val[:n]
+	f.on = f.on[:n]
+}
+
+// add accumulates v into cell i, activating it if needed.
+func (f *frontier) add(i int32, v float64) {
+	if !f.on[i] {
+		f.on[i] = true
+		f.list = append(f.list, i)
+	}
+	f.val[i] += v
+}
+
+// relax max-updates cell i with score v (for Viterbi-style DPs),
+// reporting whether the cell improved.
+func (f *frontier) relax(i int32, v float64) bool {
+	if !f.on[i] {
+		f.on[i] = true
+		f.val[i] = v
+		f.list = append(f.list, i)
+		return true
+	}
+	if v > f.val[i] {
+		f.val[i] = v
+		return true
+	}
+	return false
+}
+
+// reset deactivates every active cell, restoring the all-zero invariant
+// in O(active) time.
+func (f *frontier) reset() {
+	for _, i := range f.list {
+		f.val[i] = 0
+		f.on[i] = false
+	}
+	f.list = f.list[:0]
+}

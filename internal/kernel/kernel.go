@@ -1,0 +1,113 @@
+// Package kernel provides the sparse, flat, allocation-free dynamic-
+// programming substrate shared by the hot numeric paths of this
+// repository: confidence computation (Theorems 4.6/4.8), the Viterbi
+// top-answer optimizer behind ranked enumeration (Theorem 4.3), and the
+// forward/backward marginal passes of package markov.
+//
+// Three ideas, applied uniformly (cf. Nuel & Dumas on sparsity-dominated
+// pattern DPs, and the flat-table transducer representations of the
+// weighted-automata literature):
+//
+//   - CSR sequence views (SeqView): each per-step transition matrix of a
+//     Markov sequence is compiled once into compressed-sparse-row form
+//     (row pointers + column indices + values + precomputed logs), so
+//     inner loops visit only nonzero transitions.
+//
+//   - Flat transducer tables (DetTables, NFATables): successor states and
+//     emissions are resolved into dense arrays indexed by q·|Σ|+y,
+//     replacing the per-cell Succ/Emit map lookups of the reference
+//     implementations.
+//
+//   - Double-buffered frontier DP (frontier): DP layers are flat []float64
+//     buffers with an explicit active-cell list; only cells carrying
+//     nonzero mass are visited, and the buffers are reused across
+//     positions (and, via sync.Pool scratches, across calls), so the
+//     steady-state inner loop performs zero allocations.
+//
+// The dense reference implementations remain in their home packages
+// (conf.DetDense, conf.UniformDense, ...) and are cross-validated against
+// these kernels and the internal/exact big.Rat oracle by differential
+// tests.
+package kernel
+
+import "math"
+
+// Step is one transition matrix in compressed-sparse-row form: the
+// nonzero entries of row s are Col[RowPtr[s]:RowPtr[s+1]] (column
+// indices) with probabilities Val[...] and precomputed natural logs
+// LogVal[...].
+type Step struct {
+	RowPtr []int32
+	Col    []int32
+	Val    []float64
+	LogVal []float64
+}
+
+// SeqView is the sparse view of a Markov sequence: the nonzero entries
+// of the initial distribution plus one CSR Step per transition. It is
+// immutable after construction and safe for concurrent use.
+type SeqView struct {
+	// K is the node-alphabet size |Σ|, N the sequence length n.
+	K, N int
+	// InitIdx/InitVal list the nonzero entries of μ₀→.
+	InitIdx []int32
+	InitVal []float64
+	// Steps[i] is μ_{i+1}→ in CSR form (length N-1).
+	Steps []Step
+}
+
+// NewSeqView compiles an initial distribution and per-step transition
+// matrices into a sparse view. The inputs are not retained; mutating
+// them after the call does not affect the view.
+func NewSeqView(initial []float64, trans [][][]float64) *SeqView {
+	k := len(initial)
+	v := &SeqView{K: k, N: len(trans) + 1, Steps: make([]Step, len(trans))}
+	for x, p := range initial {
+		if p != 0 {
+			v.InitIdx = append(v.InitIdx, int32(x))
+			v.InitVal = append(v.InitVal, p)
+		}
+	}
+	for i, mat := range trans {
+		v.Steps[i] = compileStep(mat)
+	}
+	return v
+}
+
+func compileStep(mat [][]float64) Step {
+	nnz := 0
+	for _, row := range mat {
+		for _, p := range row {
+			if p != 0 {
+				nnz++
+			}
+		}
+	}
+	st := Step{
+		RowPtr: make([]int32, len(mat)+1),
+		Col:    make([]int32, 0, nnz),
+		Val:    make([]float64, 0, nnz),
+		LogVal: make([]float64, 0, nnz),
+	}
+	for s, row := range mat {
+		for t, p := range row {
+			if p != 0 {
+				st.Col = append(st.Col, int32(t))
+				st.Val = append(st.Val, p)
+				st.LogVal = append(st.LogVal, math.Log(p))
+			}
+		}
+		st.RowPtr[s+1] = int32(len(st.Col))
+	}
+	return st
+}
+
+// NNZ returns the total number of nonzero transition entries across all
+// steps (a sparsity diagnostic for benchmarks and EXPLAIN output).
+func (v *SeqView) NNZ() int {
+	n := 0
+	for i := range v.Steps {
+		n += len(v.Steps[i].Col)
+	}
+	return n
+}

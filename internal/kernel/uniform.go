@@ -1,0 +1,120 @@
+package kernel
+
+import (
+	"math/bits"
+	"sync"
+
+	"markovseq/internal/automata"
+)
+
+// MaxUniformStates is the state-count ceiling of UniformConfidence: the
+// subset DP indexes a dense 2^|Q| powerset per node, which is the right
+// trade up to 16 states (beyond that, callers fall back to the lazily
+// interning reference implementation in package conf).
+const MaxUniformStates = 16
+
+// UniformScratch holds the reusable buffers of the nondeterministic
+// k-uniform subset DP. Not safe for concurrent use; pass nil to draw
+// from an internal pool.
+type UniformScratch struct {
+	cur, next frontier
+	masks     []uint32
+}
+
+var uniformScratchPool = sync.Pool{New: func() any { return new(UniformScratch) }}
+
+// UniformConfidence computes Pr(S →[A^ω]→ o) for a possibly
+// nondeterministic transducer with k-uniform emission (Theorem 4.8) by a
+// bitmask subset DP over cells (node x, state subset B): per position the
+// emission-filtered singleton masks are rebuilt from the flat tables, and
+// only (x, B) cells with nonzero mass are expanded along the CSR
+// nonzeros. It panics when the transducer has more than MaxUniformStates
+// states.
+func UniformConfidence(nt *NFATables, v *SeqView, k int, o []automata.Symbol, sc *UniformScratch) float64 {
+	if nt.States > MaxUniformStates {
+		panic("kernel: UniformConfidence limited to 16 states (dense powerset)")
+	}
+	if len(o) != k*v.N {
+		return 0
+	}
+	if sc == nil {
+		sc = uniformScratchPool.Get().(*UniformScratch)
+		defer uniformScratchPool.Put(sc)
+	}
+	numSets := 1 << nt.States
+	sc.cur.ensure(v.K * numSets)
+	sc.next.ensure(v.K * numSets)
+	sc.cur.reset()
+	sc.next.reset()
+	if cap(sc.masks) < v.K*nt.States {
+		sc.masks = make([]uint32, v.K*nt.States)
+	}
+	sc.masks = sc.masks[:v.K*nt.States]
+
+	// fillMasks computes, for input position i (1-based), the filtered
+	// singleton successor masks: masks[y·|Q|+q] is the set of q' with
+	// q' ∈ δ(q, y) and ω(q, y, q') = o[k(i-1):ki].
+	fillMasks := func(i int) {
+		want := o[k*(i-1) : k*i]
+		for y := 0; y < v.K; y++ {
+			for q := 0; q < nt.States; q++ {
+				m := uint32(0)
+				ti := q*nt.Syms + y
+				for e := nt.Off[ti]; e < nt.Off[ti+1]; e++ {
+					if emitEqual(nt.Emit[nt.EmitPtr[e]:nt.EmitPtr[e+1]], want) {
+						m |= 1 << uint(nt.Succ[e])
+					}
+				}
+				sc.masks[y*nt.States+q] = m
+			}
+		}
+	}
+
+	fillMasks(1)
+	for ii, x := range v.InitIdx {
+		set := sc.masks[int(x)*nt.States+int(nt.Start)]
+		if set != 0 {
+			sc.cur.add(int32(int(x)*numSets+int(set)), v.InitVal[ii])
+		}
+	}
+	for i := 2; i <= v.N; i++ {
+		fillMasks(i)
+		st := &v.Steps[i-2]
+		for _, idx := range sc.cur.list {
+			mass := sc.cur.val[idx]
+			x := int(idx) / numSets
+			set := uint32(int(idx) % numSets)
+			for e := st.RowPtr[x]; e < st.RowPtr[x+1]; e++ {
+				y := int(st.Col[e])
+				set2 := uint32(0)
+				rest := set
+				base := y * nt.States
+				for rest != 0 {
+					q := bits.TrailingZeros32(rest)
+					rest &= rest - 1
+					set2 |= sc.masks[base+q]
+				}
+				if set2 != 0 {
+					sc.next.add(int32(y*numSets+int(set2)), mass*st.Val[e])
+				}
+			}
+		}
+		sc.cur, sc.next = sc.next, sc.cur
+		sc.next.reset()
+	}
+
+	acceptMask := uint32(0)
+	for q, a := range nt.Accept {
+		if a {
+			acceptMask |= 1 << uint(q)
+		}
+	}
+	total := 0.0
+	for _, idx := range sc.cur.list {
+		if uint32(int(idx)%numSets)&acceptMask != 0 {
+			total += sc.cur.val[idx]
+		}
+	}
+	sc.cur.reset()
+	return total
+}

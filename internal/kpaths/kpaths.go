@@ -124,14 +124,15 @@ type candidate struct {
 
 type candidateQueue []*candidate
 
-func (q candidateQueue) Len() int            { return len(q) }
-func (q candidateQueue) Less(i, j int) bool  { return q[i].weight < q[j].weight }
-func (q candidateQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *candidateQueue) Push(x interface{}) { *q = append(*q, x.(*candidate)) }
-func (q *candidateQueue) Pop() interface{} {
+func (q candidateQueue) Len() int           { return len(q) }
+func (q candidateQueue) Less(i, j int) bool { return q[i].weight < q[j].weight }
+func (q candidateQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *candidateQueue) Push(x any)        { *q = append(*q, x.(*candidate)) }
+func (q *candidateQueue) Pop() any {
 	old := *q
 	n := len(old)
 	c := old[n-1]
+	old[n-1] = nil // release the slot so long enumerations don't retain popped candidates
 	*q = old[:n-1]
 	return c
 }

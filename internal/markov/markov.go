@@ -15,8 +15,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
 
 	"markovseq/internal/automata"
+	"markovseq/internal/kernel"
 )
 
 // Sequence is a Markov sequence μ[n]. Probabilities are float64; every row
@@ -30,6 +32,11 @@ type Sequence struct {
 	// Trans[i] is μ_{i+1}→ as a row-stochastic |Σ|×|Σ| matrix:
 	// Trans[i][s][t] = Pr(S_{i+2} = t | S_{i+1} = s). Length n-1.
 	Trans [][][]float64
+
+	// view caches the sparse CSR view built by View. SetInitial and
+	// SetTrans invalidate it; direct writes to Initial/Trans after a
+	// View call do not (see View).
+	view atomic.Pointer[kernel.SeqView]
 }
 
 // Tolerance is the additive slack allowed when checking that probability
@@ -63,7 +70,10 @@ func New(nodes *automata.Alphabet, n int) *Sequence {
 func (m *Sequence) Len() int { return len(m.Trans) + 1 }
 
 // SetInitial sets μ₀→(s) = p.
-func (m *Sequence) SetInitial(s automata.Symbol, p float64) { m.Initial[s] = p }
+func (m *Sequence) SetInitial(s automata.Symbol, p float64) {
+	m.Initial[s] = p
+	m.view.Store(nil)
+}
 
 // SetTrans sets μᵢ→(s, t) = p for 1 ≤ i < n (i is the paper's 1-based
 // transition index: the transition from Sᵢ to Sᵢ₊₁).
@@ -72,6 +82,22 @@ func (m *Sequence) SetTrans(i int, s, t automata.Symbol, p float64) {
 		panic(fmt.Sprintf("markov: transition index %d out of range [1,%d]", i, len(m.Trans)))
 	}
 	m.Trans[i-1][s][t] = p
+	m.view.Store(nil)
+}
+
+// View returns the sequence's sparse CSR view (internal/kernel), built on
+// first use and cached: the hot DP kernels (confidence, Viterbi, forward
+// passes) iterate only the nonzero transitions through it. The cache is
+// invalidated by SetInitial/SetTrans; callers that write Initial or Trans
+// directly must do so before the first View call (every constructor in
+// this repository does). Safe for concurrent use.
+func (m *Sequence) View() *kernel.SeqView {
+	if v := m.view.Load(); v != nil {
+		return v
+	}
+	v := kernel.NewSeqView(m.Initial, m.Trans)
+	m.view.Store(v)
+	return v
 }
 
 // TransAt returns the transition matrix μᵢ→ (1-based, as in the paper).
@@ -168,19 +194,27 @@ func sampleRow(row []float64, rng *rand.Rand) automata.Symbol {
 }
 
 // Forward returns the marginals α, where α[i][s] = Pr(S_{i+1} = s) for
-// 0 ≤ i < n (0-based position).
+// 0 ≤ i < n (0-based position). The pass runs over the sparse CSR view,
+// touching only nonzero transitions.
 func (m *Sequence) Forward() [][]float64 {
-	n, k := m.Len(), m.Nodes.Size()
-	alpha := make([][]float64, n)
-	alpha[0] = append([]float64(nil), m.Initial...)
-	for i := 1; i < n; i++ {
-		row := make([]float64, k)
-		for s := 0; s < k; s++ {
-			if alpha[i-1][s] == 0 {
+	v := m.View()
+	alpha := make([][]float64, v.N)
+	row0 := make([]float64, v.K)
+	for ii, x := range v.InitIdx {
+		row0[x] = v.InitVal[ii]
+	}
+	alpha[0] = row0
+	for i := 1; i < v.N; i++ {
+		row := make([]float64, v.K)
+		st := &v.Steps[i-1]
+		prev := alpha[i-1]
+		for s := 0; s < v.K; s++ {
+			ps := prev[s]
+			if ps == 0 {
 				continue
 			}
-			for t := 0; t < k; t++ {
-				row[t] += alpha[i-1][s] * m.Trans[i-1][s][t]
+			for e := st.RowPtr[s]; e < st.RowPtr[s+1]; e++ {
+				row[st.Col[e]] += ps * st.Val[e]
 			}
 		}
 		alpha[i] = row
@@ -188,17 +222,70 @@ func (m *Sequence) Forward() [][]float64 {
 	return alpha
 }
 
+// Backward returns the suffix masses β, where β[i][s] is the expected
+// final weight of running the chain from S_{i+1} = s to the end:
+// β[n-1] = final and β[i][s] = Σ_t μ_{i+1}→(s, t)·β[i+1][t]. A nil final
+// is treated as all-ones (every β entry is then 1 for a valid sequence —
+// the stochastic sanity identity); non-trivial final weights give the
+// acceptance-mass backward pass used for pruning and windowed scoring.
+// Sparse like Forward.
+func (m *Sequence) Backward(final []float64) [][]float64 {
+	v := m.View()
+	beta := make([][]float64, v.N)
+	last := make([]float64, v.K)
+	if final == nil {
+		for s := range last {
+			last[s] = 1
+		}
+	} else {
+		if len(final) != v.K {
+			panic(fmt.Sprintf("markov: Backward final weights have %d entries, want %d", len(final), v.K))
+		}
+		copy(last, final)
+	}
+	beta[v.N-1] = last
+	for i := v.N - 2; i >= 0; i-- {
+		row := make([]float64, v.K)
+		st := &v.Steps[i]
+		next := beta[i+1]
+		for s := 0; s < v.K; s++ {
+			acc := 0.0
+			for e := st.RowPtr[s]; e < st.RowPtr[s+1]; e++ {
+				acc += st.Val[e] * next[st.Col[e]]
+			}
+			row[s] = acc
+		}
+		beta[i] = row
+	}
+	return beta
+}
+
 // Support reports, for each position, which nodes have nonzero marginal
 // probability. Enumeration algorithms use it to prune impossible branches.
+// It propagates boolean reachability over the sparse view — no float
+// arithmetic (so no underflow on very long sequences) and no marginal
+// tables allocated.
 func (m *Sequence) Support() [][]bool {
-	alpha := m.Forward()
-	out := make([][]bool, len(alpha))
-	for i, row := range alpha {
-		b := make([]bool, len(row))
-		for s, p := range row {
-			b[s] = p > 0
+	v := m.View()
+	out := make([][]bool, v.N)
+	row0 := make([]bool, v.K)
+	for _, x := range v.InitIdx {
+		row0[x] = true
+	}
+	out[0] = row0
+	for i := 1; i < v.N; i++ {
+		row := make([]bool, v.K)
+		st := &v.Steps[i-1]
+		prev := out[i-1]
+		for s := 0; s < v.K; s++ {
+			if !prev[s] {
+				continue
+			}
+			for e := st.RowPtr[s]; e < st.RowPtr[s+1]; e++ {
+				row[st.Col[e]] = true
+			}
 		}
-		out[i] = b
+		out[i] = row
 	}
 	return out
 }

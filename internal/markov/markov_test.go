@@ -292,3 +292,110 @@ func TestWindowerMatchesWindow(t *testing.T) {
 		}
 	}
 }
+
+// TestViewCachedAndInvalidated checks the CSR view is built once, shared
+// across calls, and rebuilt after the mutating setters run.
+func TestViewCachedAndInvalidated(t *testing.T) {
+	_, m := tiny(t)
+	v1 := m.View()
+	if v2 := m.View(); v2 != v1 {
+		t.Fatal("View not cached across calls")
+	}
+	m.SetTrans(1, 0, 1, 0.25)
+	m.SetTrans(1, 0, 0, 0.75)
+	v3 := m.View()
+	if v3 == v1 {
+		t.Fatal("SetTrans did not invalidate the cached view")
+	}
+	found := false
+	st := &v3.Steps[0]
+	for e := st.RowPtr[0]; e < st.RowPtr[1]; e++ {
+		if st.Col[e] == 1 && st.Val[e] == 0.25 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("rebuilt view missing the updated transition")
+	}
+	m.SetInitial(0, 1)
+	m.SetInitial(1, 0)
+	if m.View() == v3 {
+		t.Fatal("SetInitial did not invalidate the cached view")
+	}
+}
+
+// TestBackwardAllOnes: with all-ones final weights every β entry of a
+// valid (stochastic) sequence is 1.
+func TestBackwardAllOnes(t *testing.T) {
+	ab := automata.MustAlphabet("a", "b", "c")
+	rng := rand.New(rand.NewSource(11))
+	m := Random(ab, 6, 0.8, rng)
+	for i, row := range m.Backward(nil) {
+		for s, b := range row {
+			// Rows of unreachable states may still be stochastic; only
+			// reachable mass matters for the identity, but Random builds
+			// every row stochastic, so all entries must be 1.
+			if math.Abs(b-1) > 1e-12 {
+				t.Fatalf("β[%d][%d] = %v, want 1", i, s, b)
+			}
+		}
+	}
+}
+
+// TestBackwardForwardIdentity: for any final weights f,
+// Σ_s α[i][s]·β[i][s] is the same for every position i (it equals
+// E[f(S_n)]).
+func TestBackwardForwardIdentity(t *testing.T) {
+	ab := automata.MustAlphabet("a", "b", "c")
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(100 + trial)))
+		m := Random(ab, 2+rng.Intn(6), 0.7, rng)
+		final := make([]float64, ab.Size())
+		for s := range final {
+			final[s] = rng.Float64()
+		}
+		alpha, beta := m.Forward(), m.Backward(final)
+		want := 0.0
+		for s, b := range beta[0] {
+			want += alpha[0][s] * b
+		}
+		for i := 1; i < m.Len(); i++ {
+			got := 0.0
+			for s, b := range beta[i] {
+				got += alpha[i][s] * b
+			}
+			if math.Abs(got-want) > 1e-12 {
+				t.Fatalf("trial %d: Σ αβ at position %d is %v, want %v", trial, i, got, want)
+			}
+		}
+	}
+}
+
+func TestBackwardWrongLengthPanics(t *testing.T) {
+	_, m := tiny(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Backward accepted final weights of the wrong length")
+		}
+	}()
+	m.Backward([]float64{1})
+}
+
+// TestSupportMatchesForward: boolean reachability must agree with
+// positivity of the forward marginals.
+func TestSupportMatchesForward(t *testing.T) {
+	ab := automata.MustAlphabet("a", "b", "c")
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(300 + trial)))
+		m := Random(ab, 2+rng.Intn(6), 0.5, rng)
+		alpha, supp := m.Forward(), m.Support()
+		for i := range supp {
+			for s := range supp[i] {
+				if supp[i][s] != (alpha[i][s] > 0) {
+					t.Fatalf("trial %d: support[%d][%d]=%v but α=%v",
+						trial, i, s, supp[i][s], alpha[i][s])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Sparse-vs-dense Viterbi benchmark pair (the E_max inner loop of both
+// TopEmax and the Lawler–Murty enumerator), feeding `make bench`.
+package ranked
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"markovseq/internal/automata"
+	"markovseq/internal/markov"
+	"markovseq/internal/transducer"
+)
+
+// viterbiBenchWorkload is a 50-position random sequence over 4 nodes
+// with a total 3-state nondeterministic transducer.
+func viterbiBenchWorkload(tb testing.TB) (*transducer.Transducer, *markov.Sequence) {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(17))
+	in := automata.MustAlphabet("a", "b", "c", "d")
+	out := automata.MustAlphabet("x", "y")
+	tr := transducer.New(in, out, 3, 0)
+	for q := 0; q < 3; q++ {
+		tr.SetAccepting(q, true)
+		for _, s := range in.Symbols() {
+			n := 0
+			for q2 := 0; q2 < 3; q2++ {
+				if rng.Intn(2) == 0 {
+					continue
+				}
+				var e []automata.Symbol
+				if rng.Intn(2) == 0 {
+					e = []automata.Symbol{automata.Symbol(rng.Intn(2))}
+				}
+				tr.AddTransition(q, s, q2, e)
+				n++
+			}
+			if n == 0 {
+				tr.AddTransition(q, s, rng.Intn(3), nil)
+			}
+		}
+	}
+	return tr, markov.Random(in, 50, 0.6, rng)
+}
+
+func BenchmarkKernelViterbi(b *testing.B) {
+	tr, m := viterbiBenchWorkload(b)
+	b.Run("sparse", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, _, ok := viterbiRun(tr, m); !ok {
+				b.Fatal("no accepting run")
+			}
+		}
+	})
+	b.Run("dense", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, _, ok := viterbiRunDense(tr, m); !ok {
+				b.Fatal("no accepting run")
+			}
+		}
+	})
+}
+
+// TestViterbiBenchWorkloadSmoke keeps the benchmark workload honest
+// under plain `go test`: both implementations agree on the optimum.
+func TestViterbiBenchWorkloadSmoke(t *testing.T) {
+	tr, m := viterbiBenchWorkload(t)
+	_, _, lp, ok := viterbiRun(tr, m)
+	_, _, lpD, okD := viterbiRunDense(tr, m)
+	if !ok || !okD {
+		t.Fatalf("ok=%v dense ok=%v", ok, okD)
+	}
+	if math.Abs(lp-lpD) > 1e-9 {
+		t.Fatalf("sparse logp %v vs dense %v", lp, lpD)
+	}
+}

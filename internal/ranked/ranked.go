@@ -20,6 +20,7 @@ import (
 	"math"
 
 	"markovseq/internal/automata"
+	"markovseq/internal/kernel"
 	"markovseq/internal/markov"
 	"markovseq/internal/transducer"
 )
@@ -40,8 +41,17 @@ func TopEmax(t *transducer.Transducer, m *markov.Sequence, c transducer.Constrai
 // viterbiRun finds the maximum-probability accepting run of the transducer
 // over μ, returning the evidence node string, the visited states, and the
 // log probability. ok is false when no accepting run over a
-// positive-probability world exists.
+// positive-probability world exists. It runs the sparse frontier kernel:
+// flat transducer tables, CSR transitions with precomputed logs, and
+// double-buffered score buffers (viterbiRunDense is the reference
+// implementation the kernel is differentially tested against).
 func viterbiRun(t *transducer.Transducer, m *markov.Sequence) (nodes []automata.Symbol, states []int, logp float64, ok bool) {
+	return kernel.ViterbiRun(kernel.NewNFATables(t), m.View(), nil)
+}
+
+// viterbiRunDense is the dense reference implementation of viterbiRun,
+// scanning every (node, state) cell per position.
+func viterbiRunDense(t *transducer.Transducer, m *markov.Sequence) (nodes []automata.Symbol, states []int, logp float64, ok bool) {
 	n := m.Len()
 	nNodes := m.Nodes.Size()
 	nStates := t.NumStates()
@@ -132,19 +142,15 @@ func viterbiRun(t *transducer.Transducer, m *markov.Sequence) (nodes []automata.
 }
 
 // viterbi finds the maximum-probability accepting run and returns its
-// emitted output with the log probability.
+// emitted output with the log probability. The flat tables are built
+// once and shared by the DP and the output reconstruction.
 func viterbi(t *transducer.Transducer, m *markov.Sequence) ([]automata.Symbol, float64, bool) {
-	nodes, states, lp, ok := viterbiRun(t, m)
+	nt := kernel.NewNFATables(t)
+	nodes, states, lp, ok := kernel.ViterbiRun(nt, m.View(), nil)
 	if !ok {
 		return nil, lp, false
 	}
-	var out []automata.Symbol
-	prev := t.Start()
-	for i := range nodes {
-		out = append(out, t.Emit(prev, nodes[i], states[i])...)
-		prev = states[i]
-	}
-	return out, lp, true
+	return nt.EmitRun(nodes, states), lp, true
 }
 
 // BestEvidence returns the maximum-probability possible world of μ that is
@@ -185,14 +191,15 @@ type lawlerItem struct {
 
 type lawlerQueue []*lawlerItem
 
-func (q lawlerQueue) Len() int            { return len(q) }
-func (q lawlerQueue) Less(i, j int) bool  { return q[i].logE > q[j].logE }
-func (q lawlerQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *lawlerQueue) Push(x interface{}) { *q = append(*q, x.(*lawlerItem)) }
-func (q *lawlerQueue) Pop() interface{} {
+func (q lawlerQueue) Len() int           { return len(q) }
+func (q lawlerQueue) Less(i, j int) bool { return q[i].logE > q[j].logE }
+func (q lawlerQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *lawlerQueue) Push(x any)        { *q = append(*q, x.(*lawlerItem)) }
+func (q *lawlerQueue) Pop() any {
 	old := *q
 	n := len(old)
 	it := old[n-1]
+	old[n-1] = nil // release the slot so long enumerations don't retain popped items
 	*q = old[:n-1]
 	return it
 }

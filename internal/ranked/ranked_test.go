@@ -191,3 +191,51 @@ func TestLongSequenceLogSpace(t *testing.T) {
 	}
 	_ = o
 }
+
+// TestViterbiKernelMatchesDense differentially tests the sparse Viterbi
+// kernel against the dense reference on random nondeterministic
+// transducers: same optimum score, and the returned run must be a real
+// run of that probability.
+func TestViterbiKernelMatchesDense(t *testing.T) {
+	in := automata.MustAlphabet("a", "b")
+	out := automata.MustAlphabet("x", "y")
+	for trial := 0; trial < 40; trial++ {
+		rng := rand.New(rand.NewSource(int64(3000 + trial)))
+		m := markov.Random(in, 2+rng.Intn(5), 0.7, rng)
+		tr := transducer.New(in, out, 1+rng.Intn(3), 0)
+		for q := 0; q < tr.NumStates(); q++ {
+			tr.SetAccepting(q, rng.Intn(2) == 0)
+			for _, s := range in.Symbols() {
+				for q2 := 0; q2 < tr.NumStates(); q2++ {
+					if rng.Intn(3) != 0 {
+						continue
+					}
+					var e []automata.Symbol
+					for l := rng.Intn(2); l > 0; l-- {
+						e = append(e, automata.Symbol(rng.Intn(out.Size())))
+					}
+					tr.AddTransition(q, s, q2, e)
+				}
+			}
+		}
+		nodes, _, lp, ok := viterbiRun(tr, m)
+		nodesD, _, lpD, okD := viterbiRunDense(tr, m)
+		if ok != okD {
+			t.Fatalf("trial %d: sparse ok=%v dense ok=%v", trial, ok, okD)
+		}
+		if !ok {
+			continue
+		}
+		if math.Abs(lp-lpD) > 1e-9 {
+			t.Fatalf("trial %d: sparse logp %v vs dense %v", trial, lp, lpD)
+		}
+		// The returned evidence must have exactly the claimed probability
+		// (ties may pick different argmax runs, so compare scores, not paths).
+		if got := m.LogProb(nodes); math.Abs(got-lp) > 1e-9 {
+			t.Fatalf("trial %d: kernel run has logprob %v, claimed %v", trial, got, lp)
+		}
+		if got := m.LogProb(nodesD); math.Abs(got-lpD) > 1e-9 {
+			t.Fatalf("trial %d: dense run has logprob %v, claimed %v", trial, got, lpD)
+		}
+	}
+}

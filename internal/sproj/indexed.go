@@ -430,14 +430,15 @@ type imaxItem struct {
 
 type imaxQueue []*imaxItem
 
-func (q imaxQueue) Len() int            { return len(q) }
-func (q imaxQueue) Less(i, j int) bool  { return q[i].imax > q[j].imax }
-func (q imaxQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *imaxQueue) Push(x interface{}) { *q = append(*q, x.(*imaxItem)) }
-func (q *imaxQueue) Pop() interface{} {
+func (q imaxQueue) Len() int           { return len(q) }
+func (q imaxQueue) Less(i, j int) bool { return q[i].imax > q[j].imax }
+func (q imaxQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *imaxQueue) Push(x any)        { *q = append(*q, x.(*imaxItem)) }
+func (q *imaxQueue) Pop() any {
 	old := *q
 	n := len(old)
 	it := old[n-1]
+	old[n-1] = nil // release the slot so long enumerations don't retain popped items
 	*q = old[:n-1]
 	return it
 }
