@@ -26,9 +26,13 @@ cover:
 
 # Sparse-vs-dense kernel benchmarks plus the serving-layer suite, with
 # allocation counts, summarized into BENCH_conf.json (raw benchstat-
-# compatible lines are preserved inside the JSON).
+# compatible lines are preserved inside the JSON), followed by the
+# ranked-enumeration delay suite (top-k, TTFA, per-answer delay
+# percentiles; reference vs incremental vs parallel) into
+# BENCH_ranked.json.
 bench:
 	$(GO) test -run '^$$' -bench 'Kernel|Lahar|Sliding|TopKAcross' -benchmem ./... | $(GO) run ./cmd/benchjson -o BENCH_conf.json
+	$(GO) test -run '^$$' -bench 'Ranked' -benchmem ./internal/ranked/ | $(GO) run ./cmd/benchjson -o BENCH_ranked.json
 
 # The historical run-everything benchmark sweep (DESIGN.md §3 series).
 bench-all:

@@ -26,7 +26,10 @@ type Result struct {
 	NsPerOp     float64  `json:"ns_per_op"`
 	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
-	Raw         string   `json:"raw"`
+	// Extra holds custom b.ReportMetric units (e.g. the delay
+	// benchmarks' "p50-delay-ns/answer"), keyed by unit.
+	Extra map[string]float64 `json:"extra,omitempty"`
+	Raw   string             `json:"raw"`
 }
 
 // File is the schema of the output document.
@@ -99,11 +102,16 @@ func parseBench(line string) (Result, bool) {
 		if err != nil {
 			continue
 		}
-		switch fields[i+1] {
+		switch unit := fields[i+1]; unit {
 		case "B/op":
 			r.BytesPerOp = &v
 		case "allocs/op":
 			r.AllocsPerOp = &v
+		default:
+			if r.Extra == nil {
+				r.Extra = map[string]float64{}
+			}
+			r.Extra[unit] = v
 		}
 	}
 	return r, true

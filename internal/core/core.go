@@ -118,7 +118,18 @@ type Answer struct {
 type PrepareOption func(*prepConfig)
 
 type prepConfig struct {
-	dense bool
+	dense         bool
+	rankedWorkers int
+}
+
+// WithRankedWorkers bounds the speculative-resolution worker pool of the
+// ranked enumerators (Theorem 4.3 E_max and Lemma 5.10 I_max): when an
+// engine's TopK needs to resolve Lawler subproblems, up to n of them are
+// resolved concurrently. Values ≤ 1 select the sequential reference
+// behavior. The answer order is identical either way — parallelism
+// changes only when subproblems are resolved, never what is emitted.
+func WithRankedWorkers(n int) PrepareOption {
+	return func(c *prepConfig) { c.rankedWorkers = n }
 }
 
 // WithDenseKernels selects the dense reference DP implementations
@@ -152,6 +163,14 @@ type Prepared struct {
 	uniformK   int
 	hasUniform bool
 	dense      bool
+
+	// baseNT is the flat base tables of the equivalent transducer, shared
+	// by the constraint-incremental ranked enumeration, the unranked
+	// enumeration's nonemptiness probes, and IsAnswer — none of which
+	// materialize per-constraint products or rebuild tables per call.
+	baseNT *kernel.NFATables
+	// rankedWorkers bounds the enumerators' speculative resolution pool.
+	rankedWorkers int
 }
 
 // PrepareTransducer classifies a transducer query (the columns of
@@ -162,7 +181,7 @@ func PrepareTransducer(t *transducer.Transducer, opts ...PrepareOption) *Prepare
 	for _, o := range opts {
 		o(&cfg)
 	}
-	pr := &Prepared{t: t, dense: cfg.dense}
+	pr := &Prepared{t: t, dense: cfg.dense, rankedWorkers: cfg.rankedWorkers}
 	k, uniform := t.UniformK()
 	pr.uniformK, pr.hasUniform = k, uniform
 	switch {
@@ -197,15 +216,29 @@ func PrepareTransducer(t *transducer.Transducer, opts ...PrepareOption) *Prepare
 	}
 	pr.plan.Ranking = "E_max Lawler–Murty enumeration (Theorem 4.3), polynomial delay"
 	pr.plan.Ratio = "|Σ|^n-approximately decreasing confidence (worst-case optimal up to 2^{n^{1-δ}}, Theorem 4.4)"
+	// Base tables for ranked enumeration, unranked enumeration, and
+	// membership. The uniform-class confidence tables are the same object,
+	// so reuse them when they were built.
+	if pr.nt != nil {
+		pr.baseNT = pr.nt
+	} else {
+		pr.baseNT = kernel.NewNFATables(t)
+	}
 	return pr
 }
 
 // PrepareSProjector classifies an s-projector query; indexed selects the
 // [B]↓A[E] semantics. The equivalent transducer (used by unranked
-// enumeration, membership, and Monte Carlo estimation) is built eagerly
-// so Bind and the per-call paths never rebuild it.
-func PrepareSProjector(p *sproj.SProjector, indexed bool) *Prepared {
-	pr := &Prepared{p: p, et: p.ToTransducer(), indexed: indexed}
+// enumeration, membership, and Monte Carlo estimation) is built eagerly —
+// along with its flat base tables — so Bind and the per-call paths never
+// rebuild either.
+func PrepareSProjector(p *sproj.SProjector, indexed bool, opts ...PrepareOption) *Prepared {
+	var cfg prepConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	pr := &Prepared{p: p, et: p.ToTransducer(), indexed: indexed, rankedWorkers: cfg.rankedWorkers}
+	pr.baseNT = kernel.NewNFATables(pr.et)
 	if indexed {
 		pr.plan = Plan{
 			Class:      ClassIndexedSProjector,
@@ -254,6 +287,7 @@ func (pr *Prepared) BindValidated(m *markov.Sequence) (*Engine, error) {
 	return &Engine{
 		m: m, t: pr.t, p: pr.p, et: pr.et, indexed: pr.indexed, plan: pr.plan,
 		dt: pr.dt, nt: pr.nt, uniformK: pr.uniformK, hasUniform: pr.hasUniform, dense: pr.dense,
+		baseNT: pr.baseNT, rankedWorkers: pr.rankedWorkers,
 	}, nil
 }
 
@@ -286,6 +320,11 @@ type Engine struct {
 	uniformK   int
 	hasUniform bool
 	dense      bool
+
+	// Base tables of the equivalent transducer and the speculative worker
+	// count, inherited from the Prepared (see Prepared.baseNT).
+	baseNT        *kernel.NFATables
+	rankedWorkers int
 
 	// mu guards the lazily-built enumeration memos below; everything
 	// above is read-only after construction.
@@ -394,7 +433,7 @@ func (e *Engine) initTop() {
 			return Answer{Output: a.Output, Index: a.Index, Score: a.Conf, Kind: "confidence"}, true
 		}
 	case ClassSProjector:
-		it := e.p.EnumerateImax(e.m)
+		it := e.p.EnumerateImaxParallel(e.m, e.rankedWorkers)
 		e.topNext = func() (Answer, bool) {
 			a, ok := it.Next()
 			if !ok {
@@ -403,7 +442,8 @@ func (e *Engine) initTop() {
 			return Answer{Output: a.Output, Score: a.Imax, Kind: "I_max"}, true
 		}
 	default:
-		it := ranked.NewEnumerator(e.t, e.m)
+		it := ranked.NewEnumerator(e.t, e.m,
+			ranked.WithTables(e.baseNT), ranked.WithWorkers(e.rankedWorkers))
 		e.topNext = func() (Answer, bool) {
 			a, ok := it.Next()
 			if !ok {
@@ -452,7 +492,11 @@ func (e *Engine) Enumerate(limit int) [][]automata.Symbol {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.enumIter == nil && !e.enumDone {
-		e.enumIter = enum.NewEnumerator(e.equivalent(), e.m)
+		if e.baseNT != nil {
+			e.enumIter = enum.NewEnumeratorWithTables(e.equivalent(), e.m, e.baseNT)
+		} else {
+			e.enumIter = enum.NewEnumerator(e.equivalent(), e.m)
+		}
 	}
 	for (limit <= 0 || len(e.enumCache) < limit) && !e.enumDone {
 		o, ok := e.enumIter.Next()
@@ -474,8 +518,14 @@ func (e *Engine) Enumerate(limit int) [][]automata.Symbol {
 	return out
 }
 
-// IsAnswer reports whether o is an answer (nonzero confidence).
+// IsAnswer reports whether o is an answer (nonzero confidence). The
+// reachability probe runs over the base tables built at prepare time;
+// the tables are read-only, so concurrent calls are safe.
 func (e *Engine) IsAnswer(o []automata.Symbol) bool {
+	if e.baseNT != nil {
+		c := transducer.Constraint{Prefix: o, Mode: transducer.ExactOnly}
+		return kernel.ConstrainedNonEmpty(e.baseNT, e.m.View(), c, nil)
+	}
 	return enum.IsAnswer(e.equivalent(), e.m, o)
 }
 

@@ -7,8 +7,11 @@
 // At a prefix p, the traversal (1) emits p if p itself is an answer, and
 // (2) descends into p·c for each output symbol c such that some answer
 // extends p·c. Both tests reduce to the tractable primitive "is the
-// constrained answer set nonempty?", which is a reachability computation
-// on the product of the constrained transducer with the Markov sequence.
+// constrained answer set nonempty?" — a boolean reachability computation
+// over cells (node, state, tracker-state) run by the sparse kernel
+// (kernel.ConstrainedNonEmpty), which composes the constraint's zone
+// tracker with the base transducer tables on the fly. The enumerator
+// builds those tables once; nothing is materialized per probe.
 //
 // The delay between consecutive answers is bounded by O(L·|Δ|) emptiness
 // tests, where L ≤ n·maxEmit is the maximal output length, and the space
@@ -17,21 +20,31 @@ package enum
 
 import (
 	"markovseq/internal/automata"
+	"markovseq/internal/kernel"
 	"markovseq/internal/markov"
 	"markovseq/internal/transducer"
 )
 
 // NonEmpty reports whether some answer of t over m satisfies the
 // constraint, i.e. Pr(S ∈ L(A_c)) > 0 for the constrained transducer A_c.
-// It runs a boolean reachability DP over (position, node, state).
+// One-shot form (tables are built per call); the Enumerator amortizes
+// them across its probes.
 func NonEmpty(t *transducer.Transducer, m *markov.Sequence, c transducer.Constraint) bool {
-	return reachableAccepting(t.Constrain(c), m)
+	return kernel.ConstrainedNonEmpty(kernel.NewNFATables(t), m.View(), c, nil)
 }
 
 // IsAnswer reports whether o ∈ A^ω(μ), i.e. o has nonzero probability of
 // being transduced into. (The paper notes this is decidable efficiently.)
 func IsAnswer(t *transducer.Transducer, m *markov.Sequence, o []automata.Symbol) bool {
 	return NonEmpty(t, m, transducer.Constraint{Prefix: o, Mode: transducer.ExactOnly})
+}
+
+// NonEmptyProduct is the dense reference implementation of NonEmpty: it
+// materializes the constrained product transducer and runs a dense
+// bool-matrix reachability DP. The sparse kernel is differentially
+// tested against it.
+func NonEmptyProduct(t *transducer.Transducer, m *markov.Sequence, c transducer.Constraint) bool {
+	return reachableAccepting(t.Constrain(c), m)
 }
 
 // reachableAccepting reports whether a positive-probability world of m has
@@ -96,10 +109,15 @@ func reachableAccepting(t *transducer.Transducer, m *markov.Sequence) bool {
 
 // Enumerator yields A^ω(μ) in an unranked order (depth-first over the
 // output prefix tree, which is length-lexicographic along each branch)
-// with polynomial delay and polynomial space.
+// with polynomial delay and polynomial space. The base tables, the
+// sequence view, and the reachability scratch are built once and shared
+// by every nonemptiness probe.
 type Enumerator struct {
-	t *transducer.Transducer
-	m *markov.Sequence
+	t  *transducer.Transducer
+	m  *markov.Sequence
+	nt *kernel.NFATables
+	v  *kernel.SeqView
+	sc kernel.ReachScratch
 	// stack holds pending prefix-tree nodes; each entry is a prefix whose
 	// subtree is known to contain at least one answer but has not yet been
 	// expanded. Stack depth is bounded by L·|Δ|.
@@ -108,11 +126,21 @@ type Enumerator struct {
 
 // NewEnumerator prepares the unranked enumeration.
 func NewEnumerator(t *transducer.Transducer, m *markov.Sequence) *Enumerator {
-	e := &Enumerator{t: t, m: m}
-	if NonEmpty(t, m, transducer.Unconstrained()) {
+	return NewEnumeratorWithTables(t, m, kernel.NewNFATables(t))
+}
+
+// NewEnumeratorWithTables is NewEnumerator with pre-built base tables
+// (core.Prepared builds them once at prepare time).
+func NewEnumeratorWithTables(t *transducer.Transducer, m *markov.Sequence, nt *kernel.NFATables) *Enumerator {
+	e := &Enumerator{t: t, m: m, nt: nt, v: m.View()}
+	if e.nonEmpty(transducer.Unconstrained()) {
 		e.stack = append(e.stack, []automata.Symbol{})
 	}
 	return e
+}
+
+func (e *Enumerator) nonEmpty(c transducer.Constraint) bool {
+	return kernel.ConstrainedNonEmpty(e.nt, e.v, c, &e.sc)
 }
 
 // Next returns the next answer, or ok=false when the enumeration is
@@ -126,11 +154,11 @@ func (e *Enumerator) Next() ([]automata.Symbol, bool) {
 		syms := e.t.Out.Symbols()
 		for i := len(syms) - 1; i >= 0; i-- {
 			child := append(automata.CloneString(p), syms[i])
-			if NonEmpty(e.t, e.m, transducer.Constraint{Prefix: child, Mode: transducer.PrefixAndExtensions}) {
+			if e.nonEmpty(transducer.Constraint{Prefix: child, Mode: transducer.PrefixAndExtensions}) {
 				e.stack = append(e.stack, child)
 			}
 		}
-		if IsAnswer(e.t, e.m, p) {
+		if e.nonEmpty(transducer.Constraint{Prefix: p, Mode: transducer.ExactOnly}) {
 			return p, true
 		}
 	}

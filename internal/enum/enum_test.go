@@ -126,3 +126,59 @@ func TestNonEmptyWithConstraints(t *testing.T) {
 		t.Fatal("no strict extension of 12 should exist")
 	}
 }
+
+// randNFA builds a random nondeterministic transducer for the
+// differential reachability test.
+func randNFA(in, out *automata.Alphabet, nStates int, rng *rand.Rand) *transducer.Transducer {
+	tr := transducer.New(in, out, nStates, 0)
+	for q := 0; q < nStates; q++ {
+		tr.SetAccepting(q, rng.Intn(2) == 0)
+		for _, s := range in.Symbols() {
+			for q2 := 0; q2 < nStates; q2++ {
+				if rng.Intn(3) != 0 {
+					continue
+				}
+				e := make([]automata.Symbol, rng.Intn(3))
+				for i := range e {
+					e[i] = automata.Symbol(rng.Intn(out.Size()))
+				}
+				tr.AddTransition(q, s, q2, e)
+			}
+		}
+	}
+	return tr
+}
+
+// TestNonEmptySparseVsProduct checks the on-the-fly reachability kernel
+// against the dense product-materializing reference across randomized
+// transducers, sequences, and constraints.
+func TestNonEmptySparseVsProduct(t *testing.T) {
+	in := automata.MustAlphabet("a", "b")
+	out := automata.MustAlphabet("x", "y")
+	for trial := 0; trial < 40; trial++ {
+		rng := rand.New(rand.NewSource(int64(15000 + trial)))
+		m := markov.Random(in, 2+rng.Intn(4), 0.7, rng)
+		tr := randNFA(in, out, 1+rng.Intn(3), rng)
+		cs := []transducer.Constraint{transducer.Unconstrained()}
+		for _, o := range bruteAnswers(tr, m) {
+			cs = append(cs, transducer.Unconstrained().Children(o)...)
+			cs = append(cs, transducer.Constraint{Prefix: o, Mode: transducer.ExactOnly})
+		}
+		for i := 0; i < 5; i++ {
+			p := make([]automata.Symbol, rng.Intn(4))
+			for j := range p {
+				p[j] = automata.Symbol(rng.Intn(out.Size()))
+			}
+			c := transducer.Constraint{Prefix: p, Mode: transducer.ConstraintMode(rng.Intn(3))}
+			if rng.Intn(2) == 0 {
+				c.Forbidden = map[automata.Symbol]bool{automata.Symbol(rng.Intn(out.Size())): true}
+			}
+			cs = append(cs, c)
+		}
+		for _, c := range cs {
+			if got, want := NonEmpty(tr, m, c), NonEmptyProduct(tr, m, c); got != want {
+				t.Fatalf("trial %d %v: sparse %v, product reference %v", trial, c, got, want)
+			}
+		}
+	}
+}

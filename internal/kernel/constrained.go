@@ -1,0 +1,454 @@
+package kernel
+
+import (
+	"math"
+	"sync"
+
+	"markovseq/internal/automata"
+	"markovseq/internal/transducer"
+)
+
+// This file is the constraint-incremental Viterbi layer behind ranked
+// enumeration (Theorem 4.3). The Lawler–Murty loop solves one top-answer
+// subproblem per child constraint, and every child shares a long output
+// prefix with the answer it was derived from; the reference path paid for
+// that sharing anyway (materialize tracker×transducer product, rebuild
+// tables, re-run the DP from position 0). Here the constraint is composed
+// with the base NFATables on the fly, and the DP work for the shared
+// prefix is captured once per printed answer in a Checkpoint:
+//
+//   - BuildCheckpoint runs the forward Viterbi DP over cells
+//     (node x, state q, matched-prefix count z) restricted to runs whose
+//     output so far is an exact prefix of an alignment string. Each
+//     per-position layer of active cells — scores plus backpointers into
+//     the previous layer — is retained, so the checkpoint is the whole
+//     constrained frontier history, sparse, in activation order.
+//
+//   - ResumeConstrained answers any prefix constraint whose prefix is a
+//     prefix of the alignment string without re-doing matched-zone work:
+//     ExactOnly constraints read the final layer; extension constraints
+//     run a small past-zone DP over (x, q) seeded by "crossing"
+//     transitions out of checkpoint cells, skipping every position where
+//     no crossing can occur yet (maxZ + MaxEmit ≤ |prefix| and an empty
+//     past frontier), which is what makes a child of an answer with
+//     prefix p cost O(n − |p|) instead of O(n).
+//
+// Determinism: ties are broken by first activation (relax keeps the
+// incumbent on equal scores), past-zone advancement precedes crossing
+// injection at each position, and a cell with z > |prefix| never feeds a
+// cell with z ≤ |prefix|, so resolving a constraint against a checkpoint
+// aligned to any extension of its prefix yields bit-identical results to
+// resolving it against a checkpoint aligned to the prefix itself. That
+// invariant is what lets the parallel enumerator share an LRU of
+// checkpoints and still emit the exact sequence of the sequential one.
+
+// ckLayer is one position's frontier snapshot: the active cells in
+// activation order, their best log scores, and for each the index of its
+// predecessor in the previous layer (-1 at position 0).
+type ckLayer struct {
+	cells []int32
+	score []float64
+	prev  []int32
+	maxZ  int32
+}
+
+// Checkpoint is the retained exact-prefix DP of BuildCheckpoint. It is
+// immutable after construction and safe for concurrent use by any number
+// of ResumeConstrained calls.
+type Checkpoint struct {
+	// Align is the alignment string the DP was restricted to.
+	Align  []automata.Symbol
+	states int // |Q| of the tables it was built against
+	n      int // sequence length it was built against
+	zdim   int // len(Align)+1, the stride of the z coordinate
+	layers []ckLayer
+}
+
+// Layers returns the number of retained positions (the sequence length).
+func (ck *Checkpoint) Layers() int { return ck.n }
+
+// Cells returns the total number of retained DP cells, a memory
+// diagnostic for the checkpoint LRU.
+func (ck *Checkpoint) Cells() int {
+	total := 0
+	for i := range ck.layers {
+		total += len(ck.layers[i].cells)
+	}
+	return total
+}
+
+// crossRec records a boundary-crossing transition: the checkpoint cell it
+// left (layer index and position in that layer's cell list; layer -1
+// means the transition fired off the initial distribution) and the
+// transition-table edge taken, whose emission completes the constraint
+// prefix and steps past it.
+type crossRec struct {
+	layer int32
+	pi    int32
+	edge  int32
+}
+
+// ConstrainScratch holds the reusable buffers of BuildCheckpoint and
+// ResumeConstrained. The two functions use disjoint fields, so one
+// scratch serves a build-then-resume sequence. Not safe for concurrent
+// use; pass nil to draw from an internal pool.
+type ConstrainScratch struct {
+	f         frontier // build: (x·|Q|+q)·Z+z cell space
+	prevBuf   []int32  // build: predecessor index per cell, rebuilt per layer
+	cur, next frontier // resume: past-zone (x·|Q|+q) cell space
+	back      []int32  // resume: per-position past-zone backpointers
+	cross     []crossRec
+}
+
+var constrainScratchPool = sync.Pool{New: func() any { return new(ConstrainScratch) }}
+
+// alignStep advances the matched-prefix count z by emission w, reporting
+// false when the output stops being an exact prefix of align.
+func alignStep(align []automata.Symbol, z int, w []automata.Symbol) (int, bool) {
+	if z+len(w) > len(align) {
+		return 0, false
+	}
+	for i, s := range w {
+		if align[z+i] != s {
+			return 0, false
+		}
+	}
+	return z + len(w), true
+}
+
+// crossOK reports whether emission w fired from matched-prefix count z
+// crosses the constraint boundary admissibly: it completes align[:l] and
+// its first past-boundary symbol is not forbidden.
+func crossOK(align []automata.Symbol, l, z int, w []automata.Symbol, forb map[automata.Symbol]bool) bool {
+	k := l - z
+	if k < 0 || len(w) <= k {
+		return false
+	}
+	for i := 0; i < k; i++ {
+		if w[i] != align[z+i] {
+			return false
+		}
+	}
+	return !forb[w[k]]
+}
+
+// BuildCheckpoint runs the forward Viterbi DP restricted to runs whose
+// output is an exact prefix of align, retaining every position's sparse
+// frontier. One checkpoint aligned to a printed answer o serves every
+// Lawler child of o (their prefixes are all prefixes of o).
+func BuildCheckpoint(nt *NFATables, v *SeqView, align []automata.Symbol, sc *ConstrainScratch) *Checkpoint {
+	if sc == nil {
+		sc = constrainScratchPool.Get().(*ConstrainScratch)
+		defer constrainScratchPool.Put(sc)
+	}
+	zdim := len(align) + 1
+	size := v.K * nt.States * zdim
+	sc.f.ensure(size)
+	sc.f.reset()
+	if cap(sc.prevBuf) < size {
+		sc.prevBuf = make([]int32, size)
+	}
+	prevBuf := sc.prevBuf[:size]
+
+	ck := &Checkpoint{
+		Align:  automata.CloneString(align),
+		states: nt.States,
+		n:      v.N,
+		zdim:   zdim,
+		layers: make([]ckLayer, v.N),
+	}
+	for ii, x := range v.InitIdx {
+		lp := math.Log(v.InitVal[ii])
+		ti := int(nt.Start)*nt.Syms + int(x)
+		for e := nt.Off[ti]; e < nt.Off[ti+1]; e++ {
+			w := nt.Emit[nt.EmitPtr[e]:nt.EmitPtr[e+1]]
+			z2, ok := alignStep(align, 0, w)
+			if !ok {
+				continue
+			}
+			cell := int32((int(x)*nt.States+int(nt.Succ[e]))*zdim + z2)
+			if sc.f.relax(cell, lp) {
+				prevBuf[cell] = -1
+			}
+		}
+	}
+	ck.layers[0] = snapshotLayer(&sc.f, prevBuf, zdim)
+	for i := 1; i < v.N; i++ {
+		prevLayer := &ck.layers[i-1]
+		if len(prevLayer.cells) == 0 {
+			break // the exact-prefix language died; later layers stay empty
+		}
+		st := &v.Steps[i-1]
+		for pi, pcell := range prevLayer.cells {
+			base := prevLayer.score[pi]
+			xq := int(pcell) / zdim
+			z := int(pcell) % zdim
+			x := xq / nt.States
+			qRow := (xq % nt.States) * nt.Syms
+			for e := st.RowPtr[x]; e < st.RowPtr[x+1]; e++ {
+				y := int(st.Col[e])
+				lp := base + st.LogVal[e]
+				ti := qRow + y
+				for t := nt.Off[ti]; t < nt.Off[ti+1]; t++ {
+					w := nt.Emit[nt.EmitPtr[t]:nt.EmitPtr[t+1]]
+					z2, ok := alignStep(align, z, w)
+					if !ok {
+						continue
+					}
+					cell := int32((y*nt.States+int(nt.Succ[t]))*zdim + z2)
+					if sc.f.relax(cell, lp) {
+						prevBuf[cell] = int32(pi)
+					}
+				}
+			}
+		}
+		ck.layers[i] = snapshotLayer(&sc.f, prevBuf, zdim)
+	}
+	return ck
+}
+
+// snapshotLayer copies the frontier's active cells (in activation order)
+// into an immutable layer and resets the frontier for the next position.
+func snapshotLayer(f *frontier, prevBuf []int32, zdim int) ckLayer {
+	layer := ckLayer{
+		cells: make([]int32, len(f.list)),
+		score: make([]float64, len(f.list)),
+		prev:  make([]int32, len(f.list)),
+	}
+	copy(layer.cells, f.list)
+	for j, cell := range layer.cells {
+		layer.score[j] = f.val[cell]
+		layer.prev[j] = prevBuf[cell]
+		if z := cell % int32(zdim); z > layer.maxZ {
+			layer.maxZ = z
+		}
+	}
+	f.reset()
+	return layer
+}
+
+// walkPrefix reconstructs nodes/states for positions 0..li by following
+// the checkpoint's prev chain from cell pj of layer li.
+func (ck *Checkpoint) walkPrefix(li, pj int, nodes []automata.Symbol, states []int) {
+	for li >= 0 {
+		layer := &ck.layers[li]
+		xq := int(layer.cells[pj]) / ck.zdim
+		nodes[li] = automata.Symbol(xq / ck.states)
+		states[li] = xq % ck.states
+		pj = int(layer.prev[pj])
+		li--
+	}
+}
+
+// ResumeConstrained solves the constrained top-answer problem — the
+// maximum-probability accepting run whose output c admits — against a
+// checkpoint whose alignment string extends c.Prefix. It returns the
+// answer output, the evidence node string, the visited transducer
+// states, and the log probability; ok is false when c admits no answer
+// over a positive-probability world.
+func ResumeConstrained(nt *NFATables, v *SeqView, ck *Checkpoint, c transducer.Constraint, sc *ConstrainScratch) (out, nodes []automata.Symbol, states []int, logp float64, ok bool) {
+	if ck.states != nt.States || ck.n != v.N {
+		panic("kernel: ResumeConstrained checkpoint was built against different tables or sequence")
+	}
+	if !automata.HasPrefix(ck.Align, c.Prefix) {
+		panic("kernel: ResumeConstrained constraint prefix does not align with checkpoint")
+	}
+	l := len(c.Prefix)
+	align := ck.Align
+	zdim := ck.zdim
+
+	if c.Mode == transducer.ExactOnly {
+		last := &ck.layers[v.N-1]
+		best, bj := math.Inf(-1), -1
+		for j, cell := range last.cells {
+			if int(cell)%zdim != l {
+				continue
+			}
+			if nt.Accept[(int(cell)/zdim)%nt.States] && last.score[j] > best {
+				best, bj = last.score[j], j
+			}
+		}
+		if bj < 0 {
+			return nil, nil, nil, math.Inf(-1), false
+		}
+		nodes = make([]automata.Symbol, v.N)
+		states = make([]int, v.N)
+		ck.walkPrefix(v.N-1, bj, nodes, states)
+		return automata.CloneString(align[:l]), nodes, states, best, true
+	}
+
+	if sc == nil {
+		sc = constrainScratchPool.Get().(*ConstrainScratch)
+		defer constrainScratchPool.Put(sc)
+	}
+	pastSize := v.K * nt.States
+	sc.cur.ensure(pastSize)
+	sc.next.ensure(pastSize)
+	sc.cur.reset()
+	sc.next.reset()
+	if cap(sc.back) < v.N*pastSize {
+		sc.back = make([]int32, v.N*pastSize)
+	}
+	back := sc.back[:v.N*pastSize]
+	sc.cross = sc.cross[:0]
+
+	// Position 0: crossings straight off the initial distribution (the
+	// whole prefix plus at least one symbol inside a single emission).
+	for ii, x := range v.InitIdx {
+		lp := math.Log(v.InitVal[ii])
+		ti := int(nt.Start)*nt.Syms + int(x)
+		for e := nt.Off[ti]; e < nt.Off[ti+1]; e++ {
+			w := nt.Emit[nt.EmitPtr[e]:nt.EmitPtr[e+1]]
+			if !crossOK(align, l, 0, w, c.Forbidden) {
+				continue
+			}
+			cell := int32(int(x)*nt.States + int(nt.Succ[e]))
+			if sc.cur.relax(cell, lp) {
+				sc.cross = append(sc.cross, crossRec{layer: -1, pi: int32(ii), edge: e})
+				back[cell] = -int32(len(sc.cross)) - 1
+			}
+		}
+	}
+	for i := 1; i < v.N; i++ {
+		prevLayer := &ck.layers[i-1]
+		canCross := int(prevLayer.maxZ)+nt.MaxEmit > l && len(prevLayer.cells) > 0
+		if len(sc.cur.list) == 0 && !canCross {
+			continue // before the first possible crossing: O(1) per position
+		}
+		st := &v.Steps[i-1]
+		backRow := back[i*pastSize : (i+1)*pastSize]
+		// Advance the past zone first (ties keep the incumbent, so this
+		// ordering is part of the determinism contract).
+		for _, idx := range sc.cur.list {
+			base := sc.cur.val[idx]
+			x := int(idx) / nt.States
+			qRow := (int(idx) % nt.States) * nt.Syms
+			for e := st.RowPtr[x]; e < st.RowPtr[x+1]; e++ {
+				y := int(st.Col[e])
+				lp := base + st.LogVal[e]
+				ti := qRow + y
+				for t := nt.Off[ti]; t < nt.Off[ti+1]; t++ {
+					cell := int32(y*nt.States + int(nt.Succ[t]))
+					if sc.next.relax(cell, lp) {
+						backRow[cell] = idx
+					}
+				}
+			}
+		}
+		if canCross {
+			for pi, pcell := range prevLayer.cells {
+				z := int(pcell) % zdim
+				if z > l || z+nt.MaxEmit <= l {
+					continue
+				}
+				base := prevLayer.score[pi]
+				xq := int(pcell) / zdim
+				x := xq / nt.States
+				qRow := (xq % nt.States) * nt.Syms
+				for e := st.RowPtr[x]; e < st.RowPtr[x+1]; e++ {
+					y := int(st.Col[e])
+					lp := base + st.LogVal[e]
+					ti := qRow + y
+					for t := nt.Off[ti]; t < nt.Off[ti+1]; t++ {
+						w := nt.Emit[nt.EmitPtr[t]:nt.EmitPtr[t+1]]
+						if !crossOK(align, l, z, w, c.Forbidden) {
+							continue
+						}
+						cell := int32(y*nt.States + int(nt.Succ[t]))
+						if sc.next.relax(cell, lp) {
+							sc.cross = append(sc.cross, crossRec{layer: int32(i - 1), pi: int32(pi), edge: t})
+							backRow[cell] = -int32(len(sc.cross)) - 1
+						}
+					}
+				}
+			}
+		}
+		sc.cur, sc.next = sc.next, sc.cur
+		sc.next.reset()
+	}
+
+	best, bestCell := math.Inf(-1), int32(-1)
+	for _, idx := range sc.cur.list {
+		if nt.Accept[int(idx)%nt.States] && sc.cur.val[idx] > best {
+			best, bestCell = sc.cur.val[idx], idx
+		}
+	}
+	sc.cur.reset()
+	exactBest, exactIdx := math.Inf(-1), -1
+	if c.Mode == transducer.PrefixAndExtensions {
+		last := &ck.layers[v.N-1]
+		for j, cell := range last.cells {
+			if int(cell)%zdim != l {
+				continue
+			}
+			if nt.Accept[(int(cell)/zdim)%nt.States] && last.score[j] > exactBest {
+				exactBest, exactIdx = last.score[j], j
+			}
+		}
+	}
+	if exactIdx >= 0 && exactBest >= best {
+		nodes = make([]automata.Symbol, v.N)
+		states = make([]int, v.N)
+		ck.walkPrefix(v.N-1, exactIdx, nodes, states)
+		return automata.CloneString(align[:l]), nodes, states, exactBest, true
+	}
+	if bestCell < 0 {
+		return nil, nil, nil, math.Inf(-1), false
+	}
+
+	nodes = make([]automata.Symbol, v.N)
+	states = make([]int, v.N)
+	i := v.N - 1
+	cell := bestCell
+	var rec crossRec
+	for {
+		nodes[i] = automata.Symbol(int(cell) / nt.States)
+		states[i] = int(cell) % nt.States
+		b := back[i*pastSize+int(cell)]
+		if b < 0 {
+			rec = sc.cross[-b-2]
+			break
+		}
+		cell = b
+		i--
+	}
+	crossPos := i
+	z := 0
+	if rec.layer >= 0 {
+		z = int(ck.layers[rec.layer].cells[rec.pi]) % zdim
+		ck.walkPrefix(int(rec.layer), int(rec.pi), nodes, states)
+	}
+	w := nt.Emit[nt.EmitPtr[rec.edge]:nt.EmitPtr[rec.edge+1]]
+	out = make([]automata.Symbol, 0, z+len(w))
+	out = append(out, align[:z]...)
+	out = append(out, w...)
+	// Past-zone emissions follow the same first-matching-edge rule as
+	// EmitRun (parallel edges with different emissions score identically,
+	// so the first is the canonical representative).
+	q := states[crossPos]
+	for j := crossPos + 1; j < v.N; j++ {
+		ti := q*nt.Syms + int(nodes[j])
+		for e := nt.Off[ti]; e < nt.Off[ti+1]; e++ {
+			if int(nt.Succ[e]) == states[j] {
+				out = append(out, nt.Emit[nt.EmitPtr[e]:nt.EmitPtr[e+1]]...)
+				break
+			}
+		}
+		q = states[j]
+	}
+	return out, nodes, states, best, true
+}
+
+// ConstrainedViterbi solves the constrained top-answer problem from
+// scratch: a checkpoint aligned to the constraint's own prefix followed
+// by a resume. The checkpoint is discarded; enumeration layers that
+// reuse checkpoints across Lawler children call BuildCheckpoint and
+// ResumeConstrained directly.
+func ConstrainedViterbi(nt *NFATables, v *SeqView, c transducer.Constraint, sc *ConstrainScratch) (out, nodes []automata.Symbol, states []int, logp float64, ok bool) {
+	if sc == nil {
+		sc = constrainScratchPool.Get().(*ConstrainScratch)
+		defer constrainScratchPool.Put(sc)
+	}
+	ck := BuildCheckpoint(nt, v, c.Prefix, sc)
+	return ResumeConstrained(nt, v, ck, c, sc)
+}

@@ -1,0 +1,226 @@
+// Differential tests for the constraint-incremental kernels: the
+// on-the-fly constrained Viterbi must agree with possible-worlds brute
+// force on randomized transducers, sequences, and constraints; resuming
+// from a checkpoint aligned to a longer answer must be bit-identical to
+// solving from scratch (the invariant the parallel enumerator's shared
+// checkpoint LRU relies on); and the boolean reachability kernel must
+// agree with brute-force nonemptiness.
+package kernel_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"markovseq/internal/automata"
+	"markovseq/internal/kernel"
+	"markovseq/internal/markov"
+	"markovseq/internal/transducer"
+)
+
+// bruteTop returns the brute-force constrained top answer: the highest
+// world probability among worlds with an accepting run whose output c
+// admits, plus the set of admitted outputs attaining it.
+func bruteTop(tr *transducer.Transducer, m *markov.Sequence, c transducer.Constraint) (float64, map[string]bool) {
+	best := math.Inf(-1)
+	argmax := map[string]bool{}
+	m.Enumerate(func(s []automata.Symbol, p float64) bool {
+		lp := math.Log(p)
+		for _, o := range tr.Transduce(s, 0) {
+			if !c.Admits(o) {
+				continue
+			}
+			if lp > best+1e-12 {
+				best = lp
+				argmax = map[string]bool{automata.StringKey(o): true}
+			} else if math.Abs(lp-best) <= 1e-12 {
+				argmax[automata.StringKey(o)] = true
+			}
+		}
+		return true
+	})
+	return best, argmax
+}
+
+// randomConstraints derives a mixed bag of constraints from the answer
+// set: Lawler children of answers, plus random prefixes/modes/forbidden
+// sets (including unsatisfiable ones).
+func randomConstraints(ans map[string][]automata.Symbol, out *automata.Alphabet, rng *rand.Rand) []transducer.Constraint {
+	cs := []transducer.Constraint{transducer.Unconstrained()}
+	for _, o := range ans {
+		cs = append(cs, transducer.Unconstrained().Children(o)...)
+		if len(cs) > 24 {
+			break
+		}
+	}
+	for i := 0; i < 6; i++ {
+		p := make([]automata.Symbol, rng.Intn(4))
+		for j := range p {
+			p[j] = automata.Symbol(rng.Intn(out.Size()))
+		}
+		c := transducer.Constraint{Prefix: p, Mode: transducer.ConstraintMode(rng.Intn(3))}
+		if rng.Intn(2) == 0 {
+			c.Forbidden = map[automata.Symbol]bool{automata.Symbol(rng.Intn(out.Size())): true}
+		}
+		cs = append(cs, c)
+	}
+	return cs
+}
+
+// TestConstrainedViterbiDifferential checks the on-the-fly constrained
+// kernel against possible-worlds brute force: same top score, and the
+// returned answer is one of the brute-force argmax outputs.
+func TestConstrainedViterbiDifferential(t *testing.T) {
+	in := automata.MustAlphabet("a", "b")
+	out := automata.MustAlphabet("x", "y")
+	for trial := 0; trial < 25; trial++ {
+		rng := rand.New(rand.NewSource(int64(11000 + trial)))
+		m := markov.Random(in, 2+rng.Intn(4), 0.7, rng)
+		tr := randomNFATransducer(in, out, 1+rng.Intn(3), 1+rng.Intn(2), rng)
+		nt := kernel.NewNFATables(tr)
+		v := m.View()
+		ans := answers(tr, m)
+		for _, c := range randomConstraints(ans, out, rng) {
+			o, _, _, logp, ok := kernel.ConstrainedViterbi(nt, v, c, nil)
+			want, argmax := bruteTop(tr, m, c)
+			if !ok {
+				if !math.IsInf(want, -1) {
+					t.Fatalf("trial %d %v: kernel says empty, brute force best %v", trial, c, want)
+				}
+				continue
+			}
+			if math.IsInf(want, -1) {
+				t.Fatalf("trial %d %v: kernel answer %v but brute force empty", trial, c, o)
+			}
+			if relErr(logp, want) > 1e-9 {
+				t.Fatalf("trial %d %v: score %v vs brute %v", trial, c, logp, want)
+			}
+			if !c.Admits(o) {
+				t.Fatalf("trial %d %v: answer %v not admitted", trial, c, o)
+			}
+			if !argmax[automata.StringKey(o)] {
+				t.Fatalf("trial %d %v: answer %v not among brute argmax %v", trial, c, o, argmax)
+			}
+		}
+	}
+}
+
+// TestResumeMatchesFromScratch is the checkpoint-soundness property: for
+// every Lawler child constraint of an answer o, resuming from the
+// checkpoint aligned to o is bit-identical (answer bytes, evidence,
+// score) to solving the child from scratch.
+func TestResumeMatchesFromScratch(t *testing.T) {
+	in := automata.MustAlphabet("a", "b")
+	out := automata.MustAlphabet("x", "y")
+	for trial := 0; trial < 25; trial++ {
+		rng := rand.New(rand.NewSource(int64(12000 + trial)))
+		m := markov.Random(in, 2+rng.Intn(4), 0.7, rng)
+		tr := randomNFATransducer(in, out, 1+rng.Intn(3), 1+rng.Intn(2), rng)
+		nt := kernel.NewNFATables(tr)
+		v := m.View()
+		for _, o := range answers(tr, m) {
+			ck := kernel.BuildCheckpoint(nt, v, o, nil)
+			kids := transducer.Unconstrained().Children(o)
+			// Nested children exercise deeper prefixes against the same
+			// checkpoint (their prefixes still align with o).
+			for _, c := range kids {
+				if len(c.Prefix) < len(o) && c.Mode == transducer.ExactOnly {
+					kids = append(kids, transducer.Constraint{Prefix: c.Prefix, Mode: transducer.ExtensionsOnly})
+				}
+			}
+			for _, c := range kids {
+				if !automata.HasPrefix(o, c.Prefix) {
+					continue
+				}
+				ro, rn, rs, rlp, rok := kernel.ResumeConstrained(nt, v, ck, c, nil)
+				so, sn, ss, slp, sok := kernel.ConstrainedViterbi(nt, v, c, nil)
+				if rok != sok {
+					t.Fatalf("trial %d %v: resume ok=%v scratch ok=%v", trial, c, rok, sok)
+				}
+				if !rok {
+					continue
+				}
+				if rlp != slp {
+					t.Fatalf("trial %d %v: resume score %v != scratch %v", trial, c, rlp, slp)
+				}
+				if automata.StringKey(ro) != automata.StringKey(so) {
+					t.Fatalf("trial %d %v: resume answer %v != scratch %v", trial, c, ro, so)
+				}
+				if automata.StringKey(rn) != automata.StringKey(sn) {
+					t.Fatalf("trial %d %v: resume nodes %v != scratch %v", trial, c, rn, sn)
+				}
+				for i := range rs {
+					if rs[i] != ss[i] {
+						t.Fatalf("trial %d %v: resume states %v != scratch %v", trial, c, rs, ss)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestConstrainedViterbiEvidence checks that the evidence returned by the
+// kernel is genuine: the node string is a positive-probability world with
+// probability exp(logp), and transducing it yields the answer.
+func TestConstrainedViterbiEvidence(t *testing.T) {
+	in := automata.MustAlphabet("a", "b")
+	out := automata.MustAlphabet("x", "y")
+	for trial := 0; trial < 15; trial++ {
+		rng := rand.New(rand.NewSource(int64(13000 + trial)))
+		m := markov.Random(in, 2+rng.Intn(4), 0.7, rng)
+		tr := randomNFATransducer(in, out, 1+rng.Intn(3), 1+rng.Intn(2), rng)
+		nt := kernel.NewNFATables(tr)
+		v := m.View()
+		worlds := map[string]float64{}
+		m.Enumerate(func(s []automata.Symbol, p float64) bool {
+			worlds[automata.StringKey(s)] = p
+			return true
+		})
+		ans := answers(tr, m)
+		for _, c := range randomConstraints(ans, out, rng) {
+			o, nodes, _, logp, ok := kernel.ConstrainedViterbi(nt, v, c, nil)
+			if !ok {
+				continue
+			}
+			p, exists := worlds[automata.StringKey(nodes)]
+			if !exists {
+				t.Fatalf("trial %d %v: evidence %v is not a positive-probability world", trial, c, nodes)
+			}
+			if relErr(math.Log(p), logp) > 1e-9 {
+				t.Fatalf("trial %d %v: evidence world prob %v vs claimed %v", trial, c, math.Log(p), logp)
+			}
+			found := false
+			for _, oo := range tr.Transduce(nodes, 0) {
+				if automata.StringKey(oo) == automata.StringKey(o) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("trial %d %v: transducing evidence %v does not yield answer %v", trial, c, nodes, o)
+			}
+		}
+	}
+}
+
+// TestConstrainedNonEmptyDifferential checks the boolean reachability
+// kernel against brute-force nonemptiness.
+func TestConstrainedNonEmptyDifferential(t *testing.T) {
+	in := automata.MustAlphabet("a", "b")
+	out := automata.MustAlphabet("x", "y")
+	for trial := 0; trial < 25; trial++ {
+		rng := rand.New(rand.NewSource(int64(14000 + trial)))
+		m := markov.Random(in, 2+rng.Intn(4), 0.7, rng)
+		tr := randomNFATransducer(in, out, 1+rng.Intn(3), 1+rng.Intn(2), rng)
+		nt := kernel.NewNFATables(tr)
+		v := m.View()
+		ans := answers(tr, m)
+		for _, c := range randomConstraints(ans, out, rng) {
+			got := kernel.ConstrainedNonEmpty(nt, v, c, nil)
+			want, _ := bruteTop(tr, m, c)
+			if got != !math.IsInf(want, -1) {
+				t.Fatalf("trial %d %v: kernel %v, brute force %v", trial, c, got, want)
+			}
+		}
+	}
+}

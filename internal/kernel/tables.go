@@ -73,6 +73,10 @@ type NFATables struct {
 	EmitPtr []int32
 	Emit    []automata.Symbol
 	Accept  []bool
+	// MaxEmit is the length of the longest single-transition emission;
+	// the constraint-incremental kernels use it to bound how far one
+	// transition can advance the matched-prefix count.
+	MaxEmit int
 }
 
 // NewNFATables flattens any epsilon-free transducer.
@@ -91,7 +95,11 @@ func NewNFATables(t *transducer.Transducer) *NFATables {
 		for y := 0; y < syms; y++ {
 			for _, q2 := range t.Succ(q, automata.Symbol(y)) {
 				nt.Succ = append(nt.Succ, int32(q2))
-				nt.Emit = append(nt.Emit, t.Emit(q, automata.Symbol(y), q2)...)
+				w := t.Emit(q, automata.Symbol(y), q2)
+				if len(w) > nt.MaxEmit {
+					nt.MaxEmit = len(w)
+				}
+				nt.Emit = append(nt.Emit, w...)
 				nt.EmitPtr = append(nt.EmitPtr, int32(len(nt.Emit)))
 			}
 			nt.Off[q*syms+y+1] = int32(len(nt.Succ))

@@ -191,16 +191,18 @@ func (db *DB) Streams() []string {
 
 // RegisterTransducer registers a transducer query, compiling it once
 // (Table-2 classification and plan selection). Re-registering a name
-// invalidates the cached engines of the previous query.
+// invalidates the cached engines of the previous query. The store's
+// worker-pool size (WithWorkers) also bounds the speculative parallelism
+// of each engine's ranked enumeration.
 func (db *DB) RegisterTransducer(name string, t *transducer.Transducer) {
-	db.registerQuery(name, core.PrepareTransducer(t))
+	db.registerQuery(name, core.PrepareTransducer(t, core.WithRankedWorkers(db.workers)))
 }
 
 // RegisterSProjector registers an s-projector query; indexed selects the
 // indexed semantics ([B]↓A[E]). The query is compiled once, including
 // the equivalent-transducer conversion.
 func (db *DB) RegisterSProjector(name string, p *sproj.SProjector, indexed bool) {
-	db.registerQuery(name, core.PrepareSProjector(p, indexed))
+	db.registerQuery(name, core.PrepareSProjector(p, indexed, core.WithRankedWorkers(db.workers)))
 }
 
 func (db *DB) registerQuery(name string, pr *core.Prepared) {

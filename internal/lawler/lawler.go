@@ -1,0 +1,199 @@
+// Package lawler is the generic Lawler–Murty ranked-enumeration core
+// shared by ranked.Enumerator (answers by decreasing E_max, Theorem 4.3)
+// and sproj.ImaxEnumerator (indexed answers by decreasing I_max). It
+// owns the subproblem queue and its two optimizations:
+//
+//   - Lazy Murty resolution: a child subproblem inherits its parent's
+//     score as an admissible upper bound and is only resolved (one
+//     constrained-Viterbi call) if it reaches the front of the queue.
+//
+//   - Parallel speculative resolution: when the front of the queue is
+//     unresolved, the top-B unresolved subproblems are resolved
+//     concurrently on a bounded worker pool. Because the emission order
+//     is a deterministic function of (score, insertion sequence) and
+//     Resolve is required to be deterministic, speculation changes only
+//     when subproblems are resolved, never what is emitted — the
+//     parallel enumerator yields the exact sequence of the sequential
+//     one, which the differential tests assert byte-for-byte.
+//
+// Items are ordered by score descending with insertion sequence as the
+// tie-breaker, so ties are stable across runs and across worker counts.
+package lawler
+
+import (
+	"container/heap"
+	"sync"
+	"sync/atomic"
+
+	"markovseq/internal/transducer"
+)
+
+// Config describes one ranked enumeration. T is the payload of a
+// resolved subproblem (the answer plus whatever the caller needs to
+// derive children from it).
+type Config[T any] struct {
+	// Root is the constraint whose answer set is enumerated.
+	Root transducer.Constraint
+	// Resolve returns the best answer of the subproblem, its score, and
+	// ok=false when the subproblem is empty. parent is the payload of
+	// the resolved parent subproblem this constraint was derived from
+	// (the zero T at the root, distinguished by root=true); resolvers
+	// use it to locate shared work such as prefix checkpoints. Resolve
+	// must be deterministic and, when Workers > 1, safe for concurrent
+	// use.
+	Resolve func(c transducer.Constraint, parent T, root bool) (T, float64, bool)
+	// Children partitions the subproblem's remaining answers after its
+	// top has been emitted. The returned order is part of the
+	// deterministic tie-break and must not depend on timing.
+	Children func(c transducer.Constraint, top T) []transducer.Constraint
+	// Workers bounds the resolution pool; values ≤ 1 select the
+	// sequential reference behavior (resolve only the front item).
+	Workers int
+	// Batch is the maximum number of unresolved subproblems resolved
+	// per speculation round; it defaults to Workers.
+	Batch int
+}
+
+type item[T any] struct {
+	c        transducer.Constraint
+	parent   T
+	root     bool
+	seq      int64
+	resolved bool
+	dead     bool
+	top      T
+	score    float64
+}
+
+type queue[T any] []*item[T]
+
+func (q queue[T]) Len() int { return len(q) }
+func (q queue[T]) Less(i, j int) bool {
+	if q[i].score != q[j].score {
+		return q[i].score > q[j].score
+	}
+	return q[i].seq < q[j].seq
+}
+func (q queue[T]) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *queue[T]) Push(x any)   { *q = append(*q, x.(*item[T])) }
+func (q *queue[T]) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil // release the slot so long enumerations don't retain popped items
+	*q = old[:n-1]
+	return it
+}
+
+// Enumerator drains one ranked enumeration. Not safe for concurrent use;
+// the worker pool is internal to Next.
+type Enumerator[T any] struct {
+	cfg   Config[T]
+	batch int
+	q     queue[T]
+	seq   int64
+	spec  []*item[T] // speculation scratch, reused across rounds
+}
+
+// New prepares the enumeration of cfg.Root's answers in decreasing
+// score. No resolution work happens until the first Next call.
+func New[T any](cfg Config[T]) *Enumerator[T] {
+	e := &Enumerator[T]{cfg: cfg, batch: cfg.Batch}
+	if e.batch <= 0 {
+		e.batch = cfg.Workers
+	}
+	root := &item[T]{c: cfg.Root, root: true, seq: e.seq}
+	e.seq++
+	root.score = 0 // any finite bound works: the root is resolved on first pop
+	heap.Push(&e.q, root)
+	return e
+}
+
+// Next returns the next answer in decreasing score, or ok=false when the
+// enumeration is exhausted.
+func (e *Enumerator[T]) Next() (top T, score float64, ok bool) {
+	for len(e.q) > 0 {
+		if !e.q[0].resolved && e.cfg.Workers > 1 {
+			e.speculate()
+			continue
+		}
+		it := heap.Pop(&e.q).(*item[T])
+		if !it.resolved {
+			top, sc, ok := e.cfg.Resolve(it.c, it.parent, it.root)
+			if !ok {
+				continue // empty subproblem
+			}
+			it.resolved, it.top, it.score = true, top, sc
+			heap.Push(&e.q, it)
+			continue
+		}
+		for _, child := range e.cfg.Children(it.c, it.top) {
+			// A child's best cannot exceed its parent's resolved score,
+			// which therefore serves as the admissible upper bound.
+			heap.Push(&e.q, &item[T]{c: child, parent: it.top, seq: e.seq, score: it.score})
+			e.seq++
+		}
+		return it.top, it.score, true
+	}
+	var zero T
+	return zero, 0, false
+}
+
+// speculate pops the top-Batch unresolved subproblems (pushing back any
+// resolved items passed over), resolves them concurrently, and restores
+// the queue. Emission order is unaffected: resolution is deterministic
+// and items keep their insertion sequence.
+func (e *Enumerator[T]) speculate() {
+	e.spec = e.spec[:0]
+	unresolved := 0
+	// Bound the pop-scan so a queue dominated by resolved items doesn't
+	// turn one speculation round into a full heap drain.
+	scanCap := 4 * e.batch
+	if scanCap < 16 {
+		scanCap = 16
+	}
+	for len(e.q) > 0 && unresolved < e.batch && len(e.spec) < scanCap {
+		it := heap.Pop(&e.q).(*item[T])
+		e.spec = append(e.spec, it)
+		if !it.resolved {
+			unresolved++
+		}
+	}
+	work := make([]*item[T], 0, unresolved)
+	for _, it := range e.spec {
+		if !it.resolved {
+			work = append(work, it)
+		}
+	}
+	nw := e.cfg.Workers
+	if nw > len(work) {
+		nw = len(work)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(work) {
+					return
+				}
+				it := work[i]
+				top, sc, ok := e.cfg.Resolve(it.c, it.parent, it.root)
+				if !ok {
+					it.dead = true
+					continue
+				}
+				it.resolved, it.top, it.score = true, top, sc
+			}
+		}()
+	}
+	wg.Wait()
+	for _, it := range e.spec {
+		if !it.dead {
+			heap.Push(&e.q, it)
+		}
+	}
+}

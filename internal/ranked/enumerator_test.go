@@ -1,0 +1,160 @@
+package ranked
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"markovseq/internal/automata"
+	"markovseq/internal/markov"
+	"markovseq/internal/transducer"
+)
+
+// drainAnswers pulls up to k answers (k ≤ 0 means all).
+func drainAnswers(next func() (Answer, bool), k int) []Answer {
+	var out []Answer
+	for k <= 0 || len(out) < k {
+		a, ok := next()
+		if !ok {
+			break
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// TestEnumeratorMatchesReference differentially tests the
+// constraint-incremental enumerator against the product-materializing
+// reference loop (legacy.go): same answer set, same per-rank scores.
+// When the score sequence is strictly decreasing the orders must match
+// exactly (on ties the two heaps may legitimately break differently).
+func TestEnumeratorMatchesReference(t *testing.T) {
+	in := automata.MustAlphabet("a", "b")
+	out := automata.MustAlphabet("x", "y")
+	for trial := 0; trial < 40; trial++ {
+		rng := rand.New(rand.NewSource(int64(7000 + trial)))
+		m := markov.Random(in, 2+rng.Intn(4), 0.6, rng)
+		tr := randomNDTransducer(in, out, 1+rng.Intn(3), rng)
+		inc := NewEnumerator(tr, m)
+		ref := NewReferenceEnumerator(tr, m)
+		got := drainAnswers(inc.Next, -1)
+		want := drainAnswers(ref.Next, -1)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: incremental %d answers, reference %d", trial, len(got), len(want))
+		}
+		strict := true
+		for i := range want {
+			if math.Abs(got[i].LogEmax-want[i].LogEmax) > 1e-9 {
+				t.Fatalf("trial %d rank %d: score %v vs reference %v", trial, i, got[i].LogEmax, want[i].LogEmax)
+			}
+			if i > 0 && want[i].LogEmax >= want[i-1].LogEmax-1e-12 {
+				strict = false
+			}
+		}
+		gotSet, wantSet := map[string]bool{}, map[string]bool{}
+		for i := range want {
+			gotSet[automata.StringKey(got[i].Output)] = true
+			wantSet[automata.StringKey(want[i].Output)] = true
+		}
+		for k := range wantSet {
+			if !gotSet[k] {
+				t.Fatalf("trial %d: reference answer missing from incremental enumeration", trial)
+			}
+		}
+		if strict {
+			for i := range want {
+				if !automata.EqualStrings(got[i].Output, want[i].Output) {
+					t.Fatalf("trial %d rank %d: output %v vs reference %v",
+						trial, i, got[i].Output, want[i].Output)
+				}
+			}
+		}
+	}
+}
+
+// assertSameAnswerSequence requires byte-identical outputs and exactly
+// equal scores, rank by rank.
+func assertSameAnswerSequence(t *testing.T, label string, got, want []Answer) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d answers, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if !automata.EqualStrings(got[i].Output, want[i].Output) {
+			t.Fatalf("%s rank %d: output %v, want %v", label, i, got[i].Output, want[i].Output)
+		}
+		if got[i].LogEmax != want[i].LogEmax {
+			t.Fatalf("%s rank %d: score %v, want %v (must be bit-identical)",
+				label, i, got[i].LogEmax, want[i].LogEmax)
+		}
+	}
+}
+
+// TestParallelMatchesSequentialExactly is the determinism guarantee of
+// the speculative resolver: for every worker count the emitted sequence
+// — outputs and scores — is bit-identical to the sequential enumerator,
+// on the RFID and textgen application workloads and on random
+// instances. Run under -race this also exercises the concurrent
+// checkpoint-cache and resolver paths.
+func TestParallelMatchesSequentialExactly(t *testing.T) {
+	type workload struct {
+		name string
+		t    *transducer.Transducer
+		m    *markov.Sequence
+		k    int
+	}
+	var ws []workload
+	{
+		tr, m := rfidRankedWorkload(t, 60)
+		ws = append(ws, workload{"rfid", tr, m, 40})
+	}
+	{
+		tr, m := textgenRankedWorkload(t)
+		ws = append(ws, workload{"textgen", tr, m, 40})
+	}
+	in := automata.MustAlphabet("a", "b")
+	out := automata.MustAlphabet("x", "y")
+	for trial := 0; trial < 6; trial++ {
+		rng := rand.New(rand.NewSource(int64(8100 + trial)))
+		m := markov.Random(in, 2+rng.Intn(4), 0.6, rng)
+		ws = append(ws, workload{"random", randomNDTransducer(in, out, 1+rng.Intn(3), rng), m, -1})
+	}
+	for _, w := range ws {
+		seq := drainAnswers(NewEnumerator(w.t, w.m).Next, w.k)
+		for _, workers := range []int{2, 4, 8} {
+			par := drainAnswers(NewEnumerator(w.t, w.m, WithWorkers(workers)).Next, w.k)
+			assertSameAnswerSequence(t, w.name, par, seq)
+		}
+	}
+}
+
+// TestEvaluatorMatchesOneShot checks that the evaluator's amortized
+// per-answer calls (satellite of the checkpoint cache) agree with the
+// one-shot functions: Emax scores match exactly and BestEvidence
+// returns a witness of the same probability.
+func TestEvaluatorMatchesOneShot(t *testing.T) {
+	tr, m := textgenRankedWorkload(t)
+	ev := NewEvaluator(tr, m)
+	answers := drainAnswers(ev.Enumerate(1).Next, 25)
+	if len(answers) == 0 {
+		t.Fatal("workload has no answers")
+	}
+	for _, a := range answers {
+		if got := ev.Emax(a.Output); got != a.LogEmax {
+			t.Fatalf("Emax(%v) = %v, enumerator said %v", a.Output, got, a.LogEmax)
+		}
+		if oneShot := Emax(tr, m, a.Output); oneShot != a.LogEmax {
+			t.Fatalf("one-shot Emax(%v) = %v, enumerator said %v", a.Output, oneShot, a.LogEmax)
+		}
+		evid, lp, ok := ev.BestEvidence(a.Output)
+		if !ok {
+			t.Fatalf("BestEvidence(%v) found nothing", a.Output)
+		}
+		if lp != a.LogEmax {
+			t.Fatalf("BestEvidence(%v) probability %v, want %v", a.Output, lp, a.LogEmax)
+		}
+		if got := m.LogProb(evid); math.Abs(got-lp) > 1e-9 {
+			t.Fatalf("evidence of %v has logprob %v, claimed %v", a.Output, got, lp)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package ranked
+
+import (
+	"container/list"
+	"math"
+	"sync"
+
+	"markovseq/internal/automata"
+	"markovseq/internal/kernel"
+	"markovseq/internal/markov"
+	"markovseq/internal/transducer"
+)
+
+// Option configures an Evaluator or Enumerator.
+type Option func(*config)
+
+type config struct {
+	workers int
+	ckCap   int
+	nt      *kernel.NFATables
+}
+
+// WithWorkers bounds the enumerator's speculative-resolution pool;
+// values ≤ 1 select the sequential reference behavior. The parallel
+// enumerator emits the exact answer sequence of the sequential one.
+func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
+
+// WithTables supplies pre-built base transducer tables (core.Prepared
+// builds them once at prepare time), avoiding a rebuild per evaluator.
+func WithTables(nt *kernel.NFATables) Option { return func(c *config) { c.nt = nt } }
+
+// WithCheckpointCap bounds the prefix-checkpoint LRU (in checkpoints).
+func WithCheckpointCap(n int) Option { return func(c *config) { c.ckCap = n } }
+
+const defaultCheckpointCap = 32
+
+// Evaluator owns the constraint-incremental machinery for one
+// (transducer, sequence) pair: base tables built once, the sequence's
+// CSR view, and a bounded LRU of prefix checkpoints keyed by alignment
+// string. Safe for concurrent use — the parallel enumerator's workers
+// share one evaluator.
+type Evaluator struct {
+	t     *transducer.Transducer
+	m     *markov.Sequence
+	nt    *kernel.NFATables
+	v     *kernel.SeqView
+	cache ckptCache
+}
+
+// NewEvaluator builds an evaluator for t over m. WithTables reuses
+// already-built base tables; WithCheckpointCap bounds the LRU.
+func NewEvaluator(t *transducer.Transducer, m *markov.Sequence, opts ...Option) *Evaluator {
+	cfg := config{ckCap: defaultCheckpointCap}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	nt := cfg.nt
+	if nt == nil {
+		nt = kernel.NewNFATables(t)
+	}
+	ev := &Evaluator{t: t, m: m, nt: nt, v: m.View()}
+	ev.cache.init(cfg.ckCap)
+	return ev
+}
+
+// Tables returns the evaluator's base transducer tables.
+func (ev *Evaluator) Tables() *kernel.NFATables { return ev.nt }
+
+// checkpoint returns the cached checkpoint aligned to align, building
+// and caching it on a miss. Concurrent misses for the same alignment
+// are coalesced into a single build (the speculative workers resolving
+// the Lawler children of one parent all want the parent's checkpoint at
+// once; without coalescing each would rebuild it and the dominant cost
+// would be duplicated instead of shared).
+func (ev *Evaluator) checkpoint(align []automata.Symbol) *kernel.Checkpoint {
+	key := automata.StringKey(align)
+	if ck, build, leader := ev.cache.getOrStart(key); ck != nil {
+		return ck
+	} else if !leader {
+		<-build.done
+		return build.ck
+	} else {
+		build.ck = kernel.BuildCheckpoint(ev.nt, ev.v, align, nil)
+		close(build.done)
+		ev.cache.finish(key, build.ck)
+		return build.ck
+	}
+}
+
+// resolve solves the constrained top-answer problem for c against the
+// checkpoint aligned to align (which must extend c.Prefix).
+func (ev *Evaluator) resolve(c transducer.Constraint, align []automata.Symbol) (out, nodes []automata.Symbol, logE float64, ok bool) {
+	out, nodes, _, logE, ok = kernel.ResumeConstrained(ev.nt, ev.v, ev.checkpoint(align), c, nil)
+	return out, nodes, logE, ok
+}
+
+// TopEmax returns an answer with maximal E_max among those c admits,
+// resolving through the checkpoint cache aligned to c's own prefix.
+func (ev *Evaluator) TopEmax(c transducer.Constraint) (o []automata.Symbol, logE float64, ok bool) {
+	o, _, logE, ok = ev.resolve(c, c.Prefix)
+	return o, logE, ok
+}
+
+// Emax computes log E_max(o) through the cached base tables (and, when
+// the enumerator has just printed o, its cached checkpoint). It returns
+// -Inf when o is not an answer.
+func (ev *Evaluator) Emax(o []automata.Symbol) float64 {
+	_, _, logE, ok := ev.resolve(transducer.Constraint{Prefix: o, Mode: transducer.ExactOnly}, o)
+	if !ok {
+		return math.Inf(-1)
+	}
+	return logE
+}
+
+// BestEvidence returns the maximum-probability possible world transduced
+// into o — a witness of E_max(o) — through the cached base tables.
+func (ev *Evaluator) BestEvidence(o []automata.Symbol) (s []automata.Symbol, logE float64, ok bool) {
+	_, nodes, logE, ok := ev.resolve(transducer.Constraint{Prefix: o, Mode: transducer.ExactOnly}, o)
+	return nodes, logE, ok
+}
+
+// ckptCache is a mutex-guarded LRU of checkpoints keyed by alignment
+// string, with single-flight coalescing of concurrent builds.
+type ckptCache struct {
+	mu       sync.Mutex
+	cap      int
+	items    map[string]*list.Element
+	order    list.List // front = most recently used
+	inflight map[string]*ckBuild
+}
+
+type ckEntry struct {
+	key string
+	ck  *kernel.Checkpoint
+}
+
+// ckBuild is an in-flight checkpoint build; done is closed by the
+// leader once ck is set.
+type ckBuild struct {
+	done chan struct{}
+	ck   *kernel.Checkpoint
+}
+
+func (c *ckptCache) init(cap int) {
+	if cap <= 0 {
+		cap = defaultCheckpointCap
+	}
+	c.cap = cap
+	c.items = make(map[string]*list.Element, cap)
+	c.order.Init()
+	c.inflight = map[string]*ckBuild{}
+}
+
+// getOrStart returns the cached checkpoint, or registers the caller in
+// the build for key: leader=true means the caller must build, publish
+// via finish, and close build.done; leader=false means another goroutine
+// is building and the caller should wait on build.done.
+func (c *ckptCache) getOrStart(key string) (ck *kernel.Checkpoint, build *ckBuild, leader bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		return el.Value.(*ckEntry).ck, nil, false
+	}
+	if b, ok := c.inflight[key]; ok {
+		return nil, b, false
+	}
+	b := &ckBuild{done: make(chan struct{})}
+	c.inflight[key] = b
+	return nil, b, true
+}
+
+// finish publishes a completed build into the LRU.
+func (c *ckptCache) finish(key string, ck *kernel.Checkpoint) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.inflight, key)
+	if _, ok := c.items[key]; ok {
+		return
+	}
+	c.items[key] = c.order.PushFront(&ckEntry{key: key, ck: ck})
+	for len(c.items) > c.cap {
+		el := c.order.Back()
+		c.order.Remove(el)
+		delete(c.items, el.Value.(*ckEntry).key)
+	}
+}

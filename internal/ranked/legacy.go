@@ -1,0 +1,99 @@
+package ranked
+
+import (
+	"container/heap"
+
+	"markovseq/internal/automata"
+	"markovseq/internal/kernel"
+	"markovseq/internal/markov"
+	"markovseq/internal/transducer"
+)
+
+// This file preserves the product-materializing resolution path as the
+// differential reference (and the pre-PR baseline for the delay
+// benchmarks): each subproblem materializes the tracker×transducer
+// product with t.Constrain(c), rebuilds flat tables, and re-runs the
+// Viterbi DP from position 0. The constraint-incremental path
+// (evaluator.go + internal/kernel/constrained.go) must agree with it on
+// scores, and the enumerators must agree on answer sets.
+
+// TopEmaxProduct is the reference implementation of TopEmax via explicit
+// product materialization.
+func TopEmaxProduct(t *transducer.Transducer, m *markov.Sequence, c transducer.Constraint) (o []automata.Symbol, logE float64, ok bool) {
+	ct := t.Constrain(c)
+	nt := kernel.NewNFATables(ct)
+	nodes, states, lp, ok := kernel.ViterbiRun(nt, m.View(), nil)
+	if !ok {
+		return nil, lp, false
+	}
+	return nt.EmitRun(nodes, states), lp, true
+}
+
+// ReferenceEnumerator is the pre-incremental Lawler–Murty loop: lazy
+// Murty resolution, but every resolution pays the full product-and-
+// rebuild cost. Kept as the differential reference and benchmark
+// baseline for the enumerator in ranked.go.
+type ReferenceEnumerator struct {
+	t     *transducer.Transducer
+	m     *markov.Sequence
+	queue refQueue
+}
+
+type refItem struct {
+	constraint transducer.Constraint
+	resolved   bool
+	top        []automata.Symbol
+	logE       float64
+}
+
+type refQueue []*refItem
+
+func (q refQueue) Len() int           { return len(q) }
+func (q refQueue) Less(i, j int) bool { return q[i].logE > q[j].logE }
+func (q refQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *refQueue) Push(x any)        { *q = append(*q, x.(*refItem)) }
+func (q *refQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}
+
+// NewReferenceEnumerator prepares the reference decreasing-E_max
+// enumeration of the answers of t over m.
+func NewReferenceEnumerator(t *transducer.Transducer, m *markov.Sequence) *ReferenceEnumerator {
+	e := &ReferenceEnumerator{t: t, m: m}
+	if top, logE, ok := TopEmaxProduct(t, m, transducer.Unconstrained()); ok {
+		heap.Push(&e.queue, &refItem{
+			constraint: transducer.Unconstrained(),
+			resolved:   true,
+			top:        top,
+			logE:       logE,
+		})
+	}
+	return e
+}
+
+// Next returns the next answer in decreasing E_max, or ok=false when all
+// answers have been enumerated.
+func (e *ReferenceEnumerator) Next() (Answer, bool) {
+	for len(e.queue) > 0 {
+		it := heap.Pop(&e.queue).(*refItem)
+		if !it.resolved {
+			top, logE, ok := TopEmaxProduct(e.t, e.m, it.constraint)
+			if !ok {
+				continue // empty subproblem
+			}
+			it.resolved, it.top, it.logE = true, top, logE
+			heap.Push(&e.queue, it)
+			continue
+		}
+		for _, child := range it.constraint.Children(it.top) {
+			heap.Push(&e.queue, &refItem{constraint: child, logE: it.logE})
+		}
+		return Answer{Output: it.top, LogEmax: it.logE}, true
+	}
+	return Answer{}, false
+}

@@ -2,25 +2,35 @@
 // of Kimelfeld & Ré (PODS 2010):
 //
 //   - TopEmax finds an answer maximizing E_max (the probability of the
-//     best evidence) under an output prefix constraint, by a Viterbi-style
-//     dynamic program over the product of the constrained transducer and
-//     the Markov sequence.
+//     best evidence) under an output prefix constraint, by the
+//     constraint-incremental Viterbi kernel: the constraint's zone
+//     tracker is composed with the base transducer tables on the fly
+//     (kernel.ConstrainedViterbi), with no per-call product transducer.
+//
+//   - Evaluator caches the base tables, the sequence view, and a bounded
+//     LRU of prefix checkpoints for one (transducer, sequence) pair, so
+//     repeated per-answer calls (Emax, BestEvidence) and the Lawler
+//     children of each printed answer reuse the shared-prefix DP work.
 //
 //   - Enumerator yields A^ω(μ) in decreasing E_max with polynomial delay
-//     (Theorem 4.3), via the Lawler–Murty technique: the answer space is
-//     recursively partitioned with prefix constraints, and each part's top
-//     answer is obtained from TopEmax.
+//     (Theorem 4.3), via the generic Lawler–Murty core (internal/lawler):
+//     the answer space is recursively partitioned with prefix
+//     constraints, each part's top answer is resolved lazily against its
+//     parent's checkpoint, and WithWorkers resolves the top unresolved
+//     subproblems speculatively in parallel without changing the emitted
+//     sequence. The pre-incremental product path is preserved in
+//     legacy.go as the differential reference and benchmark baseline.
 //
 // Probabilities are handled in log space, so long Markov sequences do not
 // underflow (see DESIGN.md ablation A3).
 package ranked
 
 import (
-	"container/heap"
 	"math"
 
 	"markovseq/internal/automata"
 	"markovseq/internal/kernel"
+	"markovseq/internal/lawler"
 	"markovseq/internal/markov"
 	"markovseq/internal/transducer"
 )
@@ -31,11 +41,14 @@ import (
 //
 // Correctness: the maximum-probability accepting evidence s* yields an
 // answer o* with E_max(o*) = Pr(s*) ≥ E_max(o) for every other answer o,
-// and constraining the transducer preserves this argument within the
-// constrained answer set.
+// and restricting the DP to constraint-admissible outputs preserves this
+// argument within the constrained answer set.
+//
+// This is the one-shot form (base tables are built per call); use an
+// Evaluator to amortize tables and checkpoints across calls.
 func TopEmax(t *transducer.Transducer, m *markov.Sequence, c transducer.Constraint) (o []automata.Symbol, logE float64, ok bool) {
-	ct := t.Constrain(c)
-	return viterbi(ct, m)
+	o, _, _, logE, ok = kernel.ConstrainedViterbi(kernel.NewNFATables(t), m.View(), c, nil)
+	return o, logE, ok
 }
 
 // viterbiRun finds the maximum-probability accepting run of the transducer
@@ -141,24 +154,15 @@ func viterbiRunDense(t *transducer.Transducer, m *markov.Sequence) (nodes []auto
 	return nodes, states, best, true
 }
 
-// viterbi finds the maximum-probability accepting run and returns its
-// emitted output with the log probability. The flat tables are built
-// once and shared by the DP and the output reconstruction.
-func viterbi(t *transducer.Transducer, m *markov.Sequence) ([]automata.Symbol, float64, bool) {
-	nt := kernel.NewNFATables(t)
-	nodes, states, lp, ok := kernel.ViterbiRun(nt, m.View(), nil)
-	if !ok {
-		return nil, lp, false
-	}
-	return nt.EmitRun(nodes, states), lp, true
-}
-
 // BestEvidence returns the maximum-probability possible world of μ that is
 // transduced into answer o, together with its log probability — i.e. a
 // witness of E_max(o) (Example 4.2). ok is false when o is not an answer.
+//
+// One-shot form; Evaluator.BestEvidence amortizes the base tables and
+// reuses the enumerator's prefix checkpoints.
 func BestEvidence(t *transducer.Transducer, m *markov.Sequence, o []automata.Symbol) (s []automata.Symbol, logE float64, ok bool) {
-	ct := t.Constrain(transducer.Constraint{Prefix: o, Mode: transducer.ExactOnly})
-	nodes, _, lp, ok := viterbiRun(ct, m)
+	c := transducer.Constraint{Prefix: o, Mode: transducer.ExactOnly}
+	_, nodes, _, lp, ok := kernel.ConstrainedViterbi(kernel.NewNFATables(t), m.View(), c, nil)
 	return nodes, lp, ok
 }
 
@@ -169,84 +173,61 @@ type Answer struct {
 }
 
 // Enumerator yields A^ω(μ) in decreasing E_max with polynomial delay
-// (Theorem 4.3). Create with NewEnumerator and drain with Next.
+// (Theorem 4.3). Create with NewEnumerator and drain with Next. Each
+// subproblem is resolved lazily against its parent answer's prefix
+// checkpoint; WithWorkers adds speculative parallel resolution without
+// changing the emitted sequence.
 type Enumerator struct {
-	t     *transducer.Transducer
-	m     *markov.Sequence
-	queue lawlerQueue
-}
-
-type lawlerItem struct {
-	constraint transducer.Constraint
-	// resolved indicates top/logE hold the constraint's true best answer;
-	// unresolved items carry the parent's score as an upper bound and are
-	// resolved lazily when popped (Murty's optimization: since a child's
-	// top cannot beat its parent's, deferring the Viterbi call preserves
-	// the global order while skipping it entirely for children that never
-	// reach the front of the queue).
-	resolved bool
-	top      []automata.Symbol
-	logE     float64
-}
-
-type lawlerQueue []*lawlerItem
-
-func (q lawlerQueue) Len() int           { return len(q) }
-func (q lawlerQueue) Less(i, j int) bool { return q[i].logE > q[j].logE }
-func (q lawlerQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
-func (q *lawlerQueue) Push(x any)        { *q = append(*q, x.(*lawlerItem)) }
-func (q *lawlerQueue) Pop() any {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil // release the slot so long enumerations don't retain popped items
-	*q = old[:n-1]
-	return it
+	inner *lawler.Enumerator[Answer]
 }
 
 // NewEnumerator prepares the decreasing-E_max enumeration of the answers
-// of t over m.
-func NewEnumerator(t *transducer.Transducer, m *markov.Sequence) *Enumerator {
-	e := &Enumerator{t: t, m: m}
-	if top, logE, ok := TopEmax(t, m, transducer.Unconstrained()); ok {
-		heap.Push(&e.queue, &lawlerItem{
-			constraint: transducer.Unconstrained(),
-			resolved:   true,
-			top:        top,
-			logE:       logE,
-		})
+// of t over m. Options: WithWorkers, WithTables, WithCheckpointCap.
+func NewEnumerator(t *transducer.Transducer, m *markov.Sequence, opts ...Option) *Enumerator {
+	cfg := config{ckCap: defaultCheckpointCap}
+	for _, o := range opts {
+		o(&cfg)
 	}
-	return e
+	ev := NewEvaluator(t, m, WithTables(cfg.nt), WithCheckpointCap(cfg.ckCap))
+	return ev.Enumerate(cfg.workers)
+}
+
+// Enumerate starts a decreasing-E_max enumeration sharing this
+// evaluator's tables and checkpoint cache. workers ≤ 1 is the sequential
+// reference behavior; workers > 1 resolves speculatively in parallel
+// with an identical emitted sequence.
+func (ev *Evaluator) Enumerate(workers int) *Enumerator {
+	return &Enumerator{inner: lawler.New(lawler.Config[Answer]{
+		Root: transducer.Unconstrained(),
+		Resolve: func(c transducer.Constraint, parent Answer, root bool) (Answer, float64, bool) {
+			// Children of a printed answer share its checkpoint: every
+			// child prefix is a prefix of the parent's output.
+			align := parent.Output
+			if root {
+				align = c.Prefix
+			}
+			o, _, logE, ok := ev.resolve(c, align)
+			return Answer{Output: o, LogEmax: logE}, logE, ok
+		},
+		Children: func(c transducer.Constraint, top Answer) []transducer.Constraint {
+			return c.Children(top.Output)
+		},
+		Workers: workers,
+	})}
 }
 
 // Next returns the next answer in decreasing E_max, or ok=false when all
 // answers have been enumerated. Each answer is produced exactly once: the
 // Lawler children of a popped constraint partition its remaining answers.
 func (e *Enumerator) Next() (Answer, bool) {
-	for len(e.queue) > 0 {
-		it := heap.Pop(&e.queue).(*lawlerItem)
-		if !it.resolved {
-			top, logE, ok := TopEmax(e.t, e.m, it.constraint)
-			if !ok {
-				continue // empty subproblem
-			}
-			it.resolved, it.top, it.logE = true, top, logE
-			heap.Push(&e.queue, it)
-			continue
-		}
-		for _, child := range it.constraint.Children(it.top) {
-			// The child's best cannot exceed the parent's: use the
-			// parent's score as an admissible upper bound.
-			heap.Push(&e.queue, &lawlerItem{constraint: child, logE: it.logE})
-		}
-		return Answer{Output: it.top, LogEmax: it.logE}, true
-	}
-	return Answer{}, false
+	a, _, ok := e.inner.Next()
+	return a, ok
 }
 
 // Emax computes E_max(o) = max{Pr(s) : s →[A^ω]→ o} in log space, using
-// the exact-output constraint and the Viterbi DP. It returns -Inf when o
-// is not an answer.
+// the exact-output constraint and the constrained Viterbi kernel. It
+// returns -Inf when o is not an answer. One-shot form; see
+// Evaluator.Emax for the amortized path.
 func Emax(t *transducer.Transducer, m *markov.Sequence, o []automata.Symbol) float64 {
 	_, lp, ok := TopEmax(t, m, transducer.Constraint{Prefix: o, Mode: transducer.ExactOnly})
 	if !ok {

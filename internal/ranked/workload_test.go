@@ -1,0 +1,50 @@
+package ranked
+
+import (
+	"math/rand"
+	"testing"
+
+	"markovseq/internal/automata"
+	"markovseq/internal/markov"
+	"markovseq/internal/rfid"
+	"markovseq/internal/textgen"
+	"markovseq/internal/transducer"
+)
+
+// rfidRankedWorkload is the serving-layer workload of the delay
+// benchmarks: a 4-room hospital HMM, an n-reading simulated trace, and
+// the "entered the lab" place transducer.
+func rfidRankedWorkload(tb testing.TB, n int) (*transducer.Transducer, *markov.Sequence) {
+	tb.Helper()
+	f := rfid.Hospital(4, 2)
+	h := rfid.BuildHMM(f, rfid.DefaultNoise)
+	trc, err := rfid.Simulate(h, n, rand.New(rand.NewSource(31)))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return rfid.PlaceTransducer(f, "lab"), trc.Seq
+}
+
+// textgenRankedWorkload is the extraction workload: a noisy-channel
+// Markov sequence over the text alphabet and a random nondeterministic
+// transducer with 0/1-symbol emissions.
+func textgenRankedWorkload(tb testing.TB) (*transducer.Transducer, *markov.Sequence) {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(7))
+	ab := textgen.Alphabet()
+	doc := textgen.Generate(4, 10, 3, rng)
+	m := textgen.Noisy(ab, doc.Text, 0.1, rng)
+	out := automata.MustAlphabet("x", "y")
+	tr := transducer.New(ab, out, 4, 0)
+	for q := 0; q < 4; q++ {
+		tr.SetAccepting(q, true)
+		for _, s := range ab.Symbols() {
+			var e []automata.Symbol
+			if rng.Intn(2) == 0 {
+				e = []automata.Symbol{automata.Symbol(rng.Intn(out.Size()))}
+			}
+			tr.AddTransition(q, s, rng.Intn(4), e)
+		}
+	}
+	return tr, m
+}

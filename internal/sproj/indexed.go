@@ -1,11 +1,11 @@
 package sproj
 
 import (
-	"container/heap"
 	"math"
 
 	"markovseq/internal/automata"
 	"markovseq/internal/kpaths"
+	"markovseq/internal/lawler"
 	"markovseq/internal/markov"
 	"markovseq/internal/transducer"
 )
@@ -416,56 +416,44 @@ type StringAnswer struct {
 // ImaxEnumerator yields the (string) answers of an s-projector in
 // decreasing I_max with polynomial delay (Lemma 5.10). By Proposition 5.9
 // this order is an n-approximation of decreasing confidence (Theorem 5.2).
+// It runs on the shared Lawler–Murty core (internal/lawler): child
+// subproblems inherit the parent's I_max as an upper bound and are
+// resolved (one constrained pattern-DAG shortest path, TopIndexed) only
+// if they reach the front of the queue, instead of eagerly at push time.
 type ImaxEnumerator struct {
-	p     *SProjector
-	m     *markov.Sequence
-	queue imaxQueue
-}
-
-type imaxItem struct {
-	constraint transducer.Constraint
-	top        []automata.Symbol
-	imax       float64
-}
-
-type imaxQueue []*imaxItem
-
-func (q imaxQueue) Len() int           { return len(q) }
-func (q imaxQueue) Less(i, j int) bool { return q[i].imax > q[j].imax }
-func (q imaxQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
-func (q *imaxQueue) Push(x any)        { *q = append(*q, x.(*imaxItem)) }
-func (q *imaxQueue) Pop() any {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil // release the slot so long enumerations don't retain popped items
-	*q = old[:n-1]
-	return it
+	inner *lawler.Enumerator[StringAnswer]
 }
 
 // EnumerateImax prepares the decreasing-I_max enumeration of string
 // answers (Lemma 5.10 / Theorem 5.2).
 func (p *SProjector) EnumerateImax(m *markov.Sequence) *ImaxEnumerator {
-	e := &ImaxEnumerator{p: p, m: m}
-	e.push(transducer.Unconstrained())
-	return e
+	return p.EnumerateImaxParallel(m, 1)
 }
 
-func (e *ImaxEnumerator) push(c transducer.Constraint) {
-	if top, ok := e.p.TopIndexed(e.m, c); ok {
-		heap.Push(&e.queue, &imaxItem{constraint: c, top: top.Output, imax: top.Conf})
-	}
+// EnumerateImaxParallel is EnumerateImax with speculative parallel
+// subproblem resolution on up to workers goroutines (values ≤ 1 are the
+// sequential reference). The emitted answer sequence is identical to the
+// sequential enumerator's.
+func (p *SProjector) EnumerateImaxParallel(m *markov.Sequence, workers int) *ImaxEnumerator {
+	return &ImaxEnumerator{inner: lawler.New(lawler.Config[StringAnswer]{
+		Root: transducer.Unconstrained(),
+		Resolve: func(c transducer.Constraint, _ StringAnswer, _ bool) (StringAnswer, float64, bool) {
+			top, ok := p.TopIndexed(m, c)
+			if !ok {
+				return StringAnswer{}, 0, false
+			}
+			return StringAnswer{Output: top.Output, Imax: top.Conf}, top.Conf, true
+		},
+		Children: func(c transducer.Constraint, top StringAnswer) []transducer.Constraint {
+			return c.Children(top.Output)
+		},
+		Workers: workers,
+	})}
 }
 
 // Next returns the next string answer in decreasing I_max, each exactly
 // once, or ok=false at exhaustion.
 func (e *ImaxEnumerator) Next() (StringAnswer, bool) {
-	if len(e.queue) == 0 {
-		return StringAnswer{}, false
-	}
-	it := heap.Pop(&e.queue).(*imaxItem)
-	for _, child := range it.constraint.Children(it.top) {
-		e.push(child)
-	}
-	return StringAnswer{Output: it.top, Imax: it.imax}, true
+	a, _, ok := e.inner.Next()
+	return a, ok
 }

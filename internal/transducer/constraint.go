@@ -80,26 +80,36 @@ func (c Constraint) String() string {
 	return b.String()
 }
 
-// Tracker-state encoding for the constraint product: states 0..|p|-1 mean
-// "matched that many symbols of the prefix"; boundary means "matched all of
-// p, nothing after"; past means "matched p and at least one admissible
-// symbol after". The dead state is not materialized — transitions into it
-// are dropped.
-type tracker struct {
+// Tracker is the constraint's zone automaton over output symbols, the
+// 4-zone machine of DESIGN.md §2: states 0..|p|-1 mean "matched that many
+// symbols of the prefix" (the matching zone); boundary means "matched all
+// of p, nothing after"; past means "matched p and at least one admissible
+// symbol after". The dead zone is not materialized — Step reports it as
+// ok=false and callers drop the transition. It is exported so the sparse
+// DP kernels (internal/kernel) can compose the tracker with the base
+// transducer tables on the fly instead of materializing the
+// tracker×transducer product per subproblem. A Tracker is an immutable
+// value, safe for concurrent use.
+type Tracker struct {
 	c        Constraint
 	boundary int // == len(Prefix)
 	past     int // == len(Prefix) + 1
 }
 
-func newTracker(c Constraint) tracker {
-	return tracker{c: c, boundary: len(c.Prefix), past: len(c.Prefix) + 1}
+// Tracker returns the constraint's zone automaton.
+func (c Constraint) Tracker() Tracker {
+	return Tracker{c: c, boundary: len(c.Prefix), past: len(c.Prefix) + 1}
 }
 
-// start returns the tracker state for the empty output.
-func (tr tracker) start() int { return 0 } // state 0 is boundary when |p| == 0
+// NumStates returns the number of live tracker states (matching zone +
+// boundary + past); live states are 0..NumStates()-1.
+func (tr Tracker) NumStates() int { return tr.past + 1 }
 
-// step consumes one output symbol; ok=false means the dead state.
-func (tr tracker) step(t int, sym automata.Symbol) (int, bool) {
+// Start returns the tracker state for the empty output.
+func (tr Tracker) Start() int { return 0 } // state 0 is boundary when |p| == 0
+
+// Step consumes one output symbol; ok=false means the dead state.
+func (tr Tracker) Step(t int, sym automata.Symbol) (int, bool) {
 	switch {
 	case t < tr.boundary:
 		if sym == tr.c.Prefix[t] {
@@ -116,11 +126,11 @@ func (tr tracker) step(t int, sym automata.Symbol) (int, bool) {
 	}
 }
 
-// stepString consumes an emission string.
-func (tr tracker) stepString(t int, out []automata.Symbol) (int, bool) {
+// StepString consumes an emission string.
+func (tr Tracker) StepString(t int, out []automata.Symbol) (int, bool) {
 	ok := true
 	for _, sym := range out {
-		t, ok = tr.step(t, sym)
+		t, ok = tr.Step(t, sym)
 		if !ok {
 			return 0, false
 		}
@@ -128,9 +138,9 @@ func (tr tracker) stepString(t int, out []automata.Symbol) (int, bool) {
 	return t, true
 }
 
-// accepting reports whether ending the run in tracker state t yields an
+// Accepting reports whether ending the run in tracker state t yields an
 // admitted output.
-func (tr tracker) accepting(t int) bool {
+func (tr Tracker) Accepting(t int) bool {
 	switch tr.c.Mode {
 	case ExactOnly:
 		return t == tr.boundary
@@ -148,14 +158,14 @@ func (tr tracker) accepting(t int) bool {
 // substring, so a constraint over outputs is a constraint over the
 // pattern's input).
 func (c Constraint) DFA(ab *automata.Alphabet) *automata.DFA {
-	tr := newTracker(c)
+	tr := c.Tracker()
 	// States: 0..|p|-1 matching, |p| boundary, |p|+1 past, |p|+2 dead.
 	dead := len(c.Prefix) + 2
-	d := automata.NewDFA(ab, dead+1, tr.start())
+	d := automata.NewDFA(ab, dead+1, tr.Start())
 	for st := 0; st <= len(c.Prefix)+1; st++ {
-		d.SetAccepting(st, tr.accepting(st))
+		d.SetAccepting(st, tr.Accepting(st))
 		for _, s := range ab.Symbols() {
-			if st2, ok := tr.step(st, s); ok {
+			if st2, ok := tr.Step(st, s); ok {
 				d.SetTransition(st, s, st2)
 			} else {
 				d.SetTransition(st, s, dead)
@@ -175,7 +185,7 @@ func (c Constraint) DFA(ab *automata.Alphabet) *automata.DFA {
 // construction is the paper's "a prefix constraint can be enforced by
 // efficiently transforming the input transducer into a new one".
 func (t *Transducer) Constrain(c Constraint) *Transducer {
-	tr := newTracker(c)
+	tr := c.Tracker()
 	type pair struct{ q, t int }
 	index := map[pair]int{}
 	var pairs []pair
@@ -187,7 +197,7 @@ func (t *Transducer) Constrain(c Constraint) *Transducer {
 		pairs = append(pairs, p)
 		return len(pairs) - 1
 	}
-	start := intern(pair{t.N.Start, tr.start()})
+	start := intern(pair{t.N.Start, tr.Start()})
 	type edgeRec struct {
 		from int
 		s    automata.Symbol
@@ -200,7 +210,7 @@ func (t *Transducer) Constrain(c Constraint) *Transducer {
 		for _, s := range t.In.Symbols() {
 			for _, q2 := range t.N.Succ(p.q, s) {
 				out := t.Emit(p.q, s, q2)
-				t2, ok := tr.stepString(p.t, out)
+				t2, ok := tr.StepString(p.t, out)
 				if !ok {
 					continue
 				}
@@ -211,7 +221,7 @@ func (t *Transducer) Constrain(c Constraint) *Transducer {
 	}
 	res := New(t.In, t.Out, len(pairs), start)
 	for id, p := range pairs {
-		res.SetAccepting(id, t.N.Accepting[p.q] && tr.accepting(p.t))
+		res.SetAccepting(id, t.N.Accepting[p.q] && tr.Accepting(p.t))
 	}
 	for _, e := range edges {
 		res.AddTransition(e.from, e.s, e.to, e.out)

@@ -318,13 +318,13 @@ func TestQuickTrackerMatchesAdmits(t *testing.T) {
 	f := func(seed int64, raw []byte) bool {
 		rng := rand.New(rand.NewSource(seed))
 		c := randomConstraint(ab, rng)
-		tr := newTracker(c)
+		tr := c.Tracker()
 		o := make([]automata.Symbol, 0, len(raw))
 		for _, b := range raw {
 			o = append(o, automata.Symbol(int(b)%ab.Size()))
 		}
-		st, ok := tr.stepString(tr.start(), o)
-		got := ok && tr.accepting(st)
+		st, ok := tr.StepString(tr.Start(), o)
+		got := ok && tr.Accepting(st)
 		return got == c.Admits(o)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
