@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-all experiments examples fuzz clean
+.PHONY: all build test race cover bench bench-all experiments examples fuzz fuzz-smoke clean
 
 all: build test
 
@@ -53,6 +53,14 @@ examples:
 fuzz:
 	$(GO) test ./internal/regex -fuzz FuzzCompile -fuzztime 30s
 	$(GO) test ./internal/codec -fuzz FuzzDecodeSequence -fuzztime 30s
+	$(GO) test ./internal/conf -fuzz FuzzSequenceValidate -fuzztime 30s
+
+# Quick per-target fuzz pass (a few seconds each; -run '^$$' skips the
+# unit tests so each invocation is pure fuzzing) — cheap enough for CI.
+fuzz-smoke:
+	$(GO) test ./internal/regex -run '^$$' -fuzz FuzzCompile -fuzztime 3s
+	$(GO) test ./internal/codec -run '^$$' -fuzz FuzzDecodeSequence -fuzztime 3s
+	$(GO) test ./internal/conf -run '^$$' -fuzz FuzzSequenceValidate -fuzztime 3s
 
 clean:
 	$(GO) clean ./...

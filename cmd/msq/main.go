@@ -7,14 +7,15 @@
 //	    Write the paper's running example (Figure 1 sequence, Figure 2
 //	    transducer, an s-projector spec) as JSON files into DIR.
 //
-//	msq topk -seq FILE -query FILE [-k N]
+//	msq topk -seq FILE -query FILE [-k N] [-timeout D]
 //	    Print the top-k answers by E_max (Theorem 4.3) with confidences
-//	    where tractable.
+//	    where tractable. With -timeout, a deadlined run prints the
+//	    ranked prefix proven in time and reports the deadline.
 //
-//	msq enumerate -seq FILE -query FILE [-limit N]
+//	msq enumerate -seq FILE -query FILE [-limit N] [-timeout D]
 //	    Enumerate answers unranked with polynomial delay (Theorem 4.1).
 //
-//	msq confidence -seq FILE -query FILE -answer "SYMS"
+//	msq confidence -seq FILE -query FILE -answer "SYMS" [-timeout D]
 //	    Compute the confidence of an answer (Theorems 4.6 / 4.8).
 //
 //	msq sproj -seq FILE -spec FILE [-k N] [-indexed]
@@ -36,14 +37,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"os"
 	"path/filepath"
+	"time"
 
 	"markovseq/internal/codec"
-	"markovseq/internal/conf"
 	"markovseq/internal/core"
 	"markovseq/internal/enum"
 	"markovseq/internal/markov"
@@ -85,6 +87,15 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: msq {init|topk|enumerate|confidence|sproj|explain|smooth|dot} [flags]")
 	os.Exit(2)
+}
+
+// queryContext returns the context for one CLI query: Background when
+// no -timeout was given, a deadlined context otherwise.
+func queryContext(timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout <= 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), timeout)
 }
 
 func cmdInit(args []string) error {
@@ -176,6 +187,7 @@ func cmdTopK(args []string) error {
 	seqPath := fs.String("seq", "", "Markov sequence JSON")
 	queryPath := fs.String("query", "", "transducer JSON")
 	k := fs.Int("k", 5, "answers to print")
+	timeout := fs.Duration("timeout", 0, "per-query deadline (0 = none)")
 	fs.Parse(args)
 	m, t, err := loadPair(*seqPath, *queryPath)
 	if err != nil {
@@ -185,15 +197,22 @@ func cmdTopK(args []string) error {
 	if err != nil {
 		return err
 	}
+	ctx, cancel := queryContext(*timeout)
+	defer cancel()
 	// The engine picks the ranking and the confidence algorithm from the
 	// paper's Table 2 (same dispatch the Lahar store uses); confidences
 	// are NaN exactly for the FP^#P-complete class.
-	for i, a := range e.TopKWithConfidence(*k) {
+	answers, qerr := e.TopKWithConfidenceCtx(ctx, *k)
+	for i, a := range answers {
 		line := fmt.Sprintf("#%d  %-20s %s=%.6g", i+1, t.Out.FormatString(a.Output), a.Kind, a.Score)
 		if !math.IsNaN(a.Conf) {
 			line += fmt.Sprintf("  conf=%.6g", a.Conf)
 		}
 		fmt.Println(line)
+	}
+	if qerr != nil {
+		// A deadlined run still printed the ranked prefix proven in time.
+		return fmt.Errorf("after %d answers: %w", len(answers), qerr)
 	}
 	return nil
 }
@@ -203,15 +222,21 @@ func cmdEnumerate(args []string) error {
 	seqPath := fs.String("seq", "", "Markov sequence JSON")
 	queryPath := fs.String("query", "", "transducer JSON")
 	limit := fs.Int("limit", 0, "maximum answers (0 = all)")
+	timeout := fs.Duration("timeout", 0, "per-query deadline (0 = none)")
 	fs.Parse(args)
 	m, t, err := loadPair(*seqPath, *queryPath)
 	if err != nil {
 		return err
 	}
+	ctx, cancel := queryContext(*timeout)
+	defer cancel()
 	e := enum.NewEnumerator(t, m)
 	n := 0
 	for *limit <= 0 || n < *limit {
-		o, ok := e.Next()
+		o, ok, err := e.NextCtx(ctx)
+		if err != nil {
+			return fmt.Errorf("after %d answers: %w", n, err)
+		}
 		if !ok {
 			break
 		}
@@ -227,6 +252,7 @@ func cmdConfidence(args []string) error {
 	seqPath := fs.String("seq", "", "Markov sequence JSON")
 	queryPath := fs.String("query", "", "transducer JSON")
 	answer := fs.String("answer", "", "answer as space-separated output symbols (empty = ε)")
+	timeout := fs.Duration("timeout", 0, "per-query deadline (0 = none)")
 	fs.Parse(args)
 	m, t, err := loadPair(*seqPath, *queryPath)
 	if err != nil {
@@ -236,16 +262,20 @@ func cmdConfidence(args []string) error {
 	if err != nil {
 		return err
 	}
-	switch {
-	case t.IsDeterministic():
-		fmt.Printf("%.10g\n", conf.Det(t, m, o))
-	default:
-		if _, uniform := t.UniformK(); uniform {
-			fmt.Printf("%.10g\n", conf.Uniform(t, m, o))
-		} else {
-			return fmt.Errorf("confidence for a nondeterministic non-uniform transducer is FP^#P-complete (Theorem 4.9)")
-		}
+	// The engine dispatches to the sparse kernels (Table 2) and returns
+	// the FP^#P-completeness error for the hard class; the kernels poll
+	// the -timeout deadline every few sequence positions.
+	e, err := core.NewTransducerEngine(t, m)
+	if err != nil {
+		return err
 	}
+	ctx, cancel := queryContext(*timeout)
+	defer cancel()
+	c, err := e.ConfidenceCtx(ctx, o, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%.10g\n", c)
 	return nil
 }
 

@@ -1,6 +1,7 @@
 package conf
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -60,16 +61,31 @@ func TransducesInto(t *transducer.Transducer, s, o []automata.Symbol) bool {
 // estimate (the old behavior was 0/0 = NaN, which silently poisoned any
 // downstream arithmetic).
 func Estimate(t *transducer.Transducer, m *markov.Sequence, o []automata.Symbol, samples int, rng *rand.Rand) float64 {
+	v, _ := EstimateCtx(context.Background(), t, m, o, samples, rng)
+	return v
+}
+
+// EstimateCtx is Estimate with per-sample cancellation. A cancelled
+// estimate returns the estimate over the samples drawn so far (still an
+// unbiased point estimate, just with a weaker Hoeffding bound) together
+// with ctx.Err(), so deadline-bounded callers can degrade gracefully.
+func EstimateCtx(ctx context.Context, t *transducer.Transducer, m *markov.Sequence, o []automata.Symbol, samples int, rng *rand.Rand) (float64, error) {
 	if samples <= 0 {
-		return 0
+		return 0, nil
 	}
 	hit := 0
 	for i := 0; i < samples; i++ {
+		if err := ctx.Err(); err != nil {
+			if i == 0 {
+				return 0, err
+			}
+			return float64(hit) / float64(i), err
+		}
 		if TransducesInto(t, m.Sample(rng), o) {
 			hit++
 		}
 	}
-	return float64(hit) / float64(samples)
+	return float64(hit) / float64(samples), nil
 }
 
 // SamplesFor returns the number of samples sufficient for additive error

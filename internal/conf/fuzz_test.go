@@ -1,0 +1,102 @@
+package conf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"markovseq/internal/automata"
+	"markovseq/internal/markov"
+	"markovseq/internal/transducer"
+)
+
+// identityTransducer builds the deterministic transducer that copies its
+// input: one accepting state, each node emitted as itself. Its Det
+// confidence of o is exactly Pr(S = o), giving the fuzz target an
+// independent oracle.
+func identityTransducer(nodes *automata.Alphabet) *transducer.Transducer {
+	tr := transducer.New(nodes, nodes, 1, 0)
+	tr.SetAccepting(0, true)
+	for s := 0; s < nodes.Size(); s++ {
+		sym := automata.Symbol(s)
+		tr.AddTransition(0, sym, 0, []automata.Symbol{sym})
+	}
+	return tr
+}
+
+// FuzzSequenceValidate checks the validation gate of the store's write
+// path: perturbing a stochastic matrix with arbitrary values (negative,
+// > 1, NaN, ±Inf, broken row sums) must either be rejected by Validate
+// or leave a sequence on which every downstream evaluation — the
+// forward marginals and the deterministic confidence DP — stays finite,
+// in [0, 1], and consistent with the brute-force world probability.
+// Nothing that passes Validate may crash or poison the DP kernels.
+func FuzzSequenceValidate(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint16(0), uint8(0), uint8(1), 0.5, false)
+	f.Add(int64(2), uint8(1), uint16(3), uint8(1), uint8(0), -0.25, false)
+	f.Add(int64(3), uint8(2), uint16(7), uint8(2), uint8(2), math.NaN(), true)
+	f.Add(int64(4), uint8(33), uint16(1), uint8(0), uint8(3), math.Inf(1), true)
+	f.Add(int64(5), uint8(17), uint16(2), uint8(1), uint8(1), 1.5, false)
+	f.Fuzz(func(t *testing.T, seed int64, which uint8, pos uint16, si, ti uint8, val float64, renorm bool) {
+		rng := rand.New(rand.NewSource(seed))
+		names := []string{"a", "b", "c", "d"}
+		k := 2 + int(which>>4)%3
+		nodes := automata.MustAlphabet(names[:k]...)
+		n := 2 + int(pos>>8)%6
+		m := markov.Random(nodes, n, 0.6, rng)
+
+		// Perturb one entry of the (valid) random sequence.
+		s := int(si) % k
+		d := int(ti) % k
+		var row []float64
+		if which%2 == 0 {
+			row = m.Initial
+		} else {
+			row = m.Trans[int(pos)%(n-1)][s]
+		}
+		row[d] = val
+		if renorm {
+			sum := 0.0
+			for _, p := range row {
+				sum += p
+			}
+			if sum > 0 {
+				for j := range row {
+					row[j] /= sum
+				}
+			}
+		}
+
+		if err := m.Validate(); err != nil {
+			return // rejected at the gate, as it should be
+		}
+
+		// Validate accepted the sequence: the DP kernels must behave.
+		alpha := m.Forward()
+		for i, arow := range alpha {
+			sum := 0.0
+			for _, p := range arow {
+				if math.IsNaN(p) || p < 0 || p > 1+markov.Tolerance {
+					t.Fatalf("forward marginal alpha[%d] has entry %v on a validated sequence", i, p)
+				}
+				sum += p
+			}
+			if math.Abs(sum-1) > 1e-6 {
+				t.Fatalf("forward marginal alpha[%d] sums to %v on a validated sequence", i, sum)
+			}
+		}
+
+		tr := identityTransducer(nodes)
+		o := make([]automata.Symbol, n)
+		for i := range o {
+			o[i] = automata.Symbol(rng.Intn(k))
+		}
+		got := Det(tr, m, o)
+		if math.IsNaN(got) || got < 0 || got > 1+1e-9 {
+			t.Fatalf("Det confidence = %v on a validated sequence", got)
+		}
+		if want := m.Prob(o); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("Det confidence %v disagrees with world probability %v", got, want)
+		}
+	})
+}

@@ -19,6 +19,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -128,8 +129,16 @@ type prepConfig struct {
 // resolved concurrently. Values ≤ 1 select the sequential reference
 // behavior. The answer order is identical either way — parallelism
 // changes only when subproblems are resolved, never what is emitted.
+// Values < 1 (including accidental zero or negative configuration) are
+// clamped to the sequential behavior rather than producing a pool that
+// never resolves anything.
 func WithRankedWorkers(n int) PrepareOption {
-	return func(c *prepConfig) { c.rankedWorkers = n }
+	return func(c *prepConfig) {
+		if n < 1 {
+			n = 1
+		}
+		c.rankedWorkers = n
+	}
 }
 
 // WithDenseKernels selects the dense reference DP implementations
@@ -331,7 +340,9 @@ type Engine struct {
 	mu sync.Mutex
 	// topNext is the live ranked iterator (nil until first TopK);
 	// topCache is the non-increasing answer prefix drawn from it so far.
-	topNext  func() (Answer, bool)
+	// A non-nil error from topNext means no answer was consumed and the
+	// iterator can be retried with a live context.
+	topNext  func(ctx context.Context) (Answer, bool, error)
 	topCache []Answer
 	topDone  bool
 	// enumIter / enumCache memoize the unranked enumeration likewise.
@@ -371,21 +382,39 @@ func (e *Engine) Explain() string { return e.plan.Explain() }
 // ignored otherwise. For the FP^#P-complete class an error is returned;
 // use EstimateConfidence.
 func (e *Engine) Confidence(o []automata.Symbol, index int) (float64, error) {
+	return e.ConfidenceCtx(context.Background(), o, index)
+}
+
+// ConfidenceCtx is Confidence with step-granularity cancellation: the
+// sparse kernels poll the context every few sequence positions, so a
+// deadline aborts an n=10⁵ DP promptly instead of after the full pass.
+// The dense reference paths (WithDenseKernels) check the context only
+// on entry.
+func (e *Engine) ConfidenceCtx(ctx context.Context, o []automata.Symbol, index int) (float64, error) {
+	// Fail fast on a context that is already dead: the kernels only poll
+	// every few positions, so a short input could otherwise complete a
+	// cancelled query.
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	switch e.plan.Class {
 	case ClassIndexedSProjector:
 		if index < 1 {
 			return 0, fmt.Errorf("core: indexed query requires an occurrence index ≥ 1")
 		}
-		return e.p.IndexedConfidence(e.m, o, index), nil
+		return e.p.IndexedConfidenceCtx(ctx, e.m, o, index)
 	case ClassSProjector:
-		return e.p.Confidence(e.m, o), nil
+		return e.p.ConfidenceCtx(ctx, e.m, o)
 	case ClassMealy, ClassDeterministic:
 		if e.dt != nil {
 			// Sparse frontier kernel over the tables built at prepare time.
 			if e.hasUniform {
-				return kernel.DetUniformConfidence(e.dt, e.m.View(), e.uniformK, o, nil), nil
+				return kernel.DetUniformConfidenceCtx(ctx, e.dt, e.m.View(), e.uniformK, o, nil)
 			}
-			return kernel.DetConfidence(e.dt, e.m.View(), o, nil), nil
+			return kernel.DetConfidenceCtx(ctx, e.dt, e.m.View(), o, nil)
+		}
+		if err := ctx.Err(); err != nil {
+			return 0, err
 		}
 		if e.hasUniform {
 			return conf.DetUniformDense(e.t, e.m, o), nil
@@ -393,7 +422,10 @@ func (e *Engine) Confidence(o []automata.Symbol, index int) (float64, error) {
 		return conf.DetDense(e.t, e.m, o), nil
 	case ClassUniform:
 		if e.nt != nil {
-			return kernel.UniformConfidence(e.nt, e.m.View(), e.uniformK, o, nil), nil
+			return kernel.UniformConfidenceCtx(ctx, e.nt, e.m.View(), e.uniformK, o, nil)
+		}
+		if err := ctx.Err(); err != nil {
+			return 0, err
 		}
 		if e.dense {
 			return conf.UniformLazy(e.t, e.m, o), nil
@@ -414,44 +446,52 @@ func (e *Engine) EstimateConfidence(o []automata.Symbol, samples int, rng *rand.
 	return conf.Estimate(e.equivalent(), e.m, o, samples, rng)
 }
 
-// initTop prepares the ranked iterator for the plan's ranking. Called
-// with e.mu held.
-func (e *Engine) initTop() {
+// initTopCtx prepares the ranked iterator for the plan's ranking. Called
+// with e.mu held. A context error during preparation (the indexed class
+// builds its answer DAG here) leaves the engine unprepared — nothing is
+// memoized, so a later call with a live context starts cleanly.
+func (e *Engine) initTopCtx(ctx context.Context) error {
 	switch e.plan.Class {
 	case ClassIndexedSProjector:
-		it, err := e.p.EnumerateIndexed(e.m)
+		it, err := e.p.EnumerateIndexedCtx(ctx, e.m)
 		if err != nil {
-			e.topDone = true
-			e.topNext = func() (Answer, bool) { return Answer{}, false }
-			return
-		}
-		e.topNext = func() (Answer, bool) {
-			a, ok := it.Next()
-			if !ok {
-				return Answer{}, false
+			if ctx.Err() != nil {
+				return err
 			}
-			return Answer{Output: a.Output, Index: a.Index, Score: a.Conf, Kind: "confidence"}, true
+			// Structural failure (degenerate DAG): an empty enumeration,
+			// as before.
+			e.topDone = true
+			e.topNext = func(context.Context) (Answer, bool, error) { return Answer{}, false, nil }
+			return nil
+		}
+		e.topNext = func(ctx context.Context) (Answer, bool, error) {
+			a, ok, err := it.NextCtx(ctx)
+			if err != nil || !ok {
+				return Answer{}, false, err
+			}
+			return Answer{Output: a.Output, Index: a.Index, Score: a.Conf, Kind: "confidence"}, true, nil
 		}
 	case ClassSProjector:
 		it := e.p.EnumerateImaxParallel(e.m, e.rankedWorkers)
-		e.topNext = func() (Answer, bool) {
-			a, ok := it.Next()
-			if !ok {
-				return Answer{}, false
+		e.topNext = func(ctx context.Context) (Answer, bool, error) {
+			a, ok, err := it.NextCtx(ctx)
+			if err != nil || !ok {
+				return Answer{}, false, err
 			}
-			return Answer{Output: a.Output, Score: a.Imax, Kind: "I_max"}, true
+			return Answer{Output: a.Output, Score: a.Imax, Kind: "I_max"}, true, nil
 		}
 	default:
 		it := ranked.NewEnumerator(e.t, e.m,
 			ranked.WithTables(e.baseNT), ranked.WithWorkers(e.rankedWorkers))
-		e.topNext = func() (Answer, bool) {
-			a, ok := it.Next()
-			if !ok {
-				return Answer{}, false
+		e.topNext = func(ctx context.Context) (Answer, bool, error) {
+			a, ok, err := it.NextCtx(ctx)
+			if err != nil || !ok {
+				return Answer{}, false, err
 			}
-			return Answer{Output: a.Output, Score: math.Exp(a.LogEmax), Kind: "E_max"}, true
+			return Answer{Output: a.Output, Score: math.Exp(a.LogEmax), Kind: "E_max"}, true, nil
 		}
 	}
+	return nil
 }
 
 // TopK returns the k best-ranked answers under the plan's ranking.
@@ -459,16 +499,37 @@ func (e *Engine) initTop() {
 // only the tail beyond the longest previous prefix costs enumeration
 // work. Safe for concurrent use.
 func (e *Engine) TopK(k int) []Answer {
+	out, _ := e.TopKCtx(context.Background(), k)
+	return out
+}
+
+// TopKCtx is TopK with cancellation. On a context error it returns the
+// already-proven ranked prefix (up to k answers, possibly empty)
+// together with ctx.Err(): the prefix is exactly the first answers of
+// the uncancelled enumeration — never a reordering — and the underlying
+// iterator is left resumable, so a later call with a live context
+// extends the same sequence.
+func (e *Engine) TopKCtx(ctx context.Context, k int) ([]Answer, error) {
 	if k <= 0 {
-		return nil
+		return nil, ctx.Err()
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.topNext == nil {
-		e.initTop()
+	// A context that is already dead behaves like a cancellation after
+	// zero additional work: the memoized prefix is returned with the
+	// error, even when the cache could satisfy k on its own.
+	iterErr := ctx.Err()
+	if iterErr == nil && e.topNext == nil {
+		if err := e.initTopCtx(ctx); err != nil {
+			return nil, err
+		}
 	}
-	for len(e.topCache) < k && !e.topDone {
-		a, ok := e.topNext()
+	for iterErr == nil && len(e.topCache) < k && !e.topDone {
+		a, ok, err := e.topNext(ctx)
+		if err != nil {
+			iterErr = err
+			break
+		}
 		if !ok {
 			e.topDone = true
 			break
@@ -477,11 +538,11 @@ func (e *Engine) TopK(k int) []Answer {
 	}
 	n := min(k, len(e.topCache))
 	if n == 0 {
-		return nil
+		return nil, iterErr
 	}
 	out := make([]Answer, n)
 	copy(out, e.topCache[:n])
-	return out
+	return out, iterErr
 }
 
 // Enumerate returns up to limit answers in unranked order (Theorem 4.1);
@@ -489,17 +550,34 @@ func (e *Engine) TopK(k int) []Answer {
 // prefix is memoized across calls, and the method is safe for concurrent
 // use.
 func (e *Engine) Enumerate(limit int) [][]automata.Symbol {
+	out, _ := e.EnumerateCtx(context.Background(), limit)
+	return out
+}
+
+// EnumerateCtx is Enumerate with cancellation, polled inside every
+// nonemptiness probe of the prefix-tree traversal. On a context error it
+// returns the answers enumerated so far with ctx.Err(); the traversal
+// stays resumable, so a later call with a live context continues the
+// same depth-first order without skipping or repeating answers.
+func (e *Engine) EnumerateCtx(ctx context.Context, limit int) ([][]automata.Symbol, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.enumIter == nil && !e.enumDone {
+	// As in TopKCtx: a dead context short-circuits to the memoized
+	// prefix plus the context error, regardless of cache state.
+	iterErr := ctx.Err()
+	if iterErr == nil && e.enumIter == nil && !e.enumDone {
 		if e.baseNT != nil {
 			e.enumIter = enum.NewEnumeratorWithTables(e.equivalent(), e.m, e.baseNT)
 		} else {
 			e.enumIter = enum.NewEnumerator(e.equivalent(), e.m)
 		}
 	}
-	for (limit <= 0 || len(e.enumCache) < limit) && !e.enumDone {
-		o, ok := e.enumIter.Next()
+	for iterErr == nil && (limit <= 0 || len(e.enumCache) < limit) && !e.enumDone {
+		o, ok, err := e.enumIter.NextCtx(ctx)
+		if err != nil {
+			iterErr = err
+			break
+		}
 		if !ok {
 			e.enumDone = true
 			break
@@ -511,11 +589,11 @@ func (e *Engine) Enumerate(limit int) [][]automata.Symbol {
 		n = limit
 	}
 	if n == 0 {
-		return nil
+		return nil, iterErr
 	}
 	out := make([][]automata.Symbol, n)
 	copy(out, e.enumCache[:n])
-	return out
+	return out, iterErr
 }
 
 // IsAnswer reports whether o is an answer (nonzero confidence). The
@@ -544,8 +622,18 @@ type ScoredAnswer struct {
 // exact confidences where Table 2 makes that tractable. For indexed
 // s-projectors the ranking score already is the confidence.
 func (e *Engine) TopKWithConfidence(k int) []ScoredAnswer {
+	out, _ := e.TopKWithConfidenceCtx(context.Background(), k)
+	return out
+}
+
+// TopKWithConfidenceCtx is TopKWithConfidence with cancellation of both
+// the ranked enumeration and the per-answer confidence DPs. On a context
+// error it returns the fully-annotated prefix built so far with
+// ctx.Err().
+func (e *Engine) TopKWithConfidenceCtx(ctx context.Context, k int) ([]ScoredAnswer, error) {
+	top, topErr := e.TopKCtx(ctx, k)
 	var out []ScoredAnswer
-	for _, a := range e.TopK(k) {
+	for _, a := range top {
 		sa := ScoredAnswer{Answer: a, Conf: math.NaN()}
 		switch e.plan.Class {
 		case ClassIndexedSProjector:
@@ -553,11 +641,15 @@ func (e *Engine) TopKWithConfidence(k int) []ScoredAnswer {
 		case ClassGeneral:
 			// FP^#P-complete: leave NaN.
 		default:
-			if c, err := e.Confidence(a.Output, a.Index); err == nil {
+			c, err := e.ConfidenceCtx(ctx, a.Output, a.Index)
+			if err != nil && ctx.Err() != nil {
+				return out, err
+			}
+			if err == nil {
 				sa.Conf = c
 			}
 		}
 		out = append(out, sa)
 	}
-	return out
+	return out, topErr
 }

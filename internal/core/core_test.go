@@ -12,6 +12,7 @@ import (
 	"markovseq/internal/paperex"
 	"markovseq/internal/regex"
 	"markovseq/internal/sproj"
+	"markovseq/internal/testutil"
 	"markovseq/internal/transducer"
 )
 
@@ -313,6 +314,7 @@ func TestEngineTopKMemoized(t *testing.T) {
 // TestEngineConcurrentReaders: one engine, many goroutines, all read
 // modes at once (checked under -race).
 func TestEngineConcurrentReaders(t *testing.T) {
+	testutil.CheckLeaks(t)
 	nodes := paperex.Nodes()
 	outs := paperex.Outputs()
 	m := paperex.Figure1(nodes)

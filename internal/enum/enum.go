@@ -19,6 +19,8 @@
 package enum
 
 import (
+	"context"
+
 	"markovseq/internal/automata"
 	"markovseq/internal/kernel"
 	"markovseq/internal/markov"
@@ -143,26 +145,50 @@ func (e *Enumerator) nonEmpty(c transducer.Constraint) bool {
 	return kernel.ConstrainedNonEmpty(e.nt, e.v, c, &e.sc)
 }
 
+func (e *Enumerator) nonEmptyCtx(ctx context.Context, c transducer.Constraint) (bool, error) {
+	return kernel.ConstrainedNonEmptyCtx(ctx, e.nt, e.v, c, &e.sc)
+}
+
 // Next returns the next answer, or ok=false when the enumeration is
 // exhausted. Every answer is produced exactly once.
 func (e *Enumerator) Next() ([]automata.Symbol, bool) {
+	o, ok, _ := e.NextCtx(context.Background())
+	return o, ok
+}
+
+// NextCtx is Next with cancellation, polled inside every nonemptiness
+// probe. The prefix-tree node being expanded is committed only after all
+// of its probes succeed: on error the stack is exactly as it was before
+// the call, so a later call with a live context re-runs the node's
+// probes (probes are pure) and the answer order is unchanged —
+// cancellation pauses the DFS, it never skips or repeats answers.
+func (e *Enumerator) NextCtx(ctx context.Context) ([]automata.Symbol, bool, error) {
 	for len(e.stack) > 0 {
 		p := e.stack[len(e.stack)-1]
-		e.stack = e.stack[:len(e.stack)-1]
-		// Push children in reverse symbol order so the traversal explores
-		// smaller symbols first.
+		// Probe children in reverse symbol order so the traversal explores
+		// smaller symbols first, buffering the survivors.
 		syms := e.t.Out.Symbols()
+		children := make([][]automata.Symbol, 0, len(syms))
 		for i := len(syms) - 1; i >= 0; i-- {
 			child := append(automata.CloneString(p), syms[i])
-			if e.nonEmpty(transducer.Constraint{Prefix: child, Mode: transducer.PrefixAndExtensions}) {
-				e.stack = append(e.stack, child)
+			live, err := e.nonEmptyCtx(ctx, transducer.Constraint{Prefix: child, Mode: transducer.PrefixAndExtensions})
+			if err != nil {
+				return nil, false, err
+			}
+			if live {
+				children = append(children, child)
 			}
 		}
-		if e.nonEmpty(transducer.Constraint{Prefix: p, Mode: transducer.ExactOnly}) {
-			return p, true
+		isAnswer, err := e.nonEmptyCtx(ctx, transducer.Constraint{Prefix: p, Mode: transducer.ExactOnly})
+		if err != nil {
+			return nil, false, err
+		}
+		e.stack = append(e.stack[:len(e.stack)-1], children...)
+		if isAnswer {
+			return p, true, nil
 		}
 	}
-	return nil, false
+	return nil, false, nil
 }
 
 // All drains the enumeration (convenience for tests and small inputs; for

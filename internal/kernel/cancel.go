@@ -1,0 +1,62 @@
+package kernel
+
+import "context"
+
+// DefaultPollInterval is the number of sequence positions a DP driver
+// advances between context checks. Polling costs one context.Err call,
+// which is far cheaper than a position's frontier expansion, but the
+// interval keeps the check out of the innermost loops entirely for
+// short sequences while still bounding the cancellation latency of an
+// n=10⁵ pass to a few dozen positions of work.
+const DefaultPollInterval = 32
+
+// Poll is a step-granularity cancellation probe threaded through the DP
+// drivers. A nil *Poll is valid and never fires, so the legacy
+// (context-free) entry points pass nil and pay a single predictable
+// branch per position. Construct with NewPoll; the zero value is not
+// meaningful.
+type Poll struct {
+	ctx context.Context
+	n   uint32
+	err error
+}
+
+// NewPoll returns a poll for ctx, or nil when ctx can never be
+// cancelled (nil, context.Background(), context.TODO()): the nil poll
+// makes the cancellation machinery free on the legacy paths.
+func NewPoll(ctx context.Context) *Poll {
+	if ctx == nil || ctx.Done() == nil {
+		return nil
+	}
+	return &Poll{ctx: ctx}
+}
+
+// Step records one position of DP progress and, every
+// DefaultPollInterval steps, checks the context. Once it has observed an
+// error it keeps returning it. Safe on a nil receiver.
+func (p *Poll) Step() error {
+	if p == nil {
+		return nil
+	}
+	if p.err != nil {
+		return p.err
+	}
+	p.n++
+	if p.n%DefaultPollInterval != 0 {
+		return nil
+	}
+	p.err = p.ctx.Err()
+	return p.err
+}
+
+// Err checks the context immediately (no step counting). Safe on a nil
+// receiver.
+func (p *Poll) Err() error {
+	if p == nil {
+		return nil
+	}
+	if p.err == nil {
+		p.err = p.ctx.Err()
+	}
+	return p.err
+}

@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"context"
 	"math"
 	"sync"
 
@@ -137,6 +138,19 @@ func crossOK(align []automata.Symbol, l, z int, w []automata.Symbol, forb map[au
 // frontier. One checkpoint aligned to a printed answer o serves every
 // Lawler child of o (their prefixes are all prefixes of o).
 func BuildCheckpoint(nt *NFATables, v *SeqView, align []automata.Symbol, sc *ConstrainScratch) *Checkpoint {
+	ck, _ := buildCheckpoint(nil, nt, v, align, sc)
+	return ck
+}
+
+// BuildCheckpointCtx is BuildCheckpoint with step-granularity
+// cancellation: the context is polled every DefaultPollInterval
+// positions; on cancellation the partial checkpoint is discarded and
+// ctx.Err() returned.
+func BuildCheckpointCtx(ctx context.Context, nt *NFATables, v *SeqView, align []automata.Symbol, sc *ConstrainScratch) (*Checkpoint, error) {
+	return buildCheckpoint(NewPoll(ctx), nt, v, align, sc)
+}
+
+func buildCheckpoint(p *Poll, nt *NFATables, v *SeqView, align []automata.Symbol, sc *ConstrainScratch) (*Checkpoint, error) {
 	if sc == nil {
 		sc = constrainScratchPool.Get().(*ConstrainScratch)
 		defer constrainScratchPool.Put(sc)
@@ -174,6 +188,11 @@ func BuildCheckpoint(nt *NFATables, v *SeqView, align []automata.Symbol, sc *Con
 	}
 	ck.layers[0] = snapshotLayer(&sc.f, prevBuf, zdim)
 	for i := 1; i < v.N; i++ {
+		// sc.f is empty here (snapshotLayer reset it), so no cleanup is
+		// needed before the early return.
+		if err := p.Step(); err != nil {
+			return nil, err
+		}
 		prevLayer := &ck.layers[i-1]
 		if len(prevLayer.cells) == 0 {
 			break // the exact-prefix language died; later layers stay empty
@@ -204,7 +223,7 @@ func BuildCheckpoint(nt *NFATables, v *SeqView, align []automata.Symbol, sc *Con
 		}
 		ck.layers[i] = snapshotLayer(&sc.f, prevBuf, zdim)
 	}
-	return ck
+	return ck, nil
 }
 
 // snapshotLayer copies the frontier's active cells (in activation order)
@@ -247,6 +266,18 @@ func (ck *Checkpoint) walkPrefix(li, pj int, nodes []automata.Symbol, states []i
 // states, and the log probability; ok is false when c admits no answer
 // over a positive-probability world.
 func ResumeConstrained(nt *NFATables, v *SeqView, ck *Checkpoint, c transducer.Constraint, sc *ConstrainScratch) (out, nodes []automata.Symbol, states []int, logp float64, ok bool) {
+	out, nodes, states, logp, ok, _ = resumeConstrained(nil, nt, v, ck, c, sc)
+	return out, nodes, states, logp, ok
+}
+
+// ResumeConstrainedCtx is ResumeConstrained with step-granularity
+// cancellation over the past-zone DP (the ExactOnly fast path only reads
+// the final retained layer and completes regardless).
+func ResumeConstrainedCtx(ctx context.Context, nt *NFATables, v *SeqView, ck *Checkpoint, c transducer.Constraint, sc *ConstrainScratch) (out, nodes []automata.Symbol, states []int, logp float64, ok bool, err error) {
+	return resumeConstrained(NewPoll(ctx), nt, v, ck, c, sc)
+}
+
+func resumeConstrained(p *Poll, nt *NFATables, v *SeqView, ck *Checkpoint, c transducer.Constraint, sc *ConstrainScratch) (out, nodes []automata.Symbol, states []int, logp float64, ok bool, err error) {
 	if ck.states != nt.States || ck.n != v.N {
 		panic("kernel: ResumeConstrained checkpoint was built against different tables or sequence")
 	}
@@ -269,12 +300,12 @@ func ResumeConstrained(nt *NFATables, v *SeqView, ck *Checkpoint, c transducer.C
 			}
 		}
 		if bj < 0 {
-			return nil, nil, nil, math.Inf(-1), false
+			return nil, nil, nil, math.Inf(-1), false, nil
 		}
 		nodes = make([]automata.Symbol, v.N)
 		states = make([]int, v.N)
 		ck.walkPrefix(v.N-1, bj, nodes, states)
-		return automata.CloneString(align[:l]), nodes, states, best, true
+		return automata.CloneString(align[:l]), nodes, states, best, true, nil
 	}
 
 	if sc == nil {
@@ -310,6 +341,11 @@ func ResumeConstrained(nt *NFATables, v *SeqView, ck *Checkpoint, c transducer.C
 		}
 	}
 	for i := 1; i < v.N; i++ {
+		if err := p.Step(); err != nil {
+			sc.cur.reset()
+			sc.next.reset()
+			return nil, nil, nil, math.Inf(-1), false, err
+		}
 		prevLayer := &ck.layers[i-1]
 		canCross := int(prevLayer.maxZ)+nt.MaxEmit > l && len(prevLayer.cells) > 0
 		if len(sc.cur.list) == 0 && !canCross {
@@ -390,10 +426,10 @@ func ResumeConstrained(nt *NFATables, v *SeqView, ck *Checkpoint, c transducer.C
 		nodes = make([]automata.Symbol, v.N)
 		states = make([]int, v.N)
 		ck.walkPrefix(v.N-1, exactIdx, nodes, states)
-		return automata.CloneString(align[:l]), nodes, states, exactBest, true
+		return automata.CloneString(align[:l]), nodes, states, exactBest, true, nil
 	}
 	if bestCell < 0 {
-		return nil, nil, nil, math.Inf(-1), false
+		return nil, nil, nil, math.Inf(-1), false, nil
 	}
 
 	nodes = make([]automata.Symbol, v.N)
@@ -436,7 +472,7 @@ func ResumeConstrained(nt *NFATables, v *SeqView, ck *Checkpoint, c transducer.C
 		}
 		q = states[j]
 	}
-	return out, nodes, states, best, true
+	return out, nodes, states, best, true, nil
 }
 
 // ConstrainedViterbi solves the constrained top-answer problem from
@@ -445,10 +481,24 @@ func ResumeConstrained(nt *NFATables, v *SeqView, ck *Checkpoint, c transducer.C
 // reuse checkpoints across Lawler children call BuildCheckpoint and
 // ResumeConstrained directly.
 func ConstrainedViterbi(nt *NFATables, v *SeqView, c transducer.Constraint, sc *ConstrainScratch) (out, nodes []automata.Symbol, states []int, logp float64, ok bool) {
+	out, nodes, states, logp, ok, _ = constrainedViterbi(nil, nt, v, c, sc)
+	return out, nodes, states, logp, ok
+}
+
+// ConstrainedViterbiCtx is ConstrainedViterbi with step-granularity
+// cancellation of both the checkpoint build and the resume.
+func ConstrainedViterbiCtx(ctx context.Context, nt *NFATables, v *SeqView, c transducer.Constraint, sc *ConstrainScratch) (out, nodes []automata.Symbol, states []int, logp float64, ok bool, err error) {
+	return constrainedViterbi(NewPoll(ctx), nt, v, c, sc)
+}
+
+func constrainedViterbi(p *Poll, nt *NFATables, v *SeqView, c transducer.Constraint, sc *ConstrainScratch) (out, nodes []automata.Symbol, states []int, logp float64, ok bool, err error) {
 	if sc == nil {
 		sc = constrainScratchPool.Get().(*ConstrainScratch)
 		defer constrainScratchPool.Put(sc)
 	}
-	ck := BuildCheckpoint(nt, v, c.Prefix, sc)
-	return ResumeConstrained(nt, v, ck, c, sc)
+	ck, err := buildCheckpoint(p, nt, v, c.Prefix, sc)
+	if err != nil {
+		return nil, nil, nil, math.Inf(-1), false, err
+	}
+	return resumeConstrained(p, nt, v, ck, c, sc)
 }

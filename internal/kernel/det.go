@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"context"
 	"sync"
 
 	"markovseq/internal/automata"
@@ -23,6 +24,18 @@ var detScratchPool = sync.Pool{New: func() any { return new(DetScratch) }}
 // nonzeros of the transition matrix. With a warm scratch the steady-state
 // inner loop allocates nothing.
 func DetConfidence(dt *DetTables, v *SeqView, o []automata.Symbol, sc *DetScratch) float64 {
+	total, _ := detConfidence(nil, dt, v, o, sc)
+	return total
+}
+
+// DetConfidenceCtx is DetConfidence with step-granularity cancellation:
+// the context is polled every DefaultPollInterval positions and the DP
+// aborts with ctx.Err() (returning 0) as soon as it fires.
+func DetConfidenceCtx(ctx context.Context, dt *DetTables, v *SeqView, o []automata.Symbol, sc *DetScratch) (float64, error) {
+	return detConfidence(NewPoll(ctx), dt, v, o, sc)
+}
+
+func detConfidence(p *Poll, dt *DetTables, v *SeqView, o []automata.Symbol, sc *DetScratch) (float64, error) {
 	if sc == nil {
 		sc = detScratchPool.Get().(*DetScratch)
 		defer detScratchPool.Put(sc)
@@ -49,6 +62,12 @@ func DetConfidence(dt *DetTables, v *SeqView, o []automata.Symbol, sc *DetScratc
 	}
 
 	for i := 1; i < v.N; i++ {
+		if err := p.Step(); err != nil {
+			// Restore the pooled-scratch all-zero invariant before bailing.
+			sc.cur.reset()
+			sc.next.reset()
+			return 0, err
+		}
 		st := &v.Steps[i-1]
 		for _, idx := range sc.cur.list {
 			mass := sc.cur.val[idx]
@@ -82,7 +101,7 @@ func DetConfidence(dt *DetTables, v *SeqView, o []automata.Symbol, sc *DetScratc
 		}
 	}
 	sc.cur.reset()
-	return total
+	return total, nil
 }
 
 // DetUniformConfidence is the k-uniform fast path of Theorem 4.6: after
@@ -90,8 +109,19 @@ func DetConfidence(dt *DetTables, v *SeqView, o []automata.Symbol, sc *DetScratc
 // DP cells are just (node, state). k must be the transducer's uniform
 // emission length; answers of the wrong length have confidence 0.
 func DetUniformConfidence(dt *DetTables, v *SeqView, k int, o []automata.Symbol, sc *DetScratch) float64 {
+	total, _ := detUniformConfidence(nil, dt, v, k, o, sc)
+	return total
+}
+
+// DetUniformConfidenceCtx is DetUniformConfidence with step-granularity
+// cancellation (see DetConfidenceCtx).
+func DetUniformConfidenceCtx(ctx context.Context, dt *DetTables, v *SeqView, k int, o []automata.Symbol, sc *DetScratch) (float64, error) {
+	return detUniformConfidence(NewPoll(ctx), dt, v, k, o, sc)
+}
+
+func detUniformConfidence(p *Poll, dt *DetTables, v *SeqView, k int, o []automata.Symbol, sc *DetScratch) (float64, error) {
 	if len(o) != k*v.N {
-		return 0
+		return 0, p.Err()
 	}
 	if sc == nil {
 		sc = detScratchPool.Get().(*DetScratch)
@@ -114,6 +144,11 @@ func DetUniformConfidence(dt *DetTables, v *SeqView, k int, o []automata.Symbol,
 		sc.cur.add(int32(int(x)*dt.States+int(q2)), v.InitVal[ii])
 	}
 	for i := 2; i <= v.N; i++ {
+		if err := p.Step(); err != nil {
+			sc.cur.reset()
+			sc.next.reset()
+			return 0, err
+		}
 		st := &v.Steps[i-2]
 		want := o[k*(i-1) : k*i]
 		for _, idx := range sc.cur.list {
@@ -143,7 +178,7 @@ func DetUniformConfidence(dt *DetTables, v *SeqView, k int, o []automata.Symbol,
 		}
 	}
 	sc.cur.reset()
-	return total
+	return total, nil
 }
 
 // advance returns the output position after emitting e at position j, or

@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"context"
 	"sync"
 
 	"markovseq/internal/transducer"
@@ -52,6 +53,18 @@ var reachScratchPool = sync.Pool{New: func() any { return new(ReachScratch) }}
 // tables on the fly over boolean cells (node x, state q, tracker state
 // t), so no per-probe product transducer or table rebuild is needed.
 func ConstrainedNonEmpty(nt *NFATables, v *SeqView, c transducer.Constraint, sc *ReachScratch) bool {
+	found, _ := constrainedNonEmpty(nil, nt, v, c, sc)
+	return found
+}
+
+// ConstrainedNonEmptyCtx is ConstrainedNonEmpty with step-granularity
+// cancellation: the context is polled every DefaultPollInterval
+// positions and the probe aborts with ctx.Err() as soon as it fires.
+func ConstrainedNonEmptyCtx(ctx context.Context, nt *NFATables, v *SeqView, c transducer.Constraint, sc *ReachScratch) (bool, error) {
+	return constrainedNonEmpty(NewPoll(ctx), nt, v, c, sc)
+}
+
+func constrainedNonEmpty(p *Poll, nt *NFATables, v *SeqView, c transducer.Constraint, sc *ReachScratch) (bool, error) {
 	if sc == nil {
 		sc = reachScratchPool.Get().(*ReachScratch)
 		defer reachScratchPool.Put(sc)
@@ -76,8 +89,13 @@ func ConstrainedNonEmpty(nt *NFATables, v *SeqView, c transducer.Constraint, sc 
 		}
 	}
 	for i := 1; i < v.N; i++ {
+		if err := p.Step(); err != nil {
+			sc.cur.reset()
+			sc.next.reset()
+			return false, err
+		}
 		if len(sc.cur.list) == 0 {
-			return false
+			return false, nil
 		}
 		st := &v.Steps[i-1]
 		for _, idx := range sc.cur.list {
@@ -110,5 +128,5 @@ func ConstrainedNonEmpty(nt *NFATables, v *SeqView, c transducer.Constraint, sc 
 		}
 	}
 	sc.cur.reset()
-	return found
+	return found, nil
 }

@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"context"
 	"math/bits"
 	"sync"
 
@@ -31,11 +32,23 @@ var uniformScratchPool = sync.Pool{New: func() any { return new(UniformScratch) 
 // nonzeros. It panics when the transducer has more than MaxUniformStates
 // states.
 func UniformConfidence(nt *NFATables, v *SeqView, k int, o []automata.Symbol, sc *UniformScratch) float64 {
+	total, _ := uniformConfidence(nil, nt, v, k, o, sc)
+	return total
+}
+
+// UniformConfidenceCtx is UniformConfidence with step-granularity
+// cancellation: the context is polled every DefaultPollInterval
+// positions and the DP aborts with ctx.Err() as soon as it fires.
+func UniformConfidenceCtx(ctx context.Context, nt *NFATables, v *SeqView, k int, o []automata.Symbol, sc *UniformScratch) (float64, error) {
+	return uniformConfidence(NewPoll(ctx), nt, v, k, o, sc)
+}
+
+func uniformConfidence(p *Poll, nt *NFATables, v *SeqView, k int, o []automata.Symbol, sc *UniformScratch) (float64, error) {
 	if nt.States > MaxUniformStates {
 		panic("kernel: UniformConfidence limited to 16 states (dense powerset)")
 	}
 	if len(o) != k*v.N {
-		return 0
+		return 0, nil
 	}
 	if sc == nil {
 		sc = uniformScratchPool.Get().(*UniformScratch)
@@ -78,6 +91,11 @@ func UniformConfidence(nt *NFATables, v *SeqView, k int, o []automata.Symbol, sc
 		}
 	}
 	for i := 2; i <= v.N; i++ {
+		if err := p.Step(); err != nil {
+			sc.cur.reset()
+			sc.next.reset()
+			return 0, err
+		}
 		fillMasks(i)
 		st := &v.Steps[i-2]
 		for _, idx := range sc.cur.list {
@@ -116,5 +134,5 @@ func UniformConfidence(nt *NFATables, v *SeqView, k int, o []automata.Symbol, sc
 		}
 	}
 	sc.cur.reset()
-	return total
+	return total, nil
 }

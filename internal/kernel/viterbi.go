@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"context"
 	"math"
 	"sync"
 
@@ -27,6 +28,18 @@ var viterbiScratchPool = sync.Pool{New: func() any { return new(ViterbiScratch) 
 // probabilities come precomputed from the CSR view, and backpointers are
 // one flat int32 array (packed predecessor cell, -1 at the root).
 func ViterbiRun(nt *NFATables, v *SeqView, sc *ViterbiScratch) (nodes []automata.Symbol, states []int, logp float64, ok bool) {
+	nodes, states, logp, ok, _ = viterbiRun(nil, nt, v, sc)
+	return nodes, states, logp, ok
+}
+
+// ViterbiRunCtx is ViterbiRun with step-granularity cancellation: the
+// context is polled every DefaultPollInterval positions and the DP
+// aborts with ctx.Err() as soon as it fires.
+func ViterbiRunCtx(ctx context.Context, nt *NFATables, v *SeqView, sc *ViterbiScratch) (nodes []automata.Symbol, states []int, logp float64, ok bool, err error) {
+	return viterbiRun(NewPoll(ctx), nt, v, sc)
+}
+
+func viterbiRun(p *Poll, nt *NFATables, v *SeqView, sc *ViterbiScratch) (nodes []automata.Symbol, states []int, logp float64, ok bool, err error) {
 	if sc == nil {
 		sc = viterbiScratchPool.Get().(*ViterbiScratch)
 		defer viterbiScratchPool.Put(sc)
@@ -52,6 +65,11 @@ func ViterbiRun(nt *NFATables, v *SeqView, sc *ViterbiScratch) (nodes []automata
 		}
 	}
 	for i := 1; i < v.N; i++ {
+		if err := p.Step(); err != nil {
+			sc.cur.reset()
+			sc.next.reset()
+			return nil, nil, math.Inf(-1), false, err
+		}
 		st := &v.Steps[i-1]
 		backRow := sc.back[i*size : (i+1)*size]
 		for _, idx := range sc.cur.list {
@@ -82,7 +100,7 @@ func ViterbiRun(nt *NFATables, v *SeqView, sc *ViterbiScratch) (nodes []automata
 	}
 	sc.cur.reset()
 	if bestCell < 0 {
-		return nil, nil, math.Inf(-1), false
+		return nil, nil, math.Inf(-1), false, nil
 	}
 	nodes = make([]automata.Symbol, v.N)
 	states = make([]int, v.N)
@@ -92,5 +110,5 @@ func ViterbiRun(nt *NFATables, v *SeqView, sc *ViterbiScratch) (nodes []automata
 		states[i] = int(cell) % nt.States
 		cell = sc.back[i*size+int(cell)]
 	}
-	return nodes, states, best, true
+	return nodes, states, best, true, nil
 }

@@ -11,6 +11,7 @@ import (
 	"markovseq/internal/paperex"
 	"markovseq/internal/regex"
 	"markovseq/internal/sproj"
+	"markovseq/internal/testutil"
 )
 
 // TestEngineCacheHit: repeated queries on an unchanged (stream, query)
@@ -154,6 +155,7 @@ func TestMatchProbCached(t *testing.T) {
 // synchronization, and every read must see either the old or the new
 // generation's answers — never a mix or a crash.
 func TestConcurrentTopKPutStream(t *testing.T) {
+	testutil.CheckLeaks(t)
 	db := New()
 	ab := automata.Chars("ab")
 	db.RegisterSProjector("runs", mustSimpleSProjector(t, "a+", ab), false)
@@ -192,6 +194,7 @@ func TestConcurrentTopKPutStream(t *testing.T) {
 // TestTopKAcrossAllErrorsJoined: every failing stream is reported, not
 // just the first.
 func TestTopKAcrossAllErrorsJoined(t *testing.T) {
+	testutil.CheckLeaks(t)
 	db, _, _ := setup(t)
 	_, err := db.TopKAcross([]string{"ghost1", "cart17", "ghost2"}, "places", 2)
 	if err == nil {
@@ -220,6 +223,7 @@ func TestSlidingTopKWindowTooLarge(t *testing.T) {
 // TestSlidingTopKParallelMatchesSerial: the ParallelWindows option
 // changes scheduling, not results.
 func TestSlidingTopKParallelMatchesSerial(t *testing.T) {
+	testutil.CheckLeaks(t)
 	nodes := paperex.Nodes()
 	outs := paperex.Outputs()
 	serial := New()

@@ -1,0 +1,165 @@
+package lahar
+
+// Context-aware serving: per-query deadlines and bounded in-flight
+// admission for the store's public query methods.
+//
+// Admission control is shed-not-queue: when WithMaxInFlight(n) is set
+// and n queries are already executing, a new call fails immediately
+// with ErrOverloaded instead of waiting for a slot. Under overload a
+// queue only converts saturation into latency (every queued caller
+// eventually times out anyway); failing fast keeps the served queries
+// fast and lets the caller retry or degrade. The fan-out methods
+// (TopKAcross, parallel SlidingTopK) count as ONE in-flight query —
+// their internal per-stream/per-window evaluations run on the worker
+// pool under the slot the outer call holds, so a fan-out can never
+// deadlock against the limiter or starve it.
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"markovseq/internal/automata"
+)
+
+// ErrOverloaded is returned (wrapped) by the query methods when
+// WithMaxInFlight is configured and the store is already executing that
+// many queries. Check with errors.Is.
+var ErrOverloaded = errors.New("lahar: too many in-flight queries")
+
+// WithMaxInFlight bounds the number of public query calls executing
+// concurrently; calls beyond the bound fail immediately with
+// ErrOverloaded rather than queueing. Values < 1 disable the limit
+// (the default).
+func WithMaxInFlight(n int) Option {
+	return func(db *DB) {
+		if n < 1 {
+			n = 0
+		}
+		db.maxInFlight = n
+	}
+}
+
+// WithQueryDeadline applies a per-query timeout to every public query
+// call, on top of whatever deadline the caller's context carries. A
+// deadlined ranked query returns the answer prefix proven so far with
+// context.DeadlineExceeded. Values ≤ 0 disable the store deadline (the
+// default).
+func WithQueryDeadline(d time.Duration) Option {
+	return func(db *DB) {
+		if d < 0 {
+			d = 0
+		}
+		db.deadline = d
+	}
+}
+
+// InFlight reports how many public query calls currently hold an
+// in-flight slot. Always 0 when WithMaxInFlight is not configured.
+func (db *DB) InFlight() int {
+	if db.inflight == nil {
+		return 0
+	}
+	return len(db.inflight)
+}
+
+// acquire claims an in-flight slot without blocking; the release func
+// must be called exactly once. With no limiter configured it is free.
+func (db *DB) acquire() (release func(), err error) {
+	if db.inflight == nil {
+		return func() {}, nil
+	}
+	select {
+	case db.inflight <- struct{}{}:
+		return func() { <-db.inflight }, nil
+	default:
+		return nil, ErrOverloaded
+	}
+}
+
+// queryCtx layers the store's per-query deadline onto ctx. The cancel
+// func must always be called to release the timer.
+func (db *DB) queryCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if db.deadline <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, db.deadline)
+}
+
+// TopKCtx is TopK with cancellation, the store's per-query deadline,
+// and admission control. On cancellation it returns the already-proven
+// ranked prefix (possibly empty) together with ctx.Err(); the prefix is
+// exactly the first answers of the uncancelled enumeration, and a later
+// call with a live context extends the same sequence from the engine's
+// memo. Under overload it returns ErrOverloaded without touching the
+// engine.
+func (db *DB) TopKCtx(ctx context.Context, stream, qname string, k int) ([]Result, error) {
+	release, err := db.acquire()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	ctx, cancel := db.queryCtx(ctx)
+	defer cancel()
+	return db.topK(ctx, stream, qname, k)
+}
+
+// EnumerateCtx is Enumerate with cancellation, the store's per-query
+// deadline, and admission control. On cancellation it returns the
+// answers enumerated so far together with ctx.Err(); the traversal is
+// resumable, so a later call continues the same unranked order.
+func (db *DB) EnumerateCtx(ctx context.Context, stream, qname string, limit int) ([]Result, error) {
+	release, err := db.acquire()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	ctx, cancel := db.queryCtx(ctx)
+	defer cancel()
+	return db.enumerate(ctx, stream, qname, limit)
+}
+
+// ConfidenceCtx is Confidence with cancellation, the store's per-query
+// deadline, and admission control. The DP kernels poll the context
+// every few sequence positions, so a deadline aborts a long pass
+// promptly rather than after it completes.
+func (db *DB) ConfidenceCtx(ctx context.Context, stream, qname string, o []automata.Symbol, index int) (float64, error) {
+	release, err := db.acquire()
+	if err != nil {
+		return 0, err
+	}
+	defer release()
+	ctx, cancel := db.queryCtx(ctx)
+	defer cancel()
+	return db.confidence(ctx, stream, qname, o, index)
+}
+
+// TopKAcrossCtx is TopKAcross with cancellation, the store's per-query
+// deadline, and admission control. The whole fan-out holds a single
+// in-flight slot; its per-stream evaluations share the cancelled
+// context, and the worker pool always drains before the call returns.
+func (db *DB) TopKAcrossCtx(ctx context.Context, streams []string, qname string, k int) ([]StreamResult, error) {
+	release, err := db.acquire()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	ctx, cancel := db.queryCtx(ctx)
+	defer cancel()
+	return db.topKAcross(ctx, streams, qname, k)
+}
+
+// SlidingTopKCtx is SlidingTopK with cancellation, the store's
+// per-query deadline, and admission control. The whole windowed
+// evaluation holds a single in-flight slot; cancellation stops issuing
+// new windows and drains the pool before the call returns.
+func (db *DB) SlidingTopKCtx(ctx context.Context, stream, qname string, window, stride, k int) ([]WindowResult, error) {
+	release, err := db.acquire()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	ctx, cancel := db.queryCtx(ctx)
+	defer cancel()
+	return db.slidingTopK(ctx, stream, qname, window, stride, k)
+}

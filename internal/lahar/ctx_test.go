@@ -1,0 +1,331 @@
+package lahar
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"markovseq/internal/markov"
+	"markovseq/internal/paperex"
+	"markovseq/internal/testutil"
+)
+
+// TestCtxVariantsMatchLegacy checks that an uncancelled *Ctx call is
+// bit-identical to its legacy counterpart for every public query method.
+func TestCtxVariantsMatchLegacy(t *testing.T) {
+	db, _, outs := setup(t)
+	ctx := context.Background()
+
+	want, err := db.TopK("cart17", "places", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.TopKCtx(ctx, "cart17", "places", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("TopKCtx: %d results, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if outs.FormatString(got[i].Output) != outs.FormatString(want[i].Output) || got[i].Score != want[i].Score {
+			t.Fatalf("TopKCtx rank %d: (%v, %v), want (%v, %v)",
+				i, got[i].Output, got[i].Score, want[i].Output, want[i].Score)
+		}
+	}
+
+	wantAll, err := db.Enumerate("cart17", "places", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotAll, err := db.EnumerateCtx(ctx, "cart17", "places", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotAll) != len(wantAll) {
+		t.Fatalf("EnumerateCtx: %d results, want %d", len(gotAll), len(wantAll))
+	}
+
+	o := outs.MustParseString("1 2")
+	wantC, err := db.Confidence("cart17", "places", o, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotC, err := db.ConfidenceCtx(ctx, "cart17", "places", o, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotC != wantC {
+		t.Fatalf("ConfidenceCtx = %v, want %v (must be bit-identical)", gotC, wantC)
+	}
+}
+
+// TestCancelledQueryReturnsCtxErr checks that an already-cancelled
+// context aborts every public query method with context.Canceled.
+func TestCancelledQueryReturnsCtxErr(t *testing.T) {
+	testutil.CheckLeaks(t)
+	db, _, outs := setup(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.TopKCtx(ctx, "cart17", "places", 3); !errors.Is(err, context.Canceled) {
+		t.Fatalf("TopKCtx: err = %v, want context.Canceled", err)
+	}
+	if _, err := db.EnumerateCtx(ctx, "cart17", "places", 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("EnumerateCtx: err = %v, want context.Canceled", err)
+	}
+	if _, err := db.ConfidenceCtx(ctx, "cart17", "places", outs.MustParseString("1 2"), 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ConfidenceCtx: err = %v, want context.Canceled", err)
+	}
+	if _, err := db.TopKAcrossCtx(ctx, nil, "places", 3); !errors.Is(err, context.Canceled) {
+		t.Fatalf("TopKAcrossCtx: err = %v, want context.Canceled", err)
+	}
+	if _, err := db.SlidingTopKCtx(ctx, "cart17", "places", 3, 1, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SlidingTopKCtx: err = %v, want context.Canceled", err)
+	}
+	// The store still serves live contexts afterwards.
+	if _, err := db.TopKCtx(context.Background(), "cart17", "places", 3); err != nil {
+		t.Fatalf("live query after cancelled one: %v", err)
+	}
+	// And a dead context is still refused once the engine's memoized
+	// prefix could satisfy the query on its own: the cached answers come
+	// back as the proven prefix, but always together with ctx.Err().
+	if res, err := db.TopKCtx(ctx, "cart17", "places", 3); !errors.Is(err, context.Canceled) {
+		t.Fatalf("warm-cache TopKCtx: err = %v, want context.Canceled", err)
+	} else if len(res) != 3 {
+		t.Fatalf("warm-cache TopKCtx: %d answers with the error, want the 3 memoized ones", len(res))
+	}
+	if _, err := db.Enumerate("cart17", "places", 1); err != nil {
+		t.Fatalf("priming Enumerate: %v", err)
+	}
+	if _, err := db.EnumerateCtx(ctx, "cart17", "places", 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("warm-cache EnumerateCtx: err = %v, want context.Canceled", err)
+	}
+}
+
+// bigStream registers a long random stream so that a DP pass takes well
+// over any microsecond-scale deadline.
+func bigStream(t *testing.T, db *DB, n int) {
+	t.Helper()
+	nodes := paperex.Nodes()
+	rng := rand.New(rand.NewSource(11))
+	if err := db.PutStream("big", markov.Random(nodes, n, 0.5, rng)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// countingCtx is a context whose Err flips to DeadlineExceeded after a
+// fixed number of Err calls. It makes mid-DP deadline tests
+// deterministic: a real timer needs the runtime scheduler to fire its
+// callback, which a CPU-bound DP shorter than the preemption interval
+// can outrun on a single-CPU machine, but the poll count is a pure
+// function of DP progress.
+type countingCtx struct {
+	mu   sync.Mutex
+	left int
+	done chan struct{}
+}
+
+func newCountingCtx(budget int) *countingCtx {
+	return &countingCtx{left: budget, done: make(chan struct{})}
+}
+
+func (c *countingCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c *countingCtx) Done() <-chan struct{}       { return c.done }
+func (c *countingCtx) Value(any) any               { return nil }
+func (c *countingCtx) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.left <= 0 {
+		return context.DeadlineExceeded
+	}
+	c.left--
+	return nil
+}
+
+// TestDeadlinePromptness checks the point of step-granularity polling:
+// once the context reports expiry, a DP pass over a long stream aborts
+// at the next poll instead of running to completion. The countingCtx
+// expires after ~50 polls — a few percent of the stream — so a pass
+// that ignored the polls would have to finish all 30000 positions to
+// return. Covered for the confidence kernel (forward DP) and the ranked
+// path (checkpoint + Viterbi DP).
+func TestDeadlinePromptness(t *testing.T) {
+	testutil.CheckLeaks(t)
+	db, _, outs := setup(t)
+	bigStream(t, db, 30000)
+
+	if _, err := db.ConfidenceCtx(newCountingCtx(50), "big", "places", outs.MustParseString("1 2"), 0); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("ConfidenceCtx: err = %v, want context.DeadlineExceeded", err)
+	}
+	res, err := db.TopKCtx(newCountingCtx(50), "big", "places", 1)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("TopKCtx: err = %v, want context.DeadlineExceeded (res %v)", err, res)
+	}
+	// The aborted queries consumed nothing: the same queries with a live
+	// context still run to completion.
+	if _, err := db.TopKCtx(context.Background(), "big", "places", 1); err != nil {
+		t.Fatalf("TopKCtx after aborts: %v", err)
+	}
+}
+
+// TestStoreDeadlineOption checks WithQueryDeadline end to end with a
+// real timer. A cold call pays the engine build (View construction over
+// the long stream) before the DP, which gives the runtime ample
+// scheduling points to fire a microsecond-scale timer; each attempt
+// rebuilds the store so the engine cache never hides the deadline. A
+// few attempts are allowed because timer delivery is inherently
+// scheduler-dependent.
+func TestStoreDeadlineOption(t *testing.T) {
+	testutil.CheckLeaks(t)
+	nodes, outs := paperex.Nodes(), paperex.Outputs()
+	for attempt := 0; attempt < 5; attempt++ {
+		db := New(WithQueryDeadline(200 * time.Microsecond))
+		db.RegisterTransducer("places", paperex.Figure2(nodes, outs))
+		bigStream(t, db, 30000)
+		// Legacy method: the store deadline applies through the
+		// context.Background() delegation.
+		if _, err := db.TopK("big", "places", 1); errors.Is(err, context.DeadlineExceeded) {
+			return
+		} else if err != nil {
+			t.Fatalf("attempt %d: unexpected error %v", attempt, err)
+		}
+	}
+	t.Fatal("store deadline of 200µs never expired a cold query over a 30000-step stream")
+}
+
+// TestLoadShedding checks the WithMaxInFlight admission control
+// deterministically by occupying the in-flight slots directly (the
+// limiter is a plain semaphore channel): saturated queries fail fast
+// with ErrOverloaded and the store recovers as soon as a slot frees.
+func TestLoadShedding(t *testing.T) {
+	testutil.CheckLeaks(t)
+	db := New(WithMaxInFlight(2))
+	nodes, outs := paperex.Nodes(), paperex.Outputs()
+	db.RegisterTransducer("places", paperex.Figure2(nodes, outs))
+	if err := db.PutStream("cart17", paperex.Figure1(nodes)); err != nil {
+		t.Fatal(err)
+	}
+	o := outs.MustParseString("1 2")
+
+	// Occupy both slots, as two in-flight queries would.
+	db.inflight <- struct{}{}
+	db.inflight <- struct{}{}
+	if got := db.InFlight(); got != 2 {
+		t.Fatalf("InFlight = %d, want 2", got)
+	}
+	for name, call := range map[string]func() error{
+		"TopKCtx":       func() error { _, err := db.TopKCtx(context.Background(), "cart17", "places", 2); return err },
+		"EnumerateCtx":  func() error { _, err := db.EnumerateCtx(context.Background(), "cart17", "places", 0); return err },
+		"ConfidenceCtx": func() error { _, err := db.ConfidenceCtx(context.Background(), "cart17", "places", o, 0); return err },
+		"TopKAcrossCtx": func() error { _, err := db.TopKAcrossCtx(context.Background(), nil, "places", 2); return err },
+		"SlidingTopKCtx": func() error {
+			_, err := db.SlidingTopKCtx(context.Background(), "cart17", "places", 3, 1, 1)
+			return err
+		},
+	} {
+		if err := call(); !errors.Is(err, ErrOverloaded) {
+			t.Fatalf("%s under saturation: err = %v, want ErrOverloaded", name, err)
+		}
+	}
+	// Freeing one slot is enough to admit again (shed, not queued: the
+	// rejected calls above are gone, not waiting).
+	<-db.inflight
+	if _, err := db.TopKCtx(context.Background(), "cart17", "places", 2); err != nil {
+		t.Fatalf("after drain: %v", err)
+	}
+	<-db.inflight
+	if got := db.InFlight(); got != 0 {
+		t.Fatalf("InFlight after drain = %d, want 0", got)
+	}
+}
+
+// TestLoadSheddingConcurrent hammers a MaxInFlight(2) store from many
+// goroutines: every call either succeeds or sheds with ErrOverloaded
+// (never hangs, never returns a different error), slots always drain,
+// and the store serves normally afterwards. Run under -race this also
+// checks the limiter for data races.
+func TestLoadSheddingConcurrent(t *testing.T) {
+	testutil.CheckLeaks(t)
+	db := New(WithMaxInFlight(2))
+	nodes, outs := paperex.Nodes(), paperex.Outputs()
+	db.RegisterTransducer("places", paperex.Figure2(nodes, outs))
+	if err := db.PutStream("cart17", paperex.Figure1(nodes)); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var ok, shed, other int64
+	var mu sync.Mutex
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				_, err := db.TopKCtx(context.Background(), "cart17", "places", 2)
+				mu.Lock()
+				switch {
+				case err == nil:
+					ok++
+				case errors.Is(err, ErrOverloaded):
+					shed++
+				default:
+					other++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if other != 0 {
+		t.Fatalf("unexpected errors under load (ok=%d shed=%d other=%d)", ok, shed, other)
+	}
+	if ok == 0 {
+		t.Fatal("no query ever succeeded under load")
+	}
+	if got := db.InFlight(); got != 0 {
+		t.Fatalf("InFlight after drain = %d, want 0", got)
+	}
+	res, err := db.TopK("cart17", "places", 1)
+	if err != nil || len(res) != 1 {
+		t.Fatalf("store unhealthy after load: %v (%d results)", err, len(res))
+	}
+	if math.Abs(res[0].Score-0.3969) > 1e-9 {
+		t.Fatalf("post-load top score = %v", res[0].Score)
+	}
+}
+
+// TestOptionClamps checks that nonsensical option values are clamped to
+// their sane defaults instead of wedging the store.
+func TestOptionClamps(t *testing.T) {
+	for _, n := range []int{0, -3} {
+		db := New(WithWorkers(n))
+		if db.workers < 1 {
+			t.Fatalf("WithWorkers(%d): workers = %d", n, db.workers)
+		}
+		db = New(WithMaxInFlight(n))
+		if db.maxInFlight != 0 || db.inflight != nil {
+			t.Fatalf("WithMaxInFlight(%d): limiter unexpectedly enabled", n)
+		}
+		if got := db.InFlight(); got != 0 {
+			t.Fatalf("InFlight with no limiter = %d", got)
+		}
+	}
+	db := New(WithQueryDeadline(-time.Second))
+	if db.deadline != 0 {
+		t.Fatalf("WithQueryDeadline(-1s): deadline = %v", db.deadline)
+	}
+	// A zero-value store works: no limiter, no deadline.
+	db = New()
+	nodes, outs := paperex.Nodes(), paperex.Outputs()
+	db.RegisterTransducer("places", paperex.Figure2(nodes, outs))
+	if err := db.PutStream("cart17", paperex.Figure1(nodes)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.TopKCtx(context.Background(), "cart17", "places", 1); err != nil {
+		t.Fatal(err)
+	}
+	_ = outs
+}

@@ -1,6 +1,7 @@
 package lahar
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -74,8 +75,19 @@ type StreamResult struct {
 // WithWorkers; the default size is runtime.GOMAXPROCS(0)): at most that
 // many evaluation goroutines exist at any moment. Every failing stream
 // contributes its error to the joined error; partial results are not
-// returned.
+// returned. Equivalent to TopKAcrossCtx with context.Background() — the
+// store's deadline and in-flight limit still apply.
 func (db *DB) TopKAcross(streams []string, qname string, k int) ([]StreamResult, error) {
+	return db.TopKAcrossCtx(context.Background(), streams, qname, k)
+}
+
+// topKAcross is the limiter-free fan-out behind TopKAcross/TopKAcrossCtx.
+// Per-stream evaluations go through db.topK (not the public TopKCtx):
+// the outer call already holds the single in-flight slot, so the inner
+// work must not be shed by the limiter it is running under. On
+// cancellation no new streams start, every spawned worker is awaited
+// (no goroutine leaks), and ctx.Err() is returned.
+func (db *DB) topKAcross(ctx context.Context, streams []string, qname string, k int) ([]StreamResult, error) {
 	if len(streams) == 0 {
 		streams = db.Streams()
 	}
@@ -87,6 +99,9 @@ func (db *DB) TopKAcross(streams []string, qname string, k int) ([]StreamResult,
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, db.workers)
 	for i, name := range streams {
+		if ctx.Err() != nil {
+			break // stop issuing work; already-spawned workers self-cancel
+		}
 		// Acquire before spawning so goroutine creation itself is bounded
 		// by the pool size, not just execution.
 		sem <- struct{}{}
@@ -94,7 +109,7 @@ func (db *DB) TopKAcross(streams []string, qname string, k int) ([]StreamResult,
 		go func(i int, name string) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			res, err := db.TopK(name, qname, k)
+			res, err := db.topK(ctx, name, qname, k)
 			if err != nil {
 				err = fmt.Errorf("stream %q: %w", name, err)
 			}
@@ -102,6 +117,9 @@ func (db *DB) TopKAcross(streams []string, qname string, k int) ([]StreamResult,
 		}(i, name)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("lahar: TopKAcross: %w", err)
+	}
 	var errs []error
 	for i := range outs {
 		if outs[i].err != nil {
@@ -142,8 +160,18 @@ type WindowResult struct {
 // query's prepared form and the stream's forward marginals are computed
 // once, so each window pays only for the marginal copy and its own
 // evaluation. With the ParallelWindows option the windows fan out over
-// the store's worker pool.
+// the store's worker pool. Equivalent to SlidingTopKCtx with
+// context.Background() — the store's deadline and in-flight limit still
+// apply.
 func (db *DB) SlidingTopK(stream, qname string, window, stride, k int) ([]WindowResult, error) {
+	return db.SlidingTopKCtx(context.Background(), stream, qname, window, stride, k)
+}
+
+// slidingTopK is the limiter-free windowed evaluation behind
+// SlidingTopK/SlidingTopKCtx (the outer call holds the in-flight slot).
+// On cancellation no new windows start, spawned workers are awaited,
+// and ctx.Err() is returned.
+func (db *DB) slidingTopK(ctx context.Context, stream, qname string, window, stride, k int) ([]WindowResult, error) {
 	if window < 1 || stride < 1 {
 		return nil, fmt.Errorf("lahar: window and stride must be ≥ 1")
 	}
@@ -166,7 +194,11 @@ func (db *DB) SlidingTopK(stream, qname string, window, stride, k int) ([]Window
 		if err != nil {
 			return fmt.Errorf("lahar: window [%d,%d]: %w", start, start+window-1, err)
 		}
-		out[i] = WindowResult{Start: start, End: start + window - 1, Top: resultsOf(eng.TopK(k))}
+		top, err := eng.TopKCtx(ctx, k)
+		if err != nil {
+			return err
+		}
+		out[i] = WindowResult{Start: start, End: start + window - 1, Top: resultsOf(top)}
 		return nil
 	}
 	if !db.parallelWindows || len(starts) < 2 {
@@ -181,6 +213,9 @@ func (db *DB) SlidingTopK(stream, qname string, window, stride, k int) ([]Window
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, db.workers)
 	for i, start := range starts {
+		if ctx.Err() != nil {
+			break // stop issuing windows; spawned workers self-cancel
+		}
 		sem <- struct{}{}
 		wg.Add(1)
 		go func(i, start int) {
@@ -190,6 +225,9 @@ func (db *DB) SlidingTopK(stream, qname string, window, stride, k int) ([]Window
 		}(i, start)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := errors.Join(errs...); err != nil {
 		return nil, err
 	}

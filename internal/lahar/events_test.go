@@ -11,6 +11,7 @@ import (
 	"markovseq/internal/markov"
 	"markovseq/internal/paperex"
 	"markovseq/internal/regex"
+	"markovseq/internal/testutil"
 )
 
 func TestMatchProb(t *testing.T) {
@@ -59,6 +60,7 @@ func TestExplain(t *testing.T) {
 }
 
 func TestTopKAcross(t *testing.T) {
+	testutil.CheckLeaks(t)
 	db := New()
 	nodes := paperex.Nodes()
 	outs := paperex.Outputs()
@@ -105,6 +107,7 @@ func TestTopKAcross(t *testing.T) {
 
 // TestConcurrentAccess exercises the store under the race detector.
 func TestConcurrentAccess(t *testing.T) {
+	testutil.CheckLeaks(t)
 	db := New()
 	nodes := paperex.Nodes()
 	outs := paperex.Outputs()
@@ -141,6 +144,7 @@ func TestConcurrentAccess(t *testing.T) {
 }
 
 func TestSlidingTopK(t *testing.T) {
+	testutil.CheckLeaks(t)
 	db, _, outs := setup(t)
 	res, err := db.SlidingTopK("cart17", "places", 3, 1, 1)
 	if err != nil {

@@ -26,13 +26,30 @@
 // ParallelWindows option) evaluation fan out over a worker pool whose
 // size defaults to runtime.GOMAXPROCS(0) and is configurable with
 // WithWorkers.
+//
+// # Cancellation, deadlines, and load shedding
+//
+// Every query method has a context-aware form (TopKCtx, EnumerateCtx,
+// ConfidenceCtx, SlidingTopKCtx, TopKAcrossCtx); the legacy methods
+// delegate to them with context.Background(). Cancellation reaches
+// step granularity: the DP kernels poll the context every few sequence
+// positions, and the enumerators check it between answers, so a
+// deadline aborts long passes promptly. A cancelled ranked query
+// returns the already-proven answer prefix together with ctx.Err() —
+// the prefix is exactly the first answers of the uncancelled run, never
+// a reordering. WithQueryDeadline applies a per-query timeout at every
+// public entry point, and WithMaxInFlight bounds the number of
+// concurrently executing queries, shedding the excess immediately with
+// ErrOverloaded instead of queueing it.
 package lahar
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"markovseq/internal/automata"
 	"markovseq/internal/core"
@@ -113,6 +130,13 @@ type DB struct {
 
 	workers         int
 	parallelWindows bool
+
+	// deadline is the per-query timeout applied at every public entry
+	// point (0 = none); inflight is the load-shedding semaphore (nil =
+	// unlimited). See WithQueryDeadline / WithMaxInFlight.
+	deadline    time.Duration
+	maxInFlight int
+	inflight    chan struct{}
 }
 
 // Option configures a DB.
@@ -147,6 +171,9 @@ func New(opts ...Option) *DB {
 	}
 	for _, o := range opts {
 		o(db)
+	}
+	if db.maxInFlight > 0 {
+		db.inflight = make(chan struct{}, db.maxInFlight)
 	}
 	return db
 }
@@ -255,13 +282,21 @@ func (db *DB) Explain(stream, qname string) (string, error) {
 // ranking semantics is chosen per the paper's tractability map (Table 2):
 // indexed s-projectors rank by exact confidence (Theorem 5.7), plain
 // s-projectors by I_max (Theorem 5.2), and transducers by E_max
-// (Theorem 4.3).
+// (Theorem 4.3). Equivalent to TopKCtx with context.Background() — the
+// store's deadline and in-flight limit still apply.
 func (db *DB) TopK(stream, qname string, k int) ([]Result, error) {
+	return db.TopKCtx(context.Background(), stream, qname, k)
+}
+
+// topK is the limiter-free core of TopK/TopKCtx, used directly by the
+// fan-out methods (the outer call already holds the in-flight slot).
+func (db *DB) topK(ctx context.Context, stream, qname string, k int) ([]Result, error) {
 	e, err := db.engine(stream, qname)
 	if err != nil {
 		return nil, err
 	}
-	return resultsOf(e.TopK(k)), nil
+	answers, err := e.TopKCtx(ctx, k)
+	return resultsOf(answers), err
 }
 
 func resultsOf(answers []core.Answer) []Result {
@@ -286,17 +321,24 @@ func kindOf(name string) ScoreKind {
 }
 
 // Enumerate returns up to limit answers in unranked order (Theorem 4.1);
-// limit ≤ 0 means all.
+// limit ≤ 0 means all. Equivalent to EnumerateCtx with
+// context.Background() — the store's deadline and in-flight limit still
+// apply.
 func (db *DB) Enumerate(stream, qname string, limit int) ([]Result, error) {
+	return db.EnumerateCtx(context.Background(), stream, qname, limit)
+}
+
+func (db *DB) enumerate(ctx context.Context, stream, qname string, limit int) ([]Result, error) {
 	e, err := db.engine(stream, qname)
 	if err != nil {
 		return nil, err
 	}
+	outputs, err := e.EnumerateCtx(ctx, limit)
 	var out []Result
-	for _, o := range e.Enumerate(limit) {
+	for _, o := range outputs {
 		out = append(out, Result{Output: o, Kind: ScoreNone})
 	}
-	return out, nil
+	return out, err
 }
 
 // Confidence computes the confidence of an answer, selecting the
@@ -304,11 +346,17 @@ func (db *DB) Enumerate(stream, qname string, limit int) ([]Result, error) {
 // Theorem 4.8 for uniform nondeterministic ones, Theorem 5.5 for
 // s-projectors, Theorem 5.8 for indexed s-projectors (index > 0). It
 // returns an error for the FP^#P-hard combinations rather than silently
-// running an exponential algorithm.
+// running an exponential algorithm. Equivalent to ConfidenceCtx with
+// context.Background() — the store's deadline and in-flight limit still
+// apply.
 func (db *DB) Confidence(stream, qname string, o []automata.Symbol, index int) (float64, error) {
+	return db.ConfidenceCtx(context.Background(), stream, qname, o, index)
+}
+
+func (db *DB) confidence(ctx context.Context, stream, qname string, o []automata.Symbol, index int) (float64, error) {
 	e, err := db.engine(stream, qname)
 	if err != nil {
 		return 0, err
 	}
-	return e.Confidence(o, index)
+	return e.ConfidenceCtx(ctx, o, index)
 }

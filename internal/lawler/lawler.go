@@ -22,6 +22,7 @@ package lawler
 
 import (
 	"container/heap"
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -40,8 +41,11 @@ type Config[T any] struct {
 	// (the zero T at the root, distinguished by root=true); resolvers
 	// use it to locate shared work such as prefix checkpoints. Resolve
 	// must be deterministic and, when Workers > 1, safe for concurrent
-	// use.
-	Resolve func(c transducer.Constraint, parent T, root bool) (T, float64, bool)
+	// use. A non-nil error (normally ctx.Err() from a cancelled context)
+	// aborts the resolution without deciding the subproblem: the item is
+	// pushed back unresolved, so a later NextCtx call with a live context
+	// resumes the enumeration at exactly the same point.
+	Resolve func(ctx context.Context, c transducer.Constraint, parent T, root bool) (T, float64, bool, error)
 	// Children partitions the subproblem's remaining answers after its
 	// top has been emitted. The returned order is part of the
 	// deterministic tie-break and must not depend on timing.
@@ -112,14 +116,37 @@ func New[T any](cfg Config[T]) *Enumerator[T] {
 // Next returns the next answer in decreasing score, or ok=false when the
 // enumeration is exhausted.
 func (e *Enumerator[T]) Next() (top T, score float64, ok bool) {
+	top, score, ok, _ = e.NextCtx(context.Background())
+	return top, score, ok
+}
+
+// NextCtx is Next with cancellation: the context is checked between
+// resolutions, and a cancelled resolution leaves its subproblem
+// unresolved in the queue. On error the answer sequence already emitted
+// is unaffected and a later call with a live context continues it
+// exactly where it stopped — cancellation never reorders or drops
+// answers, it only pauses the drain.
+func (e *Enumerator[T]) NextCtx(ctx context.Context) (top T, score float64, ok bool, err error) {
+	var zero T
 	for len(e.q) > 0 {
+		if err := ctx.Err(); err != nil {
+			return zero, 0, false, err
+		}
 		if !e.q[0].resolved && e.cfg.Workers > 1 {
-			e.speculate()
+			if err := e.speculate(ctx); err != nil {
+				return zero, 0, false, err
+			}
 			continue
 		}
 		it := heap.Pop(&e.q).(*item[T])
 		if !it.resolved {
-			top, sc, ok := e.cfg.Resolve(it.c, it.parent, it.root)
+			top, sc, ok, err := e.cfg.Resolve(ctx, it.c, it.parent, it.root)
+			if err != nil {
+				// Undecided: push back unresolved so the enumeration can
+				// resume deterministically.
+				heap.Push(&e.q, it)
+				return zero, 0, false, err
+			}
 			if !ok {
 				continue // empty subproblem
 			}
@@ -133,17 +160,21 @@ func (e *Enumerator[T]) Next() (top T, score float64, ok bool) {
 			heap.Push(&e.q, &item[T]{c: child, parent: it.top, seq: e.seq, score: it.score})
 			e.seq++
 		}
-		return it.top, it.score, true
+		return it.top, it.score, true, nil
 	}
-	var zero T
-	return zero, 0, false
+	return zero, 0, false, nil
 }
 
 // speculate pops the top-Batch unresolved subproblems (pushing back any
 // resolved items passed over), resolves them concurrently, and restores
 // the queue. Emission order is unaffected: resolution is deterministic
 // and items keep their insertion sequence.
-func (e *Enumerator[T]) speculate() {
+//
+// On cancellation the round still drains its workers (no goroutine
+// leaks) and every undecided item is pushed back unresolved; items that
+// finished resolving before the cancellation keep their results, which
+// is safe because resolution is deterministic.
+func (e *Enumerator[T]) speculate(ctx context.Context) error {
 	e.spec = e.spec[:0]
 	unresolved := 0
 	// Bound the pop-scan so a queue dominated by resolved items doesn't
@@ -169,19 +200,29 @@ func (e *Enumerator[T]) speculate() {
 	if nw > len(work) {
 		nw = len(work)
 	}
+	errs := make([]error, len(work))
 	var next atomic.Int64
+	var failed atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < nw; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
+				if failed.Load() {
+					return // a sibling hit an error; stop claiming work
+				}
 				i := int(next.Add(1)) - 1
 				if i >= len(work) {
 					return
 				}
 				it := work[i]
-				top, sc, ok := e.cfg.Resolve(it.c, it.parent, it.root)
+				top, sc, ok, err := e.cfg.Resolve(ctx, it.c, it.parent, it.root)
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					continue // leave the item unresolved
+				}
 				if !ok {
 					it.dead = true
 					continue
@@ -196,4 +237,10 @@ func (e *Enumerator[T]) speculate() {
 			heap.Push(&e.q, it)
 		}
 	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -12,6 +12,7 @@
 package markov
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -197,6 +198,18 @@ func sampleRow(row []float64, rng *rand.Rand) automata.Symbol {
 // 0 ≤ i < n (0-based position). The pass runs over the sparse CSR view,
 // touching only nonzero transitions.
 func (m *Sequence) Forward() [][]float64 {
+	alpha, _ := m.forward(nil)
+	return alpha
+}
+
+// ForwardCtx is Forward with step-granularity cancellation: the context
+// is polled every few positions and the pass aborts with ctx.Err() as
+// soon as it fires, returning nil marginals.
+func (m *Sequence) ForwardCtx(ctx context.Context) ([][]float64, error) {
+	return m.forward(kernel.NewPoll(ctx))
+}
+
+func (m *Sequence) forward(p *kernel.Poll) ([][]float64, error) {
 	v := m.View()
 	alpha := make([][]float64, v.N)
 	row0 := make([]float64, v.K)
@@ -205,6 +218,9 @@ func (m *Sequence) Forward() [][]float64 {
 	}
 	alpha[0] = row0
 	for i := 1; i < v.N; i++ {
+		if err := p.Step(); err != nil {
+			return nil, err
+		}
 		row := make([]float64, v.K)
 		st := &v.Steps[i-1]
 		prev := alpha[i-1]
@@ -219,7 +235,7 @@ func (m *Sequence) Forward() [][]float64 {
 		}
 		alpha[i] = row
 	}
-	return alpha
+	return alpha, nil
 }
 
 // Backward returns the suffix masses β, where β[i][s] is the expected
@@ -230,6 +246,17 @@ func (m *Sequence) Forward() [][]float64 {
 // acceptance-mass backward pass used for pruning and windowed scoring.
 // Sparse like Forward.
 func (m *Sequence) Backward(final []float64) [][]float64 {
+	beta, _ := m.backward(nil, final)
+	return beta
+}
+
+// BackwardCtx is Backward with step-granularity cancellation (see
+// ForwardCtx).
+func (m *Sequence) BackwardCtx(ctx context.Context, final []float64) ([][]float64, error) {
+	return m.backward(kernel.NewPoll(ctx), final)
+}
+
+func (m *Sequence) backward(p *kernel.Poll, final []float64) ([][]float64, error) {
 	v := m.View()
 	beta := make([][]float64, v.N)
 	last := make([]float64, v.K)
@@ -245,6 +272,9 @@ func (m *Sequence) Backward(final []float64) [][]float64 {
 	}
 	beta[v.N-1] = last
 	for i := v.N - 2; i >= 0; i-- {
+		if err := p.Step(); err != nil {
+			return nil, err
+		}
 		row := make([]float64, v.K)
 		st := &v.Steps[i]
 		next := beta[i+1]
@@ -257,7 +287,7 @@ func (m *Sequence) Backward(final []float64) [][]float64 {
 		}
 		beta[i] = row
 	}
-	return beta
+	return beta, nil
 }
 
 // Support reports, for each position, which nodes have nonzero marginal

@@ -7,6 +7,7 @@ import (
 
 	"markovseq/internal/automata"
 	"markovseq/internal/markov"
+	"markovseq/internal/testutil"
 	"markovseq/internal/transducer"
 )
 
@@ -97,6 +98,7 @@ func assertSameAnswerSequence(t *testing.T, label string, got, want []Answer) {
 // instances. Run under -race this also exercises the concurrent
 // checkpoint-cache and resolver paths.
 func TestParallelMatchesSequentialExactly(t *testing.T) {
+	testutil.CheckLeaks(t)
 	type workload struct {
 		name string
 		t    *transducer.Transducer

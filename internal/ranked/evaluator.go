@@ -2,6 +2,7 @@ package ranked
 
 import (
 	"container/list"
+	"context"
 	"math"
 	"sync"
 
@@ -73,25 +74,62 @@ func (ev *Evaluator) Tables() *kernel.NFATables { return ev.nt }
 // once; without coalescing each would rebuild it and the dominant cost
 // would be duplicated instead of shared).
 func (ev *Evaluator) checkpoint(align []automata.Symbol) *kernel.Checkpoint {
+	ck, _ := ev.checkpointCtx(context.Background(), align)
+	return ck
+}
+
+// checkpointCtx is checkpoint with cancellation. A leader whose build is
+// cancelled publishes no checkpoint: it withdraws the in-flight entry
+// and wakes its waiters, each of which retries getOrStart — so one
+// request's deadline never poisons the cache for the others, and the
+// next caller (possibly a woken waiter) becomes the new leader.
+func (ev *Evaluator) checkpointCtx(ctx context.Context, align []automata.Symbol) (*kernel.Checkpoint, error) {
 	key := automata.StringKey(align)
-	if ck, build, leader := ev.cache.getOrStart(key); ck != nil {
-		return ck
-	} else if !leader {
-		<-build.done
-		return build.ck
-	} else {
-		build.ck = kernel.BuildCheckpoint(ev.nt, ev.v, align, nil)
+	for {
+		ck, build, leader := ev.cache.getOrStart(key)
+		if ck != nil {
+			return ck, nil
+		}
+		if !leader {
+			select {
+			case <-build.done:
+				if build.ck != nil {
+					return build.ck, nil
+				}
+				continue // the leader was cancelled; retry and maybe lead
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		ck, err := kernel.BuildCheckpointCtx(ctx, ev.nt, ev.v, align, nil)
+		if err != nil {
+			ev.cache.fail(key, build)
+			close(build.done)
+			return nil, err
+		}
+		build.ck = ck
 		close(build.done)
-		ev.cache.finish(key, build.ck)
-		return build.ck
+		ev.cache.finish(key, ck)
+		return ck, nil
 	}
 }
 
 // resolve solves the constrained top-answer problem for c against the
 // checkpoint aligned to align (which must extend c.Prefix).
 func (ev *Evaluator) resolve(c transducer.Constraint, align []automata.Symbol) (out, nodes []automata.Symbol, logE float64, ok bool) {
-	out, nodes, _, logE, ok = kernel.ResumeConstrained(ev.nt, ev.v, ev.checkpoint(align), c, nil)
+	out, nodes, logE, ok, _ = ev.resolveCtx(context.Background(), c, align)
 	return out, nodes, logE, ok
+}
+
+// resolveCtx is resolve with cancellation of both the checkpoint build
+// and the resume DP.
+func (ev *Evaluator) resolveCtx(ctx context.Context, c transducer.Constraint, align []automata.Symbol) (out, nodes []automata.Symbol, logE float64, ok bool, err error) {
+	ck, err := ev.checkpointCtx(ctx, align)
+	if err != nil {
+		return nil, nil, math.Inf(-1), false, err
+	}
+	out, nodes, _, logE, ok, err = kernel.ResumeConstrainedCtx(ctx, ev.nt, ev.v, ck, c, nil)
+	return out, nodes, logE, ok, err
 }
 
 // TopEmax returns an answer with maximal E_max among those c admits,
@@ -135,7 +173,8 @@ type ckEntry struct {
 }
 
 // ckBuild is an in-flight checkpoint build; done is closed by the
-// leader once ck is set.
+// leader once ck is set, or — after a cancelled build — with ck still
+// nil, which tells waiters to retry.
 type ckBuild struct {
 	done chan struct{}
 	ck   *kernel.Checkpoint
@@ -168,6 +207,17 @@ func (c *ckptCache) getOrStart(key string) (ck *kernel.Checkpoint, build *ckBuil
 	b := &ckBuild{done: make(chan struct{})}
 	c.inflight[key] = b
 	return nil, b, true
+}
+
+// fail withdraws a cancelled build, but only if it is still the
+// registered one (a new leader may already have re-registered the key).
+// The caller closes b.done afterwards, waking waiters into a retry.
+func (c *ckptCache) fail(key string, b *ckBuild) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.inflight[key] == b {
+		delete(c.inflight, key)
+	}
 }
 
 // finish publishes a completed build into the LRU.

@@ -26,6 +26,7 @@
 package ranked
 
 import (
+	"context"
 	"math"
 
 	"markovseq/internal/automata"
@@ -199,15 +200,15 @@ func NewEnumerator(t *transducer.Transducer, m *markov.Sequence, opts ...Option)
 func (ev *Evaluator) Enumerate(workers int) *Enumerator {
 	return &Enumerator{inner: lawler.New(lawler.Config[Answer]{
 		Root: transducer.Unconstrained(),
-		Resolve: func(c transducer.Constraint, parent Answer, root bool) (Answer, float64, bool) {
+		Resolve: func(ctx context.Context, c transducer.Constraint, parent Answer, root bool) (Answer, float64, bool, error) {
 			// Children of a printed answer share its checkpoint: every
 			// child prefix is a prefix of the parent's output.
 			align := parent.Output
 			if root {
 				align = c.Prefix
 			}
-			o, _, logE, ok := ev.resolve(c, align)
-			return Answer{Output: o, LogEmax: logE}, logE, ok
+			o, _, logE, ok, err := ev.resolveCtx(ctx, c, align)
+			return Answer{Output: o, LogEmax: logE}, logE, ok, err
 		},
 		Children: func(c transducer.Constraint, top Answer) []transducer.Constraint {
 			return c.Children(top.Output)
@@ -222,6 +223,15 @@ func (ev *Evaluator) Enumerate(workers int) *Enumerator {
 func (e *Enumerator) Next() (Answer, bool) {
 	a, _, ok := e.inner.Next()
 	return a, ok
+}
+
+// NextCtx is Next with cancellation: a non-nil error (ctx.Err()) means
+// no answer was consumed — the answers already emitted stand, and a
+// later call with a live context resumes the ranked order exactly where
+// it stopped.
+func (e *Enumerator) NextCtx(ctx context.Context) (Answer, bool, error) {
+	a, _, ok, err := e.inner.NextCtx(ctx)
+	return a, ok, err
 }
 
 // Emax computes E_max(o) = max{Pr(s) : s →[A^ω]→ o} in log space, using

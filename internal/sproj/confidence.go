@@ -1,7 +1,10 @@
 package sproj
 
 import (
+	"context"
+
 	"markovseq/internal/automata"
+	"markovseq/internal/kernel"
 	"markovseq/internal/markov"
 )
 
@@ -32,13 +35,25 @@ import (
 // reaches |o| with b ∈ F_B; its suffix run contributes the E start state
 // to S. At the end, the event holds iff S ∩ F_E ≠ ∅.
 func (p *SProjector) Confidence(m *markov.Sequence, o []automata.Symbol) float64 {
+	v, _ := p.confidence(nil, m, o)
+	return v
+}
+
+// ConfidenceCtx is Confidence with step-granularity cancellation: the
+// context is polled once per sequence position (each position expands
+// every live observer state, the dominant per-step cost).
+func (p *SProjector) ConfidenceCtx(ctx context.Context, m *markov.Sequence, o []automata.Symbol) (float64, error) {
+	return p.confidence(kernel.NewPoll(ctx), m, o)
+}
+
+func (p *SProjector) confidence(pl *kernel.Poll, m *markov.Sequence, o []automata.Symbol) (float64, error) {
 	if !p.A.Accepts(o) {
-		return 0
+		return 0, nil
 	}
 	n := m.Len()
 	lo := len(o)
 	if lo > n {
-		return 0
+		return 0, nil
 	}
 	ab := p.Alphabet()
 	nSyms := ab.Size()
@@ -112,6 +127,9 @@ func (p *SProjector) Confidence(m *markov.Sequence, o []automata.Symbol) float64
 	}
 
 	for i := 0; i < n; i++ {
+		if err := pl.Step(); err != nil {
+			return 0, err
+		}
 		nxt := map[key]float64{}
 		for k, mass := range cur {
 			var row []float64
@@ -139,7 +157,7 @@ func (p *SProjector) Confidence(m *markov.Sequence, o []automata.Symbol) float64
 			}
 		}
 	}
-	return total
+	return total, nil
 }
 
 // kmpAutomaton builds the full KMP transition table for pattern o over an

@@ -1,9 +1,11 @@
 package sproj
 
 import (
+	"context"
 	"math"
 
 	"markovseq/internal/automata"
+	"markovseq/internal/kernel"
 	"markovseq/internal/kpaths"
 	"markovseq/internal/lawler"
 	"markovseq/internal/markov"
@@ -20,8 +22,9 @@ type IndexedAnswer struct {
 }
 
 // forwardB computes FB[i][x] = Pr(S[1..i] ∈ L(B) ∧ S_i = x) for 1 ≤ i ≤ n,
-// plus epsB = whether ε ∈ L(B) (the i = 0 case).
-func (p *SProjector) forwardB(m *markov.Sequence) (fb [][]float64, epsB bool) {
+// plus epsB = whether ε ∈ L(B) (the i = 0 case). The poll (nil for the
+// uncancellable path) is stepped once per position.
+func (p *SProjector) forwardB(pl *kernel.Poll, m *markov.Sequence) (fb [][]float64, epsB bool, err error) {
 	n := m.Len()
 	nNodes := m.Nodes.Size()
 	nB := p.B.NumStates
@@ -50,6 +53,9 @@ func (p *SProjector) forwardB(m *markov.Sequence) (fb [][]float64, epsB bool) {
 	}
 	fb[1] = collect()
 	for i := 2; i <= n; i++ {
+		if err := pl.Step(); err != nil {
+			return nil, false, err
+		}
 		next := make([][]float64, nNodes)
 		for x := range next {
 			next[x] = make([]float64, nB)
@@ -71,13 +77,14 @@ func (p *SProjector) forwardB(m *markov.Sequence) (fb [][]float64, epsB bool) {
 		alpha = next
 		fb[i] = collect()
 	}
-	return fb, p.B.Accepting[p.B.Start]
+	return fb, p.B.Accepting[p.B.Start], nil
 }
 
 // backwardE computes beta[j][x] = Pr(S[j+1..n] ∈ L(E) | S_j = x) for
 // 1 ≤ j ≤ n (at j = n this is [ε ∈ L(E)]), together with
-// whole = Pr(S[1..n] ∈ L(E)) for the i = 1, o = ε case.
-func (p *SProjector) backwardE(m *markov.Sequence) (beta [][]float64, whole float64) {
+// whole = Pr(S[1..n] ∈ L(E)) for the i = 1, o = ε case. The poll (nil
+// for the uncancellable path) is stepped once per position.
+func (p *SProjector) backwardE(pl *kernel.Poll, m *markov.Sequence) (beta [][]float64, whole float64, err error) {
 	n := m.Len()
 	nNodes := m.Nodes.Size()
 	nE := p.E.NumStates
@@ -101,6 +108,9 @@ func (p *SProjector) backwardE(m *markov.Sequence) (beta [][]float64, whole floa
 		beta[n][x] = epsE
 	}
 	for j := n - 1; j >= 1; j-- {
+		if err := pl.Step(); err != nil {
+			return nil, 0, err
+		}
 		next := make([][]float64, nNodes)
 		for x := range next {
 			next[x] = make([]float64, nE)
@@ -138,7 +148,7 @@ func (p *SProjector) backwardE(m *markov.Sequence) (beta [][]float64, whole floa
 			}
 		}
 	}
-	return beta, whole
+	return beta, whole, nil
 }
 
 // IndexedConfidence computes Pr(S →[B]↓A[E]→ (o, i)) in polynomial time,
@@ -146,23 +156,40 @@ func (p *SProjector) backwardE(m *markov.Sequence) (beta [][]float64, whole floa
 // probability factors into a prefix mass (forward DP through B), the
 // middle path through o, and a suffix mass (backward DP through E).
 func (p *SProjector) IndexedConfidence(m *markov.Sequence, o []automata.Symbol, i int) float64 {
+	v, _ := p.indexedConfidence(nil, m, o, i)
+	return v
+}
+
+// IndexedConfidenceCtx is IndexedConfidence with step-granularity
+// cancellation of the forward/backward DPs.
+func (p *SProjector) IndexedConfidenceCtx(ctx context.Context, m *markov.Sequence, o []automata.Symbol, i int) (float64, error) {
+	return p.indexedConfidence(kernel.NewPoll(ctx), m, o, i)
+}
+
+func (p *SProjector) indexedConfidence(pl *kernel.Poll, m *markov.Sequence, o []automata.Symbol, i int) (float64, error) {
 	if !p.A.Accepts(o) {
-		return 0
+		return 0, nil
 	}
 	n := m.Len()
 	lo := len(o)
 	if i < 1 || i+lo-1 > n || (lo == 0 && i > n+1) {
-		return 0
+		return 0, nil
 	}
-	fb, epsB := p.forwardB(m)
-	beta, whole := p.backwardE(m)
+	fb, epsB, err := p.forwardB(pl, m)
+	if err != nil {
+		return 0, err
+	}
+	beta, whole, err := p.backwardE(pl, m)
+	if err != nil {
+		return 0, err
+	}
 	if lo == 0 {
 		switch {
 		case i == 1:
 			if !epsB {
-				return 0
+				return 0, nil
 			}
-			return whole
+			return whole, nil
 		case i == n+1:
 			total := 0.0
 			if p.E.Accepting[p.E.Start] {
@@ -170,13 +197,13 @@ func (p *SProjector) IndexedConfidence(m *markov.Sequence, o []automata.Symbol, 
 					total += fb[n][x]
 				}
 			}
-			return total
+			return total, nil
 		default:
 			total := 0.0
 			for x := range fb[i-1] {
 				total += fb[i-1][x] * beta[i-1][x]
 			}
-			return total
+			return total, nil
 		}
 	}
 	// Mass of reaching o[0] at position i with an accepted B-prefix.
@@ -192,16 +219,16 @@ func (p *SProjector) IndexedConfidence(m *markov.Sequence, o []automata.Symbol, 
 		}
 	}
 	if start == 0 {
-		return 0
+		return 0, nil
 	}
 	w := start
 	for j := 0; j+1 < lo; j++ {
 		w *= m.Trans[i+j-1][o[j]][o[j+1]]
 		if w == 0 {
-			return 0
+			return 0, nil
 		}
 	}
-	return w * beta[i+lo-1][o[lo-1]]
+	return w * beta[i+lo-1][o[lo-1]], nil
 }
 
 // answerDAG is the Theorem 5.7 reduction: a DAG whose source→sink paths
@@ -247,8 +274,10 @@ func (d *answerDAG) decode(path kpaths.Path) ([]automata.Symbol, int) {
 }
 
 // buildDAG constructs the answer DAG for pattern automaton A' (usually
-// p.A, or its product with an output constraint).
-func (p *SProjector) buildDAG(m *markov.Sequence, pattern *automata.DFA) *answerDAG {
+// p.A, or its product with an output constraint). The poll is stepped
+// once per sequence position while laying edges (the construction is
+// the dominant cost of TopIndexed, so cancellation must reach it).
+func (p *SProjector) buildDAG(pl *kernel.Poll, m *markov.Sequence, pattern *automata.DFA) (*answerDAG, error) {
 	n := m.Len()
 	nNodes := m.Nodes.Size()
 	nA := pattern.NumStates
@@ -262,8 +291,14 @@ func (p *SProjector) buildDAG(m *markov.Sequence, pattern *automata.DFA) *answer
 	d.g = g
 	d.src, d.dst = 0, 1
 
-	fb, epsB := p.forwardB(m)
-	beta, whole := p.backwardE(m)
+	fb, epsB, err := p.forwardB(pl, m)
+	if err != nil {
+		return nil, err
+	}
+	beta, whole, err := p.backwardE(pl, m)
+	if err != nil {
+		return nil, err
+	}
 	epsE := p.E.Accepting[p.E.Start]
 
 	addEdge := func(from, to int, prob float64, label int32) {
@@ -286,6 +321,9 @@ func (p *SProjector) buildDAG(m *markov.Sequence, pattern *automata.DFA) *answer
 			addEdge(d.src, d.mid(1, x, a), m.Initial[x], 0)
 		}
 		for i := 2; i <= n; i++ {
+			if err := pl.Step(); err != nil {
+				return nil, err
+			}
 			tr := m.Trans[i-2]
 			start := 0.0
 			for xp := 0; xp < nNodes; xp++ {
@@ -296,6 +334,9 @@ func (p *SProjector) buildDAG(m *markov.Sequence, pattern *automata.DFA) *answer
 	}
 	// Middle edges: continue the match.
 	for j := 1; j < n; j++ {
+		if err := pl.Step(); err != nil {
+			return nil, err
+		}
 		tr := m.Trans[j-1]
 		for x := 0; x < nNodes; x++ {
 			for a := 0; a < nA; a++ {
@@ -339,7 +380,7 @@ func (p *SProjector) buildDAG(m *markov.Sequence, pattern *automata.DFA) *answer
 			addEdge(d.src, d.dst, v, int32(n+1))
 		}
 	}
-	return d
+	return d, nil
 }
 
 // IndexedEnumerator yields the answers of [B]↓A[E] over μ in exactly
@@ -352,7 +393,16 @@ type IndexedEnumerator struct {
 // EnumerateIndexed prepares the decreasing-confidence enumeration of
 // indexed answers.
 func (p *SProjector) EnumerateIndexed(m *markov.Sequence) (*IndexedEnumerator, error) {
-	dag := p.buildDAG(m, p.A)
+	return p.EnumerateIndexedCtx(context.Background(), m)
+}
+
+// EnumerateIndexedCtx is EnumerateIndexed with cancellation of the
+// answer-DAG construction (the preparation cost, linear in n).
+func (p *SProjector) EnumerateIndexedCtx(ctx context.Context, m *markov.Sequence) (*IndexedEnumerator, error) {
+	dag, err := p.buildDAG(kernel.NewPoll(ctx), m, p.A)
+	if err != nil {
+		return nil, err
+	}
 	iter, err := dag.g.Enumerate(dag.src, dag.dst)
 	if err != nil {
 		return nil, err
@@ -371,22 +421,42 @@ func (e *IndexedEnumerator) Next() (IndexedAnswer, bool) {
 	return IndexedAnswer{Output: o, Index: i, Conf: math.Exp(-path.Weight)}, true
 }
 
+// NextCtx is Next with a cancellation check before the next path is
+// extracted; a non-nil error means no answer was consumed.
+func (e *IndexedEnumerator) NextCtx(ctx context.Context) (IndexedAnswer, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return IndexedAnswer{}, false, err
+	}
+	a, ok := e.Next()
+	return a, ok, nil
+}
+
 // TopIndexed returns the indexed answer with maximal confidence whose
 // output satisfies the constraint, or ok=false when none exists. Because
 // the output of an s-projector is exactly the substring matched by the
 // pattern, an output constraint composes into the pattern automaton.
 func (p *SProjector) TopIndexed(m *markov.Sequence, c transducer.Constraint) (IndexedAnswer, bool) {
-	dag := p.buildDAG(m, p.constrainedPattern(c))
+	a, ok, _ := p.TopIndexedCtx(context.Background(), m, c)
+	return a, ok
+}
+
+// TopIndexedCtx is TopIndexed with cancellation of the constrained
+// answer-DAG construction.
+func (p *SProjector) TopIndexedCtx(ctx context.Context, m *markov.Sequence, c transducer.Constraint) (IndexedAnswer, bool, error) {
+	dag, err := p.buildDAG(kernel.NewPoll(ctx), m, p.constrainedPattern(c))
+	if err != nil {
+		return IndexedAnswer{}, false, err
+	}
 	iter, err := dag.g.Enumerate(dag.src, dag.dst)
 	if err != nil {
-		return IndexedAnswer{}, false
+		return IndexedAnswer{}, false, nil
 	}
 	path, ok := iter.Next()
 	if !ok {
-		return IndexedAnswer{}, false
+		return IndexedAnswer{}, false, nil
 	}
 	o, i := dag.decode(path)
-	return IndexedAnswer{Output: o, Index: i, Conf: math.Exp(-path.Weight)}, true
+	return IndexedAnswer{Output: o, Index: i, Conf: math.Exp(-path.Weight)}, true, nil
 }
 
 // Imax computes I_max(o) = max_i conf(o, i), the scoring function of
@@ -437,12 +507,12 @@ func (p *SProjector) EnumerateImax(m *markov.Sequence) *ImaxEnumerator {
 func (p *SProjector) EnumerateImaxParallel(m *markov.Sequence, workers int) *ImaxEnumerator {
 	return &ImaxEnumerator{inner: lawler.New(lawler.Config[StringAnswer]{
 		Root: transducer.Unconstrained(),
-		Resolve: func(c transducer.Constraint, _ StringAnswer, _ bool) (StringAnswer, float64, bool) {
-			top, ok := p.TopIndexed(m, c)
-			if !ok {
-				return StringAnswer{}, 0, false
+		Resolve: func(ctx context.Context, c transducer.Constraint, _ StringAnswer, _ bool) (StringAnswer, float64, bool, error) {
+			top, ok, err := p.TopIndexedCtx(ctx, m, c)
+			if err != nil || !ok {
+				return StringAnswer{}, 0, false, err
 			}
-			return StringAnswer{Output: top.Output, Imax: top.Conf}, top.Conf, true
+			return StringAnswer{Output: top.Output, Imax: top.Conf}, top.Conf, true, nil
 		},
 		Children: func(c transducer.Constraint, top StringAnswer) []transducer.Constraint {
 			return c.Children(top.Output)
@@ -456,4 +526,12 @@ func (p *SProjector) EnumerateImaxParallel(m *markov.Sequence, workers int) *Ima
 func (e *ImaxEnumerator) Next() (StringAnswer, bool) {
 	a, _, ok := e.inner.Next()
 	return a, ok
+}
+
+// NextCtx is Next with cancellation: a non-nil error means no answer
+// was consumed, and a later call with a live context resumes the
+// decreasing-I_max order exactly where it stopped.
+func (e *ImaxEnumerator) NextCtx(ctx context.Context) (StringAnswer, bool, error) {
+	a, _, ok, err := e.inner.NextCtx(ctx)
+	return a, ok, err
 }

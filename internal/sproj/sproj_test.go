@@ -8,6 +8,7 @@ import (
 	"markovseq/internal/automata"
 	"markovseq/internal/markov"
 	"markovseq/internal/regex"
+	"markovseq/internal/testutil"
 	"markovseq/internal/transducer"
 )
 
@@ -416,6 +417,7 @@ func TestIndexedEnumerationAtScale(t *testing.T) {
 // (outputs and scores), for every worker count. Run under -race this
 // exercises the concurrent resolver.
 func TestImaxParallelMatchesSequential(t *testing.T) {
+	testutil.CheckLeaks(t)
 	ab := automata.Chars("ab")
 	for trial := 0; trial < 12; trial++ {
 		rng := rand.New(rand.NewSource(int64(1700 + trial)))

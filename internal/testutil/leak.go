@@ -1,0 +1,95 @@
+// Package testutil holds small shared test helpers. It must stay
+// dependency-free (stdlib only) and importable from any internal
+// package's tests without creating cycles.
+package testutil
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// CheckLeaks registers a cleanup that fails the test if goroutines
+// running this module's code outlive the test body. Call it at the top
+// of any test that exercises a worker pool or other concurrency:
+//
+//	func TestParallelThing(t *testing.T) {
+//	    testutil.CheckLeaks(t)
+//	    ...
+//	}
+//
+// Detection is by snapshot diff: goroutine IDs present at registration
+// time are ignored, as is every goroutine whose stack never enters a
+// markovseq/ frame (the testing framework, timer goroutines, and other
+// runtime internals come and go on their own schedule). Because worker
+// shutdown races with the test body's return, the check retries for a
+// grace period before declaring a leak.
+func CheckLeaks(t testing.TB) {
+	t.Helper()
+	before := goroutineIDs()
+	t.Cleanup(func() {
+		t.Helper()
+		deadline := time.Now().Add(2 * time.Second)
+		var leaked []string
+		for {
+			leaked = leaked[:0]
+			for id, stack := range goroutineStacks() {
+				if before[id] {
+					continue
+				}
+				if !strings.Contains(stack, "markovseq/") ||
+					strings.Contains(stack, "markovseq/internal/testutil") {
+					continue
+				}
+				leaked = append(leaked, stack)
+			}
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		for _, stack := range leaked {
+			t.Errorf("leaked goroutine:\n%s", stack)
+		}
+	})
+}
+
+// goroutineIDs returns the set of currently live goroutine IDs.
+func goroutineIDs() map[string]bool {
+	ids := make(map[string]bool)
+	for id := range goroutineStacks() {
+		ids[id] = true
+	}
+	return ids
+}
+
+// goroutineStacks captures all goroutine stacks, keyed by goroutine ID.
+func goroutineStacks() map[string]string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	stacks := make(map[string]string)
+	for _, stanza := range strings.Split(string(buf), "\n\n") {
+		// Stanza header: "goroutine N [state]:".
+		if !strings.HasPrefix(stanza, "goroutine ") {
+			continue
+		}
+		head := stanza[len("goroutine "):]
+		sp := strings.IndexByte(head, ' ')
+		if sp < 0 {
+			continue
+		}
+		stacks[head[:sp]] = stanza
+	}
+	return stacks
+}

@@ -33,6 +33,7 @@ package msq
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"markovseq/internal/automata"
 	"markovseq/internal/conf"
@@ -172,6 +173,21 @@ func WithDBWorkers(n int) DBOption { return lahar.WithWorkers(n) }
 // WithParallelWindows makes SlidingTopK fan windows out over the DB's
 // worker pool. Results are identical to the serial evaluation.
 func WithParallelWindows(on bool) DBOption { return lahar.WithParallelWindows(on) }
+
+// WithDBMaxInFlight bounds the number of concurrently executing DB
+// query calls; excess calls fail immediately with ErrDBOverloaded
+// instead of queueing. Values < 1 disable the limit.
+func WithDBMaxInFlight(n int) DBOption { return lahar.WithMaxInFlight(n) }
+
+// WithDBQueryDeadline applies a per-query timeout to every DB query
+// call (on top of any caller-supplied context deadline). A deadlined
+// ranked query returns the answer prefix proven so far together with
+// context.DeadlineExceeded. Values ≤ 0 disable the store deadline.
+func WithDBQueryDeadline(d time.Duration) DBOption { return lahar.WithQueryDeadline(d) }
+
+// ErrDBOverloaded is returned by DB query calls shed under
+// WithDBMaxInFlight. Check with errors.Is.
+var ErrDBOverloaded = lahar.ErrOverloaded
 
 // CompileRegex compiles a regular expression over the alphabet into an
 // NFA (see package regex for the syntax).
