@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-all experiments examples fuzz fuzz-smoke clean
+.PHONY: all build test race cover bench benchcmp bench-all experiments examples fuzz fuzz-smoke clean
 
 all: build test
 
@@ -29,10 +29,22 @@ cover:
 # compatible lines are preserved inside the JSON), followed by the
 # ranked-enumeration delay suite (top-k, TTFA, per-answer delay
 # percentiles; reference vs incremental vs parallel) into
-# BENCH_ranked.json.
+# BENCH_ranked.json, and the cold sliding-window / fleet sweep (windows
+# per second and streams per second land in each result's "extra" map)
+# into BENCH_sliding.json.
 bench:
-	$(GO) test -run '^$$' -bench 'Kernel|Lahar|Sliding|TopKAcross' -benchmem ./... | $(GO) run ./cmd/benchjson -o BENCH_conf.json
+	$(GO) test -run '^$$' -bench 'Kernel|Lahar' -benchmem ./... | $(GO) run ./cmd/benchjson -o BENCH_conf.json
 	$(GO) test -run '^$$' -bench 'Ranked' -benchmem ./internal/ranked/ | $(GO) run ./cmd/benchjson -o BENCH_ranked.json
+	$(GO) test -run '^$$' -bench 'SlidingTopK|TopKAcross' -benchmem . | $(GO) run ./cmd/benchjson -o BENCH_sliding.json
+
+# Diff two bench JSON files produced by `make bench`, failing on a >10%
+# ns/op regression in the named hot benchmarks:
+#
+#   make benchcmp OLD=BENCH_sliding.base.json NEW=BENCH_sliding.json
+OLD ?= BENCH_sliding.base.json
+NEW ?= BENCH_sliding.json
+benchcmp:
+	$(GO) run ./cmd/benchcmp -old $(OLD) -new $(NEW) -threshold 10 -match 'SlidingTopK|TopKAcross'
 
 # The historical run-everything benchmark sweep (DESIGN.md §3 series).
 bench-all:

@@ -13,6 +13,7 @@ package automata
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -226,13 +227,19 @@ func CloneString(s []Symbol) []Symbol {
 	return out
 }
 
-// StringKey packs a symbol string into a map key.
+// StringKey packs a symbol string into a map key. This sits on the
+// checkpoint-cache hot path of ranked enumeration, so it appends digits
+// directly instead of going through fmt.
 func StringKey(s []Symbol) string {
-	var b strings.Builder
-	for _, x := range s {
-		fmt.Fprintf(&b, "%d,", x)
+	if len(s) == 0 {
+		return ""
 	}
-	return b.String()
+	b := make([]byte, 0, 4*len(s))
+	for _, x := range s {
+		b = strconv.AppendInt(b, int64(x), 10)
+		b = append(b, ',')
+	}
+	return string(b)
 }
 
 // SortStrings sorts a slice of symbol strings in the canonical order of

@@ -45,12 +45,63 @@ import (
 
 // ckLayer is one position's frontier snapshot: the active cells in
 // activation order, their best log scores, and for each the index of its
-// predecessor in the previous layer (-1 at position 0).
+// predecessor in the previous layer (-1 at position 0). The slices are
+// views into the checkpoint's shared slab (see ckSlab); off and n locate
+// the layer inside the slab while it is still being appended to, before
+// seal materializes the views.
 type ckLayer struct {
 	cells []int32
 	score []float64
 	prev  []int32
 	maxZ  int32
+	off   int32
+	n     int32
+}
+
+// ckSlab is the recyclable backing storage of one checkpoint: every
+// layer's cells/score/prev concatenated into three arrays, plus the
+// layers header slice itself. Building into a slab instead of three
+// fresh slices per layer is what makes checkpoints recyclable — a
+// ConstrainScratch keeps a freelist of slabs (see Recycle), which on
+// sweep workloads (one checkpoint ring per window, thousands of
+// windows) removes the dominant allocation source of the build path.
+type ckSlab struct {
+	cells  []int32
+	score  []float64
+	prev   []int32
+	layers []ckLayer
+}
+
+// snapshot appends the frontier's active cells (in activation order) to
+// the slab, records the layer's location and maxZ, and resets the
+// frontier for the next position. The layer's slice views stay nil
+// until seal: appends may still relocate the slab arrays.
+func (s *ckSlab) snapshot(layer *ckLayer, f *frontier, prevBuf []int32, zdim int) {
+	off := len(s.cells)
+	var maxZ int32
+	for _, cell := range f.list {
+		s.cells = append(s.cells, cell)
+		s.score = append(s.score, f.val[cell])
+		s.prev = append(s.prev, prevBuf[cell])
+		if z := cell % int32(zdim); z > maxZ {
+			maxZ = z
+		}
+	}
+	layer.off, layer.n, layer.maxZ = int32(off), int32(len(s.cells)-off), maxZ
+	f.reset()
+}
+
+// seal materializes every layer's slice views into the (now final) slab
+// arrays. Layers past an early build break have off = n = 0 and get
+// empty views.
+func (s *ckSlab) seal(layers []ckLayer) {
+	for i := range layers {
+		l := &layers[i]
+		end := l.off + l.n
+		l.cells = s.cells[l.off:end:end]
+		l.score = s.score[l.off:end:end]
+		l.prev = s.prev[l.off:end:end]
+	}
 }
 
 // Checkpoint is the retained exact-prefix DP of BuildCheckpoint. It is
@@ -63,6 +114,7 @@ type Checkpoint struct {
 	n      int // sequence length it was built against
 	zdim   int // len(Align)+1, the stride of the z coordinate
 	layers []ckLayer
+	slab   ckSlab // backing storage of layers; reclaimed by Recycle
 }
 
 // Layers returns the number of retained positions (the sequence length).
@@ -99,6 +151,28 @@ type ConstrainScratch struct {
 	cur, next frontier // resume: past-zone (x·|Q|+q) cell space
 	back      []int32  // resume: per-position past-zone backpointers
 	cross     []crossRec
+	freeSlabs []ckSlab // recycled checkpoint storage, popped by builds
+}
+
+// Recycle returns ck's layer storage to the scratch freelist, where the
+// next BuildCheckpoint through the same scratch reuses it. Recycling
+// ends the checkpoint's immutability: the caller must have dropped
+// every reference to ck and to data obtained from it, and must never
+// recycle a checkpoint other goroutines can still see (in particular,
+// checkpoints published to the ranked evaluator's shared LRU are not
+// recyclable). Recycling into the internal pool is not possible —
+// Recycle is only useful with an explicitly owned scratch, such as the
+// sliding-window sweeper's, whose per-window checkpoint rings are
+// private by construction.
+func (sc *ConstrainScratch) Recycle(ck *Checkpoint) {
+	if ck == nil || ck.layers == nil {
+		return
+	}
+	slab := ck.slab
+	slab.layers = ck.layers
+	sc.freeSlabs = append(sc.freeSlabs, slab)
+	ck.layers = nil
+	ck.slab = ckSlab{}
 }
 
 var constrainScratchPool = sync.Pool{New: func() any { return new(ConstrainScratch) }}
@@ -169,8 +243,23 @@ func buildCheckpoint(p *Poll, nt *NFATables, v *SeqView, align []automata.Symbol
 		states: nt.States,
 		n:      v.N,
 		zdim:   zdim,
-		layers: make([]ckLayer, v.N),
 	}
+	var slab ckSlab
+	if n := len(sc.freeSlabs); n > 0 {
+		slab = sc.freeSlabs[n-1]
+		sc.freeSlabs[n-1] = ckSlab{}
+		sc.freeSlabs = sc.freeSlabs[:n-1]
+		slab.cells, slab.score, slab.prev = slab.cells[:0], slab.score[:0], slab.prev[:0]
+	}
+	if cap(slab.layers) >= v.N {
+		ck.layers = slab.layers[:v.N]
+		for i := range ck.layers {
+			ck.layers[i] = ckLayer{}
+		}
+	} else {
+		ck.layers = make([]ckLayer, v.N)
+	}
+	slab.layers = nil
 	for ii, x := range v.InitIdx {
 		lp := math.Log(v.InitVal[ii])
 		ti := int(nt.Start)*nt.Syms + int(x)
@@ -186,20 +275,25 @@ func buildCheckpoint(p *Poll, nt *NFATables, v *SeqView, align []automata.Symbol
 			}
 		}
 	}
-	ck.layers[0] = snapshotLayer(&sc.f, prevBuf, zdim)
+	slab.snapshot(&ck.layers[0], &sc.f, prevBuf, zdim)
 	for i := 1; i < v.N; i++ {
-		// sc.f is empty here (snapshotLayer reset it), so no cleanup is
+		// sc.f is empty here (snapshot reset it), so no cleanup is
 		// needed before the early return.
 		if err := p.Step(); err != nil {
 			return nil, err
 		}
 		prevLayer := &ck.layers[i-1]
-		if len(prevLayer.cells) == 0 {
+		if prevLayer.n == 0 {
 			break // the exact-prefix language died; later layers stay empty
 		}
+		// The layer views are not sealed yet; read the previous layer
+		// through the slab. Safe: the slab only grows at the snapshot
+		// below, after this iteration is done with these views.
+		pcells := slab.cells[prevLayer.off : prevLayer.off+prevLayer.n]
+		pscore := slab.score[prevLayer.off : prevLayer.off+prevLayer.n]
 		st := &v.Steps[i-1]
-		for pi, pcell := range prevLayer.cells {
-			base := prevLayer.score[pi]
+		for pi, pcell := range pcells {
+			base := pscore[pi]
 			xq := int(pcell) / zdim
 			z := int(pcell) % zdim
 			x := xq / nt.States
@@ -221,29 +315,11 @@ func buildCheckpoint(p *Poll, nt *NFATables, v *SeqView, align []automata.Symbol
 				}
 			}
 		}
-		ck.layers[i] = snapshotLayer(&sc.f, prevBuf, zdim)
+		slab.snapshot(&ck.layers[i], &sc.f, prevBuf, zdim)
 	}
+	slab.seal(ck.layers)
+	ck.slab = slab
 	return ck, nil
-}
-
-// snapshotLayer copies the frontier's active cells (in activation order)
-// into an immutable layer and resets the frontier for the next position.
-func snapshotLayer(f *frontier, prevBuf []int32, zdim int) ckLayer {
-	layer := ckLayer{
-		cells: make([]int32, len(f.list)),
-		score: make([]float64, len(f.list)),
-		prev:  make([]int32, len(f.list)),
-	}
-	copy(layer.cells, f.list)
-	for j, cell := range layer.cells {
-		layer.score[j] = f.val[cell]
-		layer.prev[j] = prevBuf[cell]
-		if z := cell % int32(zdim); z > layer.maxZ {
-			layer.maxZ = z
-		}
-	}
-	f.reset()
-	return layer
 }
 
 // walkPrefix reconstructs nodes/states for positions 0..li by following

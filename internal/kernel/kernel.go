@@ -102,6 +102,29 @@ func compileStep(mat [][]float64) Step {
 	return st
 }
 
+// Slice returns the view of the window i..j (1-based, inclusive) with
+// the given window-initial distribution (the forward marginal at i):
+// the Steps are shared with the parent view — no matrices are copied or
+// recompiled — so the result is bit-identical to compiling a deep-copied
+// window (compileStep preserves value bits and math.Log is
+// deterministic). The initial slice is not retained.
+func (v *SeqView) Slice(i, j int, initial []float64) *SeqView {
+	if i < 1 || j > v.N || i > j {
+		panic("kernel: Slice window out of range")
+	}
+	if len(initial) != v.K {
+		panic("kernel: Slice initial distribution has wrong length")
+	}
+	w := &SeqView{K: v.K, N: j - i + 1, Steps: v.Steps[i-1 : j-1]}
+	for x, p := range initial {
+		if p != 0 {
+			w.InitIdx = append(w.InitIdx, int32(x))
+			w.InitVal = append(w.InitVal, p)
+		}
+	}
+	return w
+}
+
 // NNZ returns the total number of nonzero transition entries across all
 // steps (a sparsity diagnostic for benchmarks and EXPLAIN output).
 func (v *SeqView) NNZ() int {

@@ -1,0 +1,496 @@
+// White-box differential tests for the semiring step operators and the
+// two-stack sliding-window aggregation: operators against their
+// definitional dense construction, composition against dense semiring
+// matrix multiplication, and the window evaluator against both a naive
+// per-window operator fold and the independently tested Viterbi kernel.
+// These live in package kernel (not kernel_test) because they inspect
+// operator entries directly; sequences are built through NewSeqView to
+// avoid the markov → kernel import cycle.
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"markovseq/internal/automata"
+	"markovseq/internal/transducer"
+)
+
+func opRelErr(a, b float64) float64 {
+	if math.IsInf(a, -1) && math.IsInf(b, -1) {
+		return 0
+	}
+	d := math.Abs(a - b)
+	if m := math.Max(math.Abs(a), math.Abs(b)); m > 1 {
+		return d / m
+	}
+	return d
+}
+
+const opTol = 1e-12
+
+func srZero(sr Semiring) float64 {
+	if sr == MaxLog {
+		return math.Inf(-1)
+	}
+	return 0
+}
+
+// randOpTransducer builds a small nondeterministic transducer with
+// partial transition functions, parallel edges, and varied emission
+// lengths — the shapes the operator construction has to dedup and gate.
+func randOpTransducer(rng *rand.Rand, in, out *automata.Alphabet, nStates int) *transducer.Transducer {
+	tr := transducer.New(in, out, nStates, 0)
+	for q := 0; q < nStates; q++ {
+		tr.SetAccepting(q, rng.Intn(2) == 0)
+		for _, s := range in.Symbols() {
+			for q2 := 0; q2 < nStates; q2++ {
+				if rng.Intn(3) != 0 {
+					continue
+				}
+				e := make([]automata.Symbol, rng.Intn(3))
+				for i := range e {
+					e[i] = automata.Symbol(rng.Intn(out.Size()))
+				}
+				tr.AddTransition(q, s, q2, e)
+			}
+		}
+	}
+	return tr
+}
+
+// randOpView builds a random n-position sequence view over k nodes with
+// sparse positive transition rows.
+func randOpView(rng *rand.Rand, k, n int) *SeqView {
+	initial := make([]float64, k)
+	initial[rng.Intn(k)] = 1 // view initial is unused by the evaluator; alpha drives seeding
+	trans := make([][][]float64, n-1)
+	for i := range trans {
+		m := make([][]float64, k)
+		for x := range m {
+			m[x] = make([]float64, k)
+			nz := 0
+			for y := range m[x] {
+				if rng.Intn(3) != 0 {
+					m[x][y] = 0.1 + rng.Float64()
+					nz++
+				}
+			}
+			if nz == 0 {
+				m[x][rng.Intn(k)] = 1
+			}
+		}
+		trans[i] = m
+	}
+	return NewSeqView(initial, trans)
+}
+
+// randDist returns a distribution over k nodes with a random support.
+func randDist(rng *rand.Rand, k int) []float64 {
+	d := make([]float64, k)
+	total := 0.0
+	for x := range d {
+		if rng.Intn(3) != 0 {
+			d[x] = rng.Float64()
+			total += d[x]
+		}
+	}
+	if total == 0 {
+		d[rng.Intn(k)] = 1
+		total = 1
+	}
+	for x := range d {
+		d[x] /= total
+	}
+	return d
+}
+
+// densify expands an operator into a dense dim×dim matrix with the
+// semiring zero in absent entries.
+func densify(o *Op) [][]float64 {
+	m := make([][]float64, o.dim)
+	for i := range m {
+		m[i] = make([]float64, o.dim)
+		for j := range m[i] {
+			m[i][j] = srZero(o.sr)
+		}
+		if o.ident {
+			if o.sr == MaxLog {
+				m[i][i] = 0
+			} else {
+				m[i][i] = 1
+			}
+			continue
+		}
+		for e := o.rowPtr[i]; e < o.rowPtr[i+1]; e++ {
+			m[i][o.col[e]] = o.val[e]
+		}
+	}
+	return m
+}
+
+// denseCompose is the textbook semiring matrix product a ⊗ b.
+func denseCompose(a, b [][]float64, sr Semiring) [][]float64 {
+	dim := len(a)
+	out := make([][]float64, dim)
+	for i := range out {
+		out[i] = make([]float64, dim)
+		for j := range out[i] {
+			acc := srZero(sr)
+			for l := 0; l < dim; l++ {
+				if sr == MaxLog {
+					if v := a[i][l] + b[l][j]; v > acc {
+						acc = v
+					}
+				} else {
+					acc += a[i][l] * b[l][j]
+				}
+			}
+			out[i][j] = acc
+		}
+	}
+	return out
+}
+
+// TestStepOpAgainstDefinition checks NewStepOp entry by entry against
+// the definitional construction: entry (x·|Q|+q, y·|Q|+q') is μ(x,y)
+// (its log under MaxLog) exactly when μ(x,y) > 0 and q' ∈ δ(q,y), with
+// parallel edges collapsed.
+func TestStepOpAgainstDefinition(t *testing.T) {
+	in := automata.MustAlphabet("a", "b", "c")
+	out := automata.MustAlphabet("x", "y")
+	for trial := 0; trial < 25; trial++ {
+		rng := rand.New(rand.NewSource(int64(31000 + trial)))
+		tr := randOpTransducer(rng, in, out, 1+rng.Intn(3))
+		nt := NewNFATables(tr)
+		v := randOpView(rng, in.Size(), 2+rng.Intn(3))
+		for _, sr := range []Semiring{MaxLog, SumProb} {
+			st := &v.Steps[rng.Intn(len(v.Steps))]
+			got := densify(NewStepOp(nt, st, v.K, sr, nil))
+			for x := 0; x < v.K; x++ {
+				for q := 0; q < nt.States; q++ {
+					row := make([]float64, v.K*nt.States)
+					for i := range row {
+						row[i] = srZero(sr)
+					}
+					for e := st.RowPtr[x]; e < st.RowPtr[x+1]; e++ {
+						y := int(st.Col[e])
+						w := st.Val[e]
+						if sr == MaxLog {
+							w = st.LogVal[e]
+						}
+						ti := q*nt.Syms + y
+						for tt := nt.Off[ti]; tt < nt.Off[ti+1]; tt++ {
+							row[y*nt.States+int(nt.Succ[tt])] = w
+						}
+					}
+					for j, want := range row {
+						if got[x*nt.States+q][j] != want {
+							t.Fatalf("trial %d sr %d: entry (%d,%d,%d) = %v, want %v",
+								trial, sr, x, q, j, got[x*nt.States+q][j], want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestComposeMatchesDense checks operator composition against the dense
+// semiring matrix product, including identity short-circuits, on chains
+// of two and three step operators.
+func TestComposeMatchesDense(t *testing.T) {
+	in := automata.MustAlphabet("a", "b")
+	out := automata.MustAlphabet("x", "y")
+	for trial := 0; trial < 25; trial++ {
+		rng := rand.New(rand.NewSource(int64(32000 + trial)))
+		tr := randOpTransducer(rng, in, out, 1+rng.Intn(3))
+		nt := NewNFATables(tr)
+		v := randOpView(rng, in.Size(), 4)
+		for _, sr := range []Semiring{MaxLog, SumProb} {
+			ops := make([]*Op, len(v.Steps))
+			for i := range ops {
+				ops[i] = NewStepOp(nt, &v.Steps[i], v.K, sr, nil)
+			}
+			ab := Compose(ops[0], ops[1], nil)
+			abc := Compose(ab, ops[2], nil)
+			wantAB := denseCompose(densify(ops[0]), densify(ops[1]), sr)
+			wantABC := denseCompose(wantAB, densify(ops[2]), sr)
+			for name, pair := range map[string]struct {
+				got  *Op
+				want [][]float64
+			}{
+				"a⊗b":   {ab, wantAB},
+				"a⊗b⊗c": {abc, wantABC},
+			} {
+				g := densify(pair.got)
+				for i := range g {
+					for j := range g[i] {
+						if opRelErr(g[i][j], pair.want[i][j]) > opTol {
+							t.Fatalf("trial %d sr %d %s: (%d,%d) = %v, want %v",
+								trial, sr, name, i, j, g[i][j], pair.want[i][j])
+						}
+						if (g[i][j] == srZero(sr)) != (pair.want[i][j] == srZero(sr)) {
+							t.Fatalf("trial %d sr %d %s: support mismatch at (%d,%d)", trial, sr, name, i, j)
+						}
+					}
+				}
+			}
+			id := IdentityOp(ops[0].Dim(), sr)
+			left := densify(Compose(id, ops[0], nil))
+			right := densify(Compose(ops[0], id, nil))
+			wantA := densify(ops[0])
+			for i := range wantA {
+				for j := range wantA[i] {
+					if left[i][j] != wantA[i][j] || right[i][j] != wantA[i][j] {
+						t.Fatalf("trial %d sr %d: identity compose differs at (%d,%d)", trial, sr, i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+// windowReference computes one window's frontier the naive way: seed
+// from the marginal, then apply each step operator one position at a
+// time (no composition).
+func windowReference(nt *NFATables, v *SeqView, alpha []float64, a, b int, sr Semiring) (map[int32]float64, float64, bool) {
+	var f, g frontier
+	seedFrontier(&f, nt, alpha, sr)
+	cur, nxt := &f, &g
+	for i := a - 1; i < b-1; i++ {
+		op := NewStepOp(nt, &v.Steps[i], v.K, sr, nil)
+		op.applySeed(cur, nxt)
+		cur, nxt = nxt, cur
+	}
+	cells := make(map[int32]float64, len(cur.list))
+	best := srZero(sr)
+	nonEmpty := false
+	for _, c := range cur.list {
+		cells[c] = cur.val[c]
+		if nt.Accept[int(c)%nt.States] {
+			nonEmpty = true
+			if sr == MaxLog {
+				if cur.val[c] > best {
+					best = cur.val[c]
+				}
+			} else {
+				best += cur.val[c]
+			}
+		}
+	}
+	return cells, best, nonEmpty
+}
+
+// TestWindowEvaluatorDifferential slides the SWAG evaluator across
+// random sequences under both semirings and every interesting
+// window/stride shape — including stride > window (queue resets across
+// the gap) and window == n (a single window) — and checks each yielded
+// frontier against the naive per-window fold: identical cell support,
+// values within 1e-12, identical NonEmpty, and under MaxLog agreement
+// with the independently tested Viterbi kernel on a per-window view.
+func TestWindowEvaluatorDifferential(t *testing.T) {
+	in := automata.MustAlphabet("a", "b", "c")
+	out := automata.MustAlphabet("x", "y")
+	sweeps := [][2]int{{1, 1}, {2, 1}, {3, 2}, {4, 5}, {5, 3}, {0, 1}} // {0,1} means window = n
+	for trial := 0; trial < 15; trial++ {
+		rng := rand.New(rand.NewSource(int64(33000 + trial)))
+		tr := randOpTransducer(rng, in, out, 1+rng.Intn(3))
+		nt := NewNFATables(tr)
+		n := 6 + rng.Intn(6)
+		v := randOpView(rng, in.Size(), n)
+		alpha := make([][]float64, n)
+		for i := range alpha {
+			alpha[i] = randDist(rng, v.K)
+		}
+		var vsc ViterbiScratch
+		for _, sweep := range sweeps {
+			window, stride := sweep[0], sweep[1]
+			if window == 0 {
+				window = n
+			}
+			for _, sr := range []Semiring{MaxLog, SumProb} {
+				ev := NewWindowEvaluator(nt, v, alpha, window, stride, sr)
+				wantCount := 0
+				if n >= window {
+					wantCount = (n-window)/stride + 1
+				}
+				if ev.Len() != wantCount {
+					t.Fatalf("trial %d w=%d s=%d: Len = %d, want %d", trial, window, stride, ev.Len(), wantCount)
+				}
+				got := 0
+				for a := 1; a+window-1 <= n; a += stride {
+					b := a + window - 1
+					wf, ok := ev.Next()
+					if !ok {
+						t.Fatalf("trial %d w=%d s=%d: evaluator exhausted at window %d", trial, window, stride, got)
+					}
+					if wf.Start != a || wf.End != b {
+						t.Fatalf("trial %d w=%d s=%d: bounds [%d,%d], want [%d,%d]", trial, window, stride, wf.Start, wf.End, a, b)
+					}
+					cells, best, nonEmpty := windowReference(nt, v, alpha[a-1], a, b, sr)
+					if len(wf.Cells) != len(cells) {
+						t.Fatalf("trial %d w=%d s=%d [%d,%d] sr %d: %d cells, want %d",
+							trial, window, stride, a, b, sr, len(wf.Cells), len(cells))
+					}
+					for i, c := range wf.Cells {
+						want, live := cells[c]
+						if !live {
+							t.Fatalf("trial %d [%d,%d] sr %d: spurious cell %d", trial, a, b, sr, c)
+						}
+						if opRelErr(wf.Vals[i], want) > opTol {
+							t.Fatalf("trial %d [%d,%d] sr %d: cell %d = %v, want %v", trial, a, b, sr, c, wf.Vals[i], want)
+						}
+					}
+					if wf.NonEmpty != nonEmpty {
+						t.Fatalf("trial %d [%d,%d] sr %d: NonEmpty = %v, want %v", trial, a, b, sr, wf.NonEmpty, nonEmpty)
+					}
+					if opRelErr(wf.Best, best) > opTol {
+						t.Fatalf("trial %d [%d,%d] sr %d: Best = %v, want %v", trial, a, b, sr, wf.Best, best)
+					}
+					if sr == MaxLog {
+						wv := windowView(v, alpha[a-1], a, b)
+						_, _, logp, vok := ViterbiRun(nt, wv, &vsc)
+						if vok != wf.NonEmpty {
+							t.Fatalf("trial %d [%d,%d]: Viterbi ok = %v, NonEmpty = %v", trial, a, b, vok, wf.NonEmpty)
+						}
+						if vok && opRelErr(logp, wf.Best) > opTol {
+							t.Fatalf("trial %d [%d,%d]: Viterbi %v vs Best %v", trial, a, b, logp, wf.Best)
+						}
+					}
+					got++
+				}
+				if _, ok := ev.Next(); ok {
+					t.Fatalf("trial %d w=%d s=%d: evaluator yielded beyond Len", trial, window, stride)
+				}
+				if got != wantCount {
+					t.Fatalf("trial %d w=%d s=%d: yielded %d windows, want %d", trial, window, stride, got, wantCount)
+				}
+			}
+		}
+	}
+}
+
+// windowView recompiles a window as a standalone view (deep reference
+// for the Slice/SharedWindow zero-copy path).
+func windowView(v *SeqView, alpha []float64, a, b int) *SeqView {
+	return v.Slice(a, b, alpha)
+}
+
+// TestSeqViewSliceMatchesRecompile checks that the zero-copy Slice view
+// is field-by-field identical to recompiling the window's dense
+// matrices through NewSeqView — same CSR contents, bitwise.
+func TestSeqViewSliceMatchesRecompile(t *testing.T) {
+	rng := rand.New(rand.NewSource(34000))
+	for trial := 0; trial < 10; trial++ {
+		k := 2 + rng.Intn(3)
+		n := 5 + rng.Intn(5)
+		dense := make([][][]float64, n-1)
+		for i := range dense {
+			dense[i] = make([][]float64, k)
+			for x := range dense[i] {
+				dense[i][x] = make([]float64, k)
+				for y := range dense[i][x] {
+					if rng.Intn(3) != 0 {
+						dense[i][x][y] = rng.Float64()
+					}
+				}
+			}
+		}
+		initial := randDist(rng, k)
+		v := NewSeqView(initial, dense)
+		a := 1 + rng.Intn(n)
+		b := a + rng.Intn(n-a+1)
+		alpha := randDist(rng, k)
+		sliced := v.Slice(a, b, alpha)
+		recompiled := NewSeqView(alpha, dense[a-1:b-1])
+		if sliced.K != recompiled.K || sliced.N != recompiled.N || len(sliced.Steps) != len(recompiled.Steps) {
+			t.Fatalf("trial %d: shape mismatch", trial)
+		}
+		if len(sliced.InitIdx) != len(recompiled.InitIdx) {
+			t.Fatalf("trial %d: initial support differs", trial)
+		}
+		for i := range sliced.InitIdx {
+			if sliced.InitIdx[i] != recompiled.InitIdx[i] || sliced.InitVal[i] != recompiled.InitVal[i] {
+				t.Fatalf("trial %d: initial entry %d differs", trial, i)
+			}
+		}
+		for si := range sliced.Steps {
+			s1, s2 := &sliced.Steps[si], &recompiled.Steps[si]
+			if len(s1.Col) != len(s2.Col) {
+				t.Fatalf("trial %d step %d: nnz differs", trial, si)
+			}
+			for e := range s1.Col {
+				if s1.Col[e] != s2.Col[e] || s1.Val[e] != s2.Val[e] || s1.LogVal[e] != s2.LogVal[e] {
+					t.Fatalf("trial %d step %d entry %d: differs", trial, si, e)
+				}
+			}
+			for r := range s1.RowPtr {
+				if s1.RowPtr[r] != s2.RowPtr[r] {
+					t.Fatalf("trial %d step %d: rowptr differs", trial, si)
+				}
+			}
+		}
+	}
+}
+
+// TestOpQueueSteadyStateAllocFree pins the freelist property: after the
+// first full flip cycle, sliding at stride 1 performs no operator
+// (struct) allocations — pushes draw from the freelist that pops feed.
+func TestOpQueueSteadyStateAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(35000))
+	in := automata.MustAlphabet("a", "b")
+	out := automata.MustAlphabet("x")
+	tr := randOpTransducer(rng, in, out, 2)
+	nt := NewNFATables(tr)
+	n := 60
+	v := randOpView(rng, in.Size(), n)
+	alpha := make([][]float64, n)
+	for i := range alpha {
+		alpha[i] = randDist(rng, v.K)
+	}
+	ev := NewWindowEvaluator(nt, v, alpha, 6, 1, MaxLog)
+	// Warm up past the first flips so the freelist is primed.
+	for i := 0; i < 20; i++ {
+		if _, ok := ev.Next(); !ok {
+			t.Fatal("evaluator exhausted during warmup")
+		}
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, ok := ev.Next(); !ok {
+			t.Fatal("evaluator exhausted during measurement")
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state Next allocates %v objects per window, want 0", allocs)
+	}
+}
+
+// TestWindowEvaluatorPanics checks the constructor contract.
+func TestWindowEvaluatorPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(36000))
+	in := automata.MustAlphabet("a", "b")
+	out := automata.MustAlphabet("x")
+	tr := randOpTransducer(rng, in, out, 2)
+	nt := NewNFATables(tr)
+	v := randOpView(rng, in.Size(), 4)
+	alpha := make([][]float64, 4)
+	for i := range alpha {
+		alpha[i] = randDist(rng, v.K)
+	}
+	for name, call := range map[string]func(){
+		"window 0":    func() { NewWindowEvaluator(nt, v, alpha, 0, 1, MaxLog) },
+		"stride 0":    func() { NewWindowEvaluator(nt, v, alpha, 2, 0, MaxLog) },
+		"short alpha": func() { NewWindowEvaluator(nt, v, alpha[:3], 2, 1, MaxLog) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: no panic", name)
+				}
+			}()
+			call()
+		}()
+	}
+}

@@ -1,0 +1,255 @@
+package kernel
+
+import "math"
+
+// Two-stack sliding-window aggregation (SWAG) over step operators.
+//
+// A window [a,b] needs the composed product O_a ⊗ … ⊗ O_{b-1}
+// (operator.go). Recomputing it per slide costs O(w) composes; the
+// classic two-stack queue brings that to amortized O(1): a back stack
+// accumulates pushed operators together with their running left-to-right
+// product, and a front stack holds suffix products of the older half so
+// the queue aggregate is always front.top ⊗ backAggregate. When the
+// front empties, the back flips over — each element composed into a
+// running suffix — so every operator is composed at most three times
+// over its queue lifetime regardless of window length or stride.
+
+// opQueue is the two-stack SWAG queue. Popped and flipped operators are
+// recycled through a freelist, so steady-state sliding performs no
+// operator allocations.
+type opQueue struct {
+	dim   int
+	sr    Semiring
+	front []*Op // suffix products; top (last) covers all front elements
+	back  []*Op // raw step operators in push order
+	bagg  *Op   // product of back, oldest-first; identity when back empty
+	spare *Op   // double buffer for bagg updates
+	free  []*Op
+	sc    OpScratch
+}
+
+func newOpQueue(dim int, sr Semiring) *opQueue {
+	return &opQueue{
+		dim:   dim,
+		sr:    sr,
+		bagg:  IdentityOp(dim, sr),
+		spare: &Op{},
+	}
+}
+
+func (q *opQueue) alloc() *Op {
+	if n := len(q.free); n > 0 {
+		op := q.free[n-1]
+		q.free = q.free[:n-1]
+		return op
+	}
+	return &Op{}
+}
+
+func (q *opQueue) recycle(op *Op) { q.free = append(q.free, op) }
+
+// push appends an operator to the queue; the queue takes ownership.
+func (q *opQueue) push(op *Op) {
+	q.back = append(q.back, op)
+	ComposeInto(q.spare, q.bagg, op, &q.sc)
+	q.bagg, q.spare = q.spare, q.bagg
+}
+
+// pop removes the oldest operator, flipping the back stack into suffix
+// products when the front is exhausted.
+func (q *opQueue) pop() {
+	if len(q.front) == 0 {
+		// Flip: compose back newest-to-oldest so the front top ends up
+		// covering the oldest remaining element first.
+		acc := IdentityOp(q.dim, q.sr)
+		for i := len(q.back) - 1; i >= 0; i-- {
+			next := q.alloc()
+			ComposeInto(next, q.back[i], acc, &q.sc)
+			q.front = append(q.front, next)
+			acc = next
+		}
+		for _, op := range q.back {
+			q.recycle(op)
+		}
+		q.back = q.back[:0]
+		q.resetBagg()
+	}
+	n := len(q.front)
+	if n == 0 {
+		panic("kernel: pop from empty operator queue")
+	}
+	q.recycle(q.front[n-1])
+	q.front = q.front[:n-1]
+}
+
+func (q *opQueue) resetBagg() {
+	q.bagg.sr, q.bagg.dim, q.bagg.ident = q.sr, q.dim, true
+	q.bagg.rowPtr = q.bagg.rowPtr[:0]
+	q.bagg.col = q.bagg.col[:0]
+	q.bagg.val = q.bagg.val[:0]
+}
+
+// reset empties the queue (used when a stride jumps past the window so
+// no queued operator carries over).
+func (q *opQueue) reset() {
+	for _, op := range q.front {
+		q.recycle(op)
+	}
+	for _, op := range q.back {
+		q.recycle(op)
+	}
+	q.front = q.front[:0]
+	q.back = q.back[:0]
+	q.resetBagg()
+}
+
+// aggregateInto composes the queue product into dst: front.top ⊗ bagg,
+// with identity short-circuits when either half is empty.
+func (q *opQueue) aggregateInto(dst *Op) *Op {
+	if n := len(q.front); n > 0 {
+		ComposeInto(dst, q.front[n-1], q.bagg, &q.sc)
+		return dst
+	}
+	copyOp(dst, q.bagg)
+	return dst
+}
+
+// WindowFrontier is the DP frontier of one window: the cells x·|Q|+q
+// reachable from the window-initial marginal through an accepting-run
+// prefix, with their semiring values, plus the accepting reduction.
+// Under MaxLog, Best is the best accepting log score (the window's top
+// E_max answer score over all outputs); under SumProb it is the total
+// accepting run mass. NonEmpty reports whether any accepting cell is
+// reachable — a structural (float-independent) fact, so it can gate
+// downstream work exactly: NonEmpty == false iff the window's top-k is
+// empty for every k.
+//
+// Cells and Vals alias evaluator-owned buffers and are only valid until
+// the next call to Next.
+type WindowFrontier struct {
+	Start, End int // 1-based inclusive window bounds
+	Cells      []int32
+	Vals       []float64
+	Best       float64
+	NonEmpty   bool
+}
+
+// WindowEvaluator slides a window over a compiled sequence view,
+// yielding each window's frontier with amortized O(1) operator combines
+// per advance. It is single-use and not safe for concurrent use; create
+// one per sweep.
+type WindowEvaluator struct {
+	nt     *NFATables
+	v      *SeqView
+	alpha  [][]float64
+	window int
+	stride int
+	sr     Semiring
+
+	q        *opQueue
+	qlo, qhi int // step-index range [qlo,qhi) currently enqueued
+	start    int // next window start, 1-based
+	prod     *Op
+	ident    *Op
+	seed     frontier
+	out      frontier
+	wf       WindowFrontier
+}
+
+// NewWindowEvaluator builds a sliding evaluator over view v (the
+// compiled form of the full sequence) with per-position forward
+// marginals alpha (alpha[i] is the marginal entering position i+1, as
+// produced by markov.Sequence.Forward). window and stride must be ≥ 1;
+// strides larger than the window are allowed and reset the queue across
+// the gap.
+func NewWindowEvaluator(nt *NFATables, v *SeqView, alpha [][]float64, window, stride int, sr Semiring) *WindowEvaluator {
+	if window < 1 || stride < 1 {
+		panic("kernel: NewWindowEvaluator window and stride must be >= 1")
+	}
+	if len(alpha) != v.N {
+		panic("kernel: NewWindowEvaluator marginals do not match view length")
+	}
+	dim := v.K * nt.States
+	return &WindowEvaluator{
+		nt:     nt,
+		v:      v,
+		alpha:  alpha,
+		window: window,
+		stride: stride,
+		sr:     sr,
+		q:      newOpQueue(dim, sr),
+		prod:   &Op{},
+		ident:  IdentityOp(dim, sr),
+	}
+}
+
+// Len returns the total number of windows the evaluator will yield.
+func (w *WindowEvaluator) Len() int {
+	if w.v.N < w.window {
+		return 0
+	}
+	return (w.v.N-w.window)/w.stride + 1
+}
+
+// Next advances to the next window and returns its frontier. The second
+// result is false once the sweep is exhausted. The returned frontier's
+// slices are reused by subsequent calls.
+func (w *WindowEvaluator) Next() (WindowFrontier, bool) {
+	if w.start == 0 {
+		w.start = 1
+	}
+	a := w.start
+	b := a + w.window - 1
+	if b > w.v.N {
+		return WindowFrontier{}, false
+	}
+	// A window [a,b] consumes transition steps a-1 .. b-2, i.e. the
+	// half-open step range [a-1, b-1) (empty for length-1 windows).
+	lo, hi := a-1, b-1
+	if lo >= w.qhi {
+		w.q.reset()
+		w.qlo, w.qhi = lo, lo
+	}
+	for w.qlo < lo {
+		w.q.pop()
+		w.qlo++
+	}
+	for w.qhi < hi {
+		op := w.q.alloc()
+		StepOpInto(op, w.nt, &w.v.Steps[w.qhi], w.v.K, w.sr, &w.q.sc)
+		w.q.push(op)
+		w.qhi++
+	}
+	w.q.aggregateInto(w.prod)
+
+	seedFrontier(&w.seed, w.nt, w.alpha[a-1], w.sr)
+	w.prod.applySeed(&w.seed, &w.out)
+
+	w.wf.Start, w.wf.End = a, b
+	w.wf.Cells = w.wf.Cells[:0]
+	w.wf.Vals = w.wf.Vals[:0]
+	best := math.Inf(-1)
+	if w.sr == SumProb {
+		best = 0
+	}
+	nonEmpty := false
+	for _, c := range w.out.list {
+		v := w.out.val[c]
+		w.wf.Cells = append(w.wf.Cells, c)
+		w.wf.Vals = append(w.wf.Vals, v)
+		if w.nt.Accept[int(c)%w.nt.States] {
+			nonEmpty = true
+			if w.sr == MaxLog {
+				if v > best {
+					best = v
+				}
+			} else {
+				best += v
+			}
+		}
+	}
+	w.wf.Best = best
+	w.wf.NonEmpty = nonEmpty
+	w.start = a + w.stride
+	return w.wf, true
+}

@@ -9,6 +9,7 @@ import (
 
 	"markovseq/internal/automata"
 	"markovseq/internal/conf"
+	"markovseq/internal/core"
 )
 
 // MatchProb evaluates a Boolean event query in the Lahar style (Ré et
@@ -156,21 +157,34 @@ type WindowResult struct {
 // streaming evaluation mode of a Lahar-style warehouse: "what was the
 // cart doing in each half-hour slice?".
 //
-// The query compilation is hoisted out of the loop: the registered
-// query's prepared form and the stream's forward marginals are computed
-// once, so each window pays only for the marginal copy and its own
-// evaluation. With the ParallelWindows option the windows fan out over
-// the store's worker pool. Equivalent to SlidingTopKCtx with
-// context.Background() — the store's deadline and in-flight limit still
-// apply.
+// The sweep is amortized end to end (core.Prepared.Windows): windows
+// are zero-copy overlays of the stream, a two-stack operator aggregation
+// gates provably-empty windows, and transducer plans rank through the
+// lean sequential sweeper instead of a fresh engine per window — with
+// results bit-identical to the bind-per-window reference, which remains
+// available behind WithReferenceWindows. With the ParallelWindows option
+// the windows fan out over the store's worker pool. Equivalent to
+// SlidingTopKCtx with context.Background() — the store's deadline and
+// in-flight limit still apply.
 func (db *DB) SlidingTopK(stream, qname string, window, stride, k int) ([]WindowResult, error) {
 	return db.SlidingTopKCtx(context.Background(), stream, qname, window, stride, k)
 }
 
+// windowSweep abstracts the two window sources — the amortized sliding
+// run and the bind-per-window reference — behind a sequential cursor
+// plus a per-worker evaluator factory, so the serial and parallel sweep
+// drivers below serve both with identical cancellation semantics.
+type windowSweep struct {
+	n       int
+	next    func() (core.Window, bool)
+	newEval func() func(ctx context.Context, w core.Window, k int) ([]core.Answer, error)
+}
+
 // slidingTopK is the limiter-free windowed evaluation behind
 // SlidingTopK/SlidingTopKCtx (the outer call holds the in-flight slot).
-// On cancellation no new windows start, spawned workers are awaited,
-// and ctx.Err() is returned.
+// Cancellation mid-sweep returns the completed prefix of windows plus
+// ctx.Err(): every window before the first unfinished one, in order —
+// the window a deadline interrupted is never half-reported.
 func (db *DB) slidingTopK(ctx context.Context, stream, qname string, window, stride, k int) ([]WindowResult, error) {
 	if window < 1 || stride < 1 {
 		return nil, fmt.Errorf("lahar: window and stride must be ≥ 1")
@@ -183,53 +197,149 @@ func (db *DB) slidingTopK(ctx context.Context, stream, qname string, window, str
 	if window > m.Len() {
 		return nil, fmt.Errorf("lahar: window %d exceeds stream %q length %d", window, stream, m.Len())
 	}
-	var starts []int
-	for start := 1; start+window-1 <= m.Len(); start += stride {
-		starts = append(starts, start)
-	}
-	wr := m.Windower() // one forward pass for all windows
-	out := make([]WindowResult, len(starts))
-	eval := func(i, start int) error {
-		eng, err := prepared.BindValidated(wr.Window(start, start+window-1))
-		if err != nil {
-			return fmt.Errorf("lahar: window [%d,%d]: %w", start, start+window-1, err)
+	var sw windowSweep
+	if db.referenceWindows {
+		wr := m.Windower() // one forward pass for all windows
+		idx, start := 0, 1
+		n := (m.Len()-window)/stride + 1
+		sw = windowSweep{
+			n: n,
+			next: func() (core.Window, bool) {
+				if idx >= n {
+					return core.Window{}, false
+				}
+				w := core.Window{Index: idx, Start: start, End: start + window - 1}
+				w.Seq = wr.Window(w.Start, w.End)
+				idx++
+				start += stride
+				return w, true
+			},
+			newEval: func() func(context.Context, core.Window, int) ([]core.Answer, error) {
+				return func(ctx context.Context, w core.Window, k int) ([]core.Answer, error) {
+					eng, err := prepared.BindValidated(w.Seq)
+					if err != nil {
+						return nil, err
+					}
+					top, err := eng.TopKCtx(ctx, k)
+					if err != nil {
+						return nil, err
+					}
+					return top, nil
+				}
+			},
 		}
-		top, err := eng.TopKCtx(ctx, k)
-		if err != nil {
-			return err
+	} else {
+		run := prepared.Windows(m, window, stride)
+		sw = windowSweep{
+			n:    run.Len(),
+			next: run.Next,
+			newEval: func() func(context.Context, core.Window, int) ([]core.Answer, error) {
+				return run.NewEval().TopK
+			},
 		}
-		out[i] = WindowResult{Start: start, End: start + window - 1, Top: resultsOf(top)}
-		return nil
 	}
-	if !db.parallelWindows || len(starts) < 2 {
-		for i, start := range starts {
-			if err := eval(i, start); err != nil {
-				return nil, err
+	if !db.parallelWindows || sw.n < 2 {
+		return db.sweepSerial(ctx, sw, k)
+	}
+	return db.sweepParallel(ctx, sw, k)
+}
+
+// sweepSerial drains the sweep on the calling goroutine, polling ctx
+// between windows so a mid-sweep deadline costs at most one window of
+// extra work before the completed prefix is returned.
+func (db *DB) sweepSerial(ctx context.Context, sw windowSweep, k int) ([]WindowResult, error) {
+	out := make([]WindowResult, 0, sw.n)
+	eval := sw.newEval()
+	for {
+		if cerr := ctx.Err(); cerr != nil {
+			return out, fmt.Errorf("lahar: SlidingTopK: %w", cerr)
+		}
+		w, ok := sw.next()
+		if !ok {
+			return out, nil
+		}
+		top, err := eval(ctx, w, k)
+		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return out, fmt.Errorf("lahar: SlidingTopK: %w", cerr)
 			}
+			return nil, fmt.Errorf("lahar: window [%d,%d]: %w", w.Start, w.End, err)
 		}
-		return out, nil
+		out = append(out, WindowResult{Start: w.Start, End: w.End, Top: resultsOf(top)})
 	}
-	errs := make([]error, len(starts))
+}
+
+// sweepParallel fans the windows out over the worker pool. The cursor
+// stays on the calling goroutine (the sliding aggregation is inherently
+// sequential and costs microseconds per window); each worker owns one
+// evaluator for the whole sweep. On cancellation no new windows start,
+// every spawned worker is awaited, and the completed prefix of windows
+// is returned with ctx.Err().
+func (db *DB) sweepParallel(ctx context.Context, sw windowSweep, k int) ([]WindowResult, error) {
+	type slot struct {
+		res  WindowResult
+		err  error
+		done bool
+	}
+	outs := make([]slot, sw.n)
+	workers := db.workers
+	if workers > sw.n {
+		workers = sw.n
+	}
+	evals := make(chan func(context.Context, core.Window, int) ([]core.Answer, error), workers)
+	for i := 0; i < workers; i++ {
+		evals <- sw.newEval()
+	}
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, db.workers)
-	for i, start := range starts {
+	sem := make(chan struct{}, workers)
+	for {
 		if ctx.Err() != nil {
 			break // stop issuing windows; spawned workers self-cancel
 		}
+		w, ok := sw.next()
+		if !ok {
+			break
+		}
+		// Acquire before spawning so goroutine creation itself is bounded
+		// by the pool size, not just execution.
 		sem <- struct{}{}
 		wg.Add(1)
-		go func(i, start int) {
+		go func(w core.Window) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			errs[i] = eval(i, start)
-		}(i, start)
+			eval := <-evals
+			top, err := eval(ctx, w, k)
+			evals <- eval
+			if err != nil {
+				outs[w.Index] = slot{err: fmt.Errorf("window [%d,%d]: %w", w.Start, w.End, err)}
+				return
+			}
+			outs[w.Index] = slot{res: WindowResult{Start: w.Start, End: w.End, Top: resultsOf(top)}, done: true}
+		}(w)
 	}
 	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		return nil, err
+	if cerr := ctx.Err(); cerr != nil {
+		out := make([]WindowResult, 0, sw.n)
+		for i := range outs {
+			if !outs[i].done {
+				break
+			}
+			out = append(out, outs[i].res)
+		}
+		return out, fmt.Errorf("lahar: SlidingTopK: %w", cerr)
 	}
-	if err := errors.Join(errs...); err != nil {
-		return nil, err
+	var errs []error
+	for i := range outs {
+		if outs[i].err != nil {
+			errs = append(errs, outs[i].err)
+		}
+	}
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("lahar: SlidingTopK: %w", errors.Join(errs...))
+	}
+	out := make([]WindowResult, len(outs))
+	for i := range outs {
+		out[i] = outs[i].res
 	}
 	return out, nil
 }

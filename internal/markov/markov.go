@@ -491,6 +491,36 @@ func (w *Windower) Window(i, j int) *Sequence {
 	return windowWith(w.m, w.alpha, i, j)
 }
 
+// Marginals returns the precomputed forward marginals: Marginals()[i] is
+// the distribution of S_{i+1}. The slice and its rows are shared —
+// callers must treat them as read-only.
+func (w *Windower) Marginals() [][]float64 { return w.alpha }
+
+// SharedWindow returns the same marginal sequence as Window but without
+// copying: the transition matrices alias the parent sequence and the
+// compiled sparse view is sliced from the parent's, so extracting a
+// window costs O(|Σ|) (the initial-distribution copy) instead of
+// O(w·|Σ|²) — the primitive behind amortized sliding-window sweeps. The
+// result is numerically bit-identical to Window's deep copy (shared
+// steps preserve value bits; the DP kernels iterate them identically).
+//
+// The returned sequence is a read-only overlay: mutating its Trans
+// matrices (or calling SetTrans) would corrupt the parent. Validate,
+// binding, and all evaluation paths are safe.
+func (w *Windower) SharedWindow(i, j int) *Sequence {
+	m := w.m
+	if i < 1 || j > m.Len() || i > j {
+		panic(fmt.Sprintf("markov: window [%d,%d] out of range [1,%d]", i, j, m.Len()))
+	}
+	out := &Sequence{
+		Nodes:   m.Nodes,
+		Initial: append([]float64(nil), w.alpha[i-1]...),
+		Trans:   m.Trans[i-1 : j-1 : j-1],
+	}
+	out.view.Store(m.View().Slice(i, j, out.Initial))
+	return out
+}
+
 func windowWith(m *Sequence, alpha [][]float64, i, j int) *Sequence {
 	if i < 1 || j > m.Len() || i > j {
 		panic(fmt.Sprintf("markov: window [%d,%d] out of range [1,%d]", i, j, m.Len()))

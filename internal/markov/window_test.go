@@ -1,0 +1,99 @@
+package markov
+
+import (
+	"math/rand"
+	"testing"
+
+	"markovseq/internal/automata"
+)
+
+// TestSharedWindowMatchesWindow checks the zero-copy overlay against the
+// deep-copy reference on random sequences: same shape, bitwise-equal
+// initial distribution and transition entries, bitwise-equal compiled
+// views — and genuine sharing (the overlay's matrices alias the parent).
+func TestSharedWindowMatchesWindow(t *testing.T) {
+	ab := automata.MustAlphabet("a", "b", "c")
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(41000 + trial)))
+		n := 3 + rng.Intn(8)
+		m := Random(ab, n, 0.6, rng)
+		wr := m.Windower()
+		spans := [][2]int{{1, n}, {1, 1}, {n, n}}
+		for s := 0; s < 4; s++ {
+			i := 1 + rng.Intn(n)
+			spans = append(spans, [2]int{i, i + rng.Intn(n-i+1)})
+		}
+		for _, span := range spans {
+			i, j := span[0], span[1]
+			deep := wr.Window(i, j)
+			shared := wr.SharedWindow(i, j)
+			if shared.Len() != deep.Len() {
+				t.Fatalf("trial %d [%d,%d]: Len %d vs %d", trial, i, j, shared.Len(), deep.Len())
+			}
+			for x := range deep.Initial {
+				if shared.Initial[x] != deep.Initial[x] {
+					t.Fatalf("trial %d [%d,%d]: Initial[%d] differs", trial, i, j, x)
+				}
+			}
+			if len(shared.Trans) != len(deep.Trans) {
+				t.Fatalf("trial %d [%d,%d]: %d vs %d transitions", trial, i, j, len(shared.Trans), len(deep.Trans))
+			}
+			for p := range deep.Trans {
+				for x := range deep.Trans[p] {
+					for y := range deep.Trans[p][x] {
+						if shared.Trans[p][x][y] != deep.Trans[p][x][y] {
+							t.Fatalf("trial %d [%d,%d]: Trans[%d][%d][%d] differs", trial, i, j, p, x, y)
+						}
+					}
+				}
+				// The overlay shares storage with the parent; the deep copy
+				// must not.
+				if &shared.Trans[p][0][0] != &m.Trans[i-1+p][0][0] {
+					t.Fatalf("trial %d [%d,%d]: overlay matrix %d is not shared", trial, i, j, p)
+				}
+				if &deep.Trans[p][0][0] == &m.Trans[i-1+p][0][0] {
+					t.Fatalf("trial %d [%d,%d]: deep copy matrix %d aliases the parent", trial, i, j, p)
+				}
+			}
+			sv, dv := shared.View(), deep.View()
+			if sv.K != dv.K || sv.N != dv.N || len(sv.Steps) != len(dv.Steps) {
+				t.Fatalf("trial %d [%d,%d]: view shapes differ", trial, i, j)
+			}
+			if len(sv.InitIdx) != len(dv.InitIdx) {
+				t.Fatalf("trial %d [%d,%d]: view initial support differs", trial, i, j)
+			}
+			for e := range sv.InitIdx {
+				if sv.InitIdx[e] != dv.InitIdx[e] || sv.InitVal[e] != dv.InitVal[e] {
+					t.Fatalf("trial %d [%d,%d]: view initial entry %d differs", trial, i, j, e)
+				}
+			}
+			for si := range sv.Steps {
+				s1, s2 := &sv.Steps[si], &dv.Steps[si]
+				if len(s1.Col) != len(s2.Col) {
+					t.Fatalf("trial %d [%d,%d] step %d: nnz differs", trial, i, j, si)
+				}
+				for e := range s1.Col {
+					if s1.Col[e] != s2.Col[e] || s1.Val[e] != s2.Val[e] || s1.LogVal[e] != s2.LogVal[e] {
+						t.Fatalf("trial %d [%d,%d] step %d entry %d differs", trial, i, j, si, e)
+					}
+				}
+			}
+			if err := shared.Validate(); err != nil {
+				t.Fatalf("trial %d [%d,%d]: overlay fails Validate: %v", trial, i, j, err)
+			}
+		}
+	}
+	// Out-of-range windows panic like Window's.
+	m := Random(ab, 4, 0.6, rand.New(rand.NewSource(1)))
+	wr := m.Windower()
+	for _, span := range [][2]int{{0, 2}, {2, 5}, {3, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("SharedWindow(%d,%d): no panic", span[0], span[1])
+				}
+			}()
+			wr.SharedWindow(span[0], span[1])
+		}()
+	}
+}

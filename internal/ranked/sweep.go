@@ -1,0 +1,141 @@
+package ranked
+
+import (
+	"context"
+
+	"markovseq/internal/automata"
+	"markovseq/internal/kernel"
+	"markovseq/internal/lawler"
+	"markovseq/internal/markov"
+	"markovseq/internal/transducer"
+)
+
+// Sweeper is the lean per-window form of the ranked enumerator for
+// sliding-window sweeps: one top-k drain per window, many windows per
+// sweep. It emits exactly the answer sequence of
+// NewEnumerator(t, m, WithTables(nt)) — same resolve alignments, same
+// kernel calls, same deterministic tie handling — but strips the parts
+// of the general evaluator that profiling shows dominate at window
+// scale, where each enumeration is a few dozen microseconds:
+//
+//   - no string checkpoint keys or LRU bookkeeping: within one window's
+//     top-k drain at most k+1 alignments exist (the root's plus one per
+//     emitted answer), so checkpoints live in a small ring compared by
+//     symbol content;
+//   - no single-flight machinery or locks: a Sweeper is single-goroutine
+//     by contract (parallel window fan-out uses one Sweeper per worker);
+//   - one ConstrainScratch reused across every checkpoint build and
+//     resume of the sweep, instead of per-call pool round trips.
+//
+// Checkpoints never leak across windows: TopK resets the ring, since a
+// checkpoint is only meaningful against the view it was built from.
+type Sweeper struct {
+	t  *transducer.Transducer
+	nt *kernel.NFATables
+	sc kernel.ConstrainScratch
+	// ring holds this window's checkpoints; at most k+1 entries are ever
+	// live, so TopK sizes it once and lookups are a short linear scan.
+	ring []sweepCkpt
+}
+
+type sweepCkpt struct {
+	align []automata.Symbol
+	ck    *kernel.Checkpoint
+}
+
+// NewSweeper builds a sweeper for t. WithTables reuses prepared base
+// tables; other options are ignored (a sweeper is always sequential).
+// Not safe for concurrent use.
+func NewSweeper(t *transducer.Transducer, opts ...Option) *Sweeper {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	nt := cfg.nt
+	if nt == nil {
+		nt = kernel.NewNFATables(t)
+	}
+	return &Sweeper{t: t, nt: nt}
+}
+
+func sameAlign(a, b []automata.Symbol) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Sweeper) checkpoint(ctx context.Context, v *kernel.SeqView, align []automata.Symbol) (*kernel.Checkpoint, error) {
+	for i := range s.ring {
+		if sameAlign(s.ring[i].align, align) {
+			return s.ring[i].ck, nil
+		}
+	}
+	ck, err := kernel.BuildCheckpointCtx(ctx, s.nt, v, align, &s.sc)
+	if err != nil {
+		return nil, err
+	}
+	s.ring = append(s.ring, sweepCkpt{align: align, ck: ck})
+	return ck, nil
+}
+
+// TopK returns the k highest-E_max answers of the sweeper's transducer
+// over m in ranked order — bit-identical to draining the engine-backed
+// enumerator k times (the determinism contract of kernel/constrained.go
+// plus the sequential Lawler order make both paths emit the same
+// answers with the same float bits). A non-nil error is ctx.Err(); the
+// answers already collected are discarded by the caller (the window is
+// incomplete).
+func (s *Sweeper) TopK(ctx context.Context, m *markov.Sequence, k int) ([]Answer, error) {
+	if k <= 0 {
+		return nil, ctx.Err()
+	}
+	v := m.View()
+	// Checkpoints are view-specific, so the previous window's ring is
+	// dead; recycling its layer storage into the scratch lets this
+	// window's builds run allocation-free (the ring is private to this
+	// sweeper, so recycling is safe — see kernel.ConstrainScratch.Recycle).
+	for i := range s.ring {
+		s.sc.Recycle(s.ring[i].ck)
+		s.ring[i] = sweepCkpt{}
+	}
+	s.ring = s.ring[:0]
+	if cap(s.ring) < k+1 {
+		s.ring = make([]sweepCkpt, 0, k+1)
+	}
+	en := lawler.New(lawler.Config[Answer]{
+		Root: transducer.Unconstrained(),
+		Resolve: func(ctx context.Context, c transducer.Constraint, parent Answer, root bool) (Answer, float64, bool, error) {
+			align := parent.Output
+			if root {
+				align = c.Prefix
+			}
+			ck, err := s.checkpoint(ctx, v, align)
+			if err != nil {
+				return Answer{}, 0, false, err
+			}
+			o, _, _, logE, ok, err := kernel.ResumeConstrainedCtx(ctx, s.nt, v, ck, c, &s.sc)
+			return Answer{Output: o, LogEmax: logE}, logE, ok, err
+		},
+		Children: func(c transducer.Constraint, top Answer) []transducer.Constraint {
+			return c.Children(top.Output)
+		},
+	})
+	out := make([]Answer, 0, k)
+	for len(out) < k {
+		a, _, ok, err := en.NextCtx(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
