@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench benchcmp bench-all experiments examples fuzz fuzz-smoke clean
+.PHONY: all build test race cover bench benchcmp bench-all experiments examples fuzz fuzz-smoke verify clean
 
 all: build test
 
@@ -31,11 +31,15 @@ cover:
 # percentiles; reference vs incremental vs parallel) into
 # BENCH_ranked.json, and the cold sliding-window / fleet sweep (windows
 # per second and streams per second land in each result's "extra" map)
-# into BENCH_sliding.json.
+# into BENCH_sliding.json, and the append-only ingestion pair
+# (incremental AppendEvents + resident watcher vs wholesale
+# PutStream-rebuild; events per second in "extra") into
+# BENCH_append.json.
 bench:
 	$(GO) test -run '^$$' -bench 'Kernel|Lahar' -benchmem ./... | $(GO) run ./cmd/benchjson -o BENCH_conf.json
 	$(GO) test -run '^$$' -bench 'Ranked' -benchmem ./internal/ranked/ | $(GO) run ./cmd/benchjson -o BENCH_ranked.json
 	$(GO) test -run '^$$' -bench 'SlidingTopK|TopKAcross' -benchmem . | $(GO) run ./cmd/benchjson -o BENCH_sliding.json
+	$(GO) test -run '^$$' -bench 'Append' -benchmem . | $(GO) run ./cmd/benchjson -o BENCH_append.json
 
 # Diff two bench JSON files produced by `make bench`, failing on a >10%
 # ns/op regression in the named hot benchmarks:
@@ -45,6 +49,17 @@ OLD ?= BENCH_sliding.base.json
 NEW ?= BENCH_sliding.json
 benchcmp:
 	$(GO) run ./cmd/benchcmp -old $(OLD) -new $(NEW) -threshold 10 -match 'SlidingTopK|TopKAcross'
+
+# The CI gate: vet + full race suite, a fuzz smoke pass, and — when a
+# benchmark baseline exists — a regression check against it. Baselines
+# are opt-in (rename a BENCH_sliding.json from a trusted run to
+# BENCH_sliding.base.json) so a fresh checkout still verifies cleanly.
+verify: race fuzz-smoke
+	@if [ -f $(OLD) ] && [ -f $(NEW) ]; then \
+		$(MAKE) benchcmp OLD=$(OLD) NEW=$(NEW); \
+	else \
+		echo "verify: no benchmark baseline ($(OLD)); skipping benchcmp"; \
+	fi
 
 # The historical run-everything benchmark sweep (DESIGN.md §3 series).
 bench-all:

@@ -1,0 +1,233 @@
+package hmm
+
+import (
+	"fmt"
+
+	"markovseq/internal/automata"
+)
+
+// Fixed-lag smoothing: the online variant of Condition. Exact smoothing
+// is inherently whole-sequence — a new observation revises the
+// posterior of every earlier position, which is why re-smoothing per
+// append costs O(n·|S|²). A fixed-lag smoother instead freezes
+// ("commits") position p once L observations beyond it have arrived,
+// computing its conditional-chain row from the length-L backward horizon
+// only. Each observation then costs O(L·|S|²) regardless of stream
+// length, and the committed rows feed an append-only store
+// (lahar.DB.AppendEvents) instead of wholesale stream replacement. With
+// L at least the final sequence length minus one, the committed rows
+// (after Flush) coincide with Condition's up to floating-point
+// tolerance.
+
+// Commit is one position of the conditional chain frozen by the
+// smoother. Pos is 1-based: Pos == 1 carries the chain's initial
+// distribution (Initial set, Trans nil); Pos > 1 carries the transition
+// matrix μ_{Pos-1}→ from position Pos-1 to Pos (Trans set, Initial
+// nil). Committed in increasing Pos order with no gaps.
+type Commit struct {
+	Pos     int
+	Initial []float64
+	Trans   [][]float64
+}
+
+// FixedLagSmoother turns an observation stream into conditional-chain
+// commits with a fixed smoothing lag. Not safe for concurrent use.
+type FixedLagSmoother struct {
+	h   *Model
+	lag int
+
+	// alpha is the filtering distribution Pr(H_n = s | O₁..O_n); it
+	// detects impossible observations exactly as forwardScaled does.
+	alpha []float64
+	// buf holds the observations of the uncommitted positions
+	// committed+1 .. count (at most lag+1 of them after the commit loop).
+	buf []automata.Symbol
+	// count is the number of observations seen; committed the number of
+	// positions committed.
+	count, committed int
+
+	// One-deep undo state for Rollback (restores the smoother to before
+	// the last successful Observe).
+	undoAlpha     []float64
+	undoBuf       []automata.Symbol
+	undoCount     int
+	undoCommitted int
+	undoValid     bool
+}
+
+// NewFixedLagSmoother returns a smoother with the given lag (≥ 0): a
+// position is committed once lag observations beyond it have arrived.
+// Lag 0 commits every position immediately from the filter alone.
+func NewFixedLagSmoother(h *Model, lag int) (*FixedLagSmoother, error) {
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	if lag < 0 {
+		return nil, fmt.Errorf("hmm: fixed lag %d < 0", lag)
+	}
+	return &FixedLagSmoother{h: h, lag: lag}, nil
+}
+
+// Len returns the number of observations seen so far.
+func (f *FixedLagSmoother) Len() int { return f.count }
+
+// Committed returns the number of positions committed so far.
+func (f *FixedLagSmoother) Committed() int { return f.committed }
+
+// Observe feeds one observation and returns the positions it commits
+// (none during the first lag observations, exactly one per observation
+// afterwards). An observation with zero probability under the model
+// returns an error and leaves the smoother unchanged.
+func (f *FixedLagSmoother) Observe(sym automata.Symbol) ([]Commit, error) {
+	k := f.h.States.Size()
+	next := make([]float64, k)
+	z := 0.0
+	for s := 0; s < k; s++ {
+		var prior float64
+		if f.count == 0 {
+			prior = f.h.Initial[s]
+		} else {
+			for t := 0; t < k; t++ {
+				prior += f.alpha[t] * f.h.Trans[t][s]
+			}
+		}
+		next[s] = prior * f.h.Emit[s][sym]
+		z += next[s]
+	}
+	if z == 0 {
+		return nil, fmt.Errorf("hmm: observation sequence has probability zero at position %d", f.count+1)
+	}
+	for s := range next {
+		next[s] /= z
+	}
+
+	f.undoAlpha = append(f.undoAlpha[:0], f.alpha...)
+	f.undoBuf = append(f.undoBuf[:0], f.buf...)
+	f.undoCount, f.undoCommitted = f.count, f.committed
+	f.undoValid = true
+
+	f.alpha = next
+	f.buf = append(f.buf, sym)
+	f.count++
+
+	var out []Commit
+	for f.count-f.committed > f.lag {
+		out = append(out, f.commitFront())
+	}
+	return out, nil
+}
+
+// Rollback restores the smoother to its state before the last
+// successful Observe — the undo hook for callers whose store rejected
+// the commits. One level deep; a second Rollback without an intervening
+// Observe panics.
+func (f *FixedLagSmoother) Rollback() {
+	if !f.undoValid {
+		panic("hmm: FixedLagSmoother.Rollback without a preceding Observe")
+	}
+	f.alpha = append(f.alpha[:0], f.undoAlpha...)
+	if f.undoCount == 0 {
+		f.alpha = nil
+	}
+	f.buf = append(f.buf[:0], f.undoBuf...)
+	f.count, f.committed = f.undoCount, f.undoCommitted
+	f.undoValid = false
+}
+
+// Flush commits every remaining buffered position with a truncated
+// backward horizon (the observations available), emptying the buffer.
+// After feeding n observations through a smoother with lag ≥ n-1, Flush
+// yields exactly the rows of Condition (up to floating-point roundoff),
+// since every horizon then spans the full suffix.
+func (f *FixedLagSmoother) Flush() []Commit {
+	var out []Commit
+	for f.committed < f.count {
+		out = append(out, f.commitFront())
+	}
+	f.undoValid = false
+	return out
+}
+
+// commitFront freezes position committed+1 from the backward horizon
+// buf[0:min(lag+1, len(buf))] and pops its observation off the buffer.
+func (f *FixedLagSmoother) commitFront() Commit {
+	k := f.h.States.Size()
+	horizon := f.buf
+	if len(horizon) > f.lag+1 {
+		horizon = horizon[:f.lag+1]
+	}
+	beta := f.betaOver(horizon)
+	pos := f.committed + 1
+	c := Commit{Pos: pos}
+	if pos == 1 {
+		// μ₀→(s) ∝ Initial[s]·Emit[s][O₁]·β(s) — Condition's smoothing
+		// marginal at position 1, restricted to the horizon.
+		init := make([]float64, k)
+		z := 0.0
+		for s := 0; s < k; s++ {
+			init[s] = f.h.Initial[s] * f.h.Emit[s][horizon[0]] * beta[s]
+			z += init[s]
+		}
+		for s := range init {
+			init[s] /= z
+		}
+		c.Initial = init
+	} else {
+		// μ_{pos-1}→(s, t) ∝ Trans[s][t]·Emit[t][O_pos]·β(t), exactly
+		// Condition's row with β restricted to the horizon; states
+		// impossible given the observations get a harmless self-loop.
+		mat := make([][]float64, k)
+		for s := 0; s < k; s++ {
+			row := make([]float64, k)
+			z := 0.0
+			for t := 0; t < k; t++ {
+				row[t] = f.h.Trans[s][t] * f.h.Emit[t][horizon[0]] * beta[t]
+				z += row[t]
+			}
+			if z == 0 {
+				row[s] = 1
+			} else {
+				for t := range row {
+					row[t] /= z
+				}
+			}
+			mat[s] = row
+		}
+		c.Trans = mat
+	}
+	f.committed++
+	f.buf = f.buf[1:]
+	return c
+}
+
+// betaOver runs the backward pass over the horizon: beta[s] ∝
+// Pr(O₂..O_H | H₁ = s) for the horizon's own positions, normalized per
+// level to dodge underflow (the commit rows normalize again, so the
+// scale cancels — the same invariance backwardScaled gets from its
+// forward scales).
+func (f *FixedLagSmoother) betaOver(horizon []automata.Symbol) []float64 {
+	k := f.h.States.Size()
+	beta := make([]float64, k)
+	for s := range beta {
+		beta[s] = 1
+	}
+	next := make([]float64, k)
+	for j := len(horizon) - 2; j >= 0; j-- {
+		z := 0.0
+		for s := 0; s < k; s++ {
+			v := 0.0
+			for t := 0; t < k; t++ {
+				v += f.h.Trans[s][t] * f.h.Emit[t][horizon[j+1]] * beta[t]
+			}
+			next[s] = v
+			z += v
+		}
+		if z != 0 {
+			for s := range next {
+				next[s] /= z
+			}
+		}
+		beta, next = next, beta
+	}
+	return beta
+}

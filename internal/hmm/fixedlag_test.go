@@ -1,0 +1,289 @@
+package hmm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"markovseq/internal/automata"
+	"markovseq/internal/markov"
+)
+
+// sequenceOf reassembles the commits (in Pos order, gapless) into the
+// Markov sequence they encode.
+func sequenceOf(t *testing.T, states *automata.Alphabet, commits []Commit) *markov.Sequence {
+	t.Helper()
+	n := len(commits)
+	if n == 0 {
+		t.Fatal("no commits")
+	}
+	m := markov.New(states, n)
+	for i, c := range commits {
+		if c.Pos != i+1 {
+			t.Fatalf("commit %d has Pos %d, want %d (commits must be gapless and ordered)", i, c.Pos, i+1)
+		}
+		if c.Pos == 1 {
+			if c.Initial == nil || c.Trans != nil {
+				t.Fatalf("commit Pos=1 must set Initial only (Initial=%v Trans=%v)", c.Initial, c.Trans)
+			}
+			copy(m.Initial, c.Initial)
+			continue
+		}
+		if c.Trans == nil || c.Initial != nil {
+			t.Fatalf("commit Pos=%d must set Trans only", c.Pos)
+		}
+		for s, row := range c.Trans {
+			copy(m.Trans[c.Pos-2][s], row)
+		}
+	}
+	return m
+}
+
+// TestFixedLagFullLagMatchesCondition: with lag ≥ n-1 every backward
+// horizon spans the full suffix, so Observe+Flush must reproduce
+// Condition's conditional chain up to floating-point roundoff.
+func TestFixedLagFullLagMatchesCondition(t *testing.T) {
+	states := automata.MustAlphabet("a", "b", "c")
+	obsAb := automata.MustAlphabet("x", "y")
+	for trial := 0; trial < 30; trial++ {
+		rng := rand.New(rand.NewSource(int64(400 + trial)))
+		h := randomModel(states, obsAb, rng)
+		n := 2 + rng.Intn(5)
+		obs := make([]automata.Symbol, n)
+		for i := range obs {
+			obs[i] = automata.Symbol(rng.Intn(obsAb.Size()))
+		}
+		want, err := h.Condition(obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sm, err := NewFixedLagSmoother(h, n-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var commits []Commit
+		for _, o := range obs {
+			cs, err := sm.Observe(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			commits = append(commits, cs...)
+		}
+		commits = append(commits, sm.Flush()...)
+		if len(commits) != n {
+			t.Fatalf("trial %d: %d commits, want %d", trial, len(commits), n)
+		}
+		got := sequenceOf(t, states, commits)
+		if err := got.Validate(); err != nil {
+			t.Fatalf("trial %d: committed sequence invalid: %v", trial, err)
+		}
+		for s := range want.Initial {
+			if math.Abs(got.Initial[s]-want.Initial[s]) > 1e-9 {
+				t.Fatalf("trial %d: Initial[%d] = %v, want %v", trial, s, got.Initial[s], want.Initial[s])
+			}
+		}
+		for i := range want.Trans {
+			for s := range want.Trans[i] {
+				for u := range want.Trans[i][s] {
+					if math.Abs(got.Trans[i][s][u]-want.Trans[i][s][u]) > 1e-9 {
+						t.Fatalf("trial %d: Trans[%d][%d][%d] = %v, want %v",
+							trial, i, s, u, got.Trans[i][s][u], want.Trans[i][s][u])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFixedLagCommitSchedule: a lag-L smoother commits nothing for the
+// first L observations, exactly one position per observation afterwards,
+// and Flush drains the remaining L buffered positions.
+func TestFixedLagCommitSchedule(t *testing.T) {
+	states := automata.MustAlphabet("a", "b")
+	obsAb := automata.MustAlphabet("x", "y", "z")
+	rng := rand.New(rand.NewSource(500))
+	h := randomModel(states, obsAb, rng)
+	const n = 12
+	for _, lag := range []int{0, 1, 3, n - 1, n + 5} {
+		sm, err := NewFixedLagSmoother(h, lag)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, obs := h.Sample(n, rng)
+		total := 0
+		for i, o := range obs {
+			cs, err := sm.Observe(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantLen := 0
+			if i+1 > lag {
+				wantLen = 1
+			}
+			if len(cs) != wantLen {
+				t.Fatalf("lag %d: observation %d committed %d positions, want %d", lag, i+1, len(cs), wantLen)
+			}
+			total += len(cs)
+			if sm.Len() != i+1 || sm.Committed() != total {
+				t.Fatalf("lag %d: Len/Committed = %d/%d, want %d/%d", lag, sm.Len(), sm.Committed(), i+1, total)
+			}
+		}
+		flushed := sm.Flush()
+		if total+len(flushed) != n {
+			t.Fatalf("lag %d: %d observe-commits + %d flushed, want %d total", lag, total, len(flushed), n)
+		}
+		if sm.Committed() != n {
+			t.Fatalf("lag %d: Committed after Flush = %d, want %d", lag, sm.Committed(), n)
+		}
+	}
+}
+
+// TestFixedLagRowsValid: commits are always valid distributions, for any
+// lag (the truncated-horizon approximation must still be stochastic).
+func TestFixedLagRowsValid(t *testing.T) {
+	states := automata.MustAlphabet("a", "b", "c")
+	obsAb := automata.MustAlphabet("x", "y")
+	for trial := 0; trial < 10; trial++ {
+		rng := rand.New(rand.NewSource(int64(600 + trial)))
+		h := randomModel(states, obsAb, rng)
+		for _, lag := range []int{0, 1, 2} {
+			sm, err := NewFixedLagSmoother(h, lag)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, obs := h.Sample(8, rng)
+			var commits []Commit
+			for _, o := range obs {
+				cs, err := sm.Observe(o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				commits = append(commits, cs...)
+			}
+			commits = append(commits, sm.Flush()...)
+			m := sequenceOf(t, states, commits)
+			if err := m.Validate(); err != nil {
+				t.Fatalf("trial %d lag %d: %v", trial, lag, err)
+			}
+		}
+	}
+}
+
+// TestFixedLagImpossibleObservation: a zero-probability observation
+// errors and leaves the smoother untouched (the next valid observation
+// continues as if the bad one never happened).
+func TestFixedLagImpossibleObservation(t *testing.T) {
+	states := automata.MustAlphabet("a")
+	obsAb := automata.MustAlphabet("x", "y")
+	h := New(states, obsAb)
+	h.Initial[0] = 1
+	h.Trans[0][0] = 1
+	h.Emit[0][0] = 1 // only ever emits x
+	sm, err := NewFixedLagSmoother(h, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sm.Observe(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sm.Observe(1); err == nil {
+		t.Fatal("impossible observation should fail")
+	}
+	if sm.Len() != 1 || sm.Committed() != 1 {
+		t.Fatalf("failed Observe mutated the smoother: Len=%d Committed=%d", sm.Len(), sm.Committed())
+	}
+	cs, err := sm.Observe(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 1 || cs[0].Pos != 2 {
+		t.Fatalf("recovery commit = %+v, want Pos 2", cs)
+	}
+}
+
+// TestFixedLagRollback: Rollback undoes the last Observe exactly — the
+// replayed observation produces the same commits, and the final chain
+// matches an uninterrupted run bit for bit.
+func TestFixedLagRollback(t *testing.T) {
+	states := automata.MustAlphabet("a", "b")
+	obsAb := automata.MustAlphabet("x", "y")
+	rng := rand.New(rand.NewSource(700))
+	h := randomModel(states, obsAb, rng)
+	_, obs := h.Sample(9, rng)
+	const lag = 2
+
+	run := func(rollbackAt int) []Commit {
+		sm, err := NewFixedLagSmoother(h, lag)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var commits []Commit
+		for i, o := range obs {
+			cs, err := sm.Observe(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i == rollbackAt {
+				// Pretend the store rejected the commits: undo and replay.
+				sm.Rollback()
+				cs, err = sm.Observe(o)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			commits = append(commits, cs...)
+		}
+		return append(commits, sm.Flush()...)
+	}
+
+	want := run(-1)
+	for _, at := range []int{0, 1, lag, lag + 1, len(obs) - 1} {
+		got := run(at)
+		if len(got) != len(want) {
+			t.Fatalf("rollback at %d: %d commits, want %d", at, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Pos != want[i].Pos {
+				t.Fatalf("rollback at %d: commit %d Pos %d, want %d", at, i, got[i].Pos, want[i].Pos)
+			}
+			for s, v := range want[i].Initial {
+				if got[i].Initial[s] != v {
+					t.Fatalf("rollback at %d: commit %d Initial[%d] = %v, want %v", at, i, s, got[i].Initial[s], v)
+				}
+			}
+			for s, row := range want[i].Trans {
+				for u, v := range row {
+					if got[i].Trans[s][u] != v {
+						t.Fatalf("rollback at %d: commit %d Trans[%d][%d] = %v, want %v",
+							at, i, s, u, got[i].Trans[s][u], v)
+					}
+				}
+			}
+		}
+	}
+
+	// A second Rollback without an intervening Observe must panic.
+	sm, err := NewFixedLagSmoother(h, lag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sm.Observe(obs[0]); err != nil {
+		t.Fatal(err)
+	}
+	sm.Rollback()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Rollback should panic")
+		}
+	}()
+	sm.Rollback()
+}
+
+func TestFixedLagNegativeLag(t *testing.T) {
+	states := automata.MustAlphabet("a", "b")
+	obsAb := automata.MustAlphabet("x")
+	h := randomModel(states, obsAb, rand.New(rand.NewSource(1)))
+	if _, err := NewFixedLagSmoother(h, -1); err == nil {
+		t.Fatal("negative lag should fail")
+	}
+}

@@ -1,0 +1,253 @@
+// Tests for the append-only extension path: SeqView.Extend against a
+// full recompile, divergence safety of the share-or-copy discipline, and
+// the resident WindowEvaluator surviving Extend with bit-identical
+// frontiers and an alloc-free steady state.
+package kernel
+
+import (
+	"math/rand"
+	"testing"
+
+	"markovseq/internal/automata"
+)
+
+// randDense builds n random sparse (not necessarily stochastic) k×k
+// matrices — the kernel layer never looks at row sums.
+func randDense(rng *rand.Rand, k, n int) [][][]float64 {
+	mats := make([][][]float64, n)
+	for i := range mats {
+		mats[i] = make([][]float64, k)
+		for x := range mats[i] {
+			mats[i][x] = make([]float64, k)
+			for y := range mats[i][x] {
+				if rng.Intn(3) != 0 {
+					mats[i][x][y] = rng.Float64()
+				}
+			}
+		}
+	}
+	return mats
+}
+
+func sameView(t *testing.T, got, want *SeqView, what string) {
+	t.Helper()
+	if got.K != want.K || got.N != want.N || len(got.Steps) != len(want.Steps) {
+		t.Fatalf("%s: shape (K=%d,N=%d,steps=%d) want (K=%d,N=%d,steps=%d)",
+			what, got.K, got.N, len(got.Steps), want.K, want.N, len(want.Steps))
+	}
+	if len(got.InitIdx) != len(want.InitIdx) {
+		t.Fatalf("%s: initial support differs", what)
+	}
+	for i := range got.InitIdx {
+		if got.InitIdx[i] != want.InitIdx[i] || got.InitVal[i] != want.InitVal[i] {
+			t.Fatalf("%s: initial entry %d differs", what, i)
+		}
+	}
+	for si := range got.Steps {
+		s1, s2 := &got.Steps[si], &want.Steps[si]
+		if len(s1.Col) != len(s2.Col) {
+			t.Fatalf("%s: step %d nnz differs", what, si)
+		}
+		for e := range s1.Col {
+			if s1.Col[e] != s2.Col[e] || s1.Val[e] != s2.Val[e] || s1.LogVal[e] != s2.LogVal[e] {
+				t.Fatalf("%s: step %d entry %d differs", what, si, e)
+			}
+		}
+		for r := range s1.RowPtr {
+			if s1.RowPtr[r] != s2.RowPtr[r] {
+				t.Fatalf("%s: step %d rowptr differs", what, si)
+			}
+		}
+	}
+}
+
+// TestSeqViewExtendMatchesRecompile: extending a view — in one batch or
+// one matrix at a time — is field-by-field identical to recompiling the
+// full sequence through NewSeqView.
+func TestSeqViewExtendMatchesRecompile(t *testing.T) {
+	rng := rand.New(rand.NewSource(47000))
+	for trial := 0; trial < 10; trial++ {
+		k := 2 + rng.Intn(3)
+		base := 1 + rng.Intn(6)
+		extra := 1 + rng.Intn(6)
+		dense := randDense(rng, k, base+extra)
+		initial := randDist(rng, k)
+		want := NewSeqView(initial, dense)
+
+		batch := NewSeqView(initial, dense[:base]).Extend(dense[base:])
+		sameView(t, batch, want, "batch extend")
+
+		chain := NewSeqView(initial, dense[:base])
+		for i := base; i < base+extra; i++ {
+			chain = chain.Extend(dense[i : i+1])
+		}
+		sameView(t, chain, want, "chained extend")
+	}
+}
+
+// TestSeqViewExtendDivergent: extending the same snapshot twice must not
+// let the second extension clobber the first one's steps (the second
+// Extend copies the prefix instead of reusing spare capacity).
+func TestSeqViewExtendDivergent(t *testing.T) {
+	rng := rand.New(rand.NewSource(47100))
+	k := 3
+	dense := randDense(rng, k, 8)
+	initial := randDist(rng, k)
+	base := NewSeqView(initial, dense[:4])
+	extA := randDense(rng, k, 2)
+	extB := randDense(rng, k, 2)
+	a := base.Extend(extA)
+	b := base.Extend(extB)
+	sameView(t, a, NewSeqView(initial, append(append([][][]float64{}, dense[:4]...), extA...)), "first extension")
+	sameView(t, b, NewSeqView(initial, append(append([][][]float64{}, dense[:4]...), extB...)), "second extension")
+	// And extending the extensions further must stay independent.
+	a2 := a.Extend(dense[6:8])
+	sameView(t, a2, NewSeqView(initial, append(append(append([][][]float64{}, dense[:4]...), extA...), dense[6:8]...)), "chained after divergence")
+	sameView(t, base, NewSeqView(initial, dense[:4]), "base unchanged")
+}
+
+// TestSeqViewSliceThenExtend: extending a Slice result must never write
+// into the parent's backing array (the full slice expression in Slice
+// forces the first append to reallocate).
+func TestSeqViewSliceThenExtend(t *testing.T) {
+	rng := rand.New(rand.NewSource(47200))
+	k := 3
+	dense := randDense(rng, k, 8)
+	initial := randDist(rng, k)
+	parent := NewSeqView(initial, dense)
+	alpha := randDist(rng, k)
+	win := parent.Slice(2, 4, alpha)
+	ext := randDense(rng, k, 2)
+	grown := win.Extend(ext)
+	sameView(t, grown, NewSeqView(alpha, append(append([][][]float64{}, dense[1:3]...), ext...)), "extended slice")
+	sameView(t, parent, NewSeqView(initial, dense), "parent after slice extend")
+}
+
+// TestWindowEvaluatorExtendMatchesFresh: an evaluator that lived through
+// a chain of Extends yields frontiers bit-identical to a fresh evaluator
+// over the final view.
+func TestWindowEvaluatorExtendMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(47300))
+	in := automata.MustAlphabet("a", "b")
+	out := automata.MustAlphabet("x")
+	for trial := 0; trial < 5; trial++ {
+		tr := randOpTransducer(rng, in, out, 2+rng.Intn(2))
+		nt := NewNFATables(tr)
+		k := in.Size()
+		base := 4 + rng.Intn(4)
+		dense := randDense(rng, k, base-1)
+		initial := randDist(rng, k)
+		v := NewSeqView(initial, dense)
+		alpha := make([][]float64, base)
+		for i := range alpha {
+			alpha[i] = randDist(rng, k)
+		}
+		window, stride := 1+rng.Intn(4), 1+rng.Intn(3)
+		for _, sr := range []Semiring{MaxLog, SumProb} {
+			live := NewWindowEvaluator(nt, v, alpha, window, stride, sr)
+			var got []WindowFrontier
+			drain := func() {
+				for {
+					wf, ok := live.Next()
+					if !ok {
+						break
+					}
+					got = append(got, WindowFrontier{
+						Start: wf.Start, End: wf.End,
+						Cells:    append([]int32(nil), wf.Cells...),
+						Vals:     append([]float64(nil), wf.Vals...),
+						Best:     wf.Best,
+						NonEmpty: wf.NonEmpty,
+					})
+				}
+			}
+			drain()
+			cv, ca := v, alpha
+			for ev := 0; ev < 10; ev++ {
+				mat := randDense(rng, k, 1)
+				cv = cv.Extend(mat)
+				ca = append(append([][]float64(nil), ca...), randDist(rng, k))
+				live.Extend(cv, ca)
+				drain()
+			}
+			fresh := NewWindowEvaluator(nt, cv, ca, window, stride, sr)
+			for i := 0; ; i++ {
+				wf, ok := fresh.Next()
+				if !ok {
+					if i != len(got) {
+						t.Fatalf("trial %d sr %v: live evaluator yielded %d windows, fresh %d", trial, sr, len(got), i)
+					}
+					break
+				}
+				if i >= len(got) {
+					t.Fatalf("trial %d sr %v: fresh evaluator yields extra window %d", trial, sr, i)
+				}
+				g := got[i]
+				if g.Start != wf.Start || g.End != wf.End || g.Best != wf.Best || g.NonEmpty != wf.NonEmpty {
+					t.Fatalf("trial %d sr %v window %d: header differs: got %+v want %+v", trial, sr, i, g, wf)
+				}
+				if len(g.Cells) != len(wf.Cells) {
+					t.Fatalf("trial %d sr %v window %d: frontier size differs", trial, sr, i)
+				}
+				for e := range g.Cells {
+					if g.Cells[e] != wf.Cells[e] || g.Vals[e] != wf.Vals[e] {
+						t.Fatalf("trial %d sr %v window %d: cell %d differs", trial, sr, i, e)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestWindowEvaluatorExtendAllocFree pins the amortized-O(1) claim of
+// the append path: once warm, appending one position (Extend of a
+// precompiled view + the window it completes) performs zero allocations
+// inside the evaluator — queue pushes draw from the freelist, flips seed
+// from the cached identity, and frontier buffers are reused.
+func TestWindowEvaluatorExtendAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(47400))
+	in := automata.MustAlphabet("a", "b")
+	out := automata.MustAlphabet("x")
+	tr := randOpTransducer(rng, in, out, 2)
+	nt := NewNFATables(tr)
+	k := in.Size()
+	const window, warm, measured = 6, 30, 21
+	base := window
+	dense := randDense(rng, k, base-1)
+	initial := randDist(rng, k)
+	v := NewSeqView(initial, dense)
+	alpha := make([][]float64, base)
+	for i := range alpha {
+		alpha[i] = randDist(rng, k)
+	}
+	// Precompile the whole event chain outside the measured region: the
+	// assertion is about the evaluator's resident state, not compileStep.
+	var views []*SeqView
+	var alphas [][][]float64
+	cv, ca := v, alpha
+	for i := 0; i < warm+measured; i++ {
+		cv = cv.Extend(randDense(rng, k, 1))
+		ca = append(append([][]float64(nil), ca...), randDist(rng, k))
+		views = append(views, cv)
+		alphas = append(alphas, ca)
+	}
+	ev := NewWindowEvaluator(nt, v, alpha, window, 1, MaxLog)
+	if _, ok := ev.Next(); !ok {
+		t.Fatal("base view has no complete window")
+	}
+	idx := 0
+	step := func() {
+		ev.Extend(views[idx], alphas[idx])
+		idx++
+		if _, ok := ev.Next(); !ok {
+			t.Fatal("append did not complete a window")
+		}
+	}
+	for i := 0; i < warm; i++ {
+		step()
+	}
+	allocs := testing.AllocsPerRun(measured-1, step)
+	if allocs > 0 {
+		t.Fatalf("steady-state append performs %v allocations per event, want 0", allocs)
+	}
+}

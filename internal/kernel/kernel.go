@@ -30,7 +30,10 @@
 // tests.
 package kernel
 
-import "math"
+import (
+	"math"
+	"sync/atomic"
+)
 
 // Step is one transition matrix in compressed-sparse-row form: the
 // nonzero entries of row s are Col[RowPtr[s]:RowPtr[s+1]] (column
@@ -45,7 +48,8 @@ type Step struct {
 
 // SeqView is the sparse view of a Markov sequence: the nonzero entries
 // of the initial distribution plus one CSR Step per transition. It is
-// immutable after construction and safe for concurrent use.
+// immutable after construction and safe for concurrent use; Extend does
+// not mutate the receiver but returns a longer view sharing its steps.
 type SeqView struct {
 	// K is the node-alphabet size |Σ|, N the sequence length n.
 	K, N int
@@ -54,6 +58,11 @@ type SeqView struct {
 	InitVal []float64
 	// Steps[i] is μ_{i+1}→ in CSR form (length N-1).
 	Steps []Step
+
+	// extended flips when Extend reuses this view's Steps backing array
+	// for its successor; a second Extend of the same view then copies
+	// instead, so divergent extensions can never clobber each other.
+	extended atomic.Bool
 }
 
 // NewSeqView compiles an initial distribution and per-step transition
@@ -115,7 +124,7 @@ func (v *SeqView) Slice(i, j int, initial []float64) *SeqView {
 	if len(initial) != v.K {
 		panic("kernel: Slice initial distribution has wrong length")
 	}
-	w := &SeqView{K: v.K, N: j - i + 1, Steps: v.Steps[i-1 : j-1]}
+	w := &SeqView{K: v.K, N: j - i + 1, Steps: v.Steps[i-1 : j-1 : j-1]}
 	for x, p := range initial {
 		if p != 0 {
 			w.InitIdx = append(w.InitIdx, int32(x))
@@ -123,6 +132,36 @@ func (v *SeqView) Slice(i, j int, initial []float64) *SeqView {
 		}
 	}
 	return w
+}
+
+// Extend returns the view of the sequence extended by the given
+// transition matrices: the existing Steps are shared — nothing is
+// recompiled — and only the new matrices are compiled, so appending one
+// position to an n-position view costs O(|Σ|²) instead of O(n·|Σ|²).
+// The result is bit-identical to compiling the full extended sequence
+// from scratch (compileStep is deterministic and per-step).
+//
+// The receiver is not mutated and stays valid. The first Extend of a
+// view may donate its spare Steps capacity to the successor (append-only
+// single-writer chains therefore grow in amortized O(1)); any further
+// Extend of the same view copies, so divergent extensions are safe.
+func (v *SeqView) Extend(mats [][][]float64) *SeqView {
+	steps := v.Steps
+	if !v.extended.CompareAndSwap(false, true) {
+		// This view was already extended once: copy the prefix so the two
+		// successor chains cannot write into the same backing array.
+		steps = append(make([]Step, 0, len(v.Steps)+len(mats)), v.Steps...)
+	}
+	for _, mat := range mats {
+		steps = append(steps, compileStep(mat))
+	}
+	return &SeqView{
+		K:       v.K,
+		N:       v.N + len(mats),
+		InitIdx: v.InitIdx,
+		InitVal: v.InitVal,
+		Steps:   steps,
+	}
 }
 
 // NNZ returns the total number of nonzero transition entries across all

@@ -24,6 +24,7 @@ type opQueue struct {
 	back  []*Op // raw step operators in push order
 	bagg  *Op   // product of back, oldest-first; identity when back empty
 	spare *Op   // double buffer for bagg updates
+	one   *Op   // cached identity, the flip seed (alloc-free steady state)
 	free  []*Op
 	sc    OpScratch
 }
@@ -34,6 +35,7 @@ func newOpQueue(dim int, sr Semiring) *opQueue {
 		sr:    sr,
 		bagg:  IdentityOp(dim, sr),
 		spare: &Op{},
+		one:   IdentityOp(dim, sr),
 	}
 }
 
@@ -61,7 +63,7 @@ func (q *opQueue) pop() {
 	if len(q.front) == 0 {
 		// Flip: compose back newest-to-oldest so the front top ends up
 		// covering the oldest remaining element first.
-		acc := IdentityOp(q.dim, q.sr)
+		acc := q.one
 		for i := len(q.back) - 1; i >= 0; i-- {
 			next := q.alloc()
 			ComposeInto(next, q.back[i], acc, &q.sc)
@@ -189,6 +191,26 @@ func (w *WindowEvaluator) Len() int {
 		return 0
 	}
 	return (w.v.N-w.window)/w.stride + 1
+}
+
+// Extend swaps in a longer view of the same stream together with its
+// forward marginals, so the evaluator keeps sliding over an append-only
+// stream without rebuilding any queued operator: v must extend the
+// current view (shared prefix steps, as produced by SeqView.Extend), and
+// alpha must extend the current marginals. Next then yields the windows
+// that the appended positions completed — each new position costs the
+// same amortized O(1) operator combines as a cold sweep, and the
+// frontiers are bit-identical to a from-scratch evaluator over the
+// extended view.
+func (w *WindowEvaluator) Extend(v *SeqView, alpha [][]float64) {
+	if v.N < w.v.N || v.K != w.v.K {
+		panic("kernel: WindowEvaluator.Extend view does not extend the current view")
+	}
+	if len(alpha) != v.N {
+		panic("kernel: WindowEvaluator.Extend marginals do not match view length")
+	}
+	w.v = v
+	w.alpha = alpha
 }
 
 // Next advances to the next window and returns its frontier. The second

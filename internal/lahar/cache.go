@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 
 	"markovseq/internal/core"
+	"markovseq/internal/markov"
 )
 
 // engineKey identifies a cached engine by stream and query name.
@@ -32,23 +33,34 @@ type engineKey struct {
 }
 
 // engineEntry is a cached engine together with the stream and query
-// versions it was built against.
+// versions it was built against, plus the stream length at build time:
+// within one stream generation the sequence only grows (AppendEvents),
+// so (version, length) pins the exact snapshot the engine binds.
 type engineEntry struct {
 	sv, qv uint64
+	slen   int
 	eng    *core.Engine
 }
 
-// eventCacheEntry caches MatchProb results for one stream generation.
-// probs is keyed by automaton identity: callers must treat an automaton
-// passed to MatchProb as immutable afterwards.
+// eventCacheEntry caches MatchProb results for one stream generation at
+// one length (appends change acceptance probabilities, so a grown stream
+// starts a fresh generation). probs is keyed by automaton identity:
+// callers must treat an automaton passed to MatchProb as immutable
+// afterwards; its size is capped at maxEventCacheProbs.
 type eventCacheEntry struct {
 	sv    uint64
+	slen  int
 	probs map[any]float64
 }
 
+// maxEventCacheProbs caps the per-stream MatchProb cache: one generation
+// holds at most this many distinct automata before it is dropped and
+// rebuilt (counted as an invalidation).
+const maxEventCacheProbs = 1024
+
 // cacheCounters tracks cache effectiveness; read via Stats.
 type cacheCounters struct {
-	hits, misses, invalidations atomic.Uint64
+	hits, misses, invalidations, extensions atomic.Uint64
 }
 
 // CacheStats is a snapshot of the prepared-engine cache counters.
@@ -57,8 +69,13 @@ type CacheStats struct {
 	// requests that (re)built an engine.
 	Hits, Misses uint64
 	// Invalidations counts cache entries dropped because their stream or
-	// query was replaced.
+	// query was replaced (or an event cache overflowed its cap).
 	Invalidations uint64
+	// Extensions counts cached engines rebound because their stream grew
+	// by AppendEvents: an O(1) rebind of the prepared plan, not a
+	// recompilation, and deliberately not counted as a miss or an
+	// invalidation.
+	Extensions uint64
 }
 
 // Stats returns a snapshot of the engine-cache counters.
@@ -67,6 +84,7 @@ func (db *DB) Stats() CacheStats {
 		Hits:          db.stats.hits.Load(),
 		Misses:        db.stats.misses.Load(),
 		Invalidations: db.stats.invalidations.Load(),
+		Extensions:    db.stats.extensions.Load(),
 	}
 }
 
@@ -78,7 +96,14 @@ func (db *DB) engine(stream, qname string) (*core.Engine, error) {
 	db.mu.RLock()
 	se, sok := db.streams[stream]
 	qe, qok := db.queries[qname]
+	var m *markov.Sequence
 	var ent *engineEntry
+	if sok {
+		// Snapshot the sequence under the lock: AppendEvents swaps se.m
+		// for a longer snapshot in place, so se.m must not be re-read
+		// after the lock is released.
+		m = se.m
+	}
 	if sok && qok {
 		ent = db.engines[engineKey{stream, qname}]
 	}
@@ -90,25 +115,32 @@ func (db *DB) engine(stream, qname string) (*core.Engine, error) {
 		return nil, fmt.Errorf("lahar: unknown query %q", qname)
 	}
 	if ent != nil && ent.sv == se.version && ent.qv == qe.version {
-		db.stats.hits.Add(1)
-		return ent.eng, nil
+		if ent.slen == m.Len() {
+			db.stats.hits.Add(1)
+			return ent.eng, nil
+		}
+		// Same generation, grown stream: the prepared plan rebinds in O(1)
+		// below — no invalidation, no recompilation.
+		db.stats.extensions.Add(1)
+	} else {
+		db.stats.misses.Add(1)
 	}
-	db.stats.misses.Add(1)
 	// Build outside the lock: compilation can be slow and must not block
-	// readers. The sequence was validated by PutStream.
-	eng, err := qe.prepared.BindValidated(se.m)
+	// readers. The sequence was validated by PutStream (appended events
+	// by AppendEvents).
+	eng, err := qe.prepared.BindValidated(m)
 	if err != nil {
 		return nil, fmt.Errorf("lahar: stream %q, query %q: %w", stream, qname, err)
 	}
 	db.mu.Lock()
-	// Install only if the entries we built against are still current;
-	// a concurrent PutStream/Register* means our engine is already stale
-	// and must not be cached (the caller may still use it — it answers
-	// for the snapshot it observed).
+	// Install only if the snapshot we built against is still current; a
+	// concurrent PutStream/Register*/AppendEvents means our engine is
+	// already stale and must not be cached (the caller may still use it —
+	// it answers for the snapshot it observed).
 	cse, sok := db.streams[stream]
 	cqe, qok := db.queries[qname]
-	if sok && qok && cse.version == se.version && cqe.version == qe.version {
-		db.engines[engineKey{stream, qname}] = &engineEntry{sv: se.version, qv: qe.version, eng: eng}
+	if sok && qok && cse == se && cse.m == m && cqe.version == qe.version {
+		db.engines[engineKey{stream, qname}] = &engineEntry{sv: se.version, qv: qe.version, slen: m.Len(), eng: eng}
 	}
 	db.mu.Unlock()
 	return eng, nil

@@ -10,6 +10,7 @@ import (
 	"markovseq/internal/automata"
 	"markovseq/internal/conf"
 	"markovseq/internal/core"
+	"markovseq/internal/markov"
 )
 
 // MatchProb evaluates a Boolean event query in the Lahar style (Ré et
@@ -19,16 +20,21 @@ import (
 // primitive of the paper with its probability retained: a lazy subset
 // construction interleaved with the Markov dynamic program.
 //
-// Results are cached per (stream version, automaton), so repeating an
-// event query on an unchanged stream is a map lookup; the automaton must
-// not be mutated after the call. Replacing the stream invalidates the
-// cache.
+// Results are cached per (stream version, length, automaton), so
+// repeating an event query on an unchanged stream is a map lookup; the
+// automaton must not be mutated after the call. Replacing or appending
+// to the stream starts a fresh cache generation (appends change every
+// acceptance probability), and each generation is capped at
+// maxEventCacheProbs distinct automata — on overflow the generation is
+// dropped and rebuilt rather than growing without bound.
 func (db *DB) MatchProb(stream string, a *automata.NFA) (float64, error) {
 	db.mu.RLock()
 	se, ok := db.streams[stream]
+	var m *markov.Sequence
 	var cached, found = 0.0, false
 	if ok {
-		if ce, ok2 := db.events[stream]; ok2 && ce.sv == se.version {
+		m = se.m
+		if ce, ok2 := db.events[stream]; ok2 && ce.sv == se.version && ce.slen == m.Len() {
 			cached, found = ce.probs[a]
 		}
 	}
@@ -36,22 +42,26 @@ func (db *DB) MatchProb(stream string, a *automata.NFA) (float64, error) {
 	if !ok {
 		return 0, fmt.Errorf("lahar: unknown stream %q", stream)
 	}
-	if a.Alphabet.Size() != se.m.Nodes.Size() {
+	if a.Alphabet.Size() != m.Nodes.Size() {
 		return 0, fmt.Errorf("lahar: event automaton reads %d symbols, stream has %d nodes",
-			a.Alphabet.Size(), se.m.Nodes.Size())
+			a.Alphabet.Size(), m.Nodes.Size())
 	}
 	if found {
 		db.stats.hits.Add(1)
 		return cached, nil
 	}
 	db.stats.misses.Add(1)
-	p := conf.AcceptanceProb(a, se.m)
+	p := conf.AcceptanceProb(a, m)
 	db.mu.Lock()
-	if cse, ok := db.streams[stream]; ok && cse.version == se.version {
+	if cse, ok := db.streams[stream]; ok && cse.m == m {
 		ce := db.events[stream]
-		if ce == nil || ce.sv != se.version {
-			ce = &eventCacheEntry{sv: se.version, probs: make(map[any]float64)}
+		if ce == nil || ce.sv != cse.version || ce.slen != m.Len() {
+			ce = &eventCacheEntry{sv: cse.version, slen: m.Len(), probs: make(map[any]float64)}
 			db.events[stream] = ce
+		}
+		if len(ce.probs) >= maxEventCacheProbs {
+			ce.probs = make(map[any]float64)
+			db.stats.invalidations.Add(1)
 		}
 		ce.probs[a] = p
 	}
@@ -189,11 +199,10 @@ func (db *DB) slidingTopK(ctx context.Context, stream, qname string, window, str
 	if window < 1 || stride < 1 {
 		return nil, fmt.Errorf("lahar: window and stride must be ≥ 1")
 	}
-	se, qe, err := db.lookup(stream, qname)
+	m, prepared, err := db.lookup(stream, qname)
 	if err != nil {
 		return nil, err
 	}
-	m, prepared := se.m, qe.prepared
 	if window > m.Len() {
 		return nil, fmt.Errorf("lahar: window %d exceeds stream %q length %d", window, stream, m.Len())
 	}

@@ -2,40 +2,94 @@ package lahar
 
 import (
 	"fmt"
+	"sync"
 
 	"markovseq/internal/automata"
 	"markovseq/internal/hmm"
+	"markovseq/internal/markov"
 )
 
 // Ingester is a live stream source: a hidden Markov model plus the
-// observations received so far. Each AppendObs re-smooths the readings
-// into the stream's Markov sequence, which is the online version of the
-// paper's assumed preprocessing (Lahar's "Markovian stream" ingestion).
-// Re-smoothing is O(n·|S|²) per append — smoothing is inherently
-// whole-sequence, because a new observation revises the posterior of
-// every earlier position.
+// observations received so far. In the default exact mode each
+// AppendObs re-smooths the readings into the stream's Markov sequence
+// and replaces it (PutStream) — O(n·|S|²) per append, because exact
+// smoothing revises every earlier position. With WithFixedLag the
+// ingester instead runs a fixed-lag smoother (hmm.FixedLagSmoother) and
+// feeds the committed positions to DB.AppendEvents, so each observation
+// costs O(lag·|S|²) independent of stream length and cached engines,
+// window state, and subscriptions stay resident.
+//
+// An Ingester is safe for concurrent use: AppendObs and Flush are
+// serialized by an internal mutex, and the observation log and smoother
+// are rolled back together on every error path, so the ingester always
+// matches the store.
 type Ingester struct {
 	db     *DB
 	stream string
 	model  *hmm.Model
-	obs    []automata.Symbol
+
+	mu  sync.Mutex
+	obs []automata.Symbol
+	sm  *hmm.FixedLagSmoother // nil in exact mode
+}
+
+// IngestOption configures an Ingester.
+type IngestOption func(*ingestConfig)
+
+type ingestConfig struct {
+	lag      int
+	fixedLag bool
+}
+
+// WithFixedLag switches the ingester from exact re-smoothing to
+// fixed-lag smoothing with the given lag (≥ 0): position p of the
+// conditional chain is frozen once lag observations beyond it have
+// arrived, and appended to the stream via DB.AppendEvents. The frozen
+// rows approximate exact smoothing (they ignore evidence more than lag
+// steps ahead); with lag ≥ n-1 plus a final Flush they coincide with it
+// up to floating-point roundoff.
+func WithFixedLag(lag int) IngestOption {
+	return func(c *ingestConfig) {
+		c.lag = lag
+		c.fixedLag = true
+	}
 }
 
 // NewIngester attaches a live source to the named stream. The stream is
-// created (or replaced) on the first observation.
-func (db *DB) NewIngester(stream string, model *hmm.Model) (*Ingester, error) {
+// created (or replaced) on the first observation in exact mode, and on
+// the first committed position (observation lag+1, or Flush) in
+// fixed-lag mode.
+func (db *DB) NewIngester(stream string, model *hmm.Model, opts ...IngestOption) (*Ingester, error) {
 	if err := model.Validate(); err != nil {
 		return nil, fmt.Errorf("lahar: ingester model: %w", err)
 	}
-	return &Ingester{db: db, stream: stream, model: model}, nil
+	var cfg ingestConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	ing := &Ingester{db: db, stream: stream, model: model}
+	if cfg.fixedLag {
+		sm, err := hmm.NewFixedLagSmoother(model, cfg.lag)
+		if err != nil {
+			return nil, fmt.Errorf("lahar: ingester: %w", err)
+		}
+		ing.sm = sm
+	}
+	return ing, nil
 }
 
-// AppendObs appends one observation (by name), re-smooths, and updates
-// the stream. It returns the new stream length.
+// AppendObs appends one observation (by name) and updates the stream.
+// It returns the number of observations ingested. On any error —
+// impossible observation, store failure — the ingester is unchanged.
 func (ing *Ingester) AppendObs(name string) (int, error) {
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
 	sym, ok := ing.model.Obs.Symbol(name)
 	if !ok {
 		return 0, fmt.Errorf("lahar: unknown observation %q", name)
+	}
+	if ing.sm != nil {
+		return ing.appendFixedLag(name, sym)
 	}
 	ing.obs = append(ing.obs, sym)
 	m, err := ing.model.Condition(ing.obs)
@@ -45,15 +99,75 @@ func (ing *Ingester) AppendObs(name string) (int, error) {
 		return 0, fmt.Errorf("lahar: observation %q is impossible under the model: %w", name, err)
 	}
 	if err := ing.db.PutStream(ing.stream, m); err != nil {
+		// Roll back on store failure too: the log must always match the
+		// stored stream.
+		ing.obs = ing.obs[:len(ing.obs)-1]
 		return 0, err
 	}
 	return len(ing.obs), nil
 }
 
+// appendFixedLag runs one observation through the fixed-lag smoother and
+// applies the position it commits (at most one) to the store. Callers
+// hold ing.mu.
+func (ing *Ingester) appendFixedLag(name string, sym automata.Symbol) (int, error) {
+	commits, err := ing.sm.Observe(sym)
+	if err != nil {
+		return 0, fmt.Errorf("lahar: observation %q is impossible under the model: %w", name, err)
+	}
+	ing.obs = append(ing.obs, sym)
+	if err := ing.applyCommits(commits); err != nil {
+		ing.sm.Rollback()
+		ing.obs = ing.obs[:len(ing.obs)-1]
+		return 0, err
+	}
+	return len(ing.obs), nil
+}
+
+// applyCommits pushes frozen positions to the store: position 1 creates
+// the stream (a length-1 sequence holding the initial distribution),
+// every later position appends one event. Callers hold ing.mu.
+func (ing *Ingester) applyCommits(commits []hmm.Commit) error {
+	for _, c := range commits {
+		if c.Pos == 1 {
+			m := markov.New(ing.model.States, 1)
+			copy(m.Initial, c.Initial)
+			if err := ing.db.PutStream(ing.stream, m); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := ing.db.AppendEvents(ing.stream, []Event{Event(c.Trans)}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush commits the positions still buffered by the fixed-lag smoother
+// (with truncated horizons) and applies them to the store. A no-op in
+// exact mode. On a store error the applied prefix of commits persists
+// and the remaining buffered positions are lost to the stream (the
+// observation log is unaffected).
+func (ing *Ingester) Flush() error {
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	if ing.sm == nil {
+		return nil
+	}
+	return ing.applyCommits(ing.sm.Flush())
+}
+
 // Len returns the number of observations ingested so far.
-func (ing *Ingester) Len() int { return len(ing.obs) }
+func (ing *Ingester) Len() int {
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	return len(ing.obs)
+}
 
 // Observations returns a copy of the readings ingested so far.
 func (ing *Ingester) Observations() []automata.Symbol {
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
 	return automata.CloneString(ing.obs)
 }

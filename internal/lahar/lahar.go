@@ -99,10 +99,18 @@ type Result struct {
 
 // streamEntry is a stored stream with its version stamp. Replacing a
 // stream bumps the version, which invalidates every cached engine bound
-// to the old sequence.
+// to the old sequence. Appending (AppendEvents) swaps m for an extended
+// snapshot WITHOUT bumping the version: within one generation the
+// sequence only ever grows, so (version, length) identifies a snapshot
+// and cached engines rebind cheaply instead of invalidating.
 type streamEntry struct {
 	m       *markov.Sequence
 	version uint64
+	// appendMu serializes appenders and subscription registration for
+	// this entry: m is written only under both appendMu and db.mu, so an
+	// appender may read it under appendMu alone while queries read it
+	// under db.mu.RLock.
+	appendMu sync.Mutex
 }
 
 // queryEntry is a registered query: the compiled (prepared) form and a
@@ -127,6 +135,9 @@ type DB struct {
 	engines map[engineKey]*engineEntry
 	events  map[string]*eventCacheEntry
 	stats   cacheCounters
+	// watchers holds the live WatchSlidingTopK subscriptions per stream;
+	// appenders advance them, PutStream fails them (see watch.go).
+	watchers map[string][]*Subscription
 
 	workers          int
 	parallelWindows  bool
@@ -194,11 +205,12 @@ func WithRankedWorkers(n int) Option {
 // New returns an empty database.
 func New(opts ...Option) *DB {
 	db := &DB{
-		streams: make(map[string]*streamEntry),
-		queries: make(map[string]*queryEntry),
-		engines: make(map[engineKey]*engineEntry),
-		events:  make(map[string]*eventCacheEntry),
-		workers: runtime.GOMAXPROCS(0),
+		streams:  make(map[string]*streamEntry),
+		queries:  make(map[string]*queryEntry),
+		engines:  make(map[engineKey]*engineEntry),
+		events:   make(map[string]*eventCacheEntry),
+		watchers: make(map[string][]*Subscription),
+		workers:  runtime.GOMAXPROCS(0),
 		// Per-engine speculative resolution defaults to sequential; the
 		// store parallelizes across streams and windows instead (see
 		// WithRankedWorkers).
@@ -215,7 +227,10 @@ func New(opts ...Option) *DB {
 
 // PutStream stores (or replaces) a stream after validating it. Replacing
 // a stream invalidates every cached engine and event probability bound
-// to the previous sequence.
+// to the previous sequence, fails its live WatchSlidingTopK
+// subscriptions, and aborts any in-progress AppendEvents (extend a
+// stream with AppendEvents instead of replacing it to keep all of that
+// state resident).
 func (db *DB) PutStream(name string, m *markov.Sequence) error {
 	if err := m.Validate(); err != nil {
 		return fmt.Errorf("lahar: stream %q: %w", name, err)
@@ -225,6 +240,7 @@ func (db *DB) PutStream(name string, m *markov.Sequence) error {
 	db.clock++
 	db.streams[name] = &streamEntry{m: m, version: db.clock}
 	db.invalidateStreamLocked(name)
+	db.failWatchersLocked(name, fmt.Errorf("lahar: stream %q replaced", name))
 	return nil
 }
 
@@ -289,9 +305,11 @@ func (db *DB) Queries() []string {
 	return out
 }
 
-// lookup snapshots the current stream and query entries under the read
-// lock.
-func (db *DB) lookup(stream, qname string) (*streamEntry, *queryEntry, error) {
+// lookup snapshots the current sequence and prepared query under the
+// read lock. It returns the snapshots rather than the entries: entries
+// are mutable (AppendEvents swaps the sequence in place), so callers
+// must not read entry fields after the lock is released.
+func (db *DB) lookup(stream, qname string) (*markov.Sequence, *core.Prepared, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	se, ok := db.streams[stream]
@@ -302,7 +320,7 @@ func (db *DB) lookup(stream, qname string) (*streamEntry, *queryEntry, error) {
 	if !ok {
 		return nil, nil, fmt.Errorf("lahar: unknown query %q", qname)
 	}
-	return se, qe, nil
+	return se.m, qe.prepared, nil
 }
 
 // Explain returns the evaluation plan the engine selects for the query on

@@ -1,0 +1,179 @@
+package markov_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"markovseq/internal/automata"
+	"markovseq/internal/markov"
+)
+
+// TestExtendedBitIdentity: growing a prefix event by event yields a
+// sequence whose distribution — initial, transitions, forward marginals,
+// string probabilities — is bit-identical to the full sequence it was
+// carved from (Window deep-copies value-identical floats; Extended
+// deep-copies the appended matrices; compileStep is deterministic).
+func TestExtendedBitIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(61000))
+	nodes := automata.MustAlphabet("a", "b", "c")
+	for trial := 0; trial < 5; trial++ {
+		n := 10 + rng.Intn(10)
+		full := markov.Random(nodes, n, 0.6, rng)
+		p := 1 + rng.Intn(n-1)
+		grown := full.Window(1, p)
+		for i := p; i < n; i++ {
+			var err error
+			grown, err = grown.Extended([][][]float64{full.TransAt(i)})
+			if err != nil {
+				t.Fatalf("trial %d: extend at %d: %v", trial, i, err)
+			}
+		}
+		if grown.Len() != n {
+			t.Fatalf("trial %d: grown length %d, want %d", trial, grown.Len(), n)
+		}
+		if err := grown.Validate(); err != nil {
+			t.Fatalf("trial %d: grown sequence invalid: %v", trial, err)
+		}
+		if !reflect.DeepEqual(grown.Initial, full.Initial) {
+			t.Fatalf("trial %d: initial distribution differs", trial)
+		}
+		if !reflect.DeepEqual(grown.Trans, full.Trans) {
+			t.Fatalf("trial %d: transition matrices differ", trial)
+		}
+		if !reflect.DeepEqual(grown.Forward(), full.Forward()) {
+			t.Fatalf("trial %d: forward marginals differ", trial)
+		}
+		for i := 0; i < 20; i++ {
+			s := full.Sample(rng)
+			if got, want := grown.Prob(s), full.Prob(s); got != want {
+				t.Fatalf("trial %d: Prob differs: %v vs %v", trial, got, want)
+			}
+		}
+	}
+}
+
+// TestExtendedBatchAndSnapshots: a batch extend equals the chained one,
+// the receiver snapshot is never mutated, and divergent extensions of
+// one snapshot stay independent.
+func TestExtendedBatchAndSnapshots(t *testing.T) {
+	rng := rand.New(rand.NewSource(61100))
+	nodes := automata.MustAlphabet("a", "b")
+	full := markov.Random(nodes, 12, 0.8, rng)
+	base := full.Window(1, 6)
+	baseTrans := base.Len() - 1
+
+	mats := make([][][]float64, 0, 6)
+	for i := 6; i < 12; i++ {
+		mats = append(mats, full.TransAt(i))
+	}
+	batch, err := base.Extended(mats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Len() != 6 || len(base.Trans) != baseTrans {
+		t.Fatal("Extended mutated its receiver")
+	}
+	if !reflect.DeepEqual(batch.Trans, full.Trans) {
+		t.Fatal("batch extension transitions differ from the full sequence")
+	}
+
+	other := markov.Random(nodes, 7, 0.8, rng)
+	divA, err := base.Extended([][][]float64{full.TransAt(6)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantA := append([][][]float64(nil), divA.Trans...)
+	divB, err := base.Extended([][][]float64{other.TransAt(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(divA.Trans, wantA) {
+		t.Fatal("second divergent extension clobbered the first")
+	}
+	if reflect.DeepEqual(divA.Trans[5], divB.Trans[5]) {
+		t.Fatal("divergent extensions unexpectedly share their appended step")
+	}
+}
+
+// TestExtendedValidation: invalid events are rejected before anything is
+// applied, with the receiver untouched.
+func TestExtendedValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(61200))
+	nodes := automata.MustAlphabet("a", "b")
+	m := markov.Random(nodes, 4, 1, rng)
+	bad := [][][]float64{
+		{{0.5, 0.4}, {1, 0}},        // row sums to 0.9
+		{{1, 0}},                    // wrong row count
+		{{1, 0}, {0.5, 0.25, 0.25}}, // wrong row length
+		{{1, 0}, {2, -1}},           // invalid probabilities
+	}
+	for i, mat := range bad {
+		if _, err := m.Extended([][][]float64{mat}); err == nil {
+			t.Fatalf("bad event %d accepted", i)
+		}
+	}
+	if m.Len() != 4 {
+		t.Fatal("failed Extended mutated the receiver")
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("receiver invalid after failed extends: %v", err)
+	}
+	// Appending no events is a no-op returning the receiver.
+	same, err := m.Extended(nil)
+	if err != nil || same != m {
+		t.Fatalf("empty extend: got (%p, %v), want the receiver", same, err)
+	}
+}
+
+// TestExtendedDeepCopiesEvents: mutating the caller's matrix after the
+// call must not leak into the sequence.
+func TestExtendedDeepCopiesEvents(t *testing.T) {
+	nodes := automata.MustAlphabet("a", "b")
+	m := markov.Uniform(nodes, 2)
+	ev := [][]float64{{1, 0}, {0, 1}}
+	m2, err := m.Extended([][][]float64{ev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev[0][0], ev[0][1] = 0, 1
+	if m2.TransAt(2)[0][0] != 1 {
+		t.Fatal("Extended retained the caller's matrix")
+	}
+}
+
+// TestWindowerExtend: growing a windower one event at a time yields
+// marginals and windows bit-identical to a fresh windower over the full
+// sequence.
+func TestWindowerExtend(t *testing.T) {
+	rng := rand.New(rand.NewSource(61300))
+	nodes := automata.MustAlphabet("a", "b", "c")
+	for trial := 0; trial < 5; trial++ {
+		n := 8 + rng.Intn(8)
+		full := markov.Random(nodes, n, 0.6, rng)
+		p := 1 + rng.Intn(n-1)
+		grown := full.Window(1, p)
+		w := grown.Windower()
+		for i := p; i < n; i++ {
+			var err error
+			grown, err = grown.Extended([][][]float64{full.TransAt(i)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			w.Extend(grown)
+		}
+		if !reflect.DeepEqual(w.Marginals(), full.Forward()) {
+			t.Fatalf("trial %d: extended windower marginals differ from a full forward pass", trial)
+		}
+		fresh := full.Windower()
+		for a := 1; a+2 <= n; a += 3 {
+			got, want := w.SharedWindow(a, a+2), fresh.SharedWindow(a, a+2)
+			if !reflect.DeepEqual(got.Initial, want.Initial) {
+				t.Fatalf("trial %d: window [%d,%d] initial differs", trial, a, a+2)
+			}
+			if !reflect.DeepEqual(got.Trans, want.Trans) {
+				t.Fatalf("trial %d: window [%d,%d] transitions differ", trial, a, a+2)
+			}
+		}
+	}
+}

@@ -38,6 +38,11 @@ type Sequence struct {
 	// SetTrans invalidate it; direct writes to Initial/Trans after a
 	// View call do not (see View).
 	view atomic.Pointer[kernel.SeqView]
+
+	// extended flips when Extended donates this sequence's spare Trans
+	// capacity to its successor; a second Extended call then copies, so
+	// divergent extensions never share a backing array (see Extended).
+	extended atomic.Bool
 }
 
 // Tolerance is the additive slack allowed when checking that probability
@@ -472,8 +477,9 @@ func (m *Sequence) Window(i, j int) *Sequence {
 
 // Windower extracts window marginals of one sequence with the forward
 // marginals precomputed once: each Window call costs only the per-window
-// copy, not the O(n·|Σ|²) forward pass. A Windower is immutable and safe
-// for concurrent use.
+// copy, not the O(n·|Σ|²) forward pass. A Windower is safe for
+// concurrent readers; Extend (append.go) is its single writer and must
+// be serialized against them by the caller.
 type Windower struct {
 	m     *Sequence
 	alpha [][]float64

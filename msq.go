@@ -91,6 +91,17 @@ type (
 	WindowResult = lahar.WindowResult
 	// DBCacheStats reports the DB's prepared-engine cache counters.
 	DBCacheStats = lahar.CacheStats
+	// Event is one appended stream position: the row-stochastic |Σ|×|Σ|
+	// transition matrix into the new position (DB.AppendEvents).
+	Event = lahar.Event
+	// WindowDelta is one per-window top-k result emitted by a sliding
+	// subscription (DB.WatchSlidingTopK).
+	WindowDelta = lahar.WindowDelta
+	// Subscription is a live sliding-top-k watch on one stream; read
+	// deltas from C, Close when done.
+	Subscription = lahar.Subscription
+	// IngestOption configures DB.NewIngester.
+	IngestOption = lahar.IngestOption
 	// UnrankedEnumerator enumerates answers with polynomial delay and
 	// space in no particular order (Theorem 4.1).
 	UnrankedEnumerator = enum.Enumerator
@@ -200,6 +211,14 @@ func WithDBQueryDeadline(d time.Duration) DBOption { return lahar.WithQueryDeadl
 // ErrDBOverloaded is returned by DB query calls shed under
 // WithDBMaxInFlight. Check with errors.Is.
 var ErrDBOverloaded = lahar.ErrOverloaded
+
+// WithIngestFixedLag switches an Ingester from exact re-smoothing (which
+// replaces the stream per observation) to fixed-lag smoothing feeding
+// DB.AppendEvents: each observation costs O(lag·|S|²) independent of
+// stream length, and cached engines, window state, and subscriptions
+// survive every append. The committed rows approximate exact smoothing;
+// with lag ≥ n-1 plus a final Flush they coincide with it.
+func WithIngestFixedLag(lag int) IngestOption { return lahar.WithFixedLag(lag) }
 
 // CompileRegex compiles a regular expression over the alphabet into an
 // NFA (see package regex for the syntax).
