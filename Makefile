@@ -42,24 +42,42 @@ bench:
 	$(GO) test -run '^$$' -bench 'Append' -benchmem . | $(GO) run ./cmd/benchjson -o BENCH_append.json
 
 # Diff two bench JSON files produced by `make bench`, failing on a >10%
-# ns/op regression in the named hot benchmarks:
+# ns/op (or >15% Extra-metric) regression in the named hot benchmarks:
 #
 #   make benchcmp OLD=BENCH_sliding.base.json NEW=BENCH_sliding.json
+#   make benchcmp OLD=BENCH_ranked.base.json NEW=BENCH_ranked.json MATCH=Ranked
 OLD ?= BENCH_sliding.base.json
 NEW ?= BENCH_sliding.json
+MATCH ?= SlidingTopK|TopKAcross
 benchcmp:
-	$(GO) run ./cmd/benchcmp -old $(OLD) -new $(NEW) -threshold 10 -match 'SlidingTopK|TopKAcross'
+	$(GO) run ./cmd/benchcmp -old $(OLD) -new $(NEW) -threshold 10 -match '$(MATCH)'
 
-# The CI gate: vet + full race suite, a fuzz smoke pass, and — when a
-# benchmark baseline exists — a regression check against it. Baselines
-# are opt-in (rename a BENCH_sliding.json from a trusted run to
-# BENCH_sliding.base.json) so a fresh checkout still verifies cleanly.
+# The CI gate: vet + full race suite, a fuzz smoke pass, and a
+# benchmark-regression check for every pair with a committed baseline.
+# Baselines are opt-in (rename a BENCH_<p>.json from a trusted run to
+# BENCH_<p>.base.json) so a fresh checkout still verifies cleanly — but
+# once a baseline exists the check is REQUIRED: a missing regenerated
+# BENCH_<p>.json fails verify instead of silently skipping. Escape
+# hatch for machines where running benchmarks is impractical (CI
+# shards, qemu): SKIP_BENCHCMP=1 make verify.
 verify: race fuzz-smoke
-	@if [ -f $(OLD) ] && [ -f $(NEW) ]; then \
-		$(MAKE) benchcmp OLD=$(OLD) NEW=$(NEW); \
-	else \
-		echo "verify: no benchmark baseline ($(OLD)); skipping benchcmp"; \
-	fi
+	@for p in sliding ranked; do \
+		base=BENCH_$$p.base.json; new=BENCH_$$p.json; \
+		case $$p in \
+			sliding) match='SlidingTopK|TopKAcross';; \
+			ranked)  match='Ranked';; \
+		esac; \
+		if [ ! -f $$base ]; then \
+			echo "verify: no benchmark baseline ($$base); skipping benchcmp"; \
+		elif [ "$(SKIP_BENCHCMP)" = "1" ]; then \
+			echo "verify: SKIP_BENCHCMP=1; skipping benchcmp against $$base"; \
+		elif [ ! -f $$new ]; then \
+			echo "verify: $$base exists but $$new is missing; run 'make bench' first (or SKIP_BENCHCMP=1 to bypass)" >&2; \
+			exit 1; \
+		else \
+			$(MAKE) benchcmp OLD=$$base NEW=$$new MATCH="$$match" || exit 1; \
+		fi; \
+	done
 
 # The historical run-everything benchmark sweep (DESIGN.md §3 series).
 bench-all:

@@ -10,6 +10,14 @@
 // offenders and exits 1. Improvements and non-matching benchmarks never
 // fail the run, so the gate can sit in CI without being tripped by
 // experiments that are expected to move.
+//
+// Extra metrics reported via b.ReportMetric (TTFA, per-answer delay,
+// windows/sec, pruned-cells/op, ...) are diffed too, for every metric
+// present in both files. Direction is inferred from the metric name:
+// rates ("…/sec", "…-per-sec") regress by going down, times ("…delay…",
+// "…ttfa…", "…ns", "…latency…") by going up, and anything else is
+// informational only. Regressions beyond -extra-threshold percent on
+// gating benchmarks fail the run like an ns/op regression.
 package main
 
 import (
@@ -19,7 +27,25 @@ import (
 	"os"
 	"regexp"
 	"sort"
+	"strings"
 )
+
+// metricDirection classifies an Extra metric name: +1 when higher is
+// better (throughput), -1 when lower is better (latency), 0 when the
+// direction is unknown and the metric is shown but never gates.
+func metricDirection(name string) int {
+	n := strings.ToLower(name)
+	switch {
+	case strings.HasSuffix(n, "/sec"), strings.HasSuffix(n, "/s"),
+		strings.Contains(n, "per-sec"), strings.Contains(n, "persec"):
+		return +1
+	case strings.Contains(n, "delay"), strings.Contains(n, "ttfa"),
+		strings.Contains(n, "latency"), strings.HasSuffix(n, "-ns"),
+		strings.HasSuffix(n, "ns/op"), strings.HasSuffix(n, "_ns"):
+		return -1
+	}
+	return 0
+}
 
 // result mirrors the fields of cmd/benchjson's Result that the diff
 // needs; unknown fields are ignored by encoding/json.
@@ -60,6 +86,7 @@ func main() {
 	newPath := flag.String("new", "", "candidate benchjson file (required)")
 	match := flag.String("match", "SlidingTopK|TopKAcross", "regexp of gating benchmark names")
 	threshold := flag.Float64("threshold", 10, "max allowed ns/op regression in percent for gating benchmarks")
+	extraThreshold := flag.Float64("extra-threshold", 15, "max allowed Extra-metric regression in percent for gating benchmarks")
 	flag.Parse()
 	if *oldPath == "" || *newPath == "" {
 		fmt.Fprintln(os.Stderr, "benchcmp: -old FILE and -new FILE are required")
@@ -103,6 +130,38 @@ func main() {
 			}
 		}
 		fmt.Printf("%-59s%s %14.0f %14.0f %+7.1f%%\n", name, gate, or.NsPerOp, nr.NsPerOp, delta)
+
+		// Extra metrics present in both runs, in a stable order.
+		var metrics []string
+		for k := range nr.Extra {
+			if _, both := or.Extra[k]; both {
+				metrics = append(metrics, k)
+			}
+		}
+		sort.Strings(metrics)
+		for _, k := range metrics {
+			ov, nv := or.Extra[k], nr.Extra[k]
+			mdelta := 0.0
+			if ov != 0 {
+				mdelta = (nv - ov) / ov * 100
+			}
+			dir := metricDirection(k)
+			tag := "info"
+			regressed := false
+			switch dir {
+			case +1:
+				tag = "rate"
+				regressed = mdelta < -*extraThreshold
+			case -1:
+				tag = "time"
+				regressed = mdelta > *extraThreshold
+			}
+			if gate == "*" && regressed {
+				failures = append(failures, fmt.Sprintf("%s %s: %.4g → %.4g (%+.1f%% beyond %.1f%%)",
+					name, k, ov, nv, mdelta, *extraThreshold))
+			}
+			fmt.Printf("    %-56s %14.4g %14.4g %+7.1f%%  [%s]\n", k, ov, nv, mdelta, tag)
+		}
 	}
 	for name := range oldR {
 		if _, ok := newR[name]; !ok && re.MatchString(name) {
@@ -122,7 +181,7 @@ func main() {
 		os.Exit(1)
 	}
 	if len(failures) > 0 {
-		fmt.Fprintf(os.Stderr, "benchcmp: %d gating benchmark(s) regressed beyond %.1f%%:\n", len(failures), *threshold)
+		fmt.Fprintf(os.Stderr, "benchcmp: %d gating regression(s):\n", len(failures))
 		for _, f := range failures {
 			fmt.Fprintf(os.Stderr, "  %s\n", f)
 		}

@@ -25,6 +25,7 @@ import (
 	"math/rand"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"markovseq/internal/automata"
 	"markovseq/internal/conf"
@@ -119,8 +120,10 @@ type Answer struct {
 type PrepareOption func(*prepConfig)
 
 type prepConfig struct {
-	dense         bool
-	rankedWorkers int
+	dense            bool
+	rankedWorkers    int
+	exhaustiveRanked bool
+	compactTables    bool
 }
 
 // WithRankedWorkers bounds the speculative-resolution worker pool of the
@@ -139,6 +142,25 @@ func WithRankedWorkers(n int) PrepareOption {
 		}
 		c.rankedWorkers = n
 	}
+}
+
+// WithExhaustiveRanked disables the weight-pushed pruning of the ranked
+// (E_max) kernels, selecting the exhaustive frontier sweep instead. The
+// pruned path is bit-identical to the exhaustive one by construction
+// (see kernel/constrained.go); this option is the differential
+// reference and the escape hatch should a workload's bound computation
+// cost more than the sweep it saves.
+func WithExhaustiveRanked() PrepareOption {
+	return func(c *prepConfig) { c.exhaustiveRanked = true }
+}
+
+// WithCompactTables lets preparation pick the failure-transition
+// (default-row) encoding for the base query tables when it is smaller
+// than the dense q×|Σ| offset matrix — large sparse alphabets shrink
+// severalfold. Lookup switches from one indexed load to a short binary
+// search plus default-row fallback, so it is opt-in.
+func WithCompactTables() PrepareOption {
+	return func(c *prepConfig) { c.compactTables = true }
 }
 
 // WithDenseKernels selects the dense reference DP implementations
@@ -173,13 +195,22 @@ type Prepared struct {
 	hasUniform bool
 	dense      bool
 
-	// baseNT is the flat base tables of the equivalent transducer, shared
-	// by the constraint-incremental ranked enumeration, the unranked
+	// pt is the preprocessed (trimmed) equivalent transducer the
+	// enumeration and membership paths run on: states unreachable from
+	// the start or unable to reach acceptance are dropped at prepare time
+	// (transducer.Preprocess), which the transduction relation — and with
+	// it every score and tie — survives exactly. Classification and the
+	// confidence DPs stay on the original query so plans read as written.
+	pt *transducer.Transducer
+	// baseNT is the flat base tables of pt, shared by the
+	// constraint-incremental ranked enumeration, the unranked
 	// enumeration's nonemptiness probes, and IsAnswer — none of which
 	// materialize per-constraint products or rebuild tables per call.
 	baseNT *kernel.NFATables
 	// rankedWorkers bounds the enumerators' speculative resolution pool.
 	rankedWorkers int
+	// exhaustiveRanked pins the exhaustive (unpruned) ranked kernels.
+	exhaustiveRanked bool
 }
 
 // PrepareTransducer classifies a transducer query (the columns of
@@ -190,7 +221,7 @@ func PrepareTransducer(t *transducer.Transducer, opts ...PrepareOption) *Prepare
 	for _, o := range opts {
 		o(&cfg)
 	}
-	pr := &Prepared{t: t, dense: cfg.dense, rankedWorkers: cfg.rankedWorkers}
+	pr := &Prepared{t: t, dense: cfg.dense, rankedWorkers: cfg.rankedWorkers, exhaustiveRanked: cfg.exhaustiveRanked}
 	k, uniform := t.UniformK()
 	pr.uniformK, pr.hasUniform = k, uniform
 	switch {
@@ -226,12 +257,16 @@ func PrepareTransducer(t *transducer.Transducer, opts ...PrepareOption) *Prepare
 	pr.plan.Ranking = "E_max Lawler–Murty enumeration (Theorem 4.3), polynomial delay"
 	pr.plan.Ratio = "|Σ|^n-approximately decreasing confidence (worst-case optimal up to 2^{n^{1-δ}}, Theorem 4.4)"
 	// Base tables for ranked enumeration, unranked enumeration, and
-	// membership. The uniform-class confidence tables are the same object,
-	// so reuse them when they were built.
-	if pr.nt != nil {
+	// membership, built over the trimmed query. When trimming removed
+	// nothing and the uniform-class confidence tables exist they are the
+	// same object, so reuse them.
+	pr.pt = transducer.Preprocess(t)
+	if pr.nt != nil && pr.pt == t {
 		pr.baseNT = pr.nt
+	} else if cfg.compactTables {
+		pr.baseNT = kernel.NewNFATablesAuto(pr.pt)
 	} else {
-		pr.baseNT = kernel.NewNFATables(t)
+		pr.baseNT = kernel.NewNFATables(pr.pt)
 	}
 	return pr
 }
@@ -246,8 +281,13 @@ func PrepareSProjector(p *sproj.SProjector, indexed bool, opts ...PrepareOption)
 	for _, o := range opts {
 		o(&cfg)
 	}
-	pr := &Prepared{p: p, et: p.ToTransducer(), indexed: indexed, rankedWorkers: cfg.rankedWorkers}
-	pr.baseNT = kernel.NewNFATables(pr.et)
+	pr := &Prepared{p: p, et: p.ToTransducer(), indexed: indexed, rankedWorkers: cfg.rankedWorkers, exhaustiveRanked: cfg.exhaustiveRanked}
+	pr.pt = transducer.Preprocess(pr.et)
+	if cfg.compactTables {
+		pr.baseNT = kernel.NewNFATablesAuto(pr.pt)
+	} else {
+		pr.baseNT = kernel.NewNFATables(pr.pt)
+	}
 	if indexed {
 		pr.plan = Plan{
 			Class:      ClassIndexedSProjector,
@@ -268,6 +308,16 @@ func PrepareSProjector(p *sproj.SProjector, indexed bool, opts ...PrepareOption)
 
 // Plan returns the compiled plan.
 func (pr *Prepared) Plan() Plan { return pr.plan }
+
+// sweeperOpts assembles the ranked.Sweeper options matching this
+// preparation: shared base tables plus the exhaustive escape hatch.
+func (pr *Prepared) sweeperOpts() []ranked.Option {
+	opts := []ranked.Option{ranked.WithTables(pr.baseNT)}
+	if pr.exhaustiveRanked {
+		opts = append(opts, ranked.WithExhaustive())
+	}
+	return opts
+}
 
 // Bind attaches the prepared query to a sequence, validating the
 // sequence and the alphabet agreement. The classification is reused, not
@@ -296,7 +346,8 @@ func (pr *Prepared) BindValidated(m *markov.Sequence) (*Engine, error) {
 	return &Engine{
 		m: m, t: pr.t, p: pr.p, et: pr.et, indexed: pr.indexed, plan: pr.plan,
 		dt: pr.dt, nt: pr.nt, uniformK: pr.uniformK, hasUniform: pr.hasUniform, dense: pr.dense,
-		baseNT: pr.baseNT, rankedWorkers: pr.rankedWorkers,
+		pt: pr.pt, baseNT: pr.baseNT, rankedWorkers: pr.rankedWorkers,
+		exhaustiveRanked: pr.exhaustiveRanked,
 	}, nil
 }
 
@@ -330,10 +381,20 @@ type Engine struct {
 	hasUniform bool
 	dense      bool
 
-	// Base tables of the equivalent transducer and the speculative worker
-	// count, inherited from the Prepared (see Prepared.baseNT).
-	baseNT        *kernel.NFATables
-	rankedWorkers int
+	// Preprocessed equivalent transducer, its base tables, and the
+	// speculative worker count, inherited from the Prepared (see
+	// Prepared.pt / Prepared.baseNT).
+	pt               *transducer.Transducer
+	baseNT           *kernel.NFATables
+	rankedWorkers    int
+	exhaustiveRanked bool
+
+	// bounds are the weight-pushed potentials over (baseNT, sequence),
+	// built once on first ranked or membership use and shared by both
+	// (one backward max-plus pass per binding); nil-valued while unbuilt
+	// and permanently nil under WithExhaustiveRanked.
+	boundsOnce sync.Once
+	bounds     atomic.Pointer[kernel.Bounds]
 
 	// mu guards the lazily-built enumeration memos below; everything
 	// above is read-only after construction.
@@ -370,6 +431,24 @@ func (e *Engine) equivalent() *transducer.Transducer {
 	}
 	return e.et
 }
+
+// ensureBounds returns the engine's shared weight-pushed potentials,
+// computing them on first use; nil under WithExhaustiveRanked and for
+// sequences too short for the backward sweep to pay for itself
+// (kernel.BoundsMinN — the bind-per-window serving paths hit this).
+func (e *Engine) ensureBounds() *kernel.Bounds {
+	if e.exhaustiveRanked || e.m.Len() < kernel.BoundsMinN {
+		return nil
+	}
+	e.boundsOnce.Do(func() { e.bounds.Store(kernel.NewBounds(e.baseNT, e.m.View())) })
+	return e.bounds.Load()
+}
+
+// PruneStats reports the pruning-efficacy counters of the engine's
+// weight-pushed kernel calls so far — cells skipped vs. expanded across
+// ranked resolves and membership probes. All zero before the first
+// ranked call and in exhaustive mode.
+func (e *Engine) PruneStats() kernel.PruneStats { return e.bounds.Load().Stats() }
 
 // Plan returns the selected plan.
 func (e *Engine) Plan() Plan { return e.plan }
@@ -481,8 +560,13 @@ func (e *Engine) initTopCtx(ctx context.Context) error {
 			return Answer{Output: a.Output, Score: a.Imax, Kind: "I_max"}, true, nil
 		}
 	default:
-		it := ranked.NewEnumerator(e.t, e.m,
-			ranked.WithTables(e.baseNT), ranked.WithWorkers(e.rankedWorkers))
+		opts := []ranked.Option{ranked.WithTables(e.baseNT), ranked.WithWorkers(e.rankedWorkers)}
+		if b := e.ensureBounds(); b != nil {
+			opts = append(opts, ranked.WithBounds(b))
+		} else {
+			opts = append(opts, ranked.WithExhaustive())
+		}
+		it := ranked.NewEnumerator(e.pt, e.m, opts...)
 		e.topNext = func(ctx context.Context) (Answer, bool, error) {
 			a, ok, err := it.NextCtx(ctx)
 			if err != nil || !ok {
@@ -567,7 +651,7 @@ func (e *Engine) EnumerateCtx(ctx context.Context, limit int) ([][]automata.Symb
 	iterErr := ctx.Err()
 	if iterErr == nil && e.enumIter == nil && !e.enumDone {
 		if e.baseNT != nil {
-			e.enumIter = enum.NewEnumeratorWithTables(e.equivalent(), e.m, e.baseNT)
+			e.enumIter = enum.NewEnumeratorWithTables(e.pt, e.m, e.baseNT)
 		} else {
 			e.enumIter = enum.NewEnumerator(e.equivalent(), e.m)
 		}
@@ -602,7 +686,8 @@ func (e *Engine) EnumerateCtx(ctx context.Context, limit int) ([][]automata.Symb
 func (e *Engine) IsAnswer(o []automata.Symbol) bool {
 	if e.baseNT != nil {
 		c := transducer.Constraint{Prefix: o, Mode: transducer.ExactOnly}
-		return kernel.ConstrainedNonEmpty(e.baseNT, e.m.View(), c, nil)
+		found, _ := kernel.ConstrainedNonEmptyBoundedCtx(context.Background(), e.baseNT, e.m.View(), c, e.ensureBounds(), nil)
+		return found
 	}
 	return enum.IsAnswer(e.equivalent(), e.m, o)
 }

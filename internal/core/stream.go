@@ -54,7 +54,7 @@ func (pr *Prepared) StreamWindows(m *markov.Sequence, window, stride int) *Strea
 		start:  1,
 	}
 	if pr.t != nil {
-		r.gate = kernel.NewWindowEvaluator(pr.baseNT, m.View(), r.wr.Marginals(), window, stride, kernel.MaxLog)
+		r.gate = kernel.NewWindowEvaluator(pr.baseNT, m.View(), r.wr, window, stride, kernel.MaxLog)
 	}
 	return r
 }
@@ -67,12 +67,17 @@ func (r *StreamRun) Extend(m2 *markov.Sequence) {
 	r.wr.Extend(m2)
 	r.n = m2.Len()
 	if r.gate != nil {
-		r.gate.Extend(m2.View(), r.wr.Marginals())
+		r.gate.Extend(m2.View(), r.wr)
 	}
 }
 
 // Next yields the next complete window, or ok=false once the cursor has
 // caught up with the stream frontier (call again after Extend).
+//
+// Marginal rows older than the next window's start are reclaimed after
+// each yield (markov.Windower.EvictBefore): no future window, gate step,
+// or Extend can read them, so a caught-up watcher holds O(window)
+// resident marginal state no matter how long the stream has run.
 func (r *StreamRun) Next() (Window, bool) {
 	if r.start+r.window-1 > r.n {
 		return Window{}, false
@@ -90,15 +95,24 @@ func (r *StreamRun) Next() (Window, bool) {
 	}
 	r.idx++
 	r.start += r.stride
+	// The next window (1-based start) seeds from marginal row start-1;
+	// older rows can never be read again. EvictBefore clamps to keep the
+	// final row, which Extend seeds the appended marginals from.
+	r.wr.EvictBefore(r.start - 1)
 	return w, true
 }
+
+// ResidentMarginals reports the number of marginal rows the run's
+// windower currently holds — bounded on a caught-up stream (see Next),
+// exposed so serving layers and tests can assert flat memory.
+func (r *StreamRun) ResidentMarginals() int { return r.wr.Resident() }
 
 // NewEval returns fresh per-goroutine evaluation state for this run's
 // plan, exactly as WindowRun.NewEval.
 func (r *StreamRun) NewEval() *WindowEval {
 	ev := &WindowEval{pr: r.pr}
 	if r.pr.t != nil {
-		ev.sw = ranked.NewSweeper(r.pr.t, ranked.WithTables(r.pr.baseNT))
+		ev.sw = ranked.NewSweeper(r.pr.pt, r.pr.sweeperOpts()...)
 	}
 	return ev
 }

@@ -92,7 +92,7 @@ func (pr *Prepared) Windows(m *markov.Sequence, window, stride int) *WindowRun {
 	// ⟺ "top-k empty for every k". S-projector plans rank by different
 	// scores (confidence / I_max) whose emptiness we do not gate here.
 	if pr.t != nil && r.count > 0 {
-		r.gate = kernel.NewWindowEvaluator(pr.baseNT, m.View(), r.wr.Marginals(), window, stride, kernel.MaxLog)
+		r.gate = kernel.NewWindowEvaluator(pr.baseNT, m.View(), r.wr, window, stride, kernel.MaxLog)
 	}
 	return r
 }
@@ -140,7 +140,7 @@ type WindowEval struct {
 func (r *WindowRun) NewEval() *WindowEval {
 	ev := &WindowEval{pr: r.pr}
 	if r.pr.t != nil {
-		ev.sw = ranked.NewSweeper(r.pr.t, ranked.WithTables(r.pr.baseNT))
+		ev.sw = ranked.NewSweeper(r.pr.pt, r.pr.sweeperOpts()...)
 	}
 	return ev
 }

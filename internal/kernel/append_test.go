@@ -144,7 +144,7 @@ func TestWindowEvaluatorExtendMatchesFresh(t *testing.T) {
 		}
 		window, stride := 1+rng.Intn(4), 1+rng.Intn(3)
 		for _, sr := range []Semiring{MaxLog, SumProb} {
-			live := NewWindowEvaluator(nt, v, alpha, window, stride, sr)
+			live := NewWindowEvaluator(nt, v, MarginalRows(alpha), window, stride, sr)
 			var got []WindowFrontier
 			drain := func() {
 				for {
@@ -167,10 +167,10 @@ func TestWindowEvaluatorExtendMatchesFresh(t *testing.T) {
 				mat := randDense(rng, k, 1)
 				cv = cv.Extend(mat)
 				ca = append(append([][]float64(nil), ca...), randDist(rng, k))
-				live.Extend(cv, ca)
+				live.Extend(cv, MarginalRows(ca))
 				drain()
 			}
-			fresh := NewWindowEvaluator(nt, cv, ca, window, stride, sr)
+			fresh := NewWindowEvaluator(nt, cv, MarginalRows(ca), window, stride, sr)
 			for i := 0; ; i++ {
 				wf, ok := fresh.Next()
 				if !ok {
@@ -223,15 +223,15 @@ func TestWindowEvaluatorExtendAllocFree(t *testing.T) {
 	// Precompile the whole event chain outside the measured region: the
 	// assertion is about the evaluator's resident state, not compileStep.
 	var views []*SeqView
-	var alphas [][][]float64
+	var alphas []Marginals // pre-boxed so the measured loop does no interface allocation
 	cv, ca := v, alpha
 	for i := 0; i < warm+measured; i++ {
 		cv = cv.Extend(randDense(rng, k, 1))
 		ca = append(append([][]float64(nil), ca...), randDist(rng, k))
 		views = append(views, cv)
-		alphas = append(alphas, ca)
+		alphas = append(alphas, MarginalRows(ca))
 	}
-	ev := NewWindowEvaluator(nt, v, alpha, window, 1, MaxLog)
+	ev := NewWindowEvaluator(nt, v, MarginalRows(alpha), window, 1, MaxLog)
 	if _, ok := ev.Next(); !ok {
 		t.Fatal("base view has no complete window")
 	}

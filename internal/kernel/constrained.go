@@ -42,6 +42,30 @@ import (
 // resolving it against a checkpoint aligned to the prefix itself. That
 // invariant is what lets the parallel enumerator share an LRU of
 // checkpoints and still emit the exact sequence of the sequential one.
+//
+// Weight-pushed pruning (see pushing.go): when a Bounds is supplied, the
+// resume first enumerates every boundary-crossing candidate and reads
+// off a lower bound L on the constrained optimum (the potentials are
+// exact completions, so L is the optimum up to float association), then
+// runs the past-zone sweep skipping every cell whose score + potential
+// cannot reach L. This is exact and bit-identical to the exhaustive
+// sweep, ties included:
+//
+//   - each layer is sorted into canonical (increasing cell) order before
+//     expansion, so incumbents among equal scores are decided by cell
+//     order, not arrival order — pruning survivors arrive in the same
+//     canonical relative order either way;
+//
+//   - a pruned candidate can never tie a cell that matters: equal score
+//     at a traceback-relevant cell implies equal score + potential,
+//     which is ≥ L − slack and therefore above the pruning threshold;
+//
+//   - the final argmax breaks ties toward the smaller cell id, so it is
+//     independent of frontier order entirely.
+//
+// Gating by potential = -Inf is even simpler: the backward recurrence
+// makes the -Inf set closed under successors, so gated cells only ever
+// relax gated cells and removing them is unobservable.
 
 // ckLayer is one position's frontier snapshot: the active cells in
 // activation order, their best log scores, and for each the index of its
@@ -141,6 +165,20 @@ type crossRec struct {
 	edge  int32
 }
 
+// crossCand is one boundary-crossing candidate discovered by the
+// bounded resume's pre-scan: the position and past-zone cell it lands
+// on, its entry score, its score + potential upper bound, and the
+// traceback record to replay if it survives pruning. Candidates are
+// recorded in exactly the order the exhaustive sweep would inject them,
+// so replaying the list preserves tie-breaking.
+type crossCand struct {
+	pos   int32
+	cell  int32
+	lp    float64
+	bound float64
+	rec   crossRec
+}
+
 // ConstrainScratch holds the reusable buffers of BuildCheckpoint and
 // ResumeConstrained. The two functions use disjoint fields, so one
 // scratch serves a build-then-resume sequence. Not safe for concurrent
@@ -151,7 +189,8 @@ type ConstrainScratch struct {
 	cur, next frontier // resume: past-zone (x·|Q|+q) cell space
 	back      []int32  // resume: per-position past-zone backpointers
 	cross     []crossRec
-	freeSlabs []ckSlab // recycled checkpoint storage, popped by builds
+	cands     []crossCand // resume: pre-scanned crossing candidates
+	freeSlabs []ckSlab    // recycled checkpoint storage, popped by builds
 }
 
 // Recycle returns ck's layer storage to the scratch freelist, where the
@@ -212,7 +251,7 @@ func crossOK(align []automata.Symbol, l, z int, w []automata.Symbol, forb map[au
 // frontier. One checkpoint aligned to a printed answer o serves every
 // Lawler child of o (their prefixes are all prefixes of o).
 func BuildCheckpoint(nt *NFATables, v *SeqView, align []automata.Symbol, sc *ConstrainScratch) *Checkpoint {
-	ck, _ := buildCheckpoint(nil, nt, v, align, sc)
+	ck, _ := buildCheckpoint(nil, nt, v, align, nil, sc)
 	return ck
 }
 
@@ -221,10 +260,19 @@ func BuildCheckpoint(nt *NFATables, v *SeqView, align []automata.Symbol, sc *Con
 // positions; on cancellation the partial checkpoint is discarded and
 // ctx.Err() returned.
 func BuildCheckpointCtx(ctx context.Context, nt *NFATables, v *SeqView, align []automata.Symbol, sc *ConstrainScratch) (*Checkpoint, error) {
-	return buildCheckpoint(NewPoll(ctx), nt, v, align, sc)
+	return buildCheckpoint(NewPoll(ctx), nt, v, align, nil, sc)
 }
 
-func buildCheckpoint(p *Poll, nt *NFATables, v *SeqView, align []automata.Symbol, sc *ConstrainScratch) (*Checkpoint, error) {
+// BuildCheckpointBoundedCtx is BuildCheckpointCtx with potential gating:
+// cells with no accepting completion (potential -Inf) are dropped from
+// every retained layer. Gated checkpoints resume to bit-identical
+// results (the -Inf set is closed under successors) while carrying fewer
+// cells. b may be nil, which disables gating.
+func BuildCheckpointBoundedCtx(ctx context.Context, nt *NFATables, v *SeqView, align []automata.Symbol, b *Bounds, sc *ConstrainScratch) (*Checkpoint, error) {
+	return buildCheckpoint(NewPoll(ctx), nt, v, align, b, sc)
+}
+
+func buildCheckpoint(p *Poll, nt *NFATables, v *SeqView, align []automata.Symbol, b *Bounds, sc *ConstrainScratch) (*Checkpoint, error) {
 	if sc == nil {
 		sc = constrainScratchPool.Get().(*ConstrainScratch)
 		defer constrainScratchPool.Put(sc)
@@ -260,16 +308,21 @@ func buildCheckpoint(p *Poll, nt *NFATables, v *SeqView, align []automata.Symbol
 		ck.layers = make([]ckLayer, v.N)
 	}
 	slab.layers = nil
+	neg := math.Inf(-1)
 	for ii, x := range v.InitIdx {
 		lp := math.Log(v.InitVal[ii])
-		ti := int(nt.Start)*nt.Syms + int(x)
-		for e := nt.Off[ti]; e < nt.Off[ti+1]; e++ {
+		elo, ehi := nt.Edges(int(nt.Start), int(x))
+		for e := elo; e < ehi; e++ {
 			w := nt.Emit[nt.EmitPtr[e]:nt.EmitPtr[e+1]]
 			z2, ok := alignStep(align, 0, w)
 			if !ok {
 				continue
 			}
-			cell := int32((int(x)*nt.States+int(nt.Succ[e]))*zdim + z2)
+			q2 := int(nt.Succ[e])
+			if b != nil && b.pos(0, int32(int(x)*nt.States+q2)) == neg {
+				continue
+			}
+			cell := int32((int(x)*nt.States+q2)*zdim + z2)
 			if sc.f.relax(cell, lp) {
 				prevBuf[cell] = -1
 			}
@@ -297,18 +350,22 @@ func buildCheckpoint(p *Poll, nt *NFATables, v *SeqView, align []automata.Symbol
 			xq := int(pcell) / zdim
 			z := int(pcell) % zdim
 			x := xq / nt.States
-			qRow := (xq % nt.States) * nt.Syms
+			q := xq % nt.States
 			for e := st.RowPtr[x]; e < st.RowPtr[x+1]; e++ {
 				y := int(st.Col[e])
 				lp := base + st.LogVal[e]
-				ti := qRow + y
-				for t := nt.Off[ti]; t < nt.Off[ti+1]; t++ {
+				tlo, thi := nt.Edges(q, y)
+				for t := tlo; t < thi; t++ {
 					w := nt.Emit[nt.EmitPtr[t]:nt.EmitPtr[t+1]]
 					z2, ok := alignStep(align, z, w)
 					if !ok {
 						continue
 					}
-					cell := int32((y*nt.States+int(nt.Succ[t]))*zdim + z2)
+					q2 := int(nt.Succ[t])
+					if b != nil && b.pos(i, int32(y*nt.States+q2)) == neg {
+						continue
+					}
+					cell := int32((y*nt.States+q2)*zdim + z2)
 					if sc.f.relax(cell, lp) {
 						prevBuf[cell] = int32(pi)
 					}
@@ -342,7 +399,7 @@ func (ck *Checkpoint) walkPrefix(li, pj int, nodes []automata.Symbol, states []i
 // states, and the log probability; ok is false when c admits no answer
 // over a positive-probability world.
 func ResumeConstrained(nt *NFATables, v *SeqView, ck *Checkpoint, c transducer.Constraint, sc *ConstrainScratch) (out, nodes []automata.Symbol, states []int, logp float64, ok bool) {
-	out, nodes, states, logp, ok, _ = resumeConstrained(nil, nt, v, ck, c, sc)
+	out, nodes, states, logp, ok, _ = resumeConstrained(nil, nt, v, ck, c, nil, sc)
 	return out, nodes, states, logp, ok
 }
 
@@ -350,10 +407,19 @@ func ResumeConstrained(nt *NFATables, v *SeqView, ck *Checkpoint, c transducer.C
 // cancellation over the past-zone DP (the ExactOnly fast path only reads
 // the final retained layer and completes regardless).
 func ResumeConstrainedCtx(ctx context.Context, nt *NFATables, v *SeqView, ck *Checkpoint, c transducer.Constraint, sc *ConstrainScratch) (out, nodes []automata.Symbol, states []int, logp float64, ok bool, err error) {
-	return resumeConstrained(NewPoll(ctx), nt, v, ck, c, sc)
+	return resumeConstrained(NewPoll(ctx), nt, v, ck, c, nil, sc)
 }
 
-func resumeConstrained(p *Poll, nt *NFATables, v *SeqView, ck *Checkpoint, c transducer.Constraint, sc *ConstrainScratch) (out, nodes []automata.Symbol, states []int, logp float64, ok bool, err error) {
+// ResumeConstrainedBoundedCtx is ResumeConstrainedCtx with weight-pushed
+// pruning: the crossing candidates are pre-scanned to bound the optimum
+// and the past-zone sweep skips every cell that cannot reach it. Exact
+// and bit-identical to the exhaustive resume (see the file comment). b
+// may be nil, which disables pruning.
+func ResumeConstrainedBoundedCtx(ctx context.Context, nt *NFATables, v *SeqView, ck *Checkpoint, c transducer.Constraint, b *Bounds, sc *ConstrainScratch) (out, nodes []automata.Symbol, states []int, logp float64, ok bool, err error) {
+	return resumeConstrained(NewPoll(ctx), nt, v, ck, c, b, sc)
+}
+
+func resumeConstrained(p *Poll, nt *NFATables, v *SeqView, ck *Checkpoint, c transducer.Constraint, b *Bounds, sc *ConstrainScratch) (out, nodes []automata.Symbol, states []int, logp float64, ok bool, err error) {
 	if ck.states != nt.States || ck.n != v.N {
 		panic("kernel: ResumeConstrained checkpoint was built against different tables or sequence")
 	}
@@ -398,95 +464,12 @@ func resumeConstrained(p *Poll, nt *NFATables, v *SeqView, ck *Checkpoint, c tra
 	}
 	back := sc.back[:v.N*pastSize]
 	sc.cross = sc.cross[:0]
+	sc.cands = sc.cands[:0]
+	neg := math.Inf(-1)
 
-	// Position 0: crossings straight off the initial distribution (the
-	// whole prefix plus at least one symbol inside a single emission).
-	for ii, x := range v.InitIdx {
-		lp := math.Log(v.InitVal[ii])
-		ti := int(nt.Start)*nt.Syms + int(x)
-		for e := nt.Off[ti]; e < nt.Off[ti+1]; e++ {
-			w := nt.Emit[nt.EmitPtr[e]:nt.EmitPtr[e+1]]
-			if !crossOK(align, l, 0, w, c.Forbidden) {
-				continue
-			}
-			cell := int32(int(x)*nt.States + int(nt.Succ[e]))
-			if sc.cur.relax(cell, lp) {
-				sc.cross = append(sc.cross, crossRec{layer: -1, pi: int32(ii), edge: e})
-				back[cell] = -int32(len(sc.cross)) - 1
-			}
-		}
-	}
-	for i := 1; i < v.N; i++ {
-		if err := p.Step(); err != nil {
-			sc.cur.reset()
-			sc.next.reset()
-			return nil, nil, nil, math.Inf(-1), false, err
-		}
-		prevLayer := &ck.layers[i-1]
-		canCross := int(prevLayer.maxZ)+nt.MaxEmit > l && len(prevLayer.cells) > 0
-		if len(sc.cur.list) == 0 && !canCross {
-			continue // before the first possible crossing: O(1) per position
-		}
-		st := &v.Steps[i-1]
-		backRow := back[i*pastSize : (i+1)*pastSize]
-		// Advance the past zone first (ties keep the incumbent, so this
-		// ordering is part of the determinism contract).
-		for _, idx := range sc.cur.list {
-			base := sc.cur.val[idx]
-			x := int(idx) / nt.States
-			qRow := (int(idx) % nt.States) * nt.Syms
-			for e := st.RowPtr[x]; e < st.RowPtr[x+1]; e++ {
-				y := int(st.Col[e])
-				lp := base + st.LogVal[e]
-				ti := qRow + y
-				for t := nt.Off[ti]; t < nt.Off[ti+1]; t++ {
-					cell := int32(y*nt.States + int(nt.Succ[t]))
-					if sc.next.relax(cell, lp) {
-						backRow[cell] = idx
-					}
-				}
-			}
-		}
-		if canCross {
-			for pi, pcell := range prevLayer.cells {
-				z := int(pcell) % zdim
-				if z > l || z+nt.MaxEmit <= l {
-					continue
-				}
-				base := prevLayer.score[pi]
-				xq := int(pcell) / zdim
-				x := xq / nt.States
-				qRow := (xq % nt.States) * nt.Syms
-				for e := st.RowPtr[x]; e < st.RowPtr[x+1]; e++ {
-					y := int(st.Col[e])
-					lp := base + st.LogVal[e]
-					ti := qRow + y
-					for t := nt.Off[ti]; t < nt.Off[ti+1]; t++ {
-						w := nt.Emit[nt.EmitPtr[t]:nt.EmitPtr[t+1]]
-						if !crossOK(align, l, z, w, c.Forbidden) {
-							continue
-						}
-						cell := int32(y*nt.States + int(nt.Succ[t]))
-						if sc.next.relax(cell, lp) {
-							sc.cross = append(sc.cross, crossRec{layer: int32(i - 1), pi: int32(pi), edge: t})
-							backRow[cell] = -int32(len(sc.cross)) - 1
-						}
-					}
-				}
-			}
-		}
-		sc.cur, sc.next = sc.next, sc.cur
-		sc.next.reset()
-	}
-
-	best, bestCell := math.Inf(-1), int32(-1)
-	for _, idx := range sc.cur.list {
-		if nt.Accept[int(idx)%nt.States] && sc.cur.val[idx] > best {
-			best, bestCell = sc.cur.val[idx], idx
-		}
-	}
-	sc.cur.reset()
-	exactBest, exactIdx := math.Inf(-1), -1
+	// The exact-extension answer is found first: the final comparison
+	// needs it either way, and its score seeds the pruning bound.
+	exactBest, exactIdx := neg, -1
 	if c.Mode == transducer.PrefixAndExtensions {
 		last := &ck.layers[v.N-1]
 		for j, cell := range last.cells {
@@ -498,6 +481,182 @@ func resumeConstrained(p *Poll, nt *NFATables, v *SeqView, ck *Checkpoint, c tra
 			}
 		}
 	}
+
+	// Phase 1: enumerate every boundary-crossing candidate in exactly
+	// the order the sweep would inject it — position 0 straight off the
+	// initial distribution (the whole prefix plus at least one symbol
+	// inside a single emission), later positions off the checkpoint
+	// layers. With bounds, each candidate's score + potential is exact,
+	// so their maximum L is the constrained optimum up to float
+	// association.
+	L := exactBest
+	for ii, x := range v.InitIdx {
+		lp := math.Log(v.InitVal[ii])
+		elo, ehi := nt.Edges(int(nt.Start), int(x))
+		for e := elo; e < ehi; e++ {
+			w := nt.Emit[nt.EmitPtr[e]:nt.EmitPtr[e+1]]
+			if !crossOK(align, l, 0, w, c.Forbidden) {
+				continue
+			}
+			cell := int32(int(x)*nt.States + int(nt.Succ[e]))
+			cd := crossCand{pos: 0, cell: cell, lp: lp, rec: crossRec{layer: -1, pi: int32(ii), edge: e}}
+			if b != nil {
+				cd.bound = lp + b.pos(0, cell)
+				if cd.bound > L {
+					L = cd.bound
+				}
+			}
+			sc.cands = append(sc.cands, cd)
+		}
+	}
+	for i := 1; i < v.N; i++ {
+		if err := p.Step(); err != nil {
+			return nil, nil, nil, neg, false, err
+		}
+		prevLayer := &ck.layers[i-1]
+		if int(prevLayer.maxZ)+nt.MaxEmit <= l || len(prevLayer.cells) == 0 {
+			continue
+		}
+		st := &v.Steps[i-1]
+		for pi, pcell := range prevLayer.cells {
+			z := int(pcell) % zdim
+			if z > l || z+nt.MaxEmit <= l {
+				continue
+			}
+			base := prevLayer.score[pi]
+			xq := int(pcell) / zdim
+			x := xq / nt.States
+			q := xq % nt.States
+			for e := st.RowPtr[x]; e < st.RowPtr[x+1]; e++ {
+				y := int(st.Col[e])
+				lp := base + st.LogVal[e]
+				tlo, thi := nt.Edges(q, y)
+				for t := tlo; t < thi; t++ {
+					w := nt.Emit[nt.EmitPtr[t]:nt.EmitPtr[t+1]]
+					if !crossOK(align, l, z, w, c.Forbidden) {
+						continue
+					}
+					cell := int32(y*nt.States + int(nt.Succ[t]))
+					cd := crossCand{pos: int32(i), cell: cell, lp: lp, rec: crossRec{layer: int32(i - 1), pi: int32(pi), edge: t}}
+					if b != nil {
+						cd.bound = lp + b.pos(i, cell)
+						if cd.bound > L {
+							L = cd.bound
+						}
+					}
+					sc.cands = append(sc.cands, cd)
+				}
+			}
+		}
+	}
+	if len(sc.cands) == 0 || (b != nil && L == neg) {
+		// No viable crossing: the exact answer (if any) stands alone.
+		if b != nil {
+			b.addStats(0, 0)
+		}
+		if exactIdx >= 0 {
+			nodes = make([]automata.Symbol, v.N)
+			states = make([]int, v.N)
+			ck.walkPrefix(v.N-1, exactIdx, nodes, states)
+			return automata.CloneString(align[:l]), nodes, states, exactBest, true, nil
+		}
+		return nil, nil, nil, neg, false, nil
+	}
+	// The slack covers the float-association error between a forward DP
+	// sum and the two-term score + potential bound; both are within a
+	// few ulps of the real path weight, so a relative 1e-9 dwarfs it.
+	prune := b != nil
+	var tau float64
+	var prunedCt, visitedCt uint64
+	if prune {
+		tau = L - 1e-9*(1+math.Abs(L))
+	}
+
+	// Phase 2: the past-zone sweep, advancing before injecting at each
+	// position (ties keep the incumbent, so this ordering is part of the
+	// determinism contract) and sorting each layer into canonical order
+	// before expansion.
+	ci := 0
+	for ; ci < len(sc.cands) && sc.cands[ci].pos == 0; ci++ {
+		cd := &sc.cands[ci]
+		if prune && cd.bound < tau {
+			prunedCt++
+			continue
+		}
+		if sc.cur.relax(cd.cell, cd.lp) {
+			sc.cross = append(sc.cross, cd.rec)
+			back[cd.cell] = -int32(len(sc.cross)) - 1
+		}
+	}
+	for i := 1; i < v.N; i++ {
+		if err := p.Step(); err != nil {
+			sc.cur.reset()
+			sc.next.reset()
+			return nil, nil, nil, neg, false, err
+		}
+		hasCand := ci < len(sc.cands) && int(sc.cands[ci].pos) == i
+		if len(sc.cur.list) == 0 && !hasCand {
+			continue // before the first surviving crossing: O(1) per position
+		}
+		st := &v.Steps[i-1]
+		backRow := back[i*pastSize : (i+1)*pastSize]
+		sc.cur.sortList()
+		for _, idx := range sc.cur.list {
+			base := sc.cur.val[idx]
+			if prune {
+				if base+b.pos(i-1, idx) < tau {
+					prunedCt++
+					continue
+				}
+				visitedCt++
+			}
+			x := int(idx) / nt.States
+			q := int(idx) % nt.States
+			for e := st.RowPtr[x]; e < st.RowPtr[x+1]; e++ {
+				y := int(st.Col[e])
+				lp := base + st.LogVal[e]
+				tlo, thi := nt.Edges(q, y)
+				for t := tlo; t < thi; t++ {
+					cell := int32(y*nt.States + int(nt.Succ[t]))
+					if prune && lp+b.pos(i, cell) < tau {
+						continue
+					}
+					if sc.next.relax(cell, lp) {
+						backRow[cell] = idx
+					}
+				}
+			}
+		}
+		for ; ci < len(sc.cands) && int(sc.cands[ci].pos) == i; ci++ {
+			cd := &sc.cands[ci]
+			if prune && cd.bound < tau {
+				prunedCt++
+				continue
+			}
+			if sc.next.relax(cd.cell, cd.lp) {
+				sc.cross = append(sc.cross, cd.rec)
+				backRow[cd.cell] = -int32(len(sc.cross)) - 1
+			}
+		}
+		sc.cur, sc.next = sc.next, sc.cur
+		sc.next.reset()
+	}
+	if prune {
+		b.addStats(prunedCt, visitedCt)
+	}
+
+	// Final argmax with canonical tie-breaking: among equal scores the
+	// smaller cell id wins, independent of frontier order.
+	best, bestCell := neg, int32(-1)
+	for _, idx := range sc.cur.list {
+		if !nt.Accept[int(idx)%nt.States] {
+			continue
+		}
+		if s := sc.cur.val[idx]; s > best || (s == best && idx < bestCell) {
+			best, bestCell = s, idx
+		}
+	}
+	sc.cur.reset()
 	if exactIdx >= 0 && exactBest >= best {
 		nodes = make([]automata.Symbol, v.N)
 		states = make([]int, v.N)
@@ -539,8 +698,8 @@ func resumeConstrained(p *Poll, nt *NFATables, v *SeqView, ck *Checkpoint, c tra
 	// so the first is the canonical representative).
 	q := states[crossPos]
 	for j := crossPos + 1; j < v.N; j++ {
-		ti := q*nt.Syms + int(nodes[j])
-		for e := nt.Off[ti]; e < nt.Off[ti+1]; e++ {
+		lo, hi := nt.Edges(q, int(nodes[j]))
+		for e := lo; e < hi; e++ {
 			if int(nt.Succ[e]) == states[j] {
 				out = append(out, nt.Emit[nt.EmitPtr[e]:nt.EmitPtr[e+1]]...)
 				break
@@ -557,24 +716,32 @@ func resumeConstrained(p *Poll, nt *NFATables, v *SeqView, ck *Checkpoint, c tra
 // reuse checkpoints across Lawler children call BuildCheckpoint and
 // ResumeConstrained directly.
 func ConstrainedViterbi(nt *NFATables, v *SeqView, c transducer.Constraint, sc *ConstrainScratch) (out, nodes []automata.Symbol, states []int, logp float64, ok bool) {
-	out, nodes, states, logp, ok, _ = constrainedViterbi(nil, nt, v, c, sc)
+	out, nodes, states, logp, ok, _ = constrainedViterbi(nil, nt, v, c, nil, sc)
 	return out, nodes, states, logp, ok
 }
 
 // ConstrainedViterbiCtx is ConstrainedViterbi with step-granularity
 // cancellation of both the checkpoint build and the resume.
 func ConstrainedViterbiCtx(ctx context.Context, nt *NFATables, v *SeqView, c transducer.Constraint, sc *ConstrainScratch) (out, nodes []automata.Symbol, states []int, logp float64, ok bool, err error) {
-	return constrainedViterbi(NewPoll(ctx), nt, v, c, sc)
+	return constrainedViterbi(NewPoll(ctx), nt, v, c, nil, sc)
 }
 
-func constrainedViterbi(p *Poll, nt *NFATables, v *SeqView, c transducer.Constraint, sc *ConstrainScratch) (out, nodes []automata.Symbol, states []int, logp float64, ok bool, err error) {
+// ConstrainedViterbiBounded is ConstrainedViterbi with weight-pushed
+// gating of the checkpoint build and pruning of the resume. b may be
+// nil, which makes it identical to ConstrainedViterbi.
+func ConstrainedViterbiBounded(nt *NFATables, v *SeqView, c transducer.Constraint, b *Bounds, sc *ConstrainScratch) (out, nodes []automata.Symbol, states []int, logp float64, ok bool) {
+	out, nodes, states, logp, ok, _ = constrainedViterbi(nil, nt, v, c, b, sc)
+	return out, nodes, states, logp, ok
+}
+
+func constrainedViterbi(p *Poll, nt *NFATables, v *SeqView, c transducer.Constraint, b *Bounds, sc *ConstrainScratch) (out, nodes []automata.Symbol, states []int, logp float64, ok bool, err error) {
 	if sc == nil {
 		sc = constrainScratchPool.Get().(*ConstrainScratch)
 		defer constrainScratchPool.Put(sc)
 	}
-	ck, err := buildCheckpoint(p, nt, v, c.Prefix, sc)
+	ck, err := buildCheckpoint(p, nt, v, c.Prefix, b, sc)
 	if err != nil {
 		return nil, nil, nil, math.Inf(-1), false, err
 	}
-	return resumeConstrained(p, nt, v, ck, c, sc)
+	return resumeConstrained(p, nt, v, ck, c, b, sc)
 }

@@ -1,5 +1,7 @@
 package kernel
 
+import "slices"
+
 // frontier is one layer of a double-buffered sparse DP: a flat value
 // buffer over the full cell space plus an explicit list of the active
 // (nonzero-mass) cells. Invariant: every slot of val outside list is
@@ -49,6 +51,14 @@ func (f *frontier) relax(i int32, v float64) bool {
 	}
 	return false
 }
+
+// sortList puts the active-cell list in increasing cell order. The
+// constrained resume sorts each layer before expanding it so that the
+// expansion order — and with it every tie-broken incumbent — depends
+// only on which cells are active, not on how they were first reached;
+// that is what makes the bounds-pruned sweep bit-identical to the
+// exhaustive one (see the determinism notes in constrained.go).
+func (f *frontier) sortList() { slices.Sort(f.list) }
 
 // reset deactivates every active cell, restoring the all-zero invariant
 // in O(active) time.

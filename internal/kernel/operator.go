@@ -130,7 +130,6 @@ func StepOpInto(dst *Op, nt *NFATables, st *Step, k int, sr Semiring, sc *OpScra
 	dst.val = dst.val[:0]
 	for x := 0; x < k; x++ {
 		for q := 0; q < nt.States; q++ {
-			qRow := q * nt.Syms
 			for e := st.RowPtr[x]; e < st.RowPtr[x+1]; e++ {
 				y := int(st.Col[e])
 				var w float64
@@ -139,8 +138,8 @@ func StepOpInto(dst *Op, nt *NFATables, st *Step, k int, sr Semiring, sc *OpScra
 				} else {
 					w = st.Val[e]
 				}
-				ti := qRow + y
-				for t := nt.Off[ti]; t < nt.Off[ti+1]; t++ {
+				lo, hi := nt.Edges(q, y)
+				for t := lo; t < hi; t++ {
 					c := int32(y*nt.States + int(nt.Succ[t]))
 					// Parallel edges (same q,y,q', different emissions)
 					// carry the same weight; keep the first.
@@ -280,8 +279,8 @@ func seedFrontier(f *frontier, nt *NFATables, initial []float64, sr Semiring) {
 		} else {
 			w = p
 		}
-		ti := int(nt.Start)*nt.Syms + x
-		for e := nt.Off[ti]; e < nt.Off[ti+1]; e++ {
+		lo, hi := nt.Edges(int(nt.Start), x)
+		for e := lo; e < hi; e++ {
 			cell := int32(x*nt.States + int(nt.Succ[e]))
 			if !f.on[cell] {
 				f.add(cell, w)

@@ -311,7 +311,7 @@ func TestWindowEvaluatorDifferential(t *testing.T) {
 				window = n
 			}
 			for _, sr := range []Semiring{MaxLog, SumProb} {
-				ev := NewWindowEvaluator(nt, v, alpha, window, stride, sr)
+				ev := NewWindowEvaluator(nt, v, MarginalRows(alpha), window, stride, sr)
 				wantCount := 0
 				if n >= window {
 					wantCount = (n-window)/stride + 1
@@ -450,7 +450,7 @@ func TestOpQueueSteadyStateAllocFree(t *testing.T) {
 	for i := range alpha {
 		alpha[i] = randDist(rng, v.K)
 	}
-	ev := NewWindowEvaluator(nt, v, alpha, 6, 1, MaxLog)
+	ev := NewWindowEvaluator(nt, v, MarginalRows(alpha), 6, 1, MaxLog)
 	// Warm up past the first flips so the freelist is primed.
 	for i := 0; i < 20; i++ {
 		if _, ok := ev.Next(); !ok {
@@ -480,9 +480,9 @@ func TestWindowEvaluatorPanics(t *testing.T) {
 		alpha[i] = randDist(rng, v.K)
 	}
 	for name, call := range map[string]func(){
-		"window 0":    func() { NewWindowEvaluator(nt, v, alpha, 0, 1, MaxLog) },
-		"stride 0":    func() { NewWindowEvaluator(nt, v, alpha, 2, 0, MaxLog) },
-		"short alpha": func() { NewWindowEvaluator(nt, v, alpha[:3], 2, 1, MaxLog) },
+		"window 0":    func() { NewWindowEvaluator(nt, v, MarginalRows(alpha), 0, 1, MaxLog) },
+		"stride 0":    func() { NewWindowEvaluator(nt, v, MarginalRows(alpha), 2, 0, MaxLog) },
+		"short alpha": func() { NewWindowEvaluator(nt, v, MarginalRows(alpha[:3]), 2, 1, MaxLog) },
 	} {
 		func() {
 			defer func() {

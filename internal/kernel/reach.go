@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"context"
+	"math"
 	"sync"
 
 	"markovseq/internal/transducer"
@@ -53,7 +54,7 @@ var reachScratchPool = sync.Pool{New: func() any { return new(ReachScratch) }}
 // tables on the fly over boolean cells (node x, state q, tracker state
 // t), so no per-probe product transducer or table rebuild is needed.
 func ConstrainedNonEmpty(nt *NFATables, v *SeqView, c transducer.Constraint, sc *ReachScratch) bool {
-	found, _ := constrainedNonEmpty(nil, nt, v, c, sc)
+	found, _ := constrainedNonEmpty(nil, nt, v, c, nil, sc)
 	return found
 }
 
@@ -61,10 +62,18 @@ func ConstrainedNonEmpty(nt *NFATables, v *SeqView, c transducer.Constraint, sc 
 // cancellation: the context is polled every DefaultPollInterval
 // positions and the probe aborts with ctx.Err() as soon as it fires.
 func ConstrainedNonEmptyCtx(ctx context.Context, nt *NFATables, v *SeqView, c transducer.Constraint, sc *ReachScratch) (bool, error) {
-	return constrainedNonEmpty(NewPoll(ctx), nt, v, c, sc)
+	return constrainedNonEmpty(NewPoll(ctx), nt, v, c, nil, sc)
 }
 
-func constrainedNonEmpty(p *Poll, nt *NFATables, v *SeqView, c transducer.Constraint, sc *ReachScratch) (bool, error) {
+// ConstrainedNonEmptyBoundedCtx is ConstrainedNonEmptyCtx gated by
+// weight-pushed potentials: cells with no accepting completion over the
+// weighted view (potential -Inf) can never reach an accepting final cell
+// under any tracker state, so the probe skips them. b may be nil.
+func ConstrainedNonEmptyBoundedCtx(ctx context.Context, nt *NFATables, v *SeqView, c transducer.Constraint, b *Bounds, sc *ReachScratch) (bool, error) {
+	return constrainedNonEmpty(NewPoll(ctx), nt, v, c, b, sc)
+}
+
+func constrainedNonEmpty(p *Poll, nt *NFATables, v *SeqView, c transducer.Constraint, b *Bounds, sc *ReachScratch) (bool, error) {
 	if sc == nil {
 		sc = reachScratchPool.Get().(*ReachScratch)
 		defer reachScratchPool.Put(sc)
@@ -76,16 +85,21 @@ func constrainedNonEmpty(p *Poll, nt *NFATables, v *SeqView, c transducer.Constr
 	sc.next.ensure(size)
 	sc.cur.reset()
 	sc.next.reset()
+	neg := math.Inf(-1)
 
 	for _, x := range v.InitIdx {
-		ti := int(nt.Start)*nt.Syms + int(x)
-		for e := nt.Off[ti]; e < nt.Off[ti+1]; e++ {
+		lo, hi := nt.Edges(int(nt.Start), int(x))
+		for e := lo; e < hi; e++ {
 			w := nt.Emit[nt.EmitPtr[e]:nt.EmitPtr[e+1]]
 			t2, ok := tr.StepString(tr.Start(), w)
 			if !ok {
 				continue
 			}
-			sc.cur.add(int32((int(x)*nt.States+int(nt.Succ[e]))*tdim + t2))
+			xq := int(x)*nt.States + int(nt.Succ[e])
+			if b != nil && b.pos(0, int32(xq)) == neg {
+				continue
+			}
+			sc.cur.add(int32(xq*tdim + t2))
 		}
 	}
 	for i := 1; i < v.N; i++ {
@@ -102,17 +116,21 @@ func constrainedNonEmpty(p *Poll, nt *NFATables, v *SeqView, c transducer.Constr
 			xq := int(idx) / tdim
 			t := int(idx) % tdim
 			x := xq / nt.States
-			qRow := (xq % nt.States) * nt.Syms
+			q := xq % nt.States
 			for e := st.RowPtr[x]; e < st.RowPtr[x+1]; e++ {
 				y := int(st.Col[e])
-				ti := qRow + y
-				for tt := nt.Off[ti]; tt < nt.Off[ti+1]; tt++ {
+				elo, ehi := nt.Edges(q, y)
+				for tt := elo; tt < ehi; tt++ {
 					w := nt.Emit[nt.EmitPtr[tt]:nt.EmitPtr[tt+1]]
 					t2, ok := tr.StepString(t, w)
 					if !ok {
 						continue
 					}
-					sc.next.add(int32((y*nt.States+int(nt.Succ[tt]))*tdim + t2))
+					yq := y*nt.States + int(nt.Succ[tt])
+					if b != nil && b.pos(i, int32(yq)) == neg {
+						continue
+					}
+					sc.next.add(int32(yq*tdim + t2))
 				}
 			}
 		}

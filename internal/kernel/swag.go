@@ -116,6 +116,28 @@ func (q *opQueue) aggregateInto(dst *Op) *Op {
 	return dst
 }
 
+// Marginals is the windowed evaluators' view of per-position forward
+// marginals: Row(i) is the distribution of S_{i+1} (the marginal
+// entering position i+1) and Len is the number of positions covered.
+// The indirection lets a long-running stream keep only a resident suffix
+// of its marginal table (markov.Windower.EvictBefore) while the
+// evaluator keeps indexing by absolute position: rows older than every
+// live window are reclaimed instead of pinned by the evaluator's
+// reference. Implementations must keep Row(i) valid for every i the
+// evaluator can still request — at least the current window start — and
+// rows must be treated as read-only.
+type Marginals interface {
+	Row(i int) []float64
+	Len() int
+}
+
+// MarginalRows adapts a fully materialized marginal table (as produced
+// by markov.Sequence.Forward) to the Marginals interface.
+type MarginalRows [][]float64
+
+func (r MarginalRows) Row(i int) []float64 { return r[i] }
+func (r MarginalRows) Len() int            { return len(r) }
+
 // WindowFrontier is the DP frontier of one window: the cells x·|Q|+q
 // reachable from the window-initial marginal through an accepting-run
 // prefix, with their semiring values, plus the accepting reduction.
@@ -143,7 +165,7 @@ type WindowFrontier struct {
 type WindowEvaluator struct {
 	nt     *NFATables
 	v      *SeqView
-	alpha  [][]float64
+	alpha  Marginals
 	window int
 	stride int
 	sr     Semiring
@@ -160,15 +182,15 @@ type WindowEvaluator struct {
 
 // NewWindowEvaluator builds a sliding evaluator over view v (the
 // compiled form of the full sequence) with per-position forward
-// marginals alpha (alpha[i] is the marginal entering position i+1, as
-// produced by markov.Sequence.Forward). window and stride must be ≥ 1;
+// marginals alpha (alpha.Row(i) is the marginal entering position i+1;
+// wrap a plain table in MarginalRows). window and stride must be ≥ 1;
 // strides larger than the window are allowed and reset the queue across
 // the gap.
-func NewWindowEvaluator(nt *NFATables, v *SeqView, alpha [][]float64, window, stride int, sr Semiring) *WindowEvaluator {
+func NewWindowEvaluator(nt *NFATables, v *SeqView, alpha Marginals, window, stride int, sr Semiring) *WindowEvaluator {
 	if window < 1 || stride < 1 {
 		panic("kernel: NewWindowEvaluator window and stride must be >= 1")
 	}
-	if len(alpha) != v.N {
+	if alpha.Len() != v.N {
 		panic("kernel: NewWindowEvaluator marginals do not match view length")
 	}
 	dim := v.K * nt.States
@@ -202,11 +224,11 @@ func (w *WindowEvaluator) Len() int {
 // same amortized O(1) operator combines as a cold sweep, and the
 // frontiers are bit-identical to a from-scratch evaluator over the
 // extended view.
-func (w *WindowEvaluator) Extend(v *SeqView, alpha [][]float64) {
+func (w *WindowEvaluator) Extend(v *SeqView, alpha Marginals) {
 	if v.N < w.v.N || v.K != w.v.K {
 		panic("kernel: WindowEvaluator.Extend view does not extend the current view")
 	}
-	if len(alpha) != v.N {
+	if alpha.Len() != v.N {
 		panic("kernel: WindowEvaluator.Extend marginals do not match view length")
 	}
 	w.v = v
@@ -244,7 +266,7 @@ func (w *WindowEvaluator) Next() (WindowFrontier, bool) {
 	}
 	w.q.aggregateInto(w.prod)
 
-	seedFrontier(&w.seed, w.nt, w.alpha[a-1], w.sr)
+	seedFrontier(&w.seed, w.nt, w.alpha.Row(a-1), w.sr)
 	w.prod.applySeed(&w.seed, &w.out)
 
 	w.wf.Start, w.wf.End = a, b

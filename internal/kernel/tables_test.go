@@ -1,0 +1,184 @@
+// Tests for the failure-transition compact table encoding: the Edges
+// accessor must resolve every (state, symbol) pair to the same successor
+// and emission content as the dense encoding, the footprint must
+// actually shrink on large sparse alphabets (the reason the encoding
+// exists), NewNFATablesAuto must pick the smaller form, and the DP
+// kernels must be bit-identical over either encoding.
+package kernel_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"markovseq/internal/automata"
+	"markovseq/internal/kernel"
+	"markovseq/internal/markov"
+	"markovseq/internal/transducer"
+)
+
+// wideAlphabet builds an alphabet of n generated symbol names.
+func wideAlphabet(n int) *automata.Alphabet {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("s%03d", i)
+	}
+	return automata.MustAlphabet(names...)
+}
+
+// sparseWideTransducer draws a transducer over a wide input alphabet in
+// which each state deviates from its default behaviour on only a few
+// exception symbols — the workload the failure encoding is built for.
+func sparseWideTransducer(in, out *automata.Alphabet, nStates, exceptions int, rng *rand.Rand) *transducer.Transducer {
+	tr := transducer.New(in, out, nStates, 0)
+	for q := 0; q < nStates; q++ {
+		tr.SetAccepting(q, rng.Intn(2) == 0)
+		// Default row: every symbol loops to one target with one emission.
+		def := rng.Intn(nStates)
+		demit := []automata.Symbol{automata.Symbol(rng.Intn(out.Size()))}
+		for _, s := range in.Symbols() {
+			tr.AddTransition(q, s, def, demit)
+		}
+		// A handful of exception symbols get an extra nondeterministic edge.
+		for e := 0; e < exceptions; e++ {
+			s := automata.Symbol(rng.Intn(in.Size()))
+			tr.AddTransition(q, s, rng.Intn(nStates), nil)
+		}
+	}
+	if !tr.Accepting(0) {
+		tr.SetAccepting(nStates-1, true)
+	}
+	return tr
+}
+
+// edgeContent flattens the Edges range of (q, y) into comparable
+// successor/emission tuples.
+func edgeContent(nt *kernel.NFATables, q, y int) []string {
+	lo, hi := nt.Edges(q, y)
+	var rows []string
+	for e := lo; e < hi; e++ {
+		rows = append(rows, fmt.Sprintf("%d:%v", nt.Succ[e], nt.Emit[nt.EmitPtr[e]:nt.EmitPtr[e+1]]))
+	}
+	return rows
+}
+
+// TestCompactTablesEdgesDifferential: dense and compact encodings of the
+// same transducer must resolve every (state, symbol) pair to identical
+// edge lists — same successors, same emissions, same order (the kernels'
+// tie-breaking follows edge order, so order is part of the contract).
+func TestCompactTablesEdgesDifferential(t *testing.T) {
+	out := automata.MustAlphabet("x", "y")
+	for trial := 0; trial < 15; trial++ {
+		rng := rand.New(rand.NewSource(int64(31000 + trial)))
+		in := wideAlphabet(16 + rng.Intn(100))
+		tr := sparseWideTransducer(in, out, 2+rng.Intn(4), 1+rng.Intn(3), rng)
+		dense := kernel.NewNFATables(tr)
+		compact := kernel.NewNFATablesCompact(tr)
+		if compact.Off != nil {
+			t.Fatalf("trial %d: compact tables are not in failure mode", trial)
+		}
+		if dense.MaxEmit != compact.MaxEmit {
+			t.Fatalf("trial %d: MaxEmit %d vs %d", trial, dense.MaxEmit, compact.MaxEmit)
+		}
+		for q := 0; q < dense.States; q++ {
+			if dense.Accept[q] != compact.Accept[q] {
+				t.Fatalf("trial %d: acceptance differs at state %d", trial, q)
+			}
+			for y := 0; y < dense.Syms; y++ {
+				dRows, cRows := edgeContent(dense, q, y), edgeContent(compact, q, y)
+				if len(dRows) != len(cRows) {
+					t.Fatalf("trial %d (%d,%d): %d edges dense, %d compact", trial, q, y, len(dRows), len(cRows))
+				}
+				for i := range dRows {
+					if dRows[i] != cRows[i] {
+						t.Fatalf("trial %d (%d,%d) edge %d: %s vs %s", trial, q, y, i, dRows[i], cRows[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCompactFootprintAndAuto: on a sparse wide-alphabet query the
+// failure encoding must be strictly smaller and NewNFATablesAuto must
+// select it; on a small alphabet Auto must stay dense without paying
+// for the compact build.
+func TestCompactFootprintAndAuto(t *testing.T) {
+	rng := rand.New(rand.NewSource(32000))
+	out := automata.MustAlphabet("x", "y")
+	in := wideAlphabet(128)
+	tr := sparseWideTransducer(in, out, 4, 2, rng)
+	dense := kernel.NewNFATables(tr)
+	compact := kernel.NewNFATablesCompact(tr)
+	if compact.FootprintBytes() >= dense.FootprintBytes() {
+		t.Fatalf("compact footprint %d not below dense %d on a 128-symbol sparse query",
+			compact.FootprintBytes(), dense.FootprintBytes())
+	}
+	if auto := kernel.NewNFATablesAuto(tr); auto.Off != nil {
+		t.Fatal("Auto kept the dense encoding on a 128-symbol sparse query")
+	}
+	small := automata.MustAlphabet("a", "b")
+	str := sparseWideTransducer(small, out, 3, 1, rng)
+	if auto := kernel.NewNFATablesAuto(str); auto.Off == nil {
+		t.Fatal("Auto built the compact encoding for a 2-symbol alphabet")
+	}
+}
+
+// TestCompactKernelDifferential: the Viterbi and bounded kernels run
+// over compact tables must be bit-identical to the dense run — the
+// encodings present the same edge order, so scores, evidence, and
+// tie-breaks must all coincide.
+func TestCompactKernelDifferential(t *testing.T) {
+	out := automata.MustAlphabet("x", "y")
+	for trial := 0; trial < 10; trial++ {
+		rng := rand.New(rand.NewSource(int64(33000 + trial)))
+		in := wideAlphabet(64 + rng.Intn(64))
+		tr := sparseWideTransducer(in, out, 2+rng.Intn(3), 2, rng)
+		m := markov.Random(in, 2+rng.Intn(4), 0.15, rng)
+		v := m.View()
+		dense := kernel.NewNFATables(tr)
+		compact := kernel.NewNFATablesCompact(tr)
+		dn, ds, dlp, dok := kernel.ViterbiRun(dense, v, nil)
+		cn, cs, clp, cok := kernel.ViterbiRun(compact, v, nil)
+		if dok != cok {
+			t.Fatalf("trial %d: dense ok=%v compact ok=%v", trial, dok, cok)
+		}
+		if dok {
+			if math.Float64bits(dlp) != math.Float64bits(clp) {
+				t.Fatalf("trial %d: dense score %v compact %v", trial, dlp, clp)
+			}
+			if automata.StringKey(dn) != automata.StringKey(cn) {
+				t.Fatalf("trial %d: evidence differs across encodings", trial)
+			}
+			for i := range ds {
+				if ds[i] != cs[i] {
+					t.Fatalf("trial %d: states differ across encodings", trial)
+				}
+			}
+		}
+		db, cb := kernel.NewBounds(dense, v), kernel.NewBounds(compact, v)
+		// Constraints from the optimal answer's Lawler children plus a
+		// random prefix (brute-force answer enumeration is out of reach on
+		// a wide alphabet).
+		probes := []transducer.Constraint{transducer.Unconstrained()}
+		if dok {
+			probes = append(probes, transducer.Unconstrained().Children(dense.EmitRun(dn, ds))...)
+		}
+		probes = append(probes, transducer.Constraint{
+			Prefix: []automata.Symbol{automata.Symbol(rng.Intn(out.Size()))},
+			Mode:   transducer.ConstraintMode(rng.Intn(3)),
+		})
+		if len(probes) > 6 {
+			probes = probes[:6]
+		}
+		for _, c := range probes {
+			do, _, _, dlp, dok := kernel.ConstrainedViterbiBounded(dense, v, c, db, nil)
+			co, _, _, clp, cok := kernel.ConstrainedViterbiBounded(compact, v, c, cb, nil)
+			if dok != cok || (dok && (math.Float64bits(dlp) != math.Float64bits(clp) ||
+				automata.StringKey(do) != automata.StringKey(co))) {
+				t.Fatalf("trial %d %v: constrained kernel differs across encodings", trial, c)
+			}
+		}
+	}
+}

@@ -72,8 +72,8 @@ func uniformConfidence(p *Poll, nt *NFATables, v *SeqView, k int, o []automata.S
 		for y := 0; y < v.K; y++ {
 			for q := 0; q < nt.States; q++ {
 				m := uint32(0)
-				ti := q*nt.Syms + y
-				for e := nt.Off[ti]; e < nt.Off[ti+1]; e++ {
+				lo, hi := nt.Edges(q, y)
+				for e := lo; e < hi; e++ {
 					if emitEqual(nt.Emit[nt.EmitPtr[e]:nt.EmitPtr[e+1]], want) {
 						m |= 1 << uint(nt.Succ[e])
 					}

@@ -28,7 +28,7 @@ var viterbiScratchPool = sync.Pool{New: func() any { return new(ViterbiScratch) 
 // probabilities come precomputed from the CSR view, and backpointers are
 // one flat int32 array (packed predecessor cell, -1 at the root).
 func ViterbiRun(nt *NFATables, v *SeqView, sc *ViterbiScratch) (nodes []automata.Symbol, states []int, logp float64, ok bool) {
-	nodes, states, logp, ok, _ = viterbiRun(nil, nt, v, sc)
+	nodes, states, logp, ok, _ = viterbiRun(nil, nt, v, nil, sc)
 	return nodes, states, logp, ok
 }
 
@@ -36,10 +36,20 @@ func ViterbiRun(nt *NFATables, v *SeqView, sc *ViterbiScratch) (nodes []automata
 // context is polled every DefaultPollInterval positions and the DP
 // aborts with ctx.Err() as soon as it fires.
 func ViterbiRunCtx(ctx context.Context, nt *NFATables, v *SeqView, sc *ViterbiScratch) (nodes []automata.Symbol, states []int, logp float64, ok bool, err error) {
-	return viterbiRun(NewPoll(ctx), nt, v, sc)
+	return viterbiRun(NewPoll(ctx), nt, v, nil, sc)
 }
 
-func viterbiRun(p *Poll, nt *NFATables, v *SeqView, sc *ViterbiScratch) (nodes []automata.Symbol, states []int, logp float64, ok bool, err error) {
+// ViterbiRunBounded is ViterbiRun with weight-pushed pruning: every
+// complete path starts at position 0, so the initial frontier's best
+// score + potential is already the optimum (up to float association)
+// and the whole sweep collapses to the corridor of near-optimal cells.
+// Exact and bit-identical to ViterbiRun; b may be nil.
+func ViterbiRunBounded(nt *NFATables, v *SeqView, b *Bounds, sc *ViterbiScratch) (nodes []automata.Symbol, states []int, logp float64, ok bool) {
+	nodes, states, logp, ok, _ = viterbiRun(nil, nt, v, b, sc)
+	return nodes, states, logp, ok
+}
+
+func viterbiRun(p *Poll, nt *NFATables, v *SeqView, b *Bounds, sc *ViterbiScratch) (nodes []automata.Symbol, states []int, logp float64, ok bool, err error) {
 	if sc == nil {
 		sc = viterbiScratchPool.Get().(*ViterbiScratch)
 		defer viterbiScratchPool.Put(sc)
@@ -54,15 +64,28 @@ func viterbiRun(p *Poll, nt *NFATables, v *SeqView, sc *ViterbiScratch) (nodes [
 	}
 	sc.back = sc.back[:v.N*size]
 
+	neg := math.Inf(-1)
+	L := neg
 	for ii, x := range v.InitIdx {
 		lp := math.Log(v.InitVal[ii])
-		ti := int(nt.Start)*nt.Syms + int(x)
-		for e := nt.Off[ti]; e < nt.Off[ti+1]; e++ {
+		lo, hi := nt.Edges(int(nt.Start), int(x))
+		for e := lo; e < hi; e++ {
 			cell := int32(int(x)*nt.States + int(nt.Succ[e]))
+			if b != nil {
+				if bound := lp + b.pos(0, cell); bound > L {
+					L = bound
+				}
+			}
 			if sc.cur.relax(cell, lp) {
 				sc.back[cell] = -1
 			}
 		}
+	}
+	prune := b != nil && L != neg
+	var tau float64
+	var prunedCt, visitedCt uint64
+	if prune {
+		tau = L - 1e-9*(1+math.Abs(L))
 	}
 	for i := 1; i < v.N; i++ {
 		if err := p.Step(); err != nil {
@@ -72,16 +95,27 @@ func viterbiRun(p *Poll, nt *NFATables, v *SeqView, sc *ViterbiScratch) (nodes [
 		}
 		st := &v.Steps[i-1]
 		backRow := sc.back[i*size : (i+1)*size]
+		sc.cur.sortList()
 		for _, idx := range sc.cur.list {
 			base := sc.cur.val[idx]
+			if prune {
+				if base+b.pos(i-1, idx) < tau {
+					prunedCt++
+					continue
+				}
+				visitedCt++
+			}
 			x := int(idx) / nt.States
-			qRow := (int(idx) % nt.States) * nt.Syms
+			q := int(idx) % nt.States
 			for e := st.RowPtr[x]; e < st.RowPtr[x+1]; e++ {
 				y := int(st.Col[e])
 				lp := base + st.LogVal[e]
-				ti := qRow + y
-				for t := nt.Off[ti]; t < nt.Off[ti+1]; t++ {
+				lo, hi := nt.Edges(q, y)
+				for t := lo; t < hi; t++ {
 					cell := int32(y*nt.States + int(nt.Succ[t]))
+					if prune && lp+b.pos(i, cell) < tau {
+						continue
+					}
 					if sc.next.relax(cell, lp) {
 						backRow[cell] = idx
 					}
@@ -91,11 +125,17 @@ func viterbiRun(p *Poll, nt *NFATables, v *SeqView, sc *ViterbiScratch) (nodes [
 		sc.cur, sc.next = sc.next, sc.cur
 		sc.next.reset()
 	}
+	if b != nil {
+		b.addStats(prunedCt, visitedCt)
+	}
 
 	best, bestCell := math.Inf(-1), int32(-1)
 	for _, idx := range sc.cur.list {
-		if nt.Accept[int(idx)%nt.States] && sc.cur.val[idx] > best {
-			best, bestCell = sc.cur.val[idx], idx
+		if !nt.Accept[int(idx)%nt.States] {
+			continue
+		}
+		if s := sc.cur.val[idx]; s > best || (s == best && idx < bestCell) {
+			best, bestCell = s, idx
 		}
 	}
 	sc.cur.reset()

@@ -76,16 +76,33 @@ type CacheStats struct {
 	// recompilation, and deliberately not counted as a miss or an
 	// invalidation.
 	Extensions uint64
+	// RankedPrunedCells / RankedVisitedCells / RankedResolves aggregate
+	// the weight-pushed pruning counters of the currently cached engines:
+	// frontier cells skipped vs. expanded, and kernel resolves, across
+	// their ranked enumerations and membership probes. They are a
+	// snapshot of the live cache — engines dropped by invalidation take
+	// their counts with them — and are all zero under
+	// WithExhaustiveRanked.
+	RankedPrunedCells, RankedVisitedCells, RankedResolves uint64
 }
 
 // Stats returns a snapshot of the engine-cache counters.
 func (db *DB) Stats() CacheStats {
-	return CacheStats{
+	s := CacheStats{
 		Hits:          db.stats.hits.Load(),
 		Misses:        db.stats.misses.Load(),
 		Invalidations: db.stats.invalidations.Load(),
 		Extensions:    db.stats.extensions.Load(),
 	}
+	db.mu.RLock()
+	for _, ent := range db.engines {
+		ps := ent.eng.PruneStats()
+		s.RankedPrunedCells += ps.PrunedCells
+		s.RankedVisitedCells += ps.VisitedCells
+		s.RankedResolves += ps.Resolves
+	}
+	db.mu.RUnlock()
+	return s
 }
 
 // engine returns the cached evaluation engine for (stream, qname),

@@ -143,6 +143,7 @@ type DB struct {
 	parallelWindows  bool
 	referenceWindows bool
 	rankedWorkers    int
+	exhaustiveRanked bool
 
 	// deadline is the per-query timeout applied at every public entry
 	// point (0 = none); inflight is the load-shedding semaphore (nil =
@@ -200,6 +201,16 @@ func WithRankedWorkers(n int) Option {
 		}
 		db.rankedWorkers = n
 	}
+}
+
+// WithExhaustiveRanked pins the exhaustive (unpruned) ranked kernels for
+// every query registered afterwards (core.WithExhaustiveRanked): the
+// weight-pushed frontier pruning is skipped and the full sweep runs.
+// Results are bit-identical either way; this is the differential
+// reference and the escape hatch for workloads where per-binding bound
+// computation outweighs the sweep it prunes.
+func WithExhaustiveRanked() Option {
+	return func(db *DB) { db.exhaustiveRanked = true }
 }
 
 // New returns an empty database.
@@ -275,14 +286,24 @@ func (db *DB) Streams() []string {
 // come from the store's own worker pool (WithWorkers), not from nesting
 // pools inside every engine.
 func (db *DB) RegisterTransducer(name string, t *transducer.Transducer) {
-	db.registerQuery(name, core.PrepareTransducer(t, core.WithRankedWorkers(db.rankedWorkers)))
+	db.registerQuery(name, core.PrepareTransducer(t, db.prepareOpts()...))
+}
+
+// prepareOpts assembles the core preparation options implied by the
+// store's configuration.
+func (db *DB) prepareOpts() []core.PrepareOption {
+	opts := []core.PrepareOption{core.WithRankedWorkers(db.rankedWorkers)}
+	if db.exhaustiveRanked {
+		opts = append(opts, core.WithExhaustiveRanked())
+	}
+	return opts
 }
 
 // RegisterSProjector registers an s-projector query; indexed selects the
 // indexed semantics ([B]↓A[E]). The query is compiled once, including
 // the equivalent-transducer conversion.
 func (db *DB) RegisterSProjector(name string, p *sproj.SProjector, indexed bool) {
-	db.registerQuery(name, core.PrepareSProjector(p, indexed, core.WithRankedWorkers(db.rankedWorkers)))
+	db.registerQuery(name, core.PrepareSProjector(p, indexed, db.prepareOpts()...))
 }
 
 func (db *DB) registerQuery(name string, pr *core.Prepared) {

@@ -217,7 +217,17 @@ func (s *Subscription) pump() {
 		have := len(s.pending) > 0
 		if have {
 			d = s.pending[0]
+			// Clear the delivered slot: the reslice keeps the backing array,
+			// and a zombie reference there would pin every delivered window's
+			// answers until the array is outgrown — on a long-lived watch,
+			// unbounded dead state.
+			s.pending[0] = WindowDelta{}
 			s.pending = s.pending[1:]
+			if len(s.pending) == 0 {
+				// Fully drained: drop the (offset) backing array so a
+				// caught-up subscription holds no replay buffer at all.
+				s.pending = nil
+			}
 		}
 		done := s.finished
 		s.mu.Unlock()

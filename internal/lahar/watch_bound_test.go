@@ -1,0 +1,108 @@
+package lahar
+
+import (
+	"testing"
+	"time"
+
+	"markovseq/internal/automata"
+	"markovseq/internal/markov"
+	"markovseq/internal/transducer"
+)
+
+// TestWatchResidentStateBounded pins the long-stream memory contract of
+// a caught-up subscription: over 100k appended events, the resident
+// window state — the windower's marginal rows (evicted behind the sweep
+// cursor by core.StreamRun) and the subscription's replay buffer
+// (cleared and dropped by the pump once drained) — stays O(window +
+// stride), independent of stream length.
+func TestWatchResidentStateBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k-append stream in -short mode")
+	}
+	ab := automata.MustAlphabet("a", "b")
+	// A fixed 2-node chain; every append reuses the same stochastic
+	// matrix (AppendEvents copies it into the stream).
+	step := [][]float64{{0.7, 0.3}, {0.4, 0.6}}
+	seed := markov.New(ab, 1)
+	seed.SetInitial(0, 0.5)
+	seed.SetInitial(1, 0.5)
+
+	// A 1-state copy transducer: every window has answers, so every
+	// delta carries a real top-1 result.
+	outs := automata.MustAlphabet("x")
+	tr := transducer.New(ab, outs, 1, 0)
+	tr.SetAccepting(0, true)
+	tr.AddTransition(0, 0, 0, []automata.Symbol{0})
+	tr.AddTransition(0, 1, 0, nil)
+
+	db := New()
+	if err := db.PutStream("s", seed); err != nil {
+		t.Fatal(err)
+	}
+	db.RegisterTransducer("q", tr)
+
+	const (
+		window  = 8
+		stride  = 100
+		total   = 100_000
+		batch   = 1_000
+		k       = 1
+		maxResi = window + stride + 2
+	)
+	sub, err := db.WatchSlidingTopK("s", "q", window, stride, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	// Every complete window of the final length-(total+1) stream yields
+	// one delta.
+	wantDeltas := (total+1-window)/stride + 1
+
+	// Drain concurrently so the subscription stays caught up, as a live
+	// consumer would.
+	done := make(chan struct{})
+	go func() {
+		n := 0
+		for range sub.C() {
+			n++
+			if n == wantDeltas {
+				close(done)
+			}
+		}
+	}()
+
+	events := make([]Event, batch)
+	for i := range events {
+		events[i] = Event(step)
+	}
+	worstResident := 0
+	for appended := 0; appended < total; appended += batch {
+		if _, err := db.AppendEvents("s", events); err != nil {
+			t.Fatal(err)
+		}
+		// advance runs synchronously under the append lock, so the sweep
+		// cursor has caught up with the new frontier here.
+		if r := sub.run.ResidentMarginals(); r > worstResident {
+			worstResident = r
+		}
+	}
+	if worstResident > maxResi {
+		t.Fatalf("resident marginal rows peaked at %d over a %d-event stream, want ≤ %d (window=%d, stride=%d)",
+			worstResident, total, maxResi, window, stride)
+	}
+
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatalf("timed out waiting for %d deltas", wantDeltas)
+	}
+	// The drained replay buffer must have been released, not just
+	// resliced — a reslice would pin every delivered answer.
+	sub.mu.Lock()
+	pending := sub.pending
+	sub.mu.Unlock()
+	if pending != nil {
+		t.Fatalf("drained subscription still holds a %d-cap replay buffer", cap(pending))
+	}
+}

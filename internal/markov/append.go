@@ -68,19 +68,19 @@ func (m *Sequence) Extended(mats [][][]float64) (*Sequence, error) {
 // appended positions are computed — O(appended·|Σ|²) instead of the full
 // O(n·|Σ|²) forward pass — using the same sparse inner loop as Forward,
 // so the grown marginal table is bit-identical to a fresh Windower over
-// m2. Extend is the single-writer operation of a Windower: it must not
-// race with Window/SharedWindow/Marginals calls on the same Windower
+// m2. Extend is a writer operation of a Windower (like EvictBefore): it
+// must not race with Window/SharedWindow/Row calls on the same Windower
 // (previously returned windows and marginal rows stay valid).
 func (w *Windower) Extend(m2 *Sequence) {
 	v := m2.View()
-	old := len(w.alpha)
+	old := w.Len()
 	if v.N < old || v.K != w.m.Nodes.Size() {
 		panic(fmt.Sprintf("markov: Windower.Extend sequence (n=%d, k=%d) does not extend the current one (n=%d)", v.N, v.K, old))
 	}
 	for i := old; i < v.N; i++ {
 		row := make([]float64, v.K)
 		st := &v.Steps[i-1]
-		prev := w.alpha[i-1]
+		prev := w.Row(i - 1)
 		for s := 0; s < v.K; s++ {
 			ps := prev[s]
 			if ps == 0 {
@@ -90,7 +90,7 @@ func (w *Windower) Extend(m2 *Sequence) {
 				row[st.Col[e]] += ps * st.Val[e]
 			}
 		}
-		w.alpha = append(w.alpha, row)
+		w.rows = append(w.rows, row)
 	}
 	w.m = m2
 }

@@ -1,0 +1,66 @@
+package markov
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"markovseq/internal/automata"
+)
+
+// TestWindowerEvictBefore pins the resident-suffix contract: evicted
+// rows panic on access, surviving rows are untouched, Extend still seeds
+// from the (always kept) final row, and windows opened at or after the
+// eviction bound are bit-identical to an unevicted windower's.
+func TestWindowerEvictBefore(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	const n = 40
+	ab := automata.MustAlphabet("a", "b", "c")
+	full := Random(ab, n, 0.8, rng)
+	w := full.Windower()
+	fresh := full.Windower()
+
+	if w.Resident() != n || w.Len() != n {
+		t.Fatalf("fresh windower: resident %d, len %d, want %d", w.Resident(), w.Len(), n)
+	}
+	w.EvictBefore(10)
+	if w.Resident() != n-10 || w.Len() != n {
+		t.Fatalf("after EvictBefore(10): resident %d, len %d", w.Resident(), w.Len())
+	}
+	// Idempotent / monotone: a lower bound is a no-op.
+	w.EvictBefore(4)
+	if w.Resident() != n-10 {
+		t.Fatalf("EvictBefore went backwards: resident %d", w.Resident())
+	}
+	for i := 10; i < n; i++ {
+		if !reflect.DeepEqual(w.Row(i), fresh.Row(i)) {
+			t.Fatalf("surviving row %d changed under eviction", i)
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Row(9) after EvictBefore(10) should panic")
+			}
+		}()
+		w.Row(9)
+	}()
+	if got, want := w.SharedWindow(11, 20), fresh.SharedWindow(11, 20); !reflect.DeepEqual(got.Initial, want.Initial) {
+		t.Fatal("window initial differs after eviction")
+	}
+
+	// The final row survives even an over-large bound, so Extend works.
+	w.EvictBefore(n + 5)
+	if w.Resident() != 1 {
+		t.Fatalf("resident after full eviction = %d, want 1", w.Resident())
+	}
+	grown, err := full.Extended([][][]float64{Random(ab, 2, 0.8, rng).TransAt(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Extend(grown)
+	fresh2 := grown.Windower()
+	if !reflect.DeepEqual(w.Row(n), fresh2.Row(n)) {
+		t.Fatal("marginal extended from an evicted windower differs from a full forward pass")
+	}
+}

@@ -478,29 +478,71 @@ func (m *Sequence) Window(i, j int) *Sequence {
 // Windower extracts window marginals of one sequence with the forward
 // marginals precomputed once: each Window call costs only the per-window
 // copy, not the O(n·|Σ|²) forward pass. A Windower is safe for
-// concurrent readers; Extend (append.go) is its single writer and must
-// be serialized against them by the caller.
+// concurrent readers; Extend and EvictBefore (append.go and below) are
+// its writer operations and must be serialized against them by the
+// caller.
+//
+// On an append-only stream the marginal table would otherwise grow one
+// row per event forever; the table is therefore stored as a resident
+// suffix (rows, offset by base) indexed by absolute position, and
+// EvictBefore reclaims rows older than every window a caught-up cursor
+// can still open. A Windower implements kernel.Marginals.
 type Windower struct {
-	m     *Sequence
-	alpha [][]float64
+	m    *Sequence
+	rows [][]float64 // rows[d] is the marginal of position base+d+1
+	base int         // absolute index of rows[0]
 }
 
 // Windower returns a window extractor with the forward marginals of m
 // precomputed.
 func (m *Sequence) Windower() *Windower {
-	return &Windower{m: m, alpha: m.Forward()}
+	return &Windower{m: m, rows: m.Forward()}
 }
 
 // Window returns the marginal sequence of positions i..j (1-based,
-// inclusive), exactly as Sequence.Window.
+// inclusive), exactly as Sequence.Window. The window-initial marginal
+// must still be resident (not reclaimed by EvictBefore).
 func (w *Windower) Window(i, j int) *Sequence {
-	return windowWith(w.m, w.alpha, i, j)
+	return windowWithRow(w.m, w.Row(i-1), i, j)
 }
 
-// Marginals returns the precomputed forward marginals: Marginals()[i] is
-// the distribution of S_{i+1}. The slice and its rows are shared —
-// callers must treat them as read-only.
-func (w *Windower) Marginals() [][]float64 { return w.alpha }
+// Row returns the forward marginal of position i+1 (the distribution of
+// S_{i+1}); read-only. It panics when row i was reclaimed by
+// EvictBefore.
+func (w *Windower) Row(i int) []float64 {
+	if i < w.base {
+		panic(fmt.Sprintf("markov: marginal row %d evicted (resident from %d)", i, w.base))
+	}
+	return w.rows[i-w.base]
+}
+
+// Len returns the number of stream positions covered (independent of
+// eviction).
+func (w *Windower) Len() int { return w.base + len(w.rows) }
+
+// Resident returns the number of marginal rows currently held — the
+// quantity EvictBefore keeps bounded on a caught-up stream.
+func (w *Windower) Resident() int { return len(w.rows) }
+
+// EvictBefore reclaims every marginal row with absolute index < i; later
+// Row calls below i panic. The final row is always kept (Extend seeds
+// the appended marginals from it), so i is clamped to Len()-1.
+// EvictBefore is a writer operation, like Extend.
+func (w *Windower) EvictBefore(i int) {
+	if max := w.Len() - 1; i > max {
+		i = max
+	}
+	d := i - w.base
+	if d <= 0 {
+		return
+	}
+	n := copy(w.rows, w.rows[d:])
+	for j := n; j < len(w.rows); j++ {
+		w.rows[j] = nil
+	}
+	w.rows = w.rows[:n]
+	w.base = i
+}
 
 // SharedWindow returns the same marginal sequence as Window but without
 // copying: the transition matrices alias the parent sequence and the
@@ -520,7 +562,7 @@ func (w *Windower) SharedWindow(i, j int) *Sequence {
 	}
 	out := &Sequence{
 		Nodes:   m.Nodes,
-		Initial: append([]float64(nil), w.alpha[i-1]...),
+		Initial: append([]float64(nil), w.Row(i-1)...),
 		Trans:   m.Trans[i-1 : j-1 : j-1],
 	}
 	out.view.Store(m.View().Slice(i, j, out.Initial))
@@ -531,8 +573,15 @@ func windowWith(m *Sequence, alpha [][]float64, i, j int) *Sequence {
 	if i < 1 || j > m.Len() || i > j {
 		panic(fmt.Sprintf("markov: window [%d,%d] out of range [1,%d]", i, j, m.Len()))
 	}
+	return windowWithRow(m, alpha[i-1], i, j)
+}
+
+func windowWithRow(m *Sequence, initial []float64, i, j int) *Sequence {
+	if i < 1 || j > m.Len() || i > j {
+		panic(fmt.Sprintf("markov: window [%d,%d] out of range [1,%d]", i, j, m.Len()))
+	}
 	out := New(m.Nodes, j-i+1)
-	copy(out.Initial, alpha[i-1])
+	copy(out.Initial, initial)
 	for p := i; p < j; p++ {
 		copyMatrix(out.Trans[p-i], m.Trans[p-1])
 	}

@@ -16,9 +16,11 @@ import (
 type Option func(*config)
 
 type config struct {
-	workers int
-	ckCap   int
-	nt      *kernel.NFATables
+	workers    int
+	ckCap      int
+	nt         *kernel.NFATables
+	exhaustive bool
+	bounds     *kernel.Bounds
 }
 
 // WithWorkers bounds the enumerator's speculative-resolution pool;
@@ -33,6 +35,18 @@ func WithTables(nt *kernel.NFATables) Option { return func(c *config) { c.nt = n
 // WithCheckpointCap bounds the prefix-checkpoint LRU (in checkpoints).
 func WithCheckpointCap(n int) Option { return func(c *config) { c.ckCap = n } }
 
+// WithExhaustive disables weight-pushed pruning, keeping the exhaustive
+// frontier sweep. The pruned kernel is bit-identical to it by
+// construction; this option exists as the differential reference and as
+// an escape hatch.
+func WithExhaustive() Option { return func(c *config) { c.exhaustive = true } }
+
+// WithBounds supplies pre-computed weight-pushed potentials for the
+// evaluator's (tables, sequence) pair, sharing one backward sweep across
+// evaluators and probes (core.Engine builds them once per binding).
+// Without it the evaluator computes its own on first use.
+func WithBounds(b *kernel.Bounds) Option { return func(c *config) { c.bounds = b } }
+
 const defaultCheckpointCap = 32
 
 // Evaluator owns the constraint-incremental machinery for one
@@ -46,6 +60,13 @@ type Evaluator struct {
 	nt    *kernel.NFATables
 	v     *kernel.SeqView
 	cache ckptCache
+
+	// bounds are the weight-pushed potentials driving checkpoint gating
+	// and resume pruning; nil when WithExhaustive selected the reference
+	// sweep. Built lazily (one backward pass) unless supplied.
+	exhaustive bool
+	boundsOnce sync.Once
+	bounds     *kernel.Bounds
 }
 
 // NewEvaluator builds an evaluator for t over m. WithTables reuses
@@ -59,13 +80,31 @@ func NewEvaluator(t *transducer.Transducer, m *markov.Sequence, opts ...Option) 
 	if nt == nil {
 		nt = kernel.NewNFATables(t)
 	}
-	ev := &Evaluator{t: t, m: m, nt: nt, v: m.View()}
+	ev := &Evaluator{t: t, m: m, nt: nt, v: m.View(), exhaustive: cfg.exhaustive}
+	if !ev.exhaustive && cfg.bounds != nil {
+		ev.bounds = cfg.bounds
+		ev.boundsOnce.Do(func() {})
+	}
 	ev.cache.init(cfg.ckCap)
 	return ev
 }
 
 // Tables returns the evaluator's base transducer tables.
 func (ev *Evaluator) Tables() *kernel.NFATables { return ev.nt }
+
+// Bounds returns the evaluator's weight-pushed potentials, computing
+// them on first use; nil in exhaustive mode.
+func (ev *Evaluator) Bounds() *kernel.Bounds {
+	if ev.exhaustive {
+		return nil
+	}
+	ev.boundsOnce.Do(func() { ev.bounds = kernel.NewBounds(ev.nt, ev.v) })
+	return ev.bounds
+}
+
+// PruneStats reports the pruning-efficacy counters accumulated by the
+// evaluator's kernel calls (all zero in exhaustive mode).
+func (ev *Evaluator) PruneStats() kernel.PruneStats { return ev.bounds.Stats() }
 
 // checkpoint returns the cached checkpoint aligned to align, building
 // and caching it on a miss. Concurrent misses for the same alignment
@@ -101,7 +140,7 @@ func (ev *Evaluator) checkpointCtx(ctx context.Context, align []automata.Symbol)
 				return nil, ctx.Err()
 			}
 		}
-		ck, err := kernel.BuildCheckpointCtx(ctx, ev.nt, ev.v, align, nil)
+		ck, err := kernel.BuildCheckpointBoundedCtx(ctx, ev.nt, ev.v, align, ev.Bounds(), nil)
 		if err != nil {
 			ev.cache.fail(key, build)
 			close(build.done)
@@ -128,7 +167,7 @@ func (ev *Evaluator) resolveCtx(ctx context.Context, c transducer.Constraint, al
 	if err != nil {
 		return nil, nil, math.Inf(-1), false, err
 	}
-	out, nodes, _, logE, ok, err = kernel.ResumeConstrainedCtx(ctx, ev.nt, ev.v, ck, c, nil)
+	out, nodes, _, logE, ok, err = kernel.ResumeConstrainedBoundedCtx(ctx, ev.nt, ev.v, ck, c, ev.Bounds(), nil)
 	return out, nodes, logE, ok, err
 }
 

@@ -1,0 +1,51 @@
+// Benchmark pair for the weight-pushed pruned kernel: the same RFID
+// top-10 drain through the default (bounded) path and the exhaustive
+// reference, feeding `make bench` / BENCH_ranked.json. The evaluator is
+// rebuilt per iteration, so each iteration pays the full serving cost
+// including the one-time backward potential sweep — the speedup shown
+// is the end-to-end one a cold query sees. The pruning-efficacy
+// counters (cells pruned, cells visited, occupancy) land in the
+// result's "extra" map for EXPERIMENTS.md and cmd/benchcmp.
+package ranked
+
+import (
+	"testing"
+)
+
+// benchPrunedDrain drains the top-benchTopK answers of the n=200 RFID
+// workload once per iteration and reports the final iteration's
+// pruning counters.
+func benchPrunedDrain(b *testing.B, opts ...Option) {
+	tr, m := rfidRankedWorkload(b, 200)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var ev *Evaluator
+	for i := 0; i < b.N; i++ {
+		ev = NewEvaluator(tr, m, opts...)
+		if got := drainAnswers(ev.Enumerate(1).Next, benchTopK); len(got) < benchTopK {
+			b.Fatalf("drained %d answers, want %d", len(got), benchTopK)
+		}
+	}
+	st := ev.PruneStats()
+	b.ReportMetric(float64(st.PrunedCells), "pruned-cells/op")
+	b.ReportMetric(float64(st.VisitedCells), "visited-cells/op")
+	if total := st.PrunedCells + st.VisitedCells; total > 0 {
+		b.ReportMetric(float64(st.PrunedCells)/float64(total)*100, "pruned-pct")
+	}
+}
+
+func BenchmarkRankedPruned(b *testing.B)     { benchPrunedDrain(b) }
+func BenchmarkRankedExhaustive(b *testing.B) { benchPrunedDrain(b, WithExhaustive()) }
+
+// TestPrunedBenchWorkloadSmoke keeps the benchmark pair honest under
+// plain `go test`: both paths emit the identical top-10 on the n=200
+// workload the speedup is quoted for.
+func TestPrunedBenchWorkloadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("n=200 drain in -short mode")
+	}
+	tr, m := rfidRankedWorkload(t, 200)
+	got := drainAnswers(NewEnumerator(tr, m).Next, benchTopK)
+	want := drainAnswers(NewEnumerator(tr, m, WithExhaustive()).Next, benchTopK)
+	assertSameAnswerSequence(t, "rfid n=200 top-10", got, want)
+}

@@ -183,13 +183,14 @@ type Enumerator struct {
 }
 
 // NewEnumerator prepares the decreasing-E_max enumeration of the answers
-// of t over m. Options: WithWorkers, WithTables, WithCheckpointCap.
+// of t over m. Options: WithWorkers, WithTables, WithCheckpointCap,
+// WithExhaustive, WithBounds.
 func NewEnumerator(t *transducer.Transducer, m *markov.Sequence, opts ...Option) *Enumerator {
 	cfg := config{ckCap: defaultCheckpointCap}
 	for _, o := range opts {
 		o(&cfg)
 	}
-	ev := NewEvaluator(t, m, WithTables(cfg.nt), WithCheckpointCap(cfg.ckCap))
+	ev := NewEvaluator(t, m, opts...)
 	return ev.Enumerate(cfg.workers)
 }
 

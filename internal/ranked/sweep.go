@@ -36,6 +36,14 @@ type Sweeper struct {
 	// ring holds this window's checkpoints; at most k+1 entries are ever
 	// live, so TopK sizes it once and lookups are a short linear scan.
 	ring []sweepCkpt
+	// b holds the weight-pushed potential storage, rebuilt in place each
+	// TopK (one backward max-plus pass, amortized by the k-answer drain
+	// it then prunes); cur is b when the current window is long enough
+	// for pruning to pay for the backward pass, nil otherwise (and
+	// always nil in exhaustive mode).
+	b          *kernel.Bounds
+	cur        *kernel.Bounds
+	exhaustive bool
 }
 
 type sweepCkpt struct {
@@ -55,8 +63,12 @@ func NewSweeper(t *transducer.Transducer, opts ...Option) *Sweeper {
 	if nt == nil {
 		nt = kernel.NewNFATables(t)
 	}
-	return &Sweeper{t: t, nt: nt}
+	return &Sweeper{t: t, nt: nt, exhaustive: cfg.exhaustive}
 }
+
+// PruneStats reports the pruning-efficacy counters accumulated across
+// the sweeper's windows (zero in exhaustive mode).
+func (s *Sweeper) PruneStats() kernel.PruneStats { return s.b.Stats() }
 
 func sameAlign(a, b []automata.Symbol) bool {
 	if len(a) != len(b) {
@@ -76,7 +88,7 @@ func (s *Sweeper) checkpoint(ctx context.Context, v *kernel.SeqView, align []aut
 			return s.ring[i].ck, nil
 		}
 	}
-	ck, err := kernel.BuildCheckpointCtx(ctx, s.nt, v, align, &s.sc)
+	ck, err := kernel.BuildCheckpointBoundedCtx(ctx, s.nt, v, align, s.cur, &s.sc)
 	if err != nil {
 		return nil, err
 	}
@@ -108,6 +120,11 @@ func (s *Sweeper) TopK(ctx context.Context, m *markov.Sequence, k int) ([]Answer
 	if cap(s.ring) < k+1 {
 		s.ring = make([]sweepCkpt, 0, k+1)
 	}
+	s.cur = nil
+	if !s.exhaustive && v.N >= kernel.BoundsMinN {
+		s.b = kernel.NewBoundsInto(s.b, s.nt, v)
+		s.cur = s.b
+	}
 	en := lawler.New(lawler.Config[Answer]{
 		Root: transducer.Unconstrained(),
 		Resolve: func(ctx context.Context, c transducer.Constraint, parent Answer, root bool) (Answer, float64, bool, error) {
@@ -119,7 +136,7 @@ func (s *Sweeper) TopK(ctx context.Context, m *markov.Sequence, k int) ([]Answer
 			if err != nil {
 				return Answer{}, 0, false, err
 			}
-			o, _, _, logE, ok, err := kernel.ResumeConstrainedCtx(ctx, s.nt, v, ck, c, &s.sc)
+			o, _, _, logE, ok, err := kernel.ResumeConstrainedBoundedCtx(ctx, s.nt, v, ck, c, s.cur, &s.sc)
 			return Answer{Output: o, LogEmax: logE}, logE, ok, err
 		},
 		Children: func(c transducer.Constraint, top Answer) []transducer.Constraint {

@@ -1,0 +1,295 @@
+package transducer
+
+import (
+	"fmt"
+	"sort"
+
+	"markovseq/internal/automata"
+)
+
+// This file holds prepare-time query preprocessing: trimming dead
+// states, subset determinization, and minimization of the query
+// automaton. All three preserve the transduction relation — the set of
+// (input, output) pairs and therefore every E_max value and confidence —
+// exactly: path scores come from the Markov sequence alone (the
+// automaton carries no weights), so reshaping the state space cannot
+// perturb a single probability. Only the identity of internal states
+// changes, which the kernels never expose.
+
+// Trim removes states that are unreachable from the start state or
+// cannot reach an accepting state. The start state is always kept (a
+// transducer with an empty language trims to its start state alone).
+// The second result reports whether anything was removed; when false,
+// the receiver itself is returned.
+func Trim(t *Transducer) (*Transducer, bool) {
+	n := t.NumStates()
+	syms := t.In.Symbols()
+	reach := make([]bool, n)
+	stack := []int{t.Start()}
+	reach[t.Start()] = true
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range syms {
+			for _, q2 := range t.Succ(q, s) {
+				if !reach[q2] {
+					reach[q2] = true
+					stack = append(stack, q2)
+				}
+			}
+		}
+	}
+	// Co-reachability over the reversed graph.
+	pred := make([][]int, n)
+	for q := 0; q < n; q++ {
+		for _, s := range syms {
+			for _, q2 := range t.Succ(q, s) {
+				pred[q2] = append(pred[q2], q)
+			}
+		}
+	}
+	co := make([]bool, n)
+	for q := 0; q < n; q++ {
+		if t.Accepting(q) {
+			co[q] = true
+			stack = append(stack, q)
+		}
+	}
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range pred[q] {
+			if !co[p] {
+				co[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	keep := make([]int, n) // old id -> new id, -1 when dropped
+	kept := 0
+	for q := 0; q < n; q++ {
+		if (reach[q] && co[q]) || q == t.Start() {
+			keep[q] = kept
+			kept++
+		} else {
+			keep[q] = -1
+		}
+	}
+	if kept == n {
+		return t, false
+	}
+	t2 := New(t.In, t.Out, kept, keep[t.Start()])
+	for q := 0; q < n; q++ {
+		if keep[q] < 0 {
+			continue
+		}
+		t2.SetAccepting(keep[q], t.Accepting(q))
+		for _, s := range syms {
+			for _, q2 := range t.Succ(q, s) {
+				if keep[q2] < 0 {
+					continue
+				}
+				t2.AddTransition(keep[q], s, keep[q2], t.Emit(q, s, q2))
+			}
+		}
+	}
+	return t2, true
+}
+
+// determinizeCap bounds the subset-construction blowup: preprocessing is
+// an optimization, so a query whose determinization explodes simply
+// stays nondeterministic.
+const determinizeCap = 4096
+
+// Determinize applies the subset construction to the query automaton.
+// It fails when the transducer is not emission-determinizable — two
+// transitions reachable in the same subset on the same input symbol emit
+// different strings, so no deterministic transducer over the same state
+// discipline produces the relation — or when the construction exceeds
+// determinizeCap states. A transducer that is already deterministic is
+// returned as-is.
+func Determinize(t *Transducer) (*Transducer, error) {
+	if t.IsDeterministic() {
+		return t, nil
+	}
+	syms := t.In.Symbols()
+	type subset struct {
+		key string
+		ids []int
+	}
+	keyOf := func(ids []int) string {
+		b := make([]byte, 0, 4*len(ids))
+		for _, q := range ids {
+			b = append(b, byte(q), byte(q>>8), byte(q>>16), byte(q>>24))
+		}
+		return string(b)
+	}
+	start := subset{ids: []int{t.Start()}}
+	start.key = keyOf(start.ids)
+	index := map[string]int{start.key: 0}
+	subsets := []subset{start}
+	type edge struct {
+		from int
+		sym  automata.Symbol
+		to   int
+		emit []automata.Symbol
+	}
+	var edges []edge
+	for qi := 0; qi < len(subsets); qi++ {
+		S := subsets[qi]
+		for _, s := range syms {
+			var emit []automata.Symbol
+			emitSet := false
+			var tgt []int
+			seen := map[int]bool{}
+			for _, q := range S.ids {
+				for _, q2 := range t.Succ(q, s) {
+					w := t.Emit(q, s, q2)
+					if !emitSet {
+						emit, emitSet = w, true
+					} else if !automata.EqualStrings(emit, w) {
+						return nil, fmt.Errorf("transducer: not emission-determinizable: subset transitions on symbol %d emit differently", s)
+					}
+					if !seen[q2] {
+						seen[q2] = true
+						tgt = append(tgt, q2)
+					}
+				}
+			}
+			if len(tgt) == 0 {
+				continue
+			}
+			sort.Ints(tgt)
+			k := keyOf(tgt)
+			ti, ok := index[k]
+			if !ok {
+				ti = len(subsets)
+				if ti >= determinizeCap {
+					return nil, fmt.Errorf("transducer: determinization exceeds %d states", determinizeCap)
+				}
+				index[k] = ti
+				subsets = append(subsets, subset{key: k, ids: tgt})
+			}
+			edges = append(edges, edge{from: qi, sym: s, to: ti, emit: emit})
+		}
+	}
+	t2 := New(t.In, t.Out, len(subsets), 0)
+	for i, S := range subsets {
+		for _, q := range S.ids {
+			if t.Accepting(q) {
+				t2.SetAccepting(i, true)
+				break
+			}
+		}
+	}
+	for _, e := range edges {
+		t2.AddTransition(e.from, e.sym, e.to, e.emit)
+	}
+	return t2, nil
+}
+
+// Minimize merges equivalent states of a deterministic transducer by
+// partition refinement: states are split by acceptance, then repeatedly
+// by their per-symbol (target class, emission) signature until stable —
+// the emission-aware analogue of Moore/Hopcroft DFA minimization. It
+// errors on nondeterministic input (Determinize first).
+func Minimize(t *Transducer) (*Transducer, error) {
+	if !t.IsDeterministic() {
+		return nil, fmt.Errorf("transducer: Minimize requires a deterministic transducer")
+	}
+	n := t.NumStates()
+	syms := t.In.Symbols()
+	class := make([]int, n)
+	for q := 0; q < n; q++ {
+		if t.Accepting(q) {
+			class[q] = 1
+		}
+	}
+	numClasses := 2
+	sig := make([]string, n)
+	for {
+		for q := 0; q < n; q++ {
+			b := make([]byte, 0, 16)
+			b = append(b, byte(class[q]), byte(class[q]>>8))
+			for _, s := range syms {
+				succ := t.Succ(q, s)
+				if len(succ) == 0 {
+					b = append(b, 0xff, 0xff)
+					continue
+				}
+				c := class[succ[0]]
+				b = append(b, byte(c), byte(c>>8))
+				for _, o := range t.Emit(q, s, succ[0]) {
+					b = append(b, byte(o), byte(o>>8))
+				}
+				b = append(b, 0xfe, 0xfe)
+			}
+			sig[q] = string(b)
+		}
+		index := map[string]int{}
+		next := make([]int, n)
+		for q := 0; q < n; q++ {
+			c, ok := index[sig[q]]
+			if !ok {
+				c = len(index)
+				index[sig[q]] = c
+			}
+			next[q] = c
+		}
+		if len(index) == numClasses {
+			class = next
+			break
+		}
+		numClasses = len(index)
+		class = next
+	}
+	if numClasses == n {
+		return t, nil
+	}
+	// Renumber classes so the start state's class is its first member's
+	// order of appearance — any stable numbering works; use first-seen.
+	t2 := New(t.In, t.Out, numClasses, class[t.Start()])
+	done := make([]bool, numClasses)
+	for q := 0; q < n; q++ {
+		c := class[q]
+		if done[c] {
+			continue
+		}
+		done[c] = true
+		t2.SetAccepting(c, t.Accepting(q))
+		for _, s := range syms {
+			for _, q2 := range t.Succ(q, s) {
+				t2.AddTransition(c, s, class[q2], t.Emit(q, s, q2))
+			}
+		}
+	}
+	return t2, nil
+}
+
+// Preprocess is the default prepare-time pipeline: trimming only, which
+// is unconditionally safe (removed states never touch a surviving
+// frontier cell, so even tie-breaking is unchanged).
+func Preprocess(t *Transducer) *Transducer {
+	t2, _ := Trim(t)
+	return t2
+}
+
+// DeterminizeMinimize is the aggressive opt-in pipeline: trim, subset
+// determinization, then minimization. The transduction relation — and
+// with it every answer and score — is preserved exactly; only the order
+// among exactly-tied answers may differ from the nondeterministic
+// original, since tie-breaking follows state identity. The original
+// transducer is returned with the error when a stage fails.
+func DeterminizeMinimize(t *Transducer) (*Transducer, error) {
+	t2, _ := Trim(t)
+	t2, err := Determinize(t2)
+	if err != nil {
+		return t, err
+	}
+	t2, err = Minimize(t2)
+	if err != nil {
+		return t, err
+	}
+	t3, _ := Trim(t2)
+	return t3, nil
+}

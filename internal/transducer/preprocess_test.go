@@ -1,0 +1,225 @@
+package transducer_test
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"markovseq/internal/automata"
+	"markovseq/internal/transducer"
+)
+
+// relationOf collects the full transduction relation restricted to
+// inputs of length ≤ maxLen: for every input string, the sorted set of
+// outputs. The preprocessing passes must preserve this map exactly.
+func relationOf(t *transducer.Transducer, maxLen int) map[string][]string {
+	rel := map[string][]string{}
+	syms := t.In.Symbols()
+	var walk func(prefix []automata.Symbol)
+	walk = func(prefix []automata.Symbol) {
+		outs := map[string]bool{}
+		for _, o := range t.Transduce(prefix, 0) {
+			outs[automata.StringKey(o)] = true
+		}
+		if len(outs) > 0 {
+			var sorted []string
+			for k := range outs {
+				sorted = append(sorted, k)
+			}
+			sort.Strings(sorted)
+			rel[automata.StringKey(prefix)] = sorted
+		}
+		if len(prefix) == maxLen {
+			return
+		}
+		for _, s := range syms {
+			walk(append(prefix, s))
+		}
+	}
+	walk(nil)
+	return rel
+}
+
+// randomJunkyTransducer draws a small nondeterministic transducer and
+// then pads it with unreachable and dead states, so Trim has real work.
+func randomJunkyTransducer(rng *rand.Rand) *transducer.Transducer {
+	in := automata.MustAlphabet("a", "b")
+	out := automata.MustAlphabet("x", "y")
+	live := 1 + rng.Intn(3)
+	junk := 1 + rng.Intn(3)
+	n := live + junk
+	tr := transducer.New(in, out, n, 0)
+	for q := 0; q < live; q++ {
+		tr.SetAccepting(q, rng.Intn(2) == 0)
+		for _, s := range in.Symbols() {
+			for e := 0; e < 1+rng.Intn(2); e++ {
+				var emit []automata.Symbol
+				if rng.Intn(2) == 0 {
+					emit = []automata.Symbol{automata.Symbol(rng.Intn(out.Size()))}
+				}
+				tr.AddTransition(q, s, rng.Intn(live), emit)
+			}
+		}
+	}
+	tr.SetAccepting(0, true)
+	// Junk: a dead sink reachable from the start (never accepting, no way
+	// back) and a fully unreachable accepting component.
+	tr.AddTransition(0, 0, live, nil)
+	for q := live; q < n; q++ {
+		tr.SetAccepting(q, q > live)
+		tr.AddTransition(q, 1, q, nil)
+	}
+	return tr
+}
+
+// TestTrimPreservesRelation: trimming must drop states without touching
+// the transduction relation, and report removal truthfully.
+func TestTrimPreservesRelation(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(41000 + trial)))
+		tr := randomJunkyTransducer(rng)
+		want := relationOf(tr, 4)
+		trimmed, removed := transducer.Trim(tr)
+		if !removed {
+			t.Fatalf("trial %d: junk states survived Trim", trial)
+		}
+		if trimmed.NumStates() >= tr.NumStates() {
+			t.Fatalf("trial %d: Trim kept %d of %d states", trial, trimmed.NumStates(), tr.NumStates())
+		}
+		if got := relationOf(trimmed, 4); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: relation changed under Trim", trial)
+		}
+		// Idempotent: a trimmed transducer trims to itself.
+		again, removed := transducer.Trim(trimmed)
+		if removed || again != trimmed {
+			t.Fatalf("trial %d: Trim is not idempotent", trial)
+		}
+	}
+}
+
+// TestTrimEmptyLanguage: a transducer with no accepting state trims to
+// its start state alone instead of an invalid zero-state machine.
+func TestTrimEmptyLanguage(t *testing.T) {
+	in := automata.MustAlphabet("a")
+	out := automata.MustAlphabet("x")
+	tr := transducer.New(in, out, 3, 0)
+	tr.AddTransition(0, 0, 1, nil)
+	tr.AddTransition(1, 0, 2, nil)
+	trimmed, removed := transducer.Trim(tr)
+	if !removed || trimmed.NumStates() != 1 || trimmed.Start() != 0 {
+		t.Fatalf("empty-language trim: removed=%v states=%d", removed, trimmed.NumStates())
+	}
+}
+
+// emissionUniformNFA draws a nondeterministic transducer whose emission
+// depends only on the input symbol — the emission-determinizable family
+// the subset construction must handle.
+func emissionUniformNFA(rng *rand.Rand) *transducer.Transducer {
+	in := automata.MustAlphabet("a", "b")
+	out := automata.MustAlphabet("x", "y")
+	n := 2 + rng.Intn(3)
+	tr := transducer.New(in, out, n, 0)
+	emitOf := map[automata.Symbol][]automata.Symbol{}
+	for _, s := range in.Symbols() {
+		if rng.Intn(2) == 0 {
+			emitOf[s] = []automata.Symbol{automata.Symbol(rng.Intn(out.Size()))}
+		}
+	}
+	for q := 0; q < n; q++ {
+		tr.SetAccepting(q, rng.Intn(2) == 0)
+		for _, s := range in.Symbols() {
+			for e := 0; e < 1+rng.Intn(2); e++ {
+				tr.AddTransition(q, s, rng.Intn(n), emitOf[s])
+			}
+		}
+	}
+	tr.SetAccepting(n-1, true)
+	return tr
+}
+
+// TestDeterminizeMinimizePreservesRelation: the aggressive pipeline must
+// produce a deterministic transducer with the identical transduction
+// relation, never larger than the subset construction's input blowup.
+func TestDeterminizeMinimizePreservesRelation(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(42000 + trial)))
+		tr := emissionUniformNFA(rng)
+		want := relationOf(tr, 4)
+		dm, err := transducer.DeterminizeMinimize(tr)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !dm.IsDeterministic() {
+			t.Fatalf("trial %d: pipeline output is nondeterministic", trial)
+		}
+		if got := relationOf(dm, 4); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: relation changed under DeterminizeMinimize", trial)
+		}
+	}
+}
+
+// TestDeterminizeRejectsNonUniform: two same-symbol transitions with
+// different emissions reachable in one subset are not
+// emission-determinizable; Determinize must say so and
+// DeterminizeMinimize must fall back to the original transducer.
+func TestDeterminizeRejectsNonUniform(t *testing.T) {
+	in := automata.MustAlphabet("a")
+	out := automata.MustAlphabet("x", "y")
+	tr := transducer.New(in, out, 3, 0)
+	tr.SetAccepting(1, true)
+	tr.SetAccepting(2, true)
+	tr.AddTransition(0, 0, 1, []automata.Symbol{0})
+	tr.AddTransition(0, 0, 2, []automata.Symbol{1})
+	if _, err := transducer.Determinize(tr); err == nil {
+		t.Fatal("Determinize accepted an emission-nonuniform transducer")
+	}
+	got, err := transducer.DeterminizeMinimize(tr)
+	if err == nil || got != tr {
+		t.Fatalf("DeterminizeMinimize must return the original with the error, got (%p, %v)", got, err)
+	}
+}
+
+// TestMinimizeMergesEquivalentStates: duplicated deterministic states
+// collapse, and a deterministic input passes Determinize through
+// untouched.
+func TestMinimizeMergesEquivalentStates(t *testing.T) {
+	in := automata.MustAlphabet("a", "b")
+	out := automata.MustAlphabet("x")
+	// Two copies of the same accepting loop hanging off the start.
+	tr := transducer.New(in, out, 3, 0)
+	tr.SetAccepting(1, true)
+	tr.SetAccepting(2, true)
+	tr.AddTransition(0, 0, 1, []automata.Symbol{0})
+	tr.AddTransition(0, 1, 2, []automata.Symbol{0})
+	tr.AddTransition(1, 0, 1, nil)
+	tr.AddTransition(2, 0, 2, nil)
+	if d, err := transducer.Determinize(tr); err != nil || d != tr {
+		t.Fatalf("deterministic input must pass through Determinize, got (%p, %v)", d, err)
+	}
+	want := relationOf(tr, 4)
+	min, err := transducer.Minimize(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min.NumStates() >= tr.NumStates() {
+		t.Fatalf("Minimize kept %d of %d states", min.NumStates(), tr.NumStates())
+	}
+	if got := relationOf(min, 4); !reflect.DeepEqual(got, want) {
+		t.Fatal("relation changed under Minimize")
+	}
+}
+
+// TestPreprocessReturnsReceiverWhenClean: a transducer with nothing to
+// trim preprocesses to itself — the identity the core layer relies on to
+// reuse prebuilt tables.
+func TestPreprocessReturnsReceiverWhenClean(t *testing.T) {
+	in := automata.MustAlphabet("a")
+	out := automata.MustAlphabet("x")
+	tr := transducer.New(in, out, 1, 0)
+	tr.SetAccepting(0, true)
+	tr.AddTransition(0, 0, 0, []automata.Symbol{0})
+	if got := transducer.Preprocess(tr); got != tr {
+		t.Fatal("Preprocess copied a transducer with nothing to trim")
+	}
+}
