@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench benchcmp bench-all experiments examples fuzz fuzz-smoke verify clean
+.PHONY: all build test race cover bench benchcmp bench-all bench-profile experiments examples fuzz fuzz-smoke verify clean
 
 all: build test
 
@@ -78,6 +78,24 @@ verify: race fuzz-smoke
 			$(MAKE) benchcmp OLD=$$base NEW=$$new MATCH="$$match" || exit 1; \
 		fi; \
 	done
+
+# CPU/heap profiles for the hot benchmark named in PROFILE_BENCH (one
+# iteration count high enough for a stable profile), dropped under
+# prof/ together with a pprof top-20 summary of each. This is the loop
+# that drove the PR 8 checkpoint work: profile, read the top entries,
+# attack the widest box, re-measure.
+#
+#   make bench-profile
+#   make bench-profile PROFILE_BENCH=RankedExhaustive PROFILE_PKG=./internal/ranked/
+PROFILE_BENCH ?= RankedPruned$$
+PROFILE_PKG ?= ./internal/ranked/
+bench-profile:
+	mkdir -p prof
+	$(GO) test -run '^$$' -bench '$(PROFILE_BENCH)' -benchmem \
+		-cpuprofile prof/cpu.out -memprofile prof/mem.out \
+		-o prof/bench.test $(PROFILE_PKG)
+	$(GO) tool pprof -top -nodecount 20 prof/bench.test prof/cpu.out
+	$(GO) tool pprof -top -nodecount 20 -sample_index=alloc_space prof/bench.test prof/mem.out
 
 # The historical run-everything benchmark sweep (DESIGN.md §3 series).
 bench-all:

@@ -123,6 +123,7 @@ type prepConfig struct {
 	dense            bool
 	rankedWorkers    int
 	exhaustiveRanked bool
+	eagerCheckpoints bool
 	compactTables    bool
 }
 
@@ -152,6 +153,18 @@ func WithRankedWorkers(n int) PrepareOption {
 // cost more than the sweep it saves.
 func WithExhaustiveRanked() PrepareOption {
 	return func(c *prepConfig) { c.exhaustiveRanked = true }
+}
+
+// WithEagerCheckpoints disables the lazy materialization of ranked
+// prefix checkpoints: each checkpoint's exact-prefix DP is built when the
+// checkpoint is first requested rather than when a resolve first reads a
+// layer, while weight-pushed pruning stays active. Lazy handles resume
+// to bit-identical answers by construction (see kernel/constrained.go);
+// this option is a differential reference and an escape hatch for
+// callers that prefer build cost up front. Implied by
+// WithExhaustiveRanked.
+func WithEagerCheckpoints() PrepareOption {
+	return func(c *prepConfig) { c.eagerCheckpoints = true }
 }
 
 // WithCompactTables lets preparation pick the failure-transition
@@ -209,8 +222,10 @@ type Prepared struct {
 	baseNT *kernel.NFATables
 	// rankedWorkers bounds the enumerators' speculative resolution pool.
 	rankedWorkers int
-	// exhaustiveRanked pins the exhaustive (unpruned) ranked kernels.
+	// exhaustiveRanked pins the exhaustive (unpruned) ranked kernels;
+	// eagerCheckpoints pins eager checkpoint materialization.
 	exhaustiveRanked bool
+	eagerCheckpoints bool
 }
 
 // PrepareTransducer classifies a transducer query (the columns of
@@ -221,7 +236,7 @@ func PrepareTransducer(t *transducer.Transducer, opts ...PrepareOption) *Prepare
 	for _, o := range opts {
 		o(&cfg)
 	}
-	pr := &Prepared{t: t, dense: cfg.dense, rankedWorkers: cfg.rankedWorkers, exhaustiveRanked: cfg.exhaustiveRanked}
+	pr := &Prepared{t: t, dense: cfg.dense, rankedWorkers: cfg.rankedWorkers, exhaustiveRanked: cfg.exhaustiveRanked, eagerCheckpoints: cfg.eagerCheckpoints}
 	k, uniform := t.UniformK()
 	pr.uniformK, pr.hasUniform = k, uniform
 	switch {
@@ -281,7 +296,7 @@ func PrepareSProjector(p *sproj.SProjector, indexed bool, opts ...PrepareOption)
 	for _, o := range opts {
 		o(&cfg)
 	}
-	pr := &Prepared{p: p, et: p.ToTransducer(), indexed: indexed, rankedWorkers: cfg.rankedWorkers, exhaustiveRanked: cfg.exhaustiveRanked}
+	pr := &Prepared{p: p, et: p.ToTransducer(), indexed: indexed, rankedWorkers: cfg.rankedWorkers, exhaustiveRanked: cfg.exhaustiveRanked, eagerCheckpoints: cfg.eagerCheckpoints}
 	pr.pt = transducer.Preprocess(pr.et)
 	if cfg.compactTables {
 		pr.baseNT = kernel.NewNFATablesAuto(pr.pt)
@@ -316,6 +331,9 @@ func (pr *Prepared) sweeperOpts() []ranked.Option {
 	if pr.exhaustiveRanked {
 		opts = append(opts, ranked.WithExhaustive())
 	}
+	if pr.eagerCheckpoints {
+		opts = append(opts, ranked.WithEagerCheckpoints())
+	}
 	return opts
 }
 
@@ -347,7 +365,7 @@ func (pr *Prepared) BindValidated(m *markov.Sequence) (*Engine, error) {
 		m: m, t: pr.t, p: pr.p, et: pr.et, indexed: pr.indexed, plan: pr.plan,
 		dt: pr.dt, nt: pr.nt, uniformK: pr.uniformK, hasUniform: pr.hasUniform, dense: pr.dense,
 		pt: pr.pt, baseNT: pr.baseNT, rankedWorkers: pr.rankedWorkers,
-		exhaustiveRanked: pr.exhaustiveRanked,
+		exhaustiveRanked: pr.exhaustiveRanked, eagerCheckpoints: pr.eagerCheckpoints,
 	}, nil
 }
 
@@ -388,6 +406,7 @@ type Engine struct {
 	baseNT           *kernel.NFATables
 	rankedWorkers    int
 	exhaustiveRanked bool
+	eagerCheckpoints bool
 
 	// bounds are the weight-pushed potentials over (baseNT, sequence),
 	// built once on first ranked or membership use and shared by both
@@ -565,6 +584,9 @@ func (e *Engine) initTopCtx(ctx context.Context) error {
 			opts = append(opts, ranked.WithBounds(b))
 		} else {
 			opts = append(opts, ranked.WithExhaustive())
+		}
+		if e.eagerCheckpoints {
+			opts = append(opts, ranked.WithEagerCheckpoints())
 		}
 		it := ranked.NewEnumerator(e.pt, e.m, opts...)
 		e.topNext = func(ctx context.Context) (Answer, bool, error) {

@@ -3,7 +3,9 @@ package kernel
 import (
 	"context"
 	"math"
+	"slices"
 	"sync"
+	"sync/atomic"
 
 	"markovseq/internal/automata"
 	"markovseq/internal/transducer"
@@ -23,7 +25,19 @@ import (
 //     output so far is an exact prefix of an alignment string. Each
 //     per-position layer of active cells — scores plus backpointers into
 //     the previous layer — is retained, so the checkpoint is the whole
-//     constrained frontier history, sparse, in activation order.
+//     constrained frontier history, sparse, in activation order. Each
+//     layer additionally carries a z-bucket index (a counting sort of its
+//     cells by matched-prefix count), so a resume jumps straight to the
+//     cells at its constraint boundary instead of scanning the layer.
+//
+//   - NewLazyCheckpoint returns the same checkpoint as a thin handle with
+//     the DP deferred: nothing is relaxed until a resume first reads a
+//     layer, at which point the full DP is materialized once (measured on
+//     the ranked drains, Lawler children arrive at ascending prefix
+//     depths spanning the whole alignment, so partial z-capped builds
+//     were always rebuilt — the win of laziness is the checkpoints that
+//     are never touched at all: parents whose children never reach the
+//     queue front, and the last emitted answer of every drain).
 //
 //   - ResumeConstrained answers any prefix constraint whose prefix is a
 //     prefix of the alignment string without re-doing matched-zone work:
@@ -42,14 +56,23 @@ import (
 // resolving it against a checkpoint aligned to the prefix itself. That
 // invariant is what lets the parallel enumerator share an LRU of
 // checkpoints and still emit the exact sequence of the sequential one.
+// A lazy handle materializes the same DP the eager build would have, so
+// deferral is unobservable apart from when the work happens.
 //
 // Weight-pushed pruning (see pushing.go): when a Bounds is supplied, the
-// resume first enumerates every boundary-crossing candidate and reads
-// off a lower bound L on the constrained optimum (the potentials are
+// resume enumerates boundary-crossing candidates while maintaining a
+// running lower bound L on the constrained optimum (the potentials are
 // exact completions, so L is the optimum up to float association), then
 // runs the past-zone sweep skipping every cell whose score + potential
-// cannot reach L. This is exact and bit-identical to the exhaustive
-// sweep, ties included:
+// cannot reach L. Candidate selection is output-sensitive: a candidate
+// whose bound is already below the running threshold is dropped at
+// enumeration time rather than recorded — exact, because L only grows, so
+// anything below the running threshold is below the final one; and a
+// whole boundary cell is skipped before its edge fan-out when its
+// score + past-zone potential is below the threshold, since the backward
+// recurrence makes that an upper bound on every candidate the cell can
+// produce. This is exact and bit-identical to the exhaustive sweep, ties
+// included:
 //
 //   - each layer is sorted into canonical (increasing cell) order before
 //     expansion, so incumbents among equal scores are decided by cell
@@ -69,49 +92,154 @@ import (
 
 // ckLayer is one position's frontier snapshot: the active cells in
 // activation order, their best log scores, and for each the index of its
-// predecessor in the previous layer (-1 at position 0). The slices are
-// views into the checkpoint's shared slab (see ckSlab); off and n locate
-// the layer inside the slab while it is still being appended to, before
-// seal materializes the views.
+// predecessor in the previous layer (-1 at position 0). zidx holds the
+// layer-local cell indices counting-sorted into z buckets — the sort is
+// stable, so each bucket preserves activation order — with bucket z
+// spanning zidx[zoff[z]:zoff[z+1]]. The slices are views into the
+// checkpoint's shared slab (see ckSlab); off, n, and zo locate the layer
+// inside the slab while it is still being appended to, before seal
+// materializes the views.
 type ckLayer struct {
 	cells []int32
 	score []float64
 	prev  []int32
+	zidx  []int32
+	zoff  []int32
 	maxZ  int32
 	off   int32
 	n     int32
+	zo    int32
 }
 
-// ckSlab is the recyclable backing storage of one checkpoint: every
-// layer's cells/score/prev concatenated into three arrays, plus the
-// layers header slice itself. Building into a slab instead of three
-// fresh slices per layer is what makes checkpoints recyclable — a
-// ConstrainScratch keeps a freelist of slabs (see Recycle), which on
-// sweep workloads (one checkpoint ring per window, thousands of
-// windows) removes the dominant allocation source of the build path.
+// bucket returns the layer-local indices of cells with matched-prefix
+// count z, in activation order.
+func (l *ckLayer) bucket(z int) []int32 {
+	if l.n == 0 || z < 0 || int32(z) > l.maxZ {
+		return nil
+	}
+	return l.zidx[l.zoff[z]:l.zoff[z+1]]
+}
+
+// window returns the layer-local indices of cells with z in [lo, hi].
+// The single-bucket case is a direct slice; spanning windows are merged
+// into buf and sorted, because candidate recording order must match the
+// exhaustive layer scan (ascending activation index) for the resume's
+// tie-breaking contract.
+func (l *ckLayer) window(lo, hi int, buf *[]int32) []int32 {
+	if l.n == 0 {
+		return nil
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if m := int(l.maxZ); hi > m {
+		hi = m
+	}
+	if lo > hi {
+		return nil
+	}
+	if lo == hi {
+		return l.zidx[l.zoff[lo]:l.zoff[lo+1]]
+	}
+	span := l.zidx[l.zoff[lo]:l.zoff[hi+1]]
+	*buf = append((*buf)[:0], span...)
+	slices.Sort(*buf)
+	return *buf
+}
+
+// ckSlab is the recyclable backing storage of one checkpoint view: every
+// layer's cells/score/prev/zidx concatenated into flat arrays (plus the
+// z-bucket offset segments and the layers header slice itself). Building
+// into a slab instead of fresh slices per layer is what makes checkpoints
+// recyclable — a ConstrainScratch keeps a freelist of slabs (see
+// Recycle), which on sweep workloads (one checkpoint ring per window,
+// thousands of windows) removes the dominant allocation source of the
+// build path.
 type ckSlab struct {
 	cells  []int32
 	score  []float64
 	prev   []int32
+	zidx   []int32
+	zoff   []int32
 	layers []ckLayer
 }
 
+// growI32 extends s by n elements, reusing capacity when present.
+func growI32(s []int32, n int) []int32 {
+	if need := len(s) + n; cap(s) >= need {
+		return s[:need]
+	}
+	return append(s, make([]int32, n)...)
+}
+
+// growF64 extends s by n elements, reusing capacity when present.
+func growF64(s []float64, n int) []float64 {
+	if need := len(s) + n; cap(s) >= need {
+		return s[:need]
+	}
+	return append(s, make([]float64, n)...)
+}
+
 // snapshot appends the frontier's active cells (in activation order) to
-// the slab, records the layer's location and maxZ, and resets the
-// frontier for the next position. The layer's slice views stay nil
-// until seal: appends may still relocate the slab arrays.
-func (s *ckSlab) snapshot(layer *ckLayer, f *frontier, prevBuf []int32, zdim int) {
+// the slab, counting-sorts them into z buckets, records the layer's
+// location and maxZ, and resets the frontier for the next position. The
+// layer's slice views stay nil until seal: appends may still relocate
+// the slab arrays. zcur is the counting-sort cursor scratch; zbuf holds
+// the per-cell z values so the modulo is computed once per cell.
+func (s *ckSlab) snapshot(layer *ckLayer, f *frontier, prevBuf []int32, zdim int, zcur, zbuf *[]int32) {
 	off := len(s.cells)
+	n := len(f.list)
+	s.cells = growI32(s.cells, n)
+	s.score = growF64(s.score, n)
+	s.prev = growI32(s.prev, n)
+	s.zidx = growI32(s.zidx, n)
+	cells := s.cells[off:]
+	score := s.score[off:]
+	prev := s.prev[off:]
+	if cap(*zbuf) < n {
+		*zbuf = make([]int32, n)
+	}
+	zs := (*zbuf)[:n]
 	var maxZ int32
-	for _, cell := range f.list {
-		s.cells = append(s.cells, cell)
-		s.score = append(s.score, f.val[cell])
-		s.prev = append(s.prev, prevBuf[cell])
-		if z := cell % int32(zdim); z > maxZ {
+	zd := int32(zdim)
+	for j, cell := range f.list {
+		cells[j] = cell
+		score[j] = f.val[cell]
+		prev[j] = prevBuf[cell]
+		z := cell % zd
+		zs[j] = z
+		if z > maxZ {
 			maxZ = z
 		}
 	}
-	layer.off, layer.n, layer.maxZ = int32(off), int32(len(s.cells)-off), maxZ
+
+	zo := len(s.zoff)
+	zlen := int(maxZ) + 2
+	if need := zo + zlen; cap(s.zoff) >= need {
+		s.zoff = s.zoff[:need]
+		clear(s.zoff[zo:])
+	} else {
+		s.zoff = append(s.zoff, make([]int32, zlen)...)
+	}
+	zoff := s.zoff[zo:]
+	for _, z := range zs {
+		zoff[z+1]++
+	}
+	for z := 0; z < zlen-1; z++ {
+		zoff[z+1] += zoff[z]
+	}
+	if cap(*zcur) < zlen-1 {
+		*zcur = make([]int32, zlen-1)
+	}
+	cur := (*zcur)[:zlen-1]
+	copy(cur, zoff[:zlen-1])
+	zidx := s.zidx[off:]
+	for j, z := range zs {
+		zidx[cur[z]] = int32(j)
+		cur[z]++
+	}
+
+	layer.off, layer.n, layer.maxZ, layer.zo = int32(off), int32(n), maxZ, int32(zo)
 	f.reset()
 }
 
@@ -125,33 +253,130 @@ func (s *ckSlab) seal(layers []ckLayer) {
 		l.cells = s.cells[l.off:end:end]
 		l.score = s.score[l.off:end:end]
 		l.prev = s.prev[l.off:end:end]
+		l.zidx = s.zidx[l.off:end:end]
+		if l.n > 0 {
+			ze := l.zo + l.maxZ + 2
+			l.zoff = s.zoff[l.zo:ze:ze]
+		} else {
+			l.zoff = nil
+		}
 	}
 }
 
-// Checkpoint is the retained exact-prefix DP of BuildCheckpoint. It is
-// immutable after construction and safe for concurrent use by any number
-// of ResumeConstrained calls.
+// ckView is the materialized DP of a checkpoint: every position's
+// retained frontier layer plus the slab backing them. A view is
+// immutable once published; a resume captures it once for its whole
+// call, so its traceback indices stay consistent.
+type ckView struct {
+	layers []ckLayer
+	slab   ckSlab
+}
+
+// Checkpoint is the retained exact-prefix DP of BuildCheckpoint, or a
+// lazy handle to it (NewLazyCheckpoint). Safe for concurrent use by any
+// number of ResumeConstrained calls: eager checkpoints are immutable
+// after construction, and lazy handles single-flight their deferred
+// materialization.
 type Checkpoint struct {
 	// Align is the alignment string the DP was restricted to.
 	Align  []automata.Symbol
 	states int // |Q| of the tables it was built against
 	n      int // sequence length it was built against
 	zdim   int // len(Align)+1, the stride of the z coordinate
-	layers []ckLayer
-	slab   ckSlab // backing storage of layers; reclaimed by Recycle
+
+	// view is the materialized DP; nil for a lazy handle no resume has
+	// touched yet. Eager checkpoints store it at construction; lazy
+	// handles publish it exactly once, on first touch.
+	view atomic.Pointer[ckView]
+
+	// Deferred-build state (NewLazyCheckpoint): the inputs of the DP,
+	// with mu single-flighting the materialization. nil/unset on eager
+	// checkpoints.
+	mu sync.Mutex
+	nt *NFATables
+	v  *SeqView
+	b  *Bounds
+
+	// matLayers counts DP layers actually relaxed: the build work done,
+	// against n per full eager build (0 for an untouched lazy handle).
+	matLayers atomic.Uint64
 }
 
 // Layers returns the number of retained positions (the sequence length).
 func (ck *Checkpoint) Layers() int { return ck.n }
 
-// Cells returns the total number of retained DP cells, a memory
-// diagnostic for the checkpoint LRU.
+// Cells returns the total number of currently materialized DP cells, a
+// memory diagnostic for the checkpoint LRU. Zero for an untouched lazy
+// handle.
 func (ck *Checkpoint) Cells() int {
+	vw := ck.view.Load()
+	if vw == nil {
+		return 0
+	}
 	total := 0
-	for i := range ck.layers {
-		total += len(ck.layers[i].cells)
+	for i := range vw.layers {
+		total += len(vw.layers[i].cells)
 	}
 	return total
+}
+
+// MaterializedLayers returns the number of DP layers this checkpoint has
+// actually relaxed so far: n for a full build (eager, or lazy after its
+// first touch; fewer if the exact-prefix language died early), 0 for an
+// untouched lazy handle. The gap to Layers() is the prefix DP the lazy
+// path skipped.
+func (ck *Checkpoint) MaterializedLayers() int { return int(ck.matLayers.Load()) }
+
+// NewLazyCheckpoint returns a checkpoint handle for align with the DP
+// deferred: no layer is relaxed until a ResumeConstrained call first
+// reads one, at which point the full DP is materialized exactly as
+// BuildCheckpoint would have built it. Resumes against a lazy handle are
+// therefore bit-identical to resumes against the eager checkpoint. b may
+// be nil, which disables gating of the deferred build.
+func NewLazyCheckpoint(nt *NFATables, v *SeqView, align []automata.Symbol, b *Bounds) *Checkpoint {
+	if b != nil {
+		b.lazyHandles.Add(1)
+	}
+	return &Checkpoint{
+		Align:  automata.CloneString(align),
+		states: nt.States,
+		n:      v.N,
+		zdim:   len(align) + 1,
+		nt:     nt,
+		v:      v,
+		b:      b,
+	}
+}
+
+// ensureView returns the checkpoint's view, materializing the deferred
+// DP on the first touch of a lazy handle. Concurrent first touches
+// serialize on ck.mu (single-flight); every later caller takes the
+// lock-free fast path. A cancelled materialization publishes nothing, so
+// the next caller retries cleanly.
+func (ck *Checkpoint) ensureView(p *Poll, sc *ConstrainScratch) (*ckView, error) {
+	if vw := ck.view.Load(); vw != nil {
+		return vw, nil
+	}
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	if vw := ck.view.Load(); vw != nil {
+		return vw, nil
+	}
+	if ck.nt == nil {
+		// An eager checkpoint always has a view; reaching here means the
+		// checkpoint was recycled while still referenced.
+		panic("kernel: resume against a recycled checkpoint")
+	}
+	vw, built, err := materializeView(p, ck.nt, ck.v, ck.Align, ck.b, sc)
+	if err != nil {
+		return nil, err
+	}
+	ck.matLayers.Store(uint64(built))
+	if ck.b != nil {
+		ck.b.lazyLayers.Add(uint64(built))
+	}
+	ck.view.Store(vw)
+	return vw, nil
 }
 
 // crossRec records a boundary-crossing transition: the checkpoint cell it
@@ -165,12 +390,12 @@ type crossRec struct {
 	edge  int32
 }
 
-// crossCand is one boundary-crossing candidate discovered by the
-// bounded resume's pre-scan: the position and past-zone cell it lands
-// on, its entry score, its score + potential upper bound, and the
-// traceback record to replay if it survives pruning. Candidates are
-// recorded in exactly the order the exhaustive sweep would inject them,
-// so replaying the list preserves tie-breaking.
+// crossCand is one boundary-crossing candidate that survived the
+// bounded resume's selection pass: the position and past-zone cell it
+// lands on, its entry score, its score + potential upper bound, and the
+// traceback record to replay if it survives the final threshold.
+// Candidates are recorded in exactly the order the exhaustive sweep
+// would inject them, so replaying the list preserves tie-breaking.
 type crossCand struct {
 	pos   int32
 	cell  int32
@@ -181,37 +406,52 @@ type crossCand struct {
 
 // ConstrainScratch holds the reusable buffers of BuildCheckpoint and
 // ResumeConstrained. The two functions use disjoint fields, so one
-// scratch serves a build-then-resume sequence. Not safe for concurrent
-// use; pass nil to draw from an internal pool.
+// scratch serves a build-then-resume sequence — including a lazy
+// materialization triggered inside a resume, which runs before the
+// resume touches its own fields. Not safe for concurrent use; pass nil
+// to draw from an internal pool.
 type ConstrainScratch struct {
 	f         frontier // build: (x·|Q|+q)·Z+z cell space
 	prevBuf   []int32  // build: predecessor index per cell, rebuilt per layer
+	zcur      []int32  // build: counting-sort cursor for the z-bucket index
+	zbuf      []int32  // build: per-cell z values of the layer being snapshotted
+	zstep     []int32  // build: alignStep memo, [edge·zdim+z] → z2 or -1
+	xof, qof  []int32  // build: xq → (x, q) decode tables for the current (K, |Q|)
+	xqK, xqS  int      // build: the (K, |Q|) the decode tables were sized for
 	cur, next frontier // resume: past-zone (x·|Q|+q) cell space
 	back      []int32  // resume: per-position past-zone backpointers
 	cross     []crossRec
-	cands     []crossCand // resume: pre-scanned crossing candidates
+	cands     []crossCand // resume: selected crossing candidates, recycled across resolves
+	win       []int32     // resume: multi-bucket boundary-window merge buffer
 	freeSlabs []ckSlab    // recycled checkpoint storage, popped by builds
+	// slabHint/zoffHint are the final slab sizes of the last build through
+	// this scratch: successive builds in one drain are about the same
+	// size, so pre-sizing to the previous high-water mark replaces the
+	// append-doubling regrowth (and its copies) with one allocation.
+	slabHint, zoffHint int
 }
 
-// Recycle returns ck's layer storage to the scratch freelist, where the
-// next BuildCheckpoint through the same scratch reuses it. Recycling
-// ends the checkpoint's immutability: the caller must have dropped
-// every reference to ck and to data obtained from it, and must never
-// recycle a checkpoint other goroutines can still see (in particular,
-// checkpoints published to the ranked evaluator's shared LRU are not
-// recyclable). Recycling into the internal pool is not possible —
-// Recycle is only useful with an explicitly owned scratch, such as the
+// Recycle returns ck's materialized layer storage to the scratch
+// freelist, where the next checkpoint build through the same scratch
+// reuses it. Recycling ends the view's immutability: the caller must
+// have dropped every reference to ck and to data obtained from it, and
+// must never recycle a checkpoint other goroutines can still see (in
+// particular, checkpoints published to the ranked evaluator's shared LRU
+// are not recyclable). Recycling into the internal pool is not possible
+// — Recycle is only useful with an explicitly owned scratch, such as the
 // sliding-window sweeper's, whose per-window checkpoint rings are
 // private by construction.
 func (sc *ConstrainScratch) Recycle(ck *Checkpoint) {
-	if ck == nil || ck.layers == nil {
+	if ck == nil {
 		return
 	}
-	slab := ck.slab
-	slab.layers = ck.layers
+	vw := ck.view.Swap(nil)
+	if vw == nil || vw.layers == nil {
+		return
+	}
+	slab := vw.slab
+	slab.layers = vw.layers
 	sc.freeSlabs = append(sc.freeSlabs, slab)
-	ck.layers = nil
-	ck.slab = ckSlab{}
 }
 
 var constrainScratchPool = sync.Pool{New: func() any { return new(ConstrainScratch) }}
@@ -249,7 +489,9 @@ func crossOK(align []automata.Symbol, l, z int, w []automata.Symbol, forb map[au
 // BuildCheckpoint runs the forward Viterbi DP restricted to runs whose
 // output is an exact prefix of align, retaining every position's sparse
 // frontier. One checkpoint aligned to a printed answer o serves every
-// Lawler child of o (their prefixes are all prefixes of o).
+// Lawler child of o (their prefixes are all prefixes of o). For drains
+// that may never resolve those children, NewLazyCheckpoint defers this
+// work until a resume needs it.
 func BuildCheckpoint(nt *NFATables, v *SeqView, align []automata.Symbol, sc *ConstrainScratch) *Checkpoint {
 	ck, _ := buildCheckpoint(nil, nt, v, align, nil, sc)
 	return ck
@@ -277,6 +519,90 @@ func buildCheckpoint(p *Poll, nt *NFATables, v *SeqView, align []automata.Symbol
 		sc = constrainScratchPool.Get().(*ConstrainScratch)
 		defer constrainScratchPool.Put(sc)
 	}
+	ck := &Checkpoint{
+		Align:  automata.CloneString(align),
+		states: nt.States,
+		n:      v.N,
+		zdim:   len(align) + 1,
+	}
+	vw, built, err := materializeView(p, nt, v, ck.Align, b, sc)
+	if err != nil {
+		return nil, err
+	}
+	ck.matLayers.Store(uint64(built))
+	if b != nil {
+		b.eagerLayers.Add(uint64(built))
+	}
+	ck.view.Store(vw)
+	return ck, nil
+}
+
+// alignMemo fills sc.zstep with the alignStep results of every
+// transition-table edge at every matched-prefix count: zstep[z·|δ|+t] is
+// the z' that edge t's emission advances z to, or -1 when the output
+// stops being an exact prefix of align. One O(|δ|·|align|) pass replaces
+// the per-relaxation emission compare in the build's inner loop — the
+// memo is shared by all N layers, so it pays for itself many times over.
+// The layout is z-major because the build fixes z per cell and scans the
+// (q, y) edge range in the inner loop: consecutive t probes then walk
+// one cache line instead of striding by zdim.
+func alignMemo(sc *ConstrainScratch, nt *NFATables, align []automata.Symbol, zdim int) []int32 {
+	nT := len(nt.Succ)
+	need := nT * zdim
+	if cap(sc.zstep) < need {
+		sc.zstep = make([]int32, need)
+	}
+	zstep := sc.zstep[:need]
+	for i := range zstep {
+		zstep[i] = -1
+	}
+	for t := 0; t < nT; t++ {
+		w := nt.Emit[nt.EmitPtr[t]:nt.EmitPtr[t+1]]
+		if len(w) == 1 {
+			s := w[0]
+			for z := 0; z < len(align); z++ {
+				if align[z] == s {
+					zstep[z*nT+t] = int32(z + 1)
+				}
+			}
+			continue
+		}
+		for z := 0; z+len(w) <= len(align); z++ {
+			if z2, ok := alignStep(align, z, w); ok {
+				zstep[z*nT+t] = int32(z2)
+			}
+		}
+	}
+	return zstep
+}
+
+// decodeTables returns the xq → (x, q) lookup tables for a K·|Q| product
+// space, rebuilding the scratch-cached ones when the shape changes. They
+// replace an integer division per relaxed cell in the build's hot loop.
+func decodeTables(sc *ConstrainScratch, k, states int) (xof, qof []int32) {
+	if sc.xqK == k && sc.xqS == states {
+		return sc.xof, sc.qof
+	}
+	n := k * states
+	if cap(sc.xof) < n {
+		sc.xof = make([]int32, n)
+		sc.qof = make([]int32, n)
+	}
+	sc.xof, sc.qof = sc.xof[:n], sc.qof[:n]
+	for x := 0; x < k; x++ {
+		for q := 0; q < states; q++ {
+			sc.xof[x*states+q] = int32(x)
+			sc.qof[x*states+q] = int32(q)
+		}
+	}
+	sc.xqK, sc.xqS = k, states
+	return sc.xof, sc.qof
+}
+
+// materializeView runs the exact-prefix Viterbi DP and returns the
+// sealed view plus the number of layers relaxed (fewer than v.N only
+// when the exact-prefix language dies early).
+func materializeView(p *Poll, nt *NFATables, v *SeqView, align []automata.Symbol, b *Bounds, sc *ConstrainScratch) (*ckView, int, error) {
 	zdim := len(align) + 1
 	size := v.K * nt.States * zdim
 	sc.f.ensure(size)
@@ -285,57 +611,73 @@ func buildCheckpoint(p *Poll, nt *NFATables, v *SeqView, align []automata.Symbol
 		sc.prevBuf = make([]int32, size)
 	}
 	prevBuf := sc.prevBuf[:size]
+	zstep := alignMemo(sc, nt, align, zdim)
+	xof, qof := decodeTables(sc, v.K, nt.States)
+	off := nt.Off
+	syms := nt.Syms
+	states := nt.States
+	kq := v.K * states
 
-	ck := &Checkpoint{
-		Align:  automata.CloneString(align),
-		states: nt.States,
-		n:      v.N,
-		zdim:   zdim,
-	}
 	var slab ckSlab
 	if n := len(sc.freeSlabs); n > 0 {
 		slab = sc.freeSlabs[n-1]
 		sc.freeSlabs[n-1] = ckSlab{}
 		sc.freeSlabs = sc.freeSlabs[:n-1]
 		slab.cells, slab.score, slab.prev = slab.cells[:0], slab.score[:0], slab.prev[:0]
+		slab.zidx, slab.zoff = slab.zidx[:0], slab.zoff[:0]
+	} else if sc.slabHint > 0 {
+		slab.cells = make([]int32, 0, sc.slabHint)
+		slab.score = make([]float64, 0, sc.slabHint)
+		slab.prev = make([]int32, 0, sc.slabHint)
+		slab.zidx = make([]int32, 0, sc.slabHint)
+		slab.zoff = make([]int32, 0, sc.zoffHint)
 	}
+	var layers []ckLayer
 	if cap(slab.layers) >= v.N {
-		ck.layers = slab.layers[:v.N]
-		for i := range ck.layers {
-			ck.layers[i] = ckLayer{}
+		layers = slab.layers[:v.N]
+		for i := range layers {
+			layers[i] = ckLayer{}
 		}
 	} else {
-		ck.layers = make([]ckLayer, v.N)
+		layers = make([]ckLayer, v.N)
 	}
 	slab.layers = nil
 	neg := math.Inf(-1)
+	var prow []float64
+	if b != nil {
+		prow = b.pot[:kq]
+	}
+	nT := len(nt.Succ)
 	for ii, x := range v.InitIdx {
 		lp := math.Log(v.InitVal[ii])
 		elo, ehi := nt.Edges(int(nt.Start), int(x))
 		for e := elo; e < ehi; e++ {
-			w := nt.Emit[nt.EmitPtr[e]:nt.EmitPtr[e+1]]
-			z2, ok := alignStep(align, 0, w)
-			if !ok {
+			z2 := zstep[e]
+			if z2 < 0 {
 				continue
 			}
 			q2 := int(nt.Succ[e])
-			if b != nil && b.pos(0, int32(int(x)*nt.States+q2)) == neg {
+			if prow != nil && prow[int(x)*states+q2] == neg {
 				continue
 			}
-			cell := int32((int(x)*nt.States+q2)*zdim + z2)
+			cell := int32(int(x)*states+q2)*int32(zdim) + z2
 			if sc.f.relax(cell, lp) {
 				prevBuf[cell] = -1
 			}
 		}
 	}
-	slab.snapshot(&ck.layers[0], &sc.f, prevBuf, zdim)
+	slab.snapshot(&layers[0], &sc.f, prevBuf, zdim, &sc.zcur, &sc.zbuf)
+	built := 1
 	for i := 1; i < v.N; i++ {
 		// sc.f is empty here (snapshot reset it), so no cleanup is
-		// needed before the early return.
+		// needed before the early return; the popped slab goes back to
+		// the freelist.
 		if err := p.Step(); err != nil {
-			return nil, err
+			slab.layers = layers
+			sc.freeSlabs = append(sc.freeSlabs, slab)
+			return nil, 0, err
 		}
-		prevLayer := &ck.layers[i-1]
+		prevLayer := &layers[i-1]
 		if prevLayer.n == 0 {
 			break // the exact-prefix language died; later layers stay empty
 		}
@@ -345,45 +687,61 @@ func buildCheckpoint(p *Poll, nt *NFATables, v *SeqView, align []automata.Symbol
 		pcells := slab.cells[prevLayer.off : prevLayer.off+prevLayer.n]
 		pscore := slab.score[prevLayer.off : prevLayer.off+prevLayer.n]
 		st := &v.Steps[i-1]
+		if b != nil {
+			prow = b.pot[i*kq : (i+1)*kq]
+		}
 		for pi, pcell := range pcells {
 			base := pscore[pi]
 			xq := int(pcell) / zdim
-			z := int(pcell) % zdim
-			x := xq / nt.States
-			q := xq % nt.States
+			z := int(pcell) - xq*zdim
+			x := int(xof[xq])
+			q := int(qof[xq])
+			zrow := zstep[z*nT : (z+1)*nT]
 			for e := st.RowPtr[x]; e < st.RowPtr[x+1]; e++ {
 				y := int(st.Col[e])
 				lp := base + st.LogVal[e]
-				tlo, thi := nt.Edges(q, y)
+				var tlo, thi int32
+				if off != nil {
+					ti := q*syms + y
+					tlo, thi = off[ti], off[ti+1]
+				} else {
+					tlo, thi = nt.Edges(q, y)
+				}
+				yBase := y * states
 				for t := tlo; t < thi; t++ {
-					w := nt.Emit[nt.EmitPtr[t]:nt.EmitPtr[t+1]]
-					z2, ok := alignStep(align, z, w)
-					if !ok {
+					z2 := zrow[t]
+					if z2 < 0 {
 						continue
 					}
 					q2 := int(nt.Succ[t])
-					if b != nil && b.pos(i, int32(y*nt.States+q2)) == neg {
+					if prow != nil && prow[yBase+q2] == neg {
 						continue
 					}
-					cell := int32((y*nt.States+q2)*zdim + z2)
+					cell := int32(yBase+q2)*int32(zdim) + z2
 					if sc.f.relax(cell, lp) {
 						prevBuf[cell] = int32(pi)
 					}
 				}
 			}
 		}
-		slab.snapshot(&ck.layers[i], &sc.f, prevBuf, zdim)
+		slab.snapshot(&layers[i], &sc.f, prevBuf, zdim, &sc.zcur, &sc.zbuf)
+		built++
 	}
-	slab.seal(ck.layers)
-	ck.slab = slab
-	return ck, nil
+	if n := len(slab.cells); n > sc.slabHint {
+		sc.slabHint = n
+	}
+	if n := len(slab.zoff); n > sc.zoffHint {
+		sc.zoffHint = n
+	}
+	slab.seal(layers)
+	return &ckView{layers: layers, slab: slab}, built, nil
 }
 
 // walkPrefix reconstructs nodes/states for positions 0..li by following
-// the checkpoint's prev chain from cell pj of layer li.
-func (ck *Checkpoint) walkPrefix(li, pj int, nodes []automata.Symbol, states []int) {
+// the view's prev chain from cell pj of layer li.
+func (ck *Checkpoint) walkPrefix(layers []ckLayer, li, pj int, nodes []automata.Symbol, states []int) {
 	for li >= 0 {
-		layer := &ck.layers[li]
+		layer := &layers[li]
 		xq := int(layer.cells[pj]) / ck.zdim
 		nodes[li] = automata.Symbol(xq / ck.states)
 		states[li] = xq % ck.states
@@ -404,17 +762,19 @@ func ResumeConstrained(nt *NFATables, v *SeqView, ck *Checkpoint, c transducer.C
 }
 
 // ResumeConstrainedCtx is ResumeConstrained with step-granularity
-// cancellation over the past-zone DP (the ExactOnly fast path only reads
-// the final retained layer and completes regardless).
+// cancellation over the past-zone DP and any deferred checkpoint
+// materialization (the ExactOnly fast path against an already
+// materialized view only reads the final retained layer and completes
+// regardless).
 func ResumeConstrainedCtx(ctx context.Context, nt *NFATables, v *SeqView, ck *Checkpoint, c transducer.Constraint, sc *ConstrainScratch) (out, nodes []automata.Symbol, states []int, logp float64, ok bool, err error) {
 	return resumeConstrained(NewPoll(ctx), nt, v, ck, c, nil, sc)
 }
 
 // ResumeConstrainedBoundedCtx is ResumeConstrainedCtx with weight-pushed
-// pruning: the crossing candidates are pre-scanned to bound the optimum
-// and the past-zone sweep skips every cell that cannot reach it. Exact
-// and bit-identical to the exhaustive resume (see the file comment). b
-// may be nil, which disables pruning.
+// pruning: crossing candidates are selected against a running bound on
+// the optimum and the past-zone sweep skips every cell that cannot reach
+// it. Exact and bit-identical to the exhaustive resume (see the file
+// comment). b may be nil, which disables pruning.
 func ResumeConstrainedBoundedCtx(ctx context.Context, nt *NFATables, v *SeqView, ck *Checkpoint, c transducer.Constraint, b *Bounds, sc *ConstrainScratch) (out, nodes []automata.Symbol, states []int, logp float64, ok bool, err error) {
 	return resumeConstrained(NewPoll(ctx), nt, v, ck, c, b, sc)
 }
@@ -430,14 +790,26 @@ func resumeConstrained(p *Poll, nt *NFATables, v *SeqView, ck *Checkpoint, c tra
 	align := ck.Align
 	zdim := ck.zdim
 
+	if sc == nil {
+		sc = constrainScratchPool.Get().(*ConstrainScratch)
+		defer constrainScratchPool.Put(sc)
+	}
+	// One view serves the whole call: traceback records index into this
+	// view's layer cell lists. A lazy handle materializes its full DP
+	// here on first touch; the published view never changes afterwards.
+	vw, err := ck.ensureView(p, sc)
+	if err != nil {
+		return nil, nil, nil, math.Inf(-1), false, err
+	}
+	layers := vw.layers
+
 	if c.Mode == transducer.ExactOnly {
-		last := &ck.layers[v.N-1]
+		last := &layers[v.N-1]
 		best, bj := math.Inf(-1), -1
-		for j, cell := range last.cells {
-			if int(cell)%zdim != l {
-				continue
-			}
-			if nt.Accept[(int(cell)/zdim)%nt.States] && last.score[j] > best {
+		for _, j32 := range last.bucket(l) {
+			j := int(j32)
+			cell := int(last.cells[j])
+			if nt.Accept[(cell/zdim)%nt.States] && last.score[j] > best {
 				best, bj = last.score[j], j
 			}
 		}
@@ -446,14 +818,10 @@ func resumeConstrained(p *Poll, nt *NFATables, v *SeqView, ck *Checkpoint, c tra
 		}
 		nodes = make([]automata.Symbol, v.N)
 		states = make([]int, v.N)
-		ck.walkPrefix(v.N-1, bj, nodes, states)
+		ck.walkPrefix(layers, v.N-1, bj, nodes, states)
 		return automata.CloneString(align[:l]), nodes, states, best, true, nil
 	}
 
-	if sc == nil {
-		sc = constrainScratchPool.Get().(*ConstrainScratch)
-		defer constrainScratchPool.Put(sc)
-	}
 	pastSize := v.K * nt.States
 	sc.cur.ensure(pastSize)
 	sc.next.ensure(pastSize)
@@ -468,28 +836,40 @@ func resumeConstrained(p *Poll, nt *NFATables, v *SeqView, ck *Checkpoint, c tra
 	neg := math.Inf(-1)
 
 	// The exact-extension answer is found first: the final comparison
-	// needs it either way, and its score seeds the pruning bound.
+	// needs it either way, and its score seeds the selection bound.
 	exactBest, exactIdx := neg, -1
 	if c.Mode == transducer.PrefixAndExtensions {
-		last := &ck.layers[v.N-1]
-		for j, cell := range last.cells {
-			if int(cell)%zdim != l {
-				continue
-			}
-			if nt.Accept[(int(cell)/zdim)%nt.States] && last.score[j] > exactBest {
+		last := &layers[v.N-1]
+		for _, j32 := range last.bucket(l) {
+			j := int(j32)
+			cell := int(last.cells[j])
+			if nt.Accept[(cell/zdim)%nt.States] && last.score[j] > exactBest {
 				exactBest, exactIdx = last.score[j], j
 			}
 		}
 	}
 
-	// Phase 1: enumerate every boundary-crossing candidate in exactly
-	// the order the sweep would inject it — position 0 straight off the
-	// initial distribution (the whole prefix plus at least one symbol
-	// inside a single emission), later positions off the checkpoint
-	// layers. With bounds, each candidate's score + potential is exact,
-	// so their maximum L is the constrained optimum up to float
-	// association.
+	// Phase 1: select the boundary-crossing candidates in exactly the
+	// order the exhaustive sweep would inject them — position 0 straight
+	// off the initial distribution (the whole prefix plus at least one
+	// symbol inside a single emission), later positions off the z-window
+	// of each checkpoint layer (only cells with l−MaxEmit < z ≤ l can
+	// cross; the z-bucket index serves them without scanning the layer).
+	// With bounds, each candidate's score + potential is exact, so their
+	// running maximum L is the constrained optimum so far and anything
+	// below its threshold can be dropped at enumeration time: L only
+	// grows, so such a candidate would fail the final threshold too, and
+	// it cannot raise L by definition. The threshold slack covers the
+	// float-association error between a forward DP sum and the two-term
+	// score + potential bound; both are within a few ulps of the real
+	// path weight, so a relative 1e-9 dwarfs it.
+	prune := b != nil
 	L := exactBest
+	tau := neg
+	if prune && L > neg {
+		tau = L - 1e-9*(1+math.Abs(L))
+	}
+	var prunedCt, visitedCt, skipCands, skipCells uint64
 	for ii, x := range v.InitIdx {
 		lp := math.Log(v.InitVal[ii])
 		elo, ehi := nt.Edges(int(nt.Start), int(x))
@@ -500,37 +880,65 @@ func resumeConstrained(p *Poll, nt *NFATables, v *SeqView, ck *Checkpoint, c tra
 			}
 			cell := int32(int(x)*nt.States + int(nt.Succ[e]))
 			cd := crossCand{pos: 0, cell: cell, lp: lp, rec: crossRec{layer: -1, pi: int32(ii), edge: e}}
-			if b != nil {
+			if prune {
 				cd.bound = lp + b.pos(0, cell)
 				if cd.bound > L {
 					L = cd.bound
+					tau = L - 1e-9*(1+math.Abs(L))
+				} else if cd.bound < tau {
+					skipCands++
+					continue
 				}
 			}
 			sc.cands = append(sc.cands, cd)
 		}
 	}
+	winLo := l - nt.MaxEmit + 1
+	ntOff := nt.Off
+	syms := nt.Syms
 	for i := 1; i < v.N; i++ {
 		if err := p.Step(); err != nil {
 			return nil, nil, nil, neg, false, err
 		}
-		prevLayer := &ck.layers[i-1]
-		if int(prevLayer.maxZ)+nt.MaxEmit <= l || len(prevLayer.cells) == 0 {
+		prevLayer := &layers[i-1]
+		if int(prevLayer.maxZ)+nt.MaxEmit <= l || prevLayer.n == 0 {
+			continue
+		}
+		win := prevLayer.window(winLo, l, &sc.win)
+		if len(win) == 0 {
 			continue
 		}
 		st := &v.Steps[i-1]
-		for pi, pcell := range prevLayer.cells {
-			z := int(pcell) % zdim
-			if z > l || z+nt.MaxEmit <= l {
-				continue
-			}
+		var prow0, prow1 []float64
+		if prune {
+			prow0 = b.pot[(i-1)*pastSize : i*pastSize]
+			prow1 = b.pot[i*pastSize : (i+1)*pastSize]
+		}
+		for _, pj := range win {
+			pi := int(pj)
+			pcell := prevLayer.cells[pi]
 			base := prevLayer.score[pi]
 			xq := int(pcell) / zdim
+			if prune && base+prow0[xq] < tau {
+				// The backward recurrence makes score + past-zone
+				// potential an upper bound on every candidate this cell
+				// can produce, so the whole edge fan-out is skipped.
+				skipCells++
+				continue
+			}
+			z := int(pcell) - xq*zdim
 			x := xq / nt.States
-			q := xq % nt.States
+			q := xq - x*nt.States
 			for e := st.RowPtr[x]; e < st.RowPtr[x+1]; e++ {
 				y := int(st.Col[e])
 				lp := base + st.LogVal[e]
-				tlo, thi := nt.Edges(q, y)
+				var tlo, thi int32
+				if ntOff != nil {
+					ti := q*syms + y
+					tlo, thi = ntOff[ti], ntOff[ti+1]
+				} else {
+					tlo, thi = nt.Edges(q, y)
+				}
 				for t := tlo; t < thi; t++ {
 					w := nt.Emit[nt.EmitPtr[t]:nt.EmitPtr[t+1]]
 					if !crossOK(align, l, z, w, c.Forbidden) {
@@ -538,10 +946,14 @@ func resumeConstrained(p *Poll, nt *NFATables, v *SeqView, ck *Checkpoint, c tra
 					}
 					cell := int32(y*nt.States + int(nt.Succ[t]))
 					cd := crossCand{pos: int32(i), cell: cell, lp: lp, rec: crossRec{layer: int32(i - 1), pi: int32(pi), edge: t}}
-					if b != nil {
-						cd.bound = lp + b.pos(i, cell)
+					if prune {
+						cd.bound = lp + prow1[cell]
 						if cd.bound > L {
 							L = cd.bound
+							tau = L - 1e-9*(1+math.Abs(L))
+						} else if cd.bound < tau {
+							skipCands++
+							continue
 						}
 					}
 					sc.cands = append(sc.cands, cd)
@@ -549,33 +961,26 @@ func resumeConstrained(p *Poll, nt *NFATables, v *SeqView, ck *Checkpoint, c tra
 			}
 		}
 	}
-	if len(sc.cands) == 0 || (b != nil && L == neg) {
+	selCands := uint64(len(sc.cands))
+	if len(sc.cands) == 0 || (prune && L == neg) {
 		// No viable crossing: the exact answer (if any) stands alone.
-		if b != nil {
-			b.addStats(0, 0)
+		if prune {
+			b.addStats(0, 0, selCands, skipCands, skipCells)
 		}
 		if exactIdx >= 0 {
 			nodes = make([]automata.Symbol, v.N)
 			states = make([]int, v.N)
-			ck.walkPrefix(v.N-1, exactIdx, nodes, states)
+			ck.walkPrefix(layers, v.N-1, exactIdx, nodes, states)
 			return automata.CloneString(align[:l]), nodes, states, exactBest, true, nil
 		}
 		return nil, nil, nil, neg, false, nil
-	}
-	// The slack covers the float-association error between a forward DP
-	// sum and the two-term score + potential bound; both are within a
-	// few ulps of the real path weight, so a relative 1e-9 dwarfs it.
-	prune := b != nil
-	var tau float64
-	var prunedCt, visitedCt uint64
-	if prune {
-		tau = L - 1e-9*(1+math.Abs(L))
 	}
 
 	// Phase 2: the past-zone sweep, advancing before injecting at each
 	// position (ties keep the incumbent, so this ordering is part of the
 	// determinism contract) and sorting each layer into canonical order
-	// before expansion.
+	// before expansion. tau is final here: L stopped growing with the
+	// last candidate.
 	ci := 0
 	for ; ci < len(sc.cands) && sc.cands[ci].pos == 0; ci++ {
 		cd := &sc.cands[ci]
@@ -601,24 +1006,35 @@ func resumeConstrained(p *Poll, nt *NFATables, v *SeqView, ck *Checkpoint, c tra
 		st := &v.Steps[i-1]
 		backRow := back[i*pastSize : (i+1)*pastSize]
 		sc.cur.sortList()
+		var prow0, prow1 []float64
+		if prune {
+			prow0 = b.pot[(i-1)*pastSize : i*pastSize]
+			prow1 = b.pot[i*pastSize : (i+1)*pastSize]
+		}
 		for _, idx := range sc.cur.list {
 			base := sc.cur.val[idx]
 			if prune {
-				if base+b.pos(i-1, idx) < tau {
+				if base+prow0[idx] < tau {
 					prunedCt++
 					continue
 				}
 				visitedCt++
 			}
 			x := int(idx) / nt.States
-			q := int(idx) % nt.States
+			q := int(idx) - x*nt.States
 			for e := st.RowPtr[x]; e < st.RowPtr[x+1]; e++ {
 				y := int(st.Col[e])
 				lp := base + st.LogVal[e]
-				tlo, thi := nt.Edges(q, y)
+				var tlo, thi int32
+				if ntOff != nil {
+					ti := q*syms + y
+					tlo, thi = ntOff[ti], ntOff[ti+1]
+				} else {
+					tlo, thi = nt.Edges(q, y)
+				}
 				for t := tlo; t < thi; t++ {
 					cell := int32(y*nt.States + int(nt.Succ[t]))
-					if prune && lp+b.pos(i, cell) < tau {
+					if prune && lp+prow1[cell] < tau {
 						continue
 					}
 					if sc.next.relax(cell, lp) {
@@ -642,7 +1058,7 @@ func resumeConstrained(p *Poll, nt *NFATables, v *SeqView, ck *Checkpoint, c tra
 		sc.next.reset()
 	}
 	if prune {
-		b.addStats(prunedCt, visitedCt)
+		b.addStats(prunedCt, visitedCt, selCands, skipCands, skipCells)
 	}
 
 	// Final argmax with canonical tie-breaking: among equal scores the
@@ -660,7 +1076,7 @@ func resumeConstrained(p *Poll, nt *NFATables, v *SeqView, ck *Checkpoint, c tra
 	if exactIdx >= 0 && exactBest >= best {
 		nodes = make([]automata.Symbol, v.N)
 		states = make([]int, v.N)
-		ck.walkPrefix(v.N-1, exactIdx, nodes, states)
+		ck.walkPrefix(layers, v.N-1, exactIdx, nodes, states)
 		return automata.CloneString(align[:l]), nodes, states, exactBest, true, nil
 	}
 	if bestCell < 0 {
@@ -675,22 +1091,24 @@ func resumeConstrained(p *Poll, nt *NFATables, v *SeqView, ck *Checkpoint, c tra
 	for {
 		nodes[i] = automata.Symbol(int(cell) / nt.States)
 		states[i] = int(cell) % nt.States
-		b := back[i*pastSize+int(cell)]
-		if b < 0 {
-			rec = sc.cross[-b-2]
+		bk := back[i*pastSize+int(cell)]
+		if bk < 0 {
+			rec = sc.cross[-bk-2]
 			break
 		}
-		cell = b
+		cell = bk
 		i--
 	}
 	crossPos := i
 	z := 0
 	if rec.layer >= 0 {
-		z = int(ck.layers[rec.layer].cells[rec.pi]) % zdim
-		ck.walkPrefix(int(rec.layer), int(rec.pi), nodes, states)
+		z = int(layers[rec.layer].cells[rec.pi]) % zdim
+		ck.walkPrefix(layers, int(rec.layer), int(rec.pi), nodes, states)
 	}
 	w := nt.Emit[nt.EmitPtr[rec.edge]:nt.EmitPtr[rec.edge+1]]
-	out = make([]automata.Symbol, 0, z+len(w))
+	// MaxEmit bounds each remaining position's emission, so the answer is
+	// assembled in one allocation instead of append-doubling regrowth.
+	out = make([]automata.Symbol, 0, z+len(w)+(v.N-1-crossPos)*nt.MaxEmit)
 	out = append(out, align[:z]...)
 	out = append(out, w...)
 	// Past-zone emissions follow the same first-matching-edge rule as

@@ -42,6 +42,13 @@ type Bounds struct {
 	prunedCells  atomic.Uint64
 	visitedCells atomic.Uint64
 	resolves     atomic.Uint64
+
+	candsSelected atomic.Uint64
+	candsSkipped  atomic.Uint64
+	cellsSkipped  atomic.Uint64
+	lazyLayers    atomic.Uint64
+	eagerLayers   atomic.Uint64
+	lazyHandles   atomic.Uint64
 }
 
 // PruneStats is a snapshot of a Bounds' pruning-efficacy counters.
@@ -54,6 +61,21 @@ type PruneStats struct {
 	VisitedCells uint64
 	// Resolves counts bounded kernel calls that used these potentials.
 	Resolves uint64
+	// CandsSelected counts boundary-crossing candidates recorded by the
+	// bounded selection pass; CandsSkipped counts candidates dropped at
+	// enumeration time because their score + potential was already below
+	// the running optimum. Their sum is what the exhaustive pre-scan
+	// would have recorded from the visited boundary cells.
+	CandsSelected, CandsSkipped uint64
+	// BoundaryCellsSkipped counts checkpoint boundary cells whose entire
+	// edge fan-out was skipped by the selection threshold (their
+	// candidates are not in CandsSkipped — they were never enumerated).
+	BoundaryCellsSkipped uint64
+	// LazyLayers counts checkpoint DP layers materialized on demand by
+	// lazy handles; EagerLayers counts layers built eagerly. LazyHandles
+	// counts lazy handles created: LazyHandles·n − LazyLayers is the
+	// prefix DP the deferral skipped outright.
+	LazyLayers, EagerLayers, LazyHandles uint64
 }
 
 // Stats returns the counters accumulated so far. Safe for concurrent
@@ -63,16 +85,25 @@ func (b *Bounds) Stats() PruneStats {
 		return PruneStats{}
 	}
 	return PruneStats{
-		PrunedCells:  b.prunedCells.Load(),
-		VisitedCells: b.visitedCells.Load(),
-		Resolves:     b.resolves.Load(),
+		PrunedCells:          b.prunedCells.Load(),
+		VisitedCells:         b.visitedCells.Load(),
+		Resolves:             b.resolves.Load(),
+		CandsSelected:        b.candsSelected.Load(),
+		CandsSkipped:         b.candsSkipped.Load(),
+		BoundaryCellsSkipped: b.cellsSkipped.Load(),
+		LazyLayers:           b.lazyLayers.Load(),
+		EagerLayers:          b.eagerLayers.Load(),
+		LazyHandles:          b.lazyHandles.Load(),
 	}
 }
 
 // addStats folds one kernel call's locally accumulated counters in.
-func (b *Bounds) addStats(pruned, visited uint64) {
+func (b *Bounds) addStats(pruned, visited, selected, candsSkipped, cellsSkipped uint64) {
 	b.prunedCells.Add(pruned)
 	b.visitedCells.Add(visited)
+	b.candsSelected.Add(selected)
+	b.candsSkipped.Add(candsSkipped)
+	b.cellsSkipped.Add(cellsSkipped)
 	b.resolves.Add(1)
 }
 

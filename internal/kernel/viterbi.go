@@ -126,7 +126,7 @@ func viterbiRun(p *Poll, nt *NFATables, v *SeqView, b *Bounds, sc *ViterbiScratc
 		sc.next.reset()
 	}
 	if b != nil {
-		b.addStats(prunedCt, visitedCt)
+		b.addStats(prunedCt, visitedCt, 0, 0, 0)
 	}
 
 	best, bestCell := math.Inf(-1), int32(-1)

@@ -84,6 +84,17 @@ type CacheStats struct {
 	// their counts with them — and are all zero under
 	// WithExhaustiveRanked.
 	RankedPrunedCells, RankedVisitedCells, RankedResolves uint64
+	// RankedCandsSelected / RankedCandsSkipped aggregate the bounded
+	// candidate-selection counters: boundary-crossing candidates recorded
+	// vs. dropped at enumeration time because they could not reach the
+	// running optimum.
+	RankedCandsSelected, RankedCandsSkipped uint64
+	// RankedLazyLayers / RankedEagerLayers / RankedLazyHandles aggregate
+	// the lazy-checkpoint counters of the cached engines: DP layers
+	// materialized on demand vs. eagerly, and lazy handles created.
+	// RankedLazyHandles·n − RankedLazyLayers is the prefix DP the lazy
+	// path skipped outright.
+	RankedLazyLayers, RankedEagerLayers, RankedLazyHandles uint64
 }
 
 // Stats returns a snapshot of the engine-cache counters.
@@ -100,6 +111,11 @@ func (db *DB) Stats() CacheStats {
 		s.RankedPrunedCells += ps.PrunedCells
 		s.RankedVisitedCells += ps.VisitedCells
 		s.RankedResolves += ps.Resolves
+		s.RankedCandsSelected += ps.CandsSelected
+		s.RankedCandsSkipped += ps.CandsSkipped
+		s.RankedLazyLayers += ps.LazyLayers
+		s.RankedEagerLayers += ps.EagerLayers
+		s.RankedLazyHandles += ps.LazyHandles
 	}
 	db.mu.RUnlock()
 	return s

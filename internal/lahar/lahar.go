@@ -144,6 +144,7 @@ type DB struct {
 	referenceWindows bool
 	rankedWorkers    int
 	exhaustiveRanked bool
+	eagerCheckpoints bool
 
 	// deadline is the per-query timeout applied at every public entry
 	// point (0 = none); inflight is the load-shedding semaphore (nil =
@@ -211,6 +212,17 @@ func WithRankedWorkers(n int) Option {
 // computation outweighs the sweep it prunes.
 func WithExhaustiveRanked() Option {
 	return func(db *DB) { db.exhaustiveRanked = true }
+}
+
+// WithEagerCheckpoints pins eager ranked-checkpoint materialization for
+// every query registered afterwards (core.WithEagerCheckpoints): each
+// prefix checkpoint's DP is built when the checkpoint is requested
+// instead of when a resolve first reads a layer, with pruning still
+// active. Results are bit-identical either way; this is a differential
+// reference and an escape hatch for serving setups that prefer the
+// build cost up front. Implied by WithExhaustiveRanked.
+func WithEagerCheckpoints() Option {
+	return func(db *DB) { db.eagerCheckpoints = true }
 }
 
 // New returns an empty database.
@@ -295,6 +307,9 @@ func (db *DB) prepareOpts() []core.PrepareOption {
 	opts := []core.PrepareOption{core.WithRankedWorkers(db.rankedWorkers)}
 	if db.exhaustiveRanked {
 		opts = append(opts, core.WithExhaustiveRanked())
+	}
+	if db.eagerCheckpoints {
+		opts = append(opts, core.WithEagerCheckpoints())
 	}
 	return opts
 }

@@ -20,6 +20,7 @@ type config struct {
 	ckCap      int
 	nt         *kernel.NFATables
 	exhaustive bool
+	eagerCk    bool
 	bounds     *kernel.Bounds
 }
 
@@ -40,6 +41,15 @@ func WithCheckpointCap(n int) Option { return func(c *config) { c.ckCap = n } }
 // construction; this option exists as the differential reference and as
 // an escape hatch.
 func WithExhaustive() Option { return func(c *config) { c.exhaustive = true } }
+
+// WithEagerCheckpoints disables lazy checkpoint materialization: prefix
+// checkpoints are fully built when first requested, as before PR 8,
+// while weight-pushed pruning stays active. Lazy handles resume to
+// bit-identical answers by construction; this option exists as a
+// differential reference and as an escape hatch (e.g. to front-load
+// build cost outside a latency-critical drain). Implied by
+// WithExhaustive.
+func WithEagerCheckpoints() Option { return func(c *config) { c.eagerCk = true } }
 
 // WithBounds supplies pre-computed weight-pushed potentials for the
 // evaluator's (tables, sequence) pair, sharing one backward sweep across
@@ -63,8 +73,11 @@ type Evaluator struct {
 
 	// bounds are the weight-pushed potentials driving checkpoint gating
 	// and resume pruning; nil when WithExhaustive selected the reference
-	// sweep. Built lazily (one backward pass) unless supplied.
+	// sweep. Built lazily (one backward pass) unless supplied. eagerCk
+	// forces full checkpoint builds at cache-miss time instead of lazy
+	// handles.
 	exhaustive bool
+	eagerCk    bool
 	boundsOnce sync.Once
 	bounds     *kernel.Bounds
 }
@@ -80,7 +93,7 @@ func NewEvaluator(t *transducer.Transducer, m *markov.Sequence, opts ...Option) 
 	if nt == nil {
 		nt = kernel.NewNFATables(t)
 	}
-	ev := &Evaluator{t: t, m: m, nt: nt, v: m.View(), exhaustive: cfg.exhaustive}
+	ev := &Evaluator{t: t, m: m, nt: nt, v: m.View(), exhaustive: cfg.exhaustive, eagerCk: cfg.eagerCk || cfg.exhaustive}
 	if !ev.exhaustive && cfg.bounds != nil {
 		ev.bounds = cfg.bounds
 		ev.boundsOnce.Do(func() {})
@@ -140,7 +153,17 @@ func (ev *Evaluator) checkpointCtx(ctx context.Context, align []automata.Symbol)
 				return nil, ctx.Err()
 			}
 		}
-		ck, err := kernel.BuildCheckpointBoundedCtx(ctx, ev.nt, ev.v, align, ev.Bounds(), nil)
+		var err error
+		if ev.eagerCk {
+			ck, err = kernel.BuildCheckpointBoundedCtx(ctx, ev.nt, ev.v, align, ev.Bounds(), nil)
+		} else {
+			// O(1): the DP is deferred until a resolve first reads a
+			// layer — checkpoints of parents whose children never reach
+			// the Lawler queue front are never built at all, and the
+			// single flight on the handle means concurrent workers still
+			// share one materialization (the handle serializes it).
+			ck = kernel.NewLazyCheckpoint(ev.nt, ev.v, align, ev.Bounds())
+		}
 		if err != nil {
 			ev.cache.fail(key, build)
 			close(build.done)

@@ -32,7 +32,25 @@ func benchPrunedDrain(b *testing.B, opts ...Option) {
 	if total := st.PrunedCells + st.VisitedCells; total > 0 {
 		b.ReportMetric(float64(st.PrunedCells)/float64(total)*100, "pruned-pct")
 	}
+	// PR 8 counters: bounded candidate selection (crossing candidates
+	// recorded vs. dropped against the running bound, boundary cells whose
+	// whole fan-out was skipped) and lazy checkpoint materialization
+	// (layers relaxed on demand vs. eagerly; the deferred gap is the DP
+	// the drain never paid for).
+	b.ReportMetric(float64(st.CandsSelected), "cands-selected/op")
+	b.ReportMetric(float64(st.CandsSkipped), "cands-skipped/op")
+	b.ReportMetric(float64(st.BoundaryCellsSkipped), "cells-skipped/op")
+	b.ReportMetric(float64(st.LazyLayers), "lazy-layers/op")
+	b.ReportMetric(float64(st.EagerLayers), "eager-layers/op")
+	if st.LazyHandles > 0 {
+		deferred := st.LazyHandles*uint64(m.Len()) - st.LazyLayers
+		b.ReportMetric(float64(deferred), "ck-layers-deferred/op")
+	}
 }
+
+// BenchmarkRankedEagerCheckpoints isolates the lazy-materialization
+// delta: the same drain with checkpoints built at request time.
+func BenchmarkRankedEagerCheckpoints(b *testing.B) { benchPrunedDrain(b, WithEagerCheckpoints()) }
 
 func BenchmarkRankedPruned(b *testing.B)     { benchPrunedDrain(b) }
 func BenchmarkRankedExhaustive(b *testing.B) { benchPrunedDrain(b, WithExhaustive()) }

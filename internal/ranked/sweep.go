@@ -44,6 +44,7 @@ type Sweeper struct {
 	b          *kernel.Bounds
 	cur        *kernel.Bounds
 	exhaustive bool
+	eagerCk    bool
 }
 
 type sweepCkpt struct {
@@ -63,7 +64,7 @@ func NewSweeper(t *transducer.Transducer, opts ...Option) *Sweeper {
 	if nt == nil {
 		nt = kernel.NewNFATables(t)
 	}
-	return &Sweeper{t: t, nt: nt, exhaustive: cfg.exhaustive}
+	return &Sweeper{t: t, nt: nt, exhaustive: cfg.exhaustive, eagerCk: cfg.eagerCk || cfg.exhaustive}
 }
 
 // PruneStats reports the pruning-efficacy counters accumulated across
@@ -88,9 +89,18 @@ func (s *Sweeper) checkpoint(ctx context.Context, v *kernel.SeqView, align []aut
 			return s.ring[i].ck, nil
 		}
 	}
-	ck, err := kernel.BuildCheckpointBoundedCtx(ctx, s.nt, v, align, s.cur, &s.sc)
-	if err != nil {
-		return nil, err
+	var ck *kernel.Checkpoint
+	if s.cur != nil && !s.eagerCk {
+		// Lazy handle: the window's drain materializes (a z-capped slice
+		// of) the DP only if a resolve actually reads it; the build draws
+		// from and Recycle returns to s.sc's slab freelist either way.
+		ck = kernel.NewLazyCheckpoint(s.nt, v, align, s.cur)
+	} else {
+		var err error
+		ck, err = kernel.BuildCheckpointBoundedCtx(ctx, s.nt, v, align, s.cur, &s.sc)
+		if err != nil {
+			return nil, err
+		}
 	}
 	s.ring = append(s.ring, sweepCkpt{align: align, ck: ck})
 	return ck, nil

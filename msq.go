@@ -197,6 +197,14 @@ func WithReferenceWindows(on bool) DBOption { return lahar.WithReferenceWindows(
 // identical either way.
 func WithDBRankedWorkers(n int) DBOption { return lahar.WithRankedWorkers(n) }
 
+// WithDBEagerCheckpoints pins eager ranked-checkpoint materialization
+// for every query registered afterwards: each prefix checkpoint builds
+// its full DP at construction instead of on first resume. The default
+// lazy policy is bit-identical; eager trades the deferral for a flat
+// per-checkpoint cost, and is the differential reference of the lazy
+// test suites.
+func WithDBEagerCheckpoints() DBOption { return lahar.WithEagerCheckpoints() }
+
 // WithDBMaxInFlight bounds the number of concurrently executing DB
 // query calls; excess calls fail immediately with ErrDBOverloaded
 // instead of queueing. Values < 1 disable the limit.
