@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench benchcmp bench-all bench-profile experiments examples fuzz fuzz-smoke verify clean
+.PHONY: all build test race cover bench benchcmp bench-all bench-profile experiments examples fuzz fuzz-smoke slo slo-smoke verify clean
 
 all: build test
 
@@ -52,8 +52,24 @@ MATCH ?= SlidingTopK|TopKAcross
 benchcmp:
 	$(GO) run ./cmd/benchcmp -old $(OLD) -new $(NEW) -threshold 10 -match '$(MATCH)'
 
-# The CI gate: vet + full race suite, a fuzz smoke pass, and a
-# benchmark-regression check for every pair with a committed baseline.
+# The end-to-end SLO harness (internal/slo, cmd/sloharness): open-loop
+# load with fault injection against a live lahar store, gated on each
+# scenario's error budget — exits non-zero when a budget burns. The full
+# table drives ~2s per scenario; slo-smoke is the seconds-scale CI
+# subset (sub-second runs, throughput floors un-gated). BENCH_slo.json
+# uses the benchjson schema, so it flows through `make benchcmp`
+# (MATCH=SLO) like any benchmark suite. See EXPERIMENTS.md "SLO
+# methodology" for the open-loop rationale and 1-CPU caveats.
+slo:
+	$(GO) run ./cmd/sloharness -o BENCH_slo.json
+
+slo-smoke:
+	$(GO) run ./cmd/sloharness -smoke -o BENCH_slo.json
+
+# The CI gate: vet + full race suite, a fuzz smoke pass, the SLO smoke
+# gate (skippable with SKIP_SLO=1 on machines too noisy to trust
+# latency budgets), and a benchmark-regression check for every pair
+# with a committed baseline.
 # Baselines are opt-in (rename a BENCH_<p>.json from a trusted run to
 # BENCH_<p>.base.json) so a fresh checkout still verifies cleanly — but
 # once a baseline exists the check is REQUIRED: a missing regenerated
@@ -61,11 +77,17 @@ benchcmp:
 # hatch for machines where running benchmarks is impractical (CI
 # shards, qemu): SKIP_BENCHCMP=1 make verify.
 verify: race fuzz-smoke
-	@for p in sliding ranked; do \
+	@if [ "$(SKIP_SLO)" = "1" ]; then \
+		echo "verify: SKIP_SLO=1; skipping the SLO smoke gate"; \
+	else \
+		$(MAKE) slo-smoke || exit 1; \
+	fi
+	@for p in sliding ranked slo; do \
 		base=BENCH_$$p.base.json; new=BENCH_$$p.json; \
 		case $$p in \
 			sliding) match='SlidingTopK|TopKAcross';; \
 			ranked)  match='Ranked';; \
+			slo)     match='SLO';; \
 		esac; \
 		if [ ! -f $$base ]; then \
 			echo "verify: no benchmark baseline ($$base); skipping benchcmp"; \
@@ -117,6 +139,7 @@ fuzz:
 	$(GO) test ./internal/regex -fuzz FuzzCompile -fuzztime 30s
 	$(GO) test ./internal/codec -fuzz FuzzDecodeSequence -fuzztime 30s
 	$(GO) test ./internal/conf -fuzz FuzzSequenceValidate -fuzztime 30s
+	$(GO) test ./internal/slo -fuzz FuzzSLOScenarioConfig -fuzztime 30s
 
 # Quick per-target fuzz pass (a few seconds each; -run '^$$' skips the
 # unit tests so each invocation is pure fuzzing) — cheap enough for CI.
@@ -124,6 +147,7 @@ fuzz-smoke:
 	$(GO) test ./internal/regex -run '^$$' -fuzz FuzzCompile -fuzztime 3s
 	$(GO) test ./internal/codec -run '^$$' -fuzz FuzzDecodeSequence -fuzztime 3s
 	$(GO) test ./internal/conf -run '^$$' -fuzz FuzzSequenceValidate -fuzztime 3s
+	$(GO) test ./internal/slo -run '^$$' -fuzz FuzzSLOScenarioConfig -fuzztime 3s
 
 clean:
 	$(GO) clean ./...

@@ -18,8 +18,11 @@
 // "…ns", "…latency…") by going up, and anything else is informational
 // only. Extreme-value metrics ("…max-delay…", "…ttfa…") are always
 // informational: a single worst observation is too noisy to gate.
-// Regressions beyond -extra-threshold percent on gating benchmarks
-// fail the run like an ns/op regression.
+// SLO burn metrics ("burn", "shed-pct", "…miss-pct", "err-pct" — see
+// cmd/sloharness) form their own lower-is-better class, gated with an
+// absolute-increase floor so ratios idling near zero don't trip the
+// relative threshold on noise. Regressions beyond -extra-threshold
+// percent on gating benchmarks fail the run like an ns/op regression.
 package main
 
 import (
@@ -29,32 +32,7 @@ import (
 	"os"
 	"regexp"
 	"sort"
-	"strings"
 )
-
-// metricDirection classifies an Extra metric name: +1 when higher is
-// better (throughput), -1 when lower is better (latency), 0 when the
-// direction is unknown and the metric is shown but never gates.
-func metricDirection(name string) int {
-	n := strings.ToLower(name)
-	switch {
-	case strings.Contains(n, "max-delay"), strings.Contains(n, "ttfa"):
-		// Extreme-value statistics: the single worst observation per
-		// run, or the one-off time to first answer. Their run-to-run
-		// spread on a shared 1-CPU box exceeds any usable threshold
-		// (the untouched reference path swings >30%), so they are
-		// reported but never gate — p50-delay gates in their place.
-		return 0
-	case strings.HasSuffix(n, "/sec"), strings.HasSuffix(n, "/s"),
-		strings.Contains(n, "per-sec"), strings.Contains(n, "persec"):
-		return +1
-	case strings.Contains(n, "delay"), strings.Contains(n, "ttfa"),
-		strings.Contains(n, "latency"), strings.HasSuffix(n, "-ns"),
-		strings.HasSuffix(n, "ns/op"), strings.HasSuffix(n, "_ns"):
-		return -1
-	}
-	return 0
-}
 
 // result mirrors the fields of cmd/benchjson's Result that the diff
 // needs; unknown fields are ignored by encoding/json.
@@ -154,22 +132,13 @@ func main() {
 			if ov != 0 {
 				mdelta = (nv - ov) / ov * 100
 			}
-			dir := metricDirection(k)
-			tag := "info"
-			regressed := false
-			switch dir {
-			case +1:
-				tag = "rate"
-				regressed = mdelta < -*extraThreshold
-			case -1:
-				tag = "time"
-				regressed = mdelta > *extraThreshold
-			}
+			c := classifyMetric(k)
+			regressed := metricRegressed(c, ov, nv, mdelta, *extraThreshold)
 			if gate == "*" && regressed {
 				failures = append(failures, fmt.Sprintf("%s %s: %.4g → %.4g (%+.1f%% beyond %.1f%%)",
 					name, k, ov, nv, mdelta, *extraThreshold))
 			}
-			fmt.Printf("    %-56s %14.4g %14.4g %+7.1f%%  [%s]\n", k, ov, nv, mdelta, tag)
+			fmt.Printf("    %-56s %14.4g %14.4g %+7.1f%%  [%s]\n", k, ov, nv, mdelta, c.tag)
 		}
 	}
 	for name := range oldR {

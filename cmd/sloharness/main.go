@@ -1,0 +1,215 @@
+// Command sloharness runs the SLO scenario suite (internal/slo) against
+// a live in-process lahar store and gates on the error-budget verdict:
+// exit status 1 if any scenario's burn exceeds 1. It writes a
+// benchjson-schema summary (one Result per scenario × GOMAXPROCS
+// setting) so BENCH_slo.json flows through the same benchcmp regression
+// gate as the benchmark suites:
+//
+//	sloharness -o BENCH_slo.json            # full table
+//	sloharness -smoke -o BENCH_slo.json     # seconds-scale CI subset
+//	sloharness -procs 1,4 -match overload   # GOMAXPROCS matrix, filtered
+//	sloharness -scenario-file extra.json    # external scenario table
+//	sloharness -list                        # print the table and exit
+//
+// The -procs matrix defaults to the current GOMAXPROCS only; on a 1-CPU
+// box that is the whole matrix, and the builtin budgets are sized to
+// hold there (see EXPERIMENTS.md, "SLO methodology").
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"markovseq/internal/slo"
+)
+
+// benchResult / benchFile mirror cmd/benchjson's output schema (main
+// packages cannot import each other; the JSON contract is the schema).
+type benchResult struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Extra      map[string]float64 `json:"extra,omitempty"`
+	Raw        string             `json:"raw"`
+}
+
+type benchFile struct {
+	Config  map[string]string `json:"config"`
+	Results []benchResult     `json:"results"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sloharness", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		out      = fs.String("o", "", "write a benchjson-schema summary to this file")
+		smoke    = fs.Bool("smoke", false, "run the seconds-scale smoke variant of each scenario")
+		match    = fs.String("match", "", "only run scenarios whose name matches this regexp")
+		procsArg = fs.String("procs", "", "comma-separated GOMAXPROCS matrix (default: current value)")
+		scFile   = fs.String("scenario-file", "", "run scenarios from this JSON file instead of the builtin table")
+		list     = fs.Bool("list", false, "list the scenario table and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	scenarios := slo.Builtin(*smoke)
+	if *scFile != "" {
+		data, err := os.ReadFile(*scFile)
+		if err != nil {
+			fmt.Fprintf(stderr, "sloharness: %v\n", err)
+			return 2
+		}
+		scenarios, err = slo.ParseScenarios(data)
+		if err != nil {
+			fmt.Fprintf(stderr, "sloharness: %s: %v\n", *scFile, err)
+			return 2
+		}
+	}
+	if *match != "" {
+		re, err := regexp.Compile(*match)
+		if err != nil {
+			fmt.Fprintf(stderr, "sloharness: bad -match: %v\n", err)
+			return 2
+		}
+		var kept []*slo.Scenario
+		for _, sc := range scenarios {
+			if re.MatchString(sc.Name) {
+				kept = append(kept, sc)
+			}
+		}
+		scenarios = kept
+	}
+	if len(scenarios) == 0 {
+		fmt.Fprintln(stderr, "sloharness: no scenarios selected")
+		return 2
+	}
+	if *list {
+		for _, sc := range scenarios {
+			fmt.Fprintf(stdout, "%-20s %6.0f/s %8s  %s\n", sc.Name, sc.Rate, sc.Duration, sc.Description)
+		}
+		return 0
+	}
+
+	procs, err := parseProcs(*procsArg)
+	if err != nil {
+		fmt.Fprintf(stderr, "sloharness: %v\n", err)
+		return 2
+	}
+
+	doc := benchFile{Config: map[string]string{
+		"goos":   runtime.GOOS,
+		"goarch": runtime.GOARCH,
+		"pkg":    "markovseq/cmd/sloharness",
+		"cpu":    strconv.Itoa(runtime.NumCPU()) + " cpu",
+	}}
+	failed := 0
+	for _, p := range procs {
+		prev := runtime.GOMAXPROCS(p)
+		for _, sc := range scenarios {
+			res, err := slo.Run(context.Background(), sc)
+			if err != nil {
+				fmt.Fprintf(stderr, "sloharness: %s: %v\n", sc.Name, err)
+				runtime.GOMAXPROCS(prev)
+				return 2
+			}
+			res.Procs = p
+			br := toBench(res)
+			fmt.Fprintln(stdout, br.Raw)
+			doc.Results = append(doc.Results, br)
+			if !res.Passed() {
+				failed++
+				fmt.Fprintf(stdout, "FAIL  %s (burn %.2f)\n", res.Name, res.Burn)
+				for _, v := range res.Violations {
+					fmt.Fprintf(stdout, "      %s\n", v)
+				}
+			}
+		}
+		runtime.GOMAXPROCS(prev)
+	}
+
+	if *out != "" {
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintf(stderr, "sloharness: %v\n", err)
+			return 2
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintf(stderr, "sloharness: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "sloharness: wrote %d results to %s\n", len(doc.Results), *out)
+	}
+	if failed > 0 {
+		fmt.Fprintf(stderr, "sloharness: %d scenario(s) burned their budget\n", failed)
+		return 1
+	}
+	fmt.Fprintf(stderr, "sloharness: %d scenario run(s) held their budgets\n", len(doc.Results))
+	return 0
+}
+
+// parseProcs parses the -procs matrix; empty means the current
+// GOMAXPROCS only.
+func parseProcs(s string) ([]int, error) {
+	if s == "" {
+		return []int{runtime.GOMAXPROCS(0)}, nil
+	}
+	var procs []int
+	for _, f := range strings.Split(s, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || p < 1 {
+			return nil, fmt.Errorf("bad -procs entry %q", f)
+		}
+		procs = append(procs, p)
+	}
+	return procs, nil
+}
+
+// toBench flattens a scenario result into the benchjson Result shape.
+// NsPerOp carries the headline p50; every other SLI rides in Extra
+// under units benchcmp can classify (…-ns → latency, …/sec → rate,
+// burn/…-pct → burn-rate, lower is better).
+func toBench(r *slo.ScenarioResult) benchResult {
+	name := fmt.Sprintf("SLO/%s/procs=%d", r.Name, r.Procs)
+	s := r.SLIs
+	extra := map[string]float64{
+		"p99-ns":            s.P99Ns,
+		"p999-ns":           s.P999Ns,
+		"ttfa-p99-ns":       s.TTFAP99Ns,
+		"qps":               s.QPS,
+		"shed-pct":          s.ShedRate * 100,
+		"deadline-miss-pct": s.DeadlineMissRate * 100,
+		"err-pct":           s.ErrorRate * 100,
+		"burn":              r.Burn,
+	}
+	if s.WindowsPerSec > 0 {
+		extra["windows/sec"] = s.WindowsPerSec
+	}
+	if s.AppendEventsPerSec > 0 {
+		extra["events/sec"] = s.AppendEventsPerSec
+	}
+	raw := fmt.Sprintf("Benchmark%s\t%d\t%.0f ns/op", name, s.Queries, s.P50Ns)
+	for _, k := range []string{"p99-ns", "ttfa-p99-ns", "qps", "shed-pct", "burn"} {
+		raw += fmt.Sprintf("\t%.2f %s", extra[k], k)
+	}
+	return benchResult{
+		Name:       name,
+		Iterations: int64(s.Queries),
+		NsPerOp:    s.P50Ns,
+		Extra:      extra,
+		Raw:        raw,
+	}
+}

@@ -1,0 +1,116 @@
+package main
+
+// The gate's own acceptance test: the harness must exit non-zero when a
+// scenario's budget burns, and zero (writing a well-formed summary)
+// when budgets hold.
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// scenarioFile writes a one-scenario table with the given budget JSON
+// and returns its path.
+func scenarioFile(t *testing.T, name, budget string) string {
+	t.Helper()
+	table := `[{"name":"` + name + `","workload":"rfid","rate":50,"duration":"250ms","seed":5,
+	            "mix":[{"op":"topk","weight":0.6},{"op":"append","weight":0.4}],
+	            "k":3,"append_batch":4,"budget":` + budget + `}]`
+	path := filepath.Join(t.TempDir(), "scenarios.json")
+	if err := os.WriteFile(path, []byte(table), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunFailsOnBudgetBreach(t *testing.T) {
+	// A 1ns p50 budget is a deliberate breach: no real query completes
+	// that fast, so the run must burn and exit 1.
+	path := scenarioFile(t, "breach", `{"p50":1}`)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-scenario-file", path}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1\nstdout: %s\nstderr: %s", code, &stdout, &stderr)
+	}
+	if !strings.Contains(stdout.String(), "FAIL  breach") {
+		t.Errorf("stdout does not report the breached scenario:\n%s", &stdout)
+	}
+	if !strings.Contains(stderr.String(), "burned their budget") {
+		t.Errorf("stderr does not report the burn:\n%s", &stderr)
+	}
+}
+
+func TestRunPassesAndWritesSummary(t *testing.T) {
+	path := scenarioFile(t, "held", `{"p50":"2s","max_error_rate":0.01}`)
+	out := filepath.Join(t.TempDir(), "BENCH_slo.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-scenario-file", path, "-o", out}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0\nstdout: %s\nstderr: %s", code, &stdout, &stderr)
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc benchFile
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("summary is not valid benchjson: %v", err)
+	}
+	if len(doc.Results) != 1 {
+		t.Fatalf("summary has %d results, want 1", len(doc.Results))
+	}
+	r := doc.Results[0]
+	if !strings.HasPrefix(r.Name, "SLO/held/procs=") {
+		t.Errorf("result name %q", r.Name)
+	}
+	if r.NsPerOp <= 0 {
+		t.Errorf("p50 (ns_per_op) not populated: %v", r.NsPerOp)
+	}
+	for _, key := range []string{"p99-ns", "ttfa-p99-ns", "qps", "shed-pct", "deadline-miss-pct", "err-pct", "burn"} {
+		if _, ok := r.Extra[key]; !ok {
+			t.Errorf("summary missing SLI %q", key)
+		}
+	}
+	if !strings.HasPrefix(r.Raw, "BenchmarkSLO/held/") {
+		t.Errorf("raw line %q is not benchstat-shaped", r.Raw)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	// Config-validation satellite: a zero-rate scenario must error out
+	// (exit 2), not hang the driver.
+	table := `[{"name":"z","workload":"rfid","rate":0,"duration":"1s",
+	            "mix":[{"op":"topk","weight":1}]}]`
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(table), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-scenario-file", path}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code %d, want 2 (stderr: %s)", code, &stderr)
+	}
+	if !strings.Contains(stderr.String(), "rate") {
+		t.Errorf("stderr does not explain the rejection:\n%s", &stderr)
+	}
+
+	if code := run([]string{"-match", "no-such-scenario"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("empty selection: exit code %d, want 2", code)
+	}
+}
+
+func TestList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, &stderr)
+	}
+	for _, name := range []string{"steady-mixed", "overload-shed", "ranked-adversarial"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list missing scenario %s:\n%s", name, &stdout)
+		}
+	}
+}

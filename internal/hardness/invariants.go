@@ -1,0 +1,201 @@
+package hardness
+
+// Declared invariants of the generated hardness instances, checkable
+// without running a query engine. The metamorphic suite
+// (metamorphic_test.go) asserts these on randomly generated instances
+// and then round-trips the instances through the serving stack; the SLO
+// harness's adversarial workload (internal/slo) leans on the same
+// generators, so a generator bug would silently turn its "hard" load
+// into an easy one — these checks are what keep that workload honest.
+
+import (
+	"fmt"
+	"math"
+
+	"markovseq/internal/markov"
+)
+
+// probTol is the absolute tolerance for probability-mass comparisons
+// (sums of ≤ a few thousand float64 terms).
+const probTol = 1e-9
+
+// CheckMealyInvariants verifies the structural and landscape invariants
+// of a Theorem 4.4 reduction instance:
+//
+//   - machine shape: a single accepting state, Mealy (deterministic,
+//     1-uniform, complete), |Σ_A| = 2km, |Δ_ω| = m+2;
+//   - sequence shape: length k over Σ_A, valid (row-stochastic);
+//   - frontier width: exactly 2m of the 2km input symbols carry
+//     probability mass at each position (bit × clause; the position is
+//     determined), so a ranked-enumeration frontier never exceeds 2m
+//     candidates per step;
+//   - flat landscape / bound collapse: every assignment answer's
+//     confidence is sat(a)/(m·2^k) ∈ [0, maxsat/(m·2^k)], so the ratio
+//     between the best and any satisfying answer is at most
+//     maxsat ≤ m — over 2^k answers the scores collapse into an
+//     m-wide band and score-gap pruning has nothing to cut;
+//   - TheoreticalConf agreement: the closed form matches the
+//     definitional sat(a)/(m·2^k) on every assignment (brute force,
+//     2^k of them — keep k small).
+func CheckMealyInvariants(mi *MealyInstance) error {
+	f := mi.Formula
+	k, m := f.NumVars, len(f.Clauses)
+	if n := mi.T.NumStates(); n != 1 {
+		return fmt.Errorf("hardness: Mealy machine has %d states, want 1", n)
+	}
+	if !mi.T.Accepting(mi.T.Start()) {
+		return fmt.Errorf("hardness: Mealy start state is not accepting")
+	}
+	if !mi.T.IsMealy() {
+		return fmt.Errorf("hardness: machine is not Mealy")
+	}
+	if got, want := mi.In.Size(), 2*k*m; got != want {
+		return fmt.Errorf("hardness: |Σ_A| = %d, want 2km = %d", got, want)
+	}
+	if got, want := mi.Out.Size(), m+2; got != want {
+		return fmt.Errorf("hardness: |Δ_ω| = %d, want m+2 = %d", got, want)
+	}
+	if got := mi.M.Len(); got != k {
+		return fmt.Errorf("hardness: sequence length %d, want k = %d", got, k)
+	}
+	if err := mi.M.Validate(); err != nil {
+		return fmt.Errorf("hardness: sequence invalid: %w", err)
+	}
+	for i, width := range frontierWidths(mi.M) {
+		if width != 2*m {
+			return fmt.Errorf("hardness: position %d frontier width %d, want 2m = %d",
+				i+1, width, 2*m)
+		}
+	}
+
+	maxsat := f.BruteForceMax()
+	if maxsat < 1 || maxsat > m {
+		return fmt.Errorf("hardness: maxsat = %d outside [1, m=%d]", maxsat, m)
+	}
+	top := float64(maxsat) / (float64(m) * pow2(k))
+	a := make([]bool, k)
+	var walk func(i int) error
+	walk = func(i int) error {
+		if i == k {
+			want := float64(f.CountSatisfied(a)) / (float64(m) * pow2(k))
+			got := mi.TheoreticalConf(a)
+			if math.Abs(got-want) > probTol {
+				return fmt.Errorf("hardness: TheoreticalConf(%v) = %g, want %g", a, got, want)
+			}
+			if got > top+probTol {
+				return fmt.Errorf("hardness: assignment conf %g exceeds top %g", got, top)
+			}
+			// Bound collapse: any satisfying assignment is within a
+			// factor maxsat (≤ m) of the top answer.
+			if got > 0 && top/got > float64(maxsat)+probTol {
+				return fmt.Errorf("hardness: collapse ratio %g exceeds maxsat %d", top/got, maxsat)
+			}
+			return nil
+		}
+		for _, b := range []bool{false, true} {
+			a[i] = b
+			if err := walk(i + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(0)
+}
+
+// CheckAmplified verifies the amplification invariants of amp =
+// mi.Amplify(c): length c·k, still a valid sequence, and per-copy
+// probability mass preserved — the frontier width stays 2m at every
+// position of every copy (amplification multiplies hardness without
+// widening the per-step frontier).
+func CheckAmplified(mi *MealyInstance, amp *markov.Sequence, c int) error {
+	k, m := mi.Formula.NumVars, len(mi.Formula.Clauses)
+	if got, want := amp.Len(), c*k; got != want {
+		return fmt.Errorf("hardness: amplified length %d, want c·k = %d", got, want)
+	}
+	if err := amp.Validate(); err != nil {
+		return fmt.Errorf("hardness: amplified sequence invalid: %w", err)
+	}
+	for i, width := range frontierWidths(amp) {
+		if width != 2*m {
+			return fmt.Errorf("hardness: amplified position %d frontier width %d, want 2m = %d",
+				i+1, width, 2*m)
+		}
+	}
+	return nil
+}
+
+// frontierWidths returns, per position, the number of symbols with
+// non-negligible probability mass — the width of the candidate frontier
+// a per-position enumerator must carry.
+func frontierWidths(seq *markov.Sequence) []int {
+	mass := make([]float64, len(seq.Initial))
+	copy(mass, seq.Initial)
+	widths := make([]int, 0, seq.Len())
+	count := func(v []float64) int {
+		n := 0
+		for _, p := range v {
+			if p > probTol {
+				n++
+			}
+		}
+		return n
+	}
+	widths = append(widths, count(mass))
+	for i := 1; i < seq.Len(); i++ {
+		rows := seq.TransAt(i)
+		next := make([]float64, len(mass))
+		for s, p := range mass {
+			if p <= probTol {
+				continue
+			}
+			for t, q := range rows[s] {
+				next[t] += p * q
+			}
+		}
+		mass = next
+		widths = append(widths, count(mass))
+	}
+	return widths
+}
+
+// CheckCountingInvariants verifies the Proposition 4.7 reduction
+// instance: the transducer is 1-uniform and non-selective in the
+// reduction's sense (acceptance is A's, emission is constant), the
+// sequence is the uniform one of length n, the query answer is xⁿ, and
+// Count inverts the confidence scale exactly: Count(p/|Σ|ⁿ) = p.
+func CheckCountingInvariants(ci *CountingInstance, n int) error {
+	if k, ok := ci.T.UniformK(); !ok || k != 1 {
+		return fmt.Errorf("hardness: counting transducer is not 1-uniform")
+	}
+	if got := ci.M.Len(); got != n {
+		return fmt.Errorf("hardness: counting sequence length %d, want %d", got, n)
+	}
+	if err := ci.M.Validate(); err != nil {
+		return fmt.Errorf("hardness: counting sequence invalid: %w", err)
+	}
+	size := ci.M.Nodes.Size()
+	for s := 0; s < size; s++ {
+		if math.Abs(ci.M.Initial[s]-1/float64(size)) > probTol {
+			return fmt.Errorf("hardness: counting sequence is not uniform at position 1")
+		}
+	}
+	if len(ci.O) != n {
+		return fmt.Errorf("hardness: counting answer length %d, want %d", len(ci.O), n)
+	}
+	for i, s := range ci.O {
+		if ci.T.Out.Name(s) != "x" {
+			return fmt.Errorf("hardness: counting answer symbol %d is %q, want x", i, ci.T.Out.Name(s))
+		}
+	}
+	// Count must invert the |Σ|ⁿ scaling exactly for an exact count.
+	want := 7.0
+	scale := 1.0
+	for i := 0; i < n; i++ {
+		scale *= float64(size)
+	}
+	if got := ci.Count(want / scale); math.Abs(got-want) > 1e-6 {
+		return fmt.Errorf("hardness: Count round-trip: got %g, want %g", got, want)
+	}
+	return nil
+}

@@ -1,0 +1,262 @@
+package hardness
+
+// Metamorphic suite: randomly generated hardness instances must satisfy
+// their declared invariants (invariants.go) and round-trip through the
+// serving stack — lahar.PutStream / TopK / Confidence — without panics,
+// with scores that agree with the reductions' closed forms. Run under
+// -race in `make race`; every store is leak-checked.
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"markovseq/internal/automata"
+	"markovseq/internal/lahar"
+	"markovseq/internal/testutil"
+)
+
+// TestMealyInvariantsRandom checks the declared invariants on a spread
+// of random Max-3-DNF instances (k kept small: the checker brute-forces
+// all 2^k assignments).
+func TestMealyInvariantsRandom(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		numVars := 2 + rng.Intn(5)    // 2..6
+		numClauses := 1 + rng.Intn(6) // 1..6
+		f := RandomMax3DNF(numVars, numClauses, rng)
+		mi := NewMealyInstance(f)
+		if err := CheckMealyInvariants(mi); err != nil {
+			t.Fatalf("seed %d (k=%d m=%d): %v", seed, numVars, numClauses, err)
+		}
+		for _, c := range []int{2, 3, 7} {
+			if err := CheckAmplified(mi, mi.Amplify(c), c); err != nil {
+				t.Fatalf("seed %d amplify %d: %v", seed, c, err)
+			}
+		}
+	}
+}
+
+// TestMealyRoundTrip pushes random instances through the store: the
+// served Confidence must equal TheoreticalConf on every assignment, and
+// the ranked top answer's E_max score must sit on the reduction's flat
+// landscape — every source string has probability exactly 1/(m·2^k), so
+// ranked enumeration's score cannot discriminate between answers (the
+// bound collapse that makes the workload adversarial).
+func TestMealyRoundTrip(t *testing.T) {
+	testutil.CheckLeaks(t)
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		f := RandomMax3DNF(3+rng.Intn(2), 2+rng.Intn(3), rng)
+		mi := NewMealyInstance(f)
+		if err := CheckMealyInvariants(mi); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		k, m := f.NumVars, len(f.Clauses)
+
+		db := lahar.New()
+		if err := db.PutStream("s", mi.M); err != nil {
+			t.Fatalf("seed %d: PutStream: %v", seed, err)
+		}
+		db.RegisterTransducer("q", mi.T)
+
+		flat := 1 / (float64(m) * pow2(k))
+		res, err := db.TopK("s", "q", 4)
+		if err != nil {
+			t.Fatalf("seed %d: TopK: %v", seed, err)
+		}
+		if len(res) == 0 {
+			t.Fatalf("seed %d: TopK returned no answers", seed)
+		}
+		for i, r := range res {
+			if math.Abs(r.Score-flat) > probTol {
+				t.Errorf("seed %d: answer %d score %g, want flat 1/(m·2^k) = %g",
+					seed, i, r.Score, flat)
+			}
+		}
+
+		a := make([]bool, k)
+		var walk func(i int)
+		walk = func(i int) {
+			if i == k {
+				conf, err := db.Confidence("s", "q", mi.AssignmentAnswer(a), 0)
+				if err != nil {
+					t.Fatalf("seed %d: Confidence(%v): %v", seed, a, err)
+				}
+				if want := mi.TheoreticalConf(a); math.Abs(conf-want) > probTol {
+					t.Errorf("seed %d: conf(%v) = %g, want %g", seed, a, conf, want)
+				}
+				return
+			}
+			a[i] = false
+			walk(i + 1)
+			a[i] = true
+			walk(i + 1)
+		}
+		walk(0)
+	}
+}
+
+// TestAmplifiedRoundTrip checks the amplification metamorphic relation
+// end to end: conf of the c-fold repeated assignment answer on the
+// amplified stream equals TheoreticalConf(a)^c, and amplifying never
+// changes which assignment is best.
+func TestAmplifiedRoundTrip(t *testing.T) {
+	testutil.CheckLeaks(t)
+	rng := rand.New(rand.NewSource(42))
+	f := RandomMax3DNF(3, 3, rng)
+	mi := NewMealyInstance(f)
+	const c = 3
+	amp := mi.Amplify(c)
+	if err := CheckAmplified(mi, amp, c); err != nil {
+		t.Fatal(err)
+	}
+
+	db := lahar.New()
+	if err := db.PutStream("amp", amp); err != nil {
+		t.Fatal(err)
+	}
+	db.RegisterTransducer("q", mi.T)
+
+	a := []bool{true, false, true}
+	one := mi.AssignmentAnswer(a)
+	rep := make([]automata.Symbol, 0, c*len(one))
+	for i := 0; i < c; i++ {
+		rep = append(rep, one...)
+	}
+	conf, err := db.Confidence("amp", "q", rep, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := mi.TheoreticalConf(a)
+	if want := math.Pow(base, c); math.Abs(conf-want) > probTol {
+		t.Errorf("amplified conf = %g, want base^c = %g (base %g)", conf, want, base)
+	}
+
+	// The flat E_max landscape amplifies to (1/(m·2^k))^c.
+	res, err := db.TopK("amp", "q", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := math.Pow(1/(float64(len(f.Clauses))*pow2(f.NumVars)), c)
+	if len(res) == 0 || math.Abs(res[0].Score-flat) > probTol {
+		t.Errorf("amplified top = %v, want flat score %g", res, flat)
+	}
+}
+
+// TestMealyPermutationInvariance is the metamorphic relation proper:
+// permuting the clause list relabels the reduction's clause gadgets but
+// must not change maxsat, the top score, or any assignment confidence.
+func TestMealyPermutationInvariance(t *testing.T) {
+	testutil.CheckLeaks(t)
+	rng := rand.New(rand.NewSource(7))
+	f := RandomMax3DNF(4, 4, rng)
+	perm := &Max3DNF{NumVars: f.NumVars}
+	for _, i := range rng.Perm(len(f.Clauses)) {
+		perm.Clauses = append(perm.Clauses, f.Clauses[i])
+	}
+	if f.BruteForceMax() != perm.BruteForceMax() {
+		t.Fatalf("permutation changed maxsat: %d vs %d", f.BruteForceMax(), perm.BruteForceMax())
+	}
+	orig, permuted := NewMealyInstance(f), NewMealyInstance(perm)
+	db := lahar.New()
+	for name, mi := range map[string]*MealyInstance{"orig": orig, "perm": permuted} {
+		if err := db.PutStream(name, mi.M); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.RegisterTransducer("qo", orig.T)
+	db.RegisterTransducer("qp", permuted.T)
+
+	a := make([]bool, f.NumVars)
+	var walk func(i int)
+	walk = func(i int) {
+		if i == f.NumVars {
+			co, err := db.Confidence("orig", "qo", orig.AssignmentAnswer(a), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cp, err := db.Confidence("perm", "qp", permuted.AssignmentAnswer(a), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(co-cp) > probTol {
+				t.Errorf("conf(%v) differs across permutation: %g vs %g", a, co, cp)
+			}
+			return
+		}
+		a[i] = false
+		walk(i + 1)
+		a[i] = true
+		walk(i + 1)
+	}
+	walk(0)
+}
+
+// TestCountingRoundTrip checks the Proposition 4.7 instance end to end:
+// the count recovered from a served Confidence query equals the
+// DP-computed |L(A) ∩ Σⁿ|.
+func TestCountingRoundTrip(t *testing.T) {
+	testutil.CheckLeaks(t)
+	ab := automata.MustAlphabet("a", "b")
+	// NFA accepting strings containing "ab".
+	nfa := automata.NewNFA(ab, 3, 0)
+	sa, sb := ab.MustSymbol("a"), ab.MustSymbol("b")
+	nfa.AddTransition(0, sa, 0)
+	nfa.AddTransition(0, sb, 0)
+	nfa.AddTransition(0, sa, 1)
+	nfa.AddTransition(1, sb, 2)
+	nfa.AddTransition(2, sa, 2)
+	nfa.AddTransition(2, sb, 2)
+	nfa.SetAccepting(2, true)
+
+	const n = 6
+	ci := NewCountingInstance(nfa, n)
+	if err := CheckCountingInvariants(ci, n); err != nil {
+		t.Fatal(err)
+	}
+
+	// Brute-force the count over all 2^n strings.
+	want := 0
+	s := make([]automata.Symbol, n)
+	var walk func(i int)
+	walk = func(i int) {
+		if i == n {
+			if nfa.Accepts(s) {
+				want++
+			}
+			return
+		}
+		for _, sym := range []automata.Symbol{sa, sb} {
+			s[i] = sym
+			walk(i + 1)
+		}
+	}
+	walk(0)
+
+	db := lahar.New()
+	if err := db.PutStream("u", ci.M); err != nil {
+		t.Fatal(err)
+	}
+	db.RegisterTransducer("count", ci.T)
+	conf, err := db.Confidence("u", "count", ci.O, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ci.Count(conf); math.Abs(got-float64(want)) > 1e-6 {
+		t.Errorf("Count(conf) = %g, want %d", got, want)
+	}
+
+	// Metamorphic: the reduction must preserve the NFA's language — the
+	// top enumerated answer is xⁿ exactly when the count is non-zero.
+	res, err := db.TopK("u", "count", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want > 0 {
+		if len(res) == 0 || !reflect.DeepEqual(res[0].Output, ci.O) {
+			t.Errorf("top answer = %v, want xⁿ", res)
+		}
+	}
+}

@@ -59,6 +59,13 @@ func (db *DB) AppendEventsCtx(ctx context.Context, stream string, events []Event
 			failure = fmt.Errorf("lahar: AppendEvents %q: %w", stream, err)
 			break
 		}
+		// The hook runs inside the append lock: a sleeping hook models a
+		// slow or stalling upstream stream (watchers and other appenders
+		// wait; queries keep reading the committed snapshot).
+		if err := db.runHook(ctx, HookAppendEvent, stream, ""); err != nil {
+			failure = fmt.Errorf("lahar: AppendEvents %q event %d: %w", stream, i, err)
+			break
+		}
 		m2, err := m.Extended([][][]float64{ev})
 		if err != nil {
 			failure = fmt.Errorf("lahar: AppendEvents %q event %d: %w", stream, i, err)

@@ -96,12 +96,19 @@ func (db *DB) queryCtx(ctx context.Context) (context.Context, context.CancelFunc
 func (db *DB) TopKCtx(ctx context.Context, stream, qname string, k int) ([]Result, error) {
 	release, err := db.acquire()
 	if err != nil {
+		db.serve.shed.Add(1)
 		return nil, err
 	}
 	defer release()
 	ctx, cancel := db.queryCtx(ctx)
 	defer cancel()
-	return db.topK(ctx, stream, qname, k)
+	if err := db.runHook(ctx, HookTopK, stream, qname); err != nil {
+		db.recordOutcome(err)
+		return nil, err
+	}
+	res, err := db.topK(ctx, stream, qname, k)
+	db.recordOutcome(err)
+	return res, err
 }
 
 // EnumerateCtx is Enumerate with cancellation, the store's per-query
@@ -111,12 +118,19 @@ func (db *DB) TopKCtx(ctx context.Context, stream, qname string, k int) ([]Resul
 func (db *DB) EnumerateCtx(ctx context.Context, stream, qname string, limit int) ([]Result, error) {
 	release, err := db.acquire()
 	if err != nil {
+		db.serve.shed.Add(1)
 		return nil, err
 	}
 	defer release()
 	ctx, cancel := db.queryCtx(ctx)
 	defer cancel()
-	return db.enumerate(ctx, stream, qname, limit)
+	if err := db.runHook(ctx, HookEnumerate, stream, qname); err != nil {
+		db.recordOutcome(err)
+		return nil, err
+	}
+	res, err := db.enumerate(ctx, stream, qname, limit)
+	db.recordOutcome(err)
+	return res, err
 }
 
 // ConfidenceCtx is Confidence with cancellation, the store's per-query
@@ -126,12 +140,19 @@ func (db *DB) EnumerateCtx(ctx context.Context, stream, qname string, limit int)
 func (db *DB) ConfidenceCtx(ctx context.Context, stream, qname string, o []automata.Symbol, index int) (float64, error) {
 	release, err := db.acquire()
 	if err != nil {
+		db.serve.shed.Add(1)
 		return 0, err
 	}
 	defer release()
 	ctx, cancel := db.queryCtx(ctx)
 	defer cancel()
-	return db.confidence(ctx, stream, qname, o, index)
+	if err := db.runHook(ctx, HookConfidence, stream, qname); err != nil {
+		db.recordOutcome(err)
+		return 0, err
+	}
+	v, err := db.confidence(ctx, stream, qname, o, index)
+	db.recordOutcome(err)
+	return v, err
 }
 
 // TopKAcrossCtx is TopKAcross with cancellation, the store's per-query
@@ -141,12 +162,19 @@ func (db *DB) ConfidenceCtx(ctx context.Context, stream, qname string, o []autom
 func (db *DB) TopKAcrossCtx(ctx context.Context, streams []string, qname string, k int) ([]StreamResult, error) {
 	release, err := db.acquire()
 	if err != nil {
+		db.serve.shed.Add(1)
 		return nil, err
 	}
 	defer release()
 	ctx, cancel := db.queryCtx(ctx)
 	defer cancel()
-	return db.topKAcross(ctx, streams, qname, k)
+	if err := db.runHook(ctx, HookTopKAcross, "", qname); err != nil {
+		db.recordOutcome(err)
+		return nil, err
+	}
+	res, err := db.topKAcross(ctx, streams, qname, k)
+	db.recordOutcome(err)
+	return res, err
 }
 
 // SlidingTopKCtx is SlidingTopK with cancellation, the store's
@@ -156,10 +184,17 @@ func (db *DB) TopKAcrossCtx(ctx context.Context, streams []string, qname string,
 func (db *DB) SlidingTopKCtx(ctx context.Context, stream, qname string, window, stride, k int) ([]WindowResult, error) {
 	release, err := db.acquire()
 	if err != nil {
+		db.serve.shed.Add(1)
 		return nil, err
 	}
 	defer release()
 	ctx, cancel := db.queryCtx(ctx)
 	defer cancel()
-	return db.slidingTopK(ctx, stream, qname, window, stride, k)
+	if err := db.runHook(ctx, HookSlidingTopK, stream, qname); err != nil {
+		db.recordOutcome(err)
+		return nil, err
+	}
+	res, err := db.slidingTopK(ctx, stream, qname, window, stride, k)
+	db.recordOutcome(err)
+	return res, err
 }

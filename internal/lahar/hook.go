@@ -1,0 +1,140 @@
+package lahar
+
+// Serving-path test hook and outcome counters.
+//
+// The hook exists for fault injection: the SLO harness (internal/slo)
+// installs one to stall queries, slow a stream's appends, or abort
+// requests mid-flight, so the store's admission control and cancellation
+// guarantees can be exercised under adversarial load without teaching
+// the production paths anything about faults. The hook runs inside the
+// request — after admission (it is never called for a shed query) and
+// inside the appender's critical section for append events — so an
+// injected sleep is indistinguishable from a genuinely slow evaluation
+// or a stalling upstream smoother.
+//
+// ServeStats is the other half of the harness contract: the store
+// classifies every admitted query's outcome at the public boundary, so
+// a load driver's view of shed/deadline-miss rates can be cross-checked
+// against the store's own count.
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// HookOp identifies which serving-path operation a ServeHook observes.
+type HookOp int
+
+const (
+	// HookTopK is a TopK/TopKCtx call.
+	HookTopK HookOp = iota
+	// HookEnumerate is an Enumerate/EnumerateCtx call.
+	HookEnumerate
+	// HookConfidence is a Confidence/ConfidenceCtx call.
+	HookConfidence
+	// HookTopKAcross is a TopKAcross/TopKAcrossCtx fan-out (one call for
+	// the whole fan-out, stream == "").
+	HookTopKAcross
+	// HookSlidingTopK is a SlidingTopK/SlidingTopKCtx call.
+	HookSlidingTopK
+	// HookAppendEvent fires once per event inside AppendEvents, while the
+	// stream's append lock is held — a sleeping hook therefore models a
+	// slow or stalling stream: watchers and other appenders wait, queries
+	// keep reading the last committed snapshot.
+	HookAppendEvent
+)
+
+func (op HookOp) String() string {
+	switch op {
+	case HookTopK:
+		return "TopK"
+	case HookEnumerate:
+		return "Enumerate"
+	case HookConfidence:
+		return "Confidence"
+	case HookTopKAcross:
+		return "TopKAcross"
+	case HookSlidingTopK:
+		return "SlidingTopK"
+	case HookAppendEvent:
+		return "AppendEvent"
+	default:
+		return "unknown"
+	}
+}
+
+// ServeHook observes (and may delay or abort) serving-path operations.
+// It is called with the request's context after admission control has
+// granted the in-flight slot and the store deadline has been applied, so
+// a hook that sleeps should select on ctx.Done() to honor cancellation.
+// A non-nil return aborts the operation with that error (for
+// HookAppendEvent: the append stops before the event, keeping the
+// applied prefix, exactly like a validation failure).
+//
+// Hooks are a test seam — they are not part of the serving API contract
+// and must not be used to implement production behavior.
+type ServeHook func(ctx context.Context, op HookOp, stream, query string) error
+
+// SetServeHook installs (or, with nil, removes) the store's serving-path
+// test hook. Safe to call concurrently with queries; in-flight
+// operations keep the hook they observed at entry.
+func (db *DB) SetServeHook(h ServeHook) {
+	if h == nil {
+		db.hook.Store((*ServeHook)(nil))
+		return
+	}
+	db.hook.Store(&h)
+}
+
+// runHook invokes the installed hook, if any.
+func (db *DB) runHook(ctx context.Context, op HookOp, stream, query string) error {
+	p := db.hook.Load()
+	if p == nil || *p == nil {
+		return nil
+	}
+	return (*p)(ctx, op, stream, query)
+}
+
+// serveCounters is the store-side outcome classification of admitted
+// queries; read via ServeStats.
+type serveCounters struct {
+	served, shed, deadlineMisses, cancelled atomic.Uint64
+}
+
+// ServeStats is a snapshot of the store's query-outcome counters,
+// classified at the public *Ctx boundary.
+type ServeStats struct {
+	// Served counts admitted public query calls (whatever their result);
+	// Shed counts calls rejected with ErrOverloaded before touching an
+	// engine. Served + Shed is the total public query arrivals.
+	Served, Shed uint64
+	// DeadlineMisses counts admitted calls that returned
+	// context.DeadlineExceeded (store deadline or the caller's own);
+	// Cancelled counts admitted calls that returned context.Canceled.
+	// Both are included in Served.
+	DeadlineMisses, Cancelled uint64
+}
+
+// ServeStats returns a snapshot of the query-outcome counters.
+func (db *DB) ServeStats() ServeStats {
+	return ServeStats{
+		Served:         db.serve.served.Load(),
+		Shed:           db.serve.shed.Load(),
+		DeadlineMisses: db.serve.deadlineMisses.Load(),
+		Cancelled:      db.serve.cancelled.Load(),
+	}
+}
+
+// recordOutcome classifies one admitted query's result. Shed is counted
+// at the acquire site instead (the call never reached this point).
+func (db *DB) recordOutcome(err error) {
+	db.serve.served.Add(1)
+	switch {
+	case err == nil:
+	case errors.Is(err, context.DeadlineExceeded):
+		db.serve.deadlineMisses.Add(1)
+	case errors.Is(err, context.Canceled):
+		db.serve.cancelled.Add(1)
+	}
+}

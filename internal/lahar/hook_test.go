@@ -1,0 +1,192 @@
+package lahar
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"markovseq/internal/paperex"
+	"markovseq/internal/testutil"
+)
+
+// TestServeHookObservesOps checks that the hook fires once per public
+// query call with the right operation and names, and once per appended
+// event.
+func TestServeHookObservesOps(t *testing.T) {
+	db, nodes, outs := setup(t)
+	var mu sync.Mutex
+	seen := map[HookOp]int{}
+	db.SetServeHook(func(ctx context.Context, op HookOp, stream, query string) error {
+		mu.Lock()
+		seen[op]++
+		mu.Unlock()
+		switch op {
+		case HookAppendEvent:
+			if stream != "cart17" || query != "" {
+				t.Errorf("%v hook: stream=%q query=%q", op, stream, query)
+			}
+		case HookTopKAcross:
+			if stream != "" || query != "places" {
+				t.Errorf("%v hook: stream=%q query=%q", op, stream, query)
+			}
+		default:
+			if stream != "cart17" || query != "places" {
+				t.Errorf("%v hook: stream=%q query=%q", op, stream, query)
+			}
+		}
+		return nil
+	})
+
+	if _, err := db.TopK("cart17", "places", 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Enumerate("cart17", "places", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Confidence("cart17", "places", outs.MustParseString("1 2"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.TopKAcross(nil, "places", 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.SlidingTopK("cart17", "places", 3, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	full := paperex.Figure1(nodes)
+	if _, err := db.AppendEvents("cart17", []Event{Event(full.TransAt(1)), Event(full.TransAt(2))}); err != nil {
+		t.Fatal(err)
+	}
+
+	want := map[HookOp]int{
+		HookTopK: 1, HookEnumerate: 1, HookConfidence: 1,
+		HookTopKAcross: 1, HookSlidingTopK: 1, HookAppendEvent: 2,
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for op, n := range want {
+		if seen[op] != n {
+			t.Errorf("hook %v fired %d times, want %d", op, seen[op], n)
+		}
+	}
+}
+
+// TestServeHookAbortsQueryAndAppend checks that a hook error aborts the
+// operation with that error, keeps the applied append prefix, and that
+// removing the hook restores normal service.
+func TestServeHookAbortsQueryAndAppend(t *testing.T) {
+	db, nodes, _ := setup(t)
+	boom := errors.New("injected")
+	db.SetServeHook(func(ctx context.Context, op HookOp, stream, query string) error {
+		return boom
+	})
+	if _, err := db.TopK("cart17", "places", 2); !errors.Is(err, boom) {
+		t.Fatalf("TopK err = %v, want injected", err)
+	}
+
+	// Append aborts before the first event: the stream keeps its length.
+	full := paperex.Figure1(nodes)
+	before, _ := db.Stream("cart17")
+	n, err := db.AppendEvents("cart17", []Event{Event(full.TransAt(1))})
+	if !errors.Is(err, boom) {
+		t.Fatalf("AppendEvents err = %v, want injected", err)
+	}
+	if n != before.Len() {
+		t.Fatalf("aborted append moved length: %d, want %d", n, before.Len())
+	}
+
+	db.SetServeHook(nil)
+	if _, err := db.TopK("cart17", "places", 2); err != nil {
+		t.Fatalf("after removing hook: %v", err)
+	}
+}
+
+// TestServeHookSleepHonorsDeadline checks the documented injection
+// pattern: a hook that selects on ctx.Done() turns the store deadline
+// into a prompt DeadlineExceeded, counted as a deadline miss.
+func TestServeHookSleepHonorsDeadline(t *testing.T) {
+	testutil.CheckLeaks(t)
+	db := New(WithQueryDeadline(5 * time.Millisecond))
+	nodes := paperex.Nodes()
+	outs := paperex.Outputs()
+	if err := db.PutStream("cart17", paperex.Figure1(nodes)); err != nil {
+		t.Fatal(err)
+	}
+	db.RegisterTransducer("places", paperex.Figure2(nodes, outs))
+	db.SetServeHook(func(ctx context.Context, op HookOp, stream, query string) error {
+		select {
+		case <-time.After(10 * time.Second):
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	})
+	if _, err := db.TopK("cart17", "places", 2); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("stalled TopK err = %v, want DeadlineExceeded", err)
+	}
+	st := db.ServeStats()
+	if st.Served != 1 || st.DeadlineMisses != 1 {
+		t.Fatalf("ServeStats = %+v, want 1 served / 1 deadline miss", st)
+	}
+}
+
+// TestServeStatsClassification drives one outcome of each class through
+// the public boundary and checks the counters.
+func TestServeStatsClassification(t *testing.T) {
+	testutil.CheckLeaks(t)
+	db, _, _ := setup(t)
+
+	if _, err := db.TopK("cart17", "places", 2); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.TopKCtx(ctx, "cart17", "places", 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled err = %v", err)
+	}
+	st := db.ServeStats()
+	if st.Served != 2 || st.Cancelled != 1 || st.Shed != 0 || st.DeadlineMisses != 0 {
+		t.Fatalf("ServeStats = %+v", st)
+	}
+
+	// Shed: hold the only slot with a stalled query, then overflow it.
+	db2 := New(WithMaxInFlight(1))
+	nodes := paperex.Nodes()
+	outs := paperex.Outputs()
+	if err := db2.PutStream("cart17", paperex.Figure1(nodes)); err != nil {
+		t.Fatal(err)
+	}
+	db2.RegisterTransducer("places", paperex.Figure2(nodes, outs))
+	entered := make(chan struct{})
+	unblock := make(chan struct{})
+	var once sync.Once
+	db2.SetServeHook(func(ctx context.Context, op HookOp, stream, query string) error {
+		once.Do(func() { close(entered) })
+		<-unblock
+		return nil
+	})
+	var shedErr atomic.Value
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, err := db2.TopK("cart17", "places", 2)
+		if err != nil {
+			shedErr.Store(err)
+		}
+	}()
+	<-entered
+	if _, err := db2.TopK("cart17", "places", 2); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("overflow err = %v, want ErrOverloaded", err)
+	}
+	close(unblock)
+	<-done
+	if v := shedErr.Load(); v != nil {
+		t.Fatalf("slot-holding query failed: %v", v)
+	}
+	st2 := db2.ServeStats()
+	if st2.Served != 1 || st2.Shed != 1 {
+		t.Fatalf("ServeStats = %+v, want 1 served / 1 shed", st2)
+	}
+}

@@ -49,6 +49,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"markovseq/internal/automata"
@@ -152,6 +153,11 @@ type DB struct {
 	deadline    time.Duration
 	maxInFlight int
 	inflight    chan struct{}
+
+	// hook is the serving-path test seam (see SetServeHook); serve holds
+	// the store-side query-outcome counters (see ServeStats).
+	hook  atomic.Pointer[ServeHook]
+	serve serveCounters
 }
 
 // Option configures a DB.

@@ -1,0 +1,335 @@
+package slo
+
+// The open-loop load driver. A dispatcher goroutine walks a Poisson
+// arrival schedule (exponential inter-arrival gaps at the scenario
+// rate, absolute deadlines so a late dispatcher fires the backlog
+// immediately instead of silently lowering the offered rate) and spawns
+// one goroutine per request; completions never gate arrivals. All
+// randomness is drawn from the dispatcher's seeded rng before the
+// request goroutine starts, so a scenario's op sequence is reproducible
+// even though its interleaving under load is not.
+//
+// Driver-level faults run beside the arrival loop: a stampede timer
+// (version-bump PutStream + synchronized cold queries), an invalidation
+// storm ticker (periodic PutStream), and per-arrival cancellation
+// bursts (contexts cancelled after a sub-latency delay).
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"markovseq/internal/automata"
+	"markovseq/internal/lahar"
+)
+
+// ScenarioResult is one scenario run reduced to its verdict.
+type ScenarioResult struct {
+	Name       string           `json:"name"`
+	Procs      int              `json:"procs"`
+	Elapsed    time.Duration    `json:"elapsed_ns"`
+	SLIs       SLIs             `json:"slis"`
+	Burn       float64          `json:"burn"`
+	Violations []string         `json:"violations,omitempty"`
+	Inject     InjectStats      `json:"inject"`
+	Serve      lahar.ServeStats `json:"serve"`
+	Cache      lahar.CacheStats `json:"cache"`
+}
+
+// Passed reports whether the scenario held its budget.
+func (r *ScenarioResult) Passed() bool { return r.Burn <= 1 }
+
+// Run executes one scenario end to end: fixture build, fault
+// installation, the open-loop drive, and the SLI/burn reduction. The
+// context aborts the run early (the partial result is still reduced
+// and returned with ctx.Err()).
+func Run(ctx context.Context, sc *Scenario) (*ScenarioResult, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	fx, err := NewFixture(sc)
+	if err != nil {
+		return nil, err
+	}
+	inj := NewInjector(sc.Faults)
+	inj.Install(fx.DB)
+
+	d := &driver{sc: sc, fx: fx}
+	start := time.Now()
+	runErr := d.drive(ctx)
+	elapsed := time.Since(start)
+
+	res := &ScenarioResult{
+		Name:    sc.Name,
+		Elapsed: elapsed,
+		SLIs:    Reduce(d.outcomes, int(d.watchWindows.Load()), elapsed),
+		Inject:  inj.Stats(),
+		Serve:   fx.DB.ServeStats(),
+		Cache:   fx.DB.Stats(),
+	}
+	res.Burn, res.Violations = sc.Budget.Burn(res.SLIs)
+	return res, runErr
+}
+
+// driver holds one run's mutable state.
+type driver struct {
+	sc *Scenario
+	fx *Fixture
+
+	mu       sync.Mutex
+	outcomes []Outcome
+
+	watchWindows atomic.Int64
+}
+
+func (d *driver) record(o Outcome) {
+	d.mu.Lock()
+	d.outcomes = append(d.outcomes, o)
+	d.mu.Unlock()
+}
+
+// pick draws an op from the weighted mix.
+func (d *driver) pick(rng *rand.Rand) Op {
+	total := 0.0
+	for _, w := range d.sc.Mix {
+		total += w.Weight
+	}
+	v := rng.Float64() * total
+	for _, w := range d.sc.Mix {
+		if v < w.Weight {
+			return w.Op
+		}
+		v -= w.Weight
+	}
+	return d.sc.Mix[len(d.sc.Mix)-1].Op
+}
+
+// drive runs the arrival loop plus the fault and watcher side-cars,
+// then waits for every request to finish.
+func (d *driver) drive(ctx context.Context) error {
+	sc := d.sc
+	rng := rand.New(rand.NewSource(sc.Seed))
+	start := time.Now()
+	end := start.Add(sc.Duration.D())
+
+	runCtx, stop := context.WithDeadline(ctx, end)
+	defer stop()
+
+	var side sync.WaitGroup // side-cars: watchers, storm, stampede
+	if sc.Watch != nil {
+		for _, stream := range d.fx.Streams {
+			side.Add(1)
+			go func(stream string) {
+				defer side.Done()
+				d.watchLoop(runCtx, stream)
+			}(stream)
+		}
+	}
+	if e := sc.Faults.InvalidateEvery.D(); e > 0 {
+		side.Add(1)
+		go func() {
+			defer side.Done()
+			d.stormLoop(runCtx, e)
+		}()
+	}
+
+	var reqs sync.WaitGroup
+	if sc.Faults.StampedeSize > 0 {
+		at := time.Duration(sc.Faults.StampedeAt * float64(sc.Duration.D()))
+		side.Add(1)
+		go func() {
+			defer side.Done()
+			select {
+			case <-runCtx.Done():
+				return
+			case <-time.After(at):
+			}
+			d.stampede(runCtx, &reqs, start)
+		}()
+	}
+
+	// The arrival loop. Absolute scheduling: `next` advances by
+	// exponential gaps independent of how long dispatch took, so falling
+	// behind fires the backlog immediately (open-loop offered rate).
+	next := start
+	for {
+		gap := time.Duration(rng.ExpFloat64() / sc.Rate * float64(time.Second))
+		next = next.Add(gap)
+		if next.After(end) {
+			break
+		}
+		if err := sleepCtx(ctx, time.Until(next)); err != nil {
+			break
+		}
+		op := d.pick(rng)
+		stream := d.fx.Streams[rng.Intn(len(d.fx.Streams))]
+		target := d.fx.ConfTargets[rng.Intn(len(d.fx.ConfTargets))]
+
+		// Cancellation bursts: derive the request context (and its timed
+		// abandon) here so the rng stays dispatcher-only. The request
+		// goroutine stops the timer on completion; an already-fired timer
+		// just re-cancels a finished context.
+		reqCtx, reqDone := context.WithCancel(runCtx)
+		var abandon *time.Timer
+		if f := sc.Faults.CancelFraction; f > 0 && rng.Float64() < f {
+			after := time.Duration(0)
+			if ca := sc.Faults.CancelAfter.D(); ca > 0 {
+				after = time.Duration(rng.Int63n(int64(ca) + 1))
+			}
+			abandon = time.AfterFunc(after, reqDone)
+		}
+
+		reqs.Add(1)
+		go func(op Op, stream string, target []automata.Symbol, arrival time.Time) {
+			defer reqs.Done()
+			defer reqDone()
+			if abandon != nil {
+				defer abandon.Stop()
+			}
+			d.do(reqCtx, op, stream, target, arrival, start)
+		}(op, stream, target, next)
+	}
+	reqs.Wait()
+	stop() // release the watchers and fault side-cars
+	side.Wait()
+	return ctx.Err()
+}
+
+// do executes one request and records its outcome.
+func (d *driver) do(ctx context.Context, op Op, stream string, target []automata.Symbol, arrival time.Time, start time.Time) {
+	sc, db := d.sc, d.fx.DB
+	k := sc.K
+	if k < 1 {
+		k = 5
+	}
+	o := Outcome{Op: op, Start: arrival.Sub(start)}
+	t0 := time.Now()
+	var err error
+	switch op {
+	case OpTopK:
+		// TTFA probe first: the k=1 call is the time to first answer of
+		// the ranked enumeration (cold engines include bind cost — that
+		// is the point). The full-k call extends the same memoized
+		// prefix.
+		var first []lahar.Result
+		first, err = db.TopKCtx(ctx, stream, d.fx.Query, 1)
+		o.TTFA = time.Since(t0)
+		o.Answers = len(first)
+		if err == nil {
+			var res []lahar.Result
+			res, err = db.TopKCtx(ctx, stream, d.fx.Query, k)
+			o.Answers = len(res)
+		}
+	case OpConfidence:
+		_, err = db.ConfidenceCtx(ctx, stream, d.fx.Query, target, 0)
+	case OpEnumerate:
+		var res []lahar.Result
+		res, err = db.EnumerateCtx(ctx, stream, d.fx.Query, k)
+		o.Answers = len(res)
+	case OpTopKAcross:
+		var res []lahar.StreamResult
+		res, err = db.TopKAcrossCtx(ctx, nil, d.fx.Query, k)
+		o.Answers = len(res)
+	case OpSlidingTopK:
+		w, s := sc.Window, sc.Stride
+		if w < 1 {
+			w = 16
+		}
+		if s < 1 {
+			s = 8
+		}
+		var res []lahar.WindowResult
+		res, err = db.SlidingTopKCtx(ctx, stream, d.fx.Query, w, s, k)
+		o.Windows = len(res)
+	case OpAppend:
+		n := sc.AppendBatch
+		if n < 1 {
+			n = 4
+		}
+		batch := d.fx.NextEvents(stream, n)
+		_, err = db.AppendEventsCtx(ctx, stream, batch)
+		if err == nil {
+			o.Events = len(batch)
+		}
+	}
+	o.Latency = time.Since(t0)
+	o.Err = err
+	o.Class = Classify(err)
+	d.record(o)
+}
+
+// stampede bumps the primary stream's version and fires StampedeSize
+// synchronized cold TopK queries — every one of them misses the engine
+// cache for the same (stream, query, version) at once.
+func (d *driver) stampede(ctx context.Context, reqs *sync.WaitGroup, start time.Time) {
+	sc := d.sc
+	stream := d.fx.Streams[0]
+	if rep := d.fx.Replacement(stream); rep != nil {
+		_ = d.fx.DB.PutStream(stream, rep)
+	}
+	release := make(chan struct{})
+	for i := 0; i < sc.Faults.StampedeSize; i++ {
+		reqs.Add(1)
+		go func() {
+			defer reqs.Done()
+			<-release
+			d.do(ctx, OpTopK, stream, d.fx.ConfTargets[0], time.Now(), start)
+		}()
+	}
+	close(release)
+}
+
+// stormLoop replaces streams round-robin on the period — the
+// invalidation storm. PutStream re-validates, drops cached engines, and
+// fails live watchers (watchLoop resubscribes).
+func (d *driver) stormLoop(ctx context.Context, every time.Duration) {
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	i := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			stream := d.fx.Streams[i%len(d.fx.Streams)]
+			i++
+			if rep := d.fx.Replacement(stream); rep != nil {
+				_ = d.fx.DB.PutStream(stream, rep)
+			}
+		}
+	}
+}
+
+// watchLoop keeps one standing WatchSlidingTopK on the stream for the
+// run, counting delivered window deltas; a storm-failed subscription is
+// resubscribed until the run ends.
+func (d *driver) watchLoop(ctx context.Context, stream string) {
+	w := d.sc.Watch
+	for ctx.Err() == nil {
+		sub, err := d.fx.DB.WatchSlidingTopK(stream, d.fx.Query, w.Window, w.Stride, w.K)
+		if err != nil {
+			// Unknown stream cannot happen (fixture-owned); transient
+			// registration races with PutStream resolve on retry.
+			if sleepCtx(ctx, time.Millisecond) != nil {
+				return
+			}
+			continue
+		}
+		func() {
+			defer sub.Close()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case _, ok := <-sub.C():
+					if !ok {
+						return // failed (storm) or closed; resubscribe
+					}
+					d.watchWindows.Add(1)
+				}
+			}
+		}()
+	}
+}

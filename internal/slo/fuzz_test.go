@@ -1,0 +1,82 @@
+package slo
+
+// FuzzSLOScenarioConfig fuzzes the scenario-table parsing/validation
+// surface: arbitrary JSON must never panic, never validate a scenario
+// the driver could not run safely (zero/NaN rate, negative budget,
+// unbounded schedule), and every accepted scenario must survive a
+// marshal → re-parse round trip. The NaN-rate seed below is the class
+// of input that motivated finitePos: `rate <= 0` lets NaN through.
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+	"time"
+)
+
+func FuzzSLOScenarioConfig(f *testing.F) {
+	f.Add([]byte(`{"name":"a","workload":"rfid","rate":5,"duration":"1s",
+	               "mix":[{"op":"topk","weight":1}],"budget":{"p50":"100ms"}}`))
+	f.Add([]byte(`{"name":"a","workload":"rfid","rate":0,"duration":"1s",
+	               "mix":[{"op":"topk","weight":1}]}`))
+	f.Add([]byte(`{"name":"a","workload":"rfid","rate":null,"duration":"1s",
+	               "mix":[{"op":"topk","weight":1}]}`))
+	f.Add([]byte(`{"name":"a","workload":"adversarial","rate":1e308,"duration":"10m",
+	               "mix":[{"op":"append","weight":1}]}`))
+	f.Add([]byte(`{"name":"a","workload":"rfid","rate":5,"duration":"1s",
+	               "mix":[{"op":"topk","weight":1}],"budget":{"max_shed_rate":-1}}`))
+	f.Add([]byte(`{"name":"a","workload":"rfid","rate":5,"duration":-1,
+	               "mix":[{"op":"topk","weight":1}]}`))
+	f.Add([]byte(`{"name":"a","workload":"rfid","rate":5,"duration":"1s",
+	               "mix":[{"op":"topk","weight":1}],
+	               "faults":{"stall_every":3,"invalidate_every":"1ns"}}`))
+	f.Add([]byte(`[{"name":"a"},{"name":"a"}]`))
+	f.Add([]byte(`{}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := ParseScenario(data)
+		ParseScenarios(data) // must not panic either; errors are fine
+		if err != nil {
+			return
+		}
+		// Accepted scenarios must be safe for the driver.
+		if !(sc.Rate > 0) || math.IsNaN(sc.Rate) || math.IsInf(sc.Rate, 0) {
+			t.Fatalf("accepted unsafe rate %v", sc.Rate)
+		}
+		if sc.Duration <= 0 || sc.Duration.D() > 10*time.Minute {
+			t.Fatalf("accepted unsafe duration %v", sc.Duration)
+		}
+		if sc.Rate*sc.Duration.D().Seconds() > maxArrivals {
+			t.Fatalf("accepted unbounded schedule: %v/s × %v", sc.Rate, sc.Duration)
+		}
+		for _, w := range sc.Mix {
+			if !knownOps[w.Op] || !(w.Weight > 0) || math.IsInf(w.Weight, 0) {
+				t.Fatalf("accepted unsafe mix entry %+v", w)
+			}
+		}
+		for _, v := range []float64{
+			sc.Budget.MaxShedRate, sc.Budget.MaxDeadlineMissRate, sc.Budget.MaxErrorRate,
+			sc.Budget.MinWindowsPerSec, sc.Budget.MinAppendEventsPerSec,
+		} {
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("accepted unsafe budget value %v", v)
+			}
+		}
+		if sc.Faults.StallEvery > 0 && sc.Faults.StallFor <= 0 {
+			t.Fatalf("accepted stall_every without stall_for")
+		}
+
+		// Round trip: marshal and re-parse must accept the same scenario.
+		out, err := json.Marshal(sc)
+		if err != nil {
+			t.Fatalf("marshal accepted scenario: %v", err)
+		}
+		sc2, err := ParseScenario(out)
+		if err != nil {
+			t.Fatalf("round trip rejected %s: %v", out, err)
+		}
+		if sc2.Name != sc.Name || sc2.Rate != sc.Rate || sc2.Duration != sc.Duration {
+			t.Fatalf("round trip changed scenario: %+v vs %+v", sc, sc2)
+		}
+	})
+}

@@ -1,0 +1,134 @@
+package slo
+
+// End-to-end harness tests: a real driver run against a live store, and
+// the acceptance-criteria breach test — a budget that cannot be held
+// must produce burn > 1 and a failed verdict.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"markovseq/internal/testutil"
+)
+
+// quickScenario is a fast mixed scenario used by the e2e tests.
+func quickScenario() *Scenario {
+	return &Scenario{
+		Name:     "quick",
+		Workload: "rfid",
+		Rate:     60,
+		Duration: Duration(250 * time.Millisecond),
+		Seed:     11,
+		Mix: []OpWeight{
+			{Op: OpTopK, Weight: 0.4},
+			{Op: OpConfidence, Weight: 0.2},
+			{Op: OpSlidingTopK, Weight: 0.1},
+			{Op: OpAppend, Weight: 0.3},
+		},
+		K: 3, AppendBatch: 4,
+		Budget: Budget{P50: Duration(time.Second), MaxErrorRate: 0.01},
+	}
+}
+
+func TestRunSmoke(t *testing.T) {
+	testutil.CheckLeaks(t)
+	res, err := Run(context.Background(), quickScenario())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.SLIs.Arrivals == 0 || res.SLIs.Queries == 0 {
+		t.Fatalf("no load was driven: %+v", res.SLIs)
+	}
+	if !res.Passed() {
+		t.Fatalf("quick scenario burned its budget: burn %v, %v", res.Burn, res.Violations)
+	}
+	if res.SLIs.P50Ns <= 0 {
+		t.Errorf("p50 not measured: %+v", res.SLIs)
+	}
+	// Driver-observed outcomes must agree with the store's own counters:
+	// every recorded query arrival was either admitted (served) or shed.
+	if res.Serve.Served == 0 {
+		t.Errorf("store served nothing: %+v", res.Serve)
+	}
+}
+
+// TestRunBreach is the acceptance check for the gate itself: an
+// impossible budget must burn (> 1), carry violations, and fail the
+// scenario — the harness demonstrably fails when an SLO is violated.
+func TestRunBreach(t *testing.T) {
+	testutil.CheckLeaks(t)
+	sc := quickScenario()
+	sc.Name = "breach"
+	sc.Budget = Budget{P50: 1} // 1ns: no real query completes this fast
+	res, err := Run(context.Background(), sc)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Passed() || res.Burn <= 1 {
+		t.Fatalf("impossible budget passed: burn %v", res.Burn)
+	}
+	if len(res.Violations) == 0 {
+		t.Fatal("breached budget reported no violations")
+	}
+}
+
+// TestRunInvalidScenario pins the satellite fix: config errors must be
+// rejected before any load is driven — never a hang.
+func TestRunInvalidScenario(t *testing.T) {
+	sc := quickScenario()
+	sc.Rate = 0 // exponential inter-arrival at rate 0 is +Inf: would hang
+	if _, err := Run(context.Background(), sc); err == nil {
+		t.Fatal("Run accepted a zero-rate scenario")
+	}
+	sc = quickScenario()
+	sc.Budget.MaxShedRate = -0.5
+	if _, err := Run(context.Background(), sc); err == nil {
+		t.Fatal("Run accepted a negative budget")
+	}
+}
+
+// TestRunFaultedScenarios drives a faulted subset end to end: the
+// injector must actually land faults and the run must still reduce.
+func TestRunFaultedScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("faulted scenario sweep skipped in -short")
+	}
+	testutil.CheckLeaks(t)
+	for _, sc := range Builtin(true) {
+		if !sc.Faults.injectsAny() {
+			continue
+		}
+		res, err := Run(context.Background(), sc)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		if res.SLIs.Arrivals == 0 {
+			t.Errorf("%s: no arrivals", sc.Name)
+		}
+		if sc.Faults.StallEvery > 0 && res.Inject.QueryStalls == 0 && res.SLIs.Queries > int(sc.Faults.StallEvery) {
+			t.Errorf("%s: stalls configured but none landed: %+v", sc.Name, res.Inject)
+		}
+	}
+}
+
+// TestRunContextCancel: cancelling the run context ends the drive early
+// and still returns a reduced partial result.
+func TestRunContextCancel(t *testing.T) {
+	testutil.CheckLeaks(t)
+	sc := quickScenario()
+	sc.Duration = Duration(5 * time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	res, err := Run(ctx, sc)
+	if err == nil {
+		t.Fatal("expected ctx error from truncated run")
+	}
+	if res == nil {
+		t.Fatal("truncated run returned no partial result")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("cancel did not stop the drive promptly: %v", elapsed)
+	}
+}

@@ -1,0 +1,89 @@
+package slo
+
+// Injector: the in-request half of fault injection. It rides the
+// store's serving-path test hook (lahar.SetServeHook), so its stalls
+// land exactly where a slow dependency or a stalling upstream stream
+// would — after admission, inside the append lock — and honor the
+// request context the way a well-behaved dependency must.
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"markovseq/internal/lahar"
+)
+
+// InjectStats counts the faults an Injector actually landed.
+type InjectStats struct {
+	// QueryStalls / AppendStalls are hook sleeps completed (or cut short
+	// by the request context — they still count: the delay was injected).
+	QueryStalls, AppendStalls uint64
+}
+
+// Injector implements the hook-level faults of a scenario. One injector
+// serves one scenario run; install it with Install and read the damage
+// with Stats.
+type Injector struct {
+	stallEvery  int64
+	stallFor    time.Duration
+	appendStall time.Duration
+
+	calls        atomic.Int64
+	queryStalls  atomic.Uint64
+	appendStalls atomic.Uint64
+}
+
+// NewInjector builds an injector from the scenario's hook-level fault
+// config (driver-level faults — stampedes, storms, cancel bursts — live
+// in the driver).
+func NewInjector(f Faults) *Injector {
+	return &Injector{
+		stallEvery:  int64(f.StallEvery),
+		stallFor:    f.StallFor.D(),
+		appendStall: f.AppendStall.D(),
+	}
+}
+
+// Install wires the injector into the store. Passing the zero scenario
+// faults still installs (and immediately no-ops) — the hook is cheap.
+func (inj *Injector) Install(db *lahar.DB) {
+	db.SetServeHook(inj.hook)
+}
+
+// Stats snapshots the injected-fault counters.
+func (inj *Injector) Stats() InjectStats {
+	return InjectStats{
+		QueryStalls:  inj.queryStalls.Load(),
+		AppendStalls: inj.appendStalls.Load(),
+	}
+}
+
+func (inj *Injector) hook(ctx context.Context, op lahar.HookOp, stream, query string) error {
+	if op == lahar.HookAppendEvent {
+		if inj.appendStall > 0 {
+			inj.appendStalls.Add(1)
+			return sleepCtx(ctx, inj.appendStall)
+		}
+		return nil
+	}
+	if inj.stallEvery > 0 && inj.calls.Add(1)%inj.stallEvery == 0 {
+		inj.queryStalls.Add(1)
+		return sleepCtx(ctx, inj.stallFor)
+	}
+	return nil
+}
+
+// sleepCtx sleeps d or until the context ends, returning ctx.Err() in
+// the latter case so the store classifies the request as a deadline
+// miss / cancellation rather than hanging past its budget.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,145 @@
+package slo
+
+// The builtin scenario table. Budgets are deliberately loose: they are
+// regression tripwires for "the serving path fell off a cliff" (a burn
+// of 1 means an SLI landed at its documented ceiling), not performance
+// targets, and they must hold on a 1-CPU CI box under -race. Tighter
+// point-in-time numbers belong in BENCH_slo.base.json via benchcmp.
+//
+// Five of the seven scenarios inject faults; steady-mixed and
+// ranked-adversarial are the clean baselines the faulted runs are read
+// against.
+
+// Builtin returns the builtin scenario table. With smoke set, each
+// scenario is scaled to a sub-second duration and its throughput floors
+// are un-gated (a 300ms run does not earn a windows/sec estimate);
+// ceilings — latency, shed, miss, error rates — stay armed.
+func Builtin(smoke bool) []*Scenario {
+	scs := builtin()
+	if smoke {
+		for _, sc := range scs {
+			sc.Duration = Duration(smokeDuration)
+			sc.Budget.MinWindowsPerSec = 0
+			sc.Budget.MinAppendEventsPerSec = 0
+		}
+	}
+	return scs
+}
+
+const smokeDuration = 300 * msec
+
+const (
+	msec = Duration(1e6) // one millisecond in Duration's ns unit
+	sec  = 1000 * msec
+)
+
+func builtin() []*Scenario {
+	mixed := []OpWeight{
+		{Op: OpTopK, Weight: 0.35},
+		{Op: OpConfidence, Weight: 0.2},
+		{Op: OpSlidingTopK, Weight: 0.15},
+		{Op: OpTopKAcross, Weight: 0.1},
+		{Op: OpAppend, Weight: 0.2},
+	}
+	return []*Scenario{
+		{
+			Name:        "steady-mixed",
+			Description: "clean baseline: mixed rfid workload, no faults",
+			Workload:    "rfid",
+			Rate:        50, Duration: 2 * sec, Seed: 1,
+			Mix: mixed, K: 5, AppendBatch: 4,
+			Budget: Budget{
+				P50: 50 * msec, P99: 400 * msec,
+				MaxErrorRate: 0.01, MaxShedRate: 0.01,
+				MinAppendEventsPerSec: 1,
+			},
+		},
+		{
+			Name:        "slow-streams",
+			Description: "stalling upstream: per-event append stalls plus periodic query stalls",
+			Workload:    "rfid",
+			Rate:        40, Duration: 2 * sec, Seed: 2,
+			Mix: mixed, K: 5, AppendBatch: 4,
+			Deadline: 250 * msec,
+			Faults: Faults{
+				StallEvery: 7, StallFor: 60 * msec,
+				AppendStall: 2 * msec,
+			},
+			Budget: Budget{
+				P50: 80 * msec, P99: 500 * msec,
+				MaxDeadlineMissRate: 0.5, MaxErrorRate: 0.01,
+			},
+		},
+		{
+			Name:        "cache-stampede",
+			Description: "mid-run version bump plus synchronized cold queries on one stream",
+			Workload:    "rfid",
+			Rate:        40, Duration: 2 * sec, Seed: 3,
+			Mix: mixed, K: 5, AppendBatch: 4,
+			Faults: Faults{StampedeSize: 24, StampedeAt: 0.5},
+			Budget: Budget{
+				P99: 600 * msec, TTFAP99: 600 * msec,
+				MaxErrorRate: 0.01, MaxShedRate: 0.01,
+			},
+		},
+		{
+			Name:        "ranked-adversarial",
+			Description: "hardness-generator workload: amplified Mealy reduction with a flat score landscape",
+			Workload:    "adversarial",
+			Rate:        30, Duration: 2 * sec, Seed: 4,
+			Mix: []OpWeight{
+				{Op: OpTopK, Weight: 0.6},
+				{Op: OpConfidence, Weight: 0.2},
+				{Op: OpAppend, Weight: 0.2},
+			},
+			K: 5, AppendBatch: 2,
+			Budget: Budget{
+				P50: 150 * msec, P99: 800 * msec, TTFAP99: 800 * msec,
+				MaxErrorRate: 0.01,
+			},
+		},
+		{
+			Name:        "invalidation-storm",
+			Description: "periodic PutStream replacement while watchers and appenders run",
+			Workload:    "rfid",
+			Rate:        40, Duration: 2 * sec, Seed: 5,
+			Mix: mixed, K: 5, AppendBatch: 4,
+			Watch:  &WatchSpec{Window: 16, Stride: 8, K: 3},
+			Faults: Faults{InvalidateEvery: 300 * msec},
+			Budget: Budget{
+				P99:          600 * msec,
+				MaxErrorRate: 0.05, // storm-raced appends land as errors
+				// Watchers must keep delivering across resubscriptions; a
+				// 2s run with ~8 appended events/stream/sec completes well
+				// over one window per second across the fleet.
+				MinWindowsPerSec: 0.5,
+			},
+		},
+		{
+			Name:        "cancel-burst",
+			Description: "a third of clients abandon requests shortly after issuing them",
+			Workload:    "rfid",
+			Rate:        50, Duration: 2 * sec, Seed: 6,
+			Mix: mixed, K: 5, AppendBatch: 4,
+			Faults: Faults{CancelFraction: 0.33, CancelAfter: 10 * msec},
+			Budget: Budget{
+				P50: 50 * msec, P99: 400 * msec,
+				MaxErrorRate: 0.01,
+			},
+		},
+		{
+			Name:        "overload-shed",
+			Description: "tiny admission limit under stalls: load must shed, survivors must stay fast",
+			Workload:    "rfid",
+			Rate:        80, Duration: 2 * sec, Seed: 7,
+			Mix: mixed, K: 5, AppendBatch: 4,
+			MaxInFlight: 2, Deadline: 100 * msec,
+			Faults: Faults{StallEvery: 4, StallFor: 80 * msec},
+			Budget: Budget{
+				P50:         120 * msec,
+				MaxShedRate: 0.9, MaxDeadlineMissRate: 0.9,
+				MaxErrorRate: 0.01,
+			},
+		},
+	}
+}

@@ -1,0 +1,244 @@
+package slo
+
+// SLI reduction: per-request outcomes → service-level indicators →
+// error-budget burn against the scenario's Budget.
+//
+// Percentiles are nearest-rank order statistics over the full recorded
+// sample (every completed request is recorded — no reservoir, no
+// decay), which is exact for the sample and free of the interpolation
+// and bucketing error a streaming estimator would add; scenario sample
+// counts (10²–10⁵) make the memory cost irrelevant. The p999 of a
+// sub-1000 sample is the max — reported, and gated only by scenarios
+// whose rate×duration earns the resolution.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"markovseq/internal/lahar"
+)
+
+// ErrClass buckets a request outcome for SLI purposes.
+type ErrClass int
+
+const (
+	// ClassOK is a fully successful request.
+	ClassOK ErrClass = iota
+	// ClassShed is an ErrOverloaded admission rejection.
+	ClassShed
+	// ClassDeadline is a DeadlineExceeded result (store or caller
+	// deadline); ranked queries still carry their proven prefix.
+	ClassDeadline
+	// ClassCancelled is a context.Canceled result — in this harness
+	// always an injected client abandon, so it is tracked but does not
+	// burn error budget.
+	ClassCancelled
+	// ClassReplaced is a "stream replaced" append/watch failure during
+	// an injected invalidation storm — expected churn, not an error.
+	ClassReplaced
+	// ClassError is everything else: unexpected, burns MaxErrorRate.
+	ClassError
+)
+
+func (c ErrClass) String() string {
+	switch c {
+	case ClassOK:
+		return "ok"
+	case ClassShed:
+		return "shed"
+	case ClassDeadline:
+		return "deadline"
+	case ClassCancelled:
+		return "cancelled"
+	case ClassReplaced:
+		return "replaced"
+	default:
+		return "error"
+	}
+}
+
+// Classify buckets a request error.
+func Classify(err error) ErrClass {
+	switch {
+	case err == nil:
+		return ClassOK
+	case errors.Is(err, lahar.ErrOverloaded):
+		return ClassShed
+	case errors.Is(err, context.DeadlineExceeded):
+		return ClassDeadline
+	case errors.Is(err, context.Canceled):
+		return ClassCancelled
+	case strings.Contains(err.Error(), "replaced"):
+		return ClassReplaced
+	default:
+		return ClassError
+	}
+}
+
+// Outcome is one recorded request.
+type Outcome struct {
+	Op      Op
+	Start   time.Duration // offset from scenario start
+	Latency time.Duration
+	// TTFA is the time to first answer (the k=1 probe) for OpTopK; 0
+	// when not measured.
+	TTFA  time.Duration
+	Class ErrClass
+	Err   error
+	// Events / Windows / Answers are op-specific volume counts.
+	Events, Windows, Answers int
+}
+
+// SLIs are the reduced service-level indicators of one scenario run.
+type SLIs struct {
+	Arrivals  int     `json:"arrivals"`
+	Queries   int     `json:"queries"` // query arrivals (appends excluded)
+	QPS       float64 `json:"qps"`     // completed queries per second
+	P50Ns     float64 `json:"p50_ns"`
+	P99Ns     float64 `json:"p99_ns"`
+	P999Ns    float64 `json:"p999_ns"`
+	MaxNs     float64 `json:"max_ns"`
+	TTFAP50Ns float64 `json:"ttfa_p50_ns"`
+	TTFAP99Ns float64 `json:"ttfa_p99_ns"`
+	// Rates are fractions of query arrivals.
+	ShedRate         float64 `json:"shed_rate"`
+	DeadlineMissRate float64 `json:"deadline_miss_rate"`
+	CancelledRate    float64 `json:"cancelled_rate"`
+	ErrorRate        float64 `json:"error_rate"`
+	// Throughputs.
+	WindowsPerSec      float64 `json:"windows_per_sec"`
+	AppendEventsPerSec float64 `json:"append_events_per_sec"`
+}
+
+// percentile returns the nearest-rank p-th percentile (p in (0,100]) of
+// sorted, or 0 for an empty sample.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// Reduce computes the SLIs of one scenario run. watchWindows counts
+// window deltas delivered by standing watchers; elapsed is the measured
+// wall time of the run.
+func Reduce(outs []Outcome, watchWindows int, elapsed time.Duration) SLIs {
+	var s SLIs
+	s.Arrivals = len(outs)
+	var lat, ttfa []time.Duration
+	var completed, appendEvents int
+	for _, o := range outs {
+		if o.Op == OpAppend {
+			appendEvents += o.Events
+			continue
+		}
+		s.Queries++
+		switch o.Class {
+		case ClassShed:
+			s.ShedRate++
+			continue
+		case ClassCancelled:
+			s.CancelledRate++
+			continue
+		case ClassDeadline:
+			s.DeadlineMissRate++
+		case ClassError:
+			s.ErrorRate++
+			continue
+		case ClassReplaced:
+			continue
+		}
+		// OK and deadline-missed requests completed with a (possibly
+		// partial) answer: both are the latency the caller saw.
+		completed++
+		lat = append(lat, o.Latency)
+		if o.TTFA > 0 {
+			ttfa = append(ttfa, o.TTFA)
+		}
+	}
+	if s.Queries > 0 {
+		q := float64(s.Queries)
+		s.ShedRate /= q
+		s.DeadlineMissRate /= q
+		s.CancelledRate /= q
+		s.ErrorRate /= q
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	sort.Slice(ttfa, func(i, j int) bool { return ttfa[i] < ttfa[j] })
+	s.P50Ns = float64(percentile(lat, 50))
+	s.P99Ns = float64(percentile(lat, 99))
+	s.P999Ns = float64(percentile(lat, 99.9))
+	s.MaxNs = float64(percentile(lat, 100))
+	s.TTFAP50Ns = float64(percentile(ttfa, 50))
+	s.TTFAP99Ns = float64(percentile(ttfa, 99))
+	if sec := elapsed.Seconds(); sec > 0 {
+		s.QPS = float64(completed) / sec
+		s.WindowsPerSec = float64(watchWindows) / sec
+		s.AppendEventsPerSec = float64(appendEvents) / sec
+	}
+	return s
+}
+
+// Burn computes the error-budget burn of the SLIs against the budget:
+// the worst observed/allowed ratio over the gated fields (for
+// throughput floors, allowed/observed). Burn ≤ 1 means the scenario
+// held its SLO; each component > 1 contributes a violation string.
+func (b Budget) Burn(s SLIs) (burn float64, violations []string) {
+	add := func(ratio float64, msg string) {
+		if ratio > burn {
+			burn = ratio
+		}
+		if ratio > 1 {
+			violations = append(violations, msg)
+		}
+	}
+	ceil := func(name string, obs float64, allowed Duration) {
+		if allowed <= 0 {
+			return
+		}
+		r := obs / float64(allowed)
+		add(r, fmt.Sprintf("%s %v > budget %v (burn %.2f)",
+			name, time.Duration(obs), allowed.D(), r))
+	}
+	ceil("p50", s.P50Ns, b.P50)
+	ceil("p99", s.P99Ns, b.P99)
+	ceil("p999", s.P999Ns, b.P999)
+	ceil("ttfa-p99", s.TTFAP99Ns, b.TTFAP99)
+
+	rate := func(name string, obs, allowed float64) {
+		if allowed <= 0 {
+			return
+		}
+		r := obs / allowed
+		add(r, fmt.Sprintf("%s %.4f > budget %.4f (burn %.2f)", name, obs, allowed, r))
+	}
+	rate("shed-rate", s.ShedRate, b.MaxShedRate)
+	rate("deadline-miss-rate", s.DeadlineMissRate, b.MaxDeadlineMissRate)
+	rate("error-rate", s.ErrorRate, b.MaxErrorRate)
+
+	floor := func(name string, obs, min float64) {
+		if min <= 0 {
+			return
+		}
+		r := math.Inf(1)
+		if obs > 0 {
+			r = min / obs
+		}
+		add(r, fmt.Sprintf("%s %.2f < budget %.2f (burn %.2f)", name, obs, min, r))
+	}
+	floor("windows/sec", s.WindowsPerSec, b.MinWindowsPerSec)
+	floor("events/sec", s.AppendEventsPerSec, b.MinAppendEventsPerSec)
+	return burn, violations
+}

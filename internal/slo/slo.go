@@ -1,0 +1,397 @@
+// Package slo is the end-to-end SLO harness for the lahar serving
+// stack: an open-loop load driver (Poisson arrivals at a configured
+// rate) runs mixed query/ingest scenarios against a live lahar.DB,
+// records one Outcome per request, and reduces the outcomes to SLIs —
+// latency percentiles, TTFA for ranked enumeration, windows/sec, append
+// events/sec, shed rate, deadline-miss rate — that are gated against
+// each scenario's declared Budget as an error-budget burn rate.
+//
+// The per-kernel benchmarks (BENCH_conf/ranked/sliding/append) measure
+// how fast each kernel is; this package measures whether the assembled
+// serving stack keeps its promises under adversarial load. Faults are
+// injected at two levels: an Injector installed through the store's
+// serving-path test hook (lahar.SetServeHook) stalls queries and append
+// events in-request, and the driver itself fires cache stampedes
+// (synchronized cold queries against a freshly bumped version),
+// PutStream invalidation storms, and context-cancellation bursts.
+// Adversarial query/stream pairs come from internal/hardness: the
+// Theorem 4.4 Mealy reduction produces a flat score landscape on which
+// the weight-pushed pruning bounds collapse, which is exactly the
+// tail-latency shape the paper's hardness results predict.
+//
+// The open-loop choice matters: a closed-loop driver (fixed worker
+// count, next request after the previous response) hides overload by
+// slowing its own offered rate — the coordinated-omission trap. Poisson
+// arrivals keep offering load while the store degrades, so shed rate
+// and tail latency mean what they claim. See EXPERIMENTS.md "SLO
+// methodology".
+package slo
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"regexp"
+	"time"
+)
+
+// Duration is a time.Duration that (un)marshals as a Go duration string
+// ("250ms") and also accepts a JSON number of nanoseconds, so scenario
+// tables read naturally in both Go and JSON form.
+type Duration time.Duration
+
+// D returns the native time.Duration.
+func (d Duration) D() time.Duration { return time.Duration(d) }
+
+func (d Duration) String() string { return time.Duration(d).String() }
+
+// MarshalJSON renders the duration as its Go string form.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts "250ms" or a number of nanoseconds.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("slo: bad duration %q: %w", s, err)
+		}
+		*d = Duration(v)
+		return nil
+	}
+	var ns float64
+	if err := json.Unmarshal(b, &ns); err != nil {
+		return fmt.Errorf("slo: duration must be a string or number: %s", b)
+	}
+	if math.IsNaN(ns) || math.IsInf(ns, 0) || ns > math.MaxInt64 || ns < math.MinInt64 {
+		return fmt.Errorf("slo: duration out of range: %s", b)
+	}
+	*d = Duration(time.Duration(ns))
+	return nil
+}
+
+// Op is one serving operation a scenario's mix can draw.
+type Op string
+
+const (
+	// OpTopK is a ranked query: a k=1 probe (recorded as TTFA) followed
+	// by the full top-k on the same context.
+	OpTopK Op = "topk"
+	// OpConfidence computes the exact confidence of a fixture-chosen
+	// answer.
+	OpConfidence Op = "confidence"
+	// OpSlidingTopK evaluates the per-window top-k over the whole stream.
+	OpSlidingTopK Op = "sliding"
+	// OpTopKAcross fans the ranked query out over every stream.
+	OpTopKAcross Op = "across"
+	// OpAppend appends a batch of events from the fixture's reserve.
+	OpAppend Op = "append"
+	// OpEnumerate drains up to k answers in unranked order.
+	OpEnumerate Op = "enumerate"
+)
+
+// knownOps is the validation allowlist.
+var knownOps = map[Op]bool{
+	OpTopK: true, OpConfidence: true, OpSlidingTopK: true,
+	OpTopKAcross: true, OpAppend: true, OpEnumerate: true,
+}
+
+// OpWeight is one weighted entry of a scenario's operation mix.
+type OpWeight struct {
+	Op     Op      `json:"op"`
+	Weight float64 `json:"weight"`
+}
+
+// Faults configures the scenario's injected faults. The zero value
+// injects nothing.
+type Faults struct {
+	// StallEvery > 0 makes every StallEvery-th hooked query sleep
+	// StallFor (honoring the request context) before evaluation — a slow
+	// downstream dependency.
+	StallEvery int      `json:"stall_every,omitempty"`
+	StallFor   Duration `json:"stall_for,omitempty"`
+	// AppendStall makes every appended event sleep this long inside the
+	// stream's append lock — a slow or stalling upstream stream: watchers
+	// and other appenders wait behind it.
+	AppendStall Duration `json:"append_stall,omitempty"`
+	// CancelFraction in [0,1] gives that fraction of arrivals a context
+	// cancelled after a uniform 0..CancelAfter delay — a client-abandon
+	// burst. CancelAfter 0 cancels immediately.
+	CancelFraction float64  `json:"cancel_fraction,omitempty"`
+	CancelAfter    Duration `json:"cancel_after,omitempty"`
+	// StampedeSize > 0 fires, when StampedeAt (a fraction of the
+	// scenario duration, in [0,1]) elapses, one PutStream version bump of
+	// the primary stream followed by StampedeSize synchronized cold
+	// TopK queries — a cache stampede against one version.
+	StampedeSize int     `json:"stampede_size,omitempty"`
+	StampedeAt   float64 `json:"stampede_at,omitempty"`
+	// InvalidateEvery > 0 replaces a round-robin stream via PutStream on
+	// that period for the whole scenario — an invalidation storm. Cached
+	// engines are dropped and live watchers fail (the driver
+	// resubscribes them).
+	InvalidateEvery Duration `json:"invalidate_every,omitempty"`
+}
+
+// injectsAny reports whether any fault is configured.
+func (f Faults) injectsAny() bool {
+	return f.StallEvery > 0 || f.AppendStall > 0 || f.CancelFraction > 0 ||
+		f.StampedeSize > 0 || f.InvalidateEvery > 0
+}
+
+// Budget is a scenario's SLO: every field > 0 gates the matching SLI,
+// 0 leaves it un-gated, negative values are rejected by Validate. The
+// scenario's error-budget burn is the worst observed/allowed ratio over
+// the gated fields — burn > 1 means the budget is burned and the
+// scenario fails.
+type Budget struct {
+	// Latency ceilings over completed (admitted, non-cancelled) queries.
+	P50  Duration `json:"p50,omitempty"`
+	P99  Duration `json:"p99,omitempty"`
+	P999 Duration `json:"p999,omitempty"`
+	// TTFAP99 gates the 99th percentile time-to-first-answer of ranked
+	// queries (the k=1 probe of OpTopK).
+	TTFAP99 Duration `json:"ttfa_p99,omitempty"`
+	// MaxShedRate / MaxDeadlineMissRate / MaxErrorRate are ceilings on
+	// the fraction of query arrivals shed with ErrOverloaded, returning
+	// DeadlineExceeded, and failing with an unexpected error.
+	MaxShedRate         float64 `json:"max_shed_rate,omitempty"`
+	MaxDeadlineMissRate float64 `json:"max_deadline_miss_rate,omitempty"`
+	MaxErrorRate        float64 `json:"max_error_rate,omitempty"`
+	// MinWindowsPerSec / MinAppendEventsPerSec are throughput floors for
+	// watcher window deltas and applied append events.
+	MinWindowsPerSec      float64 `json:"min_windows_per_sec,omitempty"`
+	MinAppendEventsPerSec float64 `json:"min_append_events_per_sec,omitempty"`
+}
+
+// WatchSpec subscribes one WatchSlidingTopK per stream for the length
+// of the scenario; delta arrivals feed the windows/sec SLI.
+type WatchSpec struct {
+	Window int `json:"window"`
+	Stride int `json:"stride"`
+	K      int `json:"k"`
+}
+
+// Scenario is one row of the SLO table: a workload fixture, an offered
+// load, a fault mix, and the budget it must hold.
+type Scenario struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	// Workload names the fixture: "rfid" (hospital simulator streams and
+	// the place-extraction query) or "adversarial" (hardness-generator
+	// Mealy reduction, flat score landscape).
+	Workload string `json:"workload"`
+	// Rate is the offered load in arrivals/sec; Duration the open-loop
+	// driving time. Arrivals are Poisson: exponential inter-arrival gaps
+	// drawn from Seed.
+	Rate     float64  `json:"rate"`
+	Duration Duration `json:"duration"`
+	Seed     int64    `json:"seed,omitempty"`
+	// Mix is the weighted operation mix; K the ranked/unranked answer
+	// budget per query; Window/Stride shape OpSlidingTopK; AppendBatch
+	// the events per OpAppend.
+	Mix         []OpWeight `json:"mix"`
+	K           int        `json:"k,omitempty"`
+	Window      int        `json:"window,omitempty"`
+	Stride      int        `json:"stride,omitempty"`
+	AppendBatch int        `json:"append_batch,omitempty"`
+	// Store knobs: 0 means unlimited / no deadline / default workers.
+	MaxInFlight int      `json:"max_in_flight,omitempty"`
+	Deadline    Duration `json:"deadline,omitempty"`
+	Workers     int      `json:"workers,omitempty"`
+	// Watch, when non-nil, keeps a standing watcher per stream.
+	Watch  *WatchSpec `json:"watch,omitempty"`
+	Faults Faults     `json:"faults"`
+	Budget Budget     `json:"budget"`
+}
+
+// scenario name restrictions: names become benchmark identifiers and
+// file-name fragments, so keep them shell- and regexp-benign.
+var nameRe = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9._-]{0,63}$`)
+
+// maxDuration caps a single scenario run; maxArrivals caps the arrival
+// schedule (rate × duration) so a mis-typed rate cannot OOM the driver.
+const (
+	maxDuration = 10 * time.Minute
+	maxArrivals = 2_000_000
+)
+
+// finitePos reports v > 0 and finite. NaN is NOT > 0, but it is also not
+// <= 0 — naive `v <= 0` rejection lets NaN through, which is exactly
+// the validation gap FuzzSLOScenarioConfig caught; always pair the sign
+// check with IsNaN/IsInf.
+func finitePos(v float64) bool {
+	return v > 0 && !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+// finiteNonNeg reports v ≥ 0 and finite.
+func finiteNonNeg(v float64) bool {
+	return v >= 0 && !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+// Validate checks the scenario for the classes of config error that
+// would otherwise hang, OOM, or silently un-gate the harness: zero or
+// NaN rates (an exponential inter-arrival with rate 0 is +Inf — the
+// driver would sleep forever), negative budgets (which would gate
+// nothing while looking strict), unknown ops, and unbounded schedules.
+func (sc *Scenario) Validate() error {
+	if !nameRe.MatchString(sc.Name) {
+		return fmt.Errorf("slo: scenario name %q must match %s", sc.Name, nameRe)
+	}
+	if sc.Workload != "rfid" && sc.Workload != "adversarial" {
+		return fmt.Errorf("slo: scenario %s: unknown workload %q", sc.Name, sc.Workload)
+	}
+	if !finitePos(sc.Rate) {
+		return fmt.Errorf("slo: scenario %s: rate must be finite and > 0, got %v", sc.Name, sc.Rate)
+	}
+	if sc.Duration <= 0 || sc.Duration.D() > maxDuration {
+		return fmt.Errorf("slo: scenario %s: duration must be in (0, %v], got %v", sc.Name, maxDuration, sc.Duration)
+	}
+	if sc.Rate*sc.Duration.D().Seconds() > maxArrivals {
+		return fmt.Errorf("slo: scenario %s: rate × duration exceeds %d arrivals", sc.Name, maxArrivals)
+	}
+	if len(sc.Mix) == 0 {
+		return fmt.Errorf("slo: scenario %s: empty op mix", sc.Name)
+	}
+	total := 0.0
+	for _, w := range sc.Mix {
+		if !knownOps[w.Op] {
+			return fmt.Errorf("slo: scenario %s: unknown op %q", sc.Name, w.Op)
+		}
+		if !finitePos(w.Weight) {
+			return fmt.Errorf("slo: scenario %s: op %s weight must be finite and > 0, got %v", sc.Name, w.Op, w.Weight)
+		}
+		total += w.Weight
+	}
+	if !finitePos(total) {
+		return fmt.Errorf("slo: scenario %s: mix weights sum to %v", sc.Name, total)
+	}
+	if sc.K < 0 || sc.Window < 0 || sc.Stride < 0 || sc.AppendBatch < 0 ||
+		sc.MaxInFlight < 0 || sc.Workers < 0 || sc.Deadline < 0 {
+		return fmt.Errorf("slo: scenario %s: negative sizing knob", sc.Name)
+	}
+	if sc.Watch != nil && (sc.Watch.Window < 1 || sc.Watch.Stride < 1 || sc.Watch.K < 1) {
+		return fmt.Errorf("slo: scenario %s: watch window/stride/k must be ≥ 1", sc.Name)
+	}
+	if err := sc.Faults.validate(sc.Duration.D()); err != nil {
+		return fmt.Errorf("slo: scenario %s: %w", sc.Name, err)
+	}
+	if err := sc.Budget.validate(); err != nil {
+		return fmt.Errorf("slo: scenario %s: %w", sc.Name, err)
+	}
+	return nil
+}
+
+func (f Faults) validate(dur time.Duration) error {
+	if f.StallEvery < 0 {
+		return fmt.Errorf("faults: stall_every must be ≥ 0")
+	}
+	if f.StallFor < 0 || f.AppendStall < 0 || f.CancelAfter < 0 || f.InvalidateEvery < 0 {
+		return fmt.Errorf("faults: negative duration")
+	}
+	if f.StallEvery > 0 && f.StallFor == 0 {
+		return fmt.Errorf("faults: stall_every set but stall_for is 0")
+	}
+	if d := f.StallFor.D(); d > maxDuration {
+		return fmt.Errorf("faults: stall_for %v exceeds %v", d, maxDuration)
+	}
+	if !finiteNonNeg(f.CancelFraction) || f.CancelFraction > 1 {
+		return fmt.Errorf("faults: cancel_fraction must be in [0,1], got %v", f.CancelFraction)
+	}
+	if f.StampedeSize < 0 || f.StampedeSize > 10_000 {
+		return fmt.Errorf("faults: stampede_size must be in [0,10000], got %d", f.StampedeSize)
+	}
+	if !finiteNonNeg(f.StampedeAt) || f.StampedeAt > 1 {
+		return fmt.Errorf("faults: stampede_at must be in [0,1], got %v", f.StampedeAt)
+	}
+	if e := f.InvalidateEvery.D(); e > 0 && dur/e > 100_000 {
+		return fmt.Errorf("faults: invalidate_every %v fires too often for duration %v", e, dur)
+	}
+	return nil
+}
+
+func (b Budget) validate() error {
+	for _, d := range []struct {
+		name string
+		v    Duration
+	}{{"p50", b.P50}, {"p99", b.P99}, {"p999", b.P999}, {"ttfa_p99", b.TTFAP99}} {
+		if d.v < 0 {
+			return fmt.Errorf("budget: %s must be ≥ 0 (0 = un-gated), got %v", d.name, d.v)
+		}
+	}
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{
+		{"max_shed_rate", b.MaxShedRate}, {"max_deadline_miss_rate", b.MaxDeadlineMissRate},
+		{"max_error_rate", b.MaxErrorRate},
+		{"min_windows_per_sec", b.MinWindowsPerSec}, {"min_append_events_per_sec", b.MinAppendEventsPerSec},
+	} {
+		if !finiteNonNeg(r.v) {
+			return fmt.Errorf("budget: %s must be finite and ≥ 0 (0 = un-gated), got %v", r.name, r.v)
+		}
+	}
+	for _, r := range []float64{b.MaxShedRate, b.MaxDeadlineMissRate, b.MaxErrorRate} {
+		if r > 1 {
+			return fmt.Errorf("budget: rate ceilings are fractions and must be ≤ 1, got %v", r)
+		}
+	}
+	return nil
+}
+
+// gated reports whether any budget field gates (scenarios with a fully
+// zero budget pass vacuously; the builtin table never does this).
+func (b Budget) gated() bool {
+	return b.P50 > 0 || b.P99 > 0 || b.P999 > 0 || b.TTFAP99 > 0 ||
+		b.MaxShedRate > 0 || b.MaxDeadlineMissRate > 0 || b.MaxErrorRate > 0 ||
+		b.MinWindowsPerSec > 0 || b.MinAppendEventsPerSec > 0
+}
+
+// ParseScenario decodes and validates a single JSON scenario. Unknown
+// fields are rejected so a typoed budget key cannot silently un-gate a
+// scenario.
+func ParseScenario(data []byte) (*Scenario, error) {
+	var sc Scenario
+	if err := strictUnmarshal(data, &sc); err != nil {
+		return nil, err
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return &sc, nil
+}
+
+// ParseScenarios decodes and validates a JSON array of scenarios,
+// rejecting duplicate names.
+func ParseScenarios(data []byte) ([]*Scenario, error) {
+	var raw []json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, fmt.Errorf("slo: scenario table must be a JSON array: %w", err)
+	}
+	seen := map[string]bool{}
+	out := make([]*Scenario, 0, len(raw))
+	for i, r := range raw {
+		sc, err := ParseScenario(r)
+		if err != nil {
+			return nil, fmt.Errorf("slo: scenario %d: %w", i, err)
+		}
+		if seen[sc.Name] {
+			return nil, fmt.Errorf("slo: duplicate scenario name %q", sc.Name)
+		}
+		seen[sc.Name] = true
+		out = append(out, sc)
+	}
+	return out, nil
+}
+
+// strictUnmarshal is json.Unmarshal with DisallowUnknownFields.
+func strictUnmarshal(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("slo: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,271 @@
+package slo
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// valid returns a minimal scenario that passes Validate, for mutation
+// in the validation table.
+func valid() *Scenario {
+	return &Scenario{
+		Name:     "ok",
+		Workload: "rfid",
+		Rate:     10,
+		Duration: Duration(time.Second),
+		Mix:      []OpWeight{{Op: OpTopK, Weight: 1}},
+		Budget:   Budget{P50: Duration(time.Second)},
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Scenario)
+		want string // substring of the error
+	}{
+		{"zero rate", func(s *Scenario) { s.Rate = 0 }, "rate"},
+		{"negative rate", func(s *Scenario) { s.Rate = -5 }, "rate"},
+		{"NaN rate", func(s *Scenario) { s.Rate = math.NaN() }, "rate"},
+		{"Inf rate", func(s *Scenario) { s.Rate = math.Inf(1) }, "rate"},
+		{"zero duration", func(s *Scenario) { s.Duration = 0 }, "duration"},
+		{"huge duration", func(s *Scenario) { s.Duration = Duration(time.Hour) }, "duration"},
+		{"arrival blowup", func(s *Scenario) { s.Rate = 1e9; s.Duration = Duration(time.Minute) }, "arrivals"},
+		{"bad name", func(s *Scenario) { s.Name = "no spaces!" }, "name"},
+		{"empty name", func(s *Scenario) { s.Name = "" }, "name"},
+		{"unknown workload", func(s *Scenario) { s.Workload = "webscale" }, "workload"},
+		{"empty mix", func(s *Scenario) { s.Mix = nil }, "mix"},
+		{"unknown op", func(s *Scenario) { s.Mix = []OpWeight{{Op: "sort", Weight: 1}} }, "op"},
+		{"zero weight", func(s *Scenario) { s.Mix[0].Weight = 0 }, "weight"},
+		{"NaN weight", func(s *Scenario) { s.Mix[0].Weight = math.NaN() }, "weight"},
+		{"negative k", func(s *Scenario) { s.K = -1 }, "sizing"},
+		{"negative deadline", func(s *Scenario) { s.Deadline = -1 }, "sizing"},
+		{"bad watch", func(s *Scenario) { s.Watch = &WatchSpec{Window: 0, Stride: 1, K: 1} }, "watch"},
+		{"negative budget p50", func(s *Scenario) { s.Budget.P50 = -1 }, "p50"},
+		{"NaN shed ceiling", func(s *Scenario) { s.Budget.MaxShedRate = math.NaN() }, "shed"},
+		{"shed ceiling above 1", func(s *Scenario) { s.Budget.MaxShedRate = 1.5 }, "≤ 1"},
+		{"negative windows floor", func(s *Scenario) { s.Budget.MinWindowsPerSec = -2 }, "windows"},
+		{"stall_every without stall_for", func(s *Scenario) { s.Faults.StallEvery = 3 }, "stall_for"},
+		{"negative stall_every", func(s *Scenario) { s.Faults.StallEvery = -1 }, "stall_every"},
+		{"negative append stall", func(s *Scenario) { s.Faults.AppendStall = -1 }, "negative duration"},
+		{"cancel fraction above 1", func(s *Scenario) { s.Faults.CancelFraction = 2 }, "cancel_fraction"},
+		{"NaN cancel fraction", func(s *Scenario) { s.Faults.CancelFraction = math.NaN() }, "cancel_fraction"},
+		{"stampede too large", func(s *Scenario) { s.Faults.StampedeSize = 50_000 }, "stampede_size"},
+		{"stampede_at above 1", func(s *Scenario) { s.Faults.StampedeSize = 5; s.Faults.StampedeAt = 3 }, "stampede_at"},
+		{"storm too frequent", func(s *Scenario) { s.Faults.InvalidateEvery = 1 }, "invalidate_every"},
+	}
+	for _, c := range cases {
+		sc := valid()
+		c.mut(sc)
+		err := sc.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted %+v", c.name, sc)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+	if err := valid().Validate(); err != nil {
+		t.Fatalf("baseline scenario invalid: %v", err)
+	}
+}
+
+func TestParseScenarioStrict(t *testing.T) {
+	good := `{"name":"a","workload":"rfid","rate":5,"duration":"1s",
+	          "mix":[{"op":"topk","weight":1}],"budget":{"p50":"100ms"}}`
+	sc, err := ParseScenario([]byte(good))
+	if err != nil {
+		t.Fatalf("ParseScenario: %v", err)
+	}
+	if sc.Budget.P50.D() != 100*time.Millisecond || sc.Duration.D() != time.Second {
+		t.Fatalf("durations mis-parsed: %+v", sc)
+	}
+	if !sc.Budget.gated() {
+		t.Fatal("parsed budget should gate")
+	}
+
+	// A typoed budget key must be an error, not a silently un-gated SLO.
+	typo := `{"name":"a","workload":"rfid","rate":5,"duration":"1s",
+	          "mix":[{"op":"topk","weight":1}],"budget":{"p5O":"100ms"}}`
+	if _, err := ParseScenario([]byte(typo)); err == nil {
+		t.Fatal("ParseScenario accepted an unknown budget field")
+	}
+
+	if _, err := ParseScenarios([]byte(`[` + good + `,` + good + `]`)); err == nil ||
+		!strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate names: got %v", err)
+	}
+}
+
+func TestDurationJSON(t *testing.T) {
+	var d Duration
+	for _, c := range []struct {
+		in   string
+		want time.Duration
+	}{
+		{`"250ms"`, 250 * time.Millisecond},
+		{`"1.5s"`, 1500 * time.Millisecond},
+		{`1000000`, time.Millisecond}, // plain nanoseconds
+	} {
+		if err := json.Unmarshal([]byte(c.in), &d); err != nil {
+			t.Fatalf("unmarshal %s: %v", c.in, err)
+		}
+		if d.D() != c.want {
+			t.Errorf("unmarshal %s = %v, want %v", c.in, d.D(), c.want)
+		}
+	}
+	for _, bad := range []string{`"fast"`, `"1y"`, `NaN`, `1e400`, `true`} {
+		if err := json.Unmarshal([]byte(bad), &d); err == nil {
+			t.Errorf("unmarshal %s: expected error", bad)
+		}
+	}
+	out, err := json.Marshal(Duration(250 * time.Millisecond))
+	if err != nil || string(out) != `"250ms"` {
+		t.Errorf("marshal = %s, %v", out, err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sample := make([]time.Duration, 100)
+	for i := range sample {
+		sample[i] = time.Duration(i+1) * time.Millisecond // 1..100ms sorted
+	}
+	for _, c := range []struct {
+		p    float64
+		want time.Duration
+	}{
+		{50, 50 * time.Millisecond},
+		{99, 99 * time.Millisecond},
+		{99.9, 100 * time.Millisecond}, // nearest rank rounds up
+		{100, 100 * time.Millisecond},
+		{1, 1 * time.Millisecond},
+	} {
+		if got := percentile(sample, c.p); got != c.want {
+			t.Errorf("p%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := percentile(nil, 50); got != 0 {
+		t.Errorf("empty sample p50 = %v, want 0", got)
+	}
+}
+
+func TestReduceClassification(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	outs := []Outcome{
+		{Op: OpTopK, Latency: ms(10), TTFA: ms(2), Class: ClassOK},
+		{Op: OpTopK, Latency: ms(20), TTFA: ms(4), Class: ClassOK},
+		{Op: OpTopK, Latency: ms(90), Class: ClassDeadline}, // partial: completed + miss
+		{Op: OpConfidence, Class: ClassShed},
+		{Op: OpConfidence, Class: ClassCancelled},
+		{Op: OpEnumerate, Class: ClassError},
+		{Op: OpAppend, Events: 8, Class: ClassOK}, // excluded from query stats
+	}
+	s := Reduce(outs, 50, 2*time.Second)
+	if s.Arrivals != 7 || s.Queries != 6 {
+		t.Fatalf("arrivals/queries = %d/%d, want 7/6", s.Arrivals, s.Queries)
+	}
+	if got := s.ShedRate; math.Abs(got-1.0/6) > 1e-12 {
+		t.Errorf("shed rate %v, want 1/6", got)
+	}
+	if got := s.DeadlineMissRate; math.Abs(got-1.0/6) > 1e-12 {
+		t.Errorf("miss rate %v, want 1/6", got)
+	}
+	if got := s.ErrorRate; math.Abs(got-1.0/6) > 1e-12 {
+		t.Errorf("error rate %v, want 1/6", got)
+	}
+	// Latency sample: the two OKs and the deadline-partial.
+	if s.P50Ns != float64(ms(20)) || s.MaxNs != float64(ms(90)) {
+		t.Errorf("p50/max = %v/%v, want 20ms/90ms", s.P50Ns, s.MaxNs)
+	}
+	if s.TTFAP50Ns != float64(ms(2)) {
+		t.Errorf("ttfa p50 = %v, want 2ms", s.TTFAP50Ns)
+	}
+	if math.Abs(s.WindowsPerSec-25) > 1e-9 || math.Abs(s.AppendEventsPerSec-4) > 1e-9 {
+		t.Errorf("windows/sec %v events/sec %v, want 25/4", s.WindowsPerSec, s.AppendEventsPerSec)
+	}
+}
+
+func TestBudgetBurn(t *testing.T) {
+	s := SLIs{
+		P50Ns: float64(40 * time.Millisecond), P99Ns: float64(200 * time.Millisecond),
+		ShedRate: 0.2, WindowsPerSec: 5,
+	}
+	// All held: burn is the worst ratio, below 1.
+	b := Budget{P50: Duration(80 * time.Millisecond), P99: Duration(400 * time.Millisecond),
+		MaxShedRate: 0.4, MinWindowsPerSec: 2}
+	burn, viol := b.Burn(s)
+	if len(viol) != 0 {
+		t.Fatalf("unexpected violations: %v", viol)
+	}
+	if math.Abs(burn-0.5) > 1e-9 {
+		t.Fatalf("burn = %v, want 0.5", burn)
+	}
+
+	// One ceiling breached: burn > 1 and the violation names it.
+	b.P99 = Duration(100 * time.Millisecond)
+	burn, viol = b.Burn(s)
+	if burn <= 1 || len(viol) != 1 || !strings.Contains(viol[0], "p99") {
+		t.Fatalf("burn %v viol %v, want p99 breach", burn, viol)
+	}
+
+	// Floor breached: observed below the minimum.
+	b.P99 = 0
+	b.MinWindowsPerSec = 50
+	burn, viol = b.Burn(s)
+	if burn != 10 || len(viol) != 1 || !strings.Contains(viol[0], "windows/sec") {
+		t.Fatalf("burn %v viol %v, want windows/sec breach", burn, viol)
+	}
+
+	// Floor gated but nothing observed: infinite burn, not a divide-by-zero pass.
+	s.WindowsPerSec = 0
+	burn, _ = b.Burn(s)
+	if !math.IsInf(burn, 1) {
+		t.Fatalf("burn with zero observed floor = %v, want +Inf", burn)
+	}
+
+	// The empty budget gates nothing.
+	burn, viol = (Budget{}).Burn(s)
+	if burn != 0 || viol != nil {
+		t.Fatalf("empty budget burn %v viol %v", burn, viol)
+	}
+}
+
+// TestBuiltinTable pins the properties the issue demands of the shipped
+// table: every scenario validates, at least five inject faults, and the
+// smoke variant stays armed on ceilings while un-gating floors.
+func TestBuiltinTable(t *testing.T) {
+	scs := Builtin(false)
+	if len(scs) < 5 {
+		t.Fatalf("builtin table has %d scenarios, want ≥ 5", len(scs))
+	}
+	faulted := 0
+	for _, sc := range scs {
+		if err := sc.Validate(); err != nil {
+			t.Errorf("builtin %s: %v", sc.Name, err)
+		}
+		if !sc.Budget.gated() {
+			t.Errorf("builtin %s: budget gates nothing", sc.Name)
+		}
+		if sc.Faults.injectsAny() {
+			faulted++
+		}
+	}
+	if faulted < 5 {
+		t.Errorf("only %d builtin scenarios inject faults, want ≥ 5", faulted)
+	}
+	for _, sc := range Builtin(true) {
+		if sc.Duration.D() >= time.Second {
+			t.Errorf("smoke %s: duration %v not sub-second", sc.Name, sc.Duration)
+		}
+		if sc.Budget.MinWindowsPerSec != 0 || sc.Budget.MinAppendEventsPerSec != 0 {
+			t.Errorf("smoke %s: throughput floors should be un-gated", sc.Name)
+		}
+		if err := sc.Validate(); err != nil {
+			t.Errorf("smoke %s: %v", sc.Name, err)
+		}
+	}
+}

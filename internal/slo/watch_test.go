@@ -1,0 +1,197 @@
+package slo
+
+// WatchSlidingTopK under fault injection: the subscription must keep
+// delivering window deltas while appenders stall inside the append lock
+// and cancelled queries burst around it, must fail cleanly (and be
+// resubscribable) across a PutStream invalidation, and must not retain
+// delivered deltas — the replay buffer is evicted as the consumer keeps
+// up, so heap stays flat over a long run.
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"markovseq/internal/lahar"
+	"markovseq/internal/testutil"
+)
+
+// watchFixture builds an rfid fixture and subscribes one watcher.
+func watchFixture(t *testing.T, seed int64) (*Fixture, *lahar.Subscription) {
+	t.Helper()
+	sc := &Scenario{
+		Name: "watch", Workload: "rfid",
+		Rate: 1, Duration: Duration(time.Second), Seed: seed,
+		Mix: []OpWeight{{Op: OpTopK, Weight: 1}},
+	}
+	fx, err := NewFixture(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := fx.DB.WatchSlidingTopK(fx.Streams[0], fx.Query, 16, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fx, sub
+}
+
+func TestWatcherSurvivesStallsAndCancelBursts(t *testing.T) {
+	testutil.CheckLeaks(t)
+	fx, sub := watchFixture(t, 21)
+	defer sub.Close()
+	db, stream := fx.DB, fx.Streams[0]
+
+	// Per-event append stalls: every appended event sleeps inside the
+	// append lock, exactly where a slow upstream would hold it.
+	inj := NewInjector(Faults{AppendStall: Duration(200 * time.Microsecond)})
+	inj.Install(db)
+
+	// The initial stream (120 events, window 16, stride 8) has 14
+	// complete windows, delivered at subscribe time; 40 appended events
+	// complete 5 more.
+	const initialWindows = 14
+	const appended, newWindows = 40, 5
+
+	// Cancellation burst alongside the appends: queries with
+	// already-cancelled contexts must not disturb the subscription.
+	burstDone := make(chan struct{})
+	go func() {
+		defer close(burstDone)
+		for i := 0; i < 30; i++ {
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			if _, err := db.TopKCtx(ctx, stream, fx.Query, 3); !errors.Is(err, context.Canceled) {
+				t.Errorf("cancelled query: err = %v", err)
+			}
+		}
+	}()
+
+	appendDone := make(chan error, 1)
+	go func() {
+		for i := 0; i < appended; i += 4 {
+			if _, err := db.AppendEventsCtx(context.Background(), stream, fx.NextEvents(stream, 4)); err != nil {
+				appendDone <- err
+				return
+			}
+		}
+		appendDone <- nil
+	}()
+
+	got := 0
+	timeout := time.After(30 * time.Second)
+	for got < initialWindows+newWindows {
+		select {
+		case _, ok := <-sub.C():
+			if !ok {
+				t.Fatalf("subscription ended early after %d deltas: %v", got, sub.Err())
+			}
+			got++
+		case <-timeout:
+			t.Fatalf("timed out after %d/%d deltas", got, initialWindows+newWindows)
+		}
+	}
+	if err := <-appendDone; err != nil {
+		t.Fatalf("appender: %v", err)
+	}
+	<-burstDone
+	if stalls := inj.Stats().AppendStalls; stalls != appended {
+		t.Errorf("append stalls landed %d, want %d", stalls, appended)
+	}
+}
+
+func TestWatcherFailsOnInvalidationAndResubscribes(t *testing.T) {
+	testutil.CheckLeaks(t)
+	fx, sub := watchFixture(t, 22)
+	db, stream := fx.DB, fx.Streams[0]
+
+	// Drain the catch-up deltas, then storm: PutStream must fail the
+	// subscription with a replacement error.
+	for i := 0; i < 14; i++ {
+		<-sub.C()
+	}
+	if err := db.PutStream(stream, fx.Replacement(stream)); err != nil {
+		t.Fatal(err)
+	}
+	for range sub.C() {
+	}
+	if err := sub.Err(); err == nil {
+		t.Fatal("replaced subscription reports nil Err")
+	}
+	sub.Close()
+
+	// Resubscription against the replaced stream works and sees appends.
+	sub2, err := db.WatchSlidingTopK(stream, fx.Query, 16, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub2.Close()
+	for i := 0; i < 14; i++ {
+		<-sub2.C()
+	}
+	if _, err := db.AppendEventsCtx(context.Background(), stream, fx.NextEvents(stream, 8)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case _, ok := <-sub2.C():
+		if !ok {
+			t.Fatalf("resubscription died: %v", sub2.Err())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("resubscription saw no delta after append")
+	}
+}
+
+// TestWatcherMemoryFlat drives thousands of appended events through a
+// consumed subscription and asserts the heap does not grow with the
+// delta count: the replay buffer must evict delivered windows. The
+// stream itself grows (each event is a transition matrix), so the bound
+// is a generous constant, not zero.
+func TestWatcherMemoryFlat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-run memory test skipped in -short")
+	}
+	testutil.CheckLeaks(t)
+	fx, sub := watchFixture(t, 23)
+	defer sub.Close()
+	db, stream := fx.DB, fx.Streams[0]
+
+	consumed := 0
+	consumerDone := make(chan struct{})
+	go func() {
+		defer close(consumerDone)
+		for range sub.C() {
+			consumed++
+		}
+	}()
+
+	heap := func() uint64 {
+		runtime.GC()
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return m.HeapAlloc
+	}
+
+	const rounds, batch = 500, 8 // 4000 events, 500 new windows
+	before := heap()
+	for i := 0; i < rounds; i++ {
+		if _, err := db.AppendEventsCtx(context.Background(), stream, fx.NextEvents(stream, batch)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := heap()
+	sub.Close()
+	<-consumerDone
+	if consumed == 0 {
+		t.Fatal("consumer saw no deltas")
+	}
+
+	growth := int64(after) - int64(before)
+	const maxGrowth = 32 << 20
+	if growth > maxGrowth {
+		t.Errorf("heap grew %d bytes over %d appended events (max %d): replay buffer not evicting?",
+			growth, rounds*batch, maxGrowth)
+	}
+	t.Logf("heap growth %d bytes over %d events, %d deltas consumed", growth, rounds*batch, consumed)
+}
