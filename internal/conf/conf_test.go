@@ -155,21 +155,7 @@ func collectAnswers(tr *transducer.Transducer, m *markov.Sequence) map[string]fl
 }
 
 func parseKey(key string) []automata.Symbol {
-	var out []automata.Symbol
-	cur := 0
-	has := false
-	for i := 0; i < len(key); i++ {
-		if key[i] == ',' {
-			out = append(out, automata.Symbol(cur))
-			cur = 0
-			has = false
-			continue
-		}
-		cur = cur*10 + int(key[i]-'0')
-		has = true
-	}
-	_ = has
-	return out
+	return automata.ParseKey(key)
 }
 
 // TestDetAgainstBruteForce is the main property test for Theorem 4.6's

@@ -120,11 +120,12 @@ type Answer struct {
 type PrepareOption func(*prepConfig)
 
 type prepConfig struct {
-	dense            bool
-	rankedWorkers    int
-	exhaustiveRanked bool
-	eagerCheckpoints bool
-	compactTables    bool
+	dense             bool
+	rankedWorkers     int
+	exhaustiveRanked  bool
+	eagerCheckpoints  bool
+	compactTables     bool
+	fromScratchRanked bool
 }
 
 // WithRankedWorkers bounds the speculative-resolution worker pool of the
@@ -176,6 +177,18 @@ func WithCompactTables() PrepareOption {
 	return func(c *prepConfig) { c.compactTables = true }
 }
 
+// WithFromScratchRanked disables the cross-append carry of ranked
+// enumeration state: engines produced by ExtendValidated rebuild their
+// Lawler tree from the unconstrained root instead of reseeding it from
+// the predecessor's resolved tree. The carried and from-scratch paths
+// agree rank by rank on bit-identical scores (set-identically within
+// exactly tied score classes); this option is the differential
+// reference for that contract and the escape hatch should a workload's
+// reseed bookkeeping cost more than the resolves it saves.
+func WithFromScratchRanked() PrepareOption {
+	return func(c *prepConfig) { c.fromScratchRanked = true }
+}
+
 // WithDenseKernels selects the dense reference DP implementations
 // (conf.DetDense, conf.DetUniformDense, conf.UniformLazy) instead of the
 // sparse frontier kernels of internal/kernel. The dense paths scan every
@@ -223,9 +236,11 @@ type Prepared struct {
 	// rankedWorkers bounds the enumerators' speculative resolution pool.
 	rankedWorkers int
 	// exhaustiveRanked pins the exhaustive (unpruned) ranked kernels;
-	// eagerCheckpoints pins eager checkpoint materialization.
-	exhaustiveRanked bool
-	eagerCheckpoints bool
+	// eagerCheckpoints pins eager checkpoint materialization;
+	// fromScratchRanked disables the cross-append ranked carry.
+	exhaustiveRanked  bool
+	eagerCheckpoints  bool
+	fromScratchRanked bool
 }
 
 // PrepareTransducer classifies a transducer query (the columns of
@@ -236,7 +251,7 @@ func PrepareTransducer(t *transducer.Transducer, opts ...PrepareOption) *Prepare
 	for _, o := range opts {
 		o(&cfg)
 	}
-	pr := &Prepared{t: t, dense: cfg.dense, rankedWorkers: cfg.rankedWorkers, exhaustiveRanked: cfg.exhaustiveRanked, eagerCheckpoints: cfg.eagerCheckpoints}
+	pr := &Prepared{t: t, dense: cfg.dense, rankedWorkers: cfg.rankedWorkers, exhaustiveRanked: cfg.exhaustiveRanked, eagerCheckpoints: cfg.eagerCheckpoints, fromScratchRanked: cfg.fromScratchRanked}
 	k, uniform := t.UniformK()
 	pr.uniformK, pr.hasUniform = k, uniform
 	switch {
@@ -296,7 +311,7 @@ func PrepareSProjector(p *sproj.SProjector, indexed bool, opts ...PrepareOption)
 	for _, o := range opts {
 		o(&cfg)
 	}
-	pr := &Prepared{p: p, et: p.ToTransducer(), indexed: indexed, rankedWorkers: cfg.rankedWorkers, exhaustiveRanked: cfg.exhaustiveRanked, eagerCheckpoints: cfg.eagerCheckpoints}
+	pr := &Prepared{p: p, et: p.ToTransducer(), indexed: indexed, rankedWorkers: cfg.rankedWorkers, exhaustiveRanked: cfg.exhaustiveRanked, eagerCheckpoints: cfg.eagerCheckpoints, fromScratchRanked: cfg.fromScratchRanked}
 	pr.pt = transducer.Preprocess(pr.et)
 	if cfg.compactTables {
 		pr.baseNT = kernel.NewNFATablesAuto(pr.pt)
@@ -369,6 +384,52 @@ func (pr *Prepared) BindValidated(m *markov.Sequence) (*Engine, error) {
 	}, nil
 }
 
+// ExtendValidated binds the prepared query to m — an already-validated
+// extension of old's sequence — carrying old's ranked enumeration state
+// across the append: the predecessor's resolved Lawler tree is reseeded
+// against the grown sequence (ranked.ExtendEnumerator), so the first
+// TopK on the new engine re-prices the answers already proven instead
+// of re-enumerating the full stream, and unresolved subproblems re-enter
+// bounded. old == nil (or an old engine that never ran TopK) yields an
+// engine with nothing carried but ranked serving in extendable mode, so
+// the next append can carry.
+//
+// The carry is skipped — plain extendable binding — under
+// WithFromScratchRanked (the differential reference), and the engine
+// falls back to ordinary pruned binding for preparations whose ranked
+// path cannot retain complete state (WithExhaustiveRanked,
+// WithEagerCheckpoints) and for s-projector queries, whose rankers are
+// not Lawler-tree-based. The carried and from-scratch orders agree rank
+// by rank on bit-identical scores, set-identically within exactly tied
+// score classes.
+func (pr *Prepared) ExtendValidated(old *Engine, m *markov.Sequence) (*Engine, error) {
+	eng, err := pr.BindValidated(m)
+	if err != nil {
+		return nil, err
+	}
+	if pr.t == nil || pr.fromScratchRanked || pr.exhaustiveRanked || pr.eagerCheckpoints {
+		return eng, nil
+	}
+	eng.rankedExtendable = true
+	if old == nil {
+		return eng, nil
+	}
+	// Holding old.mu keeps the carried tree consistent against a
+	// concurrent drain of the predecessor.
+	old.mu.Lock()
+	oldEnum := old.rankedEnum
+	if oldEnum == nil {
+		oldEnum = old.rankedSeed
+	}
+	if oldEnum != nil {
+		if ne, ok := ranked.ExtendEnumerator(oldEnum, m, pr.rankedWorkers); ok {
+			eng.rankedSeed = ne
+		}
+	}
+	old.mu.Unlock()
+	return eng, nil
+}
+
 // Engine evaluates one query over one Markov sequence.
 //
 // Concurrency: an Engine is safe for concurrent use. The query, the
@@ -408,12 +469,25 @@ type Engine struct {
 	exhaustiveRanked bool
 	eagerCheckpoints bool
 
+	// rankedExtendable selects the append-extendable ranked serving
+	// mode (ranked.WithExtendable): resolves run unpruned and the
+	// enumerator retains its resolved tree so a successor engine built
+	// by ExtendValidated can carry it across an append. Set by
+	// ExtendValidated, never by Bind — one-shot engines keep the
+	// weight-pushed pruned path.
+	rankedExtendable bool
+
 	// bounds are the weight-pushed potentials over (baseNT, sequence),
-	// built once on first ranked or membership use and shared by both
-	// (one backward max-plus pass per binding); nil-valued while unbuilt
-	// and permanently nil under WithExhaustiveRanked.
-	boundsOnce sync.Once
-	bounds     atomic.Pointer[kernel.Bounds]
+	// built on first ranked or membership use and shared by both (one
+	// backward max-plus pass per binding); nil-valued while unbuilt and
+	// permanently nil under WithExhaustiveRanked. The potentials are
+	// append-variant — Row(i) looks forward to the end of the view — so
+	// ensureBounds re-checks the stored sweep against the engine's view
+	// epoch and rebuilds on mismatch: a stale sweep must never serve as
+	// a pruning threshold. boundsMu serializes (re)builds only; readers
+	// go through the atomic pointer.
+	boundsMu sync.Mutex
+	bounds   atomic.Pointer[kernel.Bounds]
 
 	// mu guards the lazily-built enumeration memos below; everything
 	// above is read-only after construction.
@@ -425,6 +499,13 @@ type Engine struct {
 	topNext  func(ctx context.Context) (Answer, bool, error)
 	topCache []Answer
 	topDone  bool
+	// rankedSeed is an enumerator carried from a predecessor engine by
+	// ExtendValidated, consumed (and cleared) by the first TopK;
+	// rankedEnum is the live ranked enumerator once TopK has run, held
+	// so ExtendValidated can carry it and PruneStats can report its
+	// cross-append reuse counters.
+	rankedSeed *ranked.Enumerator
+	rankedEnum *ranked.Enumerator
 	// enumIter / enumCache memoize the unranked enumeration likewise.
 	enumIter  *enum.Enumerator
 	enumCache [][]automata.Symbol
@@ -455,19 +536,51 @@ func (e *Engine) equivalent() *transducer.Transducer {
 // computing them on first use; nil under WithExhaustiveRanked and for
 // sequences too short for the backward sweep to pay for itself
 // (kernel.BoundsMinN — the bind-per-window serving paths hit this).
+//
+// The potentials are append-variant, so the stored sweep is accepted
+// only when it matches the engine's view epoch (kernel.MatchesView) and
+// is rebuilt otherwise — the staleness audit guaranteeing that a sweep
+// carried from a shorter sequence is never used as a pruning threshold.
 func (e *Engine) ensureBounds() *kernel.Bounds {
 	if e.exhaustiveRanked || e.m.Len() < kernel.BoundsMinN {
 		return nil
 	}
-	e.boundsOnce.Do(func() { e.bounds.Store(kernel.NewBounds(e.baseNT, e.m.View())) })
-	return e.bounds.Load()
+	v := e.m.View()
+	if b := e.bounds.Load(); b != nil && b.MatchesView(v) {
+		return b
+	}
+	e.boundsMu.Lock()
+	defer e.boundsMu.Unlock()
+	if b := e.bounds.Load(); b != nil && b.MatchesView(v) {
+		return b
+	}
+	b := kernel.NewBounds(e.baseNT, v)
+	e.bounds.Store(b)
+	return b
 }
 
-// PruneStats reports the pruning-efficacy counters of the engine's
-// weight-pushed kernel calls so far — cells skipped vs. expanded across
-// ranked resolves and membership probes. All zero before the first
-// ranked call and in exhaustive mode.
-func (e *Engine) PruneStats() kernel.PruneStats { return e.bounds.Load().Stats() }
+// PruneStats reports the efficacy counters of the engine's ranked and
+// membership kernel calls so far — cells skipped vs. expanded under
+// weight-pushed pruning, plus the cross-append reuse counters
+// (RankedReused, RankedReseeded, HandlesSkipped) of an enumerator
+// carried by ExtendValidated. All zero before the first ranked call and
+// in exhaustive mode.
+func (e *Engine) PruneStats() kernel.PruneStats {
+	s := e.bounds.Load().Stats()
+	e.mu.Lock()
+	re := e.rankedEnum
+	if re == nil {
+		re = e.rankedSeed
+	}
+	e.mu.Unlock()
+	if re != nil {
+		reused, reseeded, skipped := re.ExtendStats()
+		s.RankedReused += reused
+		s.RankedReseeded += reseeded
+		s.HandlesSkipped += skipped
+	}
+	return s
+}
 
 // Plan returns the selected plan.
 func (e *Engine) Plan() Plan { return e.plan }
@@ -579,16 +692,29 @@ func (e *Engine) initTopCtx(ctx context.Context) error {
 			return Answer{Output: a.Output, Score: a.Imax, Kind: "I_max"}, true, nil
 		}
 	default:
-		opts := []ranked.Option{ranked.WithTables(e.baseNT), ranked.WithWorkers(e.rankedWorkers)}
-		if b := e.ensureBounds(); b != nil {
-			opts = append(opts, ranked.WithBounds(b))
+		var it *ranked.Enumerator
+		if e.rankedSeed != nil {
+			// Carried across an append by ExtendValidated: the previous
+			// drain's resolved tree, re-priced against the grown sequence.
+			it, e.rankedSeed = e.rankedSeed, nil
+		} else if e.rankedExtendable {
+			// Append-extendable serving: resolve unpruned and retain the
+			// tree so the next ExtendValidated can carry it.
+			it = ranked.NewEnumerator(e.pt, e.m,
+				ranked.WithTables(e.baseNT), ranked.WithWorkers(e.rankedWorkers), ranked.WithExtendable())
 		} else {
-			opts = append(opts, ranked.WithExhaustive())
+			opts := []ranked.Option{ranked.WithTables(e.baseNT), ranked.WithWorkers(e.rankedWorkers)}
+			if b := e.ensureBounds(); b != nil {
+				opts = append(opts, ranked.WithBounds(b))
+			} else {
+				opts = append(opts, ranked.WithExhaustive())
+			}
+			if e.eagerCheckpoints {
+				opts = append(opts, ranked.WithEagerCheckpoints())
+			}
+			it = ranked.NewEnumerator(e.pt, e.m, opts...)
 		}
-		if e.eagerCheckpoints {
-			opts = append(opts, ranked.WithEagerCheckpoints())
-		}
-		it := ranked.NewEnumerator(e.pt, e.m, opts...)
+		e.rankedEnum = it
 		e.topNext = func(ctx context.Context) (Answer, bool, error) {
 			a, ok, err := it.NextCtx(ctx)
 			if err != nil || !ok {

@@ -297,6 +297,26 @@ type Checkpoint struct {
 	v  *SeqView
 	b  *Bounds
 
+	// base links an extended checkpoint (NewExtendedLazyCheckpoint) to
+	// the checkpoint over the shorter sequence it continues: the first
+	// base.n layers of this DP are exactly base's layers, so
+	// materialization copies instead of relaxing them. gated records
+	// whether the build drops potential -Inf cells; a gated layer set is
+	// incomplete forward state once the sequence grows (a cell dead at
+	// length n can regain accepting completions at n+Δ), so only ungated
+	// checkpoints are extendable.
+	base  *Checkpoint
+	gated bool
+
+	// donor optionally links a lazy checkpoint to an already-cached
+	// checkpoint whose alignment is a strict prefix of Align
+	// (NewLazyCheckpointFrom). Materialization then copies the donor's
+	// zone columns — the exact-prefix DP over a shared alignment prefix
+	// is identical cell for cell — and relaxes only the appended zone
+	// columns, instead of re-running the full DP. Cleared once the view
+	// is published so the donor can be evicted independently.
+	donor *Checkpoint
+
 	// matLayers counts DP layers actually relaxed: the build work done,
 	// against n per full eager build (0 for an untouched lazy handle).
 	matLayers atomic.Uint64
@@ -345,7 +365,125 @@ func NewLazyCheckpoint(nt *NFATables, v *SeqView, align []automata.Symbol, b *Bo
 		nt:     nt,
 		v:      v,
 		b:      b,
+		gated:  b != nil,
 	}
+}
+
+// NewLazyCheckpointFrom is NewLazyCheckpoint with a derivation donor: a
+// checkpoint whose alignment is a strict prefix of align. The deferred
+// build then starts from the donor's materialized columns (every zone
+// column z ≤ |donor.Align| of the two DPs is identical, because the
+// exact-prefix dynamics up to a shared alignment prefix cannot depend
+// on the symbols past it) and relaxes only the new columns — O(zone
+// boundary band) per position instead of O(all columns). The donor must
+// be ungated (complete layers) and b must be nil; otherwise, or when
+// the donor cannot serve at build time, the build falls back to the
+// full DP and the result is identical either way up to tie order: cell
+// scores, buckets and traceback validity all match a from-scratch
+// build, while the within-layer activation order of donor columns is
+// the donor's own. The ranked evaluator uses this for the checkpoint of
+// a freshly emitted answer, whose alignment extends an already-cached
+// one by a symbol or two.
+func NewLazyCheckpointFrom(nt *NFATables, v *SeqView, align []automata.Symbol, donor *Checkpoint) *Checkpoint {
+	ck := NewLazyCheckpoint(nt, v, align, nil)
+	if donor != nil && !donor.gated && donor.states == nt.States &&
+		donor.n >= 1 && donor.n <= v.N && len(donor.Align) < len(align) &&
+		automata.HasPrefix(align, donor.Align) {
+		ck.donor = donor
+	}
+	return ck
+}
+
+// Extendable reports whether ck can serve as the base of an extended
+// checkpoint over nt and a view at least as long as the one ck was built
+// against. Gated checkpoints are excluded: gating drops cells whose
+// completion potential is -Inf over the *current* length, and those
+// cells can become live again when the sequence grows, so a gated layer
+// set is not valid forward state for a longer view.
+func (ck *Checkpoint) Extendable(nt *NFATables, v *SeqView) bool {
+	return ck != nil && !ck.gated && ck.states == nt.States && v.N >= ck.n
+}
+
+// NewExtendedLazyCheckpoint returns a lazy checkpoint over the grown
+// view v that continues base's exact-prefix DP instead of re-running it.
+// The exact-prefix DP is position-local, so base's retained layers are
+// bit-identical to the first base.n layers of a from-scratch build over
+// v; materialization copies them (from the deepest already-materialized
+// view in base's chain) and relaxes only the appended positions. base
+// must satisfy Extendable(nt, v) and v must extend the view base was
+// built against (SeqView.Extend / markov.Sequence.Extended); base is
+// never mutated, so an evaluator over the old snapshot can keep serving
+// from it concurrently. When v has base's own length, base itself is
+// returned. The handle is always ungated, hence extendable in turn:
+// extension chains across any number of appends.
+func NewExtendedLazyCheckpoint(nt *NFATables, v *SeqView, base *Checkpoint) *Checkpoint {
+	if !base.Extendable(nt, v) {
+		panic("kernel: NewExtendedLazyCheckpoint base is not extendable to the given view")
+	}
+	// Skip unmaterialized extension links: they carry no DP (both
+	// materialization and FrontierAt would walk past them anyway), and
+	// dropping them keeps chains short across many appends — a handle
+	// that never materializes would otherwise add one dead link per
+	// append and make every chain walk linear in the append count. A
+	// plain lazy handle (base.base == nil) is kept: it owns the
+	// from-scratch build inputs.
+	for base.base != nil && base.view.Load() == nil {
+		base = base.base
+	}
+	if v.N == base.n {
+		return base
+	}
+	return &Checkpoint{
+		Align:  base.Align,
+		states: nt.States,
+		n:      v.N,
+		zdim:   base.zdim,
+		nt:     nt,
+		v:      v,
+		base:   base,
+	}
+}
+
+// FrontierAt returns the final retained layer of the deepest
+// materialized view in ck's extension chain covering at most maxN
+// positions: the active cells (in (x·|Q|+z-dim) checkpoint encoding,
+// stride zdim) with their forward scores, and the length n of the view
+// they came from. ok is false when no view in the chain up to maxN has
+// materialized. The returned slices alias an immutable published view
+// and must be treated as read-only.
+//
+// The incremental ranked reseed uses this as an admissible anchor for
+// runs still inside a subproblem's matched zone: every exact-prefix
+// partial run alive at position n-1 appears in that layer, forward
+// scores only decrease along a run (each step weight is a log
+// probability ≤ 0), and the layer is complete because the build is
+// ungated (Extendable guarantees the chain root is too) — so
+// max over the layer of score + potential-at-(n-1) bounds the best
+// completion of every such run even when the layer is several appends
+// stale.
+func (ck *Checkpoint) FrontierAt(maxN int) (cells []int32, scores []float64, zdim, n int, ok bool) {
+	if maxN < 1 {
+		return nil, nil, 0, 0, false
+	}
+	for c := ck; c != nil; c = c.base {
+		vw := c.view.Load()
+		if vw == nil {
+			continue
+		}
+		if c.n <= maxN {
+			last := &vw.layers[len(vw.layers)-1]
+			return last.cells, last.score, c.zdim, c.n, true
+		}
+		// This view covers more positions than asked for; its interior
+		// layer at maxN-1 is exactly the zone frontier at that position —
+		// a tighter anchor than any older view's final layer, and found
+		// without walking the chain further. The exact-prefix DP is
+		// position-local, so the layer is identical to the final layer of
+		// a build stopped at maxN.
+		l := &vw.layers[maxN-1]
+		return l.cells, l.score, c.zdim, maxN, true
+	}
+	return nil, nil, 0, 0, false
 }
 
 // ensureView returns the checkpoint's view, materializing the deferred
@@ -367,10 +505,22 @@ func (ck *Checkpoint) ensureView(p *Poll, sc *ConstrainScratch) (*ckView, error)
 		// checkpoint was recycled while still referenced.
 		panic("kernel: resume against a recycled checkpoint")
 	}
-	vw, built, err := materializeView(p, ck.nt, ck.v, ck.Align, ck.b, sc)
+	var (
+		vw    *ckView
+		built int
+		err   error
+	)
+	if ck.base != nil {
+		vw, built, err = materializeExtendedView(p, ck, sc)
+	} else if ck.donor != nil && ck.b == nil {
+		vw, built, err = materializeDerivedView(p, ck.nt, ck.v, ck.Align, ck.donor, sc)
+	} else {
+		vw, built, err = materializeView(p, ck.nt, ck.v, ck.Align, ck.b, sc)
+	}
 	if err != nil {
 		return nil, err
 	}
+	ck.donor = nil // release for independent eviction; the DP is ours now
 	ck.matLayers.Store(uint64(built))
 	if ck.b != nil {
 		ck.b.lazyLayers.Add(uint64(built))
@@ -524,6 +674,7 @@ func buildCheckpoint(p *Poll, nt *NFATables, v *SeqView, align []automata.Symbol
 		states: nt.States,
 		n:      v.N,
 		zdim:   len(align) + 1,
+		gated:  b != nil,
 	}
 	vw, built, err := materializeView(p, nt, v, ck.Align, b, sc)
 	if err != nil {
@@ -613,8 +764,6 @@ func materializeView(p *Poll, nt *NFATables, v *SeqView, align []automata.Symbol
 	prevBuf := sc.prevBuf[:size]
 	zstep := alignMemo(sc, nt, align, zdim)
 	xof, qof := decodeTables(sc, v.K, nt.States)
-	off := nt.Off
-	syms := nt.Syms
 	states := nt.States
 	kq := v.K * states
 
@@ -647,7 +796,6 @@ func materializeView(p *Poll, nt *NFATables, v *SeqView, align []automata.Symbol
 	if b != nil {
 		prow = b.pot[:kq]
 	}
-	nT := len(nt.Succ)
 	for ii, x := range v.InitIdx {
 		lp := math.Log(v.InitVal[ii])
 		elo, ehi := nt.Edges(int(nt.Start), int(x))
@@ -667,15 +815,42 @@ func materializeView(p *Poll, nt *NFATables, v *SeqView, align []automata.Symbol
 		}
 	}
 	slab.snapshot(&layers[0], &sc.f, prevBuf, zdim, &sc.zcur, &sc.zbuf)
-	built := 1
-	for i := 1; i < v.N; i++ {
-		// sc.f is empty here (snapshot reset it), so no cleanup is
-		// needed before the early return; the popped slab goes back to
-		// the freelist.
+	nb, err := relaxLayers(p, nt, v, b, sc, &slab, layers, 1, zdim, zstep, xof, qof, prevBuf)
+	if err != nil {
+		return nil, 0, err
+	}
+	built := 1 + nb
+	if n := len(slab.cells); n > sc.slabHint {
+		sc.slabHint = n
+	}
+	if n := len(slab.zoff); n > sc.zoffHint {
+		sc.zoffHint = n
+	}
+	slab.seal(layers)
+	return &ckView{layers: layers, slab: slab}, built, nil
+}
+
+// relaxLayers runs the exact-prefix DP from layer `from` (whose
+// predecessor layer from-1 must already be in the slab) through the last
+// position, snapshotting each layer and stopping early when the
+// exact-prefix language dies. It returns the number of layers relaxed.
+// On cancellation the slab goes back to the scratch freelist and the
+// error is returned; sc.f is empty at every poll point (snapshot resets
+// it), so no other cleanup is needed.
+func relaxLayers(p *Poll, nt *NFATables, v *SeqView, b *Bounds, sc *ConstrainScratch, slab *ckSlab, layers []ckLayer, from, zdim int, zstep, xof, qof, prevBuf []int32) (int, error) {
+	off := nt.Off
+	syms := nt.Syms
+	states := nt.States
+	kq := v.K * states
+	neg := math.Inf(-1)
+	nT := len(nt.Succ)
+	var prow []float64
+	built := 0
+	for i := from; i < v.N; i++ {
 		if err := p.Step(); err != nil {
 			slab.layers = layers
-			sc.freeSlabs = append(sc.freeSlabs, slab)
-			return nil, 0, err
+			sc.freeSlabs = append(sc.freeSlabs, *slab)
+			return 0, err
 		}
 		prevLayer := &layers[i-1]
 		if prevLayer.n == 0 {
@@ -727,6 +902,321 @@ func materializeView(p *Poll, nt *NFATables, v *SeqView, align []automata.Symbol
 		slab.snapshot(&layers[i], &sc.f, prevBuf, zdim, &sc.zcur, &sc.zbuf)
 		built++
 	}
+	return built, nil
+}
+
+// materializeExtendedView materializes an extended checkpoint
+// (NewExtendedLazyCheckpoint) without copying the base DP: the prefix
+// layer headers alias the deepest already-materialized view in the base
+// chain — published views are immutable and sealed headers carry their
+// own slices, so aliasing races with nothing — and only the appended
+// positions relax, into a fresh slab seeded with the base's final
+// layer (relaxLayers reads its predecessor through the slab, so the
+// seed gives position baseN a slab-local predecessor; the header is
+// re-pointed at the base afterwards). The per-append materialization
+// cost is therefore O(final frontier + Δ relaxed layers), not O(n):
+// copying the whole slab per extension made a long append chain
+// quadratic in the stream and was the dominant cost of incremental
+// ranked serving. Intermediate unmaterialized links in the chain are
+// skipped, not built: the whole gap from the anchor view to ck's length
+// relaxes in one pass. When nothing in the chain has materialized, the
+// full DP runs from position 0 — extension never forces prefix work
+// that a from-scratch lazy handle would have deferred. Either way the
+// result is bit-identical to a from-scratch build over ck.v (the DP is
+// position-local and relax keeps the incumbent on equal scores, so the
+// aliased prefix is exactly what a fresh build would recompute).
+func materializeExtendedView(p *Poll, ck *Checkpoint, sc *ConstrainScratch) (*ckView, int, error) {
+	var baseVw *ckView
+	var baseCk *Checkpoint
+	for c := ck.base; c != nil; c = c.base {
+		if vw := c.view.Load(); vw != nil {
+			baseVw, baseCk = vw, c
+			break
+		}
+	}
+	nt, v := ck.nt, ck.v
+	if baseVw == nil {
+		return materializeView(p, nt, v, ck.Align, nil, sc)
+	}
+	zdim := ck.zdim
+	size := v.K * nt.States * zdim
+	sc.f.ensure(size)
+	sc.f.reset()
+	if cap(sc.prevBuf) < size {
+		sc.prevBuf = make([]int32, size)
+	}
+	prevBuf := sc.prevBuf[:size]
+	zstep := alignMemo(sc, nt, ck.Align, zdim)
+	xof, qof := decodeTables(sc, v.K, nt.States)
+
+	baseN := baseCk.n
+	layers := make([]ckLayer, v.N)
+	copy(layers, baseVw.layers[:baseN])
+
+	// Seed the fresh slab with the base's final layer so relaxLayers'
+	// slab-relative read of layer baseN-1 resolves locally. prev indices
+	// are layer-local (an index into the previous layer's cell list), so
+	// the verbatim copy keeps tracebacks consistent across slabs.
+	lastB := &baseVw.layers[baseN-1]
+	var slab ckSlab
+	slab.cells = append(make([]int32, 0, len(lastB.cells)*(2+v.N-baseN)+16), lastB.cells...)
+	slab.score = append(make([]float64, 0, cap(slab.cells)), lastB.score...)
+	slab.prev = append(make([]int32, 0, cap(slab.cells)), lastB.prev...)
+	slab.zidx = append(make([]int32, 0, cap(slab.cells)), lastB.zidx...)
+	slab.zoff = append(make([]int32, 0, len(lastB.zoff)+zdim*(v.N-baseN)), lastB.zoff...)
+	layers[baseN-1] = ckLayer{off: 0, n: lastB.n, maxZ: lastB.maxZ, zo: 0}
+
+	built := 0
+	if lastB.n > 0 {
+		nb, err := relaxLayers(p, nt, v, nil, sc, &slab, layers, baseN, zdim, zstep, xof, qof, prevBuf)
+		if err != nil {
+			return nil, 0, err
+		}
+		built = nb
+	}
+	// Seal only the appended layers against the new slab, then restore
+	// the seed header to its sealed alias into the base view.
+	slab.seal(layers[baseN:])
+	layers[baseN-1] = *lastB
+	return &ckView{layers: layers, slab: slab}, built, nil
+}
+
+// materializeDerivedView builds the exact-prefix DP for align by
+// copying the donor checkpoint's columns and relaxing only the new
+// ones. donor.Align is a strict prefix of align, so for every position
+// the donor's cells ARE the derived layer's cells with z ≤ |donor.Align|
+// (same scores, same traceback indices — the exact-prefix dynamics over
+// a shared alignment prefix cannot see the symbols past it); the layer
+// is assembled donor block first, new block after, which keeps the
+// donor's layer-local prev indices valid verbatim. Only predecessors in
+// the boundary band z ≥ |donor.Align|+1-MaxEmit can reach a new column
+// (an edge advances z by at most MaxEmit), so the per-position relax
+// cost is the band, not the zone. Cell scores, z-buckets and prev-chain
+// validity are identical to a from-scratch build; the within-layer
+// activation order of the donor block is the donor's own, which is a
+// payload-order difference a tied emission may observe — callers under
+// the ranked tie-class contract (set-identity within exactly tied
+// scores) are unaffected. When the donor covers fewer positions than v
+// (a handle carried from before an append), the remaining positions
+// relax in full like any extension tail.
+func materializeDerivedView(p *Poll, nt *NFATables, v *SeqView, align []automata.Symbol, donor *Checkpoint, sc *ConstrainScratch) (*ckView, int, error) {
+	dvw, err := donor.ensureView(p, sc)
+	if err != nil {
+		return nil, 0, err
+	}
+	dlen := len(donor.Align)
+	dzdim := donor.zdim
+	zdim := len(align) + 1
+	states := nt.States
+	size := v.K * states * zdim
+	sc.f.ensure(size)
+	sc.f.reset()
+	if cap(sc.prevBuf) < size {
+		sc.prevBuf = make([]int32, size)
+	}
+	prevBuf := sc.prevBuf[:size]
+	zstep := alignMemo(sc, nt, align, zdim)
+	xof, qof := decodeTables(sc, v.K, states)
+	nT := len(nt.Succ)
+	offT := nt.Off
+	syms := nt.Syms
+	band := dlen + 1 - nt.MaxEmit
+	if band < 0 {
+		band = 0
+	}
+
+	var slab ckSlab
+	if n := len(sc.freeSlabs); n > 0 {
+		slab = sc.freeSlabs[n-1]
+		sc.freeSlabs[n-1] = ckSlab{}
+		sc.freeSlabs = sc.freeSlabs[:n-1]
+		slab.cells, slab.score, slab.prev = slab.cells[:0], slab.score[:0], slab.prev[:0]
+		slab.zidx, slab.zoff = slab.zidx[:0], slab.zoff[:0]
+	} else if sc.slabHint > 0 {
+		slab.cells = make([]int32, 0, sc.slabHint)
+		slab.score = make([]float64, 0, sc.slabHint)
+		slab.prev = make([]int32, 0, sc.slabHint)
+		slab.zidx = make([]int32, 0, sc.slabHint)
+		slab.zoff = make([]int32, 0, sc.zoffHint)
+	}
+	var layers []ckLayer
+	if cap(slab.layers) >= v.N {
+		layers = slab.layers[:v.N]
+		for i := range layers {
+			layers[i] = ckLayer{}
+		}
+	} else {
+		layers = make([]ckLayer, v.N)
+	}
+	slab.layers = nil
+
+	donorN := donor.n
+	if donorN > v.N {
+		donorN = v.N
+	}
+	built := 0
+	dead := false
+	for i := 0; i < donorN; i++ {
+		if err := p.Step(); err != nil {
+			slab.layers = layers
+			sc.freeSlabs = append(sc.freeSlabs, slab)
+			return nil, 0, err
+		}
+		if i == 0 {
+			// New-column seeds off the initial distribution; donor columns
+			// are complete in the donor's layer 0.
+			for ii, x := range v.InitIdx {
+				lp := math.Log(v.InitVal[ii])
+				elo, ehi := nt.Edges(int(nt.Start), int(x))
+				for e := elo; e < ehi; e++ {
+					z2 := zstep[e]
+					if int(z2) <= dlen {
+						continue
+					}
+					q2 := int(nt.Succ[e])
+					cell := int32(int(x)*states+q2)*int32(zdim) + z2
+					if sc.f.relax(cell, lp) {
+						prevBuf[cell] = -1
+					}
+				}
+			}
+		} else {
+			pl := &layers[i-1]
+			if pl.n == 0 {
+				dead = true
+				break
+			}
+			pcells := slab.cells[pl.off : pl.off+pl.n]
+			pscore := slab.score[pl.off : pl.off+pl.n]
+			pzidx := slab.zidx[pl.off : pl.off+pl.n]
+			pzoff := slab.zoff[pl.zo : pl.zo+pl.maxZ+2]
+			st := &v.Steps[i-1]
+			hi := int(pl.maxZ)
+			for z := band; z <= hi; z++ {
+				zrow := zstep[z*nT : (z+1)*nT]
+				for _, pj := range pzidx[pzoff[z]:pzoff[z+1]] {
+					base := pscore[pj]
+					xq := int(pcells[pj]) / zdim
+					x := int(xof[xq])
+					q := int(qof[xq])
+					for e := st.RowPtr[x]; e < st.RowPtr[x+1]; e++ {
+						y := int(st.Col[e])
+						lp := base + st.LogVal[e]
+						var tlo, thi int32
+						if offT != nil {
+							ti := q*syms + y
+							tlo, thi = offT[ti], offT[ti+1]
+						} else {
+							tlo, thi = nt.Edges(q, y)
+						}
+						yBase := y * states
+						for t := tlo; t < thi; t++ {
+							z2 := zrow[t]
+							if int(z2) <= dlen {
+								continue
+							}
+							q2 := int(nt.Succ[t])
+							cell := int32(yBase+q2)*int32(zdim) + z2
+							if sc.f.relax(cell, lp) {
+								prevBuf[cell] = pj
+							}
+						}
+					}
+				}
+			}
+		}
+
+		// Assemble layer i: donor block verbatim (ids re-encoded to the
+		// wider z stride), then the new cells in activation order.
+		dl := &dvw.layers[i]
+		dn := int(dl.n)
+		nn := len(sc.f.list)
+		n := dn + nn
+		if n == 0 {
+			dead = true
+			break
+		}
+		off := len(slab.cells)
+		slab.cells = growI32(slab.cells, n)
+		slab.score = growF64(slab.score, n)
+		slab.prev = growI32(slab.prev, n)
+		slab.zidx = growI32(slab.zidx, n)
+		cells := slab.cells[off:]
+		score := slab.score[off:]
+		prev := slab.prev[off:]
+		zidx := slab.zidx[off:]
+		dMaxZ := -1
+		if dn > 0 {
+			dMaxZ = int(dl.maxZ)
+			stride := int32(zdim - dzdim)
+			for j, c := range dl.cells {
+				cells[j] = c + (c/int32(dzdim))*stride
+			}
+			copy(score[:dn], dl.score)
+			copy(prev[:dn], dl.prev)
+			copy(zidx[:dn], dl.zidx)
+		}
+		maxZ := dMaxZ
+		if cap(sc.zbuf) < nn {
+			sc.zbuf = make([]int32, nn)
+		}
+		zs := sc.zbuf[:nn]
+		for t, cell := range sc.f.list {
+			mi := dn + t
+			cells[mi] = cell
+			score[mi] = sc.f.val[cell]
+			prev[mi] = prevBuf[cell]
+			z := int(cell % int32(zdim))
+			zs[t] = int32(z)
+			if z > maxZ {
+				maxZ = z
+			}
+		}
+		zo := len(slab.zoff)
+		zlen := maxZ + 2
+		if need := zo + zlen; cap(slab.zoff) >= need {
+			slab.zoff = slab.zoff[:need]
+			clear(slab.zoff[zo:])
+		} else {
+			slab.zoff = append(slab.zoff, make([]int32, zlen)...)
+		}
+		zoff := slab.zoff[zo:]
+		if dn > 0 {
+			copy(zoff[:dMaxZ+2], dl.zoff)
+		}
+		// New cells occupy buckets strictly above the donor's: count them,
+		// then chain the cumulative sums from the donor total onward.
+		for _, z := range zs {
+			zoff[z+1]++
+		}
+		for z := dMaxZ + 1; z <= maxZ; z++ {
+			zoff[z+1] += zoff[z]
+		}
+		if nn > 0 {
+			if cap(sc.zcur) < zlen-1 {
+				sc.zcur = make([]int32, zlen-1)
+			}
+			cur := sc.zcur[:zlen-1]
+			copy(cur, zoff[:zlen-1])
+			for t, z := range zs {
+				zidx[cur[z]] = int32(dn + t)
+				cur[z]++
+			}
+		}
+		layer := &layers[i]
+		layer.off, layer.n, layer.maxZ, layer.zo = int32(off), int32(n), int32(maxZ), int32(zo)
+		sc.f.reset()
+		built++
+	}
+	// Positions past the donor's length (a handle carried from before an
+	// append) relax in full, seeded by the last derived layer.
+	if !dead && donorN < v.N && built == donorN {
+		nb, err := relaxLayers(p, nt, v, nil, sc, &slab, layers, donorN, zdim, zstep, xof, qof, prevBuf)
+		if err != nil {
+			return nil, 0, err
+		}
+		built += nb
+	}
 	if n := len(slab.cells); n > sc.slabHint {
 		sc.slabHint = n
 	}
@@ -750,6 +1240,47 @@ func (ck *Checkpoint) walkPrefix(layers []ckLayer, li, pj int, nodes []automata.
 	}
 }
 
+// ResumeState is the final past-zone frontier of one constrained
+// resume: the active (x·|Q|+q) cells at the last position with their
+// forward log scores, and the sequence length N the resolve ran over.
+// The incremental ranked path retains one per resolved subproblem:
+// after an append, max over the frontier of score + potential-at-(N-1)
+// over the grown sequence is an exact completion bound for every run of
+// the subproblem's region that had already crossed its constraint
+// boundary by position N-1 (the frontier is complete — capture requires
+// an unpruned sweep — and the potentials are exact backward optima).
+// An empty frontier is itself exact: ExactOnly resolves and resolves
+// with no viable boundary crossing have no past-zone runs at all.
+// Cell order is unspecified; the bound is a max, so order never matters.
+type ResumeState struct {
+	N      int
+	Cells  []int32
+	Scores []float64
+
+	// Trace requests retention of the full past-zone traceback — the
+	// per-position backpointer rows and crossing records — alongside the
+	// frontier. A traced state is continuable: ResumeConstrainedIncCtx
+	// re-runs only the appended positions of the sweep and tracebacks
+	// through the retained rows, making a repeat resolve of the same
+	// (constraint, alignment) pair O(Δ) in the appended suffix instead of
+	// O(n). The ranked evaluator sets it on the second resolve of a
+	// region — the per-append re-resolve set is small and stable, so only
+	// that hot set pays the O(n·|cells|) retention.
+	Trace bool
+
+	// back[i] is the backpointer row of position i (pastSize wide):
+	// ≥ 0 is the predecessor past-zone cell at i-1, negative encodes an
+	// index into cross (-idx-2). Rows are immutable once captured — a
+	// continuation shares the prefix rows and appends fresh ones — and a
+	// nil row is unreachable by construction (an empty past-zone frontier
+	// at capture time cuts every chain into the past, so the rows behind
+	// it are dropped). cross is the crossing-record arena the negative
+	// row entries index; prefix-sharing keeps old indices stable.
+	back     [][]int32
+	cross    []crossRec
+	pastSize int
+}
+
 // ResumeConstrained solves the constrained top-answer problem — the
 // maximum-probability accepting run whose output c admits — against a
 // checkpoint whose alignment string extends c.Prefix. It returns the
@@ -757,8 +1288,18 @@ func (ck *Checkpoint) walkPrefix(layers []ckLayer, li, pj int, nodes []automata.
 // states, and the log probability; ok is false when c admits no answer
 // over a positive-probability world.
 func ResumeConstrained(nt *NFATables, v *SeqView, ck *Checkpoint, c transducer.Constraint, sc *ConstrainScratch) (out, nodes []automata.Symbol, states []int, logp float64, ok bool) {
-	out, nodes, states, logp, ok, _ = resumeConstrained(nil, nt, v, ck, c, nil, sc)
+	out, nodes, states, logp, ok, _ = resumeConstrained(nil, nt, v, ck, c, nil, nil, sc)
 	return out, nodes, states, logp, ok
+}
+
+// ResumeConstrainedStateCtx is ResumeConstrainedCtx that additionally
+// captures the resume's final past-zone frontier into rs (reusing its
+// slices), for retention across appends. The sweep always runs
+// unpruned — pruning leaves holes in the frontier, which would make the
+// retained bound inadmissible. On error rs is left empty and must not
+// be retained.
+func ResumeConstrainedStateCtx(ctx context.Context, nt *NFATables, v *SeqView, ck *Checkpoint, c transducer.Constraint, rs *ResumeState, sc *ConstrainScratch) (out, nodes []automata.Symbol, states []int, logp float64, ok bool, err error) {
+	return resumeConstrained(NewPoll(ctx), nt, v, ck, c, nil, rs, sc)
 }
 
 // ResumeConstrainedCtx is ResumeConstrained with step-granularity
@@ -767,7 +1308,7 @@ func ResumeConstrained(nt *NFATables, v *SeqView, ck *Checkpoint, c transducer.C
 // materialized view only reads the final retained layer and completes
 // regardless).
 func ResumeConstrainedCtx(ctx context.Context, nt *NFATables, v *SeqView, ck *Checkpoint, c transducer.Constraint, sc *ConstrainScratch) (out, nodes []automata.Symbol, states []int, logp float64, ok bool, err error) {
-	return resumeConstrained(NewPoll(ctx), nt, v, ck, c, nil, sc)
+	return resumeConstrained(NewPoll(ctx), nt, v, ck, c, nil, nil, sc)
 }
 
 // ResumeConstrainedBoundedCtx is ResumeConstrainedCtx with weight-pushed
@@ -776,12 +1317,20 @@ func ResumeConstrainedCtx(ctx context.Context, nt *NFATables, v *SeqView, ck *Ch
 // it. Exact and bit-identical to the exhaustive resume (see the file
 // comment). b may be nil, which disables pruning.
 func ResumeConstrainedBoundedCtx(ctx context.Context, nt *NFATables, v *SeqView, ck *Checkpoint, c transducer.Constraint, b *Bounds, sc *ConstrainScratch) (out, nodes []automata.Symbol, states []int, logp float64, ok bool, err error) {
-	return resumeConstrained(NewPoll(ctx), nt, v, ck, c, b, sc)
+	return resumeConstrained(NewPoll(ctx), nt, v, ck, c, b, nil, sc)
 }
 
-func resumeConstrained(p *Poll, nt *NFATables, v *SeqView, ck *Checkpoint, c transducer.Constraint, b *Bounds, sc *ConstrainScratch) (out, nodes []automata.Symbol, states []int, logp float64, ok bool, err error) {
+func resumeConstrained(p *Poll, nt *NFATables, v *SeqView, ck *Checkpoint, c transducer.Constraint, b *Bounds, rs *ResumeState, sc *ConstrainScratch) (out, nodes []automata.Symbol, states []int, logp float64, ok bool, err error) {
 	if ck.states != nt.States || ck.n != v.N {
 		panic("kernel: ResumeConstrained checkpoint was built against different tables or sequence")
+	}
+	if rs != nil {
+		if b != nil {
+			panic("kernel: frontier capture requires an unpruned resume")
+		}
+		rs.N = v.N
+		rs.Cells = rs.Cells[:0]
+		rs.Scores = rs.Scores[:0]
 	}
 	if !automata.HasPrefix(ck.Align, c.Prefix) {
 		panic("kernel: ResumeConstrained constraint prefix does not align with checkpoint")
@@ -967,6 +1516,11 @@ func resumeConstrained(p *Poll, nt *NFATables, v *SeqView, ck *Checkpoint, c tra
 		if prune {
 			b.addStats(0, 0, selCands, skipCands, skipCells)
 		}
+		if rs != nil && rs.Trace {
+			// Empty past-zone frontier: every future chain into the past
+			// is cut, so all-nil rows are a complete trace.
+			captureTrace(rs, v.N, pastSize, 0, nil, nil)
+		}
 		if exactIdx >= 0 {
 			nodes = make([]automata.Symbol, v.N)
 			states = make([]int, v.N)
@@ -1072,6 +1626,17 @@ func resumeConstrained(p *Poll, nt *NFATables, v *SeqView, ck *Checkpoint, c tra
 			best, bestCell = s, idx
 		}
 	}
+	if rs != nil {
+		// The final past-zone frontier, complete because the sweep ran
+		// unpruned. Captured before the reset below releases the scratch.
+		rs.Cells = append(rs.Cells, sc.cur.list...)
+		for _, idx := range sc.cur.list {
+			rs.Scores = append(rs.Scores, sc.cur.val[idx])
+		}
+		if rs.Trace {
+			captureTrace(rs, v.N, pastSize, len(sc.cur.list), back, sc.cross)
+		}
+	}
 	sc.cur.reset()
 	if exactIdx >= 0 && exactBest >= best {
 		nodes = make([]automata.Symbol, v.N)
@@ -1128,6 +1693,269 @@ func resumeConstrained(p *Poll, nt *NFATables, v *SeqView, ck *Checkpoint, c tra
 	return out, nodes, states, best, true, nil
 }
 
+// captureTrace retains the full traceback of a finished sweep into rs:
+// the backpointer rows (copied out of the flat scratch into one owned
+// slab, row-sliced) and the crossing-record arena. When the final
+// frontier is empty, every chain into the past is unreachable, so the
+// rows and records are dropped and all-nil rows stand in for them.
+func captureTrace(rs *ResumeState, n, pastSize, frontierLen int, back []int32, cross []crossRec) {
+	rs.pastSize = pastSize
+	if frontierLen == 0 {
+		rs.back = make([][]int32, n)
+		rs.cross = nil
+		return
+	}
+	flat := make([]int32, n*pastSize)
+	copy(flat, back)
+	rows := make([][]int32, n)
+	for i := range rows {
+		rows[i] = flat[i*pastSize : (i+1)*pastSize : (i+1)*pastSize]
+	}
+	rs.back = rows
+	rs.cross = slices.Clone(cross)
+}
+
+// ResumeConstrainedIncCtx is ResumeConstrainedStateCtx with incremental
+// continuation: when prior is a traced resume of the same (constraint,
+// alignment) pair captured over a shorter prefix of v (the sequence has
+// grown since), the past-zone sweep restarts from prior's retained
+// frontier and relaxes only positions [prior.N, v.N), reading crossing
+// candidates off the (extended) checkpoint's appended layers and
+// tracing back through prior's retained rows. The result — answer,
+// evidence, score, and the freshly captured rs — is bit-identical to
+// the full sweep: per-cell maxima are order-independent, each path's
+// score accumulates left to right exactly as the full sweep would, the
+// DP at positions before prior.N cannot depend on the appended suffix,
+// and the per-position advance-then-inject relax order is preserved.
+// continued reports which path ran; the full sweep runs whenever the
+// prior is missing, untraced, not strictly older than v, shaped for
+// different tables, or the constraint is ExactOnly (whose final-layer
+// read needs no sweep at all). The caller must guarantee prior really
+// came from a resolve of c at ck's alignment — the ranked evaluator's
+// retention map keys entries by canonical constraint identity.
+func ResumeConstrainedIncCtx(ctx context.Context, nt *NFATables, v *SeqView, ck *Checkpoint, c transducer.Constraint, prior, rs *ResumeState, sc *ConstrainScratch) (out, nodes []automata.Symbol, states []int, logp float64, ok bool, continued bool, err error) {
+	p := NewPoll(ctx)
+	if prior != nil && c.Mode != transducer.ExactOnly &&
+		prior.N >= 1 && prior.N < v.N &&
+		prior.back != nil && len(prior.back) >= prior.N &&
+		prior.pastSize == v.K*nt.States {
+		out, nodes, states, logp, ok, err = resumeConstrainedExtend(p, nt, v, ck, c, prior, rs, sc)
+		return out, nodes, states, logp, ok, true, err
+	}
+	out, nodes, states, logp, ok, err = resumeConstrained(p, nt, v, ck, c, nil, rs, sc)
+	return out, nodes, states, logp, ok, false, err
+}
+
+// resumeConstrainedExtend is the continuation sweep behind
+// ResumeConstrainedIncCtx: seed the past-zone frontier from prior,
+// relax positions [prior.N, v.N) with the same advance-then-inject
+// order as the full sweep, and capture the grown trace into rs.
+func resumeConstrainedExtend(p *Poll, nt *NFATables, v *SeqView, ck *Checkpoint, c transducer.Constraint, prior, rs *ResumeState, sc *ConstrainScratch) (out, nodes []automata.Symbol, states []int, logp float64, ok bool, err error) {
+	if ck.states != nt.States || ck.n != v.N {
+		panic("kernel: ResumeConstrained checkpoint was built against different tables or sequence")
+	}
+	if !automata.HasPrefix(ck.Align, c.Prefix) {
+		panic("kernel: ResumeConstrained constraint prefix does not align with checkpoint")
+	}
+	rs.N = v.N
+	rs.Cells = rs.Cells[:0]
+	rs.Scores = rs.Scores[:0]
+	rs.Trace = true
+	l := len(c.Prefix)
+	align := ck.Align
+	zdim := ck.zdim
+	pastSize := v.K * nt.States
+	neg := math.Inf(-1)
+
+	if sc == nil {
+		sc = constrainScratchPool.Get().(*ConstrainScratch)
+		defer constrainScratchPool.Put(sc)
+	}
+	vw, err := ck.ensureView(p, sc)
+	if err != nil {
+		return nil, nil, nil, neg, false, err
+	}
+	layers := vw.layers
+
+	// The exact-extension answer reads only the final layer, which the
+	// extended view has just relaxed; recomputing it fresh costs one
+	// bucket scan.
+	exactBest, exactIdx := neg, -1
+	if c.Mode == transducer.PrefixAndExtensions {
+		last := &layers[v.N-1]
+		for _, j32 := range last.bucket(l) {
+			j := int(j32)
+			cell := int(last.cells[j])
+			if nt.Accept[(cell/zdim)%nt.States] && last.score[j] > exactBest {
+				exactBest, exactIdx = last.score[j], j
+			}
+		}
+	}
+
+	sc.cur.ensure(pastSize)
+	sc.next.ensure(pastSize)
+	sc.cur.reset()
+	sc.next.reset()
+	for i, cell := range prior.Cells {
+		sc.cur.relax(cell, prior.Scores[i])
+	}
+
+	// Combined traceback state: prior rows shared (immutable), appended
+	// positions get fresh rows; crossing records extend prior's arena at
+	// stable indices.
+	rows := make([][]int32, v.N)
+	copy(rows, prior.back[:prior.N])
+	cross := prior.cross[:len(prior.cross):len(prior.cross)]
+
+	winLo := l - nt.MaxEmit + 1
+	ntOff := nt.Off
+	syms := nt.Syms
+	for i := prior.N; i < v.N; i++ {
+		if err := p.Step(); err != nil {
+			sc.cur.reset()
+			sc.next.reset()
+			return nil, nil, nil, neg, false, err
+		}
+		row := make([]int32, pastSize)
+		rows[i] = row
+		st := &v.Steps[i-1]
+		if len(sc.cur.list) > 0 {
+			sc.cur.sortList()
+			for _, idx := range sc.cur.list {
+				base := sc.cur.val[idx]
+				x := int(idx) / nt.States
+				q := int(idx) - x*nt.States
+				for e := st.RowPtr[x]; e < st.RowPtr[x+1]; e++ {
+					y := int(st.Col[e])
+					lp := base + st.LogVal[e]
+					var tlo, thi int32
+					if ntOff != nil {
+						ti := q*syms + y
+						tlo, thi = ntOff[ti], ntOff[ti+1]
+					} else {
+						tlo, thi = nt.Edges(q, y)
+					}
+					for t := tlo; t < thi; t++ {
+						cell := int32(y*nt.States + int(nt.Succ[t]))
+						if sc.next.relax(cell, lp) {
+							row[cell] = idx
+						}
+					}
+				}
+			}
+		}
+		prevLayer := &layers[i-1]
+		if int(prevLayer.maxZ)+nt.MaxEmit > l && prevLayer.n > 0 {
+			for _, pj := range prevLayer.window(winLo, l, &sc.win) {
+				pi := int(pj)
+				pcell := prevLayer.cells[pi]
+				base := prevLayer.score[pi]
+				xq := int(pcell) / zdim
+				z := int(pcell) - xq*zdim
+				x := xq / nt.States
+				q := xq - x*nt.States
+				for e := st.RowPtr[x]; e < st.RowPtr[x+1]; e++ {
+					y := int(st.Col[e])
+					lp := base + st.LogVal[e]
+					var tlo, thi int32
+					if ntOff != nil {
+						ti := q*syms + y
+						tlo, thi = ntOff[ti], ntOff[ti+1]
+					} else {
+						tlo, thi = nt.Edges(q, y)
+					}
+					for t := tlo; t < thi; t++ {
+						w := nt.Emit[nt.EmitPtr[t]:nt.EmitPtr[t+1]]
+						if !crossOK(align, l, z, w, c.Forbidden) {
+							continue
+						}
+						cell := int32(y*nt.States + int(nt.Succ[t]))
+						if sc.next.relax(cell, lp) {
+							cross = append(cross, crossRec{layer: int32(i - 1), pi: int32(pi), edge: t})
+							row[cell] = -int32(len(cross)) - 1
+						}
+					}
+				}
+			}
+		}
+		sc.cur, sc.next = sc.next, sc.cur
+		sc.next.reset()
+	}
+
+	// Final argmax with canonical tie-breaking, then the grown capture.
+	best, bestCell := neg, int32(-1)
+	for _, idx := range sc.cur.list {
+		if !nt.Accept[int(idx)%nt.States] {
+			continue
+		}
+		if s := sc.cur.val[idx]; s > best || (s == best && idx < bestCell) {
+			best, bestCell = s, idx
+		}
+	}
+	rs.Cells = append(rs.Cells, sc.cur.list...)
+	for _, idx := range sc.cur.list {
+		rs.Scores = append(rs.Scores, sc.cur.val[idx])
+	}
+	rs.pastSize = pastSize
+	if len(sc.cur.list) == 0 {
+		rs.back = make([][]int32, v.N)
+		rs.cross = nil
+	} else {
+		rs.back = rows
+		rs.cross = cross
+	}
+	sc.cur.reset()
+
+	if exactIdx >= 0 && exactBest >= best {
+		nodes = make([]automata.Symbol, v.N)
+		states = make([]int, v.N)
+		ck.walkPrefix(layers, v.N-1, exactIdx, nodes, states)
+		return automata.CloneString(align[:l]), nodes, states, exactBest, true, nil
+	}
+	if bestCell < 0 {
+		return nil, nil, nil, neg, false, nil
+	}
+
+	nodes = make([]automata.Symbol, v.N)
+	states = make([]int, v.N)
+	i := v.N - 1
+	cell := bestCell
+	var rec crossRec
+	for {
+		nodes[i] = automata.Symbol(int(cell) / nt.States)
+		states[i] = int(cell) % nt.States
+		bk := rows[i][cell]
+		if bk < 0 {
+			rec = cross[-bk-2]
+			break
+		}
+		cell = bk
+		i--
+	}
+	crossPos := i
+	z := 0
+	if rec.layer >= 0 {
+		z = int(layers[rec.layer].cells[rec.pi]) % zdim
+		ck.walkPrefix(layers, int(rec.layer), int(rec.pi), nodes, states)
+	}
+	w := nt.Emit[nt.EmitPtr[rec.edge]:nt.EmitPtr[rec.edge+1]]
+	out = make([]automata.Symbol, 0, z+len(w)+(v.N-1-crossPos)*nt.MaxEmit)
+	out = append(out, align[:z]...)
+	out = append(out, w...)
+	q := states[crossPos]
+	for j := crossPos + 1; j < v.N; j++ {
+		lo, hi := nt.Edges(q, int(nodes[j]))
+		for e := lo; e < hi; e++ {
+			if int(nt.Succ[e]) == states[j] {
+				out = append(out, nt.Emit[nt.EmitPtr[e]:nt.EmitPtr[e+1]]...)
+				break
+			}
+		}
+		q = states[j]
+	}
+	return out, nodes, states, best, true, nil
+}
+
 // ConstrainedViterbi solves the constrained top-answer problem from
 // scratch: a checkpoint aligned to the constraint's own prefix followed
 // by a resume. The checkpoint is discarded; enumeration layers that
@@ -1161,5 +1989,5 @@ func constrainedViterbi(p *Poll, nt *NFATables, v *SeqView, c transducer.Constra
 	if err != nil {
 		return nil, nil, nil, math.Inf(-1), false, err
 	}
-	return resumeConstrained(p, nt, v, ck, c, b, sc)
+	return resumeConstrained(p, nt, v, ck, c, b, nil, sc)
 }

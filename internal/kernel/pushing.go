@@ -76,6 +76,20 @@ type PruneStats struct {
 	// counts lazy handles created: LazyHandles·n − LazyLayers is the
 	// prefix DP the deferral skipped outright.
 	LazyLayers, EagerLayers, LazyHandles uint64
+	// HandlesSkipped counts lazy checkpoint handles that were carried
+	// across an append extension without ever having relaxed a DP layer:
+	// the previous drain emitted its answers while every child aligned to
+	// the handle stayed bound-dominated by the k-th answer score, so the
+	// materialization was skipped outright (not merely deferred). Filled
+	// at the ranked-evaluator layer; zero in a raw Bounds snapshot.
+	HandlesSkipped uint64
+	// RankedReused counts previously emitted answers carried across an
+	// append extension as exact singleton subproblems (re-scored over
+	// only the appended suffix); RankedReseeded counts unresolved or
+	// decided-empty frontier subproblems re-seeded with updated
+	// completion bounds instead of being rebuilt. Filled at the
+	// ranked-evaluator layer; zero in a raw Bounds snapshot.
+	RankedReused, RankedReseeded uint64
 }
 
 // Stats returns the counters accumulated so far. Safe for concurrent
@@ -110,6 +124,27 @@ func (b *Bounds) addStats(pruned, visited, selected, candsSkipped, cellsSkipped 
 // pos returns the potential of past-zone cell (x·|Q|+q) at position i.
 func (b *Bounds) pos(i int, cell int32) float64 {
 	return b.pot[i*b.k*b.states+int(cell)]
+}
+
+// MatchesView reports whether the potentials were computed over a view
+// of this shape. Potentials are append-variant — the row at position i
+// looks forward to the final position — so a Bounds built before a
+// SeqView.Extend must never gate or prune against the grown view; the
+// engine layers check this before wiring a cached Bounds into a kernel
+// call and rebuild on mismatch.
+func (b *Bounds) MatchesView(v *SeqView) bool {
+	return b != nil && b.n == v.N && b.k == v.K
+}
+
+// Row returns the potential row of position i: Row(i)[x·|Q|+q] is the
+// exact best log completion weight from past-zone cell (x, q) after
+// consuming event i, -Inf when no accepting completion exists. The row
+// is read-only. The incremental ranked reseed prices retained resolve
+// frontiers and stale checkpoint layers against a freshly grown
+// sequence with it.
+func (b *Bounds) Row(i int) []float64 {
+	kq := b.k * b.states
+	return b.pot[i*kq : (i+1)*kq : (i+1)*kq]
 }
 
 // BoundsMinN is the sequence length below which callers should skip

@@ -188,15 +188,5 @@ func TestSampleInSupport(t *testing.T) {
 }
 
 func parseKey(key string) []automata.Symbol {
-	var out []automata.Symbol
-	cur := 0
-	for i := 0; i < len(key); i++ {
-		if key[i] == ',' {
-			out = append(out, automata.Symbol(cur))
-			cur = 0
-			continue
-		}
-		cur = cur*10 + int(key[i]-'0')
-	}
-	return out
+	return automata.ParseKey(key)
 }

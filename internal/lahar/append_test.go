@@ -3,6 +3,7 @@ package lahar
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math/rand"
 	"reflect"
 	"strings"
@@ -17,6 +18,90 @@ import (
 	"markovseq/internal/textgen"
 	"markovseq/internal/transducer"
 )
+
+// topKThroughTies drains the k best answers and then extends the drain
+// through the last tied score class, so a comparison against another
+// construction's k-drain can treat a k-boundary that splits a tie class
+// as a set membership question rather than an exact-rank one.
+func topKThroughTies(t *testing.T, db *DB, stream, q string, k int) []Result {
+	t.Helper()
+	out, err := db.TopK(stream, q, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) < k {
+		return out
+	}
+	classScore := out[k-1].Score
+	for kk := k + 1; ; kk++ {
+		next, err := db.TopK(stream, q, kk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(next) < kk {
+			return next
+		}
+		if next[kk-1].Score != classScore {
+			return next[:kk-1]
+		}
+	}
+}
+
+// assertTopKMatches requires got (a k-drain) to agree with want (a
+// drain extended through its final tie class, see topKThroughTies) rank
+// by rank on bit-identical scores, and set-identically within every
+// maximal run of equal scores — where scores strictly decrease this
+// forces identical answers at every rank. Order inside an exact-tie
+// class is construction-dependent by design: a from-scratch ranked
+// drain discovers some tied answers only as Lawler children of emitted
+// tied parents, which a cross-append reseed cannot reproduce without
+// abandoning lazy resolution (see ranked.ExtendEnumerator).
+func assertTopKMatches(t *testing.T, label string, got, want []Result, k int) {
+	t.Helper()
+	if len(got) == 0 {
+		if len(want) != 0 {
+			t.Fatalf("%s: got no answers, want %d", label, len(want))
+		}
+		return
+	}
+	n := k
+	if n > len(want) {
+		n = len(want)
+	}
+	if len(got) != n {
+		t.Fatalf("%s: got %d answers, want %d (k=%d)", label, len(got), n, k)
+	}
+	for i := range got {
+		if got[i].Score != want[i].Score {
+			t.Fatalf("%s rank %d: score %v, want %v (must be bit-identical)", label, i, got[i].Score, want[i].Score)
+		}
+	}
+	key := func(r Result) string {
+		return fmt.Sprintf("%v|%d|%d", r.Output, r.Index, r.Kind)
+	}
+	wantBy := map[float64]map[string]bool{}
+	for _, r := range want {
+		m := wantBy[r.Score]
+		if m == nil {
+			m = map[string]bool{}
+			wantBy[r.Score] = m
+		}
+		m[key(r)] = true
+	}
+	gotClass := map[float64]int{}
+	for i, r := range got {
+		if !wantBy[r.Score][key(r)] {
+			t.Fatalf("%s rank %d: answer %v (score %v) not among the reference answers of that score", label, i, r.Output, r.Score)
+		}
+		gotClass[r.Score]++
+	}
+	last := got[len(got)-1].Score
+	for s, c := range gotClass {
+		if s != last && c != len(wantBy[s]) {
+			t.Fatalf("%s: tie class at score %v has %d answers, reference has %d", label, s, c, len(wantBy[s]))
+		}
+	}
+}
 
 // eventsOf returns the events that grow full's length-from prefix to
 // length to: appending TransAt(L) takes a stream from length L to L+1.
@@ -123,17 +208,12 @@ func TestAppendEventsDifferential(t *testing.T) {
 						t.Fatalf("p=%d: append at %d returned length %d", p, L, got)
 					}
 				}
-				wantTop, err := scratch.TopK("s", "q", 5)
-				if err != nil {
-					t.Fatal(err)
-				}
+				wantTop := topKThroughTies(t, scratch, "s", "q", 5)
 				gotTop, err := inc.TopK("s", "q", 5)
 				if err != nil {
 					t.Fatal(err)
 				}
-				if !reflect.DeepEqual(gotTop, wantTop) {
-					t.Fatalf("p=%d: TopK diverges\ngot  %+v\nwant %+v", p, gotTop, wantTop)
-				}
+				assertTopKMatches(t, fmt.Sprintf("p=%d TopK", p), gotTop, wantTop, 5)
 				if len(wantTop) > 0 {
 					want, err := scratch.Confidence("s", "q", wantTop[0].Output, 0)
 					if err != nil {
@@ -185,13 +265,8 @@ func TestAppendEventsBatchMatchesSingles(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := singles.TopK("s", "q", 3)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(a, b) {
-		t.Fatal("batched append diverges from event-by-event appends")
-	}
+	b := topKThroughTies(t, singles, "s", "q", 3)
+	assertTopKMatches(t, "batch vs singles", a, b, 3)
 }
 
 // TestAppendKeepsEnginesWarm is the acceptance-criteria check: appending
@@ -269,17 +344,12 @@ func TestAppendEventsErrors(t *testing.T) {
 		t.Fatalf("stream after partial append: len=%d err=%v", m.Len(), err)
 	}
 	want := wl.mk(wl.full.Window(1, 6))
-	wres, err := want.TopK("s", "q", 3)
-	if err != nil {
-		t.Fatal(err)
-	}
+	wres := topKThroughTies(t, want, "s", "q", 3)
 	gres, err := db.TopK("s", "q", 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(gres, wres) {
-		t.Fatal("partially appended stream diverges from its prefix")
-	}
+	assertTopKMatches(t, "partial append", gres, wres, 3)
 }
 
 // TestAppendEventsCancelMidAppend: cancellation between events keeps the
@@ -315,17 +385,12 @@ func TestAppendEventsCancelMidAppend(t *testing.T) {
 		}
 		sawPartial = true
 		ref := wl.mk(wl.full.Window(1, got))
-		want, err := ref.TopK("s", "q", 3)
-		if err != nil {
-			t.Fatal(err)
-		}
+		want := topKThroughTies(t, ref, "s", "q", 3)
 		have, err := db.TopK("s", "q", 3)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !reflect.DeepEqual(have, want) {
-			t.Fatalf("budget %d: applied prefix diverges from from-scratch prefix", budget)
-		}
+		assertTopKMatches(t, fmt.Sprintf("budget %d", budget), have, want, 3)
 	}
 	if !sawPartial {
 		t.Fatal("no budget produced a strict mid-append prefix")

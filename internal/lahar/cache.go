@@ -95,6 +95,14 @@ type CacheStats struct {
 	// RankedLazyHandles·n − RankedLazyLayers is the prefix DP the lazy
 	// path skipped outright.
 	RankedLazyLayers, RankedEagerLayers, RankedLazyHandles uint64
+	// RankedReused / RankedReseeded aggregate the cross-append ranked
+	// carry counters of the cached engines: previously emitted answers
+	// re-entered as exact singletons vs. unresolved subproblems
+	// re-entered with refreshed bounds when AppendEvents grew a stream
+	// under a cached ranked enumeration. RankedHandlesSkipped counts
+	// lazy checkpoint handles carried across appends without
+	// materialization. All zero under WithFromScratchRanked.
+	RankedReused, RankedReseeded, RankedHandlesSkipped uint64
 }
 
 // Stats returns a snapshot of the engine-cache counters.
@@ -116,6 +124,9 @@ func (db *DB) Stats() CacheStats {
 		s.RankedLazyLayers += ps.LazyLayers
 		s.RankedEagerLayers += ps.EagerLayers
 		s.RankedLazyHandles += ps.LazyHandles
+		s.RankedReused += ps.RankedReused
+		s.RankedReseeded += ps.RankedReseeded
+		s.RankedHandlesSkipped += ps.HandlesSkipped
 	}
 	db.mu.RUnlock()
 	return s
@@ -147,21 +158,27 @@ func (db *DB) engine(stream, qname string) (*core.Engine, error) {
 	if !qok {
 		return nil, fmt.Errorf("lahar: unknown query %q", qname)
 	}
+	var old *core.Engine
 	if ent != nil && ent.sv == se.version && ent.qv == qe.version {
 		if ent.slen == m.Len() {
 			db.stats.hits.Add(1)
 			return ent.eng, nil
 		}
 		// Same generation, grown stream: the prepared plan rebinds in O(1)
-		// below — no invalidation, no recompilation.
+		// below — no invalidation, no recompilation — and the predecessor
+		// engine's ranked enumeration state is carried across the append.
 		db.stats.extensions.Add(1)
+		old = ent.eng
 	} else {
 		db.stats.misses.Add(1)
 	}
 	// Build outside the lock: compilation can be slow and must not block
 	// readers. The sequence was validated by PutStream (appended events
-	// by AppendEvents).
-	eng, err := qe.prepared.BindValidated(m)
+	// by AppendEvents). ExtendValidated binds in extendable ranked mode
+	// and reseeds from the predecessor when the stream merely grew, so
+	// repeated append-then-TopK serving is incremental in the appended
+	// suffix; WithFromScratchRanked pins the rebuild-every-time reference.
+	eng, err := qe.prepared.ExtendValidated(old, m)
 	if err != nil {
 		return nil, fmt.Errorf("lahar: stream %q, query %q: %w", stream, qname, err)
 	}

@@ -140,12 +140,13 @@ type DB struct {
 	// appenders advance them, PutStream fails them (see watch.go).
 	watchers map[string][]*Subscription
 
-	workers          int
-	parallelWindows  bool
-	referenceWindows bool
-	rankedWorkers    int
-	exhaustiveRanked bool
-	eagerCheckpoints bool
+	workers           int
+	parallelWindows   bool
+	referenceWindows  bool
+	rankedWorkers     int
+	exhaustiveRanked  bool
+	eagerCheckpoints  bool
+	fromScratchRanked bool
 
 	// deadline is the per-query timeout applied at every public entry
 	// point (0 = none); inflight is the load-shedding semaphore (nil =
@@ -229,6 +230,18 @@ func WithExhaustiveRanked() Option {
 // build cost up front. Implied by WithExhaustiveRanked.
 func WithEagerCheckpoints() Option {
 	return func(db *DB) { db.eagerCheckpoints = true }
+}
+
+// WithFromScratchRanked disables the cross-append carry of ranked
+// enumeration state: every AppendEvents-grown engine rebuilds its
+// ranked enumeration from scratch instead of reseeding it from the
+// predecessor. The carried and from-scratch paths agree rank by rank on
+// bit-identical scores (set-identically within exactly tied score
+// classes); this option is the differential reference for the
+// append-then-rank grid and an escape hatch for workloads where the
+// reseed bookkeeping outweighs the resolves it saves.
+func WithFromScratchRanked() Option {
+	return func(db *DB) { db.fromScratchRanked = true }
 }
 
 // New returns an empty database.
@@ -316,6 +329,9 @@ func (db *DB) prepareOpts() []core.PrepareOption {
 	}
 	if db.eagerCheckpoints {
 		opts = append(opts, core.WithEagerCheckpoints())
+	}
+	if db.fromScratchRanked {
+		opts = append(opts, core.WithFromScratchRanked())
 	}
 	return opts
 }

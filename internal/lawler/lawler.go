@@ -18,11 +18,16 @@
 //
 // Items are ordered by score descending with insertion sequence as the
 // tie-breaker, so ties are stable across runs and across worker counts.
+// Config.Tie optionally replaces the insertion-sequence tie-break on
+// emissions with a canonical payload order, making the emitted sequence
+// identical even across differently-constructed enumerations of the same
+// answer set (the cross-append reseed relies on this).
 package lawler
 
 import (
 	"container/heap"
 	"context"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -56,6 +61,17 @@ type Config[T any] struct {
 	// Batch is the maximum number of unresolved subproblems resolved
 	// per speculation round; it defaults to Workers.
 	Batch int
+	// Tie, when non-nil, makes the emission order on exact score ties a
+	// canonical function of the payloads instead of the insertion
+	// sequence: resolved items with equal scores order by Tie (negative
+	// means a first), and an unresolved item whose bound ties the front
+	// is resolved before anything tied is emitted. Callers that must
+	// emit identical sequences across differently-constructed
+	// enumerations of the same answer set (the cross-append reseed
+	// rebuilds the queue in a different insertion order) need this;
+	// with Tie nil the insertion sequence decides, which is still
+	// deterministic for any one construction.
+	Tie func(a, b T) int
 }
 
 type item[T any] struct {
@@ -69,23 +85,40 @@ type item[T any] struct {
 	score    float64
 }
 
-type queue[T any] []*item[T]
-
-func (q queue[T]) Len() int { return len(q) }
-func (q queue[T]) Less(i, j int) bool {
-	if q[i].score != q[j].score {
-		return q[i].score > q[j].score
-	}
-	return q[i].seq < q[j].seq
+type queue[T any] struct {
+	its []*item[T]
+	tie func(a, b T) int
 }
-func (q queue[T]) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *queue[T]) Push(x any)   { *q = append(*q, x.(*item[T])) }
+
+func (q *queue[T]) Len() int { return len(q.its) }
+func (q *queue[T]) Less(i, j int) bool {
+	a, b := q.its[i], q.its[j]
+	if a.score != b.score {
+		return a.score > b.score
+	}
+	if q.tie != nil {
+		// Unresolved items surface ahead of tied resolved ones so their
+		// true scores are known before any tied emission; among resolved
+		// ties the canonical payload order decides.
+		if a.resolved != b.resolved {
+			return !a.resolved
+		}
+		if a.resolved {
+			if c := q.tie(a.top, b.top); c != 0 {
+				return c < 0
+			}
+		}
+	}
+	return a.seq < b.seq
+}
+func (q *queue[T]) Swap(i, j int) { q.its[i], q.its[j] = q.its[j], q.its[i] }
+func (q *queue[T]) Push(x any)    { q.its = append(q.its, x.(*item[T])) }
 func (q *queue[T]) Pop() any {
-	old := *q
+	old := q.its
 	n := len(old)
 	it := old[n-1]
 	old[n-1] = nil // release the slot so long enumerations don't retain popped items
-	*q = old[:n-1]
+	q.its = old[:n-1]
 	return it
 }
 
@@ -97,12 +130,114 @@ type Enumerator[T any] struct {
 	q     queue[T]
 	seq   int64
 	spec  []*item[T] // speculation scratch, reused across rounds
+
+	// dead retains subproblems that resolved empty instead of dropping
+	// them: a region empty over the current sequence can become nonempty
+	// once the sequence grows, so the cross-append reseed must re-offer
+	// them (Frontier reports Dead=true for these).
+	dead []*item[T]
+	// emitted logs every emission with the subproblem that produced it,
+	// in emission order — the record the cross-append reseed needs to
+	// re-offer prior answers as exact singletons and to anchor fallback
+	// bounds for their carried children (see EmittedLog).
+	emitted []Emitted[T]
+}
+
+// Emitted is one emitted answer together with the subproblem that
+// produced it: the constraint, the parent payload it was resolved
+// against (the zero T with Root=true at the enumeration root), and the
+// emitted payload and score.
+type Emitted[T any] struct {
+	C      transducer.Constraint
+	Parent T
+	Root   bool
+	Top    T
+	Score  float64
+}
+
+// Pending is one unemitted subproblem of a paused enumeration: still
+// queued, or decided empty over the current input (Dead=true). Resolved
+// state and old scores are deliberately omitted — neither survives an
+// append, which is what Frontier exists to serve.
+type Pending[T any] struct {
+	C      transducer.Constraint
+	Parent T
+	Root   bool
+	Dead   bool
+}
+
+// EmittedLog returns the emissions so far, oldest first. The slice is
+// owned by the enumerator; callers must not mutate it.
+func (e *Enumerator[T]) EmittedLog() []Emitted[T] { return e.emitted }
+
+// Frontier snapshots the unemitted subproblems — queue and dead list —
+// in insertion-sequence order (the deterministic tie-break order).
+// Read-only: the queue is not reordered or popped.
+func (e *Enumerator[T]) Frontier() []Pending[T] {
+	type rec struct {
+		p   Pending[T]
+		seq int64
+	}
+	recs := make([]rec, 0, len(e.q.its)+len(e.dead))
+	for _, it := range e.q.its {
+		recs = append(recs, rec{Pending[T]{C: it.c, Parent: it.parent, Root: it.root}, it.seq})
+	}
+	for _, it := range e.dead {
+		recs = append(recs, rec{Pending[T]{C: it.c, Parent: it.parent, Root: it.root, Dead: true}, it.seq})
+	}
+	slices.SortFunc(recs, func(a, b rec) int {
+		switch {
+		case a.seq < b.seq:
+			return -1
+		case a.seq > b.seq:
+			return 1
+		}
+		return 0
+	})
+	out := make([]Pending[T], len(recs))
+	for i := range recs {
+		out[i] = recs[i].p
+	}
+	return out
+}
+
+// Seed is one carried subproblem for NewSeeded: a constraint, the
+// parent payload its resolver should locate shared work through, and an
+// externally computed admissible bound on its best score.
+type Seed[T any] struct {
+	C      transducer.Constraint
+	Parent T
+	Root   bool
+	Bound  float64
+}
+
+// NewSeeded prepares an enumeration over an explicit initial frontier
+// instead of a single root: every seed enters the queue unresolved with
+// its Bound as the provisional heap score, numbered in slice order (the
+// caller's order is the deterministic tie-break among equal bounds).
+// Correct ranked emission needs each Bound to be admissible — at least
+// the true best score of the seed's region — and the regions to be
+// pairwise disjoint with union equal to the intended answer set; the
+// lazy-resolution invariant (nothing emits while an unresolved item
+// with a higher bound is queued) then carries over unchanged.
+func NewSeeded[T any](cfg Config[T], seeds []Seed[T]) *Enumerator[T] {
+	e := &Enumerator[T]{cfg: cfg, batch: cfg.Batch}
+	e.q.tie = cfg.Tie
+	if e.batch <= 0 {
+		e.batch = cfg.Workers
+	}
+	for _, s := range seeds {
+		heap.Push(&e.q, &item[T]{c: s.C, parent: s.Parent, root: s.Root, seq: e.seq, score: s.Bound})
+		e.seq++
+	}
+	return e
 }
 
 // New prepares the enumeration of cfg.Root's answers in decreasing
 // score. No resolution work happens until the first Next call.
 func New[T any](cfg Config[T]) *Enumerator[T] {
 	e := &Enumerator[T]{cfg: cfg, batch: cfg.Batch}
+	e.q.tie = cfg.Tie
 	if e.batch <= 0 {
 		e.batch = cfg.Workers
 	}
@@ -128,11 +263,11 @@ func (e *Enumerator[T]) Next() (top T, score float64, ok bool) {
 // answers, it only pauses the drain.
 func (e *Enumerator[T]) NextCtx(ctx context.Context) (top T, score float64, ok bool, err error) {
 	var zero T
-	for len(e.q) > 0 {
+	for len(e.q.its) > 0 {
 		if err := ctx.Err(); err != nil {
 			return zero, 0, false, err
 		}
-		if !e.q[0].resolved && e.cfg.Workers > 1 {
+		if !e.q.its[0].resolved && e.cfg.Workers > 1 {
 			if err := e.speculate(ctx); err != nil {
 				return zero, 0, false, err
 			}
@@ -148,7 +283,11 @@ func (e *Enumerator[T]) NextCtx(ctx context.Context) (top T, score float64, ok b
 				return zero, 0, false, err
 			}
 			if !ok {
-				continue // empty subproblem
+				// Empty over the current input; retained for Frontier so a
+				// cross-append reseed can re-offer the region.
+				it.dead = true
+				e.dead = append(e.dead, it)
+				continue
 			}
 			it.resolved, it.top, it.score = true, top, sc
 			heap.Push(&e.q, it)
@@ -160,6 +299,7 @@ func (e *Enumerator[T]) NextCtx(ctx context.Context) (top T, score float64, ok b
 			heap.Push(&e.q, &item[T]{c: child, parent: it.top, seq: e.seq, score: it.score})
 			e.seq++
 		}
+		e.emitted = append(e.emitted, Emitted[T]{C: it.c, Parent: it.parent, Root: it.root, Top: it.top, Score: it.score})
 		return it.top, it.score, true, nil
 	}
 	return zero, 0, false, nil
@@ -183,7 +323,7 @@ func (e *Enumerator[T]) speculate(ctx context.Context) error {
 	if scanCap < 16 {
 		scanCap = 16
 	}
-	for len(e.q) > 0 && unresolved < e.batch && len(e.spec) < scanCap {
+	for len(e.q.its) > 0 && unresolved < e.batch && len(e.spec) < scanCap {
 		it := heap.Pop(&e.q).(*item[T])
 		e.spec = append(e.spec, it)
 		if !it.resolved {
@@ -233,9 +373,11 @@ func (e *Enumerator[T]) speculate(ctx context.Context) error {
 	}
 	wg.Wait()
 	for _, it := range e.spec {
-		if !it.dead {
-			heap.Push(&e.q, it)
+		if it.dead {
+			e.dead = append(e.dead, it)
+			continue
 		}
+		heap.Push(&e.q, it)
 	}
 	for _, err := range errs {
 		if err != nil {

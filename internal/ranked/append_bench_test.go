@@ -1,0 +1,98 @@
+// Append-then-rank benchmarks, feeding `make bench` / BENCH_ranked.json:
+// the amortized cost of keeping a top-k answer fresh while the stream
+// grows one event at a time. Two constructions over the same RFID
+// workload:
+//
+//   - BenchmarkRankedAppendIncremental: one extendable enumerator
+//     carried across every append by ExtendEnumerator — emitted answers
+//     re-enter as exact singletons, the unresolved frontier re-enters
+//     bounded — so each iteration pays for the appended suffix and the
+//     drain, not for the stream prefix.
+//
+//   - BenchmarkRankedAppendRebuild: a fresh enumerator per append (the
+//     pre-incremental serving behavior), re-running the constrained
+//     Viterbi resolutions over the full stream every time.
+//
+// The incremental benchmark reports reused/op and reseeded/op — the
+// average number of answers re-entered as exact singletons and of
+// subproblems re-seeded with refreshed bounds per append — as extra
+// metrics; the tracked speedup is the ns/op ratio of the pair.
+package ranked
+
+import (
+	"math/rand"
+	"testing"
+
+	"markovseq/internal/markov"
+	"markovseq/internal/rfid"
+	"markovseq/internal/transducer"
+)
+
+const (
+	appendBenchStart = 200 // stream length before the first measured append
+	appendBenchK     = 10  // answers drained after every append
+)
+
+// appendBenchWorkload simulates an RFID trace long enough to feed one
+// event per iteration past the starting prefix.
+func appendBenchWorkload(b *testing.B, events int) (*transducer.Transducer, *markov.Sequence) {
+	b.Helper()
+	f := rfid.Hospital(4, 2)
+	h := rfid.BuildHMM(f, rfid.DefaultNoise)
+	trc, err := rfid.Simulate(h, appendBenchStart+events, rand.New(rand.NewSource(31)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rfid.PlaceTransducer(f, "lab"), trc.Seq
+}
+
+func drainAppendBench(b *testing.B, e *Enumerator) {
+	b.Helper()
+	for j := 0; j < appendBenchK; j++ {
+		if _, ok := e.Next(); !ok {
+			break
+		}
+	}
+}
+
+func BenchmarkRankedAppendIncremental(b *testing.B) {
+	tr, full := appendBenchWorkload(b, b.N)
+	grown := full.Window(1, appendBenchStart)
+	e := NewEnumerator(tr, grown, WithExtendable())
+	drainAppendBench(b, e) // warm: the first carry needs a drained tree
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		grown, err = grown.Extended([][][]float64{full.TransAt(appendBenchStart + i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ne, ok := ExtendEnumerator(e, grown, 1)
+		if !ok {
+			b.Fatal("ExtendEnumerator refused a drained extendable enumerator")
+		}
+		e = ne
+		drainAppendBench(b, e)
+	}
+	b.StopTimer()
+	reused, reseeded, _ := e.ExtendStats()
+	b.ReportMetric(float64(reused)/float64(b.N), "reused/op")
+	b.ReportMetric(float64(reseeded)/float64(b.N), "reseeded/op")
+}
+
+func BenchmarkRankedAppendRebuild(b *testing.B) {
+	tr, full := appendBenchWorkload(b, b.N)
+	grown := full.Window(1, appendBenchStart)
+	drainAppendBench(b, NewEnumerator(tr, grown))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		grown, err = grown.Extended([][][]float64{full.TransAt(appendBenchStart + i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		drainAppendBench(b, NewEnumerator(tr, grown))
+	}
+}

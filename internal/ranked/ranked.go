@@ -28,6 +28,7 @@ package ranked
 import (
 	"context"
 	"math"
+	"slices"
 
 	"markovseq/internal/automata"
 	"markovseq/internal/kernel"
@@ -179,7 +180,9 @@ type Answer struct {
 // checkpoint; WithWorkers adds speculative parallel resolution without
 // changing the emitted sequence.
 type Enumerator struct {
-	inner *lawler.Enumerator[Answer]
+	inner   *lawler.Enumerator[Answer]
+	ev      *Evaluator
+	workers int
 }
 
 // NewEnumerator prepares the decreasing-E_max enumeration of the answers
@@ -194,12 +197,11 @@ func NewEnumerator(t *transducer.Transducer, m *markov.Sequence, opts ...Option)
 	return ev.Enumerate(cfg.workers)
 }
 
-// Enumerate starts a decreasing-E_max enumeration sharing this
-// evaluator's tables and checkpoint cache. workers ≤ 1 is the sequential
-// reference behavior; workers > 1 resolves speculatively in parallel
-// with an identical emitted sequence.
-func (ev *Evaluator) Enumerate(workers int) *Enumerator {
-	return &Enumerator{inner: lawler.New(lawler.Config[Answer]{
+// lawlerConfig is the Lawler–Murty wiring shared by Enumerate and the
+// cross-append reseed (ExtendEnumerator): resolve against the parent
+// answer's prefix checkpoint, partition with Constraint.Children.
+func (ev *Evaluator) lawlerConfig(workers int) lawler.Config[Answer] {
+	return lawler.Config[Answer]{
 		Root: transducer.Unconstrained(),
 		Resolve: func(ctx context.Context, c transducer.Constraint, parent Answer, root bool) (Answer, float64, bool, error) {
 			// Children of a printed answer share its checkpoint: every
@@ -215,7 +217,36 @@ func (ev *Evaluator) Enumerate(workers int) *Enumerator {
 			return c.Children(top.Output)
 		},
 		Workers: workers,
-	})}
+		// Exact E_max ties emit in lexicographic output order — a
+		// construction-independent rule, so a reseeded post-append
+		// enumerator (whose queue insertion order necessarily differs)
+		// emits the same sequence as a from-scratch one. Distinct queue
+		// items hold disjoint regions, so resolved tops never compare
+		// equal and the order is total.
+		Tie: func(a, b Answer) int {
+			return slices.Compare(a.Output, b.Output)
+		},
+	}
+}
+
+// Enumerate starts a decreasing-E_max enumeration sharing this
+// evaluator's tables and checkpoint cache. workers ≤ 1 is the sequential
+// reference behavior; workers > 1 resolves speculatively in parallel
+// with an identical emitted sequence.
+func (ev *Evaluator) Enumerate(workers int) *Enumerator {
+	return &Enumerator{inner: lawler.New(ev.lawlerConfig(workers)), ev: ev, workers: workers}
+}
+
+// Evaluator returns the evaluator backing this enumeration.
+func (e *Enumerator) Evaluator() *Evaluator { return e.ev }
+
+// ExtendStats reports the backing evaluator's cross-append reuse
+// counters (zero for enumerations that never crossed an append).
+func (e *Enumerator) ExtendStats() (reused, reseeded, handlesSkipped uint64) {
+	if e.ev == nil {
+		return 0, 0, 0
+	}
+	return e.ev.ExtendStats()
 }
 
 // Next returns the next answer in decreasing E_max, or ok=false when all

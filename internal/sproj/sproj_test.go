@@ -370,17 +370,7 @@ func TestTopIndexedWithConstraint(t *testing.T) {
 }
 
 func parseKey(key string) []automata.Symbol {
-	var out []automata.Symbol
-	cur := 0
-	for i := 0; i < len(key); i++ {
-		if key[i] == ',' {
-			out = append(out, automata.Symbol(cur))
-			cur = 0
-			continue
-		}
-		cur = cur*10 + int(key[i]-'0')
-	}
-	return out
+	return automata.ParseKey(key)
 }
 
 // TestIndexedEnumerationAtScale cross-checks the Theorem 5.7 enumeration

@@ -205,6 +205,16 @@ func WithDBRankedWorkers(n int) DBOption { return lahar.WithRankedWorkers(n) }
 // test suites.
 func WithDBEagerCheckpoints() DBOption { return lahar.WithEagerCheckpoints() }
 
+// WithDBFromScratchRanked disables the cross-append carry of ranked
+// enumeration state: after AppendEvents, a registered query's next
+// TopK re-runs the full Lawler–Murty drain instead of reseeding the
+// carried tree. The carry is the default and agrees with the rebuild
+// rank-by-rank on bit-identical scores (set-identically within exact
+// score ties); this reference exists for differential testing and
+// benchmarking. Stats().RankedReused / RankedReseeded stay zero under
+// it.
+func WithDBFromScratchRanked() DBOption { return lahar.WithFromScratchRanked() }
+
 // WithDBMaxInFlight bounds the number of concurrently executing DB
 // query calls; excess calls fail immediately with ErrDBOverloaded
 // instead of queueing. Values < 1 disable the limit.
